@@ -1,0 +1,61 @@
+"""Shared scope construction and reporting for the figure benchmarks.
+
+Every ``bench_figNN_*.py`` regenerates one table or figure of the
+paper: it builds a scaled-down but structurally faithful test scope
+(all four positive module specs, one module each, one bank, one
+subarray, several row groups per size -- the paper uses 18 modules x
+16 banks x 3 subarrays x 100 groups), computes the figure's data
+series, prints them in paper-comparable form, and asserts the
+headline shape so a regression fails the bench.
+
+Scaling knobs honour two environment variables:
+
+- ``SIMRA_BENCH_COLUMNS`` (default 512): simulated bitlines per row.
+- ``SIMRA_BENCH_GROUPS`` (default 4): row groups per size per site.
+- ``SIMRA_BENCH_TRIALS`` (default 8): trials per group.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.characterization.experiment import CharacterizationScope
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment override with a default."""
+    return int(os.environ.get(name, default))
+
+
+def make_config(seed: int = 2024) -> SimulationConfig:
+    """The benchmark simulation configuration."""
+    return SimulationConfig(
+        seed=seed, columns_per_row=env_int("SIMRA_BENCH_COLUMNS", 512)
+    )
+
+
+def make_scope(seed: int = 2024, specs=TESTED_MODULES) -> CharacterizationScope:
+    """One module per catalog spec, scaled-down group/trial counts."""
+    return CharacterizationScope.build(
+        config=make_config(seed),
+        specs=specs,
+        modules_per_spec=1,
+        banks=(0,),
+        subarrays=(0,),
+        groups_per_size=env_int("SIMRA_BENCH_GROUPS", 4),
+        trials=env_int("SIMRA_BENCH_TRIALS", 8),
+    )
+
+
+def run_once(benchmark, fn: Callable):
+    """Run a figure computation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure's regenerated data block."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,70 @@
+"""Ablation: predecoder-field count bounds the activation fan-out.
+
+Section 7.1 hypothesizes "the upper bound for the number of rows that
+are simultaneously activated depends on the number of predecoders" --
+the examined part has five, hence up to 2^5 = 32 rows.  This ablation
+rebuilds the decoder with alternative field layouts (one wide
+single-stage decoder, a 3-field design, the real 5-field design) and
+exhaustively measures the reachable group sizes of each.
+"""
+
+from collections import Counter
+from itertools import islice
+
+from _common import emit, run_once
+
+from repro.dram.row_decoder import PredecoderField, activation_set
+
+
+LAYOUTS = {
+    "1 field (flat 9-bit decoder)": (PredecoderField("A", 0, 9),),
+    "3 fields (3+3+3)": (
+        PredecoderField("A", 0, 3),
+        PredecoderField("B", 3, 3),
+        PredecoderField("C", 6, 3),
+    ),
+    "5 fields (paper's 1+2+2+2+2)": (
+        PredecoderField("A", 0, 1),
+        PredecoderField("B", 1, 2),
+        PredecoderField("C", 3, 2),
+        PredecoderField("D", 5, 2),
+        PredecoderField("E", 7, 2),
+    ),
+}
+
+
+def reachable_sizes(layout, subarray_rows=512, sample_stride=7):
+    sizes = Counter()
+    pairs = (
+        (rf, rs)
+        for rf in range(0, subarray_rows, sample_stride)
+        for rs in range(0, subarray_rows, sample_stride + 2)
+    )
+    for rf, rs in islice(pairs, 20000):
+        sizes[len(activation_set(rf, rs, layout, subarray_rows))] += 1
+    return sizes
+
+
+def bench_ablation_decoder_layouts(benchmark):
+    def run():
+        return {
+            name: reachable_sizes(layout) for name, layout in LAYOUTS.items()
+        }
+
+    results = run_once(benchmark, run)
+
+    lines = []
+    for name, sizes in results.items():
+        reachable = sorted(sizes)
+        lines.append(f"  {name:<32} group sizes: {reachable}")
+    emit("Ablation: decoder layout vs reachable activation counts", "\n".join(lines))
+
+    # A flat decoder can only ever open the two addressed rows.
+    assert max(results["1 field (flat 9-bit decoder)"]) == 2
+    # Three predecoders cap the fan-out at 2^3 = 8 rows.
+    assert max(results["3 fields (3+3+3)"]) == 8
+    # The paper's five predecoders reach the full 32 rows...
+    assert max(results["5 fields (paper's 1+2+2+2+2)"]) == 32
+    # ...and only power-of-two counts are ever reachable (Limitation 2).
+    for sizes in results.values():
+        assert all(size & (size - 1) == 0 for size in sizes)

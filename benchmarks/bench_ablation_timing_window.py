@@ -1,0 +1,48 @@
+"""Ablation: the PRE->ACT gap selects the APA regime.
+
+Sweeps t2 across the full range the infrastructure can issue and
+records which semantic the device produced -- the boundary structure
+behind footnote 6 and sections 3.2-3.4: <=3 ns interrupts the
+precharge (simultaneous many-row activation), ~4.5-7.5 ns catches the
+driven sense amps (RowClone), and nominal tRP restores standard
+behaviour.
+"""
+
+from _common import emit, make_config, run_once
+
+from repro.bender.program import apa_program
+from repro.bender.testbench import TestBench
+from repro.dram.vendor import TESTED_MODULES
+
+T2_TICKS = [1, 2, 3, 4, 5, 6, 9]  # 1.5 .. 13.5 ns
+
+
+def bench_ablation_t2_regimes(benchmark):
+    config = make_config(seed=4002)
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+
+    def run():
+        semantics = {}
+        for ticks in T2_TICKS:
+            t2 = ticks * 1.5
+            bench.run(apa_program(0, 0, 7, t1_ns=36.0, t2_ns=t2))
+            event = bench.module.bank(0).last_event
+            semantics[t2] = (event.semantic, len(event.rows))
+        return semantics
+
+    semantics = run_once(benchmark, run)
+
+    lines = [
+        f"  t2 = {t2:>5.1f} ns -> {semantic:<16} ({rows} row(s) affected)"
+        for t2, (semantic, rows) in semantics.items()
+    ]
+    emit("Ablation: PRE->ACT gap vs APA regime (t1 = 36 ns)", "\n".join(lines))
+
+    # <= 3 ns: interrupted precharge, 4 rows open, copy semantics.
+    assert semantics[1.5] == ("copy", 4)
+    assert semantics[3.0] == ("copy", 4)
+    # 4.5-7.5 ns: consecutive activation (RowClone), one destination.
+    assert semantics[6.0][0] == "rowclone"
+    # >= 9 ns: too late to catch the amps; standard single activation.
+    assert semantics[13.5][0] == "single"
+    assert semantics[9.0][0] in ("single", "rowclone")

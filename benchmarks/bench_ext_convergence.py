@@ -1,0 +1,56 @@
+"""Extension bench: success-metric convergence with trial count.
+
+The paper's success metric ("correct in all trials") converges from
+above as trials accumulate -- unstable cells survive T coin flips with
+probability 2^-T.  This bench quantifies the effect for MAJ3 vs MAJ9,
+explaining why scaled-down reproductions of Fig 7's MAJ9 read high at
+small trial budgets (see EXPERIMENTS.md).
+"""
+
+from _common import emit, make_config, run_once
+
+from repro.characterization.convergence import (
+    majx_convergence_curve,
+    overestimate_at,
+)
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.report import format_series_table
+from repro.dram.vendor import TESTED_MODULES
+
+CHECKPOINTS = (1, 2, 4, 8, 16, 32)
+
+
+def bench_ext_trial_convergence(benchmark):
+    scope = CharacterizationScope.build(
+        config=make_config(seed=4007),
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=3,
+        trials=4,
+    )
+
+    def run():
+        return {
+            x: majx_convergence_curve(scope, x, 32, CHECKPOINTS)
+            for x in (3, 5, 7, 9)
+        }
+
+    curves = run_once(benchmark, run)
+
+    table = {f"MAJ{x}@32-row": curve for x, curve in curves.items()}
+    emit(
+        "Extension: measured success vs trial count (%, mean)",
+        format_series_table("trials ->", table, column_order=CHECKPOINTS),
+    )
+    notes = [
+        f"  MAJ{x}: a 2-trial budget over-reads the 32-trial value by "
+        f"{overestimate_at(curve, 2) * 100:5.2f} percentage points"
+        for x, curve in curves.items()
+    ]
+    emit("Overestimate at small trial budgets", "\n".join(notes))
+
+    for curve in curves.values():
+        values = [curve[t] for t in CHECKPOINTS]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    # The effect grows as the operation gets harder.
+    assert overestimate_at(curves[9], 2) > overestimate_at(curves[3], 2)

@@ -1,0 +1,55 @@
+"""Extension bench: module-to-module variability.
+
+The paper reports aggregate distributions over 18 modules; this bench
+breaks a MAJ5 characterization down per module (two instances of each
+catalog spec) and contrasts the manufacturers -- the spread a deployer
+should expect across purchased parts, and the H-vs-M gap behind
+footnote 11.
+"""
+
+from _common import emit, env_int, make_config, run_once
+
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.report import format_distribution_table
+from repro.characterization.variability import (
+    manufacturer_gap,
+    module_spread,
+    per_module_majx,
+)
+from repro.dram.vendor import TESTED_MODULES
+
+
+def bench_ext_module_variability(benchmark):
+    scope = CharacterizationScope.build(
+        config=make_config(seed=4006),
+        specs=TESTED_MODULES,
+        modules_per_spec=2,
+        groups_per_size=env_int("SIMRA_BENCH_GROUPS", 4),
+        trials=env_int("SIMRA_BENCH_TRIALS", 8),
+    )
+
+    def run():
+        per_module = per_module_majx(scope, 5, 32)
+        return per_module, module_spread(per_module), manufacturer_gap(
+            scope, per_module
+        )
+
+    per_module, spread, gap = run_once(benchmark, run)
+
+    emit(
+        "Extension: MAJ5@32-row success per module (%)",
+        format_distribution_table("per-module distributions", per_module),
+    )
+    emit(
+        "Extension: spread of per-module means",
+        f"  across {spread.n} modules: mean {spread.mean:.2%}, "
+        f"min {spread.minimum:.2%}, max {spread.maximum:.2%}\n"
+        f"  per manufacturer: "
+        + ", ".join(f"Mfr. {m} = {v:.2%}" for m, v in sorted(gap.items())),
+    )
+
+    assert len(per_module) == len(scope.benches)
+    # Footnote 11's direction: H-die modules outperform M-die at MAJ5+.
+    assert gap["H"] > gap["M"]
+    # Modules differ, but not wildly (same architecture family).
+    assert spread.maximum - spread.minimum < 0.5

@@ -1,0 +1,29 @@
+"""Fig 5: power consumption of simultaneous many-row activation vs
+standard DRAM operations.
+
+Paper anchor (Obs 5): 32-row activation draws ~21.19% less power than
+REF, the most power-hungry standard operation.
+"""
+
+from _common import emit, run_once
+
+from repro.characterization.report import format_scalar_table
+from repro.dram.power import PowerModel
+
+
+def bench_fig05_power(benchmark):
+    model = PowerModel()
+
+    series = run_once(benchmark, model.figure5_series)
+
+    emit(
+        "Fig 5: average operation power (one module)",
+        format_scalar_table("operation power", series, unit="mW"),
+    )
+
+    ref = series["REF"]
+    assert all(series[f"{n}-row ACT"] < ref for n in (2, 4, 8, 16, 32))
+    headroom = model.headroom_vs_ref(32)
+    assert abs(headroom - 0.2119) < 0.02
+    # Power grows with the activation count but stays sub-linear.
+    assert series["32-row ACT"] < 2 * series["2-row ACT"]

@@ -1,0 +1,72 @@
+"""Fig 15: circuit-level (SPICE-style) analysis of input replication.
+
+(a) bitline deviation distributions for MAJ3(1,1,0) with N-row
+activation across process-variation levels; (b) the resulting MAJ3
+success rates.
+
+Paper anchors: 32-row activation raises the mean deviation ~159% over
+4-row; >8-row beats single-row activation; at 40% variation the
+4-row success collapses ~46.6% while 32-row loses ~0.01%.
+"""
+
+from _common import emit, env_int, run_once
+
+from repro.characterization.report import format_series_table
+from repro.characterization.stats import DistributionSummary
+from repro.analysis import ascii_boxplot
+from repro.spice.majority_sim import (
+    PROCESS_VARIATIONS,
+    figure15a_deviation,
+    figure15b_success,
+    replication_deviation_gain,
+)
+
+
+def bench_fig15a_bitline_deviation(benchmark):
+    n_sets = env_int("SIMRA_BENCH_MC_SETS", 1000)
+
+    grid = run_once(benchmark, lambda: figure15a_deviation(n_sets=n_sets))
+
+    for variation in PROCESS_VARIATIONS:
+        rows = {
+            f"N={n}": grid[(n, variation)] for n in (1, 4, 8, 16, 32)
+        }
+        emit(
+            f"Fig 15a [variation={variation:.0%}]: bitline deviation (mV)",
+            ascii_boxplot(rows),
+        )
+
+    gain = grid[(32, 0.2)].mean / grid[(4, 0.2)].mean - 1.0
+    assert abs(gain - 1.59) < 0.15  # the +159% anchor
+    assert grid[(16, 0.2)].mean > grid[(1, 0.2)].mean
+    assert grid[(4, 0.2)].mean < grid[(1, 0.2)].mean
+
+
+def bench_fig15b_success_rate(benchmark):
+    n_sets = env_int("SIMRA_BENCH_MC_SETS", 1000)
+
+    result = run_once(
+        benchmark,
+        lambda: figure15b_success(n_sets=n_sets, iterations=10),
+    )
+
+    table = {}
+    for n in (4, 8, 16, 32):
+        table[f"N={n}"] = {
+            variation: result[(n, variation)]
+            for variation in PROCESS_VARIATIONS
+        }
+    emit(
+        "Fig 15b: MAJ3(1,1,0) success vs process variation (%)",
+        format_series_table(
+            "variation ->", table, column_order=PROCESS_VARIATIONS
+        ),
+    )
+
+    drop4 = result[(4, 0.0)] - result[(4, 0.4)]
+    drop32 = result[(32, 0.0)] - result[(32, 0.4)]
+    assert abs(drop4 - 0.4658) < 0.10
+    assert drop32 < 0.01
+    # Replication strictly helps at every variation level.
+    for variation in PROCESS_VARIATIONS:
+        assert result[(32, variation)] >= result[(4, variation)]

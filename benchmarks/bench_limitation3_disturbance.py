@@ -1,0 +1,41 @@
+"""Section 9, Limitation 3: no bitflips outside the activated group.
+
+The paper hammers each row group 10000 times and finds no errors in
+the rest of the bank.  This bench hammers scaled-down campaigns over
+several group sizes and audits the direct neighbours (the RowHammer
+victims) plus the subarray edges.
+"""
+
+from _common import emit, env_int, make_config, run_once
+
+from repro.bender.testbench import TestBench
+from repro.characterization.disturbance import disturbance_check
+from repro.core.rowgroups import sample_groups
+from repro.dram.vendor import TESTED_MODULES
+
+
+def bench_limitation3_no_disturbance(benchmark):
+    config = make_config(seed=4003)
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    trials = env_int("SIMRA_BENCH_DISTURB_TRIALS", 64)
+
+    def run():
+        reports = {}
+        for size in (2, 4, 8, 16, 32):
+            group = sample_groups(0, 512, size, 1, "bench-disturb", size)[0]
+            reports[size] = disturbance_check(bench, 0, group, trials=trials)
+        return reports
+
+    reports = run_once(benchmark, run)
+
+    lines = []
+    for size, report in reports.items():
+        lines.append(
+            f"  {size:>2}-row group: {report.trials} APA trials, "
+            f"{len(report.bystander_rows)} bystanders audited, "
+            f"{report.flipped_bits} flipped bits"
+        )
+    emit("Limitation 3: disturbance outside the activated group", "\n".join(lines))
+
+    for size, report in reports.items():
+        assert report.clean, f"{size}-row group disturbed bystanders"

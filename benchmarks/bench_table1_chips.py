@@ -1,0 +1,48 @@
+"""Table 1 / Table 2: the tested DRAM chip catalog.
+
+Regenerates the summary rows of paper Table 1 (manufacturers, module
+and chip counts, die revisions, densities, organizations, subarray
+sizes) from the vendor catalog, and verifies each instantiated module
+exposes the cataloged geometry.
+"""
+
+from _common import make_config, emit, run_once
+
+from repro.dram.module import build_tested_fleet
+from repro.dram.vendor import catalog_summary
+
+
+def bench_table1_chip_catalog(benchmark):
+    def regenerate():
+        rows = catalog_summary()
+        fleet = build_tested_fleet(
+            config=make_config(), modules_per_spec=None
+        )
+        return rows, fleet
+
+    rows, fleet = run_once(benchmark, regenerate)
+
+    header = (
+        f"{'Mfr':<4} {'Module vendor':<12} {'#Mod':>5} {'#Chips':>7} "
+        f"{'Die':>4} {'Density':>8} {'Org':>5} {'Subarray':>9} {'MT/s':>6}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row['manufacturer']:<4} {row['module_vendor']:<12} "
+            f"{row['modules']:>5} {row['chips']:>7} {row['die_rev']:>4} "
+            f"{row['density']:>8} {row['organization']:>5} "
+            f"{row['subarray_rows']:>9} {row['frequency_mts']:>6}"
+        )
+    total_modules = sum(r["modules"] for r in rows)
+    total_chips = sum(r["chips"] for r in rows)
+    lines.append(f"TOTAL: {total_modules} modules, {total_chips} chips")
+    emit("Table 1: Summary of DDR4 DRAM chips tested", "\n".join(lines))
+
+    # Paper: 120 chips in 18 modules from two manufacturers.
+    assert total_modules == 18
+    assert total_chips == 120
+    assert len(fleet) == 18
+    for module in fleet:
+        assert module.profile.subarray_rows in (512, 640, 1024)
+        assert module.n_banks == 16

@@ -1,0 +1,78 @@
+"""Database bitmap-index scans executed inside DRAM.
+
+Run with::
+
+    python examples/bitmap_index_scan.py
+
+The bulk-bitwise application that motivates Processing-Using-DRAM
+(paper section 1): a categorical table is bitmap-encoded into DRAM
+rows, and selection predicates compile to in-DRAM majority-gate
+expressions, so a scan touches no CPU cache line.  The example loads
+a small orders table, runs three predicates, verifies them against
+numpy, and prints the analytic data-movement comparison for a
+warehouse-sized table.
+"""
+
+import numpy as np
+
+from repro import SimulationConfig, TestBench, TESTED_MODULES
+from repro.casestudies import BitSerialEngine, DualRailGates
+from repro.casestudies.database import BitmapIndex, ColumnSpec, scan_cost_model
+
+
+def main() -> None:
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    gates = DualRailGates(BitSerialEngine(bench))
+
+    schema = (
+        ColumnSpec("region", ("emea", "apac", "amer")),
+        ColumnSpec("status", ("open", "shipped", "returned")),
+        ColumnSpec("priority", ("high", "normal")),
+    )
+    index = BitmapIndex(gates, schema)
+
+    rng = np.random.default_rng(21)
+    n = index.capacity
+    table = {
+        "region": [schema[0].categories[i] for i in rng.integers(0, 3, n)],
+        "status": [schema[1].categories[i] for i in rng.integers(0, 3, n)],
+        "priority": [schema[2].categories[i] for i in rng.integers(0, 2, n)],
+    }
+    index.load_table(table)
+    print(f"Loaded {n}-row orders table as "
+          f"{len(index.loaded_bitmaps)} DRAM-resident bitmaps.\n")
+
+    queries = {
+        "open AND high-priority": (
+            index.predicate("status", "open")
+            & index.predicate("priority", "high")
+        ),
+        "emea OR returned": (
+            index.predicate("region", "emea")
+            | index.predicate("status", "returned")
+        ),
+        "apac AND NOT shipped": (
+            index.predicate("region", "apac")
+            & ~index.predicate("status", "shipped")
+        ),
+    }
+    for label, expression in queries.items():
+        count = index.count(expression)
+        verified = index.verify_scan(expression)
+        print(f"SELECT count(*) WHERE {label:<24} -> {count:>6} rows "
+              f"({expression.gate_cost()} MAJ ops, "
+              f"verified: {'yes' if verified else 'NO'})")
+
+    print("\nData-movement comparison for a 16M-row table "
+          "(one 8KB-row module, analytic):")
+    expression = queries["open AND high-priority"]
+    costs = scan_cost_model(expression, n_rows=1 << 24, lanes=65536)
+    print(f"  in-DRAM scan : {costs['in_dram_ns'] / 1e6:8.2f} ms")
+    print(f"  CPU scan     : {costs['cpu_ns'] / 1e6:8.2f} ms "
+          f"(bus transfer + SIMD)")
+    print(f"  ratio        : {costs['speedup']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Characterize one module the way the paper does, with ASCII figures.
+
+Run with::
+
+    python examples/characterize_module.py
+
+Reproduces scaled-down versions of Fig 3 (many-row-activation timing
+grid), Fig 6/7 (MAJX replication and ordering), and Fig 10
+(Multi-RowCopy timing) on one SK Hynix module, rendering box plots in
+the terminal.
+"""
+
+from repro.analysis import ascii_boxplot, ascii_series
+from repro.characterization import (
+    CharacterizationScope,
+    OperatingPoint,
+    activation_success_distribution,
+    majx_success_distribution,
+    multi_row_copy_distribution,
+)
+from repro.characterization.majority import MAJX_POINT
+from repro.characterization.rowcopy import COPY_POINT
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+
+
+def main() -> None:
+    config = SimulationConfig(seed=11, columns_per_row=512)
+    scope = CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=4,
+        trials=6,
+    )
+    print(f"Scope: {len(scope.benches)} module(s), "
+          f"{scope.groups_per_size} groups/size, {scope.trials} trials")
+
+    print("\n=== Fig 3 (slice): many-row activation, best vs violated t2 ===")
+    rows = {}
+    for t2, label in ((3.0, "t2=3.0ns"), (1.5, "t2=1.5ns")):
+        point = OperatingPoint(t1_ns=3.0, t2_ns=t2)
+        for n in (8, 32):
+            rows[f"{n}-row {label}"] = activation_success_distribution(
+                scope, n, point
+            )
+    print(ascii_boxplot(rows))
+
+    print("\n=== Fig 6/7 (slice): MAJX success orders by X; replication helps ===")
+    rows = {}
+    for x in (3, 5, 7, 9):
+        smallest = next(n for n in (4, 8, 16, 32) if n >= x)
+        for n in (smallest, 32):
+            rows[f"MAJ{x}@{n}-row"] = majx_success_distribution(
+                scope, x, n, MAJX_POINT
+            )
+    print(ascii_boxplot(rows))
+
+    print("\n=== Fig 10 (slice): Multi-RowCopy needs a full tRAS before PRE ===")
+    series = {}
+    for t1, label in ((36.0, "t1=36ns"), (3.0, "t1=3ns"), (1.5, "t1=1.5ns")):
+        series[label] = {
+            m: multi_row_copy_distribution(
+                scope, m, COPY_POINT.with_timing(t1, 3.0)
+            ).mean
+            for m in (1, 7, 31)
+        }
+    print(ascii_series(series))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Run a scaled-down version of the paper's whole characterization.
+
+Run with::
+
+    python examples/full_campaign.py [results_dir]
+
+One call executes the section 4-6 experiment sweep (activation
+timing, MAJ3 timing grid, Multi-RowCopy patterns, temperature and
+voltage series) across one module per catalog spec, persists every
+result as JSON (reloadable via ``ResultStore``), and prints the
+combined report -- the overnight-lab-run workflow, at demo scale.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.characterization.campaign import Campaign
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.store import ResultStore
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+
+EXPERIMENTS = ("fig3", "fig4a", "fig6", "fig10", "fig11")
+
+
+def main() -> None:
+    results_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "campaign_results"
+    )
+    config = SimulationConfig(seed=2024, columns_per_row=256)
+    scope = CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES,
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=4,
+    )
+    store = ResultStore(results_dir)
+    campaign = Campaign(scope, store=store)
+
+    print(f"Campaign over {len(scope.benches)} modules "
+          f"({scope.groups_per_size} groups/size, {scope.trials} trials), "
+          f"experiments: {', '.join(EXPERIMENTS)}")
+    started = time.time()
+    result = campaign.run(EXPERIMENTS)
+    elapsed = time.time() - started
+    print(f"Completed {len(result.completed)} experiments in "
+          f"{elapsed:.1f} s; results stored in {result.stored_at}/\n")
+
+    print(campaign.render(result))
+
+    print("\nStored results (reload with ResultStore):")
+    for name in store.names():
+        metadata = store.metadata(name)
+        print(f"  {name}.json  (library {metadata['library_version']}, "
+              f"seed {metadata['config']['seed']})")
+
+
+if __name__ == "__main__":
+    main()

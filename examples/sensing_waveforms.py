@@ -1,0 +1,61 @@
+"""Bitline sensing waveforms: why input replication works.
+
+Run with::
+
+    python examples/sensing_waveforms.py
+
+Renders the time-domain story behind paper section 7.2: during an
+APA-triggered charge share, MAJ3 with 4-row activation perturbs the
+bitline far less than with 32-row activation (10 replicas), so the
+regenerative sense amplifier needs longer to latch -- and a marginal
+perturbation fails to resolve inside the sensing window at all.
+"""
+
+from repro.analysis import ascii_series
+from repro.spice.components import CellInstance
+from repro.spice.waveform import (
+    latch_time_ns,
+    resolves_within_window,
+    simulate_sensing,
+)
+
+
+def cells_for(ones: int, zeros: int, neutral: int = 0):
+    return (
+        [CellInstance(22.0, 1.0, 1.0)] * ones
+        + [CellInstance(22.0, 1.0, 0.0)] * zeros
+        + [CellInstance(22.0, 1.0, 0.5)] * neutral
+    )
+
+
+CONFIGS = {
+    "MAJ3 @4-row (1 replica)": cells_for(2, 1, 1),
+    "MAJ3 @8-row (2 replicas)": cells_for(4, 2, 2),
+    "MAJ3 @32-row (10 replicas)": cells_for(20, 10, 2),
+}
+
+
+def main() -> None:
+    print("Bitline voltage (V) during charge sharing (0-3 ns) and "
+          "regeneration (3 ns+):\n")
+    series = {}
+    for label, cells in CONFIGS.items():
+        waveform = simulate_sensing(cells, n_points=30)
+        series[label] = {
+            float(t): float(v)
+            for t, v in zip(waveform.time_ns, waveform.bitline_v)
+        }
+    print(ascii_series(series, height=14, width=64))
+
+    print("\nDeviation at sense-enable and time to latch:")
+    for label, cells in CONFIGS.items():
+        waveform = simulate_sensing(cells)
+        latch = latch_time_ns(waveform.initial_deviation_v)
+        resolved = resolves_within_window(cells)
+        print(f"  {label:<28} dV = {waveform.initial_deviation_v * 1000:6.1f} mV, "
+              f"latch in {latch:5.2f} ns "
+              f"({'resolves' if resolved else 'FAILS'} in the window)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for environments whose setuptools predates PEP 660 editable
+installs (no `wheel` package available offline).  `pip install -e .
+--no-use-pep517` uses this; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

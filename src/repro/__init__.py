@@ -1,0 +1,70 @@
+"""SiMRA-DRAM reproduction.
+
+A simulation-backed reproduction of "Simultaneous Many-Row Activation
+in Off-the-Shelf DRAM Chips: Experimental Characterization and
+Analysis" (Yuksel et al., DSN 2024).
+
+Layers, bottom-up:
+
+- :mod:`repro.dram` -- the simulated silicon: cells, banks, the
+  hierarchical row decoder behind many-row activation, vendor
+  profiles, timing, reliability, and power models.
+- :mod:`repro.bender` -- the DRAM-Bender-style testing rig: command
+  programs, scheduler, FPGA replayer, thermal control, VPP supply.
+- :mod:`repro.core` -- the PUD operations the paper characterizes:
+  simultaneous many-row activation, MAJX with input replication,
+  Multi-RowCopy, RowClone, Frac, subarray mapping.
+- :mod:`repro.characterization` -- the section 4-6 experiment
+  harnesses (Figs 3-12).
+- :mod:`repro.spice` -- circuit-level Monte-Carlo analysis (Fig 15).
+- :mod:`repro.casestudies` -- majority-based computation and
+  cold-boot content destruction (Figs 16-17), plus a functional
+  in-DRAM bit-serial ALU.
+
+Quickstart::
+
+    from repro import SimulationConfig, TestBench, TESTED_MODULES
+    from repro.core import sample_groups, simultaneous_activation_test
+
+    bench = TestBench.for_spec(TESTED_MODULES[0],
+                               config=SimulationConfig.quick())
+    group = sample_groups(0, 512, 32, 1, "demo")[0]
+    result = simultaneous_activation_test(bench, bank=0, group=group)
+    print(result.semantic, result.success_fraction)
+"""
+
+from .config import DEFAULT_CONFIG, SimulationConfig
+from .errors import (
+    AddressError,
+    ConfigurationError,
+    ExperimentError,
+    InfrastructureError,
+    ProtocolError,
+    SimraError,
+    TimingViolationError,
+    UnsupportedOperationError,
+)
+from .bender.testbench import TestBench
+from .dram.module import Module, build_module, build_tested_fleet
+from .dram.vendor import TESTED_MODULES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SimulationConfig",
+    "SimraError",
+    "ConfigurationError",
+    "AddressError",
+    "TimingViolationError",
+    "ProtocolError",
+    "UnsupportedOperationError",
+    "InfrastructureError",
+    "ExperimentError",
+    "TestBench",
+    "Module",
+    "build_module",
+    "build_tested_fleet",
+    "TESTED_MODULES",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Plain-terminal rendering of figure data.
+
+Small helpers turning :class:`~repro.characterization.stats.
+DistributionSummary` grids and line series into ASCII art, so the
+benchmark harness output visually mirrors the paper's box-and-whisker
+and line plots.
+"""
+
+from .ascii_plot import ascii_boxplot, ascii_series
+
+__all__ = ["ascii_boxplot", "ascii_series"]

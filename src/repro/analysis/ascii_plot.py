@@ -1,0 +1,97 @@
+"""ASCII box plots and line series.
+
+The paper's figures are box-and-whisker distributions (footnote 8)
+and line plots; these renderers let the benchmark harness show the
+same shapes directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..characterization.stats import DistributionSummary
+
+_PLOT_WIDTH = 60
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(width - 1, max(0, round(position * (width - 1))))
+
+
+def ascii_boxplot(
+    rows: Mapping[str, DistributionSummary],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    width: int = _PLOT_WIDTH,
+) -> str:
+    """Render labelled distributions as horizontal box plots.
+
+    ``|`` marks whiskers (min/max), ``=`` the inter-quartile box, and
+    ``#`` the median.
+    """
+    if not rows:
+        return "(no data)"
+    values = list(rows.values())
+    lo = min(v.minimum for v in values) if lo is None else lo
+    hi = max(v.maximum for v in values) if hi is None else hi
+    label_width = max(len(str(k)) for k in rows) + 1
+    lines = []
+    for label, summary in rows.items():
+        canvas = [" "] * width
+        left = _scale(summary.minimum, lo, hi, width)
+        right = _scale(summary.maximum, lo, hi, width)
+        q1 = _scale(summary.q1, lo, hi, width)
+        q3 = _scale(summary.q3, lo, hi, width)
+        med = _scale(summary.median, lo, hi, width)
+        for i in range(left, right + 1):
+            canvas[i] = "-"
+        for i in range(q1, q3 + 1):
+            canvas[i] = "="
+        canvas[left] = "|"
+        canvas[right] = "|"
+        canvas[med] = "#"
+        lines.append(f"{str(label):<{label_width}}[{''.join(canvas)}]")
+    lines.append(
+        f"{'':<{label_width}} {lo:<10.4g}{'':^{max(0, width - 20)}}{hi:>10.4g}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Mapping[str, Mapping[float, float]],
+    height: int = 12,
+    width: int = _PLOT_WIDTH,
+) -> str:
+    """Render one or more (x -> y) series as a scatter of glyphs."""
+    if not series:
+        return "(no data)"
+    points: Sequence[Tuple[float, float]] = [
+        (float(x), float(y)) for values in series.values() for x, y in values.items()
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    glyphs = "ox+*%@&$"
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in values.items():
+            col = _scale(float(x), x_lo, x_hi, width)
+            row = height - 1 - _scale(float(y), y_lo, y_hi, height)
+            canvas[row][col] = glyph
+    lines = [f"{y_hi:>10.4g} |{''.join(canvas[0])}"]
+    for row in canvas[1:-1]:
+        lines.append(f"{'':>10} |{''.join(row)}")
+    lines.append(f"{y_lo:>10.4g} |{''.join(canvas[-1])}")
+    lines.append(f"{'':>10}  {x_lo:<10.4g}{'':^{max(0, width - 20)}}{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{'':>10}  {legend}")
+    return "\n".join(lines)

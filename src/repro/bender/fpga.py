@@ -1,0 +1,97 @@
+"""The simulated FPGA command replayer.
+
+:class:`DramBender` plays compiled command programs into a simulated
+module, collects RD outputs, and quiesces the device between programs
+(the real infrastructure similarly returns the DRAM to a precharged,
+refreshed state between tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..dram.commands import CommandKind, pre
+from ..dram.module import Module
+from ..errors import InfrastructureError
+from .program import CommandProgram
+from .scheduler import Scheduler, TimingViolation
+
+_INTER_PROGRAM_GAP_NS = 100.0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of replaying one command program."""
+
+    reads: List[np.ndarray] = field(default_factory=list)
+    """Row-buffer contents returned by each RD, in program order."""
+    violations: List[TimingViolation] = field(default_factory=list)
+    """JEDEC timing parameters the program undershot."""
+    duration_ns: float = 0.0
+    """Bus time from first to last command."""
+
+    @property
+    def violated_parameters(self) -> List[str]:
+        """Names of the distinct violated timing parameters."""
+        return sorted({v.parameter for v in self.violations})
+
+
+class DramBender:
+    """Replay command programs against a simulated module."""
+
+    def __init__(self, module: Module):
+        self._module = module
+        self._scheduler = Scheduler(module.timings)
+
+    @property
+    def module(self) -> Module:
+        """The device under test."""
+        return self._module
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The bus scheduler (exposes the running clock)."""
+        return self._scheduler
+
+    def execute(self, program: CommandProgram) -> ExecutionResult:
+        """Replay one program; the device quiesces afterwards."""
+        scheduled, violations = self._scheduler.compile(program)
+        result = ExecutionResult(
+            violations=violations, duration_ns=program.duration_ns()
+        )
+        for item in scheduled:
+            command = item.command
+            if command.kind is CommandKind.REF:
+                # REF is all-bank: settle and refresh every built bank.
+                for bank_index in range(self._module.n_banks):
+                    bank = self._module.bank(bank_index)
+                    bank.settle(command.time_ns)
+                    bank.process(command)
+                continue
+            bank = self._module.bank(command.bank)
+            output = bank.process(command)
+            if command.kind is CommandKind.RD:
+                if output is None:
+                    raise InfrastructureError("RD returned no data")
+                result.reads.append(output)
+        self._quiesce()
+        return result
+
+    def execute_all(self, programs: List[CommandProgram]) -> List[ExecutionResult]:
+        """Replay several programs back to back."""
+        return [self.execute(program) for program in programs]
+
+    def _quiesce(self) -> None:
+        """Precharge every bank and advance past any pending precharge."""
+        self._scheduler.advance(_INTER_PROGRAM_GAP_NS)
+        now = self._scheduler.clock_ns
+        for bank_index in range(self._module.n_banks):
+            bank = self._module.bank(bank_index)
+            bank.settle(now)
+            if bank.state.name == "ACTIVE":
+                bank.process(pre(now, bank_index))
+                bank.settle(now + _INTER_PROGRAM_GAP_NS)
+        self._scheduler.advance(_INTER_PROGRAM_GAP_NS)

@@ -1,0 +1,73 @@
+"""Host-side test orchestration.
+
+:class:`TestHost` wraps a :class:`~repro.bender.fpga.DramBender` with
+the row-level initialization and readback helpers every
+characterization experiment needs (paper sections 3.2-3.4 all follow
+the same skeleton: initialize rows -> run a command program -> read
+rows back -> compare).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..dram.module import Module
+from .fpga import DramBender, ExecutionResult
+from .program import CommandProgram
+
+
+class TestHost:
+    """Generates test data, drives the Bender, and reads back results."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, bender: DramBender):
+        self._bender = bender
+
+    @property
+    def bender(self) -> DramBender:
+        """The attached command replayer."""
+        return self._bender
+
+    @property
+    def module(self) -> Module:
+        """The device under test."""
+        return self._bender.module
+
+    def initialize_rows(
+        self, bank: int, rows_to_bits: Dict[int, np.ndarray]
+    ) -> None:
+        """Write known data into specific rows with nominal timing."""
+        device_bank = self.module.bank(bank)
+        for row, bits in rows_to_bits.items():
+            device_bank.write_row(row, bits)
+
+    def initialize_range(
+        self, bank: int, rows: Iterable[int], bits: np.ndarray
+    ) -> None:
+        """Write the same data into a range of rows."""
+        device_bank = self.module.bank(bank)
+        for row in rows:
+            device_bank.write_row(row, bits)
+
+    def read_rows(self, bank: int, rows: Sequence[int]) -> Dict[int, np.ndarray]:
+        """Read rows back with nominal timing after the bank quiesced."""
+        device_bank = self.module.bank(bank)
+        return {row: device_bank.read_row(row) for row in rows}
+
+    def run(self, program: CommandProgram) -> ExecutionResult:
+        """Replay one program."""
+        return self._bender.execute(program)
+
+    def mismatch_fraction(
+        self, bank: int, rows: Sequence[int], expected: np.ndarray
+    ) -> float:
+        """Average fraction of bits differing from ``expected`` across rows."""
+        readback = self.read_rows(bank, rows)
+        expected = np.asarray(expected, dtype=np.uint8)
+        fractions: List[float] = [
+            float(np.mean(bits != expected)) for bits in readback.values()
+        ]
+        return float(np.mean(fractions)) if fractions else 0.0

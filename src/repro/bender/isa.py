@@ -1,0 +1,286 @@
+"""DRAM Bender-style test-program ISA.
+
+The real DRAM Bender exposes a tiny programmable core on the FPGA: a
+register file, arithmetic on registers, branches, and DRAM command
+slots, so a whole characterization sweep (loop over row pairs, issue
+APA, read back) fits in one uploaded program.  This module implements
+that layer: an assembler-level instruction set executed by
+:class:`ProgramCore`, which *emits* the timed DRAM command stream the
+rest of the stack already understands.
+
+Instructions (operands are register indices unless noted):
+
+- ``LI rd, imm``        load immediate
+- ``ADD rd, ra, rb`` / ``ADDI rd, ra, imm``
+- ``ACT bank_reg, row_reg``   issue ACT to (bank, row)
+- ``PRE bank_reg``            issue PRE
+- ``WR bank_reg``             issue WR carrying the staged pattern
+- ``RD bank_reg``             issue RD
+- ``SLEEP ticks``             idle for ticks x 1.5 ns
+- ``BL ra, rb, label``        branch to label if ra < rb
+- ``JMP label`` / ``END``
+
+The 1.5 ns command-bus granularity applies: every emitted command
+lands on the next free bus tick.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, InfrastructureError
+from ..units import COMMAND_GRANULARITY_NS
+from .program import CommandProgram, ProgramStep
+from ..dram.commands import CommandKind
+
+N_REGISTERS = 16
+MAX_STEPS = 2_000_000
+"""Executed-instruction bound: runaway loops abort the upload."""
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes."""
+
+    LI = "LI"
+    ADD = "ADD"
+    ADDI = "ADDI"
+    ACT = "ACT"
+    PRE = "PRE"
+    WR = "WR"
+    RD = "RD"
+    SLEEP = "SLEEP"
+    BL = "BL"
+    JMP = "JMP"
+    END = "END"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: Opcode
+    operands: Tuple[int, ...] = ()
+    label: Optional[str] = None
+
+
+class IsaProgramBuilder:
+    """Fluent assembler for ISA programs."""
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    def label(self, name: str) -> "IsaProgramBuilder":
+        """Define a branch target at the current position."""
+        if name in self._labels:
+            raise ConfigurationError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def _push(self, opcode: Opcode, *operands: int, label: str = None):
+        self._instructions.append(
+            Instruction(opcode, tuple(int(o) for o in operands), label)
+        )
+        return self
+
+    def li(self, rd: int, imm: int):
+        """rd <- imm"""
+        return self._push(Opcode.LI, rd, imm)
+
+    def add(self, rd: int, ra: int, rb: int):
+        """rd <- ra + rb"""
+        return self._push(Opcode.ADD, rd, ra, rb)
+
+    def addi(self, rd: int, ra: int, imm: int):
+        """rd <- ra + imm"""
+        return self._push(Opcode.ADDI, rd, ra, imm)
+
+    def act(self, bank_reg: int, row_reg: int):
+        """Issue ACT to (reg[bank_reg], reg[row_reg])."""
+        return self._push(Opcode.ACT, bank_reg, row_reg)
+
+    def pre(self, bank_reg: int):
+        """Issue PRE to reg[bank_reg]."""
+        return self._push(Opcode.PRE, bank_reg)
+
+    def wr(self, bank_reg: int):
+        """Issue WR (carrying the staged data pattern)."""
+        return self._push(Opcode.WR, bank_reg)
+
+    def rd(self, bank_reg: int):
+        """Issue RD."""
+        return self._push(Opcode.RD, bank_reg)
+
+    def sleep(self, ticks: int):
+        """Idle for ticks bus cycles (1.5 ns each)."""
+        if ticks < 0:
+            raise ConfigurationError("sleep ticks must be non-negative")
+        return self._push(Opcode.SLEEP, ticks)
+
+    def branch_lt(self, ra: int, rb: int, label: str):
+        """if reg[ra] < reg[rb]: goto label"""
+        return self._push(Opcode.BL, ra, rb, label=label)
+
+    def jump(self, label: str):
+        """Unconditional branch."""
+        return self._push(Opcode.JMP, label=label)
+
+    def end(self):
+        """Terminate the program."""
+        return self._push(Opcode.END)
+
+    def build(self) -> "IsaProgram":
+        """Validate labels and freeze."""
+        if not self._instructions:
+            raise ConfigurationError("empty ISA program")
+        if self._instructions[-1].opcode is not Opcode.END:
+            raise ConfigurationError("ISA programs must end with END")
+        for instruction in self._instructions:
+            if instruction.label is not None and (
+                instruction.label not in self._labels
+            ):
+                raise ConfigurationError(
+                    f"undefined label {instruction.label!r}"
+                )
+        return IsaProgram(tuple(self._instructions), dict(self._labels))
+
+
+@dataclass(frozen=True)
+class IsaProgram:
+    """A validated ISA program."""
+
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ProgramCore:
+    """Executes ISA programs, emitting a timed DRAM command stream.
+
+    The core does not touch the DRAM itself: it produces a
+    :class:`CommandProgram` that the usual
+    :class:`~repro.bender.fpga.DramBender` replays.  ``stage_pattern``
+    installs the full-row data that WR slots carry.
+    """
+
+    def __init__(self, granularity_ns: float = COMMAND_GRANULARITY_NS):
+        self._granularity = granularity_ns
+        self._pattern: Optional[np.ndarray] = None
+
+    def stage_pattern(self, bits: np.ndarray) -> None:
+        """Install the data pattern WR instructions will carry."""
+        self._pattern = np.asarray(bits, dtype=np.uint8)
+
+    def run(self, program: IsaProgram) -> CommandProgram:
+        """Execute to completion; returns the emitted command program."""
+        registers = [0] * N_REGISTERS
+        steps: List[ProgramStep] = []
+        pending_ticks = 0
+        pc = 0
+        executed = 0
+
+        def emit(kind: CommandKind, bank: int, row: int = None) -> None:
+            nonlocal pending_ticks
+            delay = max(1, pending_ticks) * self._granularity
+            if not steps:
+                delay = 0.0
+            data = None
+            if kind is CommandKind.WR:
+                if self._pattern is None:
+                    raise InfrastructureError(
+                        "WR executed with no staged pattern"
+                    )
+                data = tuple(int(b) for b in self._pattern)
+            steps.append(
+                ProgramStep(
+                    delay_ns=delay, kind=kind, bank=bank, row=row, data=data
+                )
+            )
+            pending_ticks = 0
+
+        def reg(index: int) -> int:
+            if not 0 <= index < N_REGISTERS:
+                raise ConfigurationError(f"register r{index} out of range")
+            return registers[index]
+
+        while True:
+            executed += 1
+            if executed > MAX_STEPS:
+                raise InfrastructureError(
+                    f"ISA program exceeded {MAX_STEPS} executed instructions"
+                )
+            if pc >= len(program.instructions):
+                raise InfrastructureError("program ran off the end (no END)")
+            instruction = program.instructions[pc]
+            opcode = instruction.opcode
+            ops = instruction.operands
+            pc += 1
+            if opcode is Opcode.LI:
+                registers[ops[0]] = ops[1]
+            elif opcode is Opcode.ADD:
+                registers[ops[0]] = reg(ops[1]) + reg(ops[2])
+            elif opcode is Opcode.ADDI:
+                registers[ops[0]] = reg(ops[1]) + ops[2]
+            elif opcode is Opcode.ACT:
+                emit(CommandKind.ACT, reg(ops[0]), reg(ops[1]))
+            elif opcode is Opcode.PRE:
+                emit(CommandKind.PRE, reg(ops[0]))
+            elif opcode is Opcode.WR:
+                emit(CommandKind.WR, reg(ops[0]))
+            elif opcode is Opcode.RD:
+                emit(CommandKind.RD, reg(ops[0]))
+            elif opcode is Opcode.SLEEP:
+                pending_ticks += ops[0]
+            elif opcode is Opcode.BL:
+                if reg(ops[0]) < reg(ops[1]):
+                    pc = program.labels[instruction.label]
+            elif opcode is Opcode.JMP:
+                pc = program.labels[instruction.label]
+            elif opcode is Opcode.END:
+                break
+            else:  # pragma: no cover - enum is exhaustive
+                raise InfrastructureError(f"unhandled opcode {opcode}")
+
+        if not steps:
+            raise ConfigurationError("ISA program emitted no DRAM commands")
+        return CommandProgram(tuple(steps), self._granularity)
+
+
+def apa_sweep_program(
+    bank: int,
+    row_pairs: List[Tuple[int, int]],
+    t1_ticks: int,
+    t2_ticks: int,
+    recovery_ticks: int = 40,
+) -> IsaProgram:
+    """Assemble a loop issuing an APA for every (R_F, R_S) pair.
+
+    This is the shape of a real Bender characterization kernel: the
+    row pairs are loaded into a table region of the register file...
+    except the tiny register file cannot hold a table, so (as on the
+    real device) the host unrolls the pair list into the instruction
+    stream and the loop structure covers the per-pair command timing.
+    """
+    if not row_pairs:
+        raise ConfigurationError("need at least one row pair")
+    builder = IsaProgramBuilder()
+    builder.li(0, bank)
+    for row_first, row_second in row_pairs:
+        builder.li(1, row_first)
+        builder.li(2, row_second)
+        builder.act(0, 1)
+        builder.sleep(t1_ticks)
+        builder.pre(0)
+        builder.sleep(t2_ticks)
+        builder.act(0, 2)
+        builder.sleep(recovery_ticks)
+        builder.pre(0)
+        builder.sleep(recovery_ticks)
+    builder.end()
+    return builder.build()

@@ -1,0 +1,82 @@
+"""Power measurement harness.
+
+The paper measures each operation's average power on a live module by
+replaying it continuously (Fig 5 and Obs 5).  :class:`PowerMeter`
+does the simulator equivalent: snapshot a bank's action counters and
+event log, replay a command program a number of times, and convert
+the accumulated energy over the elapsed bus time into average power.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List
+
+from ..dram.energy import EnergyAccountant, budget_from_power_model
+from ..errors import ConfigurationError
+from .fpga import DramBender
+from .program import CommandProgram
+
+
+@dataclass(frozen=True)
+class PowerMeasurement:
+    """Result of one power-measurement run."""
+
+    average_mw: float
+    energy_pj: float
+    elapsed_ns: float
+    repetitions: int
+
+
+class PowerMeter:
+    """Measure the average power of a replayed command program."""
+
+    def __init__(self, bender: DramBender, accountant: EnergyAccountant = None):
+        self._bender = bender
+        self._accountant = accountant or EnergyAccountant(
+            budget_from_power_model()
+        )
+
+    @property
+    def accountant(self) -> EnergyAccountant:
+        """The energy budget in use."""
+        return self._accountant
+
+    def measure(
+        self, program: CommandProgram, repetitions: int = 32
+    ) -> PowerMeasurement:
+        """Replay a program repeatedly and report its average power.
+
+        Elapsed time counts the program durations plus the
+        inter-program quiesce gaps the rig inserts, matching how a
+        bench supply would average the draw.
+        """
+        if repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        banks = [
+            self._bender.module.bank(i)
+            for i in range(self._bender.module.n_banks)
+        ]
+        stats_before = [Counter(bank.stats) for bank in banks]
+        events_before = [len(bank.event_log) for bank in banks]
+        start_ns = self._bender.scheduler.clock_ns
+
+        for _ in range(repetitions):
+            self._bender.execute(program)
+
+        elapsed = self._bender.scheduler.clock_ns - start_ns
+        stats_delta: Counter = Counter()
+        events: List = []
+        for bank, before, event_mark in zip(banks, stats_before, events_before):
+            delta = Counter(bank.stats)
+            delta.subtract(before)
+            stats_delta.update(delta)
+            events.extend(list(bank.event_log)[event_mark:])
+        energy = self._accountant.total_energy_pj(stats_delta, events, elapsed)
+        return PowerMeasurement(
+            average_mw=energy / elapsed,
+            energy_pj=energy,
+            elapsed_ns=elapsed,
+            repetitions=repetitions,
+        )

@@ -1,0 +1,65 @@
+"""Programmable wordline-voltage supply.
+
+Models the paper's TTi PL068-P bench supply driving the DRAM module's
+VPP rail with +-1 mV setting resolution.  Experiments sweep VPP from
+the 2.5 V nominal down to 2.1 V (section 3.1); the supply enforces a
+safety envelope so a mistyped sweep cannot put the simulated part
+outside anything the paper explored.
+"""
+
+from __future__ import annotations
+
+from ..dram.module import Module
+from ..errors import InfrastructureError
+from ..units import VPP_NOMINAL
+
+
+class VppSupply:
+    """Bench supply attached to a module's VPP rail."""
+
+    MIN_VOLTS = 2.0
+    MAX_VOLTS = 2.6
+    RESOLUTION_VOLTS = 0.001
+
+    def __init__(self, module: Module):
+        self._module = module
+        self._volts = VPP_NOMINAL
+        self._output_enabled = True
+        module.vpp = self._volts
+
+    @property
+    def volts(self) -> float:
+        """Programmed output voltage."""
+        return self._volts
+
+    @property
+    def output_enabled(self) -> bool:
+        """Whether the output stage is on."""
+        return self._output_enabled
+
+    def set_voltage(self, volts: float) -> float:
+        """Program a new VPP level (snapped to 1 mV resolution)."""
+        if not self.MIN_VOLTS <= volts <= self.MAX_VOLTS:
+            raise InfrastructureError(
+                f"VPP {volts} V outside supply envelope "
+                f"[{self.MIN_VOLTS}, {self.MAX_VOLTS}]"
+            )
+        snapped = round(volts / self.RESOLUTION_VOLTS) * self.RESOLUTION_VOLTS
+        self._volts = round(snapped, 3)
+        if self._output_enabled:
+            self._module.vpp = self._volts
+        return self._volts
+
+    def disable_output(self) -> None:
+        """Cut the output (used by the cold-boot power-off scenario)."""
+        self._output_enabled = False
+        self._module.vpp = 0.0
+
+    def enable_output(self) -> None:
+        """Re-enable the output at the programmed level."""
+        self._output_enabled = True
+        self._module.vpp = self._volts
+
+    def reset_nominal(self) -> None:
+        """Return to the 2.5 V nominal."""
+        self.set_voltage(VPP_NOMINAL)

@@ -1,0 +1,216 @@
+"""Command-program DSL.
+
+A :class:`CommandProgram` is an ordered list of DRAM commands with
+explicit inter-command delays -- the representation a DRAM Bender user
+writes and the FPGA replays.  The builder enforces the infrastructure's
+1.5 ns command granularity (paper section 9, Limitation 2): command
+issue times must land on granularity ticks, which is exactly why the
+paper can only reach t1/t2 values that are multiples of 1.5 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import COMMAND_GRANULARITY_NS
+from ..dram.commands import Command, CommandKind
+
+_TICK_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ProgramStep:
+    """One command plus the delay separating it from the previous one."""
+
+    delay_ns: float
+    kind: CommandKind
+    bank: int = 0
+    row: Optional[int] = None
+    data: Optional[Tuple[int, ...]] = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class CommandProgram:
+    """An immutable, validated command program."""
+
+    steps: Tuple[ProgramStep, ...]
+    granularity_ns: float = COMMAND_GRANULARITY_NS
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def duration_ns(self) -> float:
+        """Total time from the first command to the last."""
+        return sum(step.delay_ns for step in self.steps[1:])
+
+    def to_commands(self, start_ns: float = 0.0) -> List[Command]:
+        """Compile to absolute-time commands starting at ``start_ns``."""
+        commands: List[Command] = []
+        clock = start_ns
+        for index, step in enumerate(self.steps):
+            if index > 0:
+                clock += step.delay_ns
+            commands.append(
+                Command(
+                    kind=step.kind,
+                    time_ns=clock,
+                    bank=step.bank,
+                    row=step.row,
+                    data=step.data,
+                )
+            )
+        return commands
+
+
+class ProgramBuilder:
+    """Fluent builder of :class:`CommandProgram` objects.
+
+    Delays are validated against the command-bus granularity: a delay
+    that does not land on a 1.5 ns tick cannot be issued by the
+    infrastructure and raises :class:`ConfigurationError`, mirroring
+    the real limitation.
+    """
+
+    def __init__(self, granularity_ns: float = COMMAND_GRANULARITY_NS):
+        if granularity_ns <= 0:
+            raise ConfigurationError("granularity must be positive")
+        self._granularity = granularity_ns
+        self._steps: List[ProgramStep] = []
+        self._pending_delay = 0.0
+
+    def _check_tick(self, delay_ns: float) -> float:
+        if delay_ns < 0:
+            raise ConfigurationError(f"delay must be non-negative: {delay_ns}")
+        ticks = delay_ns / self._granularity
+        if abs(ticks - round(ticks)) > _TICK_TOLERANCE:
+            raise ConfigurationError(
+                f"delay {delay_ns} ns is not a multiple of the "
+                f"{self._granularity} ns command granularity"
+            )
+        return delay_ns
+
+    def wait(self, delay_ns: float) -> "ProgramBuilder":
+        """Insert idle time before the next command."""
+        self._pending_delay += self._check_tick(delay_ns)
+        return self
+
+    def _push(
+        self,
+        kind: CommandKind,
+        bank: int = 0,
+        row: Optional[int] = None,
+        data: Optional[np.ndarray] = None,
+    ) -> "ProgramBuilder":
+        delay = self._pending_delay
+        if self._steps and delay < self._granularity - _TICK_TOLERANCE:
+            # Back-to-back commands are at least one bus tick apart.
+            delay = self._granularity
+        packed = None
+        if data is not None:
+            bits = np.asarray(data, dtype=np.uint8)
+            packed = tuple(int(b) for b in bits)
+        self._steps.append(
+            ProgramStep(delay_ns=delay, kind=kind, bank=bank, row=row, data=packed)
+        )
+        self._pending_delay = 0.0
+        return self
+
+    def act(self, bank: int, row: int) -> "ProgramBuilder":
+        """Append an ACTIVATE."""
+        return self._push(CommandKind.ACT, bank=bank, row=row)
+
+    def pre(self, bank: int) -> "ProgramBuilder":
+        """Append a PRECHARGE."""
+        return self._push(CommandKind.PRE, bank=bank)
+
+    def wr(self, bank: int, data: np.ndarray) -> "ProgramBuilder":
+        """Append a full-row WRITE."""
+        return self._push(CommandKind.WR, bank=bank, data=data)
+
+    def rd(self, bank: int) -> "ProgramBuilder":
+        """Append a READ of the open row."""
+        return self._push(CommandKind.RD, bank=bank)
+
+    def ref(self) -> "ProgramBuilder":
+        """Append a REFRESH."""
+        return self._push(CommandKind.REF)
+
+    def nop(self) -> "ProgramBuilder":
+        """Append a NOP (one tick of bus idle)."""
+        return self._push(CommandKind.NOP)
+
+    def extend(self, other: CommandProgram) -> "ProgramBuilder":
+        """Append all steps of an existing program."""
+        for step in other.steps:
+            self._pending_delay += step.delay_ns
+            self._push(step.kind, bank=step.bank, row=step.row, data=step.data)
+        return self
+
+    def build(self) -> CommandProgram:
+        """Finalize into an immutable program."""
+        if not self._steps:
+            raise ConfigurationError("cannot build an empty command program")
+        return CommandProgram(tuple(self._steps), self._granularity)
+
+
+def snap_to_granularity(
+    delay_ns: float, granularity_ns: float = COMMAND_GRANULARITY_NS
+) -> float:
+    """Round a desired delay to the nearest issueable bus tick."""
+    ticks = max(1, round(delay_ns / granularity_ns))
+    return ticks * granularity_ns
+
+
+def program_from_absolute(
+    commands: Sequence[Tuple[float, CommandKind, int, Optional[int]]],
+    granularity_ns: float = COMMAND_GRANULARITY_NS,
+) -> CommandProgram:
+    """Build a program from (time, kind, bank, row) tuples.
+
+    Times must land on bus ticks and be strictly increasing after
+    sorting; used by multi-bank schedulers that compute absolute slot
+    assignments rather than sequential delays.
+    """
+    if not commands:
+        raise ConfigurationError("cannot build an empty command program")
+    ordered = sorted(commands, key=lambda item: item[0])
+    steps = []
+    previous = None
+    for time_ns, kind, bank, row in ordered:
+        ticks = time_ns / granularity_ns
+        if abs(ticks - round(ticks)) > _TICK_TOLERANCE:
+            raise ConfigurationError(
+                f"command time {time_ns} ns is off the {granularity_ns} ns grid"
+            )
+        if previous is not None and time_ns <= previous:
+            raise ConfigurationError(
+                f"bus conflict: two commands at/before {time_ns} ns"
+            )
+        delay = 0.0 if previous is None else time_ns - previous
+        steps.append(
+            ProgramStep(delay_ns=delay, kind=kind, bank=bank, row=row)
+        )
+        previous = time_ns
+    return CommandProgram(tuple(steps), granularity_ns)
+
+
+def apa_program(
+    bank: int,
+    row_first: int,
+    row_second: int,
+    t1_ns: float,
+    t2_ns: float,
+    granularity_ns: float = COMMAND_GRANULARITY_NS,
+) -> CommandProgram:
+    """The paper's core ``ACT R_F -> t1 -> PRE -> t2 -> ACT R_S`` sequence."""
+    builder = ProgramBuilder(granularity_ns)
+    builder.act(bank, row_first)
+    builder.wait(t1_ns)
+    builder.pre(bank)
+    builder.wait(t2_ns)
+    builder.act(bank, row_second)
+    return builder.build()

@@ -1,0 +1,106 @@
+"""Infrastructure self-test.
+
+Real test rigs ship maintenance diagnostics; this module provides the
+simulator's: march-style data-retention patterns over sample rows, a
+timing-regime regression (the APA windows must classify as designed),
+and environmental-control checks.  Run it before a long
+characterization campaign to catch a mis-assembled bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..core.patterns import byte_to_bits
+from ..dram.timing import ApaRegime
+from .program import apa_program
+from .testbench import TestBench
+
+MARCH_BYTES = (0x00, 0xFF, 0xAA, 0x55)
+SAMPLE_ROWS = (0, 1, 255, 511)
+
+
+@dataclass
+class SelfTestReport:
+    """Outcome of one self-test run."""
+
+    checks_run: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check succeeded."""
+        return not self.failures
+
+    def record(self, ok: bool, description: str) -> None:
+        """Tally one check."""
+        self.checks_run += 1
+        if not ok:
+            self.failures.append(description)
+
+
+def run_self_test(bench: TestBench, bank: int = 0) -> SelfTestReport:
+    """Exercise the bench end to end; returns a pass/fail report."""
+    report = SelfTestReport()
+    module = bench.module
+    device_bank = module.bank(bank)
+    columns = module.config.columns_per_row
+
+    # 1. March patterns: write/readback must be bit-exact at nominal
+    #    timing for every sample row and byte pattern.
+    rows = [r for r in SAMPLE_ROWS if r < module.profile.rows_per_bank]
+    for byte in MARCH_BYTES:
+        bits = byte_to_bits(byte, columns)
+        for row in rows:
+            device_bank.write_row(row, bits)
+            ok = bool(np.array_equal(device_bank.read_row(row), bits))
+            report.record(ok, f"march 0x{byte:02X} row {row}")
+
+    # 2. Timing-regime regression: the nominal windows must classify
+    #    as designed (a drifted rig would silently change semantics).
+    timings = module.timings
+    expectations = [
+        (1.5, ApaRegime.SIMULTANEOUS),
+        (3.0, ApaRegime.SIMULTANEOUS),
+        (6.0, ApaRegime.CONSECUTIVE),
+        (timings.t_rp, ApaRegime.STANDARD),
+    ]
+    for t2, expected in expectations:
+        ok = timings.classify_apa(t2) is expected
+        report.record(ok, f"regime at t2={t2}ns should be {expected.value}")
+
+    # 3. The scheduler must flag the canonical PUD violations.
+    result = bench.run(apa_program(bank, 0, 1, 1.5, 3.0))
+    ok = set(result.violated_parameters) == {"tRAS", "tRC", "tRP"}
+    report.record(ok, "violation audit of the PUD APA")
+
+    # 4. Environmental controls reach their setpoints.
+    bench.set_temperature(62.0)
+    report.record(
+        abs(module.temperature_c - 62.0) < 0.01, "thermal setpoint 62C"
+    )
+    bench.set_vpp(2.317)
+    report.record(abs(module.vpp - 2.317) < 1e-9, "VPP setpoint 2.317V")
+    bench.set_temperature(50.0)
+    bench.set_vpp(2.5)
+
+    # 5. On a susceptible part, an APA must open exactly the set the
+    #    decoder algebra predicts (the Fig 14 walk-through, expressed
+    #    against this module's predecoder layout).
+    if module.profile.supports_multi_row_activation:
+        from ..dram.row_decoder import (
+            activation_set,
+            field_layout_for_subarray_rows,
+        )
+
+        subarray_rows = module.profile.subarray_rows
+        layout = field_layout_for_subarray_rows(subarray_rows)
+        expected_rows = activation_set(0, 7, layout, subarray_rows)
+        bench.run(apa_program(bank, 0, 7, 1.5, 3.0))
+        event = device_bank.last_event
+        ok = event is not None and event.rows == expected_rows
+        report.record(ok, f"APA(0,7) activation set {sorted(expected_rows)}")
+    return report

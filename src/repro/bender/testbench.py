@@ -1,0 +1,82 @@
+"""The assembled experimental setup of the paper's Fig 2.
+
+One :class:`TestBench` = FPGA (command replayer) + host + rubber
+heaters with temperature controller + programmable VPP supply, all
+attached to one module under test.  Experiments use it as the single
+entry point for environmental control and command execution.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_CONFIG, SimulationConfig
+from ..dram.module import Module, build_module
+from ..dram.vendor import ModuleSpec
+from .fpga import DramBender, ExecutionResult
+from .host import TestHost
+from .power_supply import VppSupply
+from .program import CommandProgram
+from .thermal import TemperatureController
+
+
+class TestBench:
+    """Fig 2's six-component rig around one simulated module."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, module: Module):
+        self._module = module
+        self._bender = DramBender(module)
+        self._host = TestHost(self._bender)
+        self._thermal = TemperatureController(module)
+        self._supply = VppSupply(module)
+        # Experiments start at the paper's baseline conditions.
+        self.set_temperature(50.0)
+        self.set_vpp(2.5)
+
+    @classmethod
+    def for_spec(
+        cls,
+        spec: ModuleSpec,
+        instance: int = 0,
+        config: SimulationConfig = DEFAULT_CONFIG,
+    ) -> "TestBench":
+        """Build a bench around a fresh module of a catalog spec."""
+        return cls(build_module(spec, instance, config=config))
+
+    @property
+    def module(self) -> Module:
+        """The device under test."""
+        return self._module
+
+    @property
+    def bender(self) -> DramBender:
+        """Command replayer."""
+        return self._bender
+
+    @property
+    def host(self) -> TestHost:
+        """Host-side helpers."""
+        return self._host
+
+    @property
+    def thermal(self) -> TemperatureController:
+        """Temperature controller."""
+        return self._thermal
+
+    @property
+    def supply(self) -> VppSupply:
+        """VPP bench supply."""
+        return self._supply
+
+    def set_temperature(self, temp_c: float) -> None:
+        """Program and settle a chip temperature."""
+        self._thermal.set_target(temp_c)
+        self._thermal.settle()
+
+    def set_vpp(self, volts: float) -> None:
+        """Program the wordline voltage."""
+        self._supply.set_voltage(volts)
+
+    def run(self, program: CommandProgram) -> ExecutionResult:
+        """Replay one command program."""
+        return self._bender.execute(program)

@@ -1,0 +1,77 @@
+"""Thermal rig: rubber heaters + temperature controller.
+
+Models the paper's MaxWell FT20X setup as a first-order thermal plant
+under proportional control: the module temperature approaches the
+setpoint exponentially, and experiments call :meth:`settle` before
+measuring, as the real controller does when it waits for the chamber
+to stabilize.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..dram.module import Module
+from ..errors import InfrastructureError
+
+
+class TemperatureController:
+    """Closed-loop temperature control of one module."""
+
+    MIN_TARGET_C = 20.0
+    MAX_TARGET_C = 95.0
+    SETTLE_TOLERANCE_C = 0.1
+
+    def __init__(
+        self,
+        module: Module,
+        ambient_c: float = 25.0,
+        time_constant_s: float = 30.0,
+    ):
+        if time_constant_s <= 0:
+            raise InfrastructureError("time constant must be positive")
+        self._module = module
+        self._current_c = ambient_c
+        self._target_c = ambient_c
+        self._time_constant_s = time_constant_s
+        module.temperature_c = ambient_c
+
+    @property
+    def current_c(self) -> float:
+        """Measured module temperature."""
+        return self._current_c
+
+    @property
+    def target_c(self) -> float:
+        """Controller setpoint."""
+        return self._target_c
+
+    def set_target(self, temp_c: float) -> None:
+        """Program a new setpoint (within the rig's envelope)."""
+        if not self.MIN_TARGET_C <= temp_c <= self.MAX_TARGET_C:
+            raise InfrastructureError(
+                f"target {temp_c} C outside rig envelope "
+                f"[{self.MIN_TARGET_C}, {self.MAX_TARGET_C}]"
+            )
+        self._target_c = temp_c
+
+    def step(self, dt_s: float) -> float:
+        """Advance the thermal plant by ``dt_s`` seconds."""
+        if dt_s < 0:
+            raise InfrastructureError("time step must be non-negative")
+        decay = math.exp(-dt_s / self._time_constant_s)
+        self._current_c = self._target_c + (self._current_c - self._target_c) * decay
+        self._module.temperature_c = self._current_c
+        return self._current_c
+
+    def settle(self) -> float:
+        """Run the plant until the module is at the setpoint."""
+        # Eight time constants bring the error below 0.04% of the step.
+        self.step(8.0 * self._time_constant_s)
+        self._current_c = self._target_c
+        self._module.temperature_c = self._current_c
+        return self._current_c
+
+    def is_settled(self) -> bool:
+        """Whether the measured temperature matches the setpoint."""
+        return abs(self._current_c - self._target_c) <= self.SETTLE_TOLERANCE_C

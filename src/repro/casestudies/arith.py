@@ -1,0 +1,167 @@
+"""Bit-serial arithmetic on the in-DRAM gate library.
+
+Values are stored *vertically* (SIMDRAM layout): a W-bit unsigned
+vector register is W dual-rail signals, signal ``i`` holding bit ``i``
+of every element (elements across columns).  All arithmetic is
+ripple-carry / shift-and-add built purely from majority gates, so the
+whole ALU runs on the simulated DRAM through APA command sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .gates import DualRailGates, Signal
+
+
+class BitSerialALU:
+    """W-bit unsigned vector ALU over dual-rail majority gates."""
+
+    def __init__(self, gates: DualRailGates, width: int = 8):
+        if width < 1:
+            raise ExperimentError("width must be positive")
+        self._gates = gates
+        self._width = width
+
+    @property
+    def width(self) -> int:
+        """Bits per element."""
+        return self._width
+
+    @property
+    def gates(self) -> DualRailGates:
+        """The gate library in use."""
+        return self._gates
+
+    @property
+    def lanes(self) -> int:
+        """Parallel elements (one per DRAM column)."""
+        return self._gates.engine.columns
+
+    # -- registers ---------------------------------------------------------------
+
+    def load_vector(self, values: np.ndarray) -> List[Signal]:
+        """Load unsigned integers (one per lane) as a bit-sliced register."""
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.lanes,):
+            raise ExperimentError(
+                f"expected {self.lanes} lane values, got {values.shape}"
+            )
+        if values.size and int(values.max()) >= (1 << self._width):
+            raise ExperimentError(f"values exceed {self._width} bits")
+        register = []
+        for bit in range(self._width):
+            bits = ((values >> np.uint64(bit)) & np.uint64(1)).astype(np.uint8)
+            register.append(self._gates.load(bits))
+        return register
+
+    def read_vector(self, register: List[Signal]) -> np.ndarray:
+        """Read a bit-sliced register back as unsigned integers."""
+        values = np.zeros(self.lanes, dtype=np.uint64)
+        for bit, signal in enumerate(register):
+            values |= self._gates.read(signal).astype(np.uint64) << np.uint64(bit)
+        return values
+
+    def release_vector(self, register: List[Signal]) -> None:
+        """Free a register's rows."""
+        for signal in register:
+            self._gates.release(signal)
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def bitwise(self, op: str, a: List[Signal], b: List[Signal]) -> List[Signal]:
+        """Element-wise AND / OR / XOR of two registers."""
+        table = {"and": self._gates.and_, "or": self._gates.or_, "xor": self._gates.xor_}
+        if op not in table:
+            raise ExperimentError(f"unknown bitwise op {op!r}")
+        return [table[op](x, y) for x, y in zip(a, b)]
+
+    def add(self, a: List[Signal], b: List[Signal]) -> List[Signal]:
+        """Ripple-carry addition (modulo 2^W)."""
+        carry = self._gates.constant(0)
+        result: List[Signal] = []
+        for bit in range(self._width):
+            total, carry_out = self._gates.full_adder(a[bit], b[bit], carry)
+            result.append(total)
+            self._gates.release(carry)
+            carry = carry_out
+        self._gates.release(carry)
+        return result
+
+    def sub(self, a: List[Signal], b: List[Signal]) -> List[Signal]:
+        """Subtraction via two's complement: a + ~b + 1 (modulo 2^W)."""
+        carry = self._gates.constant(1)
+        result: List[Signal] = []
+        for bit in range(self._width):
+            total, carry_out = self._gates.full_adder(
+                a[bit], b[bit].inverted(), carry
+            )
+            result.append(total)
+            self._gates.release(carry)
+            carry = carry_out
+        self._gates.release(carry)
+        return result
+
+    def less_than(self, a: List[Signal], b: List[Signal]) -> Signal:
+        """a < b (unsigned): the borrow out of ``a - b``."""
+        carry = self._gates.constant(1)
+        for bit in range(self._width):
+            total, carry_out = self._gates.full_adder(
+                a[bit], b[bit].inverted(), carry
+            )
+            self._gates.release(total)
+            self._gates.release(carry)
+            carry = carry_out
+        return carry.inverted()
+
+    def mul(self, a: List[Signal], b: List[Signal]) -> List[Signal]:
+        """Shift-and-add multiplication (low W bits of the product)."""
+        result = [self._gates.constant(0) for _ in range(self._width)]
+        for i in range(self._width):
+            carry = self._gates.constant(0)
+            for k in range(self._width - i):
+                partial = self._gates.and_(a[k], b[i])
+                total, carry_out = self._gates.full_adder(
+                    result[i + k], partial, carry
+                )
+                self._gates.release(partial)
+                self._gates.release(result[i + k])
+                self._gates.release(carry)
+                result[i + k] = total
+                carry = carry_out
+            self._gates.release(carry)
+        return result
+
+    def divmod(
+        self, a: List[Signal], b: List[Signal]
+    ) -> Tuple[List[Signal], List[Signal]]:
+        """Restoring division: returns (quotient, remainder).
+
+        Lanes where the divisor is zero produce an all-ones quotient
+        and remainder = dividend, matching the hardware-restoring
+        convention (callers should mask zero divisors).
+        """
+        remainder = [self._gates.constant(0) for _ in range(self._width)]
+        quotient: List[Signal] = [
+            self._gates.constant(0) for _ in range(self._width)
+        ]
+        for bit in range(self._width - 1, -1, -1):
+            # remainder = (remainder << 1) | a[bit]; the top bit drops.
+            dropped = remainder[self._width - 1]
+            shifted = [a[bit]] + remainder[: self._width - 1]
+            trial = self.sub(shifted, b)
+            fits = self.less_than(shifted, b).inverted()
+            new_remainder = [
+                self._gates.mux(fits, t, r) for t, r in zip(trial, shifted)
+            ]
+            for signal in trial:
+                self._gates.release(signal)
+            self._gates.release(dropped)
+            for signal in remainder[: self._width - 1]:
+                self._gates.release(signal)
+            quotient[bit] = fits
+            remainder = new_remainder
+        return quotient, remainder

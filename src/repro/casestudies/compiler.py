@@ -1,0 +1,214 @@
+"""Expression compiler for the in-DRAM gate library.
+
+SIMDRAM-style front end (paper refs [105, 130]): users write Boolean
+expressions over named bit-vector variables with Python operators;
+the compiler walks the AST, schedules dual-rail majority gates on a
+:class:`~repro.casestudies.gates.DualRailGates` engine, releases
+intermediate rows as they die, and reports the static MAJ-operation
+cost -- the number the Fig 16 model prices.
+
+Example::
+
+    from repro.casestudies.compiler import var
+    expr = (var("a") & var("b")) | ~var("c")
+    result_bits = compile_and_run(expr, gates, {"a": ..., "b": ..., "c": ...})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .gates import DualRailGates, Signal
+
+
+class Expression:
+    """Base class: a Boolean expression over named bit-vectors."""
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return Gate("and", (self, _as_expression(other)))
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Gate("or", (self, _as_expression(other)))
+
+    def __xor__(self, other: "Expression") -> "Expression":
+        return Gate("xor", (self, _as_expression(other)))
+
+    def __invert__(self) -> "Expression":
+        return Gate("not", (self,))
+
+    def variables(self) -> FrozenSet[str]:
+        """Names of the free variables."""
+        raise NotImplementedError
+
+    def gate_cost(self) -> int:
+        """Static MAJ-operation count of the compiled form."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Variable(Expression):
+    """A named input bit-vector."""
+
+    name: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def gate_cost(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    """A constant 0 or 1 broadcast over all lanes."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ExperimentError(f"constant must be 0 or 1: {self.value}")
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def gate_cost(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Gate(Expression):
+    """An operator node."""
+
+    op: str
+    inputs: Tuple[Expression, ...]
+
+    _COSTS = {"and": 2, "or": 2, "xor": 6, "not": 0}
+
+    def __post_init__(self) -> None:
+        if self.op not in self._COSTS:
+            raise ExperimentError(f"unknown operator {self.op!r}")
+        arity = 1 if self.op == "not" else 2
+        if len(self.inputs) != arity:
+            raise ExperimentError(
+                f"{self.op} expects {arity} inputs, got {len(self.inputs)}"
+            )
+
+    def variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for node in self.inputs:
+            names |= node.variables()
+        return names
+
+    def gate_cost(self) -> int:
+        return self._COSTS[self.op] + sum(n.gate_cost() for n in self.inputs)
+
+
+def var(name: str) -> Variable:
+    """A named input bit-vector."""
+    return Variable(name)
+
+
+def const(value: int) -> Constant:
+    """A broadcast constant."""
+    return Constant(value)
+
+
+def _as_expression(value) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if value in (0, 1):
+        return Constant(int(value))
+    raise ExperimentError(f"cannot use {value!r} in an expression")
+
+
+class ExpressionCompiler:
+    """Schedules an expression onto the dual-rail gate engine."""
+
+    def __init__(self, gates: DualRailGates):
+        self._gates = gates
+
+    def run(
+        self, expression: Expression, bindings: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Load inputs, execute the expression in-DRAM, read the result.
+
+        Every intermediate row is released once its last consumer has
+        executed; inputs are loaded once even when referenced many
+        times.
+        """
+        missing = expression.variables() - set(bindings)
+        if missing:
+            raise ExperimentError(f"unbound variables: {sorted(missing)}")
+        loaded: Dict[str, Signal] = {
+            name: self._gates.load(np.asarray(bindings[name], dtype=np.uint8))
+            for name in sorted(expression.variables())
+        }
+        try:
+            result, owned = self._evaluate(expression, loaded)
+            bits = self._gates.read(result)
+            if owned:
+                self._gates.release(result)
+            return bits
+        finally:
+            for signal in loaded.values():
+                self._gates.release(signal)
+
+    def _evaluate(
+        self, node: Expression, loaded: Mapping[str, Signal]
+    ) -> Tuple[Signal, bool]:
+        """Returns (signal, owned) -- owned signals are ours to free."""
+        if isinstance(node, Variable):
+            return loaded[node.name], False
+        if isinstance(node, Constant):
+            return self._gates.constant(node.value), False
+        assert isinstance(node, Gate)
+        if node.op == "not":
+            inner, owned = self._evaluate(node.inputs[0], loaded)
+            return inner.inverted(), owned
+        left, left_owned = self._evaluate(node.inputs[0], loaded)
+        right, right_owned = self._evaluate(node.inputs[1], loaded)
+        operator = {
+            "and": self._gates.and_,
+            "or": self._gates.or_,
+            "xor": self._gates.xor_,
+        }[node.op]
+        result = operator(left, right)
+        if left_owned:
+            self._gates.release(left)
+        if right_owned:
+            self._gates.release(right)
+        return result, True
+
+
+def compile_and_run(
+    expression: Expression,
+    gates: DualRailGates,
+    bindings: Mapping[str, np.ndarray],
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`ExpressionCompiler`."""
+    return ExpressionCompiler(gates).run(expression, bindings)
+
+
+def evaluate_reference(
+    expression: Expression, bindings: Mapping[str, np.ndarray]
+) -> np.ndarray:
+    """Pure-numpy reference semantics (for verification)."""
+    if isinstance(expression, Variable):
+        return np.asarray(bindings[expression.name], dtype=np.uint8)
+    if isinstance(expression, Constant):
+        width = len(next(iter(bindings.values()))) if bindings else 1
+        return np.full(width, expression.value, dtype=np.uint8)
+    assert isinstance(expression, Gate)
+    if expression.op == "not":
+        return 1 - evaluate_reference(expression.inputs[0], bindings)
+    left = evaluate_reference(expression.inputs[0], bindings)
+    right = evaluate_reference(expression.inputs[1], bindings)
+    if expression.op == "and":
+        return left & right
+    if expression.op == "or":
+        return left | right
+    return left ^ right

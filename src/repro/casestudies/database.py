@@ -1,0 +1,161 @@
+"""Bitmap-index scans in DRAM.
+
+Bulk bitwise operations' motivating application (paper section 1
+cites bitmap indices, BitWeaving, and friends): a categorical column
+is stored as one bitmap per distinct value -- bit j of bitmap v says
+"row j has value v" -- and predicates become bitwise expressions over
+bitmaps.  Here the bitmaps live in DRAM rows and the expressions
+execute in-DRAM through the majority-gate compiler, so a selection
+scan never moves the table through the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .compiler import Expression, ExpressionCompiler, evaluate_reference, var
+from .gates import DualRailGates
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One categorical table column."""
+
+    name: str
+    categories: Sequence[str]
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ExperimentError(f"column {self.name!r} needs categories")
+        if len(set(self.categories)) != len(self.categories):
+            raise ExperimentError(f"column {self.name!r} repeats categories")
+
+    def bitmap_name(self, category: str) -> str:
+        """The variable name of one category bitmap."""
+        if category not in self.categories:
+            raise ExperimentError(
+                f"column {self.name!r} has no category {category!r}"
+            )
+        return f"{self.name}={category}"
+
+
+class BitmapIndex:
+    """Bitmap-encoded table resident in a DRAM subarray.
+
+    One table row per DRAM column (lane); one DRAM row per
+    (column, category) bitmap.
+    """
+
+    def __init__(self, gates: DualRailGates, columns: Sequence[ColumnSpec]):
+        if not columns:
+            raise ExperimentError("need at least one table column")
+        self._gates = gates
+        self._compiler = ExpressionCompiler(gates)
+        self._columns = {spec.name: spec for spec in columns}
+        self._bitmaps: Dict[str, np.ndarray] = {}
+        self._n_rows = gates.engine.columns
+
+    @property
+    def capacity(self) -> int:
+        """Table rows the index can hold (one per DRAM bitline)."""
+        return self._n_rows
+
+    @property
+    def loaded_bitmaps(self) -> Dict[str, np.ndarray]:
+        """Host-side copies of the loaded bitmaps (for verification)."""
+        return dict(self._bitmaps)
+
+    def load_table(self, table: Mapping[str, Sequence[str]]) -> None:
+        """Encode and load a column-oriented table.
+
+        ``table[column] = per-row category values``; all columns must
+        have exactly :attr:`capacity` rows (pad shorter tables with a
+        dedicated category if needed).
+        """
+        if set(table) != set(self._columns):
+            raise ExperimentError(
+                f"table columns {sorted(table)} do not match the index "
+                f"schema {sorted(self._columns)}"
+            )
+        for name, values in table.items():
+            spec = self._columns[name]
+            if len(values) != self._n_rows:
+                raise ExperimentError(
+                    f"column {name!r} has {len(values)} rows; the index "
+                    f"holds exactly {self._n_rows}"
+                )
+            values = list(values)
+            unknown = set(values) - set(spec.categories)
+            if unknown:
+                raise ExperimentError(
+                    f"column {name!r} contains unknown categories {unknown}"
+                )
+            for category in spec.categories:
+                bitmap = np.fromiter(
+                    (1 if value == category else 0 for value in values),
+                    dtype=np.uint8,
+                    count=self._n_rows,
+                )
+                self._bitmaps[spec.bitmap_name(category)] = bitmap
+
+    def predicate(self, column: str, category: str) -> Expression:
+        """The expression selecting rows where ``column == category``."""
+        if column not in self._columns:
+            raise ExperimentError(f"unknown column {column!r}")
+        return var(self._columns[column].bitmap_name(category))
+
+    def scan(self, expression: Expression) -> np.ndarray:
+        """Evaluate a predicate expression in-DRAM; returns the
+        selection bitmap (1 = row matches)."""
+        needed = expression.variables()
+        missing = needed - set(self._bitmaps)
+        if missing:
+            raise ExperimentError(
+                f"predicate references unloaded bitmaps: {sorted(missing)}"
+            )
+        bindings = {name: self._bitmaps[name] for name in needed}
+        return self._compiler.run(expression, bindings)
+
+    def count(self, expression: Expression) -> int:
+        """COUNT(*) of a predicate, computed from the in-DRAM scan."""
+        return int(self.scan(expression).sum())
+
+    def verify_scan(self, expression: Expression) -> bool:
+        """Cross-check the in-DRAM scan against numpy semantics."""
+        needed = expression.variables()
+        bindings = {name: self._bitmaps[name] for name in needed}
+        reference = evaluate_reference(expression, bindings)
+        return bool(np.array_equal(self.scan(expression), reference))
+
+
+def scan_cost_model(
+    expression: Expression,
+    n_rows: int,
+    lanes: int,
+    op_latency_ns: float = 162.0,
+    dram_bandwidth_gbps: float = 19.2,
+) -> Dict[str, float]:
+    """Compare in-DRAM scan time against moving the bitmaps to a CPU.
+
+    The in-DRAM scan costs ``gate_cost * op_latency`` per batch of
+    ``lanes`` rows; a CPU scan must first pull every referenced bitmap
+    over the memory bus.  Returns both times (ns) for ``n_rows`` table
+    rows and the resulting speedup.
+    """
+    if n_rows <= 0 or lanes <= 0:
+        raise ExperimentError("row and lane counts must be positive")
+    batches = -(-n_rows // lanes)
+    in_dram_ns = expression.gate_cost() * op_latency_ns * batches
+    bitmap_bytes = len(expression.variables()) * n_rows / 8.0
+    transfer_ns = bitmap_bytes * 8.0 / dram_bandwidth_gbps
+    cpu_compute_ns = n_rows / 64.0  # 64 rows/ns: generous SIMD estimate
+    cpu_ns = transfer_ns + cpu_compute_ns
+    return {
+        "in_dram_ns": in_dram_ns,
+        "cpu_ns": cpu_ns,
+        "speedup": cpu_ns / in_dram_ns if in_dram_ns else float("inf"),
+    }

@@ -1,0 +1,178 @@
+"""Dual-rail majority logic gates.
+
+COTS DRAM has no in-array NOT, so (as in ComputeDRAM-style execution)
+every logical signal is stored as a *dual-rail* pair of rows: the
+value and its complement.  NOT is then free (swap the rails), and De
+Morgan gives each gate's complement output from the complemented
+inputs:
+
+- AND(a, b)  = MAJ3(a, b, 0);     NAND via MAJ3(~a, ~b, 1)
+- OR(a, b)   = MAJ3(a, b, 1);     NOR via MAJ3(~a, ~b, 0)
+- XOR(a, b)  = AND(OR(a, b), NAND(a, b))
+- full adder: carry = MAJ3(a, b, c); sum = XOR3 with MAJ3 only, or --
+  the identity that makes MAJ5 valuable (section 8.1) --
+  ``sum = MAJ5(a, b, c, ~carry, ~carry)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ExperimentError
+from .bitserial import BitSerialEngine
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A dual-rail logical signal: rows holding the value and inverse."""
+
+    pos: int
+    neg: int
+
+    def inverted(self) -> "Signal":
+        """NOT: swap the rails (zero DRAM operations)."""
+        return Signal(pos=self.neg, neg=self.pos)
+
+
+@dataclass(frozen=True)
+class GateCounts:
+    """MAJ-operation counts of one gate, per MAJ width.
+
+    Used by the Fig 16 analytic model; maps MAJ width -> operations.
+    """
+
+    by_width: Dict[int, int]
+
+    @property
+    def total(self) -> int:
+        """Total MAJ operations regardless of width."""
+        return sum(self.by_width.values())
+
+
+class DualRailGates:
+    """Gate library over a :class:`BitSerialEngine`.
+
+    ``use_maj5`` switches the full adder to the MAJ5 sum identity,
+    turning 14 MAJ ops per full adder into 4 -- the source of the
+    addition speedups in Fig 16.
+    """
+
+    def __init__(self, engine: BitSerialEngine, use_maj5: bool = False):
+        self._engine = engine
+        self._use_maj5 = use_maj5
+        if use_maj5 and engine is not None:
+            profile = engine._bench.module.profile  # noqa: SLF001 - introspection
+            if profile.max_reliable_majx < 5:
+                raise ExperimentError(
+                    f"manufacturer {profile.manufacturer!r} cannot run MAJ5"
+                )
+
+    @property
+    def engine(self) -> BitSerialEngine:
+        """The underlying execution engine."""
+        return self._engine
+
+    # -- signal management -------------------------------------------------------
+
+    def fresh(self, name: str = None) -> Signal:
+        """Allocate an uninitialized dual-rail signal."""
+        alloc = self._engine.allocator
+        return Signal(pos=alloc.alloc(name), neg=alloc.alloc())
+
+    def release(self, signal: Signal) -> None:
+        """Return a signal's rows to the allocator.
+
+        Constant signals (built on the shared all-0/all-1 rows) are
+        left alone, so callers can release uniformly.
+        """
+        constants = {self._engine.zero_row, self._engine.one_row}
+        for row in (signal.pos, signal.neg):
+            if row not in constants:
+                self._engine.allocator.free(row)
+
+    def constant(self, value: int) -> Signal:
+        """The all-0 or all-1 constant signal."""
+        zero, one = self._engine.zero_row, self._engine.one_row
+        return Signal(pos=one, neg=zero) if value else Signal(pos=zero, neg=one)
+
+    def load(self, bits) -> Signal:
+        """Host-load a bit row as a dual-rail signal."""
+        import numpy as np
+
+        bits = np.asarray(bits, dtype=np.uint8)
+        signal = self.fresh()
+        self._engine.load(signal.pos, bits)
+        self._engine.load(signal.neg, (1 - bits).astype(np.uint8))
+        return signal
+
+    def read(self, signal: Signal):
+        """Host-read a signal's value rail."""
+        return self._engine.read(signal.pos)
+
+    # -- gates --------------------------------------------------------------------
+
+    def not_(self, a: Signal) -> Signal:
+        """Free inversion."""
+        return a.inverted()
+
+    def and_(self, a: Signal, b: Signal) -> Signal:
+        """AND, 2 MAJ3 operations (one per rail)."""
+        out = self.fresh()
+        zero, one = self._engine.zero_row, self._engine.one_row
+        self._engine.maj([a.pos, b.pos, zero], out.pos)
+        self._engine.maj([a.neg, b.neg, one], out.neg)
+        return out
+
+    def or_(self, a: Signal, b: Signal) -> Signal:
+        """OR, 2 MAJ3 operations."""
+        out = self.fresh()
+        zero, one = self._engine.zero_row, self._engine.one_row
+        self._engine.maj([a.pos, b.pos, one], out.pos)
+        self._engine.maj([a.neg, b.neg, zero], out.neg)
+        return out
+
+    def xor_(self, a: Signal, b: Signal) -> Signal:
+        """XOR = AND(OR(a,b), NAND(a,b)): 6 MAJ3 operations."""
+        disjunction = self.or_(a, b)
+        conjunction = self.and_(a, b)
+        result = self.and_(disjunction, conjunction.inverted())
+        self.release(disjunction)
+        self.release(conjunction)
+        return result
+
+    def mux(self, select: Signal, when_true: Signal, when_false: Signal) -> Signal:
+        """``select ? when_true : when_false`` -- 6 MAJ3 operations."""
+        taken = self.and_(select, when_true)
+        skipped = self.and_(select.inverted(), when_false)
+        result = self.or_(taken, skipped)
+        self.release(taken)
+        self.release(skipped)
+        return result
+
+    def full_adder(
+        self, a: Signal, b: Signal, carry_in: Signal
+    ) -> Tuple[Signal, Signal]:
+        """(sum, carry_out) of a 1-bit full addition.
+
+        MAJ3-only: carry = MAJ3 (2 ops) + sum = XOR(XOR(a,b),c)
+        (12 ops) = 14 ops.  With MAJ5: carry (2 ops) + the
+        ``sum = MAJ5(a, b, c, ~carry, ~carry)`` identity (2 ops) =
+        4 ops total.
+        """
+        carry = self.fresh()
+        self._engine.maj([a.pos, b.pos, carry_in.pos], carry.pos)
+        self._engine.maj([a.neg, b.neg, carry_in.neg], carry.neg)
+        if self._use_maj5:
+            total = self.fresh()
+            self._engine.maj(
+                [a.pos, b.pos, carry_in.pos, carry.neg, carry.neg], total.pos
+            )
+            self._engine.maj(
+                [a.neg, b.neg, carry_in.neg, carry.pos, carry.pos], total.neg
+            )
+        else:
+            partial = self.xor_(a, b)
+            total = self.xor_(partial, carry_in)
+            self.release(partial)
+        return total, carry

@@ -1,0 +1,211 @@
+"""Hyperdimensional computing on in-DRAM majority operations.
+
+HDC (paper refs [152-154]) represents symbols as very long random
+binary *hypervectors* and builds class prototypes by **bundling** --
+the component-wise majority of the training vectors.  Bundling is
+literally a MAJX operation, which makes the paper's MAJ5/7/9 a
+1-operation bundler for 5/7/9 training samples at a time: each DRAM
+column holds one hypervector component, and one APA bundles all
+columns at once.
+
+The pipeline here:
+
+- :class:`ItemMemory`: deterministic random hypervectors per symbol;
+- :class:`HdcClassifier`: trains class prototypes with in-DRAM MAJX
+  bundling (executed through :class:`~repro.casestudies.bitserial.
+  BitSerialEngine`), classifies by Hamming similarity;
+- binding (XOR) for key-value composition runs through the dual-rail
+  gate library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .. import rng
+from ..errors import ExperimentError
+from .bitserial import BitSerialEngine
+from .gates import DualRailGates
+
+
+class ItemMemory:
+    """Deterministic random hypervectors for named symbols."""
+
+    def __init__(self, dimensions: int, seed: int = 2024):
+        if dimensions < 8:
+            raise ExperimentError("hypervectors need at least 8 dimensions")
+        self._dimensions = dimensions
+        self._seed = seed
+        self._vectors: Dict[str, np.ndarray] = {}
+
+    @property
+    def dimensions(self) -> int:
+        """Components per hypervector."""
+        return self._dimensions
+
+    def vector(self, symbol: str) -> np.ndarray:
+        """The (cached) hypervector of a symbol."""
+        if symbol not in self._vectors:
+            self._vectors[symbol] = rng.uniform_bits(
+                self._dimensions, self._seed, "hdc-item", symbol
+            )
+        return self._vectors[symbol]
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of agreeing components (1.0 = identical)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ExperimentError("hypervector shapes differ")
+    return float(np.mean(a == b))
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """What the in-DRAM trainer did."""
+
+    classes: int
+    samples_bundled: int
+    majx_operations: int
+    bundle_width: int
+
+
+class HdcClassifier:
+    """Prototype-based HDC classifier with in-DRAM bundling.
+
+    ``bundle_width`` selects the MAJX used per bundling step (3, 5, 7,
+    or 9 -- capped by the module's vendor capability, footnote 11).
+    Training folds samples into the prototype ``bundle_width`` at a
+    time; an odd sample count per fold keeps the majority well
+    defined, so the trainer re-bundles the running prototype with the
+    next ``bundle_width - 1`` samples.
+    """
+
+    def __init__(self, engine: BitSerialEngine, bundle_width: int = 5):
+        if bundle_width not in (3, 5, 7, 9):
+            raise ExperimentError(
+                f"bundle width must be 3/5/7/9: {bundle_width}"
+            )
+        profile = engine._bench.module.profile  # noqa: SLF001 - introspection
+        if profile.max_reliable_majx < bundle_width:
+            raise ExperimentError(
+                f"manufacturer {profile.manufacturer!r} caps MAJX below "
+                f"{bundle_width} (footnote 11)"
+            )
+        self._engine = engine
+        self._width = bundle_width
+        self._prototypes: Dict[str, np.ndarray] = {}
+        self._majx_count = 0
+        self._samples = 0
+
+    @property
+    def dimensions(self) -> int:
+        """Hypervector dimensionality (one component per DRAM column)."""
+        return self._engine.columns
+
+    @property
+    def prototypes(self) -> Dict[str, np.ndarray]:
+        """Trained class prototypes (host-side copies)."""
+        return dict(self._prototypes)
+
+    def _bundle(self, vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """In-DRAM majority of an odd number of hypervectors."""
+        if len(vectors) % 2 == 0:
+            raise ExperimentError("bundling needs an odd number of vectors")
+        allocator = self._engine.allocator
+        rows = [allocator.alloc() for _ in range(len(vectors) + 1)]
+        try:
+            for row, vector in zip(rows, vectors):
+                self._engine.load(row, np.asarray(vector, dtype=np.uint8))
+            self._engine.maj(rows[:-1], rows[-1])
+            self._majx_count += 1
+            return self._engine.read(rows[-1])
+        finally:
+            for row in rows:
+                allocator.free(row)
+
+    def train(self, dataset: Dict[str, Sequence[np.ndarray]]) -> TrainingReport:
+        """Bundle each class's samples into a prototype.
+
+        The first fold bundles ``bundle_width`` raw samples; later
+        folds bundle the running prototype with the next
+        ``bundle_width - 1`` samples (prototype-weighted folding).
+        Sample counts must allow whole folds.
+        """
+        if not dataset:
+            raise ExperimentError("empty training set")
+        for label, samples in dataset.items():
+            samples = list(samples)
+            if len(samples) < self._width:
+                raise ExperimentError(
+                    f"class {label!r} needs at least {self._width} samples"
+                )
+            if (len(samples) - self._width) % (self._width - 1) != 0:
+                raise ExperimentError(
+                    f"class {label!r}: sample count must be "
+                    f"{self._width} + k*{self._width - 1}"
+                )
+            prototype = self._bundle(samples[: self._width])
+            cursor = self._width
+            while cursor < len(samples):
+                fold = [prototype] + samples[cursor : cursor + self._width - 1]
+                prototype = self._bundle(fold)
+                cursor += self._width - 1
+            self._prototypes[label] = prototype
+            self._samples += len(samples)
+        return TrainingReport(
+            classes=len(self._prototypes),
+            samples_bundled=self._samples,
+            majx_operations=self._majx_count,
+            bundle_width=self._width,
+        )
+
+    def classify(self, query: np.ndarray) -> str:
+        """Nearest prototype by Hamming similarity."""
+        if not self._prototypes:
+            raise ExperimentError("classifier is untrained")
+        return max(
+            self._prototypes,
+            key=lambda label: hamming_similarity(
+                query, self._prototypes[label]
+            ),
+        )
+
+    def similarities(self, query: np.ndarray) -> Dict[str, float]:
+        """Similarity of a query to every prototype."""
+        return {
+            label: hamming_similarity(query, prototype)
+            for label, prototype in self._prototypes.items()
+        }
+
+
+def bind(gates: DualRailGates, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """HDC binding (component-wise XOR), executed in-DRAM."""
+    left = gates.load(np.asarray(a, dtype=np.uint8))
+    right = gates.load(np.asarray(b, dtype=np.uint8))
+    bound = gates.xor_(left, right)
+    result = gates.read(bound)
+    for signal in (left, right, bound):
+        gates.release(signal)
+    return result
+
+
+def noisy_samples(
+    prototype: np.ndarray, count: int, flip_fraction: float, *tokens
+) -> List[np.ndarray]:
+    """Training/query samples: the prototype with random bit flips."""
+    if not 0.0 <= flip_fraction < 0.5:
+        raise ExperimentError("flip fraction must be in [0, 0.5)")
+    prototype = np.asarray(prototype, dtype=np.uint8)
+    samples = []
+    for index in range(count):
+        flips = (
+            rng.generator("hdc-noise", index, *tokens).random(prototype.size)
+            < flip_fraction
+        )
+        samples.append((prototype ^ flips.astype(np.uint8)).astype(np.uint8))
+    return samples

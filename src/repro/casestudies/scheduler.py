@@ -1,0 +1,137 @@
+"""Trace-to-ISA compilation: turn a recorded in-DRAM computation into
+a replayable Bender program.
+
+The full software stack of a real deployment: expressions compile to
+gate netlists (:mod:`compiler`), gates execute as engine operations
+(:mod:`bitserial`), and this module lowers the recorded operation
+trace into one :class:`~repro.bender.isa.IsaProgram` -- the artifact
+you would actually upload to the FPGA to run the computation without
+host involvement.  Host ``load`` operations stay host-side (they
+carry data) and are returned separately as the program's input
+staging list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..bender.isa import IsaProgram, IsaProgramBuilder
+from ..errors import ExperimentError
+from .bitserial import BitSerialEngine, TraceOp
+
+TICKS_T_RAS = 24  # 36 ns
+TICKS_ROWCLONE_T2 = 4  # 6 ns
+TICKS_MAJ_T1 = 1  # 1.5 ns
+TICKS_MAJ_T2 = 2  # 3 ns
+TICKS_FRAC_T1 = 2  # 3 ns (inside the Frac window)
+TICKS_RECOVERY = 40  # quiesce between operations
+TICKS_T_RP = 9  # 13.5 ns
+
+
+@dataclass(frozen=True)
+class CompiledComputation:
+    """An exported computation: staging data + the command kernel."""
+
+    program: IsaProgram
+    staged_rows: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    """(local row, bits) pairs the host must write before launch."""
+    operation_count: int
+
+    def staged_dict(self) -> Dict[int, np.ndarray]:
+        """Staging data as arrays keyed by local row."""
+        return {
+            row: np.array(bits, dtype=np.uint8)
+            for row, bits in self.staged_rows
+        }
+
+
+def export_trace(
+    trace: List[TraceOp], bank: int, base_row: int
+) -> CompiledComputation:
+    """Lower an engine trace to an ISA program.
+
+    ``base_row`` is the bank-level row of the engine subarray's row 0
+    (``subarray_index * subarray_rows``).
+    """
+    if not trace:
+        raise ExperimentError("empty trace: enable record_trace on the engine")
+    builder = IsaProgramBuilder()
+    builder.li(0, bank)
+    staged: List[Tuple[int, Tuple[int, ...]]] = []
+    operations = 0
+    for op in trace:
+        if op.kind == "load":
+            if op.data is None:
+                raise ExperimentError("load trace entry lost its data")
+            staged.append((op.rows[0], op.data))
+            continue
+        operations += 1
+        if op.kind == "rowclone":
+            src, dst = op.rows
+            builder.li(1, base_row + src)
+            builder.li(2, base_row + dst)
+            builder.act(0, 1)
+            builder.sleep(TICKS_T_RAS)
+            builder.pre(0)
+            builder.sleep(TICKS_ROWCLONE_T2)
+            builder.act(0, 2)
+            builder.sleep(TICKS_T_RAS)
+            builder.pre(0)
+            builder.sleep(TICKS_RECOVERY)
+        elif op.kind == "frac":
+            for row in op.rows:
+                builder.li(1, base_row + row)
+                builder.act(0, 1)
+                builder.sleep(TICKS_FRAC_T1)
+                builder.pre(0)
+                builder.sleep(TICKS_RECOVERY)
+        elif op.kind == "maj":
+            rf, rs = op.rows
+            builder.li(1, base_row + rf)
+            builder.li(2, base_row + rs)
+            builder.act(0, 1)
+            builder.sleep(TICKS_MAJ_T1)
+            builder.pre(0)
+            builder.sleep(TICKS_MAJ_T2)
+            builder.act(0, 2)
+            builder.sleep(TICKS_T_RAS)
+            builder.pre(0)
+            builder.sleep(TICKS_RECOVERY)
+        else:
+            raise ExperimentError(f"unknown trace op {op.kind!r}")
+    builder.end()
+    return CompiledComputation(
+        program=builder.build(),
+        staged_rows=tuple(staged),
+        operation_count=operations,
+    )
+
+
+def export_engine(engine: BitSerialEngine) -> CompiledComputation:
+    """Export everything the engine recorded since construction."""
+    return export_trace(
+        engine.trace,
+        bank=engine._bank_index,  # noqa: SLF001 - deliberate introspection
+        base_row=engine._base,  # noqa: SLF001
+    )
+
+
+def replay(
+    compiled: CompiledComputation,
+    bench,
+    bank: int = 0,
+    base_row: int = 0,
+) -> None:
+    """Stage the inputs and replay the kernel on a (fresh) bench."""
+    from ..bender.isa import ProgramCore
+
+    device_bank = bench.module.bank(bank)
+    for row, bits in compiled.staged_rows:
+        device_bank.write_row(
+            base_row + row, np.array(bits, dtype=np.uint8)
+        )
+    core = ProgramCore()
+    bench.run(core.run(compiled.program))

@@ -1,0 +1,70 @@
+"""Majority-based error correction (section 8.1, "Majority-based
+Error Correction Operations").
+
+Triple modular redundancy (TMR) stores three copies of data and
+majority-votes reads; MAJX generalizes it to X-copy redundancy
+tolerating ``(X-1)/2`` faults per bit.  These helpers quantify that
+fault tolerance and run the vote through the in-DRAM MAJX machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..bender.testbench import TestBench
+from ..core.majority import execute_majx, plan_majx
+from ..core.rowgroups import sample_groups
+from ..errors import ExperimentError
+
+
+def majority_vote_correct(
+    bench: TestBench,
+    bank: int,
+    copies: Sequence[np.ndarray],
+    subarray: int = 0,
+) -> np.ndarray:
+    """Vote X stored copies into a corrected value using in-DRAM MAJX."""
+    x = len(copies)
+    if x % 2 == 0 or x < 3:
+        raise ExperimentError(f"voting needs an odd number >= 3 of copies: {x}")
+    profile = bench.module.profile
+    if profile.max_reliable_majx < x:
+        raise ExperimentError(
+            f"manufacturer {profile.manufacturer!r} cannot vote {x} copies"
+        )
+    size = next(s for s in (4, 8, 16, 32) if s >= x)
+    group = sample_groups(
+        subarray, profile.subarray_rows, size, 1, "tmr-vote", x
+    )[0]
+    plan = plan_majx(x, group)
+    result = execute_majx(bench, bank, plan, list(copies))
+    return result.result_bits
+
+
+def tmr_fault_tolerance(x: int) -> int:
+    """Faulty copies an X-way vote tolerates per bit: (X-1)/2."""
+    if x % 2 == 0 or x < 3:
+        raise ExperimentError(f"X must be odd and >= 3: {x}")
+    return (x - 1) // 2
+
+
+def vote_failure_probability(x: int, bit_error_rate: float) -> float:
+    """Probability an X-way vote returns the wrong bit.
+
+    Independent per-copy bit errors at rate ``p``: the vote fails when
+    more than (X-1)/2 copies are wrong.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ExperimentError("bit error rate must be a probability")
+    threshold = (x + 1) // 2
+    total = 0.0
+    for wrong in range(threshold, x + 1):
+        total += (
+            math.comb(x, wrong)
+            * bit_error_rate**wrong
+            * (1.0 - bit_error_rate) ** (x - wrong)
+        )
+    return total

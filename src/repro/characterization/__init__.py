@@ -1,0 +1,87 @@
+"""Characterization harness reproducing the paper's sections 4-6.
+
+The harness mirrors the paper's methodology (section 3.1): per module,
+randomly select subarrays per bank, randomly sample row groups per
+activation size, run repeated trials of each operation, and report the
+distribution of per-group success rates across everything tested.
+"""
+
+from .stats import DistributionSummary, summarize
+from .experiment import CharacterizationScope, OperatingPoint
+from .activation import (
+    activation_success_distribution,
+    figure3_timing_grid,
+    figure4a_temperature,
+    figure4b_voltage,
+)
+from .majority import (
+    majx_success_distribution,
+    majx_sizes_for,
+    figure6_maj3_grid,
+    figure7_patterns,
+    figure8_temperature,
+    figure9_voltage,
+)
+from .rowcopy import (
+    multi_row_copy_distribution,
+    figure10_timing_grid,
+    figure11_patterns,
+    figure12a_temperature,
+    figure12b_voltage,
+)
+from .report import format_distribution_table, format_series_table
+from .disturbance import DisturbanceReport, disturbance_check
+from .fleet import baseline_yield, best_group_yields, per_manufacturer_scopes
+from .variability import manufacturer_gap, module_spread, per_module_majx
+from .convergence import majx_convergence_curve, overestimate_at
+from .store import ResultStore
+from .campaign import Campaign, CampaignResult
+from .timing_search import (
+    TimingSearchResult,
+    best_activation_timing,
+    best_copy_timing,
+    best_majx_timing,
+    search_timings,
+)
+
+__all__ = [
+    "DistributionSummary",
+    "summarize",
+    "CharacterizationScope",
+    "OperatingPoint",
+    "activation_success_distribution",
+    "figure3_timing_grid",
+    "figure4a_temperature",
+    "figure4b_voltage",
+    "majx_success_distribution",
+    "majx_sizes_for",
+    "figure6_maj3_grid",
+    "figure7_patterns",
+    "figure8_temperature",
+    "figure9_voltage",
+    "multi_row_copy_distribution",
+    "figure10_timing_grid",
+    "figure11_patterns",
+    "figure12a_temperature",
+    "figure12b_voltage",
+    "format_distribution_table",
+    "format_series_table",
+    "DisturbanceReport",
+    "disturbance_check",
+    "baseline_yield",
+    "best_group_yields",
+    "per_manufacturer_scopes",
+    "manufacturer_gap",
+    "module_spread",
+    "per_module_majx",
+    "majx_convergence_curve",
+    "overestimate_at",
+    "ResultStore",
+    "Campaign",
+    "CampaignResult",
+    "TimingSearchResult",
+    "best_activation_timing",
+    "best_copy_timing",
+    "best_majx_timing",
+    "search_timings",
+]

@@ -1,0 +1,180 @@
+"""Campaign runner: the paper's whole experimental sweep as one call.
+
+A :class:`Campaign` executes a configurable subset of the paper's
+characterizations (sections 4-6) over a scope, persists every result
+through :class:`~repro.characterization.store.ResultStore`, and
+renders a combined text report.  This is the entry point a lab would
+script for an overnight run; the scaled-down defaults finish in
+minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from .activation import figure3_timing_grid, figure4a_temperature, figure4b_voltage
+from .experiment import CharacterizationScope
+from .majority import (
+    figure6_maj3_grid,
+    figure7_patterns,
+    figure8_temperature,
+    figure9_voltage,
+)
+from .report import format_distribution_table, format_series_table
+from .rowcopy import (
+    figure10_timing_grid,
+    figure11_patterns,
+    figure12a_temperature,
+    figure12b_voltage,
+)
+from .store import ResultStore
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig3": figure3_timing_grid,
+    "fig4a": figure4a_temperature,
+    "fig4b": figure4b_voltage,
+    "fig6": figure6_maj3_grid,
+    "fig7": figure7_patterns,
+    "fig8": figure8_temperature,
+    "fig9": figure9_voltage,
+    "fig10": figure10_timing_grid,
+    "fig11": figure11_patterns,
+    "fig12a": figure12a_temperature,
+    "fig12b": figure12b_voltage,
+}
+"""Every section 4-6 experiment the campaign can run, by figure id."""
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run."""
+
+    completed: List[str] = field(default_factory=list)
+    stored_at: Optional[Path] = None
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def summary_lines(self) -> List[str]:
+        """One line per completed experiment."""
+        return [f"  {name}: done" for name in self.completed]
+
+
+class Campaign:
+    """Runs and persists a set of figure experiments."""
+
+    def __init__(
+        self,
+        scope: CharacterizationScope,
+        store: Optional[ResultStore] = None,
+    ):
+        self._scope = scope
+        self._store = store
+
+    @property
+    def scope(self) -> CharacterizationScope:
+        """The device/test scope in force."""
+        return self._scope
+
+    def run(
+        self, experiments: Sequence[str] = ("fig3", "fig6", "fig10")
+    ) -> CampaignResult:
+        """Execute the named experiments in order."""
+        unknown = [name for name in experiments if name not in EXPERIMENTS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}"
+            )
+        if not experiments:
+            raise ExperimentError("campaign needs at least one experiment")
+        result = CampaignResult()
+        for name in experiments:
+            data = EXPERIMENTS[name](self._scope)
+            result.data[name] = data
+            result.completed.append(name)
+            if self._store is not None:
+                config = self._scope.benches[0].module.config
+                self._store.save(
+                    name,
+                    _storable(data),
+                    config=config,
+                    notes=f"campaign experiment {name}",
+                )
+        if self._store is not None:
+            result.stored_at = Path(self._store._directory)  # noqa: SLF001
+        return result
+
+    def render(self, result: CampaignResult) -> str:
+        """Human-readable report of a campaign's results."""
+        sections: List[str] = []
+        for name in result.completed:
+            data = result.data[name]
+            sections.append(_render_experiment(name, data))
+        return "\n\n".join(sections)
+
+
+def _storable(data):
+    """Convert tuple keys (t1, t2) to strings for JSON persistence."""
+    if isinstance(data, dict):
+        return {
+            (
+                ",".join(str(part) for part in key)
+                if isinstance(key, tuple)
+                else str(key)
+            ): _storable(value)
+            for key, value in data.items()
+        }
+    return data
+
+
+def _render_experiment(name: str, data) -> str:
+    """Best-effort rendering of one experiment's data structure."""
+    from .stats import DistributionSummary
+
+    if not isinstance(data, dict) or not data:
+        return f"{name}: {data!r}"
+    sample = next(iter(data.values()))
+    if isinstance(sample, dict) and sample and isinstance(
+        next(iter(sample.values())), DistributionSummary
+    ):
+        blocks = []
+        for key, cell in data.items():
+            rows = {str(inner): summary for inner, summary in cell.items()}
+            blocks.append(
+                format_distribution_table(f"{name} [{key}] (%)", rows)
+            )
+        return "\n".join(blocks)
+    if isinstance(sample, dict):
+        # Possibly nested one level deeper (fig7) or plain series.
+        inner_sample = next(iter(sample.values())) if sample else None
+        if isinstance(inner_sample, dict):
+            blocks = []
+            for key, cell in data.items():
+                flattened = {}
+                for mid, leaf in cell.items():
+                    if isinstance(leaf, dict):
+                        for inner, value in leaf.items():
+                            label = f"{mid} @{inner}"
+                            flattened[label] = value
+                    else:
+                        flattened[str(mid)] = leaf
+                if flattened and isinstance(
+                    next(iter(flattened.values())), DistributionSummary
+                ):
+                    blocks.append(
+                        format_distribution_table(f"{name} [{key}] (%)", flattened)
+                    )
+                else:
+                    blocks.append(
+                        format_series_table(
+                            f"{name} [{key}]", {str(key): flattened}
+                        )
+                    )
+            return "\n".join(blocks)
+        series = {str(key): value for key, value in data.items()}
+        return format_series_table(f"{name} (%)", series)
+    if isinstance(sample, DistributionSummary):
+        rows = {str(key): value for key, value in data.items()}
+        return format_distribution_table(f"{name} (%)", rows)
+    return f"{name}: {data!r}"

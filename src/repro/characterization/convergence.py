@@ -1,0 +1,80 @@
+"""Convergence of the success-rate metric with trial count.
+
+The paper's metric counts a cell as successful only if it is correct
+in **every** trial (section 3.1), so measured success *decreases
+monotonically* toward the stable-cell fraction as trials accumulate:
+an unstable cell flips a fair coin each trial and survives T trials
+with probability 2^-T.  Short campaigns therefore overestimate
+low-success operations (MAJ9 most visibly).  This module measures the
+convergence curve, so scaled-down reproductions can report how far
+from the asymptote their trial budget leaves them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.majority import execute_majx, plan_majx
+from ..core.success import SuccessRateAccumulator
+from ..errors import ExperimentError
+from .experiment import CharacterizationScope, OperatingPoint
+from .majority import MAJX_POINT
+
+
+def majx_convergence_curve(
+    scope: CharacterizationScope,
+    x: int,
+    n_rows: int,
+    trial_checkpoints: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    point: OperatingPoint = MAJX_POINT,
+) -> Dict[int, float]:
+    """Mean measured success after T trials, for several T.
+
+    Returns ``{T: mean success across groups}``; the values are
+    non-increasing in T and converge to the stable-cell fraction.
+    """
+    if not trial_checkpoints:
+        raise ExperimentError("need at least one checkpoint")
+    checkpoints = sorted(set(trial_checkpoints))
+    max_trials = checkpoints[-1]
+    scope.apply_environment(point)
+    per_checkpoint: Dict[int, List[float]] = {t: [] for t in checkpoints}
+    for bench, bank, subarray in scope.iter_sites():
+        profile = bench.module.profile
+        if profile.max_reliable_majx < x:
+            continue
+        columns = bench.module.config.columns_per_row
+        for group in scope.groups_for(bench, bank, subarray, n_rows):
+            plan = plan_majx(x, group)
+            accumulator = SuccessRateAccumulator(columns)
+            for trial in range(max_trials):
+                operands = [
+                    point.pattern.operand_bits(
+                        columns, op, bench.module.serial, bank, trial
+                    )
+                    for op in range(x)
+                ]
+                outcome = execute_majx(
+                    bench, bank, plan, operands,
+                    t1_ns=point.t1_ns, t2_ns=point.t2_ns,
+                )
+                accumulator.record(outcome.correct)
+                if (trial + 1) in per_checkpoint:
+                    per_checkpoint[trial + 1].append(accumulator.success_rate)
+    if not per_checkpoint[checkpoints[0]]:
+        raise ExperimentError(f"no module in scope supports MAJ{x}")
+    return {
+        t: float(np.mean(values)) for t, values in per_checkpoint.items()
+    }
+
+
+def overestimate_at(
+    curve: Dict[int, float], budget_trials: int
+) -> float:
+    """How far a given trial budget sits above the curve's last point."""
+    if budget_trials not in curve:
+        raise ExperimentError(f"no checkpoint at {budget_trials} trials")
+    asymptote = curve[max(curve)]
+    return curve[budget_trials] - asymptote

@@ -1,0 +1,117 @@
+"""Section 9, Limitation 3: disturbance outside the activated group.
+
+The paper repeats each PUD operation 10000 times per row group and
+checks the *whole bank* for bitflips, observing none outside the
+simultaneously activated rows.  This experiment reproduces that
+check: initialize a set of bystander rows (including the activated
+rows' direct neighbours, the classic RowHammer victims), hammer the
+APA, and count any bystander bit that ever changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..bender.program import apa_program
+from ..bender.testbench import TestBench
+from ..core.patterns import DataPattern, PATTERN_RANDOM
+from ..core.rowgroups import RowGroup
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class DisturbanceReport:
+    """Outcome of one disturbance check."""
+
+    group: RowGroup
+    trials: int
+    bystander_rows: Tuple[int, ...]
+    flipped_bits: int
+    flipped_rows: Tuple[int, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when no bystander bit ever flipped (the paper's result)."""
+        return self.flipped_bits == 0
+
+
+def bystander_rows_for(
+    group: RowGroup, subarray_rows: int, extra: Sequence[int] = ()
+) -> List[int]:
+    """Bystanders to monitor: every neighbour of an activated row,
+    plus the subarray's first/last rows and any caller extras."""
+    base = group.subarray * subarray_rows
+    activated = set(group.rows)
+    candidates = set()
+    for row in activated:
+        for neighbour in (row - 1, row + 1):
+            if 0 <= neighbour < subarray_rows and neighbour not in activated:
+                candidates.add(neighbour)
+    candidates.add(0)
+    candidates.add(subarray_rows - 1)
+    candidates -= activated
+    candidates.update(e for e in extra if e not in activated)
+    return sorted(base + row for row in candidates)
+
+
+def disturbance_check(
+    bench: TestBench,
+    bank: int,
+    group: RowGroup,
+    trials: int = 256,
+    t1_ns: float = 1.5,
+    t2_ns: float = 3.0,
+    pattern: DataPattern = PATTERN_RANDOM,
+) -> DisturbanceReport:
+    """Hammer one APA row group and audit the bystanders.
+
+    The activated rows are re-initialized per trial (their content is
+    consumed by the operation); the bystanders are written once and
+    must hold their exact data through every trial.
+    """
+    if trials < 1:
+        raise ExperimentError("trials must be positive")
+    profile = bench.module.profile
+    subarray_rows = profile.subarray_rows
+    device_bank = bench.module.bank(bank)
+    columns = bench.module.config.columns_per_row
+
+    bystanders = bystander_rows_for(group, subarray_rows)
+    reference: Dict[int, np.ndarray] = {}
+    for row in bystanders:
+        bits = pattern.row_bits(columns, "disturb-bystander", row)
+        device_bank.write_row(row, bits)
+        reference[row] = bits
+
+    rf_global, rs_global = group.global_pair(subarray_rows)
+    flipped_bits = 0
+    flipped_rows = set()
+    for trial in range(trials):
+        for global_row in group.global_rows(subarray_rows):
+            device_bank.write_row(
+                global_row,
+                pattern.row_bits(columns, "disturb-active", global_row, trial),
+            )
+        bench.run(apa_program(bank, rf_global, rs_global, t1_ns, t2_ns))
+        # Audit a rotating subset each trial plus a full audit at the
+        # end, mirroring how long hammer campaigns batch their checks.
+        probe = bystanders[trial % len(bystanders)]
+        flips = int(np.sum(device_bank.read_row(probe) != reference[probe]))
+        if flips:
+            flipped_bits += flips
+            flipped_rows.add(probe)
+    for row in bystanders:
+        flips = int(np.sum(device_bank.read_row(row) != reference[row]))
+        if flips:
+            flipped_bits += flips
+            flipped_rows.add(row)
+    return DisturbanceReport(
+        group=group,
+        trials=trials,
+        bystander_rows=tuple(bystanders),
+        flipped_bits=flipped_bits,
+        flipped_rows=tuple(sorted(flipped_rows)),
+    )

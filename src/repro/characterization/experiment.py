@@ -1,0 +1,141 @@
+"""Experiment scaffolding shared by all characterizations.
+
+:class:`CharacterizationScope` describes *what gets tested*: which
+module instances, which banks, which subarrays, how many row groups
+per activation size, and how many trials per group -- the knobs of
+the paper's "Number of Instances Tested" paragraph (section 3.1:
+3 subarrays x 16 banks x 100 groups x 5 sizes per module).  Scaled-
+down scopes keep the same structure with smaller counts.
+
+:class:`OperatingPoint` describes *the conditions*: APA timings,
+temperature, wordline voltage, and data pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Sequence, Tuple
+
+from ..bender.testbench import TestBench
+from ..config import DEFAULT_CONFIG, SimulationConfig
+from ..core.patterns import DataPattern, PATTERN_RANDOM
+from ..core.rowgroups import RowGroup, sample_groups
+from ..dram.vendor import ModuleSpec, TESTED_MODULES
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Environmental and timing conditions of one measurement."""
+
+    t1_ns: float = 3.0
+    t2_ns: float = 3.0
+    temperature_c: float = 50.0
+    vpp: float = 2.5
+    pattern: DataPattern = PATTERN_RANDOM
+
+    def with_timing(self, t1_ns: float, t2_ns: float) -> "OperatingPoint":
+        """Copy with different APA timings."""
+        return replace(self, t1_ns=t1_ns, t2_ns=t2_ns)
+
+    def with_temperature(self, temperature_c: float) -> "OperatingPoint":
+        """Copy at a different chip temperature."""
+        return replace(self, temperature_c=temperature_c)
+
+    def with_vpp(self, vpp: float) -> "OperatingPoint":
+        """Copy at a different wordline voltage."""
+        return replace(self, vpp=vpp)
+
+    def with_pattern(self, pattern: DataPattern) -> "OperatingPoint":
+        """Copy with a different data pattern."""
+        return replace(self, pattern=pattern)
+
+
+@dataclass
+class CharacterizationScope:
+    """What to test: devices, locations, group counts, trials."""
+
+    benches: List[TestBench]
+    banks: Sequence[int] = (0,)
+    subarrays: Sequence[int] = (0,)
+    groups_per_size: int = 4
+    trials: int = 8
+    seed_tag: str = "characterization"
+
+    def __post_init__(self) -> None:
+        if not self.benches:
+            raise ExperimentError("scope needs at least one test bench")
+        if self.groups_per_size < 1 or self.trials < 1:
+            raise ExperimentError("group and trial counts must be positive")
+
+    @classmethod
+    def build(
+        cls,
+        config: SimulationConfig = DEFAULT_CONFIG,
+        specs: Sequence[ModuleSpec] = TESTED_MODULES,
+        modules_per_spec: int = 1,
+        banks: Sequence[int] = (0,),
+        subarrays: Sequence[int] = (0,),
+        groups_per_size: int = 4,
+        trials: int = 8,
+    ) -> "CharacterizationScope":
+        """Build benches for module instances of the given catalog specs."""
+        benches = [
+            TestBench.for_spec(spec, instance, config=config)
+            for spec in specs
+            for instance in range(min(modules_per_spec, spec.n_modules))
+        ]
+        return cls(
+            benches=benches,
+            banks=banks,
+            subarrays=subarrays,
+            groups_per_size=groups_per_size,
+            trials=trials,
+        )
+
+    @classmethod
+    def quick(
+        cls,
+        config: SimulationConfig = None,
+        specs: Sequence[ModuleSpec] = TESTED_MODULES,
+    ) -> "CharacterizationScope":
+        """A scope sized for tests and smoke benchmarks."""
+        if config is None:
+            config = SimulationConfig.quick()
+        return cls.build(
+            config=config,
+            specs=specs,
+            modules_per_spec=1,
+            banks=(0,),
+            subarrays=(0,),
+            groups_per_size=3,
+            trials=6,
+        )
+
+    def apply_environment(self, point: OperatingPoint) -> None:
+        """Drive every bench's rig to the operating point."""
+        for bench in self.benches:
+            bench.set_temperature(point.temperature_c)
+            bench.set_vpp(point.vpp)
+
+    def iter_sites(self) -> Iterator[Tuple[TestBench, int, int]]:
+        """Yield every (bench, bank, subarray) test site."""
+        for bench in self.benches:
+            for bank in self.banks:
+                for subarray in self.subarrays:
+                    yield bench, bank, subarray
+
+    def groups_for(
+        self, bench: TestBench, bank: int, subarray: int, group_size: int
+    ) -> List[RowGroup]:
+        """The sampled row groups for one site and activation size."""
+        subarray_rows = bench.module.profile.subarray_rows
+        return sample_groups(
+            subarray,
+            subarray_rows,
+            group_size,
+            self.groups_per_size,
+            self.seed_tag,
+            bench.module.serial,
+            bank,
+        )

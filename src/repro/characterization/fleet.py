@@ -1,0 +1,76 @@
+"""Fleet-level characterization: per-manufacturer breakdowns.
+
+The paper reports several results split by manufacturer (Mfr. H vs
+Mfr. M): subarray geometries, MAJX capability caps (footnote 11), and
+the Fig 16 throughput inputs.  This module builds per-manufacturer
+scopes over the tested-module catalog and extracts the
+*best-row-group* success rates that the section 8.1 methodology feeds
+into the microbenchmark model ("we then choose the group of rows ...
+which produces the highest throughput").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..config import DEFAULT_CONFIG, SimulationConfig
+from ..dram.vendor import MFR_H, MFR_M, TESTED_MODULES
+from ..errors import ExperimentError
+from .experiment import CharacterizationScope
+from .majority import MAJX_POINT, majx_success_distribution
+
+MANUFACTURERS = (MFR_H, MFR_M)
+
+
+def per_manufacturer_scopes(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    modules_per_spec: int = 1,
+    groups_per_size: int = 4,
+    trials: int = 8,
+) -> Dict[str, CharacterizationScope]:
+    """One scope per manufacturer over the tested-module catalog."""
+    scopes: Dict[str, CharacterizationScope] = {}
+    for manufacturer in MANUFACTURERS:
+        specs = [
+            spec
+            for spec in TESTED_MODULES
+            if spec.profile.manufacturer == manufacturer
+        ]
+        scopes[manufacturer] = CharacterizationScope.build(
+            config=config,
+            specs=specs,
+            modules_per_spec=modules_per_spec,
+            groups_per_size=groups_per_size,
+            trials=trials,
+        )
+    return scopes
+
+
+def best_group_yields(
+    scope: CharacterizationScope,
+    n_rows: int = 32,
+    x_values: Sequence[int] = (3, 5, 7, 9),
+) -> Dict[int, float]:
+    """Highest-success-rate row group per MAJ width (section 8.1 input).
+
+    Widths beyond the scope's vendor capability are omitted, matching
+    the paper's per-manufacturer feature set.
+    """
+    capability = max(
+        bench.module.profile.max_reliable_majx for bench in scope.benches
+    )
+    yields: Dict[int, float] = {}
+    for x in x_values:
+        if x > capability:
+            continue
+        summary = majx_success_distribution(scope, x, n_rows, MAJX_POINT)
+        yields[x] = max(summary.maximum, 1e-3)
+    if not yields:
+        raise ExperimentError("scope has no MAJX-capable modules")
+    return yields
+
+
+def baseline_yield(scope: CharacterizationScope) -> float:
+    """Best-group MAJ3 @ 4-row success (the Fig 16 baseline input)."""
+    summary = majx_success_distribution(scope, 3, 4, MAJX_POINT)
+    return max(summary.maximum, 1e-3)

@@ -1,0 +1,164 @@
+"""Section 5: characterization of MAJX operations.
+
+Reproduces the data behind Fig 6 (MAJ3 timing/size grid), Fig 7
+(MAJX vs data pattern), Fig 8 (temperature), and Fig 9 (voltage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.majority import execute_majx, plan_majx
+from ..core.patterns import DataPattern, MAJX_TESTED_PATTERNS
+from ..core.success import SuccessRateAccumulator
+from ..errors import ExperimentError
+from .experiment import CharacterizationScope, OperatingPoint
+from .stats import DistributionSummary, summarize
+
+MAJX_VALUES = (3, 5, 7, 9)
+"""The X values the paper demonstrates (footnote 11 caps higher X)."""
+
+MAJ_SIZES = (4, 8, 16, 32)
+"""Activation sizes used for MAJ experiments."""
+
+FIG6_T1_VALUES = (1.5, 3.0)
+FIG6_T2_VALUES = (1.5, 3.0)
+
+FIG8_TEMPERATURES = (50.0, 60.0, 70.0, 80.0, 90.0)
+FIG9_VPP_LEVELS = (2.5, 2.4, 2.3, 2.2, 2.1)
+
+MAJX_POINT = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+"""The best MAJX timing configuration (Obs 7)."""
+
+
+def majx_sizes_for(x: int, sizes: Sequence[int] = MAJ_SIZES) -> Tuple[int, ...]:
+    """Activation sizes large enough to host MAJX operands."""
+    return tuple(n for n in sizes if n >= x)
+
+
+def majx_success_distribution(
+    scope: CharacterizationScope,
+    x: int,
+    n_rows: int,
+    point: OperatingPoint,
+) -> DistributionSummary:
+    """Success-rate distribution of MAJX with N-row activation.
+
+    Modules whose vendor cannot reach this X (footnote 11: Mfr. M
+    stops at MAJ7) are skipped, mirroring the paper's omission of
+    <1%-success operations; if no module qualifies an error is raised.
+    """
+    if n_rows < x:
+        raise ExperimentError(f"{n_rows}-row activation cannot host MAJ{x}")
+    scope.apply_environment(point)
+    rates: List[float] = []
+    for bench, bank, subarray in scope.iter_sites():
+        profile = bench.module.profile
+        if profile.max_reliable_majx < x:
+            continue
+        columns = bench.module.config.columns_per_row
+        for group in scope.groups_for(bench, bank, subarray, n_rows):
+            plan = plan_majx(x, group)
+            accumulator = SuccessRateAccumulator(columns)
+            for trial in range(scope.trials):
+                operands = [
+                    point.pattern.operand_bits(
+                        columns, op, bench.module.serial, bank, trial
+                    )
+                    for op in range(x)
+                ]
+                result = execute_majx(
+                    bench, bank, plan, operands,
+                    t1_ns=point.t1_ns, t2_ns=point.t2_ns,
+                )
+                accumulator.record(result.correct)
+            rates.append(accumulator.success_rate)
+    if not rates:
+        raise ExperimentError(
+            f"no module in scope supports MAJ{x} (vendor capability caps)"
+        )
+    return summarize(rates)
+
+
+def figure6_maj3_grid(
+    scope: CharacterizationScope,
+    sizes: Sequence[int] = MAJ_SIZES,
+    t1_values: Sequence[float] = FIG6_T1_VALUES,
+    t2_values: Sequence[float] = FIG6_T2_VALUES,
+) -> Dict[Tuple[float, float], Dict[int, DistributionSummary]]:
+    """Fig 6: MAJ3 success over the (t1, t2) grid and activation sizes."""
+    grid: Dict[Tuple[float, float], Dict[int, DistributionSummary]] = {}
+    for t1 in t1_values:
+        for t2 in t2_values:
+            point = MAJX_POINT.with_timing(t1, t2)
+            grid[(t1, t2)] = {
+                n: majx_success_distribution(scope, 3, n, point)
+                for n in sizes
+            }
+    return grid
+
+
+def figure7_patterns(
+    scope: CharacterizationScope,
+    x_values: Sequence[int] = MAJX_VALUES,
+    patterns: Sequence[DataPattern] = MAJX_TESTED_PATTERNS,
+    sizes: Sequence[int] = MAJ_SIZES,
+) -> Dict[int, Dict[str, Dict[int, DistributionSummary]]]:
+    """Fig 7: MAJX success by data pattern and activation size.
+
+    Returns ``result[x][pattern_kind][n_rows]``.
+    """
+    supported = {
+        x
+        for x in x_values
+        if any(b.module.profile.max_reliable_majx >= x for b in scope.benches)
+    }
+    result: Dict[int, Dict[str, Dict[int, DistributionSummary]]] = {}
+    for x in x_values:
+        if x not in supported:
+            continue
+        per_pattern: Dict[str, Dict[int, DistributionSummary]] = {}
+        for pattern in patterns:
+            point = MAJX_POINT.with_pattern(pattern)
+            per_pattern[pattern.kind] = {
+                n: majx_success_distribution(scope, x, n, point)
+                for n in majx_sizes_for(x, sizes)
+            }
+        result[x] = per_pattern
+    return result
+
+
+def figure8_temperature(
+    scope: CharacterizationScope,
+    x_values: Sequence[int] = MAJX_VALUES,
+    temperatures: Sequence[float] = FIG8_TEMPERATURES,
+    n_rows: int = 32,
+) -> Dict[int, Dict[float, DistributionSummary]]:
+    """Fig 8: MAJX success distribution vs chip temperature."""
+    result: Dict[int, Dict[float, DistributionSummary]] = {}
+    for x in x_values:
+        if not any(b.module.profile.max_reliable_majx >= x for b in scope.benches):
+            continue
+        result[x] = {}
+        for temp in temperatures:
+            point = MAJX_POINT.with_temperature(temp)
+            result[x][temp] = majx_success_distribution(scope, x, n_rows, point)
+    return result
+
+
+def figure9_voltage(
+    scope: CharacterizationScope,
+    x_values: Sequence[int] = MAJX_VALUES,
+    vpp_levels: Sequence[float] = FIG9_VPP_LEVELS,
+    n_rows: int = 32,
+) -> Dict[int, Dict[float, DistributionSummary]]:
+    """Fig 9: MAJX success distribution vs wordline voltage."""
+    result: Dict[int, Dict[float, DistributionSummary]] = {}
+    for x in x_values:
+        if not any(b.module.profile.max_reliable_majx >= x for b in scope.benches):
+            continue
+        result[x] = {}
+        for vpp in vpp_levels:
+            point = MAJX_POINT.with_vpp(vpp)
+            result[x][vpp] = majx_success_distribution(scope, x, n_rows, point)
+    return result

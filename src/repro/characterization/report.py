@@ -1,0 +1,74 @@
+"""Plain-text rendering of characterization results.
+
+Benchmarks print these tables so a terminal run shows the same rows
+and series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from .stats import DistributionSummary
+
+
+def format_distribution_table(
+    title: str,
+    rows: Mapping[str, DistributionSummary],
+    as_percent: bool = True,
+) -> str:
+    """Render labelled distribution summaries as an aligned table."""
+    lines = [title, "-" * len(title)]
+    header = f"{'case':<28} {'mean':>8} {'min':>8} {'q1':>8} {'med':>8} {'q3':>8} {'max':>8} {'n':>5}"
+    lines.append(header)
+    for label, summary in rows.items():
+        shown = summary.as_percent() if as_percent else summary
+        lines.append(
+            f"{label:<28} {shown.mean:>8.3f} {shown.minimum:>8.3f} "
+            f"{shown.q1:>8.3f} {shown.median:>8.3f} {shown.q3:>8.3f} "
+            f"{shown.maximum:>8.3f} {shown.n:>5d}"
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    series: Mapping[str, Mapping[object, float]],
+    column_order: Sequence[object] = (),
+    as_percent: bool = True,
+) -> str:
+    """Render line-plot style data: one row per series, one column per x.
+
+    ``series[label][x] = value``; used for Figs 4, 11, 12, 16, 17.
+    """
+    lines = [title, "-" * len(title)]
+    columns = list(column_order)
+    if not columns:
+        seen: Dict[object, None] = {}
+        for values in series.values():
+            for x in values:
+                seen.setdefault(x, None)
+        columns = list(seen)
+    header = f"{'series':<22}" + "".join(f"{str(c):>12}" for c in columns)
+    lines.append(header)
+    scale = 100.0 if as_percent else 1.0
+    for label, values in series.items():
+        cells = []
+        for column in columns:
+            value = values.get(column)
+            cells.append(
+                f"{'-':>12}" if value is None else f"{value * scale:>12.3f}"
+            )
+        lines.append(f"{label:<22}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_scalar_table(
+    title: str, values: Mapping[str, float], unit: str = ""
+) -> str:
+    """Render labelled scalar values (e.g. power numbers, speedups)."""
+    lines = [title, "-" * len(title)]
+    width = max((len(str(k)) for k in values), default=10) + 2
+    for label, value in values.items():
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"{str(label):<{width}} {value:>10.3f}{suffix}")
+    return "\n".join(lines)

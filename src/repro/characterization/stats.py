@@ -1,0 +1,70 @@
+"""Distribution statistics for box-and-whisker reporting.
+
+The paper reports success-rate *distributions* across all tested row
+groups (footnote 8 defines the box plot: box = Q1..Q3, whiskers =
+min/max).  :class:`DistributionSummary` carries exactly those five
+numbers plus the mean and sample count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary + mean of a sample of success rates."""
+
+    mean: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range (the box size)."""
+        return self.q3 - self.q1
+
+    def as_percent(self) -> "DistributionSummary":
+        """The same summary scaled from fractions to percentages."""
+        return DistributionSummary(
+            mean=self.mean * 100.0,
+            minimum=self.minimum * 100.0,
+            q1=self.q1 * 100.0,
+            median=self.median * 100.0,
+            q3=self.q3 * 100.0,
+            maximum=self.maximum * 100.0,
+            n=self.n,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.4f} min={self.minimum:.4f} q1={self.q1:.4f} "
+            f"med={self.median:.4f} q3={self.q3:.4f} max={self.maximum:.4f} "
+            f"(n={self.n})"
+        )
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Compute the five-number summary of a non-empty sample."""
+    if len(values) == 0:
+        raise ExperimentError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=np.float64)
+    q1, median, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return DistributionSummary(
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        n=int(arr.size),
+    )

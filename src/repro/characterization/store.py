@@ -1,0 +1,118 @@
+"""Persistence of characterization results.
+
+Long campaigns (the full-fidelity settings in EXPERIMENTS.md) should
+not be re-run to re-render a table.  :class:`ResultStore` writes
+experiment outputs as JSON next to a metadata header (seed, scale,
+library version), and reloads them with
+:class:`~repro.characterization.stats.DistributionSummary` objects
+reconstructed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from .stats import DistributionSummary
+
+_FORMAT_VERSION = 1
+_SUMMARY_MARKER = "__distribution_summary__"
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, DistributionSummary):
+        payload = asdict(value)
+        payload[_SUMMARY_MARKER] = True
+        return payload
+    if isinstance(value, dict):
+        return {str(key): _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ExperimentError(f"cannot persist value of type {type(value)!r}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.get(_SUMMARY_MARKER):
+            fields = {k: v for k, v in value.items() if k != _SUMMARY_MARKER}
+            return DistributionSummary(**fields)
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+class ResultStore:
+    """Directory of named experiment results."""
+
+    def __init__(self, directory: Path):
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ExperimentError(f"invalid result name {name!r}")
+        return self._directory / f"{name}.json"
+
+    def save(
+        self,
+        name: str,
+        data: Any,
+        config: Optional[SimulationConfig] = None,
+        notes: str = "",
+    ) -> Path:
+        """Persist one experiment's output."""
+        from .. import __version__
+
+        document = {
+            "format_version": _FORMAT_VERSION,
+            "library_version": __version__,
+            "notes": notes,
+            "config": (
+                {
+                    "seed": config.seed,
+                    "columns_per_row": config.columns_per_row,
+                    "trials_per_test": config.trials_per_test,
+                }
+                if config is not None
+                else None
+            ),
+            "data": _encode(data),
+        }
+        path = self._path(name)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        return path
+
+    def load(self, name: str) -> Any:
+        """Reload a result's data payload."""
+        path = self._path(name)
+        if not path.exists():
+            raise ExperimentError(f"no stored result named {name!r}")
+        document = json.loads(path.read_text())
+        if document.get("format_version") != _FORMAT_VERSION:
+            raise ExperimentError(
+                f"result {name!r} uses unsupported format "
+                f"{document.get('format_version')}"
+            )
+        return _decode(document["data"])
+
+    def metadata(self, name: str) -> Dict[str, Any]:
+        """Reload a result's header (version, config, notes)."""
+        path = self._path(name)
+        if not path.exists():
+            raise ExperimentError(f"no stored result named {name!r}")
+        document = json.loads(path.read_text())
+        return {
+            key: document.get(key)
+            for key in ("format_version", "library_version", "config", "notes")
+        }
+
+    def names(self) -> list:
+        """All stored result names."""
+        return sorted(p.stem for p in self._directory.glob("*.json"))

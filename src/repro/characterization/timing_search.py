@@ -1,0 +1,113 @@
+"""Best-timing search (the paper's methodology preamble).
+
+Section 3.1: "We test various reduced timing delays ... All
+experiments are conducted at the timing delays that achieve the
+highest success rate for the tested PUD operations."  This module
+automates that preamble: sweep the issueable (t1, t2) tick grid for
+an operation family, measure each configuration on a small probe
+scope, and return the winner -- which downstream experiments then use,
+exactly as the paper's campaigns did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..units import COMMAND_GRANULARITY_NS
+from .activation import activation_success_distribution
+from .experiment import CharacterizationScope, OperatingPoint
+from .majority import majx_success_distribution
+from .rowcopy import multi_row_copy_distribution
+
+
+@dataclass(frozen=True)
+class TimingSearchResult:
+    """Outcome of a (t1, t2) grid search."""
+
+    best_t1_ns: float
+    best_t2_ns: float
+    best_mean: float
+    grid: Dict[Tuple[float, float], float]
+
+    def ranked(self) -> List[Tuple[Tuple[float, float], float]]:
+        """Configurations from best to worst."""
+        return sorted(self.grid.items(), key=lambda item: -item[1])
+
+
+def _ticks(values: Sequence[float]) -> Tuple[float, ...]:
+    for value in values:
+        ratio = value / COMMAND_GRANULARITY_NS
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ExperimentError(
+                f"timing {value} ns is not issueable at "
+                f"{COMMAND_GRANULARITY_NS} ns granularity"
+            )
+    return tuple(values)
+
+
+def search_timings(
+    measure: Callable[[OperatingPoint], float],
+    t1_values: Sequence[float],
+    t2_values: Sequence[float],
+) -> TimingSearchResult:
+    """Grid-search any measurement function over (t1, t2)."""
+    t1_values = _ticks(t1_values)
+    t2_values = _ticks(t2_values)
+    if not t1_values or not t2_values:
+        raise ExperimentError("empty timing grid")
+    grid: Dict[Tuple[float, float], float] = {}
+    for t1 in t1_values:
+        for t2 in t2_values:
+            point = OperatingPoint(t1_ns=t1, t2_ns=t2)
+            grid[(t1, t2)] = measure(point)
+    (best_t1, best_t2), best_mean = max(grid.items(), key=lambda item: item[1])
+    return TimingSearchResult(
+        best_t1_ns=best_t1, best_t2_ns=best_t2, best_mean=best_mean, grid=grid
+    )
+
+
+def best_activation_timing(
+    scope: CharacterizationScope,
+    n_rows: int = 32,
+    t1_values: Sequence[float] = (1.5, 3.0, 4.5),
+    t2_values: Sequence[float] = (1.5, 3.0),
+) -> TimingSearchResult:
+    """Find the best APA timings for many-row activation (§4)."""
+    return search_timings(
+        lambda point: activation_success_distribution(scope, n_rows, point).mean,
+        t1_values,
+        t2_values,
+    )
+
+
+def best_majx_timing(
+    scope: CharacterizationScope,
+    x: int = 3,
+    n_rows: int = 32,
+    t1_values: Sequence[float] = (1.5, 3.0, 4.5),
+    t2_values: Sequence[float] = (1.5, 3.0),
+) -> TimingSearchResult:
+    """Find the best APA timings for MAJX (§5; paper: t1=1.5, t2=3)."""
+    return search_timings(
+        lambda point: majx_success_distribution(scope, x, n_rows, point).mean,
+        t1_values,
+        t2_values,
+    )
+
+
+def best_copy_timing(
+    scope: CharacterizationScope,
+    n_destinations: int = 7,
+    t1_values: Sequence[float] = (1.5, 3.0, 36.0),
+    t2_values: Sequence[float] = (1.5, 3.0),
+) -> TimingSearchResult:
+    """Find the best APA timings for Multi-RowCopy (§6; paper: 36/3)."""
+    return search_timings(
+        lambda point: multi_row_copy_distribution(
+            scope, n_destinations, point
+        ).mean,
+        t1_values,
+        t2_values,
+    )

@@ -1,0 +1,86 @@
+"""Cross-module variability analysis.
+
+The paper's distributions aggregate 18 modules; some observations
+(footnote 11's per-manufacturer MAJX ceilings, die-revision spread)
+are about how *modules* differ.  This module breaks a characterization
+down per device: one success-rate summary per module, plus the spread
+of per-module means -- the quantity a deployer cares about when asking
+"will the chips I buy behave like the paper's?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.majority import execute_majx, plan_majx
+from ..core.success import SuccessRateAccumulator
+from ..errors import ExperimentError
+from .experiment import CharacterizationScope, OperatingPoint
+from .majority import MAJX_POINT
+from .stats import DistributionSummary, summarize
+
+
+def per_module_majx(
+    scope: CharacterizationScope,
+    x: int,
+    n_rows: int,
+    point: OperatingPoint = MAJX_POINT,
+) -> Dict[str, DistributionSummary]:
+    """MAJX success distribution per module serial.
+
+    Modules whose vendor caps below X are reported as absent rather
+    than zero, mirroring the paper's omissions.
+    """
+    scope.apply_environment(point)
+    result: Dict[str, DistributionSummary] = {}
+    for bench in scope.benches:
+        profile = bench.module.profile
+        if profile.max_reliable_majx < x:
+            continue
+        columns = bench.module.config.columns_per_row
+        rates: List[float] = []
+        for bank in scope.banks:
+            for subarray in scope.subarrays:
+                for group in scope.groups_for(bench, bank, subarray, n_rows):
+                    plan = plan_majx(x, group)
+                    accumulator = SuccessRateAccumulator(columns)
+                    for trial in range(scope.trials):
+                        operands = [
+                            point.pattern.operand_bits(
+                                columns, op, bench.module.serial, bank, trial
+                            )
+                            for op in range(x)
+                        ]
+                        outcome = execute_majx(
+                            bench, bank, plan, operands,
+                            t1_ns=point.t1_ns, t2_ns=point.t2_ns,
+                        )
+                        accumulator.record(outcome.correct)
+                    rates.append(accumulator.success_rate)
+        if rates:
+            result[bench.module.serial] = summarize(rates)
+    if not result:
+        raise ExperimentError(f"no module in scope can run MAJ{x}")
+    return result
+
+
+def module_spread(per_module: Dict[str, DistributionSummary]) -> DistributionSummary:
+    """Distribution of per-module mean success rates."""
+    return summarize([summary.mean for summary in per_module.values()])
+
+
+def manufacturer_gap(
+    scope: CharacterizationScope,
+    per_module: Dict[str, DistributionSummary],
+) -> Dict[str, float]:
+    """Mean success per manufacturer (for footnote-11-style contrasts)."""
+    by_mfr: Dict[str, List[float]] = {}
+    serial_to_mfr = {
+        bench.module.serial: bench.module.profile.manufacturer
+        for bench in scope.benches
+    }
+    for serial, summary in per_module.items():
+        by_mfr.setdefault(serial_to_mfr[serial], []).append(summary.mean)
+    return {
+        mfr: sum(values) / len(values) for mfr, values in by_mfr.items()
+    }

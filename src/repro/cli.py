@@ -1,0 +1,346 @@
+"""Command-line interface.
+
+``simra-dram`` exposes the reproduction's main entry points without
+writing Python::
+
+    simra-dram info                     # Table 1 catalog
+    simra-dram activation --rows 32     # section 4 quick characterization
+    simra-dram majority --x 5           # section 5
+    simra-dram rowcopy --destinations 31
+    simra-dram power                    # Fig 5
+    simra-dram spice                    # Fig 15
+    simra-dram coldboot                 # Fig 17
+    simra-dram speedups                 # Fig 16
+    simra-dram trng --bits 4096         # extension: random numbers
+    simra-dram decoder --rf 0 --rs 7    # decoder algebra lookup
+
+Every command accepts ``--columns/--groups/--trials/--seed`` scale
+knobs where relevant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .characterization.experiment import CharacterizationScope, OperatingPoint
+from .characterization.report import (
+    format_distribution_table,
+    format_scalar_table,
+    format_series_table,
+)
+from .config import SimulationConfig
+from .dram.vendor import TESTED_MODULES, catalog_summary
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--columns", type=int, default=512,
+                        help="simulated bitlines per row (default 512)")
+    parser.add_argument("--groups", type=int, default=3,
+                        help="row groups per size per site (default 3)")
+    parser.add_argument("--trials", type=int, default=6,
+                        help="trials per group (default 6)")
+    parser.add_argument("--seed", type=int, default=2024,
+                        help="simulation seed (default 2024)")
+
+
+def _scope_from(args: argparse.Namespace) -> CharacterizationScope:
+    config = SimulationConfig(seed=args.seed, columns_per_row=args.columns)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES,
+        modules_per_spec=1,
+        groups_per_size=args.groups,
+        trials=args.trials,
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    rows = catalog_summary()
+    print(f"{'Mfr':<4} {'#Mod':>5} {'#Chips':>7} {'Die':>4} {'Density':>8} "
+          f"{'Org':>5} {'Subarray':>9}")
+    for row in rows:
+        print(f"{row['manufacturer']:<4} {row['modules']:>5} "
+              f"{row['chips']:>7} {row['die_rev']:>4} {row['density']:>8} "
+              f"{row['organization']:>5} {row['subarray_rows']:>9}")
+    total = sum(r["modules"] for r in rows), sum(r["chips"] for r in rows)
+    print(f"total: {total[0]} modules / {total[1]} chips (paper Table 1)")
+    return 0
+
+
+def _cmd_activation(args: argparse.Namespace) -> int:
+    from .characterization.activation import activation_success_distribution
+
+    scope = _scope_from(args)
+    point = OperatingPoint(t1_ns=args.t1, t2_ns=args.t2)
+    rows = {
+        f"{n}-row": activation_success_distribution(scope, n, point)
+        for n in args.rows
+    }
+    print(format_distribution_table(
+        f"Many-row activation success (%) at t1={args.t1} t2={args.t2}", rows
+    ))
+    return 0
+
+
+def _cmd_majority(args: argparse.Namespace) -> int:
+    from .characterization.majority import MAJX_POINT, majx_success_distribution
+
+    scope = _scope_from(args)
+    rows = {}
+    for x in args.x:
+        for n in args.rows:
+            if n < x:
+                continue
+            rows[f"MAJ{x}@{n}-row"] = majx_success_distribution(
+                scope, x, n, MAJX_POINT
+            )
+    print(format_distribution_table("MAJX success (%), best timings", rows))
+    return 0
+
+
+def _cmd_rowcopy(args: argparse.Namespace) -> int:
+    from .characterization.rowcopy import COPY_POINT, multi_row_copy_distribution
+
+    scope = _scope_from(args)
+    rows = {
+        f"->{m} rows": multi_row_copy_distribution(scope, m, COPY_POINT)
+        for m in args.destinations
+    }
+    print(format_distribution_table("Multi-RowCopy success (%)", rows))
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from .dram.power import PowerModel
+
+    model = PowerModel()
+    print(format_scalar_table(
+        "Average operation power (Fig 5)", model.figure5_series(), unit="mW"
+    ))
+    print(f"\n32-row activation headroom below REF: "
+          f"{model.headroom_vs_ref(32):.2%} (paper: 21.19%)")
+    return 0
+
+
+def _cmd_spice(args: argparse.Namespace) -> int:
+    from .spice.majority_sim import (
+        PROCESS_VARIATIONS,
+        figure15a_deviation,
+        figure15b_success,
+    )
+
+    deviations = figure15a_deviation(n_sets=args.sets)
+    table = {
+        f"N={n}": {v: deviations[(n, v)].mean for v in PROCESS_VARIATIONS}
+        for n in (1, 4, 8, 16, 32)
+    }
+    print(format_series_table(
+        "Fig 15a: mean bitline deviation (mV) vs process variation",
+        table, column_order=PROCESS_VARIATIONS, as_percent=False,
+    ))
+    success = figure15b_success(n_sets=args.sets, iterations=4)
+    table = {
+        f"N={n}": {v: success[(n, v)] for v in PROCESS_VARIATIONS}
+        for n in (4, 8, 16, 32)
+    }
+    print()
+    print(format_series_table(
+        "Fig 15b: MAJ3 success vs process variation (%)",
+        table, column_order=PROCESS_VARIATIONS,
+    ))
+    return 0
+
+
+def _cmd_coldboot(args: argparse.Namespace) -> int:
+    from .casestudies.coldboot import figure17_speedups
+
+    print(format_scalar_table(
+        "Destruction speedup over RowClone-based (Fig 17)",
+        figure17_speedups(), unit="x",
+    ))
+    return 0
+
+
+def _cmd_speedups(args: argparse.Namespace) -> int:
+    from .casestudies.perfmodel import figure16_speedups
+
+    for mfr, per_bench in figure16_speedups().items():
+        table = {
+            name: {f"MAJ{x}": value for x, value in by_x.items()}
+            for name, by_x in per_bench.items()
+        }
+        columns = ["MAJ5", "MAJ7"] + (["MAJ9"] if mfr == "H" else [])
+        print(format_series_table(
+            f"Fig 16 (Mfr. {mfr}): speedup over the MAJ3 baseline (x)",
+            table, column_order=columns, as_percent=False,
+        ))
+        print()
+    return 0
+
+
+def _cmd_trng(args: argparse.Namespace) -> int:
+    from .bender.testbench import TestBench
+    from .core.trng import (
+        TrngGenerator,
+        longest_run,
+        monobit_fraction,
+        serial_correlation,
+    )
+
+    config = SimulationConfig(seed=args.seed, columns_per_row=args.columns)
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    generator = TrngGenerator(bench, group_size=args.group_size)
+    bits = generator.generate(args.bits)
+    stats = generator.last_stats
+    print(f"generated {args.bits} bits with {stats.apa_operations} APAs "
+          f"({args.group_size}-row activation)")
+    print(f"  monobit fraction : {monobit_fraction(bits):.4f}")
+    print(f"  longest run      : {longest_run(bits)}")
+    print(f"  serial correlation: {serial_correlation(bits):+.4f}")
+    if args.hex:
+        import numpy as np
+
+        print(np.packbits(bits).tobytes().hex())
+    return 0
+
+
+def _cmd_besttiming(args: argparse.Namespace) -> int:
+    from .characterization.timing_search import (
+        best_activation_timing,
+        best_copy_timing,
+        best_majx_timing,
+    )
+
+    scope = _scope_from(args)
+    searches = {
+        "activation": lambda: best_activation_timing(scope),
+        "majx": lambda: best_majx_timing(scope, x=args.x),
+        "copy": lambda: best_copy_timing(scope),
+    }
+    result = searches[args.operation]()
+    print(f"best {args.operation} timing: t1={result.best_t1_ns}ns, "
+          f"t2={result.best_t2_ns}ns (mean success {result.best_mean:.2%})")
+    print("full grid (best to worst):")
+    for (t1, t2), mean in result.ranked():
+        print(f"  t1={t1:>5.1f}  t2={t2:>4.1f}  ->  {mean:7.2%}")
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from .bender.selftest import run_self_test
+    from .bender.testbench import TestBench
+
+    config = SimulationConfig(seed=args.seed, columns_per_row=args.columns)
+    failures = 0
+    for spec in TESTED_MODULES:
+        bench = TestBench.for_spec(spec, config=config)
+        report = run_self_test(bench)
+        status = "PASS" if report.passed else "FAIL"
+        print(f"{spec.module_identifier:<24} {status} "
+              f"({report.checks_run} checks)")
+        for failure in report.failures:
+            print(f"    failed: {failure}")
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_decoder(args: argparse.Namespace) -> int:
+    from .dram.row_decoder import activation_set, field_layout_for_subarray_rows
+
+    layout = field_layout_for_subarray_rows(args.subarray_rows)
+    rows = activation_set(args.rf, args.rs, layout, args.subarray_rows)
+    print(f"ACT {args.rf} -> PRE -> ACT {args.rs} "
+          f"({args.subarray_rows}-row subarray):")
+    print(f"  {len(rows)} rows simultaneously activated: {sorted(rows)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="simra-dram",
+        description="SiMRA-DRAM reproduction (DSN 2024) command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("info", help="tested-chip catalog (Table 1)")
+    sub.set_defaults(handler=_cmd_info)
+
+    sub = subparsers.add_parser("activation", help="section 4 characterization")
+    _add_scale_arguments(sub)
+    sub.add_argument("--rows", type=int, nargs="+", default=[2, 4, 8, 16, 32])
+    sub.add_argument("--t1", type=float, default=3.0)
+    sub.add_argument("--t2", type=float, default=3.0)
+    sub.set_defaults(handler=_cmd_activation)
+
+    sub = subparsers.add_parser("majority", help="section 5 characterization")
+    _add_scale_arguments(sub)
+    sub.add_argument("--x", type=int, nargs="+", default=[3, 5, 7, 9])
+    sub.add_argument("--rows", type=int, nargs="+", default=[32])
+    sub.set_defaults(handler=_cmd_majority)
+
+    sub = subparsers.add_parser("rowcopy", help="section 6 characterization")
+    _add_scale_arguments(sub)
+    sub.add_argument(
+        "--destinations", type=int, nargs="+", default=[1, 3, 7, 15, 31]
+    )
+    sub.set_defaults(handler=_cmd_rowcopy)
+
+    sub = subparsers.add_parser("power", help="Fig 5 power model")
+    sub.set_defaults(handler=_cmd_power)
+
+    sub = subparsers.add_parser("spice", help="Fig 15 circuit Monte-Carlo")
+    sub.add_argument("--sets", type=int, default=500)
+    sub.set_defaults(handler=_cmd_spice)
+
+    sub = subparsers.add_parser("coldboot", help="Fig 17 content destruction")
+    sub.set_defaults(handler=_cmd_coldboot)
+
+    sub = subparsers.add_parser("speedups", help="Fig 16 microbenchmarks")
+    sub.set_defaults(handler=_cmd_speedups)
+
+    sub = subparsers.add_parser("trng", help="random numbers from APA ties")
+    sub.add_argument("--bits", type=int, default=4096)
+    sub.add_argument("--group-size", type=int, default=32)
+    sub.add_argument("--columns", type=int, default=1024)
+    sub.add_argument("--seed", type=int, default=2024)
+    sub.add_argument("--hex", action="store_true",
+                     help="print the bits as hex")
+    sub.set_defaults(handler=_cmd_trng)
+
+    sub = subparsers.add_parser(
+        "besttiming", help="search the issueable (t1, t2) grid"
+    )
+    _add_scale_arguments(sub)
+    sub.add_argument(
+        "--operation",
+        choices=("activation", "majx", "copy"),
+        default="majx",
+    )
+    sub.add_argument("--x", type=int, default=3, help="MAJ width for majx")
+    sub.set_defaults(handler=_cmd_besttiming)
+
+    sub = subparsers.add_parser("selftest", help="rig diagnostics per spec")
+    sub.add_argument("--columns", type=int, default=512)
+    sub.add_argument("--seed", type=int, default=2024)
+    sub.set_defaults(handler=_cmd_selftest)
+
+    sub = subparsers.add_parser("decoder", help="activation-set lookup")
+    sub.add_argument("--rf", type=int, required=True)
+    sub.add_argument("--rs", type=int, required=True)
+    sub.add_argument("--subarray-rows", type=int, default=512)
+    sub.set_defaults(handler=_cmd_decoder)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

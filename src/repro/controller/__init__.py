@@ -1,0 +1,21 @@
+"""End-to-end memory-controller integration (PiDRAM direction).
+
+The paper's related work highlights PiDRAM, a framework that exposes
+PUD operations (RowClone and friends) to real programs through the
+memory controller.  This package provides that integration layer for
+the simulated stack: byte-granularity loads and stores compiled to
+JEDEC-legal command sequences, plus PUD fast paths (in-DRAM copy,
+broadcast, and bulk initialization) with automatic fallback when the
+operands do not share bitlines.
+"""
+
+from .mapping import AddressMapping, PhysicalLocation
+from .mc import CopyOutcome, MemoryController, MemoryControllerStats
+
+__all__ = [
+    "AddressMapping",
+    "PhysicalLocation",
+    "CopyOutcome",
+    "MemoryController",
+    "MemoryControllerStats",
+]

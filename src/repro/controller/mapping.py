@@ -1,0 +1,86 @@
+"""Physical address mapping.
+
+Maps a flat physical byte address onto (bank, row, byte-in-row) for
+the simulated module.  The default scheme is row-interleaved across
+banks -- consecutive rows of the address space rotate through the
+banks, the standard trick for bank-level parallelism -- with the
+row's bytes contiguous, which keeps RowClone-eligible buffers (same
+bank, same subarray) easy to construct via :meth:`row_aligned_span`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.vendor import VendorProfile
+from ..errors import AddressError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class PhysicalLocation:
+    """Decoded physical location of one byte."""
+
+    bank: int
+    row: int
+    byte_in_row: int
+
+
+class AddressMapping:
+    """Flat byte address <-> (bank, row, offset)."""
+
+    def __init__(self, profile: VendorProfile, columns_per_row: int):
+        if columns_per_row % 8 != 0:
+            raise ConfigurationError(
+                "columns_per_row must be a whole number of bytes"
+            )
+        self._profile = profile
+        self._row_bytes = columns_per_row // 8
+        self._banks = profile.banks
+        self._rows_per_bank = profile.rows_per_bank
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per DRAM row at the simulated width."""
+        return self._row_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total mapped capacity."""
+        return self._row_bytes * self._banks * self._rows_per_bank
+
+    def locate(self, address: int) -> PhysicalLocation:
+        """Decode a byte address."""
+        if not 0 <= address < self.capacity_bytes:
+            raise AddressError(
+                f"address {address:#x} outside {self.capacity_bytes:#x}-byte "
+                "capacity"
+            )
+        row_index = address // self._row_bytes
+        byte_in_row = address % self._row_bytes
+        bank = row_index % self._banks
+        row = row_index // self._banks
+        return PhysicalLocation(bank=bank, row=row, byte_in_row=byte_in_row)
+
+    def address_of(self, location: PhysicalLocation) -> int:
+        """Inverse of :meth:`locate`."""
+        if not 0 <= location.bank < self._banks:
+            raise AddressError(f"bank {location.bank} out of range")
+        if not 0 <= location.row < self._rows_per_bank:
+            raise AddressError(f"row {location.row} out of range")
+        if not 0 <= location.byte_in_row < self._row_bytes:
+            raise AddressError(f"offset {location.byte_in_row} out of range")
+        row_index = location.row * self._banks + location.bank
+        return row_index * self._row_bytes + location.byte_in_row
+
+    def row_aligned_span(self, bank: int, row: int) -> int:
+        """The byte address where (bank, row) begins."""
+        return self.address_of(PhysicalLocation(bank, row, 0))
+
+    def same_subarray(self, address_a: int, address_b: int) -> bool:
+        """Whether two addresses' rows share bitlines (RowClone-able)."""
+        a = self.locate(address_a)
+        b = self.locate(address_b)
+        if a.bank != b.bank:
+            return False
+        subarray_rows = self._profile.subarray_rows
+        return a.row // subarray_rows == b.row // subarray_rows

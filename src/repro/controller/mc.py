@@ -1,0 +1,310 @@
+"""The memory controller.
+
+Compiles byte-granularity loads and stores into JEDEC-legal command
+sequences (ACT, tRCD, RD/WR, tRAS/tWR, PRE, tRP) against the
+simulated module, and exposes PUD fast paths:
+
+- :meth:`MemoryController.copy_row`: in-DRAM RowClone when source and
+  destination share a subarray, buffered copy-through-the-host
+  otherwise -- with the decision and both latencies reported, so
+  callers see exactly what PiDRAM-style acceleration buys.
+- :meth:`MemoryController.broadcast_row`: Multi-RowCopy of one row
+  onto a whole activation group.
+- :meth:`MemoryController.memset_rows`: bulk initialization via one
+  seed write plus in-DRAM copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..bender.program import ProgramBuilder
+from ..bender.testbench import TestBench
+from ..core.rowgroups import RowGroup, group_from_pair
+from ..errors import AddressError, ExperimentError
+from .mapping import AddressMapping
+
+ROWCLONE_T2_NS = 6.0
+MULTI_COPY_T2_NS = 3.0
+
+
+@dataclass
+class MemoryControllerStats:
+    """Operation and bus-time accounting."""
+
+    reads: int = 0
+    writes: int = 0
+    rowclones: int = 0
+    multi_copies: int = 0
+    buffered_copies: int = 0
+    bus_time_ns: float = 0.0
+
+    def merged(self) -> dict:
+        """Plain-dict view for reporting."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "rowclones": self.rowclones,
+            "multi_copies": self.multi_copies,
+            "buffered_copies": self.buffered_copies,
+            "bus_time_ns": self.bus_time_ns,
+        }
+
+
+@dataclass(frozen=True)
+class CopyOutcome:
+    """Result of a controller-level row copy."""
+
+    used_rowclone: bool
+    rows_written: int
+    bus_time_ns: float
+    fallback_estimate_ns: float
+
+    @property
+    def speedup_vs_fallback(self) -> float:
+        """How much faster than the buffered path this copy ran."""
+        if self.bus_time_ns <= 0:
+            return float("inf")
+        return self.fallback_estimate_ns / self.bus_time_ns
+
+
+class MemoryController:
+    """Byte-granularity front end over one simulated module."""
+
+    def __init__(self, bench: TestBench):
+        self._bench = bench
+        self._module = bench.module
+        self._mapping = AddressMapping(
+            self._module.profile, self._module.config.columns_per_row
+        )
+        self._timings = self._module.timings
+        self.stats = MemoryControllerStats()
+
+    @property
+    def mapping(self) -> AddressMapping:
+        """The physical address mapping."""
+        return self._mapping
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Mapped capacity."""
+        return self._mapping.capacity_bytes
+
+    # -- row-level command helpers ------------------------------------------------
+
+    def _row_read_program(self, bank: int, row: int) -> ProgramBuilder:
+        builder = ProgramBuilder()
+        builder.act(bank, row)
+        builder.wait(self._timings.t_rcd)
+        builder.rd(bank)
+        builder.wait(self._timings.t_ras - self._timings.t_rcd)
+        builder.pre(bank)
+        builder.wait(self._timings.t_rp)
+        builder.nop()
+        return builder
+
+    def _fetch_row(self, bank: int, row: int) -> np.ndarray:
+        result = self._bench.run(self._row_read_program(bank, row).build())
+        self.stats.reads += 1
+        self.stats.bus_time_ns += result.duration_ns
+        if not result.reads:
+            raise ExperimentError("row read returned no data")
+        return result.reads[0]
+
+    def _store_row(self, bank: int, row: int, bits: np.ndarray) -> None:
+        builder = ProgramBuilder()
+        builder.act(bank, row)
+        builder.wait(self._timings.t_rcd)
+        builder.wr(bank, bits)
+        builder.wait(self._timings.t_wr)
+        builder.pre(bank)
+        builder.wait(self._timings.t_rp)
+        builder.nop()
+        result = self._bench.run(builder.build())
+        self.stats.writes += 1
+        self.stats.bus_time_ns += result.duration_ns
+
+    @staticmethod
+    def _bits_to_bytes(bits: np.ndarray) -> bytes:
+        return np.packbits(bits.astype(np.uint8)).tobytes()
+
+    @staticmethod
+    def _bytes_to_bits(data: bytes) -> np.ndarray:
+        return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+    # -- byte-granularity API -----------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Load ``length`` bytes starting at ``address``."""
+        if length < 0:
+            raise AddressError("length must be non-negative")
+        chunks: List[bytes] = []
+        cursor = address
+        remaining = length
+        while remaining > 0:
+            location = self._mapping.locate(cursor)
+            row_bits = self._fetch_row(location.bank, location.row)
+            row_bytes = self._bits_to_bytes(row_bits)
+            take = min(
+                remaining, self._mapping.row_bytes - location.byte_in_row
+            )
+            chunks.append(
+                row_bytes[location.byte_in_row : location.byte_in_row + take]
+            )
+            cursor += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Store ``data`` starting at ``address`` (read-modify-write)."""
+        cursor = address
+        remaining = memoryview(data)
+        while len(remaining) > 0:
+            location = self._mapping.locate(cursor)
+            take = min(
+                len(remaining), self._mapping.row_bytes - location.byte_in_row
+            )
+            row_bits = self._fetch_row(location.bank, location.row)
+            row_bytes = bytearray(self._bits_to_bytes(row_bits))
+            row_bytes[
+                location.byte_in_row : location.byte_in_row + take
+            ] = remaining[:take]
+            self._store_row(
+                location.bank, location.row, self._bytes_to_bits(bytes(row_bytes))
+            )
+            cursor += take
+            remaining = remaining[take:]
+
+    # -- PUD fast paths -------------------------------------------------------------
+
+    def _buffered_copy_estimate_ns(self, rows: int) -> float:
+        per_row = 2 * (
+            self._timings.t_rcd + self._timings.t_ras + self._timings.t_rp
+        )
+        return rows * per_row
+
+    def copy_row(self, src_address: int, dst_address: int) -> CopyOutcome:
+        """Copy one full row; RowClone when the mapping allows it.
+
+        Addresses must be row-aligned.  When the rows share a
+        subarray, the copy is one consecutive-activation APA; when
+        they do not, the controller transparently falls back to a
+        read + write through the host buffer (PiDRAM's slow path).
+        """
+        src = self._mapping.locate(src_address)
+        dst = self._mapping.locate(dst_address)
+        if src.byte_in_row or dst.byte_in_row:
+            raise AddressError("row copies require row-aligned addresses")
+        fallback = self._buffered_copy_estimate_ns(1)
+        if (
+            self._mapping.same_subarray(src_address, dst_address)
+            and self._module.profile.supports_multi_row_activation
+        ):
+            builder = ProgramBuilder()
+            builder.act(src.bank, src.row)
+            builder.wait(self._timings.t_ras)
+            builder.pre(src.bank)
+            builder.wait(ROWCLONE_T2_NS)
+            builder.act(src.bank, dst.row)
+            builder.wait(self._timings.t_ras)
+            builder.pre(src.bank)
+            builder.wait(self._timings.t_rp)
+            builder.nop()
+            result = self._bench.run(builder.build())
+            self.stats.rowclones += 1
+            self.stats.bus_time_ns += result.duration_ns
+            return CopyOutcome(
+                used_rowclone=True,
+                rows_written=1,
+                bus_time_ns=result.duration_ns,
+                fallback_estimate_ns=fallback,
+            )
+        bits = self._fetch_row(src.bank, src.row)
+        self._store_row(dst.bank, dst.row, bits)
+        self.stats.buffered_copies += 1
+        return CopyOutcome(
+            used_rowclone=False,
+            rows_written=1,
+            bus_time_ns=fallback,
+            fallback_estimate_ns=fallback,
+        )
+
+    def broadcast_row(self, src_address: int, partner_row: int) -> CopyOutcome:
+        """Multi-RowCopy the source row onto its activation group.
+
+        ``partner_row`` is the second ACT's bank-level row address;
+        the opened group is the decoder product of the two addresses
+        (2..32 rows).  Returns the copy outcome with the group size.
+        """
+        src = self._mapping.locate(src_address)
+        if src.byte_in_row:
+            raise AddressError("broadcast requires a row-aligned source")
+        profile = self._module.profile
+        if not profile.supports_multi_row_activation:
+            raise ExperimentError(
+                f"manufacturer {profile.manufacturer!r} cannot multi-activate"
+            )
+        subarray_rows = profile.subarray_rows
+        if src.row // subarray_rows != partner_row // subarray_rows:
+            raise AddressError("broadcast partner must share the subarray")
+        group: RowGroup = group_from_pair(
+            src.row // subarray_rows,
+            src.row % subarray_rows,
+            partner_row % subarray_rows,
+            subarray_rows,
+        )
+        builder = ProgramBuilder()
+        builder.act(src.bank, src.row)
+        builder.wait(self._timings.t_ras)
+        builder.pre(src.bank)
+        builder.wait(MULTI_COPY_T2_NS)
+        builder.act(src.bank, partner_row)
+        builder.wait(self._timings.t_ras)
+        builder.pre(src.bank)
+        builder.wait(self._timings.t_rp)
+        builder.nop()
+        result = self._bench.run(builder.build())
+        self.stats.multi_copies += 1
+        self.stats.bus_time_ns += result.duration_ns
+        rows_written = group.size - 1
+        return CopyOutcome(
+            used_rowclone=True,
+            rows_written=rows_written,
+            bus_time_ns=result.duration_ns,
+            fallback_estimate_ns=self._buffered_copy_estimate_ns(rows_written),
+        )
+
+    def memset_rows(
+        self, bank: int, rows: Sequence[int], value_byte: int
+    ) -> int:
+        """Initialize whole rows to a repeated byte via seed + clones.
+
+        Writes the pattern once, then RowClones it into every other
+        row (the section 8.2 RowClone-based initialization recipe).
+        Returns the number of in-DRAM copies performed.
+        """
+        if not rows:
+            raise AddressError("memset needs at least one row")
+        if not 0 <= value_byte <= 0xFF:
+            raise AddressError(f"byte out of range: {value_byte}")
+        columns = self._module.config.columns_per_row
+        pattern = np.unpackbits(
+            np.full(columns // 8, value_byte, dtype=np.uint8)
+        )
+        seed_row = rows[0]
+        self._store_row(bank, seed_row, pattern)
+        copies = 0
+        subarray_rows = self._module.profile.subarray_rows
+        for row in rows[1:]:
+            src_addr = self._mapping.row_aligned_span(bank, seed_row)
+            dst_addr = self._mapping.row_aligned_span(bank, row)
+            outcome = self.copy_row(src_addr, dst_addr)
+            copies += 1
+            if not outcome.used_rowclone and (
+                row // subarray_rows == seed_row // subarray_rows
+            ):  # pragma: no cover - defensive
+                raise ExperimentError("same-subarray clone unexpectedly fell back")
+        return copies

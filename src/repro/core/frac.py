@@ -1,0 +1,31 @@
+"""Frac: storing fractional (VDD/2) values in DRAM cells.
+
+FracDRAM (paper section 2.2) shows COTS cells can store VDD/2; the
+paper uses this to build *neutral rows* that do not contribute to the
+bitline perturbation during MAJX (section 3.3).  Mfr. H parts support
+Frac directly; Mfr. M parts emulate neutrality by initializing the
+rows toward the sense amplifiers' uniform bias (footnote 5).  Both
+strategies are dispatched by the bank's ``apply_frac``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..bender.testbench import TestBench
+
+
+def initialize_neutral_rows(
+    bench: TestBench, bank: int, global_rows: Iterable[int]
+) -> List[int]:
+    """Put rows into the neutral state; returns the rows touched.
+
+    Raises :class:`~repro.errors.UnsupportedOperationError` if the
+    module's vendor profile has no neutral-row mechanism.
+    """
+    device_bank = bench.module.bank(bank)
+    touched: List[int] = []
+    for row in global_rows:
+        device_bank.apply_frac(row)
+        touched.append(row)
+    return touched

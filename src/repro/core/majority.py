@@ -1,0 +1,174 @@
+"""MAJX: in-DRAM majority-of-X with input replication (paper section 5
+-- the other operation the paper introduces).
+
+To run MAJX with an N-row group the plan stores ``floor(N / X)``
+copies of each of the X operands among the activated rows and puts
+the ``N mod X`` leftover rows into the neutral state (Frac on Mfr. H,
+bias-initialization on Mfr. M -- footnote 5).  Replication preserves
+the Boolean function (footnote 3: MAJ6(A,B,C,A,B,C) = MAJ3(A,B,C))
+while multiplying the bitline perturbation, which is what lifts the
+success rate (section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..bender.program import ProgramBuilder
+from ..bender.testbench import TestBench
+from ..errors import ExperimentError
+from .frac import initialize_neutral_rows
+from .rowgroups import RowGroup
+
+MAJX_T1_NS = 1.5
+"""Best ACT->PRE gap for MAJX (Obs 7)."""
+MAJX_T2_NS = 3.0
+"""Best PRE->ACT gap for MAJX (Obs 7)."""
+
+READBACK_DELAY_NS = 13.5
+"""Post-APA wait (tRP-grade) before reading the row buffer
+(methodology step 5 in section 3.3)."""
+
+
+@dataclass(frozen=True)
+class MajXPlan:
+    """Row assignment for one MAJX execution."""
+
+    x: int
+    group: RowGroup
+    operand_of_row: Dict[int, int]
+    """Local row -> operand index (0..X-1) for replica rows."""
+    neutral_rows: Tuple[int, ...]
+    """Local rows initialized to the neutral state."""
+
+    @property
+    def replicas(self) -> int:
+        """Copies stored of each operand."""
+        return len(self.operand_of_row) // self.x
+
+    @property
+    def n_rows(self) -> int:
+        """Total simultaneously activated rows."""
+        return self.group.size
+
+
+@dataclass(frozen=True)
+class MajXResult:
+    """Outcome of one MAJX execution."""
+
+    plan: MajXPlan
+    result_bits: np.ndarray
+    expected_bits: np.ndarray
+    semantic: str
+
+    @property
+    def correct(self) -> np.ndarray:
+        """Per-cell correctness of the majority result."""
+        return (self.result_bits == self.expected_bits).astype(bool)
+
+    @property
+    def success_fraction(self) -> float:
+        """Fraction of columns computing the correct majority."""
+        return float(np.mean(self.correct))
+
+
+def expected_majority(operands: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise Boolean majority of an odd number of bit rows."""
+    if len(operands) % 2 == 0:
+        raise ExperimentError("majority needs an odd number of operands")
+    stacked = np.stack([np.asarray(op, dtype=np.int64) for op in operands])
+    return (stacked.sum(axis=0) * 2 > len(operands)).astype(np.uint8)
+
+
+def plan_majx(x: int, group: RowGroup, replicas: int = None) -> MajXPlan:
+    """Assign operand replicas and neutral rows within a group.
+
+    Operands are interleaved across the sorted group rows so each
+    operand's copies spread over the group (the paper places them
+    across all simultaneously activated rows).  ``replicas`` defaults
+    to the maximum ``floor(N / X)``; passing a smaller value pads the
+    leftover rows with neutrals instead -- the ablation that isolates
+    how much of the success rate comes from input replication versus
+    merely opening more rows (section 7.2).
+    """
+    if x < 3 or x % 2 == 0:
+        raise ExperimentError(f"MAJX requires odd X >= 3: {x}")
+    if group.size < x:
+        raise ExperimentError(
+            f"group of {group.size} rows cannot host MAJ{x} operands"
+        )
+    max_replicas = group.size // x
+    if replicas is None:
+        replicas = max_replicas
+    if not 1 <= replicas <= max_replicas:
+        raise ExperimentError(
+            f"replicas must be in [1, {max_replicas}] for MAJ{x} on "
+            f"{group.size} rows: {replicas}"
+        )
+    rows = sorted(group.rows)
+    operand_rows = rows[: replicas * x]
+    neutral = tuple(rows[replicas * x :])
+    assignment = {row: index % x for index, row in enumerate(operand_rows)}
+    return MajXPlan(x=x, group=group, operand_of_row=assignment, neutral_rows=neutral)
+
+
+def execute_majx(
+    bench: TestBench,
+    bank: int,
+    plan: MajXPlan,
+    operands: Sequence[np.ndarray],
+    t1_ns: float = MAJX_T1_NS,
+    t2_ns: float = MAJX_T2_NS,
+) -> MajXResult:
+    """Run one MAJX operation and read the result from the row buffer.
+
+    Steps follow section 3.3: store the operands (replicated), set up
+    neutral rows, issue the APA with the requested timings, wait, and
+    read the row buffer.
+    """
+    if len(operands) != plan.x:
+        raise ExperimentError(
+            f"MAJ{plan.x} needs {plan.x} operands, got {len(operands)}"
+        )
+    columns = bench.module.config.columns_per_row
+    operand_arrays: List[np.ndarray] = []
+    for operand in operands:
+        bits = np.asarray(operand, dtype=np.uint8)
+        if bits.shape != (columns,):
+            raise ExperimentError(
+                f"operand shape {bits.shape} != ({columns},)"
+            )
+        operand_arrays.append(bits)
+
+    subarray_rows = bench.module.profile.subarray_rows
+    base = plan.group.subarray * subarray_rows
+    device_bank = bench.module.bank(bank)
+    for local_row, operand_index in plan.operand_of_row.items():
+        device_bank.write_row(base + local_row, operand_arrays[operand_index])
+    if plan.neutral_rows:
+        initialize_neutral_rows(
+            bench, bank, [base + row for row in plan.neutral_rows]
+        )
+
+    rf_global, rs_global = plan.group.global_pair(subarray_rows)
+    builder = ProgramBuilder()
+    builder.act(bank, rf_global)
+    builder.wait(t1_ns)
+    builder.pre(bank)
+    builder.wait(t2_ns)
+    builder.act(bank, rs_global)
+    builder.wait(READBACK_DELAY_NS)
+    builder.rd(bank)
+    result = bench.run(builder.build())
+    if not result.reads:
+        raise ExperimentError("MAJX readback produced no data")
+    event = device_bank.last_event
+    return MajXResult(
+        plan=plan,
+        result_bits=result.reads[0],
+        expected_bits=expected_majority(operand_arrays),
+        semantic=event.semantic if event is not None else "unknown",
+    )

@@ -1,0 +1,122 @@
+"""High-level PUD test operations and the best-known timings.
+
+This module holds the §3.2 simultaneous-many-row-activation test (the
+init -> APA -> WR -> readback recipe) plus the timing constants the
+characterization found optimal for each operation family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..bender.program import ProgramBuilder
+from ..bender.testbench import TestBench
+from ..errors import ExperimentError
+from .patterns import DataPattern
+from .rowgroups import RowGroup
+
+ACTIVATION_BEST_T1_NS = 3.0
+"""Best ACT->PRE gap for many-row activation (Obs 1)."""
+ACTIVATION_BEST_T2_NS = 3.0
+"""Best PRE->ACT gap for many-row activation (Obs 1)."""
+
+MAJX_BEST_T1_NS = 1.5
+"""Best ACT->PRE gap for MAJX (Obs 7)."""
+MAJX_BEST_T2_NS = 3.0
+"""Best PRE->ACT gap for MAJX (Obs 7)."""
+
+COPY_BEST_T1_NS = 36.0
+"""Best ACT->PRE gap for Multi-RowCopy (Obs 14): full tRAS."""
+COPY_BEST_T2_NS = 3.0
+"""Best PRE->ACT gap for Multi-RowCopy (Obs 14)."""
+
+WR_SETUP_DELAY_NS = 15.0
+"""Delay between the second ACT and the WR overdrive (respecting the
+nominal write timing, as the methodology in section 3.2 requires)."""
+
+
+@dataclass(frozen=True)
+class ActivationTestResult:
+    """Outcome of one §3.2 simultaneous-activation trial."""
+
+    group: RowGroup
+    semantic: str
+    correctness: Tuple[Tuple[int, ...], ...]
+    """Per activated row, per cell: did the WR data land?"""
+
+    @property
+    def success_fraction(self) -> float:
+        """Fraction of activated-row cells holding the WR data."""
+        if not self.correctness:
+            return 0.0
+        return float(np.mean([np.mean(row) for row in self.correctness]))
+
+    def flattened(self) -> np.ndarray:
+        """All cells' correctness as one boolean vector."""
+        return np.concatenate(
+            [np.asarray(row, dtype=bool) for row in self.correctness]
+        )
+
+
+def simultaneous_activation_test(
+    bench: TestBench,
+    bank: int,
+    group: RowGroup,
+    t1_ns: float = ACTIVATION_BEST_T1_NS,
+    t2_ns: float = ACTIVATION_BEST_T2_NS,
+    pattern: Optional[DataPattern] = None,
+    trial: int = 0,
+) -> ActivationTestResult:
+    """One trial of the section 3.2 methodology.
+
+    1. initialize the group's rows with the pattern;
+    2. issue the APA sequence with (t1, t2);
+    3. issue a WR carrying the *inverse* pattern (must differ from the
+       initialization data);
+    4. precharge, read every group row back with nominal timing, and
+       record which cells hold the WR data.
+    """
+    from .patterns import PATTERN_RANDOM
+
+    if pattern is None:
+        pattern = PATTERN_RANDOM
+    columns = bench.module.config.columns_per_row
+    subarray_rows = bench.module.profile.subarray_rows
+    device_bank = bench.module.bank(bank)
+
+    init_bits = {}
+    for global_row in group.global_rows(subarray_rows):
+        bits = pattern.row_bits(columns, "act-init", global_row, trial)
+        init_bits[global_row] = bits
+        device_bank.write_row(global_row, bits)
+
+    # The WR overdrive pattern must differ from every initialization
+    # row; the complement of a reference row guarantees that for fixed
+    # patterns and is near-certainly distinct for random data.
+    reference = pattern.row_bits(columns, "act-wr", group.row_first, trial)
+    wr_bits = pattern.inverse_bits(reference)
+
+    rf_global, rs_global = group.global_pair(subarray_rows)
+    builder = ProgramBuilder()
+    builder.act(bank, rf_global)
+    builder.wait(t1_ns)
+    builder.pre(bank)
+    builder.wait(t2_ns)
+    builder.act(bank, rs_global)
+    builder.wait(WR_SETUP_DELAY_NS)
+    builder.wr(bank, wr_bits)
+    bench.run(builder.build())
+    event = device_bank.last_event
+    if event is None:
+        raise ExperimentError("APA produced no activation event")
+
+    correctness = []
+    for global_row in group.global_rows(subarray_rows):
+        bits = device_bank.read_row(global_row)
+        correctness.append(tuple(int(v) for v in (bits == wr_bits).astype(np.uint8)))
+    return ActivationTestResult(
+        group=group, semantic=event.semantic, correctness=tuple(correctness)
+    )

@@ -1,0 +1,71 @@
+"""RowClone: in-DRAM row-to-row copy (paper section 2.2).
+
+An ``ACT -> PRE -> ACT`` sequence whose second gap sits between the
+interrupt window and nominal tRP (~6 ns) closes the first wordline
+but catches the sense amplifiers still driving the source data, so
+the second row is overwritten -- consecutive activation of two rows
+(footnote 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bender.program import apa_program
+from ..bender.testbench import TestBench
+from ..errors import ExperimentError
+
+ROWCLONE_T1_NS = 36.0
+"""ACT->PRE gap: full tRAS so the amplifiers are fully driven."""
+ROWCLONE_T2_NS = 6.0
+"""PRE->ACT gap inside the consecutive-activation window."""
+
+
+@dataclass(frozen=True)
+class RowCloneResult:
+    """Outcome of one RowClone operation."""
+
+    source_row: int
+    destination_row: int
+    match_fraction: float
+    """Fraction of destination bits equal to the source data."""
+    semantic: str
+    """What the device actually did (expected: ``rowclone``)."""
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the copy is usable (paper-grade: >99% of bits)."""
+        return self.semantic == "rowclone" and self.match_fraction > 0.99
+
+
+def execute_rowclone(
+    bench: TestBench,
+    bank: int,
+    source_row: int,
+    destination_row: int,
+    t1_ns: float = ROWCLONE_T1_NS,
+    t2_ns: float = ROWCLONE_T2_NS,
+) -> RowCloneResult:
+    """Copy one row onto another via consecutive activation.
+
+    The caller is responsible for the source data; this function
+    snapshots it, runs the APA, and reads the destination back with
+    nominal timing.
+    """
+    if source_row == destination_row:
+        raise ExperimentError("source and destination rows must differ")
+    device_bank = bench.module.bank(bank)
+    source_bits = device_bank.read_row(source_row)
+    program = apa_program(bank, source_row, destination_row, t1_ns, t2_ns)
+    bench.run(program)
+    event = device_bank.last_event
+    destination_bits = device_bank.read_row(destination_row)
+    match = float(np.mean(destination_bits == source_bits))
+    return RowCloneResult(
+        source_row=source_row,
+        destination_row=destination_row,
+        match_fraction=match,
+        semantic=event.semantic if event is not None else "unknown",
+    )

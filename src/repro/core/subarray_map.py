@@ -1,0 +1,66 @@
+"""Subarray boundary reverse engineering (paper section 3.1).
+
+Rows can only charge-share with rows on the same bitlines, so a
+RowClone between two rows succeeds iff they live in the same
+subarray.  The paper exploits this to map subarray boundaries on
+every tested module; we implement the same probe.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .. import rng
+from ..bender.testbench import TestBench
+from ..errors import ExperimentError
+from .rowclone import execute_rowclone
+
+
+def same_subarray(bench: TestBench, bank: int, row_a: int, row_b: int) -> bool:
+    """Probe whether two rows share bitlines, via a RowClone attempt.
+
+    Destroys the contents of both rows (they are filled with probe
+    data), exactly like the real reverse-engineering procedure.
+    """
+    if row_a == row_b:
+        return True
+    columns = bench.module.config.columns_per_row
+    device_bank = bench.module.bank(bank)
+    probe = rng.uniform_bits(columns, "subarray-probe", row_a, row_b)
+    device_bank.write_row(row_a, probe)
+    device_bank.write_row(row_b, probe.astype(np.uint8) ^ 1)
+    result = execute_rowclone(bench, bank, row_a, row_b)
+    return result.succeeded
+
+
+def discover_subarray_size(
+    bench: TestBench, bank: int, max_rows: int = 2048
+) -> int:
+    """Infer the subarray size by scanning for the first clone failure.
+
+    Cloning row ``r`` onto ``r + 1`` fails exactly when ``r + 1``
+    starts a new subarray, so the first failing ``r`` gives the size.
+    """
+    if max_rows < 2:
+        raise ExperimentError("need at least two rows to probe")
+    limit = min(max_rows, bench.module.profile.rows_per_bank)
+    for row in range(limit - 1):
+        if not same_subarray(bench, bank, row, row + 1):
+            return row + 1
+    raise ExperimentError(
+        f"no subarray boundary found in the first {limit} rows"
+    )
+
+
+def discover_boundaries(
+    bench: TestBench, bank: int, max_rows: int
+) -> List[int]:
+    """All subarray start rows within ``max_rows`` (0 is always one)."""
+    limit = min(max_rows, bench.module.profile.rows_per_bank)
+    boundaries = [0]
+    for row in range(limit - 1):
+        if not same_subarray(bench, bank, row, row + 1):
+            boundaries.append(row + 1)
+    return boundaries

@@ -1,0 +1,99 @@
+"""The paper's success-rate metric (section 3.1).
+
+*Success rate* = percentage of DRAM cells that produce the correct
+output in **all** test trials of a PUD operation.  A cell that is
+wrong even once is an *unstable cell* and counts as failed, because
+it cannot be relied on for computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SuccessSample:
+    """Aggregated success measurement for one tested row group."""
+
+    group_size: int
+    success_rate: float
+    trials: int
+    cells: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.success_rate <= 1.0:
+            raise ExperimentError(
+                f"success rate must be a fraction: {self.success_rate}"
+            )
+
+
+class SuccessRateAccumulator:
+    """Tracks per-cell correctness across trials of one operation.
+
+    Feed one boolean correctness vector per trial; cells stay
+    'successful' only while they have been correct in every trial.
+    """
+
+    def __init__(self, cells: int):
+        if cells <= 0:
+            raise ExperimentError("cell count must be positive")
+        self._cells = cells
+        self._always_correct: Optional[np.ndarray] = None
+        self._trials = 0
+
+    @property
+    def trials(self) -> int:
+        """Number of trials recorded."""
+        return self._trials
+
+    @property
+    def cells(self) -> int:
+        """Number of cells tracked."""
+        return self._cells
+
+    def record(self, correct: np.ndarray) -> None:
+        """Record one trial's per-cell correctness."""
+        correct = np.asarray(correct, dtype=bool)
+        if correct.shape != (self._cells,):
+            raise ExperimentError(
+                f"correctness vector shape {correct.shape} != ({self._cells},)"
+            )
+        if self._always_correct is None:
+            self._always_correct = correct.copy()
+        else:
+            self._always_correct &= correct
+        self._trials += 1
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of cells correct in every recorded trial."""
+        if self._always_correct is None:
+            raise ExperimentError("no trials recorded")
+        return float(np.mean(self._always_correct))
+
+    @property
+    def unstable_cells(self) -> int:
+        """Number of cells that failed at least once."""
+        if self._always_correct is None:
+            raise ExperimentError("no trials recorded")
+        return int(np.sum(~self._always_correct))
+
+    def stable_mask(self) -> np.ndarray:
+        """Boolean mask of cells correct in every trial."""
+        if self._always_correct is None:
+            raise ExperimentError("no trials recorded")
+        return self._always_correct.copy()
+
+    def sample(self, group_size: int) -> SuccessSample:
+        """Freeze into an immutable sample record."""
+        return SuccessSample(
+            group_size=group_size,
+            success_rate=self.success_rate,
+            trials=self._trials,
+            cells=self._cells,
+        )

@@ -1,0 +1,81 @@
+"""DRAM addressing.
+
+A bank-level row address splits into a *subarray index* (high bits,
+decoded by the global wordline decoder) and a *local row* (low bits,
+decoded by the per-subarray local wordline decoder).  The paper
+reverse-engineers this split in section 7.1: on the examined SK Hynix
+part the low 9 bits index within a 512-row subarray and the high 7
+bits select one of 128 subarrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AddressError
+
+
+@dataclass(frozen=True, order=True)
+class BankAddress:
+    """Identifies a bank within a module."""
+
+    bank: int
+
+    def __post_init__(self) -> None:
+        if self.bank < 0:
+            raise AddressError(f"bank index must be non-negative: {self.bank}")
+
+
+@dataclass(frozen=True, order=True)
+class RowAddress:
+    """A bank-level row address decomposed against a subarray geometry.
+
+    Attributes
+    ----------
+    subarray:
+        Index of the subarray within the bank (high address bits).
+    local_row:
+        Row index within the subarray (low address bits).
+    """
+
+    subarray: int
+    local_row: int
+
+    def __post_init__(self) -> None:
+        if self.subarray < 0:
+            raise AddressError(f"subarray index must be non-negative: {self.subarray}")
+        if self.local_row < 0:
+            raise AddressError(f"local row must be non-negative: {self.local_row}")
+
+    def global_row(self, subarray_rows: int) -> int:
+        """Recompose into a flat bank-level row number."""
+        if self.local_row >= subarray_rows:
+            raise AddressError(
+                f"local row {self.local_row} outside subarray of {subarray_rows} rows"
+            )
+        return self.subarray * subarray_rows + self.local_row
+
+
+def decompose_row(global_row: int, subarray_rows: int, rows_per_bank: int) -> RowAddress:
+    """Split a flat bank-level row number into (subarray, local row).
+
+    Raises
+    ------
+    AddressError
+        If the row number is outside the bank or the geometry is
+        inconsistent.
+    """
+    if subarray_rows <= 0:
+        raise AddressError(f"subarray_rows must be positive: {subarray_rows}")
+    if not 0 <= global_row < rows_per_bank:
+        raise AddressError(
+            f"row {global_row} outside bank of {rows_per_bank} rows"
+        )
+    return RowAddress(
+        subarray=global_row // subarray_rows, local_row=global_row % subarray_rows
+    )
+
+
+def compose_row(address: RowAddress, subarray_rows: int) -> int:
+    """Inverse of :func:`decompose_row`."""
+    return address.global_row(subarray_rows)

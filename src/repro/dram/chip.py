@@ -1,0 +1,49 @@
+"""DRAM chip metadata.
+
+Chips on a DIMM operate in lockstep over a 64-bit data bus, so the
+functional simulation happens at module level (one logical cell array
+per bank covering the whole rank).  The :class:`Chip` objects carry
+the identity and slice information needed to attribute module-level
+columns back to physical chips -- the granularity at which the paper
+counts its 120 devices (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .vendor import VendorProfile
+
+
+@dataclass(frozen=True)
+class Chip:
+    """One physical DRAM device on a module."""
+
+    serial: str
+    profile: VendorProfile
+    position: int
+    """Position on the rank (0-based, left to right)."""
+    data_width: int
+    """Bits of the 64-bit bus this chip drives (8 for x8, 16 for x16)."""
+
+    def __post_init__(self) -> None:
+        if self.data_width not in (4, 8, 16):
+            raise ConfigurationError(f"unsupported data width {self.data_width}")
+        if self.position < 0:
+            raise ConfigurationError("chip position must be non-negative")
+
+    def column_slice(self, columns_per_row: int, chips_per_module: int) -> slice:
+        """Module-level column range this chip stores.
+
+        Module rows interleave across chips; for analysis purposes we
+        attribute a contiguous share of the simulated columns to each
+        chip, preserving per-chip success-rate attribution.
+        """
+        if columns_per_row % chips_per_module != 0:
+            raise ConfigurationError(
+                f"{columns_per_row} columns do not divide over "
+                f"{chips_per_module} chips"
+            )
+        share = columns_per_row // chips_per_module
+        return slice(self.position * share, (self.position + 1) * share)

@@ -1,0 +1,99 @@
+"""DRAM command encoding.
+
+Commands are immutable records with an *issue time* in nanoseconds.
+The bank state machine (:mod:`repro.dram.bank`) interprets sequences
+of timed commands; the Bender-style scheduler
+(:mod:`repro.bender.scheduler`) produces them from test programs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import AddressError
+
+
+class CommandKind(enum.Enum):
+    """DDR4 command types relevant to the paper's experiments."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    NOP = "NOP"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A single DRAM command with its issue timestamp.
+
+    Attributes
+    ----------
+    kind:
+        The command type.
+    time_ns:
+        Absolute issue time on the command bus, in nanoseconds.
+    bank:
+        Target bank (ignored for REF, which is all-bank here).
+    row:
+        Bank-level row address, for ACT.
+    data:
+        Column data for WR: a uint8 0/1 array covering the full row
+        width (the testing methodology writes whole rows).
+    """
+
+    kind: CommandKind
+    time_ns: float
+    bank: int = 0
+    row: Optional[int] = None
+    data: Optional[Tuple[int, ...]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind is CommandKind.ACT and self.row is None:
+            raise AddressError("ACT requires a row address")
+        if self.time_ns < 0:
+            raise AddressError(f"command time must be non-negative: {self.time_ns}")
+
+    def data_array(self) -> Optional[np.ndarray]:
+        """Return WR data as a numpy uint8 array (or None)."""
+        if self.data is None:
+            return None
+        return np.asarray(self.data, dtype=np.uint8)
+
+
+def act(time_ns: float, bank: int, row: int) -> Command:
+    """Construct an ACTIVATE command."""
+    return Command(CommandKind.ACT, time_ns, bank=bank, row=row)
+
+
+def pre(time_ns: float, bank: int) -> Command:
+    """Construct a PRECHARGE command."""
+    return Command(CommandKind.PRE, time_ns, bank=bank)
+
+
+def rd(time_ns: float, bank: int) -> Command:
+    """Construct a READ command (whole open row, test-infrastructure style)."""
+    return Command(CommandKind.RD, time_ns, bank=bank)
+
+
+def wr(time_ns: float, bank: int, data: np.ndarray) -> Command:
+    """Construct a WRITE command carrying a full row of 0/1 data."""
+    bits = np.asarray(data, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise AddressError("WR data must be a 1-D bit array")
+    return Command(CommandKind.WR, time_ns, bank=bank, data=tuple(int(b) for b in bits))
+
+
+def ref(time_ns: float) -> Command:
+    """Construct a REFRESH command."""
+    return Command(CommandKind.REF, time_ns)
+
+
+def nop(time_ns: float) -> Command:
+    """Construct a NOP (timing filler)."""
+    return Command(CommandKind.NOP, time_ns)

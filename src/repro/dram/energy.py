@@ -1,0 +1,139 @@
+"""Energy accounting from executed command streams.
+
+The paper measures operation power on a live module (Fig 5).  The
+simulator equivalent: record what a bank actually did (its ``stats``
+counters and activation events), charge each action an energy from an
+IDD-derived budget, and divide by the elapsed bus time.  This lets
+benchmarks *measure* the power of a command program instead of only
+quoting the analytic model -- and the two are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .bank import ActivationEvent
+from .power import PowerModel
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """Per-action energies (picojoules), IDD-style.
+
+    ``act_pre_base_pj`` covers a single-row activate/precharge cycle;
+    each extra *predecoder field* toggled by a multi-row activation
+    adds ``act_extra_field_pj`` (the log2 scaling behind Fig 5's
+    sub-linear growth).  ``background_mw`` is the static draw charged
+    for the whole elapsed time.
+    """
+
+    act_pre_base_pj: float = 5940.0
+    act_extra_field_pj: float = 1630.0
+    rd_pj: float = 4200.0
+    wr_pj: float = 4600.0
+    ref_pj: float = 68_250.0
+    frac_pj: float = 2500.0
+    background_mw: float = 55.0
+
+    def __post_init__(self) -> None:
+        values = (
+            self.act_pre_base_pj,
+            self.act_extra_field_pj,
+            self.rd_pj,
+            self.wr_pj,
+            self.ref_pj,
+            self.frac_pj,
+            self.background_mw,
+        )
+        if min(values) <= 0:
+            raise ConfigurationError("energy budget entries must be positive")
+
+    def activation_energy_pj(self, n_rows: int) -> float:
+        """Energy of one (possibly multi-row) activate/precharge cycle."""
+        if n_rows < 1:
+            raise ConfigurationError(f"n_rows must be >= 1: {n_rows}")
+        fields_toggled = max(0, int(math.log2(n_rows)))
+        return self.act_pre_base_pj + self.act_extra_field_pj * fields_toggled
+
+
+class EnergyAccountant:
+    """Charge energies against bank statistics and activation events."""
+
+    def __init__(self, budget: EnergyBudget = None):
+        self._budget = budget or EnergyBudget()
+
+    @property
+    def budget(self) -> EnergyBudget:
+        """The per-action energy budget."""
+        return self._budget
+
+    def command_energy_pj(self, stats: Counter) -> float:
+        """Energy of RD/WR/REF commands recorded in a stats counter."""
+        return (
+            stats.get("RD", 0) * self._budget.rd_pj
+            + stats.get("WR", 0) * self._budget.wr_pj
+            + stats.get("REF", 0) * self._budget.ref_pj
+            + stats.get("frac", 0) * self._budget.frac_pj
+        )
+
+    def activation_energy_pj(self, events: Iterable[ActivationEvent]) -> float:
+        """Energy of the activate/precharge work in an event stream."""
+        total = 0.0
+        for event in events:
+            total += self._budget.activation_energy_pj(max(1, len(event.rows)))
+        return total
+
+    def total_energy_pj(
+        self,
+        stats: Counter,
+        events: Iterable[ActivationEvent],
+        elapsed_ns: float,
+    ) -> float:
+        """Dynamic + background energy over an elapsed window."""
+        if elapsed_ns < 0:
+            raise ConfigurationError("elapsed time must be non-negative")
+        background_pj = self._budget.background_mw * elapsed_ns  # mW*ns = pJ
+        return (
+            self.command_energy_pj(stats)
+            + self.activation_energy_pj(events)
+            + background_pj
+        )
+
+    def average_power_mw(
+        self,
+        stats: Counter,
+        events: Iterable[ActivationEvent],
+        elapsed_ns: float,
+    ) -> float:
+        """Average power over a window (pJ / ns = mW)."""
+        if elapsed_ns <= 0:
+            raise ConfigurationError("elapsed time must be positive")
+        return self.total_energy_pj(stats, events, elapsed_ns) / elapsed_ns
+
+
+def budget_from_power_model(
+    model: PowerModel = None, cycle_ns: float = 49.5
+) -> EnergyBudget:
+    """Derive an energy budget consistent with the Fig 5 power model.
+
+    Each operation's energy = (its average power - background) times
+    a representative command cycle, so replaying an operation
+    back-to-back reproduces the Fig 5 power levels.
+    """
+    model = model or PowerModel()
+    background = PowerModel.BACKGROUND_MW
+    act = model.standard_operation("ACT+PRE").milliwatts
+    act32 = model.many_row_activation(32).milliwatts
+    per_field = (act32 - model.many_row_activation(1).milliwatts) / 5.0
+    return EnergyBudget(
+        act_pre_base_pj=(act - background) * cycle_ns,
+        act_extra_field_pj=per_field * cycle_ns,
+        rd_pj=(model.standard_operation("RD").milliwatts - background) * 40.0,
+        wr_pj=(model.standard_operation("WR").milliwatts - background) * 40.0,
+        ref_pj=(model.standard_operation("REF").milliwatts - background) * 350.0,
+        background_mw=background,
+    )

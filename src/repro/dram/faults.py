@@ -1,0 +1,134 @@
+"""Stuck-at fault injection.
+
+Real DRAM populations contain weak and stuck cells; the paper's
+error-correction case study (section 8.1) exists because systems must
+tolerate them.  :class:`FaultInjector` plants deterministic stuck-at-0
+/ stuck-at-1 faults into a subarray's cells: every write through the
+cell array re-applies the stuck values, exactly like a hard fault in
+the storage node.  Used by the TMR tests and the fault-tolerance
+example to measure how MAJX voting masks real cell damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from .. import rng
+from ..errors import ConfigurationError
+from .cell import LEVEL_ONE, LEVEL_ZERO
+from .subarray import Subarray
+
+
+@dataclass(frozen=True)
+class StuckFault:
+    """One stuck cell."""
+
+    row: int
+    column: int
+    stuck_value: int  # 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.stuck_value not in (0, 1):
+            raise ConfigurationError("stuck value must be 0 or 1")
+        if self.row < 0 or self.column < 0:
+            raise ConfigurationError("fault coordinates must be non-negative")
+
+
+class FaultInjector:
+    """Plants and enforces stuck-at faults in one subarray.
+
+    Enforcement hooks the cell array's write path: after installation
+    every ``write_levels`` pins the faulty cells, so host writes, PUD
+    results, and charge restores all see the damage.
+    """
+
+    def __init__(self, subarray: Subarray):
+        self._subarray = subarray
+        self._faults: Dict[Tuple[int, int], int] = {}
+        self._installed = False
+
+    @property
+    def faults(self) -> List[StuckFault]:
+        """The planted faults."""
+        return [
+            StuckFault(row=row, column=column, stuck_value=value)
+            for (row, column), value in sorted(self._faults.items())
+        ]
+
+    def plant(self, faults: Iterable[StuckFault]) -> None:
+        """Add faults (and pin their cells immediately)."""
+        cells = self._subarray.cells
+        for fault in faults:
+            if fault.row >= cells.rows or fault.column >= cells.columns:
+                raise ConfigurationError(
+                    f"fault at ({fault.row}, {fault.column}) outside the "
+                    f"{cells.rows}x{cells.columns} subarray"
+                )
+            self._faults[(fault.row, fault.column)] = fault.stuck_value
+        self._install()
+        self._apply()
+
+    def plant_random(
+        self, count: int, seed_tokens: Tuple = ("faults",)
+    ) -> List[StuckFault]:
+        """Plant ``count`` uniformly random stuck faults."""
+        if count < 0:
+            raise ConfigurationError("fault count must be non-negative")
+        cells = self._subarray.cells
+        generator = rng.generator(*seed_tokens)
+        planted = []
+        for _ in range(count):
+            planted.append(
+                StuckFault(
+                    row=int(generator.integers(0, cells.rows)),
+                    column=int(generator.integers(0, cells.columns)),
+                    stuck_value=int(generator.integers(0, 2)),
+                )
+            )
+        self.plant(planted)
+        return planted
+
+    def _install(self) -> None:
+        if self._installed:
+            return
+        cells = self._subarray.cells
+        original_write = cells.write_levels
+        faults = self._faults
+
+        def pinned_write(row: int, levels: np.ndarray) -> None:
+            original_write(row, levels)
+            for (fault_row, column), value in faults.items():
+                if fault_row == row:
+                    pinned = LEVEL_ONE if value else LEVEL_ZERO
+                    cells._levels[row, column] = pinned  # noqa: SLF001
+
+        cells.write_levels = pinned_write  # type: ignore[method-assign]
+        self._installed = True
+
+    def _apply(self) -> None:
+        cells = self._subarray.cells
+        for (row, column), value in self._faults.items():
+            cells._levels[row, column] = (  # noqa: SLF001
+                LEVEL_ONE if value else LEVEL_ZERO
+            )
+
+    def fault_mask(self) -> np.ndarray:
+        """Boolean (rows x columns) mask of faulty cells."""
+        cells = self._subarray.cells
+        mask = np.zeros((cells.rows, cells.columns), dtype=bool)
+        for row, column in self._faults:
+            mask[row, column] = True
+        return mask
+
+    def faulty_columns(self, rows: Iterable[int]) -> np.ndarray:
+        """Columns with at least one fault among the given rows."""
+        cells = self._subarray.cells
+        mask = np.zeros(cells.columns, dtype=bool)
+        rows = set(rows)
+        for row, column in self._faults:
+            if row in rows:
+                mask[column] = True
+        return mask

@@ -1,0 +1,209 @@
+"""DRAM module (DIMM) model.
+
+A module bundles the banks, the chips that form its rank, the vendor
+profile, and the per-module reliability personality.  The testbench
+(:mod:`repro.bender.testbench`) sets the module's operating
+temperature and wordline voltage, which propagate to every bank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import DEFAULT_CONFIG, SimulationConfig
+from ..errors import AddressError
+from .bank import Bank
+from .behavior import ReliabilityModel
+from .chip import Chip
+from .timing import DDR4_TIMINGS, TimingParameters
+from .vendor import ModuleSpec, TESTED_MODULES, VendorProfile
+
+
+class Module:
+    """One simulated DIMM."""
+
+    def __init__(
+        self,
+        serial: str,
+        profile: VendorProfile,
+        config: SimulationConfig = DEFAULT_CONFIG,
+        timings: TimingParameters = DDR4_TIMINGS,
+        spec: Optional[ModuleSpec] = None,
+    ):
+        self._serial = serial
+        self._profile = profile
+        self._config = config
+        self._timings = timings
+        self._spec = spec
+        self._reliability = ReliabilityModel(config, profile, serial)
+        self._banks: Dict[int, Bank] = {}
+        self._temperature_c = 50.0
+        self._vpp = 2.5
+        width = int(profile.die.organization[1:])
+        n_chips = 64 // width
+        self._chips = tuple(
+            Chip(
+                serial=f"{serial}-c{i}",
+                profile=profile,
+                position=i,
+                data_width=width,
+            )
+            for i in range(n_chips)
+        )
+
+    @property
+    def serial(self) -> str:
+        """Module serial identifier."""
+        return self._serial
+
+    @property
+    def profile(self) -> VendorProfile:
+        """The vendor profile of this module's chips."""
+        return self._profile
+
+    @property
+    def config(self) -> SimulationConfig:
+        """Simulation configuration in force."""
+        return self._config
+
+    @property
+    def timings(self) -> TimingParameters:
+        """Nominal timing parameters."""
+        return self._timings
+
+    @property
+    def spec(self) -> Optional[ModuleSpec]:
+        """Catalog entry this module instantiates (may be None)."""
+        return self._spec
+
+    @property
+    def reliability(self) -> ReliabilityModel:
+        """This module's calibrated reliability model."""
+        return self._reliability
+
+    @property
+    def chips(self) -> tuple:
+        """The chips forming this module's rank."""
+        return self._chips
+
+    @property
+    def n_banks(self) -> int:
+        """Banks per module."""
+        return self._profile.banks
+
+    def bank(self, index: int) -> Bank:
+        """Lazily constructed bank."""
+        if not 0 <= index < self._profile.banks:
+            raise AddressError(
+                f"bank {index} outside module of {self._profile.banks} banks"
+            )
+        if index not in self._banks:
+            bank = Bank(
+                index,
+                self._profile,
+                self._config,
+                self._reliability,
+                self._timings,
+                self._serial,
+            )
+            bank.temperature_c = self._temperature_c
+            bank.vpp = self._vpp
+            self._banks[index] = bank
+        return self._banks[index]
+
+    @property
+    def temperature_c(self) -> float:
+        """Current chip temperature (C)."""
+        return self._temperature_c
+
+    @temperature_c.setter
+    def temperature_c(self, value: float) -> None:
+        self._temperature_c = float(value)
+        for bank in self._banks.values():
+            bank.temperature_c = self._temperature_c
+
+    @property
+    def vpp(self) -> float:
+        """Current wordline voltage (V)."""
+        return self._vpp
+
+    @vpp.setter
+    def vpp(self, value: float) -> None:
+        self._vpp = float(value)
+        for bank in self._banks.values():
+            bank.vpp = self._vpp
+
+    def power_cycle(
+        self,
+        off_seconds: float,
+        temp_c: Optional[float] = None,
+        retention=None,
+    ) -> int:
+        """Cut power for ``off_seconds`` and return the cells that decayed.
+
+        Charged cells leak toward ground while unpowered (the
+        remanence behind cold-boot attacks, section 8.2); how many
+        survive depends on the off time and the chip temperature.
+        Neutral (VDD/2) cells sit closer to the leak target and are
+        treated as lost immediately.  All banks precharge (the power
+        loss collapses any active wordlines).
+        """
+        from .cell import LEVEL_HALF, LEVEL_ONE, LEVEL_ZERO
+        from .retention import RetentionModel
+
+        model = retention or RetentionModel(seed=self._config.seed)
+        temperature = self._temperature_c if temp_c is None else temp_c
+        decayed_cells = 0
+        for bank in self._banks.values():
+            bank.settle()
+            for subarray in bank._subarrays.values():  # noqa: SLF001
+                cells = subarray.cells
+                for row in range(cells.rows):
+                    levels = cells.read_levels(row)
+                    charged = levels == LEVEL_ONE
+                    neutral = levels == LEVEL_HALF
+                    if not charged.any() and not neutral.any():
+                        continue
+                    mask = model.decay_mask(
+                        cells.columns,
+                        off_seconds,
+                        temperature,
+                        tag=f"{self._serial}/{bank.index}/{subarray.index}/{row}",
+                    )
+                    lost = (charged & mask) | neutral
+                    if lost.any():
+                        levels = levels.copy()
+                        levels[lost] = LEVEL_ZERO
+                        cells.write_levels(row, levels)
+                        decayed_cells += int(lost.sum())
+        return decayed_cells
+
+
+def build_module(
+    spec: ModuleSpec,
+    instance: int = 0,
+    config: SimulationConfig = DEFAULT_CONFIG,
+    timings: TimingParameters = DDR4_TIMINGS,
+) -> Module:
+    """Instantiate one module of a catalog spec."""
+    serial = f"{spec.module_identifier}#{instance}"
+    return Module(serial, spec.profile, config=config, timings=timings, spec=spec)
+
+
+def build_tested_fleet(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    modules_per_spec: Optional[int] = None,
+) -> List[Module]:
+    """Instantiate the paper's tested-module fleet (Table 1/2).
+
+    ``modules_per_spec`` caps how many instances of each catalog entry
+    to build (None = the paper's full counts: 7 + 5 + 4 + 2 = 18).
+    """
+    fleet: List[Module] = []
+    for spec in TESTED_MODULES:
+        count = spec.n_modules if modules_per_spec is None else min(
+            spec.n_modules, modules_per_spec
+        )
+        for instance in range(count):
+            fleet.append(build_module(spec, instance, config=config))
+    return fleet

@@ -1,0 +1,150 @@
+"""Refresh management and hidden row activation (HiRA).
+
+Background for the paper's related work (section 10.1): HiRA shows
+that real chips can activate two rows in *electrically isolated*
+subarrays in quick succession, letting a refresh of one row hide
+behind the activation of another.  Our bank model produces exactly
+that behaviour for cross-subarray APA pairs, so this module builds
+the scheduler on top:
+
+- :class:`RefreshScheduler`: tracks per-row refresh deadlines against
+  tREFI/tREFW and emits the rows most in need of refresh.
+- :func:`hidden_refresh`: refresh one row *concurrently* with an
+  access to a row in a different subarray, returning the time saved
+  versus serializing the two operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigurationError, ExperimentError
+from ..units import ms
+from .address import decompose_row
+
+REFRESH_WINDOW_NS = ms(64.0)
+"""tREFW: every row must refresh within this window (DDR4)."""
+
+
+@dataclass(frozen=True)
+class HiddenRefreshResult:
+    """Outcome of one hidden-refresh operation."""
+
+    refreshed_row: int
+    accessed_row: int
+    serial_ns: float
+    hidden_ns: float
+
+    @property
+    def saved_ns(self) -> float:
+        """Bus time saved versus serializing refresh and access."""
+        return self.serial_ns - self.hidden_ns
+
+    @property
+    def saving_fraction(self) -> float:
+        """Relative latency saving."""
+        return self.saved_ns / self.serial_ns if self.serial_ns else 0.0
+
+
+class RefreshScheduler:
+    """Tracks per-row refresh deadlines for one bank."""
+
+    def __init__(self, rows_per_bank: int, window_ns: float = REFRESH_WINDOW_NS):
+        if rows_per_bank <= 0:
+            raise ConfigurationError("rows_per_bank must be positive")
+        if window_ns <= 0:
+            raise ConfigurationError("refresh window must be positive")
+        self._window_ns = window_ns
+        self._last_refresh: Dict[int, float] = {
+            row: 0.0 for row in range(rows_per_bank)
+        }
+
+    @property
+    def window_ns(self) -> float:
+        """The refresh window (tREFW)."""
+        return self._window_ns
+
+    def mark_refreshed(self, row: int, now_ns: float) -> None:
+        """Record a refresh (an activation restores the row's charge)."""
+        if row not in self._last_refresh:
+            raise ConfigurationError(f"row {row} outside the bank")
+        self._last_refresh[row] = now_ns
+
+    def deadline_ns(self, row: int) -> float:
+        """When this row must next be refreshed."""
+        return self._last_refresh[row] + self._window_ns
+
+    def overdue(self, now_ns: float) -> List[int]:
+        """Rows whose window has already expired (data at risk)."""
+        return sorted(
+            row
+            for row, last in self._last_refresh.items()
+            if now_ns - last > self._window_ns
+        )
+
+    def most_urgent(self, count: int, now_ns: float = 0.0) -> List[int]:
+        """The rows with the nearest refresh deadlines."""
+        if count < 1:
+            raise ConfigurationError("count must be positive")
+        ordered = sorted(
+            self._last_refresh, key=lambda row: self._last_refresh[row]
+        )
+        return ordered[:count]
+
+
+def hidden_refresh(
+    bench,
+    bank: int,
+    refresh_row: int,
+    access_row: int,
+    scheduler: "RefreshScheduler" = None,
+) -> HiddenRefreshResult:
+    """Refresh one row under cover of an access to another subarray.
+
+    Issues ``ACT refresh_row -> PRE (interrupted) -> ACT access_row``;
+    because the rows sit on different bitlines, both stay open and
+    both get their charge restored -- one refresh hidden behind one
+    access (HiRA).  Raises if the rows share a subarray (that would
+    be a PUD operation, not a refresh).
+    """
+    profile = bench.module.profile
+    first = decompose_row(refresh_row, profile.subarray_rows, profile.rows_per_bank)
+    second = decompose_row(access_row, profile.subarray_rows, profile.rows_per_bank)
+    if first.subarray == second.subarray:
+        raise ExperimentError(
+            "hidden refresh requires rows in different subarrays"
+        )
+    # Imported lazily: the bender layer sits above repro.dram and a
+    # module-level import would be circular.
+    from ..bender.program import ProgramBuilder
+
+    timings = bench.module.timings
+    builder = ProgramBuilder()
+    builder.act(bank, refresh_row)
+    builder.wait(timings.t_ras)
+    builder.pre(bank)
+    builder.wait(3.0)
+    builder.act(bank, access_row)
+    builder.wait(timings.t_ras)
+    builder.pre(bank)
+    program = builder.build()
+    result = bench.run(program)
+    event = bench.module.bank(bank).last_event
+    if event is None or event.semantic != "cross-subarray":
+        raise ExperimentError(
+            f"hidden refresh did not engage (semantic: "
+            f"{event.semantic if event else None})"
+        )
+    hidden_ns = program.duration_ns()
+    serial_ns = 2 * (timings.t_ras + timings.t_rp)
+    if scheduler is not None:
+        now = bench.bender.scheduler.clock_ns
+        scheduler.mark_refreshed(refresh_row, now)
+        scheduler.mark_refreshed(access_row, now)
+    return HiddenRefreshResult(
+        refreshed_row=refresh_row,
+        accessed_row=access_row,
+        serial_ns=serial_ns,
+        hidden_ns=hidden_ns,
+    )

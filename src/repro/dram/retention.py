@@ -1,0 +1,83 @@
+"""Cell charge retention model.
+
+Cold-boot attacks (paper section 8.2) work because DRAM cells keep
+their charge for seconds to minutes after power-off.  This model
+provides the remanence curve used by the cold-boot case study: the
+fraction of cells still holding readable data after a power-off
+interval, as a function of temperature (colder chips retain far
+longer -- the principle behind canned-air attacks).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import rng
+from ..errors import ConfigurationError
+
+
+class RetentionModel:
+    """Post-power-off data remanence.
+
+    The per-cell retention time follows a lognormal distribution whose
+    median halves for every ``halving_celsius`` of temperature rise --
+    the standard Arrhenius-style leakage behaviour reported by
+    retention studies the paper cites.
+    """
+
+    def __init__(
+        self,
+        median_retention_s: float = 4.0,
+        sigma_ln: float = 1.1,
+        reference_temp_c: float = 20.0,
+        halving_celsius: float = 10.0,
+        seed: int = 2024,
+    ):
+        if median_retention_s <= 0 or sigma_ln <= 0 or halving_celsius <= 0:
+            raise ConfigurationError("retention parameters must be positive")
+        self._median_s = median_retention_s
+        self._sigma_ln = sigma_ln
+        self._reference_temp_c = reference_temp_c
+        self._halving_celsius = halving_celsius
+        self._seed = seed
+
+    def median_at(self, temp_c: float) -> float:
+        """Median retention time (s) at a given chip temperature."""
+        delta = temp_c - self._reference_temp_c
+        return self._median_s * 2.0 ** (-delta / self._halving_celsius)
+
+    def surviving_fraction(self, elapsed_s: float, temp_c: float) -> float:
+        """Fraction of cells still holding their value after power-off."""
+        if elapsed_s < 0:
+            raise ConfigurationError("elapsed time must be non-negative")
+        if elapsed_s == 0:
+            return 1.0
+        median = self.median_at(temp_c)
+        z = (math.log(elapsed_s) - math.log(median)) / self._sigma_ln
+        return 0.5 * (1.0 - math.erf(z / math.sqrt(2.0)))
+
+    def decay_mask(
+        self, columns: int, elapsed_s: float, temp_c: float, tag: str = "decay"
+    ) -> np.ndarray:
+        """Boolean mask of cells that *lost* their data after power-off."""
+        survive_p = self.surviving_fraction(elapsed_s, temp_c)
+        draws = rng.generator(self._seed, "retention", tag, elapsed_s, temp_c).random(
+            columns
+        )
+        return draws > survive_p
+
+    def recoverable_fraction(
+        self, elapsed_s: float, temp_c: float, destroyed_fraction: float = 0.0
+    ) -> float:
+        """Fraction of secret bits an attacker can still read.
+
+        ``destroyed_fraction`` is the share of rows a content-destruction
+        mechanism managed to overwrite before power was cut.
+        """
+        if not 0.0 <= destroyed_fraction <= 1.0:
+            raise ConfigurationError("destroyed_fraction must be in [0, 1]")
+        return (1.0 - destroyed_fraction) * self.surviving_fraction(
+            elapsed_s, temp_c
+        )

@@ -1,0 +1,69 @@
+"""Sense amplifier array model.
+
+Each column's sense amplifier regenerates the bitline perturbation to
+full rail.  Two behaviours matter for PUD:
+
+- **Bias**: with zero differential (e.g. a neutral VDD/2 cell on the
+  bitline, or a tied charge-sharing contest) the amplifier resolves
+  toward a per-instance preferred direction set by transistor
+  mismatch.  The paper exploits this on Mfr. M parts, whose
+  amplifiers are "always biased to one or zero" (footnote 5).
+- **Offset**: the per-instance threshold asymmetry that the
+  reliability model captures as the column's ``eta`` draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import rng
+from ..config import SimulationConfig
+
+
+class SenseAmplifierArray:
+    """Per-column sense-amplifier personalities for one subarray."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        module_serial: str,
+        bank: int,
+        subarray: int,
+        columns: int,
+        uniformly_biased: bool,
+    ):
+        self._columns = columns
+        if uniformly_biased:
+            # Mfr. M style: the whole array resolves the same way; which
+            # way is a per-subarray coin flip.
+            direction = rng.generator(
+                config.seed, "sa-bias-dir", module_serial, bank, subarray
+            ).integers(0, 2)
+            self._bias = np.full(columns, direction, dtype=np.uint8)
+        else:
+            self._bias = rng.uniform_bits(
+                columns, config.seed, "sa-bias", module_serial, bank, subarray
+            )
+
+    @property
+    def columns(self) -> int:
+        """Number of sense amplifiers (columns)."""
+        return self._columns
+
+    @property
+    def bias(self) -> np.ndarray:
+        """Per-column preferred resolution for zero differential (0/1)."""
+        return self._bias
+
+    def resolve(self, differential_sign: np.ndarray) -> np.ndarray:
+        """Regenerate a per-column differential to logic values.
+
+        ``differential_sign`` holds -1 (toward 0), 0 (tie), +1
+        (toward 1) per column; ties resolve to the bias direction.
+        """
+        sign = np.asarray(differential_sign)
+        result = np.where(sign > 0, 1, 0).astype(np.uint8)
+        ties = sign == 0
+        if np.any(ties):
+            result[ties] = self._bias[ties]
+        return result

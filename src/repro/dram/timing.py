@@ -1,0 +1,113 @@
+"""JEDEC DDR4 timing parameters and violation classification.
+
+The PUD operations in the paper work *because* the memory controller
+violates ``tRAS`` (ACT -> PRE spacing, called ``t1``) and ``tRP``
+(PRE -> ACT spacing, called ``t2``).  This module centralizes the
+nominal values and the classification of an observed ``(t1, t2)``
+pair into the behavioural regime it produces on susceptible chips:
+
+- ``t2`` at or below the *interrupt window* (~3 ns): the second ACT
+  interrupts the precharge before the predecoder latches clear, so
+  many rows open simultaneously (sections 4-6).
+- ``t2`` above the interrupt window but below nominal ``tRP``
+  (e.g. 6 ns): the wordline of the first row is already de-asserted
+  but the sense amplifiers still hold its data, producing the
+  *consecutive two-row activation* that RowClone-style copies use
+  (footnote 6).
+- ``t2`` at or above nominal ``tRP``: fully standard behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class ApaRegime(enum.Enum):
+    """Behavioural regime of an ACT->PRE->ACT sequence on susceptible chips."""
+
+    SIMULTANEOUS = "simultaneous"
+    """Predecoder latches retain both addresses: many rows open at once."""
+
+    CONSECUTIVE = "consecutive"
+    """First wordline closed, sense amps still driven: RowClone copy."""
+
+    STANDARD = "standard"
+    """All timings respected: the second ACT opens only its own row."""
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Nominal DDR4 timing parameters (nanoseconds).
+
+    Values follow JESD79-4 for a DDR4-2666 grade part; ``t_ras`` is
+    36 ns to match the paper's "waiting for the tRAS timing parameter
+    (i.e., t1 = 36 ns)" in section 6.
+    """
+
+    t_rcd: float = 13.5
+    """ACT to RD/WR delay."""
+    t_ras: float = 36.0
+    """ACT to PRE minimum."""
+    t_rp: float = 13.5
+    """PRE to ACT minimum."""
+    t_wr: float = 15.0
+    """Write recovery time."""
+    t_rfc: float = 350.0
+    """Refresh cycle time (8 Gb-class)."""
+    t_refi: float = 7800.0
+    """Average refresh interval."""
+    t_rc: float = 49.5
+    """ACT to ACT (same bank) minimum, t_ras + t_rp."""
+
+    interrupt_window_ns: float = 3.0
+    """Largest PRE->ACT gap that still interrupts the precharge before
+    the predecoder latches clear (paper: t2 <= 3 ns)."""
+
+    consecutive_window_ns: float = 8.0
+    """Largest PRE->ACT gap that still catches the sense amplifiers
+    driven with the first row's data (paper footnote 6: ~6 ns)."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "t_rcd",
+            "t_ras",
+            "t_rp",
+            "t_wr",
+            "t_rfc",
+            "t_refi",
+            "t_rc",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not 0 < self.interrupt_window_ns < self.consecutive_window_ns:
+            raise ConfigurationError(
+                "interrupt window must be positive and below the consecutive window"
+            )
+        if self.consecutive_window_ns >= self.t_rp:
+            raise ConfigurationError(
+                "consecutive window must be below nominal tRP"
+            )
+
+    def classify_apa(self, t2_ns: float) -> ApaRegime:
+        """Classify the PRE->ACT gap of an APA sequence."""
+        if t2_ns < 0:
+            raise ConfigurationError(f"t2 must be non-negative: {t2_ns}")
+        if t2_ns <= self.interrupt_window_ns:
+            return ApaRegime.SIMULTANEOUS
+        if t2_ns <= self.consecutive_window_ns:
+            return ApaRegime.CONSECUTIVE
+        return ApaRegime.STANDARD
+
+    def violates_t_ras(self, t1_ns: float) -> bool:
+        """Whether an ACT->PRE gap undershoots nominal tRAS."""
+        return t1_ns < self.t_ras
+
+    def violates_t_rp(self, t2_ns: float) -> bool:
+        """Whether a PRE->ACT gap undershoots nominal tRP."""
+        return t2_ns < self.t_rp
+
+
+DDR4_TIMINGS = TimingParameters()

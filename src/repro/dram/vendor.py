@@ -1,0 +1,248 @@
+"""Vendor and module catalog (paper Table 1 and Appendix A Table 2).
+
+Each :class:`VendorProfile` captures the architecture- and
+process-dependent behaviour the paper observed per manufacturer:
+
+- **Mfr. H (SK Hynix)**: M- and A-die 4 Gb x8 parts, 512- (or 640-)
+  row subarrays, supports Frac neutral rows, MAJX usable up to MAJ9
+  (footnote 11 omits MAJ11+ as <1% success).
+- **Mfr. M (Micron)**: E- and B-die 16 Gb x16 parts, 1024-row
+  subarrays, no Frac support -- but the sense amplifiers are biased,
+  so initializing would-be-neutral rows with all-0s/all-1s enables
+  MAJX (footnote 5); MAJX usable up to MAJ7 (MAJ9+ <1%).
+- **Samsung**: never activates more than one row when the APA timings
+  are violated; internal circuitry ignores the offending command
+  (section 9, Limitation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+MFR_H = "H"
+MFR_M = "M"
+MFR_S = "S"
+
+
+@dataclass(frozen=True)
+class DieRevision:
+    """A die stepping of a vendor's DRAM product."""
+
+    name: str
+    density_gbit: int
+    organization: str  # "x8" or "x16"
+
+    def __post_init__(self) -> None:
+        if self.organization not in ("x4", "x8", "x16"):
+            raise ConfigurationError(f"unknown organization {self.organization}")
+        if self.density_gbit <= 0:
+            raise ConfigurationError("density must be positive")
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Architecture/behaviour profile of one manufacturer's die.
+
+    Attributes mirror the observations of paper sections 3-9.
+    """
+
+    manufacturer: str
+    die: DieRevision
+    subarray_rows: int
+    subarrays_per_bank: int
+    banks: int
+    supports_multi_row_activation: bool
+    supports_frac: bool
+    sense_amp_biased: bool
+    max_reliable_majx: int
+    reliability_bias: float = 0.0
+    """Per-vendor z-score offset reflecting that Mfr. M tops out at
+    MAJ7 while Mfr. H reaches MAJ9 (footnote 11)."""
+
+    def __post_init__(self) -> None:
+        if self.subarray_rows <= 0 or self.subarrays_per_bank <= 0 or self.banks <= 0:
+            raise ConfigurationError("geometry values must be positive")
+        if self.max_reliable_majx not in (0, 3, 5, 7, 9):
+            raise ConfigurationError(
+                f"max_reliable_majx must be one of 0/3/5/7/9: {self.max_reliable_majx}"
+            )
+        if self.supports_frac and self.sense_amp_biased:
+            raise ConfigurationError(
+                "profiles are either Frac-capable or biased, not both"
+            )
+
+    @property
+    def rows_per_bank(self) -> int:
+        """Total rows in one bank."""
+        return self.subarray_rows * self.subarrays_per_bank
+
+    def neutral_row_strategy(self) -> str:
+        """How neutral rows are produced on this part (footnote 5)."""
+        if self.supports_frac:
+            return "frac"
+        if self.sense_amp_biased:
+            return "bias-init"
+        return "unsupported"
+
+
+PROFILE_H_M_DIE = VendorProfile(
+    manufacturer=MFR_H,
+    die=DieRevision("M", 4, "x8"),
+    subarray_rows=512,
+    subarrays_per_bank=128,
+    banks=16,
+    supports_multi_row_activation=True,
+    supports_frac=True,
+    sense_amp_biased=False,
+    max_reliable_majx=9,
+    reliability_bias=0.05,
+)
+
+PROFILE_H_A_DIE = VendorProfile(
+    manufacturer=MFR_H,
+    die=DieRevision("A", 4, "x8"),
+    subarray_rows=512,
+    subarrays_per_bank=128,
+    banks=16,
+    supports_multi_row_activation=True,
+    supports_frac=True,
+    sense_amp_biased=False,
+    max_reliable_majx=9,
+    reliability_bias=0.0,
+)
+
+PROFILE_M_E_DIE = VendorProfile(
+    manufacturer=MFR_M,
+    die=DieRevision("E", 16, "x16"),
+    subarray_rows=1024,
+    subarrays_per_bank=64,
+    banks=16,
+    supports_multi_row_activation=True,
+    supports_frac=False,
+    sense_amp_biased=True,
+    max_reliable_majx=7,
+    reliability_bias=-0.25,
+)
+
+PROFILE_M_B_DIE = VendorProfile(
+    manufacturer=MFR_M,
+    die=DieRevision("B", 16, "x16"),
+    subarray_rows=1024,
+    subarrays_per_bank=64,
+    banks=16,
+    supports_multi_row_activation=True,
+    supports_frac=False,
+    sense_amp_biased=True,
+    max_reliable_majx=7,
+    reliability_bias=-0.30,
+)
+
+PROFILE_SAMSUNG = VendorProfile(
+    manufacturer=MFR_S,
+    die=DieRevision("S", 8, "x8"),
+    subarray_rows=512,
+    subarrays_per_bank=128,
+    banks=16,
+    supports_multi_row_activation=False,
+    supports_frac=False,
+    sense_amp_biased=False,
+    max_reliable_majx=0,
+)
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One tested DIMM model (paper Appendix A, Table 2)."""
+
+    module_vendor: str
+    module_identifier: str
+    chip_identifier: str
+    profile: VendorProfile
+    n_modules: int
+    frequency_mts: int
+    mfr_date: str
+
+    @property
+    def chips_per_module(self) -> int:
+        """Chips forming a 64-bit rank for this organization."""
+        width = int(self.profile.die.organization[1:])
+        return 64 // width
+
+    @property
+    def n_chips(self) -> int:
+        """Total chips across this spec's modules."""
+        return self.n_modules * self.chips_per_module
+
+
+TESTED_MODULES: Tuple[ModuleSpec, ...] = (
+    ModuleSpec(
+        module_vendor="TimeTec",
+        module_identifier="TLRD44G2666HC18F-SBK",
+        chip_identifier="H5AN4G8NMFR-TFC",
+        profile=PROFILE_H_M_DIE,
+        n_modules=7,
+        frequency_mts=2666,
+        mfr_date="unknown",
+    ),
+    ModuleSpec(
+        module_vendor="TeamGroup",
+        module_identifier="76TT21NUS1R8-4G",
+        chip_identifier="H5AN4G8NAFR-TFC",
+        profile=PROFILE_H_A_DIE,
+        n_modules=5,
+        frequency_mts=2133,
+        mfr_date="unknown",
+    ),
+    ModuleSpec(
+        module_vendor="Micron",
+        module_identifier="MTA4ATF1G64HZ-3G2E1",
+        chip_identifier="MT40A1G16KD-062E:E",
+        profile=PROFILE_M_E_DIE,
+        n_modules=4,
+        frequency_mts=3200,
+        mfr_date="46-20",
+    ),
+    ModuleSpec(
+        module_vendor="Micron",
+        module_identifier="MTA4ATF1G64HZ-3G2B2",
+        chip_identifier="MT40A1G16RC-062E:B",
+        profile=PROFILE_M_B_DIE,
+        n_modules=2,
+        frequency_mts=2666,
+        mfr_date="26-21",
+    ),
+)
+"""The 18 modules / 120 chips of Table 1 (Samsung parts are modelled
+via :data:`PROFILE_SAMSUNG` but, as in the paper, excluded from the
+positive-result catalog)."""
+
+
+def modules_for_manufacturer(manufacturer: str) -> List[ModuleSpec]:
+    """All tested module specs from one manufacturer (``"H"`` or ``"M"``)."""
+    specs = [s for s in TESTED_MODULES if s.profile.manufacturer == manufacturer]
+    if not specs:
+        raise ConfigurationError(f"no tested modules for manufacturer {manufacturer!r}")
+    return specs
+
+
+def catalog_summary() -> List[Dict[str, object]]:
+    """Rows of the Table 1 summary (manufacturer, modules, chips, ...)."""
+    rows: List[Dict[str, object]] = []
+    for spec in TESTED_MODULES:
+        rows.append(
+            {
+                "manufacturer": spec.profile.manufacturer,
+                "module_vendor": spec.module_vendor,
+                "modules": spec.n_modules,
+                "chips": spec.n_chips,
+                "die_rev": spec.profile.die.name,
+                "density": f"{spec.profile.die.density_gbit}Gb",
+                "organization": spec.profile.die.organization,
+                "subarray_rows": spec.profile.subarray_rows,
+                "frequency_mts": spec.frequency_mts,
+            }
+        )
+    return rows

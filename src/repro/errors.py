@@ -1,0 +1,47 @@
+"""Exception hierarchy for the SiMRA-DRAM reproduction.
+
+Every error raised by the library derives from :class:`SimraError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class SimraError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(SimraError):
+    """A simulation or device parameter is inconsistent or out of range."""
+
+
+class AddressError(SimraError):
+    """A DRAM address (bank, row, column) is outside the device geometry."""
+
+
+class TimingViolationError(SimraError):
+    """A command sequence violates a timing constraint that the simulated
+    device enforces (as opposed to the *intentional* violations that PUD
+    operations rely on, which are allowed and tracked)."""
+
+
+class ProtocolError(SimraError):
+    """A DRAM command is illegal in the device's current state, e.g. a
+    ``RD`` issued against a fully precharged bank."""
+
+
+class UnsupportedOperationError(SimraError):
+    """The requested PUD operation is not supported by the target vendor
+    profile (e.g. Frac on Micron parts, or any multi-row activation on
+    the Samsung profile, per paper section 9)."""
+
+
+class InfrastructureError(SimraError):
+    """The simulated test infrastructure (FPGA, thermal controller, power
+    supply) was used outside its operating envelope."""
+
+
+class ExperimentError(SimraError):
+    """An experiment was configured inconsistently (e.g. asking for more
+    row groups than a subarray can provide)."""

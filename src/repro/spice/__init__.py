@@ -1,0 +1,54 @@
+"""Circuit-level simulation (paper section 3.5 and Fig 15).
+
+The paper backs its real-chip observations with LTspice simulations of
+a 22 nm-scaled DRAM array model under Monte-Carlo process variation.
+This package implements an analytical equivalent: exact charge-sharing
+across the bitline capacitance, per-cell capacitance and
+transfer-strength variation, and a sense-amplifier threshold model.
+It reproduces the *mechanism* behind input replication from first
+principles -- the only calibrated quantities are the capacitance
+ratio and the variation-to-threshold mapping, both documented at the
+constants.
+"""
+
+from .components import CellInstance, CircuitParameters, NOMINAL_CIRCUIT
+from .bitline import charge_sharing_deviation, partial_transfer_fraction
+from .senseamp import SenseAmpModel
+from .montecarlo import MonteCarloSampler, VariationDraw
+from .waveform import (
+    SensingWaveform,
+    latch_time_ns,
+    resolves_within_window,
+    simulate_sensing,
+)
+from .majority_sim import (
+    Maj3SimulationResult,
+    simulate_maj3_bitline_deviation,
+    simulate_maj3_success,
+    figure15a_deviation,
+    figure15b_success,
+    PROCESS_VARIATIONS,
+    ROW_COUNTS,
+)
+
+__all__ = [
+    "CellInstance",
+    "CircuitParameters",
+    "NOMINAL_CIRCUIT",
+    "charge_sharing_deviation",
+    "partial_transfer_fraction",
+    "SenseAmpModel",
+    "MonteCarloSampler",
+    "VariationDraw",
+    "Maj3SimulationResult",
+    "simulate_maj3_bitline_deviation",
+    "simulate_maj3_success",
+    "figure15a_deviation",
+    "figure15b_success",
+    "PROCESS_VARIATIONS",
+    "ROW_COUNTS",
+    "SensingWaveform",
+    "latch_time_ns",
+    "resolves_within_window",
+    "simulate_sensing",
+]

@@ -1,0 +1,73 @@
+"""Circuit components and nominal parameters.
+
+Values follow the 22 nm scaling of the Rambus reference DRAM model the
+paper uses (section 3.5), with the bitline/cell capacitance ratio
+calibrated so the nominal charge-sharing results match the paper's
+Fig 15a anchors (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import (
+    BITLINE_CAPACITANCE_FF,
+    CELL_CAPACITANCE_FF,
+    VDD_NOMINAL,
+)
+
+
+@dataclass(frozen=True)
+class CircuitParameters:
+    """Array-level circuit constants."""
+
+    vdd: float = VDD_NOMINAL
+    cell_capacitance_ff: float = CELL_CAPACITANCE_FF
+    bitline_capacitance_ff: float = BITLINE_CAPACITANCE_FF
+    access_resistance_kohm: float = 12.0
+    """Nominal access-transistor on-resistance; with the cell
+    capacitance it sets the charge-sharing time constant."""
+
+    def __post_init__(self) -> None:
+        if min(
+            self.vdd,
+            self.cell_capacitance_ff,
+            self.bitline_capacitance_ff,
+            self.access_resistance_kohm,
+        ) <= 0:
+            raise ConfigurationError("circuit parameters must be positive")
+
+    @property
+    def precharge_voltage(self) -> float:
+        """Bitline precharge level, VDD/2."""
+        return self.vdd / 2.0
+
+    @property
+    def transfer_time_constant_ns(self) -> float:
+        """RC time constant of one cell discharging onto the bitline."""
+        # kOhm * fF = ps; divide by 1000 for ns.
+        return self.access_resistance_kohm * self.cell_capacitance_ff / 1000.0
+
+
+@dataclass(frozen=True)
+class CellInstance:
+    """One DRAM cell as sampled by the Monte-Carlo machinery."""
+
+    capacitance_ff: float
+    transfer_strength: float
+    """Relative charge-transfer completeness (1.0 nominal); transistor
+    strength variation scales it."""
+    stored_value: float
+    """Stored voltage as a fraction of VDD (0.0, 0.5, or 1.0)."""
+
+    def __post_init__(self) -> None:
+        if self.capacitance_ff <= 0 or self.transfer_strength <= 0:
+            raise ConfigurationError("cell parameters must be positive")
+        if not 0.0 <= self.stored_value <= 1.0:
+            raise ConfigurationError(
+                f"stored value must be within the rails: {self.stored_value}"
+            )
+
+
+NOMINAL_CIRCUIT = CircuitParameters()

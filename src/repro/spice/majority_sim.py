@@ -1,0 +1,161 @@
+"""Fig 15: circuit-level analysis of input replication for MAJ3(1,1,0).
+
+Fig 15a plots the bitline-deviation distribution right before sensing
+for N-row activation (N in {1, 4, 8, 16, 32}) across 1000 random cell
+sets per process-variation level; Fig 15b plots the resulting MAJ3
+success rate for N in {4, 8, 16, 32}.
+
+The headline anchors this module reproduces from first principles
+(given the calibrated capacitance ratio and sense thresholds):
+
+- MAJ3 with 32-row activation has ~159% higher mean deviation than
+  with 4-row activation;
+- activating >= 8 rows beats single-row activation's deviation;
+- 4-row success collapses (~46.6%) from 0% to 40% variation while
+  32-row success barely moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..characterization.stats import DistributionSummary, summarize
+from ..errors import ConfigurationError
+from .bitline import charge_sharing_deviation_array
+from .components import CircuitParameters, NOMINAL_CIRCUIT
+from .montecarlo import MonteCarloSampler
+from .senseamp import SenseAmpModel
+
+PROCESS_VARIATIONS = (0.0, 0.1, 0.2, 0.3, 0.4)
+"""The paper's Monte-Carlo variation levels."""
+
+ROW_COUNTS = (1, 4, 8, 16, 32)
+"""Activation counts plotted in Fig 15a (Fig 15b omits N=1)."""
+
+DEFAULT_SETS = 1000
+"""Cell sets per configuration, as in the paper."""
+
+
+@dataclass(frozen=True)
+class Maj3SimulationResult:
+    """One (N, variation) simulation cell of Fig 15."""
+
+    n_rows: int
+    variation: float
+    deviation_mv: DistributionSummary
+    success_rate: float
+
+
+def _stored_values_for(n_rows: int) -> np.ndarray:
+    """Stored voltages (fractions of VDD) for MAJ3(1,1,0) replication.
+
+    ``floor(N/3)`` replicas of (1, 1, 0); leftover rows neutral at
+    VDD/2.  N=1 is the single-row reference: one charged cell.
+    """
+    if n_rows == 1:
+        return np.array([1.0])
+    if n_rows < 3:
+        raise ConfigurationError(f"MAJ3 needs at least 3 rows, got {n_rows}")
+    replicas = n_rows // 3
+    values = [1.0] * (2 * replicas) + [0.0] * replicas
+    values += [0.5] * (n_rows - 3 * replicas)
+    return np.array(values)
+
+
+def simulate_maj3_bitline_deviation(
+    n_rows: int,
+    variation: float,
+    n_sets: int = DEFAULT_SETS,
+    sampler: MonteCarloSampler = None,
+    params: CircuitParameters = NOMINAL_CIRCUIT,
+) -> np.ndarray:
+    """Per-set bitline deviations (volts) for MAJ3(1,1,0), N rows."""
+    sampler = sampler or MonteCarloSampler(params)
+    draw = sampler.draw(n_sets, n_rows, variation, "maj3", n_rows)
+    stored = np.broadcast_to(_stored_values_for(n_rows), (n_sets, n_rows))
+    return charge_sharing_deviation_array(
+        draw.capacitances_ff, draw.transfer_strengths, stored, params
+    )
+
+
+def simulate_maj3_success(
+    n_rows: int,
+    variation: float,
+    n_sets: int = DEFAULT_SETS,
+    iterations: int = 10,
+    sampler: MonteCarloSampler = None,
+    sense: SenseAmpModel = None,
+    params: CircuitParameters = NOMINAL_CIRCUIT,
+) -> float:
+    """MAJ3 success rate under process variation (Fig 15b).
+
+    ``iterations`` batches of ``n_sets`` emulate the paper's 10^4
+    Monte-Carlo runs (10 x 1000 by default).
+    """
+    sampler = sampler or MonteCarloSampler(params)
+    sense = sense or SenseAmpModel()
+    successes = 0
+    total = 0
+    for iteration in range(iterations):
+        draw = sampler.draw(
+            n_sets, n_rows, variation, "maj3-success", n_rows, iteration
+        )
+        stored = np.broadcast_to(_stored_values_for(n_rows), (n_sets, n_rows))
+        deviations = charge_sharing_deviation_array(
+            draw.capacitances_ff, draw.transfer_strengths, stored, params
+        )
+        generator = sampler.generator("sense", n_rows, variation, iteration)
+        correct = sense.resolves_correctly(deviations, variation, generator)
+        successes += int(correct.sum())
+        total += correct.size
+    return successes / total
+
+
+def figure15a_deviation(
+    row_counts: Sequence[int] = ROW_COUNTS,
+    variations: Sequence[float] = PROCESS_VARIATIONS,
+    n_sets: int = DEFAULT_SETS,
+    params: CircuitParameters = NOMINAL_CIRCUIT,
+) -> Dict[Tuple[int, float], DistributionSummary]:
+    """Fig 15a data: deviation distributions (mV) per (N, variation)."""
+    sampler = MonteCarloSampler(params)
+    result: Dict[Tuple[int, float], DistributionSummary] = {}
+    for variation in variations:
+        for n_rows in row_counts:
+            deviations = simulate_maj3_bitline_deviation(
+                n_rows, variation, n_sets, sampler, params
+            )
+            result[(n_rows, variation)] = summarize(deviations * 1000.0)
+    return result
+
+
+def figure15b_success(
+    row_counts: Sequence[int] = (4, 8, 16, 32),
+    variations: Sequence[float] = PROCESS_VARIATIONS,
+    n_sets: int = DEFAULT_SETS,
+    iterations: int = 10,
+    params: CircuitParameters = NOMINAL_CIRCUIT,
+) -> Dict[Tuple[int, float], float]:
+    """Fig 15b data: MAJ3 success rates per (N, variation)."""
+    sampler = MonteCarloSampler(params)
+    sense = SenseAmpModel()
+    return {
+        (n_rows, variation): simulate_maj3_success(
+            n_rows, variation, n_sets, iterations, sampler, sense, params
+        )
+        for variation in variations
+        for n_rows in row_counts
+    }
+
+
+def replication_deviation_gain(
+    variation: float = 0.2, n_sets: int = DEFAULT_SETS
+) -> float:
+    """Mean deviation gain of 32-row over 4-row MAJ3 (paper: ~1.59)."""
+    sampler = MonteCarloSampler()
+    low = simulate_maj3_bitline_deviation(4, variation, n_sets, sampler).mean()
+    high = simulate_maj3_bitline_deviation(32, variation, n_sets, sampler).mean()
+    return float(high / low - 1.0)

@@ -1,0 +1,76 @@
+"""Monte-Carlo process-variation sampling (paper section 3.5).
+
+The paper runs 10^4 LTspice iterations per configuration, randomly
+varying capacitor and transistor parameters by 10/20/30/40%.  We
+sample the same way: uniform variation of each cell's capacitance and
+transfer strength within +-v of nominal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import rng
+from ..errors import ConfigurationError
+from .components import CircuitParameters, NOMINAL_CIRCUIT
+
+
+@dataclass(frozen=True)
+class VariationDraw:
+    """One Monte-Carlo batch of per-cell parameters.
+
+    Arrays have shape (sets, cells_per_set).
+    """
+
+    capacitances_ff: np.ndarray
+    transfer_strengths: np.ndarray
+    variation: float
+
+
+class MonteCarloSampler:
+    """Deterministic process-variation sampler."""
+
+    def __init__(
+        self,
+        params: CircuitParameters = NOMINAL_CIRCUIT,
+        seed: int = 2024,
+    ):
+        self._params = params
+        self._seed = seed
+
+    @property
+    def params(self) -> CircuitParameters:
+        """Circuit constants in force."""
+        return self._params
+
+    def generator(self, *tokens: rng.Token) -> np.random.Generator:
+        """A deterministic generator keyed to this sampler's seed."""
+        return rng.generator(self._seed, "spice-mc", *tokens)
+
+    def draw(
+        self,
+        n_sets: int,
+        cells_per_set: int,
+        variation: float,
+        *tokens: rng.Token,
+    ) -> VariationDraw:
+        """Sample per-cell capacitances and transfer strengths."""
+        if n_sets <= 0 or cells_per_set <= 0:
+            raise ConfigurationError("sample dimensions must be positive")
+        if not 0.0 <= variation <= 0.9:
+            raise ConfigurationError(
+                f"variation fraction out of modelled range: {variation}"
+            )
+        generator = self.generator("draw", n_sets, cells_per_set, variation, *tokens)
+        shape = (n_sets, cells_per_set)
+        caps = self._params.cell_capacitance_ff * (
+            1.0 + variation * generator.uniform(-1.0, 1.0, shape)
+        )
+        strengths = 1.0 + variation * generator.uniform(-1.0, 1.0, shape)
+        return VariationDraw(
+            capacitances_ff=caps,
+            transfer_strengths=strengths,
+            variation=variation,
+        )

@@ -1,0 +1,75 @@
+"""Sense-amplifier threshold model for the Monte-Carlo simulations.
+
+A regenerative latch resolves correctly when the bitline deviation at
+enable time exceeds its effective threshold.  Process variation
+raises that threshold two ways (both grow with the sampled variation
+percentage ``v``):
+
+- a deterministic *mismatch floor* ``MISMATCH_MV_PER_VARIATION * v``
+  from systematic transistor mismatch in the cross-coupled pair;
+- a random offset ``|N(0, sigma)|`` with
+  ``sigma = OFFSET_SIGMA_MV * (1 + OFFSET_GROWTH * v)``.
+
+The two constants are calibrated so MAJ3 with 4-row activation loses
+~46.6% success from 0% to 40% variation while 32-row activation is
+essentially unaffected (paper Fig 15b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+MISMATCH_MV_PER_VARIATION = 110.0
+"""Deterministic threshold floor, mV per unit variation fraction."""
+OFFSET_SIGMA_MV = 5.0
+"""Random offset sigma at zero variation (mV)."""
+OFFSET_GROWTH = 7.0
+"""Relative growth of the random offset per unit variation."""
+
+
+class SenseAmpModel:
+    """Threshold sampling and resolution decisions."""
+
+    def __init__(
+        self,
+        mismatch_mv_per_variation: float = MISMATCH_MV_PER_VARIATION,
+        offset_sigma_mv: float = OFFSET_SIGMA_MV,
+        offset_growth: float = OFFSET_GROWTH,
+    ):
+        if offset_sigma_mv < 0 or mismatch_mv_per_variation < 0:
+            raise ConfigurationError("offset parameters must be non-negative")
+        self._mismatch = mismatch_mv_per_variation
+        self._sigma0 = offset_sigma_mv
+        self._growth = offset_growth
+
+    def thresholds_volts(
+        self, n: int, variation: float, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``n`` per-instance thresholds at a variation level."""
+        if not 0.0 <= variation <= 1.0:
+            raise ConfigurationError(
+                f"variation must be a fraction in [0, 1]: {variation}"
+            )
+        sigma = self._sigma0 * (1.0 + self._growth * variation)
+        offsets = np.abs(generator.normal(0.0, sigma, n))
+        return (self._mismatch * variation + offsets) / 1000.0
+
+    def resolves_correctly(
+        self,
+        deviations_volts: np.ndarray,
+        variation: float,
+        generator: np.random.Generator,
+    ) -> np.ndarray:
+        """Whether each deviation exceeds its instance's threshold.
+
+        Deviations are signed toward the correct value; a correct
+        resolution needs the (positive) deviation to beat the
+        threshold, so negative deviations always fail.
+        """
+        deviations_volts = np.asarray(deviations_volts, dtype=np.float64)
+        thresholds = self.thresholds_volts(
+            deviations_volts.shape[0], variation, generator
+        )
+        return deviations_volts > thresholds

@@ -1,0 +1,133 @@
+"""Time-domain sensing waveforms.
+
+The paper's circuit analysis (section 7.2) reasons about the bitline
+voltage *right before sensing*; this module adds the time axis: the
+charge-sharing RC transient after the wordlines rise, then the
+regenerative amplification after the sense amplifier enables.  It
+makes the failure mode of small margins visible -- a regenerative
+latch amplifies exponentially with time constant tau, so the latch
+time grows as ``tau * ln(V_rail / dV0)`` and a too-small perturbation
+fails to resolve within the sensing window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .bitline import charge_sharing_deviation
+from .components import CellInstance, CircuitParameters, NOMINAL_CIRCUIT
+
+SENSE_REGEN_TAU_NS = 0.9
+"""Regeneration time constant of the cross-coupled latch."""
+
+SENSE_WINDOW_NS = 12.0
+"""Time the array allows for sensing before column access (tRCD-ish)."""
+
+LATCH_MARGIN_V = 0.55
+"""Differential at which the latch is considered resolved."""
+
+
+@dataclass(frozen=True)
+class SensingWaveform:
+    """One sensing transient."""
+
+    time_ns: np.ndarray
+    bitline_v: np.ndarray
+    share_window_ns: float
+    initial_deviation_v: float
+
+    @property
+    def final_voltage(self) -> float:
+        """Bitline voltage at the end of the simulated window."""
+        return float(self.bitline_v[-1])
+
+    def resolved_high(self) -> bool:
+        """Whether the bitline regenerated toward VDD."""
+        return self.final_voltage > 1.0
+
+
+def latch_time_ns(
+    deviation_v: float,
+    regen_tau_ns: float = SENSE_REGEN_TAU_NS,
+    margin_v: float = LATCH_MARGIN_V,
+) -> float:
+    """Time for the latch to amplify ``deviation_v`` to the margin.
+
+    Exponential regeneration: ``t = tau * ln(margin / |dV0|)``; an
+    exactly-zero perturbation never resolves (returns inf).
+    """
+    magnitude = abs(deviation_v)
+    if magnitude == 0.0:
+        return math.inf
+    if magnitude >= margin_v:
+        return 0.0
+    return regen_tau_ns * math.log(margin_v / magnitude)
+
+
+def simulate_sensing(
+    cells: Sequence[CellInstance],
+    params: CircuitParameters = NOMINAL_CIRCUIT,
+    share_window_ns: float = 3.0,
+    total_ns: float = SENSE_WINDOW_NS,
+    n_points: int = 240,
+) -> SensingWaveform:
+    """Bitline voltage vs time for one charge-share + sense event.
+
+    Phase 1 (0..share window): the connected cells drag the bitline
+    from VDD/2 toward the shared level with the access RC constant.
+    Phase 2: the enabled sense amplifier regenerates the deviation
+    exponentially, saturating at the rails.
+    """
+    if share_window_ns <= 0 or total_ns <= share_window_ns:
+        raise ConfigurationError(
+            "need 0 < share window < total simulated time"
+        )
+    if n_points < 8:
+        raise ConfigurationError("need at least 8 waveform points")
+    half = params.precharge_voltage
+    final_deviation = charge_sharing_deviation(cells, params)
+    tau_share = params.transfer_time_constant_ns
+
+    time_ns = np.linspace(0.0, total_ns, n_points)
+    voltage = np.empty_like(time_ns)
+
+    sharing = time_ns <= share_window_ns
+    voltage[sharing] = half + final_deviation * (
+        1.0 - np.exp(-time_ns[sharing] / tau_share)
+    )
+    deviation_at_enable = final_deviation * (
+        1.0 - math.exp(-share_window_ns / tau_share)
+    )
+
+    sensing_time = time_ns[~sharing] - share_window_ns
+    if deviation_at_enable == 0.0:
+        voltage[~sharing] = half
+    else:
+        grown = deviation_at_enable * np.exp(sensing_time / SENSE_REGEN_TAU_NS)
+        grown = np.clip(grown, -half, half)
+        voltage[~sharing] = half + grown
+    return SensingWaveform(
+        time_ns=time_ns,
+        bitline_v=voltage,
+        share_window_ns=share_window_ns,
+        initial_deviation_v=deviation_at_enable,
+    )
+
+
+def resolves_within_window(
+    cells: Sequence[CellInstance],
+    window_ns: float = SENSE_WINDOW_NS,
+    share_window_ns: float = 3.0,
+    params: CircuitParameters = NOMINAL_CIRCUIT,
+) -> bool:
+    """Whether the sensing completes inside the allotted window."""
+    waveform = simulate_sensing(
+        cells, params, share_window_ns=share_window_ns, total_ns=window_ns
+    )
+    latch = latch_time_ns(waveform.initial_deviation_v)
+    return latch <= (window_ns - share_window_ns)

@@ -1,0 +1,72 @@
+"""Physical units and constants used throughout the library.
+
+Times are expressed in nanoseconds (float), voltages in volts,
+capacitances in femtofarads, currents in milliamperes, power in
+milliwatts, and temperatures in degrees Celsius.  Keeping a single
+canonical unit per quantity avoids unit-conversion bugs; these helpers
+exist so call sites can state their units explicitly.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+
+def us(value: float) -> float:
+    """Convert microseconds to nanoseconds."""
+    return value * NS_PER_US
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to nanoseconds."""
+    return value * NS_PER_MS
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return value * NS_PER_S
+
+
+def ns_to_s(value_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value_ns / NS_PER_S
+
+
+# --- DDR4 electrical nominals (JESD79-4) -------------------------------
+
+VDD_NOMINAL = 1.2
+"""Core array / peripheral supply voltage (V)."""
+
+VPP_NOMINAL = 2.5
+"""Wordline boost voltage (V); the rail the paper underscales to 2.1 V."""
+
+VPP_MIN_TESTED = 2.1
+"""Lowest wordline voltage the paper tests (V)."""
+
+TEMP_NOMINAL_C = 50.0
+"""Baseline DRAM chip temperature used in the paper's experiments (C)."""
+
+TEMP_MAX_TESTED_C = 90.0
+"""Highest temperature the paper tests (C)."""
+
+# --- Circuit-model nominals (22 nm scaled Rambus model, section 3.5) ----
+
+CELL_CAPACITANCE_FF = 22.0
+"""Nominal DRAM cell storage capacitance (fF)."""
+
+BITLINE_CAPACITANCE_FF = 127.4
+"""Nominal bitline parasitic capacitance (fF).  The ratio
+``BITLINE_CAPACITANCE_FF / CELL_CAPACITANCE_FF`` ~ 5.79 controls the
+charge-sharing transfer ratio and is calibrated so that 32-row MAJ3
+input replication raises the bitline perturbation by 159% relative to
+4-row activation (paper section 7.2, Fig 15a)."""
+
+SENSE_MARGIN_MV = 18.0
+"""Minimum bitline differential (mV) a typical sense amplifier needs to
+regenerate reliably; per-instance offsets are added on top."""
+
+COMMAND_GRANULARITY_NS = 1.5
+"""Minimum spacing between consecutive DRAM commands the paper's DRAM
+Bender infrastructure can issue (section 9, Limitation 2)."""

@@ -1,0 +1,52 @@
+"""Tests for the FPGA command replayer."""
+
+import numpy as np
+import pytest
+
+from repro.bender.program import ProgramBuilder, apa_program
+from repro.dram.bank import BankState
+
+
+class TestExecute:
+    def test_reads_collected_in_order(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        bits = (np.arange(bank.columns) % 2).astype(np.uint8)
+        bank.write_row(4, bits)
+        program = (
+            ProgramBuilder().act(0, 4).wait(15.0).rd(0).wait(1.5).rd(0).build()
+        )
+        result = bench_ideal.run(program)
+        assert len(result.reads) == 2
+        assert np.array_equal(result.reads[0], bits)
+        assert np.array_equal(result.reads[1], bits)
+
+    def test_violations_reported(self, bench_h):
+        result = bench_h.run(apa_program(0, 0, 1, 1.5, 3.0))
+        assert set(result.violated_parameters) == {"tRAS", "tRC", "tRP"}
+
+    def test_device_quiesces_after_program(self, bench_h):
+        bench_h.run(apa_program(0, 0, 7, 1.5, 3.0))
+        assert bench_h.module.bank(0).state is BankState.PRECHARGED
+
+    def test_programs_compose_across_executions(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        bits = np.ones(bank.columns, dtype=np.uint8)
+        bank.write_row(2, bits)
+        # Two full APA row-copies back to back must not interfere.
+        bench_ideal.run(apa_program(0, 2, 3, 36.0, 6.0))
+        bench_ideal.run(apa_program(0, 3, 5, 36.0, 6.0))
+        assert np.array_equal(bank.read_row(5), bits)
+
+    def test_execute_all(self, bench_h):
+        programs = [apa_program(0, 0, 1, 1.5, 3.0)] * 3
+        results = bench_h.bender.execute_all(programs)
+        assert len(results) == 3
+
+    def test_ref_requires_quiesced_banks(self, bench_h):
+        program = ProgramBuilder().ref().build()
+        result = bench_h.run(program)
+        assert result.reads == []
+
+    def test_duration_reported(self, bench_h):
+        result = bench_h.run(apa_program(0, 0, 1, 36.0, 3.0))
+        assert result.duration_ns == 39.0

@@ -1,0 +1,52 @@
+"""Tests for the host-side orchestration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bender.host import TestHost
+from repro.bender.program import apa_program
+
+
+class TestHostHelpers:
+    def test_initialize_rows_and_read_back(self, bench_ideal):
+        host = bench_ideal.host
+        columns = bench_ideal.module.config.columns_per_row
+        data = {
+            3: np.ones(columns, dtype=np.uint8),
+            7: np.zeros(columns, dtype=np.uint8),
+        }
+        host.initialize_rows(0, data)
+        readback = host.read_rows(0, [3, 7])
+        assert np.array_equal(readback[3], data[3])
+        assert np.array_equal(readback[7], data[7])
+
+    def test_initialize_range(self, bench_ideal):
+        host = bench_ideal.host
+        columns = bench_ideal.module.config.columns_per_row
+        bits = (np.arange(columns) % 2).astype(np.uint8)
+        host.initialize_range(0, range(10, 14), bits)
+        for row, readback in host.read_rows(0, range(10, 14)).items():
+            assert np.array_equal(readback, bits), row
+
+    def test_run_delegates_to_bender(self, bench_ideal):
+        result = bench_ideal.host.run(apa_program(0, 0, 1, 36.0, 13.5))
+        assert result.duration_ns == 49.5
+
+    def test_mismatch_fraction(self, bench_ideal):
+        host = bench_ideal.host
+        columns = bench_ideal.module.config.columns_per_row
+        expected = np.ones(columns, dtype=np.uint8)
+        host.initialize_range(0, [20], expected)
+        host.initialize_range(0, [21], 1 - expected)
+        assert host.mismatch_fraction(0, [20], expected) == 0.0
+        assert host.mismatch_fraction(0, [21], expected) == 1.0
+        assert host.mismatch_fraction(0, [20, 21], expected) == 0.5
+
+    def test_mismatch_fraction_empty_rows(self, bench_ideal):
+        columns = bench_ideal.module.config.columns_per_row
+        assert bench_ideal.host.mismatch_fraction(
+            0, [], np.zeros(columns, dtype=np.uint8)
+        ) == 0.0
+
+    def test_module_accessor(self, bench_ideal):
+        assert bench_ideal.host.module is bench_ideal.module

@@ -1,0 +1,149 @@
+"""Tests for the Bender ISA assembler and program core."""
+
+import numpy as np
+import pytest
+
+from repro.bender.isa import (
+    IsaProgramBuilder,
+    ProgramCore,
+    apa_sweep_program,
+)
+from repro.dram.commands import CommandKind
+from repro.errors import ConfigurationError, InfrastructureError
+
+
+class TestAssembler:
+    def test_simple_apa_kernel(self):
+        program = (
+            IsaProgramBuilder()
+            .li(0, 0)       # bank
+            .li(1, 5)       # row F
+            .li(2, 12)      # row S
+            .act(0, 1)
+            .sleep(1)       # 1.5 ns
+            .pre(0)
+            .sleep(2)       # 3.0 ns
+            .act(0, 2)
+            .end()
+            .build()
+        )
+        commands = ProgramCore().run(program).to_commands()
+        assert [c.kind for c in commands] == [
+            CommandKind.ACT, CommandKind.PRE, CommandKind.ACT,
+        ]
+        assert commands[0].row == 5 and commands[2].row == 12
+        assert commands[1].time_ns - commands[0].time_ns == 1.5
+        assert commands[2].time_ns - commands[1].time_ns == 3.0
+
+    def test_loop_emits_per_iteration(self):
+        # for i in range(3): ACT row i; PRE
+        builder = IsaProgramBuilder()
+        builder.li(0, 0)          # bank
+        builder.li(1, 0)          # i
+        builder.li(2, 3)          # limit
+        builder.label("loop")
+        builder.act(0, 1)
+        builder.sleep(24)
+        builder.pre(0)
+        builder.sleep(9)
+        builder.addi(1, 1, 1)
+        builder.branch_lt(1, 2, "loop")
+        builder.end()
+        commands = ProgramCore().run(builder.build()).to_commands()
+        acts = [c for c in commands if c.kind is CommandKind.ACT]
+        assert [c.row for c in acts] == [0, 1, 2]
+
+    def test_arithmetic(self):
+        program = (
+            IsaProgramBuilder()
+            .li(0, 0)
+            .li(1, 10)
+            .li(2, 20)
+            .add(3, 1, 2)    # r3 = 30
+            .addi(3, 3, 7)   # r3 = 37
+            .act(0, 3)
+            .end()
+            .build()
+        )
+        commands = ProgramCore().run(program).to_commands()
+        assert commands[0].row == 37
+
+    def test_wr_requires_staged_pattern(self):
+        program = (
+            IsaProgramBuilder().li(0, 0).li(1, 0).act(0, 1).wr(0).end().build()
+        )
+        with pytest.raises(InfrastructureError):
+            ProgramCore().run(program)
+
+    def test_wr_carries_staged_pattern(self):
+        core = ProgramCore()
+        pattern = np.array([1, 0, 1, 1], dtype=np.uint8)
+        core.stage_pattern(pattern)
+        program = (
+            IsaProgramBuilder().li(0, 0).li(1, 0).act(0, 1).sleep(10).wr(0)
+            .end().build()
+        )
+        commands = core.run(program).to_commands()
+        assert np.array_equal(commands[-1].data_array(), pattern)
+
+    def test_runaway_loop_bounded(self):
+        builder = IsaProgramBuilder()
+        builder.li(0, 0)
+        builder.li(1, 0)
+        builder.label("forever")
+        builder.jump("forever")
+        builder.end()
+        with pytest.raises(InfrastructureError):
+            ProgramCore().run(builder.build())
+
+    def test_undefined_label_rejected(self):
+        builder = IsaProgramBuilder().li(0, 0).jump("nowhere").end()
+        with pytest.raises(ConfigurationError):
+            builder.build()
+
+    def test_duplicate_label_rejected(self):
+        builder = IsaProgramBuilder().label("a")
+        with pytest.raises(ConfigurationError):
+            builder.label("a")
+
+    def test_end_required(self):
+        with pytest.raises(ConfigurationError):
+            IsaProgramBuilder().li(0, 0).build()
+
+    def test_register_bounds_checked(self):
+        program = IsaProgramBuilder().li(0, 0).act(0, 99).end().build()
+        with pytest.raises(ConfigurationError):
+            ProgramCore().run(program)
+
+    def test_program_with_no_commands_rejected(self):
+        program = IsaProgramBuilder().li(0, 1).end().build()
+        with pytest.raises(ConfigurationError):
+            ProgramCore().run(program)
+
+
+class TestApaSweep:
+    def test_sweep_runs_on_device(self, bench_h):
+        pairs = [(0, 7), (16, 23), (127, 128)]
+        program = apa_sweep_program(0, pairs, t1_ticks=1, t2_ticks=2)
+        compiled = ProgramCore().run(program)
+        bench_h.run(compiled)
+        bank = bench_h.module.bank(0)
+        semantics = [e.semantic for e in bank.event_log]
+        # Each pair contributed one interrupted (majority) activation.
+        assert semantics.count("majority") == 3
+
+    def test_sweep_respects_timing_ticks(self):
+        program = apa_sweep_program(0, [(0, 1)], t1_ticks=24, t2_ticks=2)
+        commands = ProgramCore().run(program).to_commands()
+        act_times = [
+            c.time_ns for c in commands if c.kind is CommandKind.ACT
+        ]
+        pre_time = next(
+            c.time_ns for c in commands if c.kind is CommandKind.PRE
+        )
+        assert pre_time - act_times[0] == 36.0
+        assert act_times[1] - pre_time == 3.0
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apa_sweep_program(0, [], 1, 2)

@@ -1,0 +1,63 @@
+"""Tests for the VPP bench supply."""
+
+import pytest
+
+from repro.bender.power_supply import VppSupply
+from repro.errors import InfrastructureError
+
+
+class TestSupply:
+    def test_starts_nominal(self, bench_h):
+        supply = VppSupply(bench_h.module)
+        assert supply.volts == 2.5
+        assert bench_h.module.vpp == 2.5
+
+    def test_set_voltage_propagates(self, bench_h):
+        supply = VppSupply(bench_h.module)
+        supply.set_voltage(2.1)
+        assert bench_h.module.vpp == 2.1
+
+    def test_one_millivolt_resolution(self, bench_h):
+        supply = VppSupply(bench_h.module)
+        assert supply.set_voltage(2.3456) == pytest.approx(2.346)
+
+    def test_envelope_enforced(self, bench_h):
+        supply = VppSupply(bench_h.module)
+        with pytest.raises(InfrastructureError):
+            supply.set_voltage(1.8)
+        with pytest.raises(InfrastructureError):
+            supply.set_voltage(3.0)
+
+    def test_output_disable_cuts_rail(self, bench_h):
+        supply = VppSupply(bench_h.module)
+        supply.set_voltage(2.4)
+        supply.disable_output()
+        assert bench_h.module.vpp == 0.0
+        supply.enable_output()
+        assert bench_h.module.vpp == 2.4
+
+    def test_voltage_programming_while_disabled(self, bench_h):
+        supply = VppSupply(bench_h.module)
+        supply.disable_output()
+        supply.set_voltage(2.2)
+        assert bench_h.module.vpp == 0.0
+        supply.enable_output()
+        assert bench_h.module.vpp == 2.2
+
+    def test_reset_nominal(self, bench_h):
+        supply = VppSupply(bench_h.module)
+        supply.set_voltage(2.1)
+        supply.reset_nominal()
+        assert supply.volts == 2.5
+
+
+class TestTestBench:
+    def test_bench_starts_at_paper_baseline(self, bench_h):
+        assert bench_h.module.temperature_c == 50.0
+        assert bench_h.module.vpp == 2.5
+
+    def test_bench_environment_controls(self, bench_h):
+        bench_h.set_temperature(70.0)
+        bench_h.set_vpp(2.3)
+        assert bench_h.module.temperature_c == 70.0
+        assert bench_h.module.vpp == 2.3

@@ -1,0 +1,99 @@
+"""Tests for the command-program DSL and granularity enforcement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bender.program import (
+    CommandProgram,
+    ProgramBuilder,
+    apa_program,
+    snap_to_granularity,
+)
+from repro.dram.commands import CommandKind
+from repro.errors import ConfigurationError
+
+
+class TestBuilder:
+    def test_simple_sequence_times(self):
+        program = (
+            ProgramBuilder().act(0, 5).wait(3.0).pre(0).wait(1.5).act(0, 9).build()
+        )
+        commands = program.to_commands()
+        assert [c.kind for c in commands] == [
+            CommandKind.ACT, CommandKind.PRE, CommandKind.ACT,
+        ]
+        assert [c.time_ns for c in commands] == [0.0, 3.0, 4.5]
+
+    def test_back_to_back_commands_get_one_tick(self):
+        program = ProgramBuilder().act(0, 1).pre(0).build()
+        commands = program.to_commands()
+        assert commands[1].time_ns - commands[0].time_ns == 1.5
+
+    def test_off_tick_delay_rejected(self):
+        # The infrastructure can only issue on 1.5 ns ticks (Limitation 2).
+        with pytest.raises(ConfigurationError):
+            ProgramBuilder().act(0, 1).wait(2.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProgramBuilder().wait(-1.5)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProgramBuilder().build()
+
+    def test_wr_data_preserved(self):
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        program = ProgramBuilder().act(0, 1).wait(15.0).wr(0, data).build()
+        command = program.to_commands()[-1]
+        assert np.array_equal(command.data_array(), data)
+
+    def test_extend_concatenates(self):
+        first = ProgramBuilder().act(0, 1).build()
+        program = ProgramBuilder().act(0, 0).wait(36.0).extend(first).build()
+        assert len(program) == 2
+
+    def test_start_offset(self):
+        program = ProgramBuilder().act(0, 1).build()
+        assert program.to_commands(start_ns=100.0)[0].time_ns == 100.0
+
+
+class TestApaProgram:
+    def test_structure(self):
+        program = apa_program(2, 10, 20, t1_ns=1.5, t2_ns=3.0)
+        commands = program.to_commands()
+        assert [c.kind for c in commands] == [
+            CommandKind.ACT, CommandKind.PRE, CommandKind.ACT,
+        ]
+        assert commands[0].row == 10 and commands[2].row == 20
+        assert commands[1].time_ns - commands[0].time_ns == 1.5
+        assert commands[2].time_ns - commands[1].time_ns == 3.0
+        assert all(c.bank == 2 for c in commands)
+
+    def test_duration(self):
+        program = apa_program(0, 0, 1, 36.0, 3.0)
+        assert program.duration_ns() == 39.0
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_tick_multiples_accepted(self, ticks):
+        apa_program(0, 0, 1, t1_ns=1.5 * ticks, t2_ns=1.5)
+
+
+class TestSnap:
+    def test_snaps_to_nearest_tick(self):
+        assert snap_to_granularity(2.0) == 1.5
+        assert snap_to_granularity(2.3) == 3.0
+
+    def test_never_snaps_to_zero(self):
+        assert snap_to_granularity(0.1) == 1.5
+
+
+class TestCommandProgram:
+    def test_immutable(self):
+        program = apa_program(0, 0, 1, 1.5, 3.0)
+        with pytest.raises(Exception):
+            program.steps = ()
+
+    def test_len(self):
+        assert len(apa_program(0, 0, 1, 1.5, 3.0)) == 3

@@ -1,0 +1,77 @@
+"""Tests for schedule compilation and JEDEC violation auditing."""
+
+import pytest
+
+from repro.bender.program import ProgramBuilder, apa_program
+from repro.bender.scheduler import Scheduler
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def scheduler():
+    return Scheduler()
+
+
+class TestCompile:
+    def test_clock_advances(self, scheduler):
+        program = apa_program(0, 0, 1, 36.0, 3.0)
+        scheduler.compile(program)
+        assert scheduler.clock_ns == 39.0
+
+    def test_sequential_programs_do_not_overlap(self, scheduler):
+        program = apa_program(0, 0, 1, 1.5, 3.0)
+        first, _ = scheduler.compile(program)
+        scheduler.advance(100.0)
+        second, _ = scheduler.compile(program)
+        assert second[0].command.time_ns > first[-1].command.time_ns
+
+    def test_reset(self, scheduler):
+        scheduler.compile(apa_program(0, 0, 1, 1.5, 3.0))
+        scheduler.reset()
+        assert scheduler.clock_ns == 0.0
+
+    def test_advance_rejects_negative(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.advance(-1.0)
+
+
+class TestAudit:
+    def test_pud_apa_violates_tras_trp_trc(self, scheduler):
+        _, violations = scheduler.compile(apa_program(0, 0, 1, 1.5, 3.0))
+        assert {v.parameter for v in violations} == {"tRAS", "tRP", "tRC"}
+
+    def test_multirowcopy_apa_violates_only_trp_trc(self, scheduler):
+        # t1 = 36 ns respects tRAS.
+        _, violations = scheduler.compile(apa_program(0, 0, 1, 36.0, 3.0))
+        assert {v.parameter for v in violations} == {"tRP", "tRC"}
+
+    def test_nominal_sequence_clean(self, scheduler):
+        program = (
+            ProgramBuilder()
+            .act(0, 0)
+            .wait(36.0)
+            .pre(0)
+            .wait(13.5)
+            .act(0, 1)
+            .build()
+        )
+        _, violations = scheduler.compile(program)
+        assert violations == []
+
+    def test_violation_undershoot(self, scheduler):
+        _, violations = scheduler.compile(apa_program(0, 0, 1, 1.5, 3.0))
+        tras = next(v for v in violations if v.parameter == "tRAS")
+        assert tras.required_ns == 36.0
+        assert tras.actual_ns == 1.5
+        assert tras.undershoot_ns == pytest.approx(34.5)
+
+    def test_banks_audited_independently(self, scheduler):
+        program = (
+            ProgramBuilder()
+            .act(0, 0)
+            .wait(3.0)
+            .act(1, 0)  # different bank: no tRC between banks here
+            .build()
+        )
+        _, violations = scheduler.compile(program)
+        assert violations == []

@@ -1,0 +1,36 @@
+"""Tests for the infrastructure self-test."""
+
+from repro.bender.selftest import run_self_test
+
+
+class TestSelfTest:
+    def test_healthy_bench_passes(self, bench_h):
+        report = run_self_test(bench_h)
+        assert report.passed, report.failures
+        assert report.checks_run >= 20
+
+    def test_ideal_bench_passes(self, bench_ideal):
+        assert run_self_test(bench_ideal).passed
+
+    def test_micron_bench_passes(self, bench_m):
+        assert run_self_test(bench_m).passed
+
+    def test_samsung_bench_passes_without_activation_check(self, bench_samsung):
+        report = run_self_test(bench_samsung)
+        assert report.passed
+        # The Fig 14 check is skipped on non-susceptible parts.
+
+    def test_environment_restored_after_test(self, bench_h):
+        run_self_test(bench_h)
+        assert bench_h.module.temperature_c == 50.0
+        assert bench_h.module.vpp == 2.5
+
+    def test_report_records_failures(self):
+        from repro.bender.selftest import SelfTestReport
+
+        report = SelfTestReport()
+        report.record(True, "fine")
+        report.record(False, "broken thing")
+        assert not report.passed
+        assert report.failures == ["broken thing"]
+        assert report.checks_run == 2

@@ -1,0 +1,47 @@
+"""Tests for the thermal rig."""
+
+import pytest
+
+from repro.bender.thermal import TemperatureController
+from repro.errors import InfrastructureError
+
+
+class TestController:
+    def test_starts_at_ambient(self, bench_h):
+        controller = TemperatureController(bench_h.module, ambient_c=25.0)
+        assert controller.current_c == 25.0
+        assert bench_h.module.temperature_c == 25.0
+
+    def test_settle_reaches_target(self, bench_h):
+        controller = TemperatureController(bench_h.module)
+        controller.set_target(90.0)
+        controller.settle()
+        assert controller.current_c == 90.0
+        assert bench_h.module.temperature_c == 90.0
+        assert controller.is_settled()
+
+    def test_step_approaches_exponentially(self, bench_h):
+        controller = TemperatureController(
+            bench_h.module, ambient_c=25.0, time_constant_s=30.0
+        )
+        controller.set_target(85.0)
+        controller.step(30.0)  # one time constant: ~63% of the step
+        progress = (controller.current_c - 25.0) / 60.0
+        assert progress == pytest.approx(0.632, abs=0.01)
+        assert not controller.is_settled()
+
+    def test_envelope_enforced(self, bench_h):
+        controller = TemperatureController(bench_h.module)
+        with pytest.raises(InfrastructureError):
+            controller.set_target(150.0)
+        with pytest.raises(InfrastructureError):
+            controller.set_target(0.0)
+
+    def test_negative_step_rejected(self, bench_h):
+        controller = TemperatureController(bench_h.module)
+        with pytest.raises(InfrastructureError):
+            controller.step(-1.0)
+
+    def test_bad_time_constant_rejected(self, bench_h):
+        with pytest.raises(InfrastructureError):
+            TemperatureController(bench_h.module, time_constant_s=0.0)

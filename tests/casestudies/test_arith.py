@@ -1,0 +1,112 @@
+"""Random-vector tests of the in-DRAM bit-serial ALU against numpy."""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.casestudies.arith import BitSerialALU
+from repro.casestudies.bitserial import BitSerialEngine
+from repro.casestudies.gates import DualRailGates
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+WIDTH = 5
+MODULUS = 1 << WIDTH
+
+
+@pytest.fixture(scope="module")
+def alu():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    gates = DualRailGates(BitSerialEngine(bench), use_maj5=True)
+    return BitSerialALU(gates, width=WIDTH)
+
+
+@pytest.fixture(scope="module")
+def vectors(alu):
+    rng = np.random.default_rng(42)
+    a = rng.integers(0, MODULUS, alu.lanes).astype(np.uint64)
+    b = rng.integers(1, MODULUS, alu.lanes).astype(np.uint64)
+    return a, b
+
+
+class TestRegisters:
+    def test_load_read_roundtrip(self, alu, vectors):
+        a, _ = vectors
+        register = alu.load_vector(a)
+        assert np.array_equal(alu.read_vector(register), a)
+        alu.release_vector(register)
+
+    def test_load_rejects_oversized_values(self, alu):
+        with pytest.raises(ExperimentError):
+            alu.load_vector(np.full(alu.lanes, MODULUS, dtype=np.uint64))
+
+    def test_load_rejects_wrong_lane_count(self, alu):
+        with pytest.raises(ExperimentError):
+            alu.load_vector(np.zeros(3, dtype=np.uint64))
+
+
+class TestArithmetic:
+    def test_add(self, alu, vectors):
+        a, b = vectors
+        ra, rb = alu.load_vector(a), alu.load_vector(b)
+        result = alu.add(ra, rb)
+        assert np.array_equal(alu.read_vector(result), (a + b) % MODULUS)
+        for reg in (ra, rb, result):
+            alu.release_vector(reg)
+
+    def test_sub(self, alu, vectors):
+        a, b = vectors
+        ra, rb = alu.load_vector(a), alu.load_vector(b)
+        result = alu.sub(ra, rb)
+        assert np.array_equal(alu.read_vector(result), (a - b) % MODULUS)
+        for reg in (ra, rb, result):
+            alu.release_vector(reg)
+
+    def test_mul(self, alu, vectors):
+        a, b = vectors
+        ra, rb = alu.load_vector(a), alu.load_vector(b)
+        result = alu.mul(ra, rb)
+        assert np.array_equal(alu.read_vector(result), (a * b) % MODULUS)
+        for reg in (ra, rb, result):
+            alu.release_vector(reg)
+
+    def test_divmod(self, alu, vectors):
+        a, b = vectors
+        ra, rb = alu.load_vector(a), alu.load_vector(b)
+        quotient, remainder = alu.divmod(ra, rb)
+        assert np.array_equal(alu.read_vector(quotient), a // b)
+        assert np.array_equal(alu.read_vector(remainder), a % b)
+
+    def test_less_than(self, alu, vectors):
+        a, b = vectors
+        ra, rb = alu.load_vector(a), alu.load_vector(b)
+        flag = alu.less_than(ra, rb)
+        bits = alu.gates.read(flag)
+        assert np.array_equal(bits.astype(bool), a < b)
+
+
+class TestBitwise:
+    @pytest.mark.parametrize("op,func", [
+        ("and", np.bitwise_and),
+        ("or", np.bitwise_or),
+        ("xor", np.bitwise_xor),
+    ])
+    def test_ops(self, alu, vectors, op, func):
+        a, b = vectors
+        ra, rb = alu.load_vector(a), alu.load_vector(b)
+        result = alu.bitwise(op, ra, rb)
+        assert np.array_equal(alu.read_vector(result), func(a, b))
+        for reg in (ra, rb, result):
+            alu.release_vector(reg)
+
+    def test_unknown_op_rejected(self, alu, vectors):
+        a, b = vectors
+        ra, rb = alu.load_vector(a), alu.load_vector(b)
+        with pytest.raises(ExperimentError):
+            alu.bitwise("nand", ra, rb)
+
+    def test_zero_width_rejected(self, alu):
+        with pytest.raises(ExperimentError):
+            BitSerialALU(alu.gates, width=0)

@@ -1,0 +1,107 @@
+"""Tests for the bit-serial engine and row allocator."""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.casestudies.bitserial import BitSerialEngine, RowAllocator
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture()
+def engine():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    return BitSerialEngine(bench)
+
+
+class TestRowAllocator:
+    def test_alloc_unique(self):
+        allocator = RowAllocator(16)
+        rows = {allocator.alloc() for _ in range(16)}
+        assert len(rows) == 16
+
+    def test_exhaustion(self):
+        allocator = RowAllocator(2)
+        allocator.alloc()
+        allocator.alloc()
+        with pytest.raises(ExperimentError):
+            allocator.alloc()
+
+    def test_free_recycles(self):
+        allocator = RowAllocator(1)
+        row = allocator.alloc()
+        allocator.free(row)
+        assert allocator.alloc() == row
+
+    def test_double_free_rejected(self):
+        allocator = RowAllocator(4)
+        row = allocator.alloc()
+        allocator.free(row)
+        with pytest.raises(ExperimentError):
+            allocator.free(row)
+
+    def test_named_rows(self):
+        allocator = RowAllocator(4)
+        row = allocator.alloc("x")
+        assert allocator.named("x") == row
+        allocator.free(row)
+        with pytest.raises(KeyError):
+            allocator.named("x")
+
+    def test_duplicate_names_rejected(self):
+        allocator = RowAllocator(4)
+        allocator.alloc("x")
+        with pytest.raises(ExperimentError):
+            allocator.alloc("x")
+
+    def test_reserved_rows_never_allocated(self):
+        allocator = RowAllocator(8, reserved=(0, 1, 2))
+        rows = {allocator.alloc() for _ in range(allocator.available + 0)}
+        assert rows.isdisjoint({0, 1, 2})
+
+
+class TestEngine:
+    def test_constants_initialized(self, engine):
+        assert not engine.read(engine.zero_row).any()
+        assert engine.read(engine.one_row).all()
+
+    def test_load_read_roundtrip(self, engine):
+        row = engine.allocator.alloc()
+        bits = (np.arange(engine.columns) % 2).astype(np.uint8)
+        engine.load(row, bits)
+        assert np.array_equal(engine.read(row), bits)
+
+    def test_rowclone_moves_data(self, engine):
+        src = engine.allocator.alloc()
+        dst = engine.allocator.alloc()
+        bits = (np.arange(engine.columns) % 3 == 0).astype(np.uint8)
+        engine.load(src, bits)
+        engine.rowclone(src, dst)
+        assert np.array_equal(engine.read(dst), bits)
+
+    def test_maj3(self, engine):
+        rows = [engine.allocator.alloc() for _ in range(4)]
+        ones = np.ones(engine.columns, dtype=np.uint8)
+        zeros = np.zeros(engine.columns, dtype=np.uint8)
+        engine.load(rows[0], ones)
+        engine.load(rows[1], ones)
+        engine.load(rows[2], zeros)
+        engine.maj(rows[:3], rows[3])
+        assert np.array_equal(engine.read(rows[3]), ones)
+
+    def test_maj5(self, engine):
+        rows = [engine.allocator.alloc() for _ in range(6)]
+        ones = np.ones(engine.columns, dtype=np.uint8)
+        zeros = np.zeros(engine.columns, dtype=np.uint8)
+        for row, bits in zip(rows[:5], [ones, ones, zeros, zeros, ones]):
+            engine.load(row, bits)
+        engine.maj(rows[:5], rows[5])
+        assert np.array_equal(engine.read(rows[5]), ones)
+
+    def test_maj_rejects_even_inputs(self, engine):
+        rows = [engine.allocator.alloc() for _ in range(3)]
+        with pytest.raises(ExperimentError):
+            engine.maj(rows[:2], rows[2])

@@ -1,0 +1,79 @@
+"""Tests for cold-boot content destruction (Fig 17)."""
+
+import pytest
+
+from repro.casestudies.coldboot import (
+    ContentDestructionModel,
+    _mrc_ops_per_subarray,
+    figure17_speedups,
+)
+from repro.dram.vendor import PROFILE_H_A_DIE
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ContentDestructionModel(PROFILE_H_A_DIE)
+
+
+class TestSchedules:
+    def test_two_row_groups_need_one_op_per_row(self):
+        assert _mrc_ops_per_subarray(512, 2) == 511
+
+    def test_32_row_groups_near_ideal(self):
+        # Ideal is ceil(511/31) = 17; group-overlap constraints allow
+        # a little slack.
+        ops = _mrc_ops_per_subarray(512, 32)
+        assert 17 <= ops <= 24
+
+    def test_ops_decrease_with_group_size(self):
+        ops = [_mrc_ops_per_subarray(512, n) for n in (2, 4, 8, 16, 32)]
+        assert ops == sorted(ops, reverse=True)
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _mrc_ops_per_subarray(512, 3)
+
+
+class TestPlans:
+    def test_rowclone_plan(self, model):
+        plan = model.rowclone_plan()
+        assert plan.operations == 128 * 511
+        assert plan.seed_writes == 128
+        assert plan.total_ns > 0
+
+    def test_frac_plan_covers_all_rows(self, model):
+        plan = model.frac_plan()
+        assert plan.operations == PROFILE_H_A_DIE.rows_per_bank
+        assert plan.seed_writes == 0
+
+    def test_multirowcopy_plan(self, model):
+        plan = model.multi_row_copy_plan(32)
+        assert plan.mechanism == "multirowcopy-32"
+        assert plan.operations < model.rowclone_plan().operations
+
+    def test_total_us(self, model):
+        plan = model.frac_plan()
+        assert plan.total_us == pytest.approx(plan.total_ns / 1000.0)
+
+
+class TestFig17Shape:
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        return figure17_speedups()
+
+    def test_frac_beats_rowclone(self, speedups):
+        assert 2.0 < speedups["frac"] < 3.5
+
+    def test_speedup_grows_with_group_size(self, speedups):
+        values = [speedups[f"multirowcopy-{n}"] for n in (2, 4, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_32_row_speedup_near_paper(self, speedups):
+        # Paper: up to 20.87x over RowClone-based destruction.
+        assert 15.0 < speedups["multirowcopy-32"] < 23.0
+
+    def test_multirowcopy_beats_frac_at_scale(self, speedups):
+        # Paper: up to 7.55x over Frac-based destruction.
+        ratio = speedups["multirowcopy-32"] / speedups["frac"]
+        assert 5.0 < ratio < 9.0

@@ -1,0 +1,134 @@
+"""Tests for the in-DRAM expression compiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bender.testbench import TestBench
+from repro.casestudies.bitserial import BitSerialEngine
+from repro.casestudies.compiler import (
+    ExpressionCompiler,
+    compile_and_run,
+    const,
+    evaluate_reference,
+    var,
+)
+from repro.casestudies.gates import DualRailGates
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def gates():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    return DualRailGates(BitSerialEngine(bench), use_maj5=False)
+
+
+@pytest.fixture(scope="module")
+def bindings(gates):
+    rng = np.random.default_rng(3)
+    columns = gates.engine.columns
+    return {
+        name: (rng.random(columns) < 0.5).astype(np.uint8)
+        for name in ("a", "b", "c")
+    }
+
+
+class TestBasics:
+    def test_single_variable(self, gates, bindings):
+        got = compile_and_run(var("a"), gates, bindings)
+        assert np.array_equal(got, bindings["a"])
+
+    def test_not(self, gates, bindings):
+        got = compile_and_run(~var("a"), gates, bindings)
+        assert np.array_equal(got, 1 - bindings["a"])
+
+    def test_and_or_xor(self, gates, bindings):
+        cases = {
+            var("a") & var("b"): bindings["a"] & bindings["b"],
+            var("a") | var("b"): bindings["a"] | bindings["b"],
+            var("a") ^ var("b"): bindings["a"] ^ bindings["b"],
+        }
+        for expression, expected in cases.items():
+            assert np.array_equal(
+                compile_and_run(expression, gates, bindings), expected
+            )
+
+    def test_constants(self, gates, bindings):
+        got = compile_and_run(var("a") & const(0), gates, bindings)
+        assert not got.any()
+        got = compile_and_run(var("a") | const(1), gates, bindings)
+        assert got.all()
+
+    def test_nested_expression(self, gates, bindings):
+        expression = (var("a") & var("b")) | (~var("c") ^ var("a"))
+        expected = evaluate_reference(expression, bindings)
+        assert np.array_equal(
+            compile_and_run(expression, gates, bindings), expected
+        )
+
+    def test_shared_subexpression_variable(self, gates, bindings):
+        expression = (var("a") & var("b")) ^ (var("a") | var("c"))
+        expected = evaluate_reference(expression, bindings)
+        assert np.array_equal(
+            compile_and_run(expression, gates, bindings), expected
+        )
+
+    def test_no_row_leaks(self, gates, bindings):
+        available = gates.engine.allocator.available
+        expression = (var("a") ^ var("b")) & ~(var("c") | var("a"))
+        compile_and_run(expression, gates, bindings)
+        assert gates.engine.allocator.available == available
+
+
+class TestCosts:
+    def test_gate_costs(self):
+        assert (var("a") & var("b")).gate_cost() == 2
+        assert (var("a") ^ var("b")).gate_cost() == 6
+        assert (~var("a")).gate_cost() == 0
+        assert ((var("a") & var("b")) | var("c")).gate_cost() == 4
+
+    def test_variables(self):
+        expression = (var("a") & var("b")) ^ ~var("c")
+        assert expression.variables() == frozenset({"a", "b", "c"})
+
+
+class TestValidation:
+    def test_unbound_variable_rejected(self, gates):
+        with pytest.raises(ExperimentError):
+            compile_and_run(var("zz"), gates, {})
+
+    def test_bad_constant_rejected(self):
+        with pytest.raises(ExperimentError):
+            const(2)
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(ExperimentError):
+            var("a") & "nonsense"
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return var(draw(st.sampled_from(["a", "b", "c"])))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ~draw(expressions(depth=depth + 1))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    if op == "and":
+        return left & right
+    if op == "or":
+        return left | right
+    return left ^ right
+
+
+class TestPropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(expressions())
+    def test_matches_reference_semantics(self, gates, bindings, expression):
+        expected = evaluate_reference(expression, bindings)
+        got = ExpressionCompiler(gates).run(expression, bindings)
+        assert np.array_equal(got, expected)

@@ -1,0 +1,128 @@
+"""Tests for the in-DRAM bitmap index."""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.casestudies.bitserial import BitSerialEngine
+from repro.casestudies.database import BitmapIndex, ColumnSpec, scan_cost_model
+from repro.casestudies.gates import DualRailGates
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+SCHEMA = (
+    ColumnSpec("city", ("zurich", "lisbon", "tokyo")),
+    ColumnSpec("tier", ("gold", "silver")),
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    gates = DualRailGates(BitSerialEngine(bench))
+    idx = BitmapIndex(gates, SCHEMA)
+    rng = np.random.default_rng(8)
+    n = idx.capacity
+    table = {
+        "city": [SCHEMA[0].categories[i] for i in rng.integers(0, 3, n)],
+        "tier": [SCHEMA[1].categories[i] for i in rng.integers(0, 2, n)],
+    }
+    idx.load_table(table)
+    idx._table = table  # stashed for test-side reference checks
+    return idx
+
+
+class TestLoading:
+    def test_bitmaps_partition_each_column(self, index):
+        bitmaps = index.loaded_bitmaps
+        city_total = sum(
+            bitmaps[f"city={c}"].astype(int)
+            for c in ("zurich", "lisbon", "tokyo")
+        )
+        assert np.array_equal(city_total, np.ones(index.capacity, dtype=int))
+
+    def test_wrong_schema_rejected(self, index):
+        with pytest.raises(ExperimentError):
+            index.load_table({"city": []})
+
+    def test_wrong_row_count_rejected(self, index):
+        with pytest.raises(ExperimentError):
+            index.load_table({"city": ["zurich"], "tier": ["gold"]})
+
+    def test_unknown_category_rejected(self, index):
+        n = index.capacity
+        with pytest.raises(ExperimentError):
+            index.load_table(
+                {"city": ["atlantis"] * n, "tier": ["gold"] * n}
+            )
+
+
+class TestScans:
+    def test_single_predicate(self, index):
+        got = index.scan(index.predicate("city", "zurich"))
+        expected = np.array(
+            [1 if v == "zurich" else 0 for v in index._table["city"]],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(got, expected)
+
+    def test_conjunction(self, index):
+        expression = index.predicate("city", "tokyo") & index.predicate(
+            "tier", "gold"
+        )
+        assert index.verify_scan(expression)
+
+    def test_disjunction_with_negation(self, index):
+        expression = index.predicate("city", "lisbon") | ~index.predicate(
+            "tier", "silver"
+        )
+        assert index.verify_scan(expression)
+
+    def test_count_matches_python(self, index):
+        expression = index.predicate("city", "zurich") & index.predicate(
+            "tier", "silver"
+        )
+        expected = sum(
+            1
+            for city, tier in zip(index._table["city"], index._table["tier"])
+            if city == "zurich" and tier == "silver"
+        )
+        assert index.count(expression) == expected
+
+    def test_unknown_column_rejected(self, index):
+        with pytest.raises(ExperimentError):
+            index.predicate("planet", "mars")
+
+    def test_unloaded_bitmap_rejected(self, index):
+        from repro.casestudies.compiler import var
+
+        with pytest.raises(ExperimentError):
+            index.scan(var("ghost"))
+
+
+class TestCostModel:
+    def test_speedup_positive_for_bulk_scans(self, index):
+        expression = index.predicate("city", "tokyo") & index.predicate(
+            "tier", "gold"
+        )
+        costs = scan_cost_model(expression, n_rows=1 << 24, lanes=65536)
+        assert costs["in_dram_ns"] > 0
+        assert costs["cpu_ns"] > 0
+        assert costs["speedup"] > 0
+
+    def test_validation(self, index):
+        expression = index.predicate("city", "tokyo")
+        with pytest.raises(ExperimentError):
+            scan_cost_model(expression, n_rows=0, lanes=10)
+
+
+class TestSchema:
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ExperimentError):
+            ColumnSpec("c", ("a", "a"))
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ExperimentError):
+            ColumnSpec("c", ())

@@ -1,0 +1,115 @@
+"""Exhaustive truth-table tests for the dual-rail majority gates.
+
+All gates execute on the simulated DRAM (ideal config), so these
+tests verify the in-DRAM constructions, not just Python logic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.casestudies.bitserial import BitSerialEngine
+from repro.casestudies.gates import DualRailGates
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def gates():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    return DualRailGates(BitSerialEngine(bench), use_maj5=True)
+
+
+def signal_for(gates, a_bit: int, b_bit: int):
+    columns = gates.engine.columns
+    a = gates.load(np.full(columns, a_bit, dtype=np.uint8))
+    b = gates.load(np.full(columns, b_bit, dtype=np.uint8))
+    return a, b
+
+
+def value_of(gates, signal) -> int:
+    bits = gates.read(signal)
+    assert len(set(bits.tolist())) == 1
+    return int(bits[0])
+
+
+def complement_consistent(gates, signal) -> bool:
+    pos = gates.engine.read(signal.pos)
+    neg = gates.engine.read(signal.neg)
+    return bool(np.array_equal(pos ^ 1, neg))
+
+
+@pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+class TestTwoInputGates:
+    def test_and(self, gates, a, b):
+        sa, sb = signal_for(gates, a, b)
+        out = gates.and_(sa, sb)
+        assert value_of(gates, out) == (a & b)
+        assert complement_consistent(gates, out)
+
+    def test_or(self, gates, a, b):
+        sa, sb = signal_for(gates, a, b)
+        out = gates.or_(sa, sb)
+        assert value_of(gates, out) == (a | b)
+        assert complement_consistent(gates, out)
+
+    def test_xor(self, gates, a, b):
+        sa, sb = signal_for(gates, a, b)
+        out = gates.xor_(sa, sb)
+        assert value_of(gates, out) == (a ^ b)
+        assert complement_consistent(gates, out)
+
+
+@pytest.mark.parametrize(
+    "a,b,c", [(x, y, z) for x in (0, 1) for y in (0, 1) for z in (0, 1)]
+)
+class TestFullAdder:
+    def test_maj5_identity(self, gates, a, b, c):
+        sa, sb = signal_for(gates, a, b)
+        sc = gates.constant(c)
+        total, carry = gates.full_adder(sa, sb, sc)
+        assert value_of(gates, total) == (a + b + c) % 2
+        assert value_of(gates, carry) == (a + b + c) // 2
+
+    def test_mux(self, gates, a, b, c):
+        sel, sa = signal_for(gates, a, b)
+        sc = gates.constant(c)
+        out = gates.mux(sel, sa, sc)
+        assert value_of(gates, out) == (b if a else c)
+
+
+class TestNotAndConstants:
+    def test_not_is_free_rail_swap(self, gates):
+        a, _ = signal_for(gates, 1, 0)
+        inverted = gates.not_(a)
+        assert value_of(gates, inverted) == 0
+        assert inverted.pos == a.neg and inverted.neg == a.pos
+
+    def test_constants(self, gates):
+        assert value_of(gates, gates.constant(0)) == 0
+        assert value_of(gates, gates.constant(1)) == 1
+
+    def test_release_of_constants_is_noop(self, gates):
+        before = gates.engine.allocator.available
+        gates.release(gates.constant(1))
+        assert gates.engine.allocator.available == before
+
+    def test_maj3_only_full_adder(self):
+        config = SimulationConfig.ideal()
+        bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+        gates3 = DualRailGates(BitSerialEngine(bench), use_maj5=False)
+        for a, b, c in [(0, 0, 1), (1, 1, 0), (1, 0, 1), (1, 1, 1)]:
+            sa, sb = signal_for(gates3, a, b)
+            sc = gates3.constant(c)
+            total, carry = gates3.full_adder(sa, sb, sc)
+            assert value_of(gates3, total) == (a + b + c) % 2
+            assert value_of(gates3, carry) == (a + b + c) // 2
+
+    def test_samsung_cannot_build_engine_neutrals(self, bench_samsung):
+        # MAJ5 gate library requires a MAJ5-capable vendor.
+        engine = None
+        with pytest.raises(ExperimentError):
+            engine = BitSerialEngine(bench_samsung)
+            DualRailGates(engine, use_maj5=True)

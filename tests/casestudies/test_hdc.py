@@ -1,0 +1,150 @@
+"""Tests for the hyperdimensional-computing case study."""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.casestudies.bitserial import BitSerialEngine
+from repro.casestudies.gates import DualRailGates
+from repro.casestudies.hdc import (
+    HdcClassifier,
+    ItemMemory,
+    bind,
+    hamming_similarity,
+    noisy_samples,
+)
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def engine():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    return BitSerialEngine(bench)
+
+
+@pytest.fixture(scope="module")
+def items(engine):
+    return ItemMemory(engine.columns, seed=5)
+
+
+class TestItemMemory:
+    def test_vectors_cached_and_deterministic(self, items):
+        assert np.array_equal(items.vector("cat"), items.vector("cat"))
+
+    def test_different_symbols_quasi_orthogonal(self, items):
+        similarity = hamming_similarity(
+            items.vector("cat"), items.vector("dog")
+        )
+        assert 0.4 < similarity < 0.6
+
+    def test_minimum_dimensions(self):
+        with pytest.raises(ExperimentError):
+            ItemMemory(4)
+
+
+class TestBundling:
+    def test_bundle_preserves_majority_semantics(self, engine, items):
+        classifier = HdcClassifier(engine, bundle_width=3)
+        a, b = items.vector("a"), items.vector("b")
+        c = (a ^ b).astype(np.uint8)
+        bundled = classifier._bundle([a, b, c])
+        expected = ((a.astype(int) + b + c) * 2 > 3).astype(np.uint8)
+        assert np.array_equal(bundled, expected)
+
+    def test_even_bundle_rejected(self, engine, items):
+        classifier = HdcClassifier(engine, bundle_width=3)
+        with pytest.raises(ExperimentError):
+            classifier._bundle([items.vector("a"), items.vector("b")])
+
+    def test_no_row_leaks(self, engine, items):
+        classifier = HdcClassifier(engine, bundle_width=5)
+        available = engine.allocator.available
+        classifier._bundle([items.vector(str(i)) for i in range(5)])
+        assert engine.allocator.available == available
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self, engine, items):
+        classifier = HdcClassifier(engine, bundle_width=5)
+        dataset = {
+            label: noisy_samples(items.vector(label), 5, 0.15, label)
+            for label in ("alpha", "beta", "gamma")
+        }
+        report = classifier.train(dataset)
+        return classifier, report
+
+    def test_training_report(self, trained):
+        _, report = trained
+        assert report.classes == 3
+        assert report.samples_bundled == 15
+        assert report.majx_operations == 3
+        assert report.bundle_width == 5
+
+    def test_prototypes_near_class_centers(self, trained, items):
+        classifier, _ = trained
+        for label in ("alpha", "beta", "gamma"):
+            similarity = hamming_similarity(
+                classifier.prototypes[label], items.vector(label)
+            )
+            assert similarity > 0.85
+
+    def test_classifies_noisy_queries(self, trained, items):
+        classifier, _ = trained
+        correct = 0
+        total = 0
+        for label in ("alpha", "beta", "gamma"):
+            for query in noisy_samples(items.vector(label), 6, 0.2, label, "q"):
+                total += 1
+                if classifier.classify(query) == label:
+                    correct += 1
+        assert correct / total > 0.9
+
+    def test_similarities_cover_all_classes(self, trained, items):
+        classifier, _ = trained
+        scores = classifier.similarities(items.vector("alpha"))
+        assert set(scores) == {"alpha", "beta", "gamma"}
+
+    def test_multi_fold_training(self, engine, items):
+        classifier = HdcClassifier(engine, bundle_width=3)
+        # 3 + 2k samples: 7 samples = 3 + 2*2 folds.
+        dataset = {"only": noisy_samples(items.vector("only"), 7, 0.1, "f")}
+        report = classifier.train(dataset)
+        assert report.majx_operations == 3  # 1 + 2 refolds
+
+    def test_bad_sample_counts_rejected(self, engine, items):
+        classifier = HdcClassifier(engine, bundle_width=5)
+        with pytest.raises(ExperimentError):
+            classifier.train(
+                {"x": noisy_samples(items.vector("x"), 6, 0.1, "x")}
+            )
+
+    def test_untrained_classify_rejected(self, engine):
+        classifier = HdcClassifier(engine, bundle_width=3)
+        with pytest.raises(ExperimentError):
+            classifier.classify(np.zeros(engine.columns, dtype=np.uint8))
+
+    def test_vendor_cap_enforced(self, bench_m):
+        engine_m = BitSerialEngine(bench_m)
+        with pytest.raises(ExperimentError):
+            HdcClassifier(engine_m, bundle_width=9)
+
+
+class TestBinding:
+    def test_bind_is_xor(self, engine, items):
+        gates = DualRailGates(engine)
+        a, b = items.vector("k"), items.vector("v")
+        assert np.array_equal(bind(gates, a, b), a ^ b)
+
+    def test_bind_is_its_own_inverse(self, engine, items):
+        gates = DualRailGates(engine)
+        a, b = items.vector("k2"), items.vector("v2")
+        bound = bind(gates, a, b)
+        assert np.array_equal(bind(gates, bound, a), b)
+
+    def test_noise_validation(self, items):
+        with pytest.raises(ExperimentError):
+            noisy_samples(items.vector("x"), 3, 0.7)

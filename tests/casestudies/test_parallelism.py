@@ -1,0 +1,95 @@
+"""Tests for multi-bank APA interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies.parallelism import (
+    BankOperation,
+    parallel_multi_row_copy,
+    schedule_interleaved,
+)
+from repro.core.rowgroups import sample_groups
+from repro.dram.commands import CommandKind
+from repro.errors import ExperimentError
+
+
+def ops_for(n_banks, size=8, t1=24, t2=2):
+    return [
+        BankOperation(
+            bank=bank,
+            group=sample_groups(0, 512, size, 1, "par", bank)[0],
+            t1_ticks=t1,
+            t2_ticks=t2,
+        )
+        for bank in range(n_banks)
+    ]
+
+
+class TestScheduler:
+    def test_single_operation(self):
+        schedule = schedule_interleaved(ops_for(1), 512)
+        assert schedule.start_ticks == {0: 0}
+        assert schedule.speedup == 1.0
+
+    def test_slack_timings_interleave_tightly(self):
+        # Multi-RowCopy APAs (t1 = 24 ticks) leave room for many banks.
+        schedule = schedule_interleaved(ops_for(8), 512)
+        assert schedule.speedup > 4.0
+
+    def test_tight_timings_interleave_poorly(self):
+        # MAJ APAs (t1 = 1 tick, t2 = 2 ticks) have almost no slack,
+        # so per-bank starts cannot nest inside each other's windows.
+        slack = schedule_interleaved(ops_for(8, t1=24, t2=2), 512)
+        tight = schedule_interleaved(ops_for(8, t1=1, t2=2), 512)
+        assert slack.speedup > tight.speedup
+
+    def test_no_bus_conflicts(self):
+        schedule = schedule_interleaved(ops_for(12), 512)
+        times = [c.time_ns for c in schedule.program.to_commands()]
+        assert len(times) == len(set(times))
+
+    def test_per_bank_gaps_preserved(self):
+        schedule = schedule_interleaved(ops_for(6), 512)
+        commands = schedule.program.to_commands()
+        for bank in range(6):
+            bank_cmds = [c for c in commands if c.bank == bank]
+            acts = [c for c in bank_cmds if c.kind is CommandKind.ACT]
+            pre = next(c for c in bank_cmds if c.kind is CommandKind.PRE)
+            assert pre.time_ns - acts[0].time_ns == pytest.approx(36.0)
+            assert acts[1].time_ns - pre.time_ns == pytest.approx(3.0)
+
+    def test_duplicate_banks_rejected(self):
+        ops = ops_for(2)
+        bad = [ops[0], BankOperation(0, ops[1].group, 24, 2)]
+        with pytest.raises(ExperimentError):
+            schedule_interleaved(bad, 512)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            schedule_interleaved([], 512)
+
+
+class TestParallelCopy:
+    def test_all_banks_copy_correctly(self, bench_ideal):
+        module = bench_ideal.module
+        columns = module.config.columns_per_row
+        groups = {
+            bank: sample_groups(0, 512, 8, 1, "pmrc", bank)[0]
+            for bank in range(4)
+        }
+        sources = {}
+        for bank, group in groups.items():
+            device_bank = module.bank(bank)
+            bits = (np.arange(columns) % (bank + 2) == 0).astype(np.uint8)
+            for row in group.global_rows(512):
+                device_bank.write_row(row, bits ^ 1)
+            device_bank.write_row(group.global_pair(512)[0], bits)
+            sources[bank] = bits
+        schedule = parallel_multi_row_copy(bench_ideal, groups)
+        assert schedule.speedup > 2.0
+        for bank, group in groups.items():
+            device_bank = module.bank(bank)
+            for row in group.global_rows(512):
+                assert np.array_equal(
+                    device_bank.read_row(row), sources[bank]
+                ), (bank, row)

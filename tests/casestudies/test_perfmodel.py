@@ -1,0 +1,95 @@
+"""Tests for the Fig 16 microbenchmark performance model."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies.perfmodel import (
+    MICROBENCHMARKS,
+    MicrobenchmarkModel,
+    figure16_speedups,
+)
+from repro.errors import ConfigurationError
+
+
+class TestModelStructure:
+    def test_seven_microbenchmarks(self):
+        assert len(MICROBENCHMARKS) == 7
+        assert set(MICROBENCHMARKS) == {
+            "and", "or", "xor", "addition", "subtraction",
+            "multiplication", "division",
+        }
+
+    def test_counts_decrease_with_wider_maj(self):
+        for name, by_x in MICROBENCHMARKS.items():
+            totals = [sum(by_x[x].values()) for x in sorted(by_x)]
+            assert totals == sorted(totals, reverse=True), name
+
+    def test_mfr_m_caps_at_maj7(self):
+        model = MicrobenchmarkModel.for_manufacturer("M")
+        assert model.max_x == 7
+        with pytest.raises(ConfigurationError):
+            model.time_ns("and", 9)
+
+    def test_unknown_manufacturer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrobenchmarkModel.for_manufacturer("S")
+
+    def test_bad_yield_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrobenchmarkModel(yields={3: 1.5}, baseline_yield=0.9)
+
+
+class TestFig16Shape:
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        return figure16_speedups()
+
+    def test_all_benchmarks_present(self, speedups):
+        for mfr in ("H", "M"):
+            assert set(speedups[mfr]) == set(MICROBENCHMARKS)
+
+    def test_maj5_and_maj7_beat_baseline_everywhere(self, speedups):
+        for mfr in ("H", "M"):
+            for bench, by_x in speedups[mfr].items():
+                assert by_x[5] > 1.0, (mfr, bench)
+                assert by_x[7] > 1.0, (mfr, bench)
+
+    def test_maj7_beats_maj5(self, speedups):
+        # Paper: MAJ7 is 62.1% (M) / 31.7% (H) faster than MAJ5.
+        for mfr in ("H", "M"):
+            m5 = np.mean([b[5] for b in speedups[mfr].values()])
+            m7 = np.mean([b[7] for b in speedups[mfr].values()])
+            assert 1.2 < m7 / m5 < 2.0
+
+    def test_maj9_degrades_on_mfr_h(self, speedups):
+        # Paper: MAJ9's poor success rate makes it slower than MAJ3.
+        m9 = np.mean([b[9] for b in speedups["H"].values()])
+        assert m9 < 1.0
+
+    def test_mfr_m_has_no_maj9(self, speedups):
+        for by_x in speedups["M"].values():
+            assert 9 not in by_x
+
+    def test_overall_averages_near_paper(self, speedups):
+        # Paper: +121.61% (M), +46.54% (H) on average.
+        m_avg = np.mean([v for b in speedups["M"].values() for v in b.values()])
+        h_avg = np.mean([v for b in speedups["H"].values() for v in b.values()])
+        assert 1.9 < m_avg < 2.8
+        assert 1.2 < h_avg < 1.9
+
+
+class TestTimeModel:
+    def test_baseline_slower_than_maj5(self):
+        model = MicrobenchmarkModel.for_manufacturer("H")
+        assert model.baseline_time_ns("addition") > model.time_ns("addition", 5)
+
+    def test_unknown_benchmark_rejected(self):
+        model = MicrobenchmarkModel.for_manufacturer("H")
+        with pytest.raises(ConfigurationError):
+            model.time_ns("modexp", 5)
+
+    def test_speedup_is_ratio(self):
+        model = MicrobenchmarkModel.for_manufacturer("H")
+        assert model.speedup("xor", 5) == pytest.approx(
+            model.baseline_time_ns("xor") / model.time_ns("xor", 5)
+        )

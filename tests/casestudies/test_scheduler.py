@@ -1,0 +1,107 @@
+"""Tests for trace recording and ISA export/replay."""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.casestudies.bitserial import BitSerialEngine, TraceOp
+from repro.casestudies.gates import DualRailGates
+from repro.casestudies.scheduler import export_engine, export_trace, replay
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+def fresh_engine():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    return BitSerialEngine(bench, record_trace=True), bench
+
+
+class TestTraceRecording:
+    def test_load_recorded_with_data(self):
+        engine, _ = fresh_engine()
+        row = engine.allocator.alloc()
+        bits = (np.arange(engine.columns) % 2).astype(np.uint8)
+        start = len(engine.trace)
+        engine.load(row, bits)
+        entry = engine.trace[start]
+        assert entry.kind == "load"
+        assert entry.rows == (row,)
+        assert np.array_equal(np.array(entry.data), bits)
+
+    def test_maj_records_clones_and_apa(self):
+        engine, _ = fresh_engine()
+        rows = [engine.allocator.alloc() for _ in range(4)]
+        ones = np.ones(engine.columns, dtype=np.uint8)
+        for row in rows[:3]:
+            engine.load(row, ones)
+        start = len(engine.trace)
+        engine.maj(rows[:3], rows[3])
+        kinds = [op.kind for op in engine.trace[start:]]
+        # 3 operand clones, 1 frac (4-row group spare), the APA, 1 copy-out.
+        assert kinds == [
+            "rowclone", "rowclone", "rowclone", "frac", "maj", "rowclone",
+        ]
+
+    def test_trace_disabled_by_default(self):
+        config = SimulationConfig.ideal()
+        bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+        engine = BitSerialEngine(bench)
+        engine.load(engine.allocator.alloc(), np.zeros(engine.columns, dtype=np.uint8))
+        assert engine.trace == []
+
+
+class TestExportReplay:
+    def test_exported_kernel_reproduces_the_computation(self):
+        # Run AND on one device while recording, export to an ISA
+        # kernel, replay on a *fresh* device, compare the result rows.
+        engine, _ = fresh_engine()
+        gates = DualRailGates(engine)
+        rng = np.random.default_rng(12)
+        a = (rng.random(engine.columns) < 0.5).astype(np.uint8)
+        b = (rng.random(engine.columns) < 0.5).astype(np.uint8)
+        sa, sb = gates.load(a), gates.load(b)
+        out = gates.and_(sa, sb)
+        result_row = out.pos
+        expected = gates.read(out)
+        assert np.array_equal(expected, a & b)
+
+        compiled = export_engine(engine)
+        assert compiled.operation_count > 0
+
+        config = SimulationConfig.ideal()
+        fresh_bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+        replay(compiled, fresh_bench, bank=0, base_row=0)
+        replayed = fresh_bench.module.bank(0).read_row(result_row)
+        assert np.array_equal(replayed, expected)
+
+    def test_staged_rows_carry_inputs(self):
+        engine, _ = fresh_engine()
+        gates = DualRailGates(engine)
+        bits = np.ones(engine.columns, dtype=np.uint8)
+        gates.load(bits)
+        compiled = export_engine(engine)
+        staged = compiled.staged_dict()
+        # Dual-rail load stages the value and its complement (plus the
+        # engine's constant rows staged at construction).
+        assert any(np.array_equal(v, bits) for v in staged.values())
+        assert any(np.array_equal(v, 1 - bits) for v in staged.values())
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ExperimentError):
+            export_trace([], bank=0, base_row=0)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ExperimentError):
+            export_trace(
+                [TraceOp(kind="teleport", rows=(1,))], bank=0, base_row=0
+            )
+
+    def test_lost_load_data_rejected(self):
+        with pytest.raises(ExperimentError):
+            export_trace(
+                [TraceOp(kind="load", rows=(1,), data=None)],
+                bank=0,
+                base_row=0,
+            )

@@ -1,0 +1,86 @@
+"""Tests for majority-based error correction (TMR generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies.tmr import (
+    majority_vote_correct,
+    tmr_fault_tolerance,
+    vote_failure_probability,
+)
+from repro.errors import ExperimentError
+
+
+class TestFaultTolerance:
+    def test_values(self):
+        assert tmr_fault_tolerance(3) == 1
+        assert tmr_fault_tolerance(5) == 2
+        assert tmr_fault_tolerance(7) == 3
+        assert tmr_fault_tolerance(9) == 4
+
+    def test_rejects_even(self):
+        with pytest.raises(ExperimentError):
+            tmr_fault_tolerance(4)
+
+
+class TestFailureProbability:
+    def test_zero_error_rate(self):
+        assert vote_failure_probability(3, 0.0) == 0.0
+
+    def test_certain_error_rate(self):
+        assert vote_failure_probability(3, 1.0) == pytest.approx(1.0)
+
+    def test_tmr_improves_on_raw_bit(self):
+        p = 0.01
+        assert vote_failure_probability(3, p) < p
+
+    def test_wider_vote_is_stronger(self):
+        p = 0.05
+        failures = [vote_failure_probability(x, p) for x in (3, 5, 7, 9)]
+        assert failures == sorted(failures, reverse=True)
+
+    def test_known_tmr_formula(self):
+        # 3p^2(1-p) + p^3
+        p = 0.1
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert vote_failure_probability(3, p) == pytest.approx(expected)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ExperimentError):
+            vote_failure_probability(3, 1.5)
+
+
+class TestInDramVote:
+    def test_vote_corrects_single_fault(self, bench_ideal):
+        columns = bench_ideal.module.config.columns_per_row
+        truth = (np.arange(columns) % 2).astype(np.uint8)
+        corrupted = truth.copy()
+        corrupted[: columns // 4] ^= 1  # one copy partially corrupted
+        voted = majority_vote_correct(
+            bench_ideal, 0, [truth, truth, corrupted]
+        )
+        assert np.array_equal(voted, truth)
+
+    def test_five_way_vote_corrects_two_faults(self, bench_ideal):
+        columns = bench_ideal.module.config.columns_per_row
+        truth = np.ones(columns, dtype=np.uint8)
+        bad = np.zeros(columns, dtype=np.uint8)
+        voted = majority_vote_correct(
+            bench_ideal, 0, [truth, truth, truth, bad, bad]
+        )
+        assert np.array_equal(voted, truth)
+
+    def test_rejects_even_copy_count(self, bench_ideal):
+        columns = bench_ideal.module.config.columns_per_row
+        with pytest.raises(ExperimentError):
+            majority_vote_correct(
+                bench_ideal, 0, [np.zeros(columns, dtype=np.uint8)] * 4
+            )
+
+    def test_rejects_unsupported_width(self, bench_m):
+        # Mfr. M cannot vote 9 copies (footnote 11).
+        columns = bench_m.module.config.columns_per_row
+        with pytest.raises(ExperimentError):
+            majority_vote_correct(
+                bench_m, 0, [np.zeros(columns, dtype=np.uint8)] * 9
+            )

@@ -1,0 +1,66 @@
+"""Tests for the campaign runner."""
+
+import pytest
+
+from repro.characterization.campaign import Campaign, EXPERIMENTS
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.store import ResultStore
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def scope():
+    config = SimulationConfig(seed=43, columns_per_row=64)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=1,
+        trials=2,
+    )
+
+
+class TestCampaign:
+    def test_all_experiment_ids_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4a", "fig4b", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12a", "fig12b",
+        }
+
+    def test_run_and_render(self, scope):
+        campaign = Campaign(scope)
+        result = campaign.run(["fig11", "fig4a"])
+        assert result.completed == ["fig11", "fig4a"]
+        report = campaign.render(result)
+        assert "fig11" in report and "fig4a" in report
+
+    def test_run_with_store(self, scope, tmp_path):
+        store = ResultStore(tmp_path / "campaign")
+        campaign = Campaign(scope, store=store)
+        result = campaign.run(["fig4a"])
+        assert result.stored_at is not None
+        assert store.names() == ["fig4a"]
+        reloaded = store.load("fig4a")
+        assert "50.0" in reloaded
+
+    def test_distribution_experiments_persist(self, scope, tmp_path):
+        store = ResultStore(tmp_path / "campaign2")
+        Campaign(scope, store=store).run(["fig11"])
+        reloaded = store.load("fig11")
+        assert set(reloaded) == {"all0", "all1", "random"}
+
+    def test_unknown_experiment_rejected(self, scope):
+        with pytest.raises(ExperimentError):
+            Campaign(scope).run(["fig99"])
+
+    def test_empty_campaign_rejected(self, scope):
+        with pytest.raises(ExperimentError):
+            Campaign(scope).run([])
+
+    def test_grid_experiment_renders_tables(self, scope):
+        campaign = Campaign(scope)
+        result = campaign.run(["fig10"])
+        report = campaign.render(result)
+        assert "mean" in report  # distribution table header

@@ -1,0 +1,51 @@
+"""Tests for success-rate convergence with trial count."""
+
+import pytest
+
+from repro.characterization.convergence import (
+    majx_convergence_curve,
+    overestimate_at,
+)
+from repro.characterization.experiment import CharacterizationScope
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def scope():
+    config = SimulationConfig(seed=31, columns_per_row=256)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=4,  # unused: convergence sets its own trial counts
+    )
+
+
+class TestConvergence:
+    def test_curve_is_non_increasing(self, scope):
+        curve = majx_convergence_curve(
+            scope, 9, 32, trial_checkpoints=(1, 2, 4, 8, 16)
+        )
+        values = [curve[t] for t in sorted(curve)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_low_success_ops_overestimate_most(self, scope):
+        maj3 = majx_convergence_curve(scope, 3, 32, (2, 16))
+        maj9 = majx_convergence_curve(scope, 9, 32, (2, 16))
+        assert overestimate_at(maj3, 2) < overestimate_at(maj9, 2)
+
+    def test_high_success_ops_converge_fast(self, scope):
+        curve = majx_convergence_curve(scope, 3, 32, (2, 8, 16))
+        assert overestimate_at(curve, 2) < 0.03
+
+    def test_missing_checkpoint_rejected(self, scope):
+        curve = majx_convergence_curve(scope, 3, 32, (2, 4))
+        with pytest.raises(ExperimentError):
+            overestimate_at(curve, 3)
+
+    def test_empty_checkpoints_rejected(self, scope):
+        with pytest.raises(ExperimentError):
+            majx_convergence_curve(scope, 3, 32, ())

@@ -1,0 +1,54 @@
+"""Tests for the Limitation-3 disturbance audit."""
+
+import pytest
+
+from repro.characterization.disturbance import (
+    bystander_rows_for,
+    disturbance_check,
+)
+from repro.core.rowgroups import group_from_pair, sample_groups
+from repro.errors import ExperimentError
+
+
+class TestBystanders:
+    def test_neighbours_included(self):
+        group = group_from_pair(0, 0, 7, 512)  # rows {0,1,6,7}
+        bystanders = bystander_rows_for(group, 512)
+        assert 2 in bystanders and 5 in bystanders and 8 in bystanders
+        assert 511 in bystanders
+
+    def test_activated_rows_excluded(self):
+        group = group_from_pair(0, 0, 7, 512)
+        bystanders = bystander_rows_for(group, 512)
+        assert not set(bystanders) & set(group.rows)
+
+    def test_subarray_offset_applied(self):
+        group = group_from_pair(2, 0, 7, 512)
+        bystanders = bystander_rows_for(group, 512)
+        assert min(bystanders) >= 1024
+
+    def test_extra_rows_honoured(self):
+        group = group_from_pair(0, 0, 7, 512)
+        bystanders = bystander_rows_for(group, 512, extra=(100,))
+        assert 100 in bystanders
+
+
+class TestDisturbanceCheck:
+    @pytest.mark.parametrize("size", [4, 32])
+    def test_no_flips_outside_the_group(self, bench_h, size):
+        group = sample_groups(0, 512, size, 1, f"disturb-{size}")[0]
+        report = disturbance_check(bench_h, 0, group, trials=24)
+        assert report.clean, (
+            f"bystander rows flipped: {report.flipped_rows}"
+        )
+        assert report.trials == 24
+
+    def test_samsung_also_clean(self, bench_samsung):
+        group = sample_groups(0, 512, 8, 1, "disturb-sam")[0]
+        report = disturbance_check(bench_samsung, 0, group, trials=8)
+        assert report.clean
+
+    def test_trials_validated(self, bench_h):
+        group = sample_groups(0, 512, 4, 1, "disturb-v")[0]
+        with pytest.raises(ExperimentError):
+            disturbance_check(bench_h, 0, group, trials=0)

@@ -1,0 +1,75 @@
+"""Tests for experiment scaffolding (scope + operating points)."""
+
+import pytest
+
+from repro.characterization.experiment import (
+    CharacterizationScope,
+    OperatingPoint,
+)
+from repro.config import SimulationConfig
+from repro.core.patterns import PATTERN_00FF
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+class TestOperatingPoint:
+    def test_defaults_are_paper_baseline(self):
+        point = OperatingPoint()
+        assert point.temperature_c == 50.0
+        assert point.vpp == 2.5
+        assert point.pattern.kind == "random"
+
+    def test_with_helpers_return_copies(self):
+        point = OperatingPoint()
+        assert point.with_timing(1.5, 3.0).t1_ns == 1.5
+        assert point.with_temperature(90.0).temperature_c == 90.0
+        assert point.with_vpp(2.1).vpp == 2.1
+        assert point.with_pattern(PATTERN_00FF).pattern is PATTERN_00FF
+        assert point.temperature_c == 50.0  # original untouched
+
+
+class TestScope:
+    @pytest.fixture()
+    def scope(self):
+        config = SimulationConfig(seed=5, columns_per_row=128)
+        return CharacterizationScope.build(
+            config=config,
+            specs=TESTED_MODULES[:2],
+            modules_per_spec=1,
+            groups_per_size=2,
+            trials=3,
+        )
+
+    def test_build_counts(self, scope):
+        assert len(scope.benches) == 2
+
+    def test_iter_sites(self, scope):
+        sites = list(scope.iter_sites())
+        assert len(sites) == 2  # 2 benches x 1 bank x 1 subarray
+
+    def test_groups_for_deterministic(self, scope):
+        bench = scope.benches[0]
+        a = scope.groups_for(bench, 0, 0, 8)
+        b = scope.groups_for(bench, 0, 0, 8)
+        assert a == b
+        assert len(a) == 2
+
+    def test_groups_differ_across_benches(self, scope):
+        a = scope.groups_for(scope.benches[0], 0, 0, 8)
+        b = scope.groups_for(scope.benches[1], 0, 0, 8)
+        assert a != b
+
+    def test_apply_environment(self, scope):
+        scope.apply_environment(OperatingPoint(temperature_c=80.0, vpp=2.2))
+        for bench in scope.benches:
+            assert bench.module.temperature_c == 80.0
+            assert bench.module.vpp == 2.2
+
+    def test_empty_scope_rejected(self):
+        with pytest.raises(ExperimentError):
+            CharacterizationScope(benches=[])
+
+    def test_quick_scope(self):
+        scope = CharacterizationScope.quick()
+        assert scope.benches
+        assert scope.groups_per_size >= 1

@@ -1,0 +1,69 @@
+"""Tests for per-manufacturer fleet characterization."""
+
+import pytest
+
+from repro.casestudies.perfmodel import MicrobenchmarkModel
+from repro.characterization.fleet import (
+    baseline_yield,
+    best_group_yields,
+    per_manufacturer_scopes,
+)
+from repro.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def scopes():
+    config = SimulationConfig(seed=23, columns_per_row=128)
+    return per_manufacturer_scopes(
+        config, modules_per_spec=1, groups_per_size=2, trials=4
+    )
+
+
+class TestScopes:
+    def test_both_manufacturers_present(self, scopes):
+        assert set(scopes) == {"H", "M"}
+
+    def test_scopes_contain_only_their_manufacturer(self, scopes):
+        for manufacturer, scope in scopes.items():
+            for bench in scope.benches:
+                assert bench.module.profile.manufacturer == manufacturer
+
+    def test_module_counts(self, scopes):
+        assert len(scopes["H"].benches) == 2  # M-die + A-die specs
+        assert len(scopes["M"].benches) == 2  # E-die + B-die specs
+
+
+class TestYields:
+    def test_hynix_reaches_maj9(self, scopes):
+        yields = best_group_yields(scopes["H"])
+        assert set(yields) == {3, 5, 7, 9}
+
+    def test_micron_caps_at_maj7(self, scopes):
+        yields = best_group_yields(scopes["M"])
+        assert set(yields) == {3, 5, 7}
+
+    def test_yields_ordered_by_hardness(self, scopes):
+        yields = best_group_yields(scopes["H"])
+        assert yields[3] >= yields[5] >= yields[7] >= yields[9]
+
+    def test_baseline_below_32_row_maj3(self, scopes):
+        for scope in scopes.values():
+            base = baseline_yield(scope)
+            best = best_group_yields(scope)[3]
+            assert 0.0 < base <= best
+
+
+class TestMeasurementDrivenModel:
+    def test_model_builds_and_speeds_up(self, scopes):
+        model = MicrobenchmarkModel.from_measurements(scopes["M"])
+        assert model.max_x == 7
+        speedups = model.all_speedups()
+        assert speedups["addition"][5] > 1.0
+
+    def test_end_to_end_methodology(self, scopes):
+        # Characterize -> select best groups -> model: the paper's
+        # full section 8.1 pipeline, per manufacturer.
+        for scope in scopes.values():
+            model = MicrobenchmarkModel.from_measurements(scope)
+            for benchmark in ("and", "xor", "multiplication"):
+                assert model.speedup(benchmark, 5) > 0.5

@@ -1,0 +1,118 @@
+"""Shape tests for the section 5 MAJX characterization."""
+
+import pytest
+
+from repro.characterization.majority import (
+    MAJX_POINT,
+    majx_sizes_for,
+    majx_success_distribution,
+)
+from repro.characterization.experiment import CharacterizationScope
+from repro.config import SimulationConfig
+from repro.core.patterns import PATTERN_00FF
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def scope_h():
+    config = SimulationConfig(seed=13, columns_per_row=256)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=3,
+        trials=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def scope_m():
+    config = SimulationConfig(seed=13, columns_per_row=256)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[2:3],
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=4,
+    )
+
+
+class TestSizesFor:
+    def test_maj3_uses_all_sizes(self):
+        assert majx_sizes_for(3) == (4, 8, 16, 32)
+
+    def test_maj9_needs_16_rows(self):
+        assert majx_sizes_for(9) == (16, 32)
+
+
+class TestObservation6And10:
+    def test_replication_increases_maj3(self, scope_h):
+        four = majx_success_distribution(scope_h, 3, 4, MAJX_POINT)
+        many = majx_success_distribution(scope_h, 3, 32, MAJX_POINT)
+        assert many.mean - four.mean > 0.15
+
+    def test_replication_increases_maj5(self, scope_h):
+        base = majx_success_distribution(scope_h, 5, 8, MAJX_POINT)
+        many = majx_success_distribution(scope_h, 5, 32, MAJX_POINT)
+        assert many.mean > base.mean
+
+
+class TestObservation7:
+    def test_best_timing_is_t1_short_t2_3(self, scope_h):
+        best = majx_success_distribution(scope_h, 3, 32, MAJX_POINT)
+        slower_t1 = majx_success_distribution(
+            scope_h, 3, 32, MAJX_POINT.with_timing(3.0, 3.0)
+        )
+        assert best.mean - slower_t1.mean > 0.2
+
+
+class TestObservation8:
+    def test_maj5_maj7_maj9_feasible_and_ordered(self, scope_h):
+        rates = {
+            x: majx_success_distribution(scope_h, x, 32, MAJX_POINT).mean
+            for x in (3, 5, 7, 9)
+        }
+        assert rates[3] > rates[5] > rates[7] > rates[9]
+        assert rates[5] > 0.5
+        assert rates[9] < 0.5
+
+
+class TestObservation9:
+    def test_fixed_pattern_beats_random(self, scope_h):
+        random_rate = majx_success_distribution(scope_h, 5, 32, MAJX_POINT)
+        fixed_rate = majx_success_distribution(
+            scope_h, 5, 32, MAJX_POINT.with_pattern(PATTERN_00FF)
+        )
+        assert fixed_rate.mean > random_rate.mean
+
+
+class TestObservations11To13:
+    def test_temperature_helps_majx(self, scope_h):
+        cold = majx_success_distribution(scope_h, 7, 32, MAJX_POINT)
+        hot = majx_success_distribution(
+            scope_h, 7, 32, MAJX_POINT.with_temperature(90.0)
+        )
+        assert hot.mean >= cold.mean
+
+    def test_voltage_underscaling_small(self, scope_h):
+        nominal = majx_success_distribution(scope_h, 3, 32, MAJX_POINT)
+        low = majx_success_distribution(
+            scope_h, 3, 32, MAJX_POINT.with_vpp(2.1)
+        )
+        assert abs(nominal.mean - low.mean) < 0.05
+
+
+class TestVendorCapabilities:
+    def test_micron_runs_maj7(self, scope_m):
+        summary = majx_success_distribution(scope_m, 7, 32, MAJX_POINT)
+        assert summary.n > 0
+
+    def test_micron_cannot_run_maj9(self, scope_m):
+        # Footnote 11: MAJ9+ <1% success on Mfr. M -- skipped entirely.
+        with pytest.raises(ExperimentError):
+            majx_success_distribution(scope_m, 9, 32, MAJX_POINT)
+
+    def test_undersized_activation_rejected(self, scope_h):
+        with pytest.raises(ExperimentError):
+            majx_success_distribution(scope_h, 9, 8, MAJX_POINT)

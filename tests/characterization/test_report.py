@@ -1,0 +1,72 @@
+"""Tests for plain-text result rendering."""
+
+from repro.analysis import ascii_boxplot, ascii_series
+from repro.characterization.report import (
+    format_distribution_table,
+    format_scalar_table,
+    format_series_table,
+)
+from repro.characterization.stats import summarize
+
+
+class TestDistributionTable:
+    def test_contains_labels_and_values(self):
+        table = format_distribution_table(
+            "Fig X", {"MAJ3@32": summarize([0.99, 0.98])}
+        )
+        assert "Fig X" in table
+        assert "MAJ3@32" in table
+        assert "98.500" in table  # mean as percent
+
+    def test_raw_fractions(self):
+        table = format_distribution_table(
+            "T", {"a": summarize([0.5])}, as_percent=False
+        )
+        assert "0.500" in table
+
+
+class TestSeriesTable:
+    def test_columns_ordered(self):
+        table = format_series_table(
+            "S",
+            {"x": {1: 0.5, 2: 0.6}},
+            column_order=[2, 1],
+        )
+        header, row = table.splitlines()[2], table.splitlines()[3]
+        assert header.index("2") < header.index("1")
+        assert "50.000" in row and "60.000" in row
+
+    def test_missing_cells_dashed(self):
+        table = format_series_table(
+            "S", {"a": {1: 0.5}, "b": {2: 0.7}}, column_order=[1, 2]
+        )
+        assert "-" in table
+
+
+class TestScalarTable:
+    def test_units_rendered(self):
+        table = format_scalar_table("P", {"REF": 250.0}, unit="mW")
+        assert "250.000 mW" in table
+
+
+class TestAsciiPlots:
+    def test_boxplot_renders_markers(self):
+        art = ascii_boxplot(
+            {"a": summarize([0.1, 0.4, 0.5, 0.9]), "b": summarize([0.7, 0.8])}
+        )
+        assert "#" in art and "=" in art and "|" in art
+
+    def test_boxplot_empty(self):
+        assert ascii_boxplot({}) == "(no data)"
+
+    def test_series_renders_legend(self):
+        art = ascii_series({"maj3": {4: 0.7, 32: 0.99}, "maj5": {8: 0.3, 32: 0.8}})
+        assert "o = maj3" in art
+        assert "x = maj5" in art
+
+    def test_series_empty(self):
+        assert ascii_series({}) == "(no data)"
+
+    def test_series_flat_values(self):
+        art = ascii_series({"flat": {1: 0.5, 2: 0.5}})
+        assert "o" in art

@@ -1,0 +1,52 @@
+"""Tests for distribution statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.characterization.stats import DistributionSummary, summarize
+from repro.errors import ExperimentError
+
+
+class TestSummarize:
+    def test_single_value(self):
+        summary = summarize([0.5])
+        assert summary.mean == summary.median == summary.minimum == 0.5
+        assert summary.n == 1
+
+    def test_quartiles(self):
+        summary = summarize([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert summary.q1 == 0.25
+        assert summary.median == 0.5
+        assert summary.q3 == 0.75
+        assert summary.iqr == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+    def test_as_percent(self):
+        summary = summarize([0.5, 1.0]).as_percent()
+        assert summary.mean == 75.0
+        assert summary.maximum == 100.0
+        assert summary.n == 2
+
+    def test_str_renders(self):
+        text = str(summarize([0.5]))
+        assert "mean=0.5000" in text
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+        )
+    )
+    def test_ordering_invariant(self, values):
+        summary = summarize(values)
+        assert (
+            summary.minimum
+            <= summary.q1
+            <= summary.median
+            <= summary.q3
+            <= summary.maximum
+        )
+        epsilon = 1e-12
+        assert summary.minimum - epsilon <= summary.mean <= summary.maximum + epsilon

@@ -1,0 +1,78 @@
+"""Tests for the experiment result store."""
+
+import pytest
+
+from repro.characterization.stats import summarize
+from repro.characterization.store import ResultStore
+from repro.config import SimulationConfig
+from repro.errors import ExperimentError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "results")
+
+
+class TestRoundtrip:
+    def test_plain_values(self, store):
+        data = {"maj3": 0.99, "sizes": [2, 4, 8], "label": "x", "ok": True}
+        store.save("plain", data)
+        assert store.load("plain") == data
+
+    def test_distribution_summaries(self, store):
+        data = {
+            "fig3": {
+                "8-row": summarize([0.99, 0.98, 1.0]),
+                "32-row": summarize([0.97, 0.99]),
+            }
+        }
+        store.save("fig3", data)
+        loaded = store.load("fig3")
+        assert loaded["fig3"]["8-row"] == data["fig3"]["8-row"]
+        assert loaded["fig3"]["32-row"].n == 2
+
+    def test_nested_structures(self, store):
+        data = {"grid": {"1.5": {"3.0": [summarize([0.5]), 7]}}}
+        store.save("nested", data)
+        loaded = store.load("nested")
+        assert loaded["grid"]["1.5"]["3.0"][0].mean == 0.5
+        assert loaded["grid"]["1.5"]["3.0"][1] == 7
+
+    def test_metadata(self, store):
+        config = SimulationConfig(seed=9, columns_per_row=128)
+        store.save("meta", {"x": 1}, config=config, notes="smoke")
+        metadata = store.metadata("meta")
+        assert metadata["config"]["seed"] == 9
+        assert metadata["notes"] == "smoke"
+        assert metadata["library_version"]
+
+    def test_names_listing(self, store):
+        store.save("b", 1)
+        store.save("a", 2)
+        assert store.names() == ["a", "b"]
+
+
+class TestValidation:
+    def test_missing_result(self, store):
+        with pytest.raises(ExperimentError):
+            store.load("ghost")
+        with pytest.raises(ExperimentError):
+            store.metadata("ghost")
+
+    def test_bad_names(self, store):
+        for name in ("", "../escape", ".hidden"):
+            with pytest.raises(ExperimentError):
+                store.save(name, 1)
+
+    def test_unserializable_rejected(self, store):
+        with pytest.raises(ExperimentError):
+            store.save("bad", {"fn": lambda: None})
+
+    def test_future_format_rejected(self, store, tmp_path):
+        path = store.save("versioned", 1)
+        document = path.read_text().replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        path.write_text(document)
+        with pytest.raises(ExperimentError):
+            store.load("versioned")

@@ -1,0 +1,67 @@
+"""Tests for automatic best-timing discovery."""
+
+import pytest
+
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.timing_search import (
+    best_activation_timing,
+    best_copy_timing,
+    best_majx_timing,
+    search_timings,
+)
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def scope():
+    config = SimulationConfig(seed=47, columns_per_row=128)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=4,
+    )
+
+
+class TestSearch:
+    def test_finds_the_papers_majx_timing(self, scope):
+        # Section 5 / Obs 7: best MAJX timing is t1=1.5, t2=3.0.
+        result = best_majx_timing(scope)
+        assert (result.best_t1_ns, result.best_t2_ns) == (1.5, 3.0)
+        assert result.best_mean > 0.9
+
+    def test_finds_the_papers_copy_timing(self, scope):
+        # Section 6 / Obs 14: the winning Multi-RowCopy timing waits a
+        # full tRAS before the PRE (t1 = 36 ns); both interrupt-window
+        # t2 values can tie at small scopes.
+        result = best_copy_timing(scope)
+        assert result.best_t1_ns == 36.0
+        assert result.best_t2_ns in (1.5, 3.0)
+        assert result.best_mean > 0.99
+        # Short-t1 configurations collapse (Obs 15).
+        assert result.grid[(1.5, 3.0)] < 0.5
+
+    def test_activation_prefers_t2_3ns(self, scope):
+        # Obs 1/2: t2 = 3 ns beats t2 = 1.5 ns for plain activation.
+        result = best_activation_timing(scope, n_rows=8)
+        assert result.best_t2_ns == 3.0
+
+    def test_grid_is_complete_and_ranked(self, scope):
+        result = best_majx_timing(
+            scope, t1_values=(1.5, 3.0), t2_values=(1.5, 3.0)
+        )
+        assert len(result.grid) == 4
+        ranked = result.ranked()
+        assert ranked[0][1] >= ranked[-1][1]
+        assert ranked[0][0] == (result.best_t1_ns, result.best_t2_ns)
+
+    def test_off_grid_timings_rejected(self, scope):
+        with pytest.raises(ExperimentError):
+            best_majx_timing(scope, t1_values=(2.0,), t2_values=(3.0,))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            search_timings(lambda point: 1.0, (), (1.5,))

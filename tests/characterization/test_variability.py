@@ -1,0 +1,62 @@
+"""Tests for cross-module variability analysis."""
+
+import pytest
+
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.variability import (
+    manufacturer_gap,
+    module_spread,
+    per_module_majx,
+)
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def scope():
+    config = SimulationConfig(seed=29, columns_per_row=128)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES,
+        modules_per_spec=2,
+        groups_per_size=2,
+        trials=4,
+    )
+
+
+class TestPerModule:
+    def test_every_capable_module_reported(self, scope):
+        result = per_module_majx(scope, 3, 32)
+        assert len(result) == len(scope.benches)
+
+    def test_maj9_reports_only_hynix(self, scope):
+        result = per_module_majx(scope, 9, 32)
+        assert 0 < len(result) < len(scope.benches)
+        for serial in result:
+            assert "MT40A" not in serial  # no Micron parts
+
+    def test_modules_differ(self, scope):
+        result = per_module_majx(scope, 5, 32)
+        means = [summary.mean for summary in result.values()]
+        assert len(set(round(m, 6) for m in means)) > 1
+
+    def test_unsupported_everywhere_raises(self, scope):
+        with pytest.raises(ExperimentError):
+            per_module_majx(scope, 11, 32)  # no profile supports MAJ11
+
+
+class TestSpreadAndGap:
+    def test_spread_summary(self, scope):
+        result = per_module_majx(scope, 5, 32)
+        spread = module_spread(result)
+        assert spread.n == len(result)
+        assert 0.0 <= spread.minimum <= spread.maximum <= 1.0
+
+    def test_manufacturer_gap_matches_footnote11(self, scope):
+        # Mfr. M dies carry a reliability deficit that caps them at
+        # MAJ7; the per-manufacturer means for MAJ7 should show H > M.
+        result = per_module_majx(scope, 7, 32)
+        gap = manufacturer_gap(scope, result)
+        assert set(gap) == {"H", "M"}
+        assert gap["H"] > gap["M"]

@@ -1,0 +1,72 @@
+"""Tests for physical address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.controller.mapping import AddressMapping, PhysicalLocation
+from repro.dram.vendor import PROFILE_H_A_DIE
+from repro.errors import AddressError, ConfigurationError
+
+COLUMNS = 256  # 32 bytes per row at test width
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return AddressMapping(PROFILE_H_A_DIE, COLUMNS)
+
+
+class TestLocate:
+    def test_first_byte(self, mapping):
+        assert mapping.locate(0) == PhysicalLocation(bank=0, row=0, byte_in_row=0)
+
+    def test_rows_interleave_across_banks(self, mapping):
+        first_row = mapping.locate(0)
+        second_row = mapping.locate(mapping.row_bytes)
+        assert second_row.bank == first_row.bank + 1
+        assert second_row.row == 0
+
+    def test_wraps_to_next_row_after_all_banks(self, mapping):
+        loc = mapping.locate(mapping.row_bytes * PROFILE_H_A_DIE.banks)
+        assert loc == PhysicalLocation(bank=0, row=1, byte_in_row=0)
+
+    def test_out_of_range(self, mapping):
+        with pytest.raises(AddressError):
+            mapping.locate(mapping.capacity_bytes)
+        with pytest.raises(AddressError):
+            mapping.locate(-1)
+
+    @given(st.integers(min_value=0))
+    def test_roundtrip(self, mapping, address_seed):
+        address = address_seed % mapping.capacity_bytes
+        assert mapping.address_of(mapping.locate(address)) == address
+
+    def test_address_of_validates(self, mapping):
+        with pytest.raises(AddressError):
+            mapping.address_of(PhysicalLocation(bank=99, row=0, byte_in_row=0))
+
+
+class TestSameSubarray:
+    def test_same_row(self, mapping):
+        assert mapping.same_subarray(0, 5)
+
+    def test_rows_within_subarray(self, mapping):
+        banks = PROFILE_H_A_DIE.banks
+        a = mapping.row_aligned_span(0, 0)
+        b = mapping.row_aligned_span(0, 100)
+        assert mapping.same_subarray(a, b)
+
+    def test_rows_across_subarray_boundary(self, mapping):
+        a = mapping.row_aligned_span(0, 511)
+        b = mapping.row_aligned_span(0, 512)
+        assert not mapping.same_subarray(a, b)
+
+    def test_different_banks_never_share(self, mapping):
+        a = mapping.row_aligned_span(0, 0)
+        b = mapping.row_aligned_span(1, 0)
+        assert not mapping.same_subarray(a, b)
+
+
+class TestValidation:
+    def test_ragged_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(PROFILE_H_A_DIE, 100)

@@ -1,0 +1,140 @@
+"""Tests for the memory-controller front end."""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.config import SimulationConfig
+from repro.controller.mc import MemoryController
+from repro.dram.vendor import TESTED_MODULES
+from repro.dram.module import Module
+from repro.dram.vendor import PROFILE_SAMSUNG
+from repro.errors import AddressError, ExperimentError
+
+
+@pytest.fixture()
+def controller():
+    config = SimulationConfig.ideal()
+    bench = TestBench.for_spec(TESTED_MODULES[0], config=config)
+    return MemoryController(bench)
+
+
+class TestByteAccess:
+    def test_write_read_roundtrip(self, controller):
+        payload = bytes(range(48))
+        controller.write_bytes(100, payload)
+        assert controller.read_bytes(100, len(payload)) == payload
+
+    def test_crosses_row_boundary(self, controller):
+        row_bytes = controller.mapping.row_bytes
+        payload = bytes((i * 7) % 256 for i in range(row_bytes + 10))
+        start = row_bytes - 5
+        controller.write_bytes(start, payload)
+        assert controller.read_bytes(start, len(payload)) == payload
+
+    def test_neighbouring_data_untouched(self, controller):
+        controller.write_bytes(0, b"\xaa" * 16)
+        controller.write_bytes(16, b"\x55" * 4)
+        assert controller.read_bytes(0, 16) == b"\xaa" * 16
+
+    def test_zero_length_read(self, controller):
+        assert controller.read_bytes(0, 0) == b""
+
+    def test_out_of_range_rejected(self, controller):
+        with pytest.raises(AddressError):
+            controller.read_bytes(controller.capacity_bytes, 1)
+
+    def test_stats_accumulate(self, controller):
+        controller.write_bytes(0, b"xyz")
+        controller.read_bytes(0, 3)
+        assert controller.stats.reads >= 2  # RMW read + explicit read
+        assert controller.stats.writes >= 1
+        assert controller.stats.bus_time_ns > 0
+
+
+class TestCopyRow:
+    def test_same_subarray_uses_rowclone(self, controller):
+        mapping = controller.mapping
+        src = mapping.row_aligned_span(0, 3)
+        dst = mapping.row_aligned_span(0, 9)
+        payload = bytes(range(mapping.row_bytes))
+        controller.write_bytes(src, payload)
+        outcome = controller.copy_row(src, dst)
+        assert outcome.used_rowclone
+        assert controller.read_bytes(dst, mapping.row_bytes) == payload
+        assert controller.stats.rowclones == 1
+
+    def test_cross_subarray_falls_back(self, controller):
+        mapping = controller.mapping
+        src = mapping.row_aligned_span(0, 3)
+        dst = mapping.row_aligned_span(0, 600)  # next subarray
+        payload = bytes((i * 3) % 256 for i in range(mapping.row_bytes))
+        controller.write_bytes(src, payload)
+        outcome = controller.copy_row(src, dst)
+        assert not outcome.used_rowclone
+        assert controller.read_bytes(dst, mapping.row_bytes) == payload
+        assert controller.stats.buffered_copies == 1
+
+    def test_rowclone_faster_than_fallback(self, controller):
+        mapping = controller.mapping
+        src = mapping.row_aligned_span(0, 3)
+        dst = mapping.row_aligned_span(0, 9)
+        outcome = controller.copy_row(src, dst)
+        assert outcome.speedup_vs_fallback > 1.0
+
+    def test_unaligned_rejected(self, controller):
+        with pytest.raises(AddressError):
+            controller.copy_row(1, controller.mapping.row_aligned_span(0, 9))
+
+
+class TestBroadcast:
+    def test_broadcast_covers_group(self, controller):
+        mapping = controller.mapping
+        src = mapping.row_aligned_span(0, 0)
+        payload = bytes(range(mapping.row_bytes))
+        controller.write_bytes(src, payload)
+        outcome = controller.broadcast_row(src, partner_row=7)
+        # ACT 0 -> ACT 7 opens rows {0, 1, 6, 7}: three destinations.
+        assert outcome.rows_written == 3
+        for row in (1, 6, 7):
+            addr = mapping.row_aligned_span(0, row)
+            assert controller.read_bytes(addr, mapping.row_bytes) == payload
+
+    def test_broadcast_speedup_scales_with_group(self, controller):
+        mapping = controller.mapping
+        src = mapping.row_aligned_span(0, 127)
+        controller.write_bytes(src, b"\x11" * mapping.row_bytes)
+        outcome = controller.broadcast_row(src, partner_row=128)
+        assert outcome.rows_written == 31
+        assert outcome.speedup_vs_fallback > 10.0
+
+    def test_cross_subarray_partner_rejected(self, controller):
+        src = controller.mapping.row_aligned_span(0, 0)
+        with pytest.raises(AddressError):
+            controller.broadcast_row(src, partner_row=600)
+
+    def test_samsung_cannot_broadcast(self, quick_config):
+        module = Module("SAM#0", PROFILE_SAMSUNG, config=quick_config)
+        controller = MemoryController(TestBench(module))
+        src = controller.mapping.row_aligned_span(0, 0)
+        with pytest.raises(ExperimentError):
+            controller.broadcast_row(src, partner_row=7)
+
+
+class TestMemset:
+    def test_memset_rows(self, controller):
+        mapping = controller.mapping
+        rows = [20, 21, 22, 30]
+        copies = controller.memset_rows(0, rows, 0x5A)
+        assert copies == 3
+        for row in rows:
+            addr = mapping.row_aligned_span(0, row)
+            assert controller.read_bytes(addr, mapping.row_bytes) == (
+                b"\x5a" * mapping.row_bytes
+            )
+
+    def test_validation(self, controller):
+        with pytest.raises(AddressError):
+            controller.memset_rows(0, [], 0)
+        with pytest.raises(AddressError):
+            controller.memset_rows(0, [1], 300)

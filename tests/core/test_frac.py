@@ -1,0 +1,58 @@
+"""Tests for Frac neutral-row initialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.frac import initialize_neutral_rows
+from repro.dram.cell import LEVEL_HALF
+from repro.errors import UnsupportedOperationError
+
+
+class TestFrac:
+    def test_hynix_rows_become_neutral(self, bench_ideal):
+        touched = initialize_neutral_rows(bench_ideal, 0, [3, 9])
+        assert touched == [3, 9]
+        bank = bench_ideal.module.bank(0)
+        for row in (3, 9):
+            assert np.all(bank.peek_row(row) == LEVEL_HALF)
+
+    def test_micron_bias_init_accepted(self, bench_m):
+        # Footnote 5: Mfr. M emulates neutrality via biased amps.
+        initialize_neutral_rows(bench_m, 0, [0])
+
+    def test_samsung_unsupported(self, bench_samsung):
+        with pytest.raises(UnsupportedOperationError):
+            initialize_neutral_rows(bench_samsung, 0, [0])
+
+    def test_real_device_mostly_neutral(self, bench_h):
+        initialize_neutral_rows(bench_h, 0, [4])
+        levels = bench_h.module.bank(0).peek_row(4)
+        assert float(np.mean(levels == LEVEL_HALF)) > 0.98
+
+    def test_plain_activation_destroys_neutral_state(self, bench_ideal):
+        initialize_neutral_rows(bench_ideal, 0, [6])
+        bank = bench_ideal.module.bank(0)
+        bank.read_row(6)  # nominal ACT-RD-PRE restores full levels
+        assert not np.any(bank.peek_row(6) == LEVEL_HALF)
+
+    def test_command_level_frac_via_truncated_restore(self, bench_ideal):
+        # FracDRAM's mechanism: ACT -> PRE with the gap inside the Frac
+        # window truncates the restore, leaving cells at VDD/2.
+        from repro.bender.program import ProgramBuilder
+
+        bank = bench_ideal.module.bank(0)
+        bank.write_row(11, np.ones(bank.columns, dtype=np.uint8))
+        program = ProgramBuilder().act(0, 11).wait(3.0).pre(0).build()
+        bench_ideal.run(program)
+        assert np.all(bank.peek_row(11) == LEVEL_HALF)
+
+    def test_nominal_t1_does_not_frac(self, bench_ideal):
+        from repro.bender.program import ProgramBuilder
+
+        bank = bench_ideal.module.bank(0)
+        bits = (np.arange(bank.columns) % 2).astype(np.uint8)
+        bank.write_row(12, bits)
+        program = ProgramBuilder().act(0, 12).wait(36.0).pre(0).build()
+        bench_ideal.run(program)
+        assert not np.any(bank.peek_row(12) == LEVEL_HALF)
+        assert np.array_equal(bank.read_row(12), bits)

@@ -1,0 +1,136 @@
+"""Tests for MAJX planning and execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.majority import (
+    MajXPlan,
+    execute_majx,
+    expected_majority,
+    plan_majx,
+)
+from repro.core.patterns import PATTERN_RANDOM
+from repro.core.rowgroups import sample_groups
+from repro.errors import ExperimentError
+
+
+def group_of(size, tag="maj-test", subarray_rows=512):
+    return sample_groups(0, subarray_rows, size, 1, tag)[0]
+
+
+class TestExpectedMajority:
+    def test_simple(self):
+        a = np.array([1, 1, 0, 0], dtype=np.uint8)
+        b = np.array([1, 0, 1, 0], dtype=np.uint8)
+        c = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert np.array_equal(expected_majority([a, b, c]), [1, 1, 1, 0])
+
+    def test_rejects_even_count(self):
+        with pytest.raises(ExperimentError):
+            expected_majority([np.zeros(2), np.zeros(2)])
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_replication_identity(self, packed):
+        # Footnote 3: MAJ6(A,B,C,A,B,C) = MAJ3(A,B,C); we verify the
+        # odd-input equivalent MAJ9(Ax3, Bx3, Cx3) = MAJ3(A,B,C).
+        bits = np.unpackbits(
+            np.array([packed >> 8, packed & 0xFF], dtype=np.uint8)
+        )
+        a, b = bits[:8], bits[8:]
+        c = a ^ b
+        maj3 = expected_majority([a, b, c])
+        maj9 = expected_majority([a, b, c] * 3)
+        assert np.array_equal(maj3, maj9)
+
+
+class TestPlanMajx:
+    def test_maj3_at_32_rows(self):
+        plan = plan_majx(3, group_of(32))
+        assert plan.replicas == 10
+        assert len(plan.neutral_rows) == 2
+        assert plan.n_rows == 32
+        # Each operand is replicated equally.
+        counts = {}
+        for operand in plan.operand_of_row.values():
+            counts[operand] = counts.get(operand, 0) + 1
+        assert counts == {0: 10, 1: 10, 2: 10}
+
+    def test_maj5_at_8_rows(self):
+        plan = plan_majx(5, group_of(8))
+        assert plan.replicas == 1
+        assert len(plan.neutral_rows) == 3
+
+    def test_maj9_at_16_rows(self):
+        plan = plan_majx(9, group_of(16))
+        assert plan.replicas == 1
+        assert len(plan.neutral_rows) == 7
+
+    def test_exact_fit_has_no_neutral_rows(self):
+        # MAJ-unused rows = N mod X; 4-row MAJ3 leaves one neutral.
+        plan = plan_majx(3, group_of(4))
+        assert len(plan.neutral_rows) == 1
+
+    def test_rejects_even_x(self):
+        with pytest.raises(ExperimentError):
+            plan_majx(4, group_of(8))
+
+    def test_rejects_undersized_group(self):
+        with pytest.raises(ExperimentError):
+            plan_majx(5, group_of(4))
+
+    def test_assignment_covers_group(self):
+        plan = plan_majx(3, group_of(16))
+        assigned = set(plan.operand_of_row) | set(plan.neutral_rows)
+        assert assigned == plan.group.rows
+
+
+class TestExecuteMajx:
+    def test_ideal_device_computes_exact_majority(self, bench_ideal):
+        columns = bench_ideal.module.config.columns_per_row
+        plan = plan_majx(3, group_of(8, "exec"))
+        operands = [
+            PATTERN_RANDOM.operand_bits(columns, i, "exec-trial") for i in range(3)
+        ]
+        result = execute_majx(bench_ideal, 0, plan, operands)
+        assert result.semantic == "majority"
+        assert result.success_fraction == 1.0
+        assert np.array_equal(result.result_bits, result.expected_bits)
+
+    def test_real_device_mostly_correct_at_32_rows(self, bench_h):
+        columns = bench_h.module.config.columns_per_row
+        plan = plan_majx(3, group_of(32, "exec32"))
+        operands = [
+            PATTERN_RANDOM.operand_bits(columns, i, "t32") for i in range(3)
+        ]
+        result = execute_majx(bench_h, 0, plan, operands)
+        assert result.success_fraction > 0.9
+
+    def test_operand_count_validated(self, bench_ideal):
+        plan = plan_majx(3, group_of(8, "count"))
+        columns = bench_ideal.module.config.columns_per_row
+        with pytest.raises(ExperimentError):
+            execute_majx(
+                bench_ideal, 0, plan,
+                [np.zeros(columns, dtype=np.uint8)] * 2,
+            )
+
+    def test_operand_shape_validated(self, bench_ideal):
+        plan = plan_majx(3, group_of(8, "shape"))
+        with pytest.raises(ExperimentError):
+            execute_majx(
+                bench_ideal, 0, plan, [np.zeros(5, dtype=np.uint8)] * 3
+            )
+
+    def test_micron_bias_init_neutral_rows(self, bench_m):
+        # Mfr. M has no Frac but bias-init neutral rows work (fn 5).
+        columns = bench_m.module.config.columns_per_row
+        group = sample_groups(0, 1024, 8, 1, "micron-exec")[0]
+        plan = plan_majx(5, group)
+        operands = [
+            PATTERN_RANDOM.operand_bits(columns, i, "m5") for i in range(5)
+        ]
+        result = execute_majx(bench_m, 0, plan, operands)
+        assert result.semantic == "majority"
+        assert result.success_fraction > 0.2

@@ -1,0 +1,61 @@
+"""Tests for the Multi-RowCopy primitive (paper section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multirowcopy import execute_multi_row_copy
+from repro.core.rowgroups import group_from_pair, sample_groups
+from repro.errors import ExperimentError
+
+
+def init_group(bank, group, columns, subarray_rows=512):
+    source = (np.arange(columns) % 2).astype(np.uint8)
+    source_global = group.global_pair(subarray_rows)[0]
+    for row in group.global_rows(subarray_rows):
+        bank.write_row(row, source ^ 1)
+    bank.write_row(source_global, source)
+    return source
+
+
+class TestMultiRowCopy:
+    @pytest.mark.parametrize("size", [2, 4, 8, 16, 32])
+    def test_ideal_copy_to_all_destinations(self, bench_ideal, size):
+        bank = bench_ideal.module.bank(0)
+        group = sample_groups(0, 512, size, 1, f"mrc-{size}")[0]
+        source = init_group(bank, group, bank.columns)
+        result = execute_multi_row_copy(bench_ideal, 0, group)
+        assert result.semantic == "copy"
+        assert result.n_destinations == size - 1
+        assert result.success_fraction == 1.0
+        for row in group.global_rows(512):
+            assert np.array_equal(bank.read_row(row), source)
+
+    def test_real_device_high_success(self, bench_h):
+        bank = bench_h.module.bank(0)
+        group = sample_groups(0, 512, 32, 1, "mrc-real")[0]
+        init_group(bank, group, bank.columns)
+        result = execute_multi_row_copy(bench_h, 0, group)
+        assert result.success_fraction > 0.99
+
+    def test_bad_t1_degrades(self, bench_h):
+        bank = bench_h.module.bank(0)
+        group = sample_groups(0, 512, 8, 1, "mrc-badt1")[0]
+        init_group(bank, group, bank.columns)
+        # t1 = 1.5 ns: sense amps never drive the bitlines (Obs 15) --
+        # and the APA degenerates into charge-sharing, not a copy.
+        result = execute_multi_row_copy(bench_h, 0, group, t1_ns=1.5)
+        assert result.semantic == "majority"
+
+    def test_rejects_pairless_group(self, bench_h):
+        lone = group_from_pair(0, 5, 5, 512)
+        with pytest.raises(ExperimentError):
+            execute_multi_row_copy(bench_h, 0, lone)
+
+    def test_per_destination_match_keys(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        group = sample_groups(0, 512, 4, 1, "mrc-keys")[0]
+        init_group(bank, group, bank.columns)
+        result = execute_multi_row_copy(bench_ideal, 0, group)
+        source_global = group.global_pair(512)[0]
+        expected_keys = set(group.global_rows(512)) - {source_global}
+        assert set(result.per_destination_match) == expected_keys

@@ -1,0 +1,65 @@
+"""Tests for the section 3.2 activation test recipe."""
+
+import numpy as np
+import pytest
+
+from repro.core.operations import (
+    ACTIVATION_BEST_T1_NS,
+    ACTIVATION_BEST_T2_NS,
+    COPY_BEST_T1_NS,
+    MAJX_BEST_T1_NS,
+    simultaneous_activation_test,
+)
+from repro.core.patterns import PATTERN_00FF, PATTERN_RANDOM
+from repro.core.rowgroups import sample_groups
+
+
+class TestBestTimings:
+    def test_constants_match_paper(self):
+        assert ACTIVATION_BEST_T1_NS == 3.0 and ACTIVATION_BEST_T2_NS == 3.0
+        assert MAJX_BEST_T1_NS == 1.5
+        assert COPY_BEST_T1_NS == 36.0
+
+
+class TestActivationTest:
+    @pytest.mark.parametrize("size", [2, 8, 32])
+    def test_ideal_device_perfect(self, bench_ideal, size):
+        group = sample_groups(0, 512, size, 1, f"act-{size}")[0]
+        result = simultaneous_activation_test(bench_ideal, 0, group)
+        assert result.semantic == "majority"
+        assert result.success_fraction == 1.0
+        assert len(result.correctness) == size
+
+    def test_real_device_high_success(self, bench_h):
+        group = sample_groups(0, 512, 16, 1, "act-real")[0]
+        result = simultaneous_activation_test(bench_h, 0, group)
+        assert result.success_fraction > 0.97
+
+    def test_flattened_shape(self, bench_ideal):
+        group = sample_groups(0, 512, 4, 1, "act-flat")[0]
+        result = simultaneous_activation_test(bench_ideal, 0, group)
+        columns = bench_ideal.module.config.columns_per_row
+        assert result.flattened().shape == (4 * columns,)
+
+    def test_fixed_pattern_supported(self, bench_h):
+        group = sample_groups(0, 512, 8, 1, "act-fixed")[0]
+        result = simultaneous_activation_test(
+            bench_h, 0, group, pattern=PATTERN_00FF
+        )
+        assert result.success_fraction > 0.9
+
+    def test_trials_are_independent(self, bench_h):
+        group = sample_groups(0, 512, 8, 1, "act-trials")[0]
+        a = simultaneous_activation_test(bench_h, 0, group, trial=0)
+        b = simultaneous_activation_test(bench_h, 0, group, trial=1)
+        # Same group, different trials: same stable mask territory but
+        # fresh random init data; both runs must complete coherently.
+        assert a.group == b.group
+
+    def test_samsung_never_multi_activates(self, bench_samsung):
+        group = sample_groups(0, 512, 8, 1, "act-samsung")[0]
+        result = simultaneous_activation_test(bench_samsung, 0, group)
+        assert result.semantic == "blocked"
+        # WR lands only in the single open row; others keep init data,
+        # so the group-wide success is roughly 1/size.
+        assert result.success_fraction < 0.6

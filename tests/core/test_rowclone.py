@@ -1,0 +1,50 @@
+"""Tests for the RowClone primitive."""
+
+import numpy as np
+import pytest
+
+from repro.core.rowclone import execute_rowclone
+from repro.errors import ExperimentError
+
+
+class TestRowClone:
+    def test_copies_within_subarray(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        bits = (np.arange(columns) % 2).astype(np.uint8)
+        bank.write_row(10, bits)
+        bank.write_row(20, bits ^ 1)
+        result = execute_rowclone(bench_ideal, 0, 10, 20)
+        assert result.semantic == "rowclone"
+        assert result.succeeded
+        assert np.array_equal(bank.read_row(20), bits)
+
+    def test_source_unchanged(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        bits = np.ones(bank.columns, dtype=np.uint8)
+        bank.write_row(5, bits)
+        execute_rowclone(bench_ideal, 0, 5, 6)
+        assert np.array_equal(bank.read_row(5), bits)
+
+    def test_cross_subarray_fails(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        bits = (np.arange(columns) % 2).astype(np.uint8)
+        bank.write_row(10, bits)
+        bank.write_row(512 + 10, bits ^ 1)
+        result = execute_rowclone(bench_ideal, 0, 10, 512 + 10)
+        assert not result.succeeded
+        # Destination keeps its own data (just re-activated).
+        assert np.array_equal(bank.read_row(512 + 10), bits ^ 1)
+
+    def test_same_row_rejected(self, bench_ideal):
+        with pytest.raises(ExperimentError):
+            execute_rowclone(bench_ideal, 0, 3, 3)
+
+    def test_real_device_high_match(self, bench_h):
+        bank = bench_h.module.bank(0)
+        columns = bank.columns
+        bits = (np.arange(columns) % 3 == 0).astype(np.uint8)
+        bank.write_row(0, bits)
+        result = execute_rowclone(bench_h, 0, 0, 1)
+        assert result.match_fraction > 0.99

@@ -1,0 +1,38 @@
+"""Tests for subarray boundary reverse engineering."""
+
+import pytest
+
+from repro.core.subarray_map import (
+    discover_boundaries,
+    discover_subarray_size,
+    same_subarray,
+)
+from repro.errors import ExperimentError
+
+
+class TestSameSubarray:
+    def test_neighbours_in_same_subarray(self, bench_ideal):
+        assert same_subarray(bench_ideal, 0, 5, 6)
+
+    def test_rows_across_boundary(self, bench_ideal):
+        assert not same_subarray(bench_ideal, 0, 511, 512)
+
+    def test_identity(self, bench_ideal):
+        assert same_subarray(bench_ideal, 0, 7, 7)
+
+
+class TestDiscovery:
+    def test_discovers_512_for_hynix(self, bench_ideal):
+        assert discover_subarray_size(bench_ideal, 0, max_rows=520) == 512
+
+    def test_boundaries_list(self, bench_ideal):
+        boundaries = discover_boundaries(bench_ideal, 0, max_rows=1030)
+        assert boundaries == [0, 512, 1024]
+
+    def test_needs_enough_rows(self, bench_ideal):
+        with pytest.raises(ExperimentError):
+            discover_subarray_size(bench_ideal, 0, max_rows=1)
+
+    def test_no_boundary_in_window_raises(self, bench_ideal):
+        with pytest.raises(ExperimentError):
+            discover_subarray_size(bench_ideal, 0, max_rows=100)

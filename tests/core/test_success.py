@@ -1,0 +1,59 @@
+"""Tests for the success-rate metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.success import SuccessRateAccumulator, SuccessSample
+from repro.errors import ExperimentError
+
+
+class TestAccumulator:
+    def test_all_correct(self):
+        acc = SuccessRateAccumulator(8)
+        for _ in range(4):
+            acc.record(np.ones(8, dtype=bool))
+        assert acc.success_rate == 1.0
+        assert acc.unstable_cells == 0
+        assert acc.trials == 4
+
+    def test_one_failure_marks_cell_forever(self):
+        # The paper's definition: a cell wrong once is unstable.
+        acc = SuccessRateAccumulator(4)
+        acc.record(np.array([True, True, True, True]))
+        acc.record(np.array([True, False, True, True]))
+        acc.record(np.array([True, True, True, True]))
+        assert acc.success_rate == 0.75
+        assert acc.unstable_cells == 1
+        assert not acc.stable_mask()[1]
+
+    def test_shape_validation(self):
+        acc = SuccessRateAccumulator(4)
+        with pytest.raises(ExperimentError):
+            acc.record(np.ones(5, dtype=bool))
+
+    def test_no_trials_rejected(self):
+        with pytest.raises(ExperimentError):
+            SuccessRateAccumulator(4).success_rate
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(ExperimentError):
+            SuccessRateAccumulator(0)
+
+    def test_sample_freezing(self):
+        acc = SuccessRateAccumulator(4)
+        acc.record(np.array([True, True, False, True]))
+        sample = acc.sample(group_size=8)
+        assert sample == SuccessSample(
+            group_size=8, success_rate=0.75, trials=1, cells=4
+        )
+
+    def test_sample_rejects_bad_rate(self):
+        with pytest.raises(ExperimentError):
+            SuccessSample(group_size=2, success_rate=1.5, trials=1, cells=4)
+
+    def test_stable_mask_returns_copy(self):
+        acc = SuccessRateAccumulator(2)
+        acc.record(np.array([True, False]))
+        mask = acc.stable_mask()
+        mask[:] = True
+        assert acc.success_rate == 0.5

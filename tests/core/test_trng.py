@@ -1,0 +1,91 @@
+"""Tests for the charge-sharing TRNG."""
+
+import numpy as np
+import pytest
+
+from repro.core.trng import (
+    TrngGenerator,
+    longest_run,
+    monobit_fraction,
+    serial_correlation,
+)
+from repro.errors import ExperimentError
+
+
+class TestGenerator:
+    def test_generates_requested_bits(self, bench_h):
+        generator = TrngGenerator(bench_h)
+        bits = generator.generate(500)
+        assert bits.shape == (500,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_whitened_stream_roughly_balanced(self, bench_h):
+        generator = TrngGenerator(bench_h)
+        bits = generator.generate(3000)
+        assert 0.45 < monobit_fraction(bits) < 0.55
+
+    def test_whitened_stream_weakly_correlated(self, bench_h):
+        generator = TrngGenerator(bench_h)
+        bits = generator.generate(3000)
+        assert abs(serial_correlation(bits)) < 0.08
+
+    def test_consecutive_harvests_differ(self, bench_h):
+        generator = TrngGenerator(bench_h)
+        first = generator.harvest_raw()
+        second = generator.harvest_raw()
+        assert not np.array_equal(first, second)
+
+    def test_stats_populated(self, bench_h):
+        generator = TrngGenerator(bench_h)
+        generator.generate(200)
+        stats = generator.last_stats
+        assert stats.apa_operations >= 2
+        assert stats.raw_bits >= stats.whitened_bits
+        assert 0.0 < stats.whitening_efficiency <= 1.0
+
+    def test_unwhitened_faster_but_biased_ok(self, bench_h):
+        generator = TrngGenerator(bench_h)
+        bits = generator.generate(1000, whiten=False)
+        assert bits.shape == (1000,)
+
+    def test_smaller_groups_work(self, bench_h):
+        generator = TrngGenerator(bench_h, group_size=8)
+        assert generator.group.size == 8
+        bits = generator.generate(100)
+        assert bits.shape == (100,)
+
+    def test_odd_group_rejected(self, bench_h):
+        with pytest.raises(ExperimentError):
+            TrngGenerator(bench_h, group_size=2 + 1)
+
+    def test_samsung_cannot_generate(self, bench_samsung):
+        with pytest.raises(ExperimentError):
+            TrngGenerator(bench_samsung)
+
+    def test_zero_bits_rejected(self, bench_h):
+        generator = TrngGenerator(bench_h)
+        with pytest.raises(ExperimentError):
+            generator.generate(0)
+
+
+class TestDiagnostics:
+    def test_monobit(self):
+        assert monobit_fraction(np.array([0, 1, 1, 1])) == 0.75
+
+    def test_longest_run(self):
+        assert longest_run(np.array([0, 1, 1, 1, 0, 0])) == 3
+        assert longest_run(np.array([1, 1, 1, 1])) == 4
+        assert longest_run(np.array([0])) == 1
+
+    def test_serial_correlation_alternating(self):
+        bits = np.tile([0, 1], 100)
+        assert serial_correlation(bits) == pytest.approx(-1.0, abs=0.05)
+
+    def test_serial_correlation_constant(self):
+        assert serial_correlation(np.ones(100)) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            monobit_fraction(np.array([]))
+        with pytest.raises(ExperimentError):
+            longest_run(np.array([]))

@@ -1,0 +1,52 @@
+"""Tests for DRAM addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import RowAddress, compose_row, decompose_row
+from repro.errors import AddressError
+
+
+class TestDecompose:
+    def test_first_subarray(self):
+        addr = decompose_row(5, subarray_rows=512, rows_per_bank=65536)
+        assert addr == RowAddress(subarray=0, local_row=5)
+
+    def test_boundary(self):
+        addr = decompose_row(512, subarray_rows=512, rows_per_bank=65536)
+        assert addr == RowAddress(subarray=1, local_row=0)
+
+    def test_rejects_out_of_bank(self):
+        with pytest.raises(AddressError):
+            decompose_row(65536, subarray_rows=512, rows_per_bank=65536)
+
+    def test_rejects_negative(self):
+        with pytest.raises(AddressError):
+            decompose_row(-1, subarray_rows=512, rows_per_bank=65536)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(AddressError):
+            decompose_row(0, subarray_rows=0, rows_per_bank=512)
+
+    @given(st.integers(min_value=0, max_value=65535))
+    def test_roundtrip(self, row):
+        addr = decompose_row(row, subarray_rows=512, rows_per_bank=65536)
+        assert compose_row(addr, 512) == row
+
+
+class TestRowAddress:
+    def test_global_row(self):
+        assert RowAddress(subarray=2, local_row=3).global_row(512) == 1027
+
+    def test_rejects_local_row_outside_subarray(self):
+        with pytest.raises(AddressError):
+            RowAddress(subarray=0, local_row=512).global_row(512)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(AddressError):
+            RowAddress(subarray=-1, local_row=0)
+        with pytest.raises(AddressError):
+            RowAddress(subarray=0, local_row=-1)
+
+    def test_ordering(self):
+        assert RowAddress(0, 1) < RowAddress(0, 2) < RowAddress(1, 0)

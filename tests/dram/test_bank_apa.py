@@ -1,0 +1,205 @@
+"""Tests for the bank's APA semantics: the heart of the reproduction.
+
+Every regime of the paper's ACT->PRE->ACT behaviour is exercised:
+simultaneous many-row activation (majority and copy flavours),
+consecutive two-row activation (RowClone), Samsung-profile blocking,
+and cross-subarray activation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dram.bank import BankState
+from repro.dram.commands import act, pre, rd, wr
+from repro.errors import ProtocolError
+
+
+def run_apa(bank, rf, rs, t1, t2, start=0.0):
+    bank.process(act(start, bank.index, rf))
+    bank.process(pre(start + t1, bank.index))
+    bank.process(act(start + t1 + t2, bank.index, rs))
+
+
+class TestMajoritySemantics:
+    def test_fig14_example_activates_four_rows(self, bench_h):
+        bank = bench_h.module.bank(0)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        event = bank.last_event
+        assert event.semantic == "majority"
+        assert event.rows == frozenset({0, 1, 6, 7})
+        assert bank.active_rows() == {0: frozenset({0, 1, 6, 7})}
+
+    def test_majority_overwrites_activated_rows(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        ones = np.ones(columns, dtype=np.uint8)
+        zeros = np.zeros(columns, dtype=np.uint8)
+        # Rows 0,1,6 hold ones; row 7 holds zeros -> majority is ones.
+        for row, bits in [(0, ones), (1, ones), (6, ones), (7, zeros)]:
+            bank.write_row(row, bits)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        bank.process(pre(100.0, 0))
+        bank.settle(200.0)
+        for row in (0, 1, 6, 7):
+            assert np.array_equal(bank.read_row(row), ones), f"row {row}"
+
+    def test_majority_tie_resolves_to_bias(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        ones = np.ones(columns, dtype=np.uint8)
+        zeros = np.zeros(columns, dtype=np.uint8)
+        for row, bits in [(0, ones), (1, ones), (6, zeros), (7, zeros)]:
+            bank.write_row(row, bits)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        bank.process(pre(100.0, 0))
+        bank.settle(200.0)
+        bias = bank.subarray(0).sense_amps.bias
+        assert np.array_equal(bank.read_row(0), bias)
+
+    def test_neutral_rows_do_not_contribute(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        ones = np.ones(columns, dtype=np.uint8)
+        zeros = np.zeros(columns, dtype=np.uint8)
+        # Two ones, one zero, one neutral: majority of voting cells = 1.
+        bank.write_row(0, ones)
+        bank.write_row(1, ones)
+        bank.write_row(6, zeros)
+        bank.apply_frac(7)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        bank.process(pre(100.0, 0))
+        bank.settle(200.0)
+        assert np.array_equal(bank.read_row(6), ones)
+
+    def test_row_buffer_holds_majority_result(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        ones = np.ones(columns, dtype=np.uint8)
+        for row in (0, 1, 6, 7):
+            bank.write_row(row, ones)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        data = bank.process(rd(50.0, 0))
+        assert np.array_equal(data, ones)
+
+
+class TestCopySemantics:
+    def test_long_t1_flips_to_copy(self, bench_h):
+        bank = bench_h.module.bank(0)
+        run_apa(bank, 0, 7, t1=36.0, t2=3.0)
+        assert bank.last_event.semantic == "copy"
+
+    def test_copy_overwrites_all_rows_with_source(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        source = (np.arange(columns) % 2).astype(np.uint8)
+        bank.write_row(0, source)
+        for row in (1, 6, 7):
+            bank.write_row(row, 1 - source)
+        run_apa(bank, 0, 7, t1=36.0, t2=3.0)
+        bank.process(pre(200.0, 0))
+        bank.settle(300.0)
+        for row in (0, 1, 6, 7):
+            assert np.array_equal(bank.read_row(row), source), f"row {row}"
+
+
+class TestRowCloneSemantics:
+    def test_consecutive_window_gives_rowclone(self, bench_h):
+        bank = bench_h.module.bank(0)
+        run_apa(bank, 3, 9, t1=36.0, t2=6.0)
+        assert bank.last_event.semantic == "rowclone"
+        # Only the destination row is open afterwards.
+        assert bank.active_rows() == {0: frozenset({9})}
+
+    def test_rowclone_copies_data(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        source = (np.arange(columns) % 3 == 0).astype(np.uint8)
+        bank.write_row(3, source)
+        bank.write_row(9, 1 - source)
+        run_apa(bank, 3, 9, t1=36.0, t2=6.0)
+        bank.process(pre(200.0, 0))
+        bank.settle(300.0)
+        assert np.array_equal(bank.read_row(9), source)
+        assert np.array_equal(bank.read_row(3), source)
+
+
+class TestStandardAndBlocked:
+    def test_nominal_t2_is_standard_activation(self, bench_h):
+        bank = bench_h.module.bank(0)
+        run_apa(bank, 0, 7, t1=36.0, t2=13.5)
+        assert bank.last_event.semantic == "single"
+        assert bank.active_rows() == {0: frozenset({7})}
+
+    def test_samsung_blocks_simultaneous_activation(self, bench_samsung):
+        bank = bench_samsung.module.bank(0)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        assert bank.last_event.semantic == "blocked"
+        # The first row stays open; only one wordline ever asserted.
+        assert bank.active_rows() == {0: frozenset({0})}
+
+    def test_samsung_data_survives_blocked_apa(self, bench_samsung):
+        bank = bench_samsung.module.bank(0)
+        columns = bank.columns
+        pattern = (np.arange(columns) % 2).astype(np.uint8)
+        for row in (0, 1, 6, 7):
+            bank.write_row(row, pattern)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        bank.process(pre(100.0, 0))
+        bank.settle(200.0)
+        for row in (0, 1, 6, 7):
+            assert np.array_equal(bank.read_row(row), pattern)
+
+    def test_cross_subarray_apa_keeps_rows_separate(self, bench_h):
+        bank = bench_h.module.bank(0)
+        run_apa(bank, 0, 512 + 5, t1=1.5, t2=3.0)
+        assert bank.last_event.semantic == "cross-subarray"
+        asserted = bank.active_rows()
+        assert asserted[0] == frozenset({0})
+        assert asserted[1] == frozenset({5})
+
+
+class TestDisturbance:
+    def test_rows_outside_group_untouched(self, bench_h):
+        # Paper section 9, Limitation 3: no bitflips outside the group.
+        bank = bench_h.module.bank(0)
+        columns = bank.columns
+        bystander = (np.arange(columns) % 5 == 0).astype(np.uint8)
+        for row in (2, 3, 100, 511):
+            bank.write_row(row, bystander)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        bank.process(pre(100.0, 0))
+        bank.settle(200.0)
+        for row in (2, 3, 100, 511):
+            assert np.array_equal(bank.read_row(row), bystander)
+
+
+class TestProtocol:
+    def test_act_while_active_rejected(self, bench_h):
+        bank = bench_h.module.bank(0)
+        bank.process(act(0.0, 0, 0))
+        with pytest.raises(ProtocolError):
+            bank.process(act(50.0, 0, 1))
+
+    def test_rd_requires_activation(self, bench_h):
+        with pytest.raises(ProtocolError):
+            bench_h.module.bank(0).process(rd(0.0, 0))
+
+    def test_wr_requires_activation(self, bench_h):
+        bank = bench_h.module.bank(0)
+        with pytest.raises(ProtocolError):
+            bank.process(wr(0.0, 0, np.zeros(bank.columns, dtype=np.uint8)))
+
+    def test_time_travel_rejected(self, bench_h):
+        bank = bench_h.module.bank(0)
+        bank.process(act(100.0, 0, 0))
+        with pytest.raises(ProtocolError):
+            bank.process(pre(50.0, 0))
+
+    def test_state_transitions(self, bench_h):
+        bank = bench_h.module.bank(0)
+        assert bank.state is BankState.PRECHARGED
+        bank.process(act(0.0, 0, 0))
+        assert bank.state is BankState.ACTIVE
+        bank.process(pre(50.0, 0))
+        bank.settle(100.0)
+        assert bank.state is BankState.PRECHARGED

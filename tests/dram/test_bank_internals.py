@@ -1,0 +1,119 @@
+"""Tests for bank internals: pattern-regularity detection, stats,
+event logging, and the row buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import byte_to_bits
+from repro.dram.commands import act, pre, rd, wr
+from repro.errors import ProtocolError
+
+
+def run_apa(bank, rf, rs, t1, t2, start=0.0):
+    bank.process(act(start, bank.index, rf))
+    bank.process(pre(start + t1, bank.index))
+    bank.process(act(start + t1 + t2, bank.index, rs))
+
+
+class TestPatternRegularity:
+    """The bank detects single-byte-periodic data and credits MAJX
+    with the Obs 9 fixed-pattern bonus -- measured at the bank level
+    via success differences."""
+
+    def _majority_match(self, bank, fill_bits):
+        columns = bank.columns
+        for row in (0, 1, 6, 7):
+            bank.write_row(row, fill_bits(row))
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        result = bank.process(rd(30.0, bank.index))
+        bank.process(pre(100.0, bank.index))
+        bank.settle(200.0)
+        return result
+
+    def test_pattern_scale_detected_for_fixed_bytes(self, bench_h):
+        bank = bench_h.module.bank(0)
+        sub = bank.subarray(0)
+        for row in range(4):
+            sub.write_row_bits(row, byte_to_bits(0xAA, bank.columns))
+        scale = bank._pattern_scale(sub, np.arange(4))
+        assert 0.9 <= scale <= 1.0
+
+    def test_random_data_scores_zero(self, bench_h):
+        bank = bench_h.module.bank(0)
+        sub = bank.subarray(0)
+        rng = np.random.default_rng(1)
+        for row in range(4):
+            sub.write_row_bits(
+                row, (rng.random(bank.columns) < 0.5).astype(np.uint8)
+            )
+        assert bank._pattern_scale(sub, np.arange(4)) == 0.0
+
+    def test_neutral_rows_excluded_from_scoring(self, bench_h):
+        bank = bench_h.module.bank(0)
+        sub = bank.subarray(0)
+        sub.write_row_bits(0, byte_to_bits(0x00, bank.columns))
+        sub.cells.write_neutral(1)
+        scale = bank._pattern_scale(sub, np.arange(2))
+        assert scale == 1.0  # only the 0x00 row votes
+
+    def test_00ff_weighted_above_6699(self, bench_h):
+        bank = bench_h.module.bank(0)
+        sub = bank.subarray(0)
+        sub.write_row_bits(0, byte_to_bits(0x00, bank.columns))
+        strong = bank._pattern_scale(sub, np.arange(1))
+        sub.write_row_bits(0, byte_to_bits(0x66, bank.columns))
+        weak = bank._pattern_scale(sub, np.arange(1))
+        assert strong > weak
+
+
+class TestStatsAndEvents:
+    def test_command_counters(self, bench_h):
+        bank = bench_h.module.bank(0)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        bank.process(pre(50.0, 0))
+        bank.settle(100.0)
+        assert bank.stats["ACT"] == 2
+        assert bank.stats["PRE"] == 2
+        assert bank.stats["majority_apa"] == 1
+
+    def test_event_log_accumulates_in_order(self, bench_h):
+        bank = bench_h.module.bank(0)
+        run_apa(bank, 0, 7, t1=1.5, t2=3.0)
+        bank.process(pre(50.0, 0))
+        bank.settle(100.0)
+        run_apa(bank, 3, 9, t1=36.0, t2=6.0, start=200.0)
+        semantics = [event.semantic for event in bank.event_log]
+        assert semantics == ["single", "majority", "single", "rowclone"]
+
+    def test_event_log_bounded(self, bench_h):
+        assert bench_h.module.bank(0).event_log.maxlen == 8192
+
+
+class TestRowBuffer:
+    def test_row_buffer_copy_semantics(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        bits = np.ones(bank.columns, dtype=np.uint8)
+        bank.write_row(4, bits)
+        bank.process(act(0.0, 0, 4))
+        buffer = bank.row_buffer()
+        buffer[:] = 0  # mutating the copy must not affect the bank
+        assert np.array_equal(bank.process(rd(20.0, 0)), bits)
+
+    def test_no_buffer_when_precharged(self, bench_ideal):
+        assert bench_ideal.module.bank(0).row_buffer() is None
+
+    def test_wr_width_validated(self, bench_h):
+        bank = bench_h.module.bank(0)
+        bank.process(act(0.0, 0, 0))
+        with pytest.raises(ProtocolError):
+            bank.process(wr(20.0, 0, np.zeros(8, dtype=np.uint8)))
+
+    def test_wr_updates_buffer_and_cells(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        bank.process(act(0.0, 0, 4))
+        data = (np.arange(bank.columns) % 2).astype(np.uint8)
+        bank.process(wr(20.0, 0, data))
+        assert np.array_equal(bank.process(rd(25.0, 0)), data)
+        bank.process(pre(60.0, 0))
+        bank.settle(100.0)
+        assert np.array_equal(bank.read_row(4), data)

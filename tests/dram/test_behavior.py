@@ -1,0 +1,227 @@
+"""Tests for the calibrated reliability model.
+
+These pin the *calibration anchors* (the numbers the paper reports)
+and the *monotonicities* the paper observes, so a future re-tuning
+that breaks an observation fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.dram.behavior import (
+    OperationClass,
+    ReliabilityModel,
+    phi,
+    phi_inverse,
+)
+from repro.dram.vendor import PROFILE_H_A_DIE
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = SimulationConfig(seed=1, columns_per_row=256)
+    return ReliabilityModel(config, PROFILE_H_A_DIE, "test-module")
+
+
+BEST = dict(t1_ns=1.5, t2_ns=3.0, temp_c=50.0, vpp=2.5)
+
+
+class TestPhi:
+    def test_phi_symmetry(self):
+        assert phi(0.0) == pytest.approx(0.5)
+        assert phi(1.0) + phi(-1.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("p", [0.01, 0.25, 0.5, 0.75, 0.99])
+    def test_phi_inverse_roundtrip(self, p):
+        assert phi(phi_inverse(p)) == pytest.approx(p, abs=1e-6)
+
+    def test_phi_inverse_rejects_bounds(self):
+        with pytest.raises(ConfigurationError):
+            phi_inverse(0.0)
+        with pytest.raises(ConfigurationError):
+            phi_inverse(1.0)
+
+
+class TestMajxCalibration:
+    """The section 5 anchors: MAJ3/5/7/9 @ 32 rows and MAJ3 @ 4 rows."""
+
+    @pytest.mark.parametrize(
+        "x,target",
+        [(3, 0.99), (5, 0.7964), (7, 0.3387), (9, 0.0591)],
+    )
+    def test_majx_at_32_rows_matches_paper(self, model, x, target):
+        replicas = 32 // x
+        z = model.majx_z(x, 32, replicas, pattern_kind="random", **BEST)
+        assert phi(z - model.personality) == pytest.approx(target, abs=0.05)
+
+    def test_maj3_replication_delta_obs6(self, model):
+        # MAJ3 @ 32 rows is ~30.81% above MAJ3 @ 4 rows.
+        z32 = model.majx_z(3, 32, 10, pattern_kind="random", **BEST)
+        z4 = model.majx_z(3, 4, 1, pattern_kind="random", **BEST)
+        delta = phi(z32 - model.personality) - phi(z4 - model.personality)
+        assert delta == pytest.approx(0.3081, abs=0.06)
+
+    def test_fixed_patterns_beat_random_obs9(self, model):
+        for x in (3, 5, 7, 9):
+            replicas = 32 // x
+            z_random = model.majx_z(x, 32, replicas, pattern_kind="random", **BEST)
+            z_fixed = model.majx_z(x, 32, replicas, pattern_kind="00ff", **BEST)
+            assert z_fixed > z_random
+
+    def test_temperature_raises_majx_obs11(self, model):
+        base = model.majx_z(5, 32, 6, pattern_kind="random", **BEST)
+        hot = model.majx_z(
+            5, 32, 6, t1_ns=1.5, t2_ns=3.0, pattern_kind="random",
+            temp_c=90.0, vpp=2.5,
+        )
+        assert hot > base
+
+    def test_voltage_underscaling_lowers_majx_obs13(self, model):
+        base = model.majx_z(5, 32, 6, pattern_kind="random", **BEST)
+        low = model.majx_z(
+            5, 32, 6, t1_ns=1.5, t2_ns=3.0, pattern_kind="random",
+            temp_c=50.0, vpp=2.1,
+        )
+        assert low < base
+
+    def test_longer_t1_hurts_majority_obs7(self, model):
+        best = model.majx_z(3, 32, 10, pattern_kind="random", **BEST)
+        slow = model.majx_z(
+            3, 32, 10, t1_ns=3.0, t2_ns=3.0, pattern_kind="random",
+            temp_c=50.0, vpp=2.5,
+        )
+        assert best - slow > 1.0
+
+    def test_rejects_even_x(self, model):
+        with pytest.raises(ConfigurationError):
+            model.majx_z(4, 32, 8, pattern_kind="random", **BEST)
+
+    def test_rejects_overfull_replication(self, model):
+        with pytest.raises(ConfigurationError):
+            model.majx_z(3, 4, 2, pattern_kind="random", **BEST)
+
+
+class TestMajorityColumnZ:
+    def test_zero_imbalance_never_stable(self, model):
+        z = model.majority_column_z(
+            np.array([0, 1, 10]), 32, 1.5, 3.0, 0.0, 50.0, 2.5
+        )
+        assert z[0] == -np.inf
+        assert np.isfinite(z[1]) and np.isfinite(z[2])
+
+    def test_monotone_in_imbalance(self, model):
+        z = model.majority_column_z(
+            np.arange(1, 17), 32, 1.5, 3.0, 0.0, 50.0, 2.5
+        )
+        assert np.all(np.diff(z) > 0)
+
+    def test_pattern_scale_bonus(self, model):
+        plain = model.majority_column_z(
+            np.array([4]), 32, 1.5, 3.0, 0.0, 50.0, 2.5
+        )
+        regular = model.majority_column_z(
+            np.array([4]), 32, 1.5, 3.0, 1.0, 50.0, 2.5
+        )
+        assert regular[0] > plain[0]
+
+
+class TestActivationCalibration:
+    def test_obs1_high_success_at_best_timing(self, model):
+        for n in (2, 4, 8, 16, 32):
+            z = model.activation_z(n, 3.0, 3.0, 50.0, 2.5)
+            assert phi(z - model.personality) > 0.998
+
+    def test_obs2_short_t2_costs_about_22_percent_at_8_rows(self, model):
+        good = model.activation_z(8, 1.5, 3.0, 50.0, 2.5)
+        bad = model.activation_z(8, 1.5, 1.5, 50.0, 2.5)
+        drop = phi(good - model.personality) - phi(bad - model.personality)
+        assert drop == pytest.approx(0.2174, abs=0.08)
+
+    def test_obs3_temperature_tiny_negative(self, model):
+        base = model.activation_z(32, 3.0, 3.0, 50.0, 2.5)
+        hot = model.activation_z(32, 3.0, 3.0, 90.0, 2.5)
+        assert 0 < base - hot < 0.2
+
+    def test_obs4_voltage_small_negative(self, model):
+        base = model.activation_z(32, 3.0, 3.0, 50.0, 2.5)
+        low = model.activation_z(32, 3.0, 3.0, 50.0, 2.1)
+        assert 0 < base - low < 0.5
+
+
+class TestMultiRowCopyCalibration:
+    @pytest.mark.parametrize("m,target", [
+        (1, 0.99996), (3, 0.99989), (7, 0.99998), (15, 0.99999), (31, 0.99982),
+    ])
+    def test_obs14_anchors(self, model, m, target):
+        z = model.multi_row_copy_z(m, 36.0, 3.0, 0.5, 50.0, 2.5)
+        assert phi(z - model.personality) == pytest.approx(target, abs=0.0008)
+
+    def test_obs15_short_t1_collapses(self, model):
+        z = model.multi_row_copy_z(31, 1.5, 3.0, 0.5, 50.0, 2.5)
+        assert phi(z - model.personality) < 0.6
+
+    def test_obs16_all_ones_worst_at_31_destinations(self, model):
+        all1 = model.multi_row_copy_z(31, 36.0, 3.0, 1.0, 50.0, 2.5)
+        rand = model.multi_row_copy_z(31, 36.0, 3.0, 0.5, 50.0, 2.5)
+        all0 = model.multi_row_copy_z(31, 36.0, 3.0, 0.0, 50.0, 2.5)
+        assert all1 < rand <= all0
+
+    def test_obs16_small_effect_below_15_destinations(self, model):
+        all1 = model.multi_row_copy_z(15, 36.0, 3.0, 1.0, 50.0, 2.5)
+        all0 = model.multi_row_copy_z(15, 36.0, 3.0, 0.0, 50.0, 2.5)
+        assert phi(all0) - phi(all1) < 0.005
+
+    def test_rejects_zero_destinations(self, model):
+        with pytest.raises(ConfigurationError):
+            model.multi_row_copy_z(0, 36.0, 3.0, 0.5, 50.0, 2.5)
+
+
+class TestStochasticStructure:
+    def test_column_thresholds_deterministic_and_cached(self, model):
+        a = model.column_thresholds(0, 0, OperationClass.MAJORITY, 256)
+        b = model.column_thresholds(0, 0, OperationClass.MAJORITY, 256)
+        assert a is b
+
+    def test_column_thresholds_standard_normalish(self, model):
+        eta = model.column_thresholds(1, 2, OperationClass.ACTIVATION, 256)
+        assert abs(float(eta.mean())) < 0.25
+        assert 0.8 < float(eta.std()) < 1.2
+
+    def test_op_classes_correlated_but_distinct(self, model):
+        a = model.column_thresholds(0, 0, OperationClass.MAJORITY, 256)
+        b = model.column_thresholds(0, 0, OperationClass.MULTI_ROW_COPY, 256)
+        correlation = float(np.corrcoef(a, b)[0, 1])
+        assert 0.5 < correlation < 0.99
+
+    def test_group_offset_deterministic(self, model):
+        rows = frozenset({1, 2, 3})
+        a = model.group_offset(0, 0, rows, OperationClass.MAJORITY)
+        b = model.group_offset(0, 0, rows, OperationClass.MAJORITY)
+        assert a == b
+
+    def test_group_offset_varies_across_groups(self, model):
+        offsets = {
+            model.group_offset(0, 0, frozenset({i, i + 1}), OperationClass.MAJORITY)
+            for i in range(0, 40, 2)
+        }
+        assert len(offsets) > 10
+
+    def test_stable_mask_fraction_tracks_phi(self, model):
+        z = 1.0
+        mask = model.stable_mask(
+            z, 0, 0, frozenset({0}), OperationClass.ACTIVATION, 256
+        )
+        # With eta ~ N(0,1) and one group offset, the fraction should
+        # be in a broad band around Phi(1.0) ~ 0.84.
+        assert 0.6 < float(mask.mean()) < 0.97
+
+    def test_functional_only_always_stable(self):
+        config = SimulationConfig.ideal()
+        ideal = ReliabilityModel(config, PROFILE_H_A_DIE, "ideal")
+        mask = ideal.stable_mask(
+            -10.0, 0, 0, frozenset({0}), OperationClass.MAJORITY,
+            config.columns_per_row,
+        )
+        assert bool(mask.all())

@@ -1,0 +1,94 @@
+"""Tests for cell array storage and charge-level encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.cell import (
+    CellArray,
+    LEVEL_HALF,
+    LEVEL_ONE,
+    LEVEL_ZERO,
+    bits_to_levels,
+    levels_to_bits,
+)
+from repro.errors import AddressError, ConfigurationError
+
+
+class TestLevelCodec:
+    def test_bits_to_levels(self):
+        assert np.array_equal(
+            bits_to_levels(np.array([0, 1, 1, 0])), [0, 2, 2, 0]
+        )
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_levels(np.array([0, 2]))
+
+    def test_levels_to_bits_default_neutral_reads_one(self):
+        bits = levels_to_bits(np.array([LEVEL_ZERO, LEVEL_HALF, LEVEL_ONE]))
+        assert np.array_equal(bits, [0, 1, 1])
+
+    def test_levels_to_bits_neutral_reads_zero(self):
+        bits = levels_to_bits(
+            np.array([LEVEL_ZERO, LEVEL_HALF, LEVEL_ONE]), half_reads_as=0
+        )
+        assert np.array_equal(bits, [0, 0, 1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64))
+    def test_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(levels_to_bits(bits_to_levels(arr)), arr)
+
+
+class TestCellArray:
+    def test_initializes_discharged(self):
+        cells = CellArray(4, 16)
+        assert np.all(cells.read_levels(0) == LEVEL_ZERO)
+
+    def test_write_read_bits(self):
+        cells = CellArray(4, 8)
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        cells.write_bits(2, bits)
+        assert np.array_equal(cells.read_bits(2), bits)
+
+    def test_write_neutral(self):
+        cells = CellArray(4, 8)
+        cells.write_neutral(1)
+        assert np.all(cells.read_levels(1) == LEVEL_HALF)
+
+    def test_read_levels_returns_copy(self):
+        cells = CellArray(2, 4)
+        levels = cells.read_levels(0)
+        levels[:] = LEVEL_ONE
+        assert np.all(cells.read_levels(0) == LEVEL_ZERO)
+
+    def test_rows_view_stacks(self):
+        cells = CellArray(4, 4)
+        cells.write_bits(1, np.ones(4, dtype=np.uint8))
+        stacked = cells.rows_view(np.array([0, 1]))
+        assert stacked.shape == (2, 4)
+        assert np.all(stacked[1] == LEVEL_ONE)
+
+    def test_set_rows_broadcast(self):
+        cells = CellArray(4, 4)
+        cells.set_rows(np.array([0, 2]), np.full(4, LEVEL_ONE, dtype=np.uint8))
+        assert np.all(cells.read_levels(0) == LEVEL_ONE)
+        assert np.all(cells.read_levels(1) == LEVEL_ZERO)
+        assert np.all(cells.read_levels(2) == LEVEL_ONE)
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(AddressError):
+            CellArray(2, 4).read_levels(2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(AddressError):
+            CellArray(2, 4).write_levels(0, np.zeros(5, dtype=np.uint8))
+
+    def test_rejects_bad_level_values(self):
+        with pytest.raises(ConfigurationError):
+            CellArray(2, 4).write_levels(0, np.full(4, 3, dtype=np.uint8))
+
+    def test_rejects_empty_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CellArray(0, 4)

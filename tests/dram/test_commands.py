@@ -1,0 +1,54 @@
+"""Tests for DRAM command encoding."""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import (
+    Command,
+    CommandKind,
+    act,
+    nop,
+    pre,
+    rd,
+    ref,
+    wr,
+)
+from repro.errors import AddressError
+
+
+class TestConstructors:
+    def test_act(self):
+        command = act(10.0, bank=2, row=5)
+        assert command.kind is CommandKind.ACT
+        assert command.bank == 2 and command.row == 5
+
+    def test_act_requires_row(self):
+        with pytest.raises(AddressError):
+            Command(CommandKind.ACT, 0.0, bank=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AddressError):
+            pre(-1.0, bank=0)
+
+    def test_wr_carries_data(self):
+        data = np.array([1, 0, 1], dtype=np.uint8)
+        command = wr(5.0, 0, data)
+        assert np.array_equal(command.data_array(), data)
+
+    def test_wr_rejects_2d_data(self):
+        with pytest.raises(AddressError):
+            wr(0.0, 0, np.zeros((2, 2), dtype=np.uint8))
+
+    def test_rd_ref_nop(self):
+        assert rd(1.0, 0).kind is CommandKind.RD
+        assert ref(1.0).kind is CommandKind.REF
+        assert nop(1.0).kind is CommandKind.NOP
+
+    def test_data_array_none(self):
+        assert rd(1.0, 0).data_array() is None
+
+    def test_commands_hashable_and_frozen(self):
+        command = act(1.5, 0, 1)
+        assert hash(command) == hash(act(1.5, 0, 1))
+        with pytest.raises(Exception):
+            command.bank = 3

@@ -1,0 +1,109 @@
+"""Tests for energy accounting and measured power."""
+
+from collections import Counter
+
+import pytest
+
+from repro.bender.measurement import PowerMeter
+from repro.bender.program import ProgramBuilder, apa_program
+from repro.dram.bank import ActivationEvent
+from repro.dram.energy import (
+    EnergyAccountant,
+    EnergyBudget,
+    budget_from_power_model,
+)
+from repro.dram.power import PowerModel
+from repro.errors import ConfigurationError
+
+
+def event(semantic: str, n_rows: int) -> ActivationEvent:
+    return ActivationEvent(
+        semantic=semantic,
+        t1_ns=1.5,
+        t2_ns=3.0,
+        subarray=0,
+        rows=frozenset(range(n_rows)),
+    )
+
+
+class TestBudget:
+    def test_activation_energy_grows_logarithmically(self):
+        budget = EnergyBudget()
+        e2 = budget.activation_energy_pj(2)
+        e4 = budget.activation_energy_pj(4)
+        e32 = budget.activation_energy_pj(32)
+        assert e4 - e2 == pytest.approx(budget.act_extra_field_pj)
+        assert e32 == pytest.approx(
+            budget.act_pre_base_pj + 5 * budget.act_extra_field_pj
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            EnergyBudget(rd_pj=0.0)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ConfigurationError):
+            EnergyBudget().activation_energy_pj(0)
+
+
+class TestAccountant:
+    def test_command_energy(self):
+        accountant = EnergyAccountant()
+        stats = Counter({"RD": 2, "WR": 1, "REF": 1})
+        expected = (
+            2 * accountant.budget.rd_pj
+            + accountant.budget.wr_pj
+            + accountant.budget.ref_pj
+        )
+        assert accountant.command_energy_pj(stats) == pytest.approx(expected)
+
+    def test_activation_energy_from_events(self):
+        accountant = EnergyAccountant()
+        events = [event("single", 1), event("majority", 32)]
+        total = accountant.activation_energy_pj(events)
+        assert total == pytest.approx(
+            accountant.budget.activation_energy_pj(1)
+            + accountant.budget.activation_energy_pj(32)
+        )
+
+    def test_background_power_dominates_idle(self):
+        accountant = EnergyAccountant()
+        power = accountant.average_power_mw(Counter(), [], elapsed_ns=1000.0)
+        assert power == pytest.approx(accountant.budget.background_mw)
+
+    def test_rejects_zero_elapsed(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccountant().average_power_mw(Counter(), [], 0.0)
+
+
+class TestPowerMeter:
+    def test_many_row_activation_power_ordering(self, bench_h):
+        meter = PowerMeter(bench_h.bender)
+        measurements = {}
+        for rf, rs, label in ((0, 1, "2-row"), (127, 128, "32-row")):
+            program = apa_program(0, rf, rs, 1.5, 3.0)
+            measurements[label] = meter.measure(program, repetitions=16)
+        assert (
+            measurements["32-row"].average_mw
+            > measurements["2-row"].average_mw
+        )
+
+    def test_measured_power_tracks_fig5_model(self, bench_h):
+        # Replaying a 32-row APA back to back should land in the same
+        # regime the analytic Fig 5 model predicts (within the quiesce
+        # overheads of the rig).
+        meter = PowerMeter(bench_h.bender)
+        program = apa_program(0, 127, 128, 1.5, 3.0)
+        measured = meter.measure(program, repetitions=32).average_mw
+        modelled = PowerModel().many_row_activation(32).milliwatts
+        assert 0.3 * modelled < measured < 1.5 * modelled
+
+    def test_rejects_zero_repetitions(self, bench_h):
+        meter = PowerMeter(bench_h.bender)
+        with pytest.raises(ConfigurationError):
+            meter.measure(apa_program(0, 0, 1, 1.5, 3.0), repetitions=0)
+
+    def test_budget_from_power_model_consistent(self):
+        budget = budget_from_power_model()
+        assert budget.act_pre_base_pj > 0
+        assert budget.act_extra_field_pj > 0

@@ -1,0 +1,86 @@
+"""Tests for module assembly, chips, and environment propagation."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.dram.chip import Chip
+from repro.dram.module import Module, build_module, build_tested_fleet
+from repro.dram.vendor import PROFILE_H_M_DIE, PROFILE_M_E_DIE, TESTED_MODULES
+from repro.errors import AddressError, ConfigurationError
+
+
+@pytest.fixture()
+def module(quick_config):
+    return build_module(TESTED_MODULES[0], 0, config=quick_config)
+
+
+class TestModule:
+    def test_serial_includes_instance(self, module):
+        assert module.serial.endswith("#0")
+
+    def test_bank_count_from_profile(self, module):
+        assert module.n_banks == PROFILE_H_M_DIE.banks
+
+    def test_bank_out_of_range(self, module):
+        with pytest.raises(AddressError):
+            module.bank(module.n_banks)
+
+    def test_banks_cached(self, module):
+        assert module.bank(0) is module.bank(0)
+
+    def test_environment_propagates_to_existing_banks(self, module):
+        bank = module.bank(0)
+        module.temperature_c = 70.0
+        module.vpp = 2.2
+        assert bank.temperature_c == 70.0
+        assert bank.vpp == 2.2
+
+    def test_environment_applied_to_new_banks(self, module):
+        module.temperature_c = 80.0
+        assert module.bank(3).temperature_c == 80.0
+
+    def test_x8_module_has_eight_chips(self, module):
+        assert len(module.chips) == 8
+
+    def test_x16_module_has_four_chips(self, quick_config):
+        micron = build_module(TESTED_MODULES[2], 0, config=quick_config)
+        assert len(micron.chips) == 4
+
+
+class TestChip:
+    def test_column_slice_partitions(self):
+        chips = [
+            Chip(f"c{i}", PROFILE_M_E_DIE, position=i, data_width=16)
+            for i in range(4)
+        ]
+        slices = [chip.column_slice(256, 4) for chip in chips]
+        covered = set()
+        for s in slices:
+            covered.update(range(s.start, s.stop))
+        assert covered == set(range(256))
+
+    def test_column_slice_rejects_ragged(self):
+        chip = Chip("c0", PROFILE_M_E_DIE, position=0, data_width=16)
+        with pytest.raises(ConfigurationError):
+            chip.column_slice(255, 4)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            Chip("c0", PROFILE_M_E_DIE, position=0, data_width=32)
+
+
+class TestFleet:
+    def test_full_fleet_is_eighteen_modules(self, quick_config):
+        fleet = build_tested_fleet(config=quick_config)
+        assert len(fleet) == 18
+
+    def test_capped_fleet(self, quick_config):
+        fleet = build_tested_fleet(config=quick_config, modules_per_spec=1)
+        assert len(fleet) == 4
+        serials = {module.serial for module in fleet}
+        assert len(serials) == 4
+
+    def test_fleet_personalities_differ(self, quick_config):
+        fleet = build_tested_fleet(config=quick_config, modules_per_spec=2)
+        personalities = {module.reliability.personality for module in fleet}
+        assert len(personalities) == len(fleet)

@@ -1,0 +1,63 @@
+"""Tests for the power model (paper Fig 5, Obs 5)."""
+
+import math
+
+import pytest
+
+from repro.dram.power import PowerModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel()
+
+
+class TestStandardOperations:
+    def test_ref_is_most_power_hungry(self, model):
+        ref = model.standard_operation("REF").milliwatts
+        for op in ("RD", "WR", "ACT+PRE"):
+            assert model.standard_operation(op).milliwatts < ref
+
+    def test_unknown_operation_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.standard_operation("MAJ")
+
+
+class TestManyRowActivation:
+    def test_obs5_32_rows_below_ref_by_21_percent(self, model):
+        # Paper: 21.19% smaller than REF.
+        assert model.headroom_vs_ref(32) == pytest.approx(0.2119, abs=0.02)
+
+    def test_power_grows_logarithmically(self, model):
+        values = [
+            model.many_row_activation(n).milliwatts for n in (2, 4, 8, 16, 32)
+        ]
+        deltas = [b - a for a, b in zip(values, values[1:])]
+        # log2 growth: equal increments per doubling.
+        assert all(d == pytest.approx(deltas[0], abs=1e-9) for d in deltas)
+
+    def test_all_counts_below_ref(self, model):
+        ref = model.standard_operation("REF").milliwatts
+        for n in (2, 4, 8, 16, 32):
+            assert model.many_row_activation(n).milliwatts < ref
+
+    def test_rejects_non_power_of_two(self, model):
+        with pytest.raises(ConfigurationError):
+            model.many_row_activation(3)
+
+    def test_figure5_series_complete(self, model):
+        series = model.figure5_series()
+        assert set(series) == {
+            "RD", "WR", "ACT+PRE", "REF",
+            "2-row ACT", "4-row ACT", "8-row ACT", "16-row ACT", "32-row ACT",
+        }
+
+    def test_voltage_scaling_quadratic(self):
+        low = PowerModel(vdd=1.1).many_row_activation(8).milliwatts
+        nom = PowerModel(vdd=1.2).many_row_activation(8).milliwatts
+        assert low / nom == pytest.approx((1.1 / 1.2) ** 2)
+
+    def test_rejects_bad_vdd(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(vdd=0.0)

@@ -1,0 +1,70 @@
+"""Tests for module power-off remanence (cold-boot substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.retention import RetentionModel
+
+
+@pytest.fixture()
+def loaded_module(bench_ideal):
+    module = bench_ideal.module
+    bank = module.bank(0)
+    columns = bank.columns
+    secret = (np.arange(columns) % 2).astype(np.uint8)
+    for row in range(8):
+        bank.write_row(row, secret)
+    return module, bank, secret
+
+
+class TestPowerCycle:
+    def test_instant_cycle_preserves_data(self, loaded_module):
+        module, bank, secret = loaded_module
+        decayed = module.power_cycle(0.0)
+        assert decayed == 0
+        assert np.array_equal(bank.read_row(0), secret)
+
+    def test_long_outage_destroys_charged_cells(self, loaded_module):
+        module, bank, secret = loaded_module
+        decayed = module.power_cycle(600.0, temp_c=50.0)
+        assert decayed > 0
+        # Charged cells leak to zero; discharged cells are unaffected.
+        bits = bank.read_row(0)
+        assert bits.sum() < secret.sum()
+        assert not bits[secret == 0].any()
+
+    def test_cold_chip_retains_more(self, bench_ideal):
+        module = bench_ideal.module
+        bank = module.bank(0)
+        columns = bank.columns
+        ones = np.ones(columns, dtype=np.uint8)
+        for row in range(4):
+            bank.write_row(row, ones)
+        retention = RetentionModel(seed=7)
+        module.power_cycle(4.0, temp_c=-40.0, retention=retention)
+        cold_surviving = sum(bank.read_row(r).sum() for r in range(4))
+
+        for row in range(4):
+            bank.write_row(row, ones)
+        module.power_cycle(4.0, temp_c=60.0, retention=retention)
+        hot_surviving = sum(bank.read_row(r).sum() for r in range(4))
+        assert cold_surviving > hot_surviving
+
+    def test_neutral_cells_lost_immediately(self, bench_ideal):
+        module = bench_ideal.module
+        bank = module.bank(0)
+        bank.apply_frac(3)
+        module.power_cycle(0.001, temp_c=-40.0)
+        # The neutral row reads all zeros after any outage.
+        assert not bank.read_row(3).any()
+
+    def test_deterministic_per_seed(self, bench_ideal):
+        module = bench_ideal.module
+        bank = module.bank(0)
+        columns = bank.columns
+        ones = np.ones(columns, dtype=np.uint8)
+        bank.write_row(0, ones)
+        first = module.power_cycle(5.0, temp_c=20.0)
+        bank.write_row(0, ones)
+        second = module.power_cycle(5.0, temp_c=20.0)
+        assert first == second

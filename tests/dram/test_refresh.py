@@ -1,0 +1,79 @@
+"""Tests for refresh scheduling and hidden row activation."""
+
+import numpy as np
+import pytest
+
+from repro.dram.refresh import (
+    REFRESH_WINDOW_NS,
+    HiddenRefreshResult,
+    RefreshScheduler,
+    hidden_refresh,
+)
+from repro.errors import ConfigurationError, ExperimentError
+from repro.units import ms
+
+
+class TestScheduler:
+    def test_initially_nothing_overdue(self):
+        scheduler = RefreshScheduler(16)
+        assert scheduler.overdue(now_ns=ms(32.0)) == []
+
+    def test_rows_become_overdue(self):
+        scheduler = RefreshScheduler(4)
+        scheduler.mark_refreshed(0, ms(10.0))
+        overdue = scheduler.overdue(now_ns=ms(65.0))
+        assert overdue == [1, 2, 3]
+
+    def test_deadline(self):
+        scheduler = RefreshScheduler(4)
+        scheduler.mark_refreshed(2, 100.0)
+        assert scheduler.deadline_ns(2) == 100.0 + REFRESH_WINDOW_NS
+
+    def test_most_urgent_ordering(self):
+        scheduler = RefreshScheduler(4)
+        scheduler.mark_refreshed(0, 300.0)
+        scheduler.mark_refreshed(1, 100.0)
+        scheduler.mark_refreshed(2, 200.0)
+        scheduler.mark_refreshed(3, 400.0)
+        assert scheduler.most_urgent(2) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefreshScheduler(0)
+        scheduler = RefreshScheduler(4)
+        with pytest.raises(ConfigurationError):
+            scheduler.mark_refreshed(9, 0.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.most_urgent(0)
+
+
+class TestHiddenRefresh:
+    def test_cross_subarray_refresh_engages(self, bench_h):
+        result = hidden_refresh(bench_h, 0, refresh_row=5, access_row=512 + 9)
+        assert isinstance(result, HiddenRefreshResult)
+        assert result.saved_ns > 0
+        assert 0.2 < result.saving_fraction < 0.6
+
+    def test_both_rows_keep_their_data(self, bench_ideal):
+        bank = bench_ideal.module.bank(0)
+        columns = bank.columns
+        data_a = (np.arange(columns) % 2).astype(np.uint8)
+        data_b = (np.arange(columns) % 3 == 0).astype(np.uint8)
+        bank.write_row(5, data_a)
+        bank.write_row(512 + 9, data_b)
+        hidden_refresh(bench_ideal, 0, refresh_row=5, access_row=512 + 9)
+        assert np.array_equal(bank.read_row(5), data_a)
+        assert np.array_equal(bank.read_row(512 + 9), data_b)
+
+    def test_same_subarray_rejected(self, bench_h):
+        with pytest.raises(ExperimentError):
+            hidden_refresh(bench_h, 0, refresh_row=5, access_row=9)
+
+    def test_scheduler_integration(self, bench_h):
+        scheduler = RefreshScheduler(bench_h.module.profile.rows_per_bank)
+        hidden_refresh(
+            bench_h, 0, refresh_row=5, access_row=512 + 9, scheduler=scheduler
+        )
+        urgent = scheduler.most_urgent(bench_h.module.profile.rows_per_bank)
+        # The two touched rows moved to the back of the urgency queue.
+        assert urgent[-2:] != [5, 512 + 9] or 5 not in urgent[:10]

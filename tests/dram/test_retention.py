@@ -1,0 +1,65 @@
+"""Tests for the cold-boot retention model."""
+
+import pytest
+
+from repro.dram.retention import RetentionModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RetentionModel()
+
+
+class TestMedians:
+    def test_colder_retains_longer(self, model):
+        assert model.median_at(-20.0) > model.median_at(20.0) > model.median_at(50.0)
+
+    def test_halving_rule(self, model):
+        assert model.median_at(30.0) == pytest.approx(model.median_at(20.0) / 2.0)
+
+
+class TestSurvival:
+    def test_everything_survives_instantly(self, model):
+        assert model.surviving_fraction(0.0, 20.0) == 1.0
+
+    def test_half_survives_at_median(self, model):
+        median = model.median_at(20.0)
+        assert model.surviving_fraction(median, 20.0) == pytest.approx(0.5)
+
+    def test_monotone_decay(self, model):
+        fractions = [model.surviving_fraction(t, 20.0) for t in (0.1, 1.0, 10.0, 100.0)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.surviving_fraction(-1.0, 20.0)
+
+
+class TestDecayMask:
+    def test_mask_fraction_tracks_survival(self, model):
+        mask = model.decay_mask(20000, elapsed_s=4.0, temp_c=20.0)
+        lost = float(mask.mean())
+        expected = 1.0 - model.surviving_fraction(4.0, 20.0)
+        assert lost == pytest.approx(expected, abs=0.02)
+
+    def test_deterministic(self, model):
+        a = model.decay_mask(128, 1.0, 20.0, tag="x")
+        b = model.decay_mask(128, 1.0, 20.0, tag="x")
+        assert (a == b).all()
+
+
+class TestRecoverable:
+    def test_destruction_scales_recovery(self, model):
+        full = model.recoverable_fraction(1.0, 20.0, destroyed_fraction=0.0)
+        half = model.recoverable_fraction(1.0, 20.0, destroyed_fraction=0.5)
+        none = model.recoverable_fraction(1.0, 20.0, destroyed_fraction=1.0)
+        assert full > half > none == 0.0
+
+    def test_rejects_bad_fraction(self, model):
+        with pytest.raises(ConfigurationError):
+            model.recoverable_fraction(1.0, 20.0, destroyed_fraction=1.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(median_retention_s=0.0)

@@ -1,0 +1,179 @@
+"""Tests for the hierarchical row decoder (paper section 7.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.row_decoder import (
+    GlobalWordlineDecoder,
+    HierarchicalRowDecoder,
+    LocalWordlineDecoder,
+    PredecoderField,
+    activation_count,
+    activation_set,
+    field_layout_for_subarray_rows,
+)
+from repro.errors import AddressError, ConfigurationError
+
+
+class TestFieldLayout:
+    def test_512_rows_uses_paper_layout(self):
+        # 9 bits: A covers bit 0, B..E two bits each (Fig 14).
+        fields = field_layout_for_subarray_rows(512)
+        assert [f.bit_width for f in fields] == [1, 2, 2, 2, 2]
+        assert [f.name for f in fields] == ["A", "B", "C", "D", "E"]
+        assert sum(f.bit_width for f in fields) == 9
+
+    def test_1024_rows_uses_five_two_bit_fields(self):
+        fields = field_layout_for_subarray_rows(1024)
+        assert [f.bit_width for f in fields] == [2, 2, 2, 2, 2]
+
+    def test_640_rows_decodes_like_1024(self):
+        # 640-row subarrays exist on some SK Hynix M-die banks.
+        fields = field_layout_for_subarray_rows(640)
+        assert sum(f.bit_width for f in fields) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            field_layout_for_subarray_rows(0)
+
+
+class TestPredecoderField:
+    def test_extract_insert_roundtrip(self):
+        field = PredecoderField("B", bit_offset=1, bit_width=2)
+        assert field.extract(0b110) == 0b11
+        assert field.insert(0b11) == 0b110
+
+    def test_n_outputs(self):
+        assert PredecoderField("E", 7, 2).n_outputs == 4
+
+    def test_insert_rejects_overflow(self):
+        with pytest.raises(AddressError):
+            PredecoderField("A", 0, 1).insert(2)
+
+
+class TestActivationSet:
+    def test_paper_fig14_example(self):
+        # ACT 0 -> PRE -> ACT 7 activates rows {0, 1, 6, 7}.
+        fields = field_layout_for_subarray_rows(512)
+        assert activation_set(0, 7, fields, 512) == frozenset({0, 1, 6, 7})
+
+    def test_paper_32_row_example(self):
+        # ACT 127 -> PRE -> ACT 128 differs in all five fields.
+        fields = field_layout_for_subarray_rows(512)
+        rows = activation_set(127, 128, fields, 512)
+        assert len(rows) == 32
+        assert 127 in rows and 128 in rows
+
+    def test_same_row_single_activation(self):
+        fields = field_layout_for_subarray_rows(512)
+        assert activation_set(42, 42, fields, 512) == frozenset({42})
+
+    def test_both_addresses_always_included(self):
+        fields = field_layout_for_subarray_rows(512)
+        rows = activation_set(10, 500, fields, 512)
+        assert {10, 500} <= rows
+
+    def test_rejects_out_of_range_rows(self):
+        fields = field_layout_for_subarray_rows(512)
+        with pytest.raises(AddressError):
+            activation_set(0, 512, fields, 512)
+
+    @given(
+        st.integers(min_value=0, max_value=511),
+        st.integers(min_value=0, max_value=511),
+    )
+    def test_size_is_power_of_two_matching_field_count(self, rf, rs):
+        fields = field_layout_for_subarray_rows(512)
+        rows = activation_set(rf, rs, fields, 512)
+        assert len(rows) == activation_count(rf, rs, fields)
+        assert len(rows) & (len(rows) - 1) == 0  # power of two
+
+    @given(
+        st.integers(min_value=0, max_value=511),
+        st.integers(min_value=0, max_value=511),
+    )
+    def test_symmetric_in_addresses(self, rf, rs):
+        fields = field_layout_for_subarray_rows(512)
+        assert activation_set(rf, rs, fields, 512) == activation_set(
+            rs, rf, fields, 512
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=639),
+        st.integers(min_value=0, max_value=639),
+    )
+    def test_640_row_arrays_never_activate_ghost_rows(self, rf, rs):
+        fields = field_layout_for_subarray_rows(640)
+        rows = activation_set(rf, rs, fields, 640)
+        assert all(r < 640 for r in rows)
+
+
+class TestLocalWordlineDecoder:
+    def test_idle_after_construction(self):
+        lwld = LocalWordlineDecoder(field_layout_for_subarray_rows(512), 512)
+        assert lwld.is_idle()
+        assert lwld.asserted_wordlines() == frozenset()
+
+    def test_single_latch_asserts_one_wordline(self):
+        lwld = LocalWordlineDecoder(field_layout_for_subarray_rows(512), 512)
+        lwld.latch(37)
+        assert lwld.asserted_wordlines() == frozenset({37})
+
+    def test_interrupted_precharge_retains_latches(self):
+        lwld = LocalWordlineDecoder(field_layout_for_subarray_rows(512), 512)
+        lwld.latch(0)
+        lwld.latch(7)
+        assert lwld.asserted_wordlines() == frozenset({0, 1, 6, 7})
+
+    def test_clear(self):
+        lwld = LocalWordlineDecoder(field_layout_for_subarray_rows(512), 512)
+        lwld.latch(3)
+        lwld.clear()
+        assert lwld.is_idle()
+
+    def test_latch_rejects_ghost_row(self):
+        lwld = LocalWordlineDecoder(field_layout_for_subarray_rows(640), 640)
+        with pytest.raises(AddressError):
+            lwld.latch(700)
+
+    def test_requires_fields(self):
+        with pytest.raises(ConfigurationError):
+            LocalWordlineDecoder((), 512)
+
+
+class TestGlobalWordlineDecoder:
+    def test_enable_and_disable(self):
+        gwld = GlobalWordlineDecoder(128)
+        gwld.enable(5)
+        assert gwld.enabled_subarrays() == frozenset({5})
+        gwld.disable_all()
+        assert gwld.enabled_subarrays() == frozenset()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            GlobalWordlineDecoder(4).enable(4)
+
+
+class TestHierarchicalRowDecoder:
+    def test_full_apa_walkthrough(self):
+        decoder = HierarchicalRowDecoder(128, 512)
+        decoder.activate(3, 0)
+        decoder.precharge(completed=False)
+        decoder.activate(3, 7)
+        assert decoder.asserted_rows() == {3: frozenset({0, 1, 6, 7})}
+
+    def test_completed_precharge_clears_everything(self):
+        decoder = HierarchicalRowDecoder(128, 512)
+        decoder.activate(0, 100)
+        decoder.precharge(completed=True)
+        assert decoder.is_idle()
+        assert decoder.asserted_rows() == {}
+
+    def test_cross_subarray_activations_stay_separate(self):
+        decoder = HierarchicalRowDecoder(128, 512)
+        decoder.activate(0, 10)
+        decoder.precharge(completed=False)
+        decoder.activate(1, 20)
+        asserted = decoder.asserted_rows()
+        assert asserted[0] == frozenset({10})
+        assert asserted[1] == frozenset({20})

@@ -1,0 +1,47 @@
+"""Tests for the sense amplifier array."""
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.dram.sense_amp import SenseAmplifierArray
+
+
+def make(uniform: bool, columns: int = 128) -> SenseAmplifierArray:
+    config = SimulationConfig(seed=11, columns_per_row=128)
+    return SenseAmplifierArray(config, "mod", 0, 0, columns, uniform)
+
+
+class TestResolve:
+    def test_positive_resolves_one(self):
+        amps = make(False, 4)
+        assert np.array_equal(amps.resolve(np.array([1, 2, 5, 1])), [1, 1, 1, 1])
+
+    def test_negative_resolves_zero(self):
+        amps = make(False, 3)
+        assert np.array_equal(amps.resolve(np.array([-1, -3, -2])), [0, 0, 0])
+
+    def test_ties_resolve_to_bias(self):
+        amps = make(False, 64)
+        result = amps.resolve(np.zeros(64))
+        assert np.array_equal(result, amps.bias)
+
+    def test_mixed(self):
+        amps = make(False, 3)
+        sign = np.array([1, 0, -1])
+        result = amps.resolve(sign)
+        assert result[0] == 1 and result[2] == 0
+        assert result[1] == amps.bias[1]
+
+
+class TestBiasStructure:
+    def test_uniform_bias_single_direction(self):
+        assert len(np.unique(make(True).bias)) == 1
+
+    def test_per_column_bias_deterministic(self):
+        assert np.array_equal(make(False).bias, make(False).bias)
+
+    def test_bias_differs_across_subarrays(self):
+        config = SimulationConfig(seed=11, columns_per_row=128)
+        a = SenseAmplifierArray(config, "mod", 0, 0, 128, False)
+        b = SenseAmplifierArray(config, "mod", 0, 1, 128, False)
+        assert not np.array_equal(a.bias, b.bias)

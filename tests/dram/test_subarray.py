@@ -1,0 +1,67 @@
+"""Tests for the subarray (cells + sense amps on shared bitlines)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.dram.subarray import Subarray
+
+
+@pytest.fixture()
+def subarray():
+    config = SimulationConfig(seed=3, columns_per_row=64)
+    return Subarray(config, "mod", bank=0, index=0, rows=32, uniformly_biased=False)
+
+
+class TestSenseRestore:
+    def test_sense_plain_bits(self, subarray):
+        bits = (np.arange(64) % 2).astype(np.uint8)
+        subarray.write_row_bits(3, bits)
+        assert np.array_equal(subarray.sense_row(3), bits)
+
+    def test_sense_neutral_resolves_to_bias(self, subarray):
+        subarray.cells.write_neutral(5)
+        assert np.array_equal(subarray.sense_row(5), subarray.sense_amps.bias)
+
+    def test_restore_writes_full_levels(self, subarray):
+        bits = np.ones(64, dtype=np.uint8)
+        subarray.restore_row(7, bits)
+        assert np.all(subarray.cells.read_levels(7) == 2)
+
+
+class TestChargeShare:
+    def test_unanimous_rows(self, subarray):
+        ones = np.ones(64, dtype=np.uint8)
+        for row in (0, 1, 2):
+            subarray.write_row_bits(row, ones)
+        imbalance = subarray.charge_share(np.array([0, 1, 2]))
+        assert np.all(imbalance == 3)
+
+    def test_mixed_rows(self, subarray):
+        subarray.write_row_bits(0, np.ones(64, dtype=np.uint8))
+        subarray.write_row_bits(1, np.ones(64, dtype=np.uint8))
+        subarray.write_row_bits(2, np.zeros(64, dtype=np.uint8))
+        imbalance = subarray.charge_share(np.array([0, 1, 2]))
+        assert np.all(imbalance == 1)
+
+    def test_neutral_contributes_zero(self, subarray):
+        subarray.write_row_bits(0, np.ones(64, dtype=np.uint8))
+        subarray.cells.write_neutral(1)
+        imbalance = subarray.charge_share(np.array([0, 1]))
+        assert np.all(imbalance == 1)
+
+    def test_neutral_fraction(self, subarray):
+        subarray.cells.write_neutral(9)
+        assert subarray.neutral_fraction(9) == 1.0
+        subarray.write_row_bits(10, np.zeros(64, dtype=np.uint8))
+        assert subarray.neutral_fraction(10) == 0.0
+
+
+class TestBias:
+    def test_uniform_bias_is_uniform(self):
+        config = SimulationConfig(seed=3, columns_per_row=128)
+        sub = Subarray(config, "m", 0, 0, rows=8, uniformly_biased=True)
+        assert len(np.unique(sub.sense_amps.bias)) == 1
+
+    def test_per_column_bias_varies(self, subarray):
+        assert len(np.unique(subarray.sense_amps.bias)) == 2

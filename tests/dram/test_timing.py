@@ -1,0 +1,61 @@
+"""Tests for DDR4 timing parameters and APA regime classification."""
+
+import pytest
+
+from repro.dram.timing import ApaRegime, DDR4_TIMINGS, TimingParameters
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_t_ras_matches_paper(self):
+        # Section 6: "waiting for the tRAS timing parameter (t1=36ns)".
+        assert DDR4_TIMINGS.t_ras == 36.0
+
+    def test_t_rc_consistent(self):
+        assert DDR4_TIMINGS.t_rc == pytest.approx(
+            DDR4_TIMINGS.t_ras + DDR4_TIMINGS.t_rp
+        )
+
+
+class TestClassifyApa:
+    def test_simultaneous_at_3ns(self):
+        # Paper: t2 <= 3 ns interrupts the precharge.
+        assert DDR4_TIMINGS.classify_apa(3.0) is ApaRegime.SIMULTANEOUS
+
+    def test_simultaneous_at_1_5ns(self):
+        assert DDR4_TIMINGS.classify_apa(1.5) is ApaRegime.SIMULTANEOUS
+
+    def test_consecutive_at_6ns(self):
+        # Footnote 6: ~6 ns gives consecutive two-row activation.
+        assert DDR4_TIMINGS.classify_apa(6.0) is ApaRegime.CONSECUTIVE
+
+    def test_standard_at_nominal_t_rp(self):
+        assert DDR4_TIMINGS.classify_apa(13.5) is ApaRegime.STANDARD
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            DDR4_TIMINGS.classify_apa(-1.0)
+
+
+class TestViolationPredicates:
+    def test_violates_t_ras(self):
+        assert DDR4_TIMINGS.violates_t_ras(1.5)
+        assert not DDR4_TIMINGS.violates_t_ras(36.0)
+
+    def test_violates_t_rp(self):
+        assert DDR4_TIMINGS.violates_t_rp(3.0)
+        assert not DDR4_TIMINGS.violates_t_rp(13.5)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_parameter(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(t_ras=0.0)
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(interrupt_window_ns=9.0, consecutive_window_ns=8.0)
+
+    def test_rejects_window_beyond_t_rp(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(consecutive_window_ns=14.0)

@@ -1,0 +1,109 @@
+"""Tests for the vendor/module catalog (paper Table 1 / Table 2)."""
+
+import pytest
+
+from repro.dram.vendor import (
+    DieRevision,
+    MFR_H,
+    MFR_M,
+    PROFILE_H_A_DIE,
+    PROFILE_H_M_DIE,
+    PROFILE_M_B_DIE,
+    PROFILE_M_E_DIE,
+    PROFILE_SAMSUNG,
+    TESTED_MODULES,
+    VendorProfile,
+    catalog_summary,
+    modules_for_manufacturer,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1:
+    def test_eighteen_modules_total(self):
+        assert sum(spec.n_modules for spec in TESTED_MODULES) == 18
+
+    def test_one_hundred_twenty_chips_total(self):
+        assert sum(spec.n_chips for spec in TESTED_MODULES) == 120
+
+    def test_hynix_chip_counts(self):
+        hynix = modules_for_manufacturer(MFR_H)
+        assert sorted(spec.n_chips for spec in hynix) == [40, 56]
+
+    def test_micron_chip_counts(self):
+        micron = modules_for_manufacturer(MFR_M)
+        assert sorted(spec.n_chips for spec in micron) == [8, 16]
+
+    def test_organizations(self):
+        for spec in modules_for_manufacturer(MFR_H):
+            assert spec.profile.die.organization == "x8"
+        for spec in modules_for_manufacturer(MFR_M):
+            assert spec.profile.die.organization == "x16"
+
+    def test_subarray_sizes(self):
+        assert PROFILE_H_M_DIE.subarray_rows == 512
+        assert PROFILE_M_E_DIE.subarray_rows == 1024
+
+    def test_catalog_summary_rows(self):
+        rows = catalog_summary()
+        assert len(rows) == 4
+        assert {row["manufacturer"] for row in rows} == {MFR_H, MFR_M}
+
+    def test_unknown_manufacturer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            modules_for_manufacturer("X")
+
+
+class TestProfiles:
+    def test_hynix_supports_frac_and_maj9(self):
+        assert PROFILE_H_A_DIE.supports_frac
+        assert PROFILE_H_A_DIE.max_reliable_majx == 9
+        assert PROFILE_H_A_DIE.neutral_row_strategy() == "frac"
+
+    def test_micron_uses_bias_init_and_maj7(self):
+        # Footnotes 5 and 11.
+        assert not PROFILE_M_B_DIE.supports_frac
+        assert PROFILE_M_B_DIE.sense_amp_biased
+        assert PROFILE_M_B_DIE.max_reliable_majx == 7
+        assert PROFILE_M_B_DIE.neutral_row_strategy() == "bias-init"
+
+    def test_samsung_blocks_everything(self):
+        # Section 9, Limitation 1.
+        assert not PROFILE_SAMSUNG.supports_multi_row_activation
+        assert PROFILE_SAMSUNG.max_reliable_majx == 0
+        assert PROFILE_SAMSUNG.neutral_row_strategy() == "unsupported"
+
+    def test_rows_per_bank(self):
+        assert PROFILE_H_M_DIE.rows_per_bank == 512 * 128
+
+    def test_profile_rejects_frac_and_bias_together(self):
+        with pytest.raises(ConfigurationError):
+            VendorProfile(
+                manufacturer="H",
+                die=DieRevision("X", 4, "x8"),
+                subarray_rows=512,
+                subarrays_per_bank=128,
+                banks=16,
+                supports_multi_row_activation=True,
+                supports_frac=True,
+                sense_amp_biased=True,
+                max_reliable_majx=9,
+            )
+
+    def test_profile_rejects_bad_majx(self):
+        with pytest.raises(ConfigurationError):
+            VendorProfile(
+                manufacturer="H",
+                die=DieRevision("X", 4, "x8"),
+                subarray_rows=512,
+                subarrays_per_bank=128,
+                banks=16,
+                supports_multi_row_activation=True,
+                supports_frac=False,
+                sense_amp_biased=False,
+                max_reliable_majx=4,
+            )
+
+    def test_die_revision_rejects_bad_org(self):
+        with pytest.raises(ConfigurationError):
+            DieRevision("Z", 8, "x32")

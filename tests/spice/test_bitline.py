@@ -1,0 +1,123 @@
+"""Tests for the charge-sharing solver."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.bitline import (
+    charge_sharing_deviation,
+    charge_sharing_deviation_array,
+    partial_transfer_fraction,
+)
+from repro.spice.components import CellInstance, CircuitParameters, NOMINAL_CIRCUIT
+from repro.errors import ConfigurationError
+
+
+def cell(value: float, cap: float = 22.0, strength: float = 1.0) -> CellInstance:
+    return CellInstance(
+        capacitance_ff=cap, transfer_strength=strength, stored_value=value
+    )
+
+
+class TestChargeSharing:
+    def test_single_charged_cell_positive(self):
+        assert charge_sharing_deviation([cell(1.0)]) > 0
+
+    def test_single_discharged_cell_negative(self):
+        assert charge_sharing_deviation([cell(0.0)]) < 0
+
+    def test_neutral_cell_no_deviation(self):
+        assert charge_sharing_deviation([cell(0.5)]) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        up = charge_sharing_deviation([cell(1.0), cell(1.0), cell(0.0)])
+        down = charge_sharing_deviation([cell(0.0), cell(0.0), cell(1.0)])
+        assert up == pytest.approx(-down)
+
+    def test_known_value_maj3_4rows(self):
+        # dV = r*Cc*(VDD/2) / (Cb + N*Cc) with r=1, N=4.
+        cells = [cell(1.0), cell(1.0), cell(0.0), cell(0.5)]
+        expected = 22.0 * 0.6 / (NOMINAL_CIRCUIT.bitline_capacitance_ff + 88.0)
+        assert charge_sharing_deviation(cells) == pytest.approx(expected)
+
+    def test_fig15a_replication_gain(self):
+        four = [cell(1.0)] * 2 + [cell(0.0)] + [cell(0.5)]
+        thirty_two = [cell(1.0)] * 20 + [cell(0.0)] * 10 + [cell(0.5)] * 2
+        gain = charge_sharing_deviation(thirty_two) / charge_sharing_deviation(four)
+        assert gain == pytest.approx(2.59, abs=0.02)
+
+    def test_requires_cells(self):
+        with pytest.raises(ConfigurationError):
+            charge_sharing_deviation([])
+
+    @given(
+        st.lists(
+            st.sampled_from([0.0, 0.5, 1.0]), min_size=1, max_size=32
+        )
+    )
+    def test_bounded_by_rails(self, values):
+        deviation = charge_sharing_deviation([cell(v) for v in values])
+        assert abs(deviation) <= NOMINAL_CIRCUIT.precharge_voltage
+
+    @given(
+        st.lists(st.sampled_from([0.0, 1.0]), min_size=1, max_size=16)
+    )
+    def test_sign_matches_majority(self, values):
+        deviation = charge_sharing_deviation([cell(v) for v in values])
+        balance = sum(1 if v else -1 for v in values)
+        if balance > 0:
+            assert deviation > 0
+        elif balance < 0:
+            assert deviation < 0
+        else:
+            assert deviation == pytest.approx(0.0)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        caps = np.full((1, 3), 22.0)
+        strengths = np.ones((1, 3))
+        stored = np.array([[1.0, 1.0, 0.0]])
+        vector = charge_sharing_deviation_array(caps, strengths, stored)[0]
+        scalar = charge_sharing_deviation([cell(1.0), cell(1.0), cell(0.0)])
+        assert vector == pytest.approx(scalar)
+
+
+class TestPartialTransfer:
+    def test_zero_window_no_transfer(self):
+        assert partial_transfer_fraction(0.0) == 0.0
+
+    def test_long_window_full_transfer(self):
+        assert partial_transfer_fraction(100.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_one_tau(self):
+        tau = NOMINAL_CIRCUIT.transfer_time_constant_ns
+        assert partial_transfer_fraction(tau) == pytest.approx(
+            1.0 - math.exp(-1.0)
+        )
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partial_transfer_fraction(-1.0)
+
+    def test_window_scales_deviation(self):
+        full = charge_sharing_deviation([cell(1.0)])
+        partial = charge_sharing_deviation([cell(1.0)], window_ns=0.1)
+        assert 0 < partial < full
+
+
+class TestComponents:
+    def test_cell_validation(self):
+        with pytest.raises(ConfigurationError):
+            CellInstance(capacitance_ff=0.0, transfer_strength=1.0, stored_value=1.0)
+        with pytest.raises(ConfigurationError):
+            CellInstance(capacitance_ff=22.0, transfer_strength=1.0, stored_value=2.0)
+
+    def test_circuit_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitParameters(vdd=0.0)
+
+    def test_precharge_voltage(self):
+        assert NOMINAL_CIRCUIT.precharge_voltage == pytest.approx(0.6)

@@ -1,0 +1,143 @@
+"""Tests for the Fig 15 Monte-Carlo reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.spice.majority_sim import (
+    figure15a_deviation,
+    figure15b_success,
+    replication_deviation_gain,
+    simulate_maj3_bitline_deviation,
+    simulate_maj3_success,
+    _stored_values_for,
+)
+from repro.spice.montecarlo import MonteCarloSampler
+from repro.spice.senseamp import SenseAmpModel
+from repro.errors import ConfigurationError
+
+
+class TestStoredValues:
+    def test_single_row_reference(self):
+        assert np.array_equal(_stored_values_for(1), [1.0])
+
+    def test_maj3_32_rows(self):
+        values = _stored_values_for(32)
+        assert (values == 1.0).sum() == 20
+        assert (values == 0.0).sum() == 10
+        assert (values == 0.5).sum() == 2
+
+    def test_rejects_two_rows(self):
+        with pytest.raises(ConfigurationError):
+            _stored_values_for(2)
+
+
+class TestFig15aAnchors:
+    def test_replication_gain_near_159_percent(self):
+        assert replication_deviation_gain(0.2, n_sets=400) == pytest.approx(
+            1.59, abs=0.12
+        )
+
+    def test_more_than_eight_rows_beats_single_row(self):
+        # Paper: activating *more than* eight rows always exceeds the
+        # single-row perturbation; eight rows roughly matches it.
+        single = simulate_maj3_bitline_deviation(1, 0.2, 400).mean()
+        eight = simulate_maj3_bitline_deviation(8, 0.2, 400).mean()
+        sixteen = simulate_maj3_bitline_deviation(16, 0.2, 400).mean()
+        assert sixteen > single
+        assert eight == pytest.approx(single, rel=0.05)
+
+    def test_four_rows_below_single_row(self):
+        single = simulate_maj3_bitline_deviation(1, 0.2, 400).mean()
+        four = simulate_maj3_bitline_deviation(4, 0.2, 400).mean()
+        assert four < single
+
+    def test_deviation_grows_with_rows(self):
+        means = [
+            simulate_maj3_bitline_deviation(n, 0.1, 400).mean()
+            for n in (4, 8, 16, 32)
+        ]
+        assert means == sorted(means)
+
+    def test_variation_widens_distribution(self):
+        tight = simulate_maj3_bitline_deviation(4, 0.0, 400).std()
+        wide = simulate_maj3_bitline_deviation(4, 0.4, 400).std()
+        assert wide > tight
+
+    def test_figure_grid_complete(self):
+        grid = figure15a_deviation(
+            row_counts=(1, 4), variations=(0.0, 0.4), n_sets=100
+        )
+        assert set(grid) == {(1, 0.0), (4, 0.0), (1, 0.4), (4, 0.4)}
+
+
+class TestFig15bAnchors:
+    def test_no_variation_perfect_success(self):
+        for n in (4, 8, 16, 32):
+            assert simulate_maj3_success(n, 0.0, 400, iterations=2) == 1.0
+
+    def test_four_rows_collapse_at_40_percent(self):
+        drop = 1.0 - simulate_maj3_success(4, 0.4, 1000, iterations=4)
+        # Paper: -46.58%.
+        assert drop == pytest.approx(0.4658, abs=0.09)
+
+    def test_32_rows_essentially_unaffected(self):
+        drop = 1.0 - simulate_maj3_success(32, 0.4, 1000, iterations=4)
+        assert drop < 0.01
+
+    def test_success_monotone_in_rows(self):
+        rates = [
+            simulate_maj3_success(n, 0.3, 400, iterations=2)
+            for n in (4, 8, 16, 32)
+        ]
+        assert rates == sorted(rates)
+
+    def test_figure_grid(self):
+        grid = figure15b_success(
+            row_counts=(4, 32), variations=(0.0, 0.4), n_sets=200, iterations=2
+        )
+        assert grid[(4, 0.4)] < grid[(32, 0.4)]
+
+
+class TestMonteCarloSampler:
+    def test_draw_shapes(self):
+        draw = MonteCarloSampler().draw(10, 4, 0.2)
+        assert draw.capacitances_ff.shape == (10, 4)
+        assert draw.transfer_strengths.shape == (10, 4)
+
+    def test_variation_bounds(self):
+        draw = MonteCarloSampler().draw(500, 4, 0.3)
+        assert draw.capacitances_ff.min() >= 22.0 * 0.7 - 1e-9
+        assert draw.capacitances_ff.max() <= 22.0 * 1.3 + 1e-9
+
+    def test_deterministic(self):
+        a = MonteCarloSampler(seed=5).draw(5, 3, 0.1, "t")
+        b = MonteCarloSampler(seed=5).draw(5, 3, 0.1, "t")
+        assert np.array_equal(a.capacitances_ff, b.capacitances_ff)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSampler().draw(0, 4, 0.1)
+
+    def test_rejects_extreme_variation(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSampler().draw(1, 1, 0.95)
+
+
+class TestSenseAmpModel:
+    def test_thresholds_grow_with_variation(self):
+        model = SenseAmpModel()
+        gen = np.random.default_rng(0)
+        low = model.thresholds_volts(1000, 0.0, gen).mean()
+        high = model.thresholds_volts(1000, 0.4, gen).mean()
+        assert high > low
+
+    def test_negative_deviation_always_fails(self):
+        model = SenseAmpModel()
+        gen = np.random.default_rng(0)
+        outcome = model.resolves_correctly(np.array([-0.1, -0.01]), 0.0, gen)
+        assert not outcome.any()
+
+    def test_variation_fraction_validated(self):
+        model = SenseAmpModel()
+        with pytest.raises(ConfigurationError):
+            model.thresholds_volts(1, 1.5, np.random.default_rng(0))

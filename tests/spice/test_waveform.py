@@ -1,0 +1,106 @@
+"""Tests for the time-domain sensing waveform model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice.components import CellInstance
+from repro.spice.waveform import (
+    LATCH_MARGIN_V,
+    latch_time_ns,
+    resolves_within_window,
+    simulate_sensing,
+)
+from repro.errors import ConfigurationError
+
+
+def cells_for(ones: int, zeros: int, neutral: int = 0):
+    return (
+        [CellInstance(22.0, 1.0, 1.0)] * ones
+        + [CellInstance(22.0, 1.0, 0.0)] * zeros
+        + [CellInstance(22.0, 1.0, 0.5)] * neutral
+    )
+
+
+class TestLatchTime:
+    def test_zero_deviation_never_resolves(self):
+        assert latch_time_ns(0.0) == math.inf
+
+    def test_large_deviation_instant(self):
+        assert latch_time_ns(LATCH_MARGIN_V) == 0.0
+
+    def test_logarithmic_in_deviation(self):
+        small = latch_time_ns(0.01)
+        large = latch_time_ns(0.1)
+        assert small > large
+        assert small - large == pytest.approx(0.9 * math.log(10.0), abs=1e-9)
+
+    def test_sign_independent(self):
+        assert latch_time_ns(-0.05) == latch_time_ns(0.05)
+
+
+class TestSimulateSensing:
+    def test_starts_at_precharge_level(self):
+        waveform = simulate_sensing(cells_for(2, 1))
+        assert waveform.bitline_v[0] == pytest.approx(0.6, abs=0.01)
+
+    def test_majority_of_ones_resolves_high(self):
+        waveform = simulate_sensing(cells_for(2, 1, 1))
+        assert waveform.resolved_high()
+        assert waveform.final_voltage == pytest.approx(1.2, abs=0.01)
+
+    def test_majority_of_zeros_resolves_low(self):
+        waveform = simulate_sensing(cells_for(1, 2, 1))
+        assert not waveform.resolved_high()
+        assert waveform.final_voltage == pytest.approx(0.0, abs=0.01)
+
+    def test_tie_stays_at_half(self):
+        waveform = simulate_sensing(cells_for(1, 1))
+        assert waveform.final_voltage == pytest.approx(0.6, abs=1e-9)
+
+    def test_voltage_bounded_by_rails(self):
+        waveform = simulate_sensing(cells_for(20, 10, 2))
+        assert float(waveform.bitline_v.min()) >= -1e-9
+        assert float(waveform.bitline_v.max()) <= 1.2 + 1e-9
+
+    def test_replication_latches_faster(self):
+        # 32-row MAJ3 (10 replicas) presents a bigger deviation at
+        # sense-enable than 4-row MAJ3, so it resolves sooner.
+        four = simulate_sensing(cells_for(2, 1, 1))
+        thirty_two = simulate_sensing(cells_for(20, 10, 2))
+        assert abs(thirty_two.initial_deviation_v) > abs(
+            four.initial_deviation_v
+        )
+        assert latch_time_ns(thirty_two.initial_deviation_v) < latch_time_ns(
+            four.initial_deviation_v
+        )
+
+    def test_monotone_during_regeneration(self):
+        waveform = simulate_sensing(cells_for(2, 1, 1))
+        sensing = waveform.time_ns > waveform.share_window_ns
+        deltas = np.diff(waveform.bitline_v[sensing])
+        assert np.all(deltas >= -1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_sensing(cells_for(2, 1), share_window_ns=0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_sensing(cells_for(2, 1), n_points=2)
+
+
+class TestWindow:
+    def test_healthy_margins_resolve(self):
+        assert resolves_within_window(cells_for(20, 10, 2))
+
+    def test_tie_never_resolves(self):
+        assert not resolves_within_window(cells_for(2, 2))
+
+    def test_short_window_fails_small_margins(self):
+        # A 4-row MAJ3 margin resolves in a normal window but not in a
+        # drastically truncated one.
+        cells = cells_for(2, 1, 1)
+        assert resolves_within_window(cells, window_ns=12.0)
+        assert not resolves_within_window(
+            cells, window_ns=3.2, share_window_ns=3.0
+        )

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--columns", "128", "--groups", "2", "--trials", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "18 modules / 120 chips" in out
+
+    def test_decoder_fig14_example(self, capsys):
+        assert main(["decoder", "--rf", "0", "--rs", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "4 rows" in out
+        assert "[0, 1, 6, 7]" in out
+
+    def test_decoder_32_row_example(self, capsys):
+        assert main(["decoder", "--rf", "127", "--rs", "128"]) == 0
+        assert "32 rows" in capsys.readouterr().out
+
+    def test_activation(self, capsys):
+        assert main(["activation", "--rows", "8", *SCALE]) == 0
+        assert "8-row" in capsys.readouterr().out
+
+    def test_majority(self, capsys):
+        assert main(["majority", "--x", "3", "--rows", "8", *SCALE]) == 0
+        assert "MAJ3@8-row" in capsys.readouterr().out
+
+    def test_rowcopy(self, capsys):
+        assert main(["rowcopy", "--destinations", "3", *SCALE]) == 0
+        assert "->3 rows" in capsys.readouterr().out
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "REF" in out and "21.19%" in out
+
+    def test_spice(self, capsys):
+        assert main(["spice", "--sets", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 15a" in out and "Fig 15b" in out
+
+    def test_coldboot(self, capsys):
+        assert main(["coldboot"]) == 0
+        assert "multirowcopy-32" in capsys.readouterr().out
+
+    def test_speedups(self, capsys):
+        assert main(["speedups"]) == 0
+        out = capsys.readouterr().out
+        assert "Mfr. H" in out and "Mfr. M" in out
+
+    def test_trng(self, capsys):
+        assert main(["trng", "--bits", "64", "--columns", "256"]) == 0
+        assert "monobit" in capsys.readouterr().out
+
+    def test_besttiming_finds_papers_majx_config(self, capsys):
+        assert main([
+            "besttiming", "--operation", "majx", *SCALE
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "t1=1.5ns, t2=3.0ns" in out
+
+    def test_selftest(self, capsys):
+        assert main(["selftest", "--columns", "128"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 4
+
+    def test_trng_hex_output(self, capsys):
+        assert main([
+            "trng", "--bits", "64", "--columns", "256", "--hex"
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines[-1]) == 16  # 64 bits = 8 bytes = 16 hex chars

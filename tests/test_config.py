@@ -1,0 +1,55 @@
+"""Tests for repro.config."""
+
+import pytest
+
+from repro.config import FULL_COLUMNS_PER_ROW, SimulationConfig
+from repro.errors import ConfigurationError
+
+
+class TestSimulationConfig:
+    def test_defaults_are_valid(self):
+        config = SimulationConfig()
+        assert config.seed == 2024
+        assert 8 <= config.columns_per_row <= FULL_COLUMNS_PER_ROW
+        assert not config.functional_only
+
+    def test_quick_profile_is_smaller_than_default(self):
+        assert SimulationConfig.quick().columns_per_row < (
+            SimulationConfig().columns_per_row
+        )
+
+    def test_full_fidelity_uses_8kib_rows(self):
+        assert SimulationConfig.full_fidelity().columns_per_row == 65536
+
+    def test_ideal_profile_disables_reliability(self):
+        assert SimulationConfig.ideal().functional_only
+
+    def test_with_seed_returns_new_instance(self):
+        config = SimulationConfig.quick()
+        other = config.with_seed(7)
+        assert other.seed == 7
+        assert config.seed == 2024
+        assert other.columns_per_row == config.columns_per_row
+
+    def test_with_columns(self):
+        assert SimulationConfig().with_columns(128).columns_per_row == 128
+
+    def test_rejects_tiny_rows(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(columns_per_row=4)
+
+    def test_rejects_oversized_rows(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(columns_per_row=FULL_COLUMNS_PER_ROW + 1)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(trials_per_test=0)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(seed=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimulationConfig().seed = 5

@@ -1,0 +1,35 @@
+"""Tests for unit helpers and calibrated constants."""
+
+from repro import units
+
+
+class TestConversions:
+    def test_us(self):
+        assert units.us(1.5) == 1500.0
+
+    def test_ms(self):
+        assert units.ms(2.0) == 2_000_000.0
+
+    def test_seconds_roundtrip(self):
+        assert units.ns_to_s(units.seconds(3.0)) == 3.0
+
+
+class TestConstants:
+    def test_vpp_range_matches_paper(self):
+        # Paper sweeps 2.5 V down to 2.1 V (section 3.1).
+        assert units.VPP_NOMINAL == 2.5
+        assert units.VPP_MIN_TESTED == 2.1
+
+    def test_temperature_range_matches_paper(self):
+        assert units.TEMP_NOMINAL_C == 50.0
+        assert units.TEMP_MAX_TESTED_C == 90.0
+
+    def test_command_granularity_is_1_5ns(self):
+        # Section 9, Limitation 2.
+        assert units.COMMAND_GRANULARITY_NS == 1.5
+
+    def test_capacitance_ratio_reproduces_fig15a_gain(self):
+        # 10*(ratio+4)/(ratio+32) should be ~2.59 (the +159% anchor).
+        ratio = units.BITLINE_CAPACITANCE_FF / units.CELL_CAPACITANCE_FF
+        gain = 10.0 * (ratio + 4.0) / (ratio + 32.0)
+        assert abs(gain - 2.59) < 0.02
