@@ -9,13 +9,21 @@ timing, MAJ3 timing grid, Multi-RowCopy patterns, temperature and
 voltage series) across one module per catalog spec, persists every
 result as JSON (reloadable via ``ResultStore``), and prints the
 combined report -- the overnight-lab-run workflow, at demo scale.
+
+The executor is failure-isolated, as an overnight run must be: one
+transient rig fault retries with backoff, one broken figure lands in
+``result.failures`` without aborting the sweep, and every completed
+figure is checkpointed in the store's campaign manifest -- re-running
+this script against the same results directory resumes, skipping the
+figures that already finished (``simra-dram campaign --resume`` is
+the CLI equivalent).
 """
 
 import sys
 import time
 from pathlib import Path
 
-from repro.characterization.campaign import Campaign
+from repro.characterization.campaign import Campaign, RetryPolicy
 from repro.characterization.experiment import CharacterizationScope
 from repro.characterization.store import ResultStore
 from repro.config import SimulationConfig
@@ -37,18 +45,30 @@ def main() -> None:
         trials=4,
     )
     store = ResultStore(results_dir)
-    campaign = Campaign(scope, store=store)
+    campaign = Campaign(
+        scope,
+        store=store,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.05),
+    )
 
     print(f"Campaign over {len(scope.benches)} modules "
           f"({scope.groups_per_size} groups/size, {scope.trials} trials), "
           f"experiments: {', '.join(EXPERIMENTS)}")
     started = time.time()
-    result = campaign.run(EXPERIMENTS)
+    result = campaign.run(EXPERIMENTS, resume=True)
     elapsed = time.time() - started
+    if result.skipped:
+        print(f"Resumed from checkpoint; skipped: {', '.join(result.skipped)}")
     print(f"Completed {len(result.completed)} experiments in "
           f"{elapsed:.1f} s; results stored in {result.stored_at}/\n")
 
     print(campaign.render(result))
+
+    if result.failures:
+        print("\nFailed experiments (sweep continued past them):")
+        for failure in result.failures:
+            print(f"  {failure.experiment}: {failure.error} "
+                  f"({failure.reason}, {failure.attempts} attempts)")
 
     print("\nStored results (reload with ResultStore):")
     for name in store.names():

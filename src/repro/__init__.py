@@ -39,10 +39,16 @@ from .errors import (
     ConfigurationError,
     ExperimentError,
     InfrastructureError,
+    ProgramTransferError,
     ProtocolError,
+    ReadbackCorruptionError,
+    ResultCorruptionError,
     SimraError,
+    ThermalExcursionError,
     TimingViolationError,
+    TransientInfrastructureError,
     UnsupportedOperationError,
+    VppBrownoutError,
 )
 from .bender.testbench import TestBench
 from .dram.module import Module, build_module, build_tested_fleet
@@ -60,7 +66,13 @@ __all__ = [
     "ProtocolError",
     "UnsupportedOperationError",
     "InfrastructureError",
+    "TransientInfrastructureError",
+    "ProgramTransferError",
+    "ReadbackCorruptionError",
+    "ThermalExcursionError",
+    "VppBrownoutError",
     "ExperimentError",
+    "ResultCorruptionError",
     "TestBench",
     "Module",
     "build_module",

@@ -1,0 +1,37 @@
+"""Chaos engineering for the simulated bender infrastructure.
+
+Real SiMRA characterization campaigns run for hours on a rig whose
+infrastructure -- FPGA link, thermal chamber, bench supply -- fails
+transiently now and then (PULSAR and PuDHammer both treat operating
+through unreliability as the central engineering problem).  This
+package injects those faults *deterministically* into the simulated
+rig so the campaign executor's retry/resume guarantees can be proven
+by tests rather than asserted:
+
+- :class:`ChaosConfig` / :class:`ChaosEngine` -- seeded, capped fault
+  scheduling per fault kind (:class:`FaultKind`).
+- :mod:`repro.chaos.proxies` -- drop-in chaotic wrappers for the
+  bender, host, thermal controller, and VPP supply.
+- :class:`ChaosHarness` -- installs/uninstalls the wrappers on live
+  :class:`~repro.bender.testbench.TestBench` instances.
+
+Injected faults surface as
+:class:`~repro.errors.TransientInfrastructureError` subclasses, the
+branch of the error hierarchy the campaign executor retries.
+"""
+
+from .engine import ChaosConfig, ChaosEngine, ChaosStats, FaultKind
+from .harness import ChaosHarness
+from .proxies import ChaoticBender, ChaoticHost, ChaoticSupply, ChaoticThermal
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosStats",
+    "FaultKind",
+    "ChaosHarness",
+    "ChaoticBender",
+    "ChaoticHost",
+    "ChaoticSupply",
+    "ChaoticThermal",
+]

@@ -1,0 +1,170 @@
+"""Seeded fault-decision engine.
+
+The paper's data comes from multi-hour campaigns on a real rig where
+transient infrastructure faults (dropped FPGA transfers, flaky
+readbacks, thermal excursions, supply brownouts) are a fact of life.
+:class:`ChaosEngine` decides *when* those faults fire: every decision
+is a deterministic function of the chaos seed, the fault kind, and
+how many times that kind has been consulted, so a chaotic campaign is
+bit-for-bit reproducible -- the property every chaos test in this
+repository relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from .. import rng
+from ..errors import ConfigurationError
+
+
+class FaultKind(Enum):
+    """The transient fault classes the harness can inject."""
+
+    PROGRAM_DROP = "program-drop"
+    """Command program lost on the way to the FPGA (never replayed)."""
+    READBACK_CORRUPTION = "readback-corruption"
+    """Readback transfer fails the host-side integrity check."""
+    THERMAL_EXCURSION = "thermal-excursion"
+    """Thermal chamber drifts off the setpoint instead of settling."""
+    VPP_BROWNOUT = "vpp-brownout"
+    """VPP rail sags while being programmed."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Which faults to inject, how often, and with what magnitude.
+
+    Rates are per *opportunity* (one program replay, one settle, one
+    voltage programming).  ``max_faults_per_kind`` caps how many times
+    each kind fires over the harness's lifetime; a finite cap plus a
+    retry policy whose attempt count exceeds it guarantees a campaign
+    eventually converges despite the chaos.
+    """
+
+    seed: int = 7
+    program_drop_rate: float = 0.0
+    readback_corruption_rate: float = 0.0
+    thermal_excursion_rate: float = 0.0
+    vpp_brownout_rate: float = 0.0
+    max_faults_per_kind: Optional[int] = None
+    thermal_excursion_c: float = 7.5
+    """How far off the setpoint an excursion leaves the module (C)."""
+    vpp_brownout_volts: float = 2.0
+    """Where the rail sags to during a brownout."""
+    corrupted_bits: int = 4
+    """How many bits a readback corruption flips (before detection)."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "program_drop_rate",
+            "readback_corruption_rate",
+            "thermal_excursion_rate",
+            "vpp_brownout_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_faults_per_kind is not None and self.max_faults_per_kind < 0:
+            raise ConfigurationError("max_faults_per_kind must be non-negative")
+        if self.thermal_excursion_c <= 0:
+            raise ConfigurationError("thermal_excursion_c must be positive")
+        if self.corrupted_bits < 1:
+            raise ConfigurationError("corrupted_bits must be at least 1")
+        if self.seed < 0:
+            raise ConfigurationError("seed must be non-negative")
+
+    def rate_for(self, kind: FaultKind) -> float:
+        """The configured rate of one fault kind."""
+        return {
+            FaultKind.PROGRAM_DROP: self.program_drop_rate,
+            FaultKind.READBACK_CORRUPTION: self.readback_corruption_rate,
+            FaultKind.THERMAL_EXCURSION: self.thermal_excursion_rate,
+            FaultKind.VPP_BROWNOUT: self.vpp_brownout_rate,
+        }[kind]
+
+    @classmethod
+    def burst(cls, seed: int = 7) -> "ChaosConfig":
+        """Every fault kind fires on its first opportunity, exactly once.
+
+        The strongest deterministic proof load: each infrastructure
+        path fails once, so any executor that survives it demonstrably
+        retries every fault class.
+        """
+        return cls(
+            seed=seed,
+            program_drop_rate=1.0,
+            readback_corruption_rate=1.0,
+            thermal_excursion_rate=1.0,
+            vpp_brownout_rate=1.0,
+            max_faults_per_kind=1,
+        )
+
+    @classmethod
+    def light(
+        cls, seed: int = 7, rate: float = 0.05, max_faults_per_kind: int = 8
+    ) -> "ChaosConfig":
+        """A soak-test profile: occasional faults in every path."""
+        return cls(
+            seed=seed,
+            program_drop_rate=rate,
+            readback_corruption_rate=rate,
+            thermal_excursion_rate=rate,
+            vpp_brownout_rate=rate,
+            max_faults_per_kind=max_faults_per_kind,
+        )
+
+
+@dataclass
+class ChaosStats:
+    """How many faults each kind was offered and actually injected."""
+
+    opportunities: Dict[str, int] = field(default_factory=dict)
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected across all kinds."""
+        return sum(self.injected.values())
+
+
+class ChaosEngine:
+    """Deterministic, capped fault scheduling for one harness."""
+
+    def __init__(self, config: ChaosConfig):
+        self._config = config
+        self._opportunities: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
+        self._injected: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
+
+    @property
+    def config(self) -> ChaosConfig:
+        """The fault profile in force."""
+        return self._config
+
+    def should_fire(self, kind: FaultKind) -> bool:
+        """Decide (deterministically) whether this opportunity faults."""
+        index = self._opportunities[kind]
+        self._opportunities[kind] += 1
+        rate = self._config.rate_for(kind)
+        if rate <= 0.0:
+            return False
+        cap = self._config.max_faults_per_kind
+        if cap is not None and self._injected[kind] >= cap:
+            return False
+        draw = rng.generator("chaos", self._config.seed, kind.value, index).random()
+        if draw < rate:
+            self._injected[kind] += 1
+            return True
+        return False
+
+    @property
+    def stats(self) -> ChaosStats:
+        """Snapshot of opportunity and injection counts per kind."""
+        return ChaosStats(
+            opportunities={
+                kind.value: count for kind, count in self._opportunities.items()
+            },
+            injected={kind.value: count for kind, count in self._injected.items()},
+        )

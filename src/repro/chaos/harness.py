@@ -1,0 +1,91 @@
+"""Installing chaos onto assembled test benches.
+
+:class:`ChaosHarness` swaps a :class:`~repro.bender.testbench.TestBench`'s
+four rig components for their chaotic proxies (sharing one seeded
+engine across every wrapped bench) and restores the originals on
+uninstall.  Because the proxies wrap the live components rather than
+rebuilding them, no rig state (scheduler clock, thermal plant, VPP
+level) is lost by going chaotic mid-session.
+
+Usage::
+
+    harness = ChaosHarness(ChaosConfig.light(seed=11))
+    with harness.installed(scope.benches):
+        campaign.run(...)
+    print(harness.engine.stats.total_injected, "faults injected")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Tuple
+
+from .engine import ChaosConfig, ChaosEngine
+from .proxies import ChaoticBender, ChaoticHost, ChaoticSupply, ChaoticThermal
+
+
+class ChaosHarness:
+    """Wraps benches with fault-injecting proxies; reversible."""
+
+    def __init__(self, config: ChaosConfig):
+        self._engine = ChaosEngine(config)
+        self._originals: List[Tuple[object, Dict[str, object]]] = []
+
+    @property
+    def engine(self) -> ChaosEngine:
+        """The shared fault-decision engine."""
+        return self._engine
+
+    @property
+    def config(self) -> ChaosConfig:
+        """The fault profile in force."""
+        return self._engine.config
+
+    @property
+    def installed_benches(self) -> int:
+        """How many benches currently carry chaotic proxies."""
+        return len(self._originals)
+
+    def install(self, bench) -> None:
+        """Swap one bench's rig components for chaotic proxies."""
+        if any(existing is bench for existing, _ in self._originals):
+            return  # already chaotic; keep the original components saved
+        originals = {
+            "_bender": bench._bender,  # noqa: SLF001
+            "_host": bench._host,  # noqa: SLF001
+            "_thermal": bench._thermal,  # noqa: SLF001
+            "_supply": bench._supply,  # noqa: SLF001
+        }
+        bender = ChaoticBender(originals["_bender"], self._engine)
+        bench._bender = bender  # noqa: SLF001
+        bench._host = ChaoticHost(  # noqa: SLF001
+            originals["_host"], self._engine, bender
+        )
+        bench._thermal = ChaoticThermal(  # noqa: SLF001
+            originals["_thermal"], self._engine
+        )
+        bench._supply = ChaoticSupply(  # noqa: SLF001
+            originals["_supply"], self._engine
+        )
+        self._originals.append((bench, originals))
+
+    def install_all(self, benches: Iterable) -> None:
+        """Install onto every bench (e.g. a scope's whole fleet)."""
+        for bench in benches:
+            self.install(bench)
+
+    def uninstall(self) -> None:
+        """Restore every wrapped bench's original components."""
+        for bench, originals in self._originals:
+            for attribute, component in originals.items():
+                setattr(bench, attribute, component)
+        self._originals.clear()
+
+    @contextmanager
+    def installed(self, benches: Iterable):
+        """Context manager: chaos inside the block, clean rig after."""
+        self.install_all(benches)
+        try:
+            yield self
+        finally:
+            self.uninstall()

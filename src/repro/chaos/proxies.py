@@ -1,0 +1,147 @@
+"""Chaotic stand-ins for the bender rig components.
+
+Each proxy wraps one real component (keeping all of its state -- the
+scheduler clock, the thermal plant, the programmed VPP level) and
+interposes only on the operations a real rig can transiently fail:
+program replay, readback, thermal settling, and voltage programming.
+An injected fault both perturbs the simulated rig the way the real
+failure would (off-target temperature, sagged rail) *and* raises the
+matching :class:`~repro.errors.TransientInfrastructureError`, so a
+retrying caller that re-applies the environment recovers exactly the
+fault-free behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .. import rng
+from ..errors import (
+    ProgramTransferError,
+    ReadbackCorruptionError,
+    ThermalExcursionError,
+    VppBrownoutError,
+)
+from .engine import ChaosEngine, FaultKind
+
+
+class _ChaoticProxy:
+    """Delegating wrapper: unknown attributes fall through."""
+
+    def __init__(self, wrapped, engine: ChaosEngine):
+        self._wrapped = wrapped
+        self._engine = engine
+
+    def __getattr__(self, name):
+        return getattr(self._wrapped, name)
+
+    @property
+    def wrapped(self):
+        """The real component underneath."""
+        return self._wrapped
+
+
+class ChaoticBender(_ChaoticProxy):
+    """FPGA replayer with transfer faults on both directions."""
+
+    def execute(self, program):
+        """Replay one program, unless the link drops it."""
+        if self._engine.should_fire(FaultKind.PROGRAM_DROP):
+            raise ProgramTransferError(
+                "command program dropped before FPGA replay "
+                f"({len(program)} commands lost; device untouched)"
+            )
+        result = self._wrapped.execute(program)
+        if self._engine.should_fire(FaultKind.READBACK_CORRUPTION):
+            raise ReadbackCorruptionError(
+                "execution-result upload failed the host integrity check "
+                f"({len(result.reads)} RD payloads discarded)"
+            )
+        return result
+
+    def execute_all(self, programs) -> List:
+        """Replay several programs back to back (each can fault)."""
+        return [self.execute(program) for program in programs]
+
+
+class ChaoticHost(_ChaoticProxy):
+    """Host helpers whose readbacks can arrive corrupted."""
+
+    def __init__(self, wrapped, engine: ChaosEngine, bender: ChaoticBender):
+        super().__init__(wrapped, engine)
+        self._chaotic_bender = bender
+
+    def run(self, program):
+        """Replay one program through the chaotic bender."""
+        return self._chaotic_bender.execute(program)
+
+    def read_rows(self, bank: int, rows: Sequence[int]) -> Dict[int, np.ndarray]:
+        """Read rows back; a corrupted transfer is detected and raised."""
+        data = self._wrapped.read_rows(bank, rows)
+        if self._engine.should_fire(FaultKind.READBACK_CORRUPTION):
+            flipped = self._corrupt(bank, data)
+            raise ReadbackCorruptionError(
+                f"readback of {len(data)} rows failed the host integrity "
+                f"check ({flipped} bits flipped in transfer; cells intact)"
+            )
+        return data
+
+    def mismatch_fraction(
+        self, bank: int, rows: Sequence[int], expected: np.ndarray
+    ) -> float:
+        """As the real host, but reading through the chaotic path."""
+        readback = self.read_rows(bank, rows)
+        expected = np.asarray(expected, dtype=np.uint8)
+        fractions = [float(np.mean(bits != expected)) for bits in readback.values()]
+        return float(np.mean(fractions)) if fractions else 0.0
+
+    def _corrupt(self, bank: int, data: Dict[int, np.ndarray]) -> int:
+        """Flip seeded bits in the in-flight copies (never the cells)."""
+        flipped = 0
+        budget = self._engine.config.corrupted_bits
+        generator = rng.generator(
+            "chaos-corrupt", self._engine.config.seed, bank, *sorted(data)
+        )
+        for bits in data.values():
+            if flipped >= budget or bits.size == 0:
+                break
+            column = int(generator.integers(0, bits.size))
+            bits[column] ^= 1
+            flipped += 1
+        return flipped
+
+
+class ChaoticThermal(_ChaoticProxy):
+    """Temperature controller whose chamber can drift off-setpoint."""
+
+    def settle(self) -> float:
+        """Settle to the setpoint, unless the chamber wanders."""
+        if self._engine.should_fire(FaultKind.THERMAL_EXCURSION):
+            target = self._wrapped.target_c
+            excursion = target + self._engine.config.thermal_excursion_c
+            # The plant is genuinely off-target until the next settle.
+            self._wrapped._current_c = excursion  # noqa: SLF001
+            self._wrapped._module.temperature_c = excursion  # noqa: SLF001
+            raise ThermalExcursionError(
+                f"chamber drifted to {excursion:.1f} C while settling "
+                f"toward {target:.1f} C"
+            )
+        return self._wrapped.settle()
+
+
+class ChaoticSupply(_ChaoticProxy):
+    """VPP bench supply whose rail can brown out mid-programming."""
+
+    def set_voltage(self, volts: float) -> float:
+        """Program the rail, unless it sags."""
+        if self._engine.should_fire(FaultKind.VPP_BROWNOUT):
+            sag = self._engine.config.vpp_brownout_volts
+            # The module sees the sagged rail until reprogrammed.
+            self._wrapped._module.vpp = sag  # noqa: SLF001
+            raise VppBrownoutError(
+                f"VPP rail sagged to {sag:.2f} V while programming "
+                f"{volts:.2f} V"
+            )
+        return self._wrapped.set_voltage(volts)

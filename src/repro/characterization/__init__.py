@@ -34,8 +34,13 @@ from .disturbance import DisturbanceReport, disturbance_check
 from .fleet import baseline_yield, best_group_yields, per_manufacturer_scopes
 from .variability import manufacturer_gap, module_spread, per_module_majx
 from .convergence import majx_convergence_curve, overestimate_at
-from .store import ResultStore
-from .campaign import Campaign, CampaignResult
+from .store import CampaignManifest, ResultStore
+from .campaign import (
+    Campaign,
+    CampaignResult,
+    ExperimentFailure,
+    RetryPolicy,
+)
 from .timing_search import (
     TimingSearchResult,
     best_activation_timing,
@@ -77,8 +82,11 @@ __all__ = [
     "majx_convergence_curve",
     "overestimate_at",
     "ResultStore",
+    "CampaignManifest",
     "Campaign",
     "CampaignResult",
+    "ExperimentFailure",
+    "RetryPolicy",
     "TimingSearchResult",
     "best_activation_timing",
     "best_copy_timing",

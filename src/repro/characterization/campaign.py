@@ -6,15 +6,32 @@ through :class:`~repro.characterization.store.ResultStore`, and
 renders a combined text report.  This is the entry point a lab would
 script for an overnight run; the scaled-down defaults finish in
 minutes.
+
+Overnight runs on real rigs see transient infrastructure faults, so
+the executor is failure-isolated:
+
+- a :class:`~repro.errors.TransientInfrastructureError` triggers a
+  retry with exponential backoff + seeded jitter (:class:`RetryPolicy`),
+  bounded by a per-experiment wall-clock budget;
+- any other failure (or exhausted retries) is recorded in
+  :attr:`CampaignResult.failures` as an :class:`ExperimentFailure`
+  carrying the full exception chain, and the sweep continues;
+- with a store attached, every completed experiment is checkpointed in
+  a :class:`~repro.characterization.store.CampaignManifest`, so a
+  killed campaign re-run with ``resume=True`` skips finished figures;
+- a :class:`~repro.chaos.ChaosConfig` can be attached to prove all of
+  the above under injected faults (the rig is restored afterwards).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ExperimentError
+from .. import rng
+from ..errors import ConfigurationError, ExperimentError, TransientInfrastructureError
 from .activation import figure3_timing_grid, figure4a_temperature, figure4b_voltage
 from .experiment import CharacterizationScope
 from .majority import (
@@ -30,7 +47,7 @@ from .rowcopy import (
     figure12a_temperature,
     figure12b_voltage,
 )
-from .store import ResultStore
+from .store import CampaignManifest, ResultStore
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig3": figure3_timing_grid,
@@ -48,39 +65,149 @@ EXPERIMENTS: Dict[str, Callable] = {
 """Every section 4-6 experiment the campaign can run, by figure id."""
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for transient faults."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    """Up to this fraction of the delay is added as seeded jitter."""
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def delay_s(self, retry_index: int, jitter_draw: float = 0.0) -> float:
+        """Backoff before retry ``retry_index`` (0-based).
+
+        ``jitter_draw`` is a uniform [0, 1) sample; the campaign feeds
+        a seeded one so whole runs stay deterministic.
+        """
+        delay = min(
+            self.base_delay_s * self.multiplier**retry_index, self.max_delay_s
+        )
+        return delay * (1.0 + self.jitter * jitter_draw)
+
+
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment the sweep gave up on (the sweep itself went on)."""
+
+    experiment: str
+    reason: str
+    """``"error"`` (non-retryable), ``"retries-exhausted"``, or
+    ``"time-budget"``."""
+    attempts: int
+    elapsed_s: float
+    error: str
+    """``TypeName: message`` of the final exception."""
+    chain: Tuple[str, ...]
+    """The full exception chain, outermost first."""
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _chain(exc: BaseException) -> Tuple[str, ...]:
+    parts: List[str] = []
+    seen: set = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        parts.append(_describe(current))
+        current = current.__cause__ or current.__context__
+    return tuple(parts)
+
+
 @dataclass
 class CampaignResult:
     """Outcome of one campaign run."""
 
     completed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    """Experiments reused from a previous run's checkpoint."""
+    failures: List[ExperimentFailure] = field(default_factory=list)
+    attempts: Dict[str, int] = field(default_factory=dict)
     stored_at: Optional[Path] = None
     data: Dict[str, object] = field(default_factory=dict)
+    chaos_faults_injected: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every experiment produced data."""
+        return not self.failures
 
     def summary_lines(self) -> List[str]:
-        """One line per completed experiment."""
-        return [f"  {name}: done" for name in self.completed]
+        """One line per experiment outcome."""
+        lines = []
+        for name in self.skipped:
+            lines.append(f"  {name}: skipped (already completed, resumed)")
+        for name in self.completed:
+            attempts = self.attempts.get(name, 1)
+            suffix = f" after {attempts} attempts" if attempts > 1 else ""
+            lines.append(f"  {name}: done{suffix}")
+        for failure in self.failures:
+            lines.append(
+                f"  {failure.experiment}: FAILED ({failure.reason}, "
+                f"{failure.attempts} attempts) {failure.error}"
+            )
+        return lines
 
 
 class Campaign:
-    """Runs and persists a set of figure experiments."""
+    """Runs and persists a set of figure experiments, failure-isolated."""
 
     def __init__(
         self,
         scope: CharacterizationScope,
         store: Optional[ResultStore] = None,
+        retry: Optional[RetryPolicy] = None,
+        time_budget_s: Optional[float] = None,
+        chaos: Optional["ChaosConfig"] = None,  # noqa: F821
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ):
+        if time_budget_s is not None and time_budget_s <= 0:
+            raise ConfigurationError("time budget must be positive")
         self._scope = scope
         self._store = store
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._time_budget_s = time_budget_s
+        self._chaos = chaos
+        self._sleep = sleep
+        self._clock = clock
 
     @property
     def scope(self) -> CharacterizationScope:
         """The device/test scope in force."""
         return self._scope
 
+    @property
+    def retry(self) -> RetryPolicy:
+        """The transient-fault retry policy in force."""
+        return self._retry
+
     def run(
-        self, experiments: Sequence[str] = ("fig3", "fig6", "fig10")
+        self,
+        experiments: Sequence[str] = ("fig3", "fig6", "fig10"),
+        resume: bool = False,
     ) -> CampaignResult:
-        """Execute the named experiments in order."""
+        """Execute the named experiments in order.
+
+        With ``resume=True`` (requires a store) experiments already
+        recorded as completed in the store's campaign manifest are
+        reloaded from disk instead of re-run.
+        """
         unknown = [name for name in experiments if name not in EXPERIMENTS]
         if unknown:
             raise ExperimentError(
@@ -88,29 +215,152 @@ class Campaign:
             )
         if not experiments:
             raise ExperimentError("campaign needs at least one experiment")
+        if resume and self._store is None:
+            raise ExperimentError("resume requires a result store")
+
         result = CampaignResult()
-        for name in experiments:
-            data = EXPERIMENTS[name](self._scope)
-            result.data[name] = data
-            result.completed.append(name)
-            if self._store is not None:
-                config = self._scope.benches[0].module.config
-                self._store.save(
-                    name,
-                    _storable(data),
-                    config=config,
-                    notes=f"campaign experiment {name}",
-                )
+        config = self._scope.benches[0].module.config
+        manifest: Optional[CampaignManifest] = None
         if self._store is not None:
-            result.stored_at = Path(self._store._directory)  # noqa: SLF001
+            manifest = self._prepare_manifest(experiments, config, resume, result)
+
+        harness = None
+        if self._chaos is not None:
+            from ..chaos import ChaosHarness
+
+            harness = ChaosHarness(self._chaos)
+            harness.install_all(self._scope.benches)
+        try:
+            for name in experiments:
+                if name in result.skipped:
+                    continue
+                outcome = self._run_one(name)
+                if isinstance(outcome, ExperimentFailure):
+                    result.failures.append(outcome)
+                    result.attempts[name] = outcome.attempts
+                    continue
+                data, attempts = outcome
+                result.data[name] = data
+                result.attempts[name] = attempts
+                result.completed.append(name)
+                if self._store is not None and manifest is not None:
+                    self._store.save(
+                        name,
+                        _storable(data),
+                        config=config,
+                        notes=f"campaign experiment {name}",
+                    )
+                    if name not in manifest.completed:
+                        manifest.completed.append(name)
+                    self._store.save_manifest(manifest)
+        finally:
+            if harness is not None:
+                result.chaos_faults_injected = harness.engine.stats.total_injected
+                harness.uninstall()
+        if self._store is not None:
+            result.stored_at = self._store.directory
         return result
+
+    def _fingerprint(self, config) -> dict:
+        """Config identity plus the scope knobs that shape the data.
+
+        Resuming with a different ``--groups``/``--trials`` (or bank/
+        subarray selection) would mix incompatible statistics, so those
+        ride along with the ``SimulationConfig`` fingerprint.
+        """
+        fingerprint = dict(config.fingerprint())
+        fingerprint.update(
+            modules=len(self._scope.benches),
+            banks=list(self._scope.banks),
+            subarrays=list(self._scope.subarrays),
+            groups_per_size=self._scope.groups_per_size,
+            trials=self._scope.trials,
+        )
+        return fingerprint
+
+    def _prepare_manifest(
+        self,
+        experiments: Sequence[str],
+        config,
+        resume: bool,
+        result: CampaignResult,
+    ) -> CampaignManifest:
+        """Load or start the store's checkpoint; fill resumable skips."""
+        fingerprint = self._fingerprint(config)
+        manifest = self._store.load_manifest() if resume else None
+        if manifest is not None:
+            if manifest.fingerprint != fingerprint:
+                raise ExperimentError(
+                    "cannot resume: the stored campaign ran with a different "
+                    f"configuration ({manifest.fingerprint} vs {fingerprint})"
+                )
+            for name in experiments:
+                if name in manifest.completed and self._store.has(name):
+                    result.data[name] = self._store.load(name)
+                    result.skipped.append(name)
+            manifest.planned = list(experiments)
+        else:
+            manifest = CampaignManifest(
+                planned=list(experiments), completed=[], fingerprint=fingerprint
+            )
+        self._store.save_manifest(manifest)
+        return manifest
+
+    def _run_one(
+        self, name: str
+    ) -> Union[Tuple[object, int], ExperimentFailure]:
+        """One experiment under the retry policy and time budget."""
+        started = self._clock()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return EXPERIMENTS[name](self._scope), attempt
+            except TransientInfrastructureError as exc:
+                elapsed = self._clock() - started
+                if attempt >= self._retry.max_attempts:
+                    return ExperimentFailure(
+                        experiment=name,
+                        reason="retries-exhausted",
+                        attempts=attempt,
+                        elapsed_s=elapsed,
+                        error=_describe(exc),
+                        chain=_chain(exc),
+                    )
+                if (
+                    self._time_budget_s is not None
+                    and elapsed >= self._time_budget_s
+                ):
+                    return ExperimentFailure(
+                        experiment=name,
+                        reason="time-budget",
+                        attempts=attempt,
+                        elapsed_s=elapsed,
+                        error=_describe(exc),
+                        chain=_chain(exc),
+                    )
+                draw = rng.generator("campaign-backoff", name, attempt).random()
+                self._sleep(self._retry.delay_s(attempt - 1, draw))
+            except Exception as exc:  # noqa: BLE001 -- isolate the sweep
+                return ExperimentFailure(
+                    experiment=name,
+                    reason="error",
+                    attempts=attempt,
+                    elapsed_s=self._clock() - started,
+                    error=_describe(exc),
+                    chain=_chain(exc),
+                )
 
     def render(self, result: CampaignResult) -> str:
         """Human-readable report of a campaign's results."""
         sections: List[str] = []
-        for name in result.completed:
-            data = result.data[name]
-            sections.append(_render_experiment(name, data))
+        for name in result.data:
+            sections.append(_render_experiment(name, result.data[name]))
+        for failure in result.failures:
+            lines = [f"{failure.experiment}: FAILED ({failure.reason}, "
+                     f"{failure.attempts} attempts, {failure.elapsed_s:.1f} s)"]
+            lines.extend(f"  {link}" for link in failure.chain)
+            sections.append("\n".join(lines))
         return "\n\n".join(sections)
 
 

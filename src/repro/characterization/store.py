@@ -6,21 +6,36 @@ experiment outputs as JSON next to a metadata header (seed, scale,
 library version), and reloads them with
 :class:`~repro.characterization.stats.DistributionSummary` objects
 reconstructed.
+
+Robustness contract (a campaign can be killed at any instant):
+
+- every write lands via a same-directory temp file and ``os.replace``,
+  so a reader never observes a half-written document;
+- a truncated or hand-damaged file raises
+  :class:`~repro.errors.ResultCorruptionError` (an
+  :class:`~repro.errors.ExperimentError`) rather than a bare
+  ``json.JSONDecodeError``;
+- a :class:`CampaignManifest` checkpoint records which experiments of
+  a campaign already completed, letting ``--resume`` skip them.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..config import SimulationConfig
-from ..errors import ExperimentError
+from ..errors import ExperimentError, ResultCorruptionError
 from .stats import DistributionSummary
 
 _FORMAT_VERSION = 1
 _SUMMARY_MARKER = "__distribution_summary__"
+_MANIFEST_FILENAME = "campaign-manifest.json"
+_MANIFEST_VERSION = 1
 
 
 def _encode(value: Any) -> Any:
@@ -48,6 +63,39 @@ def _decode(value: Any) -> Any:
     return value
 
 
+def _write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` so that ``path`` is always absent or complete."""
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class CampaignManifest:
+    """Checkpoint of one campaign: what was planned, what finished."""
+
+    planned: List[str]
+    completed: List[str] = field(default_factory=list)
+    fingerprint: Optional[Dict[str, Any]] = None
+    """:meth:`~repro.config.SimulationConfig.fingerprint` of the run."""
+
+
 class ResultStore:
     """Directory of named experiment results."""
 
@@ -55,10 +103,32 @@ class ResultStore:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
 
+    @property
+    def directory(self) -> Path:
+        """Where results live."""
+        return self._directory
+
     def _path(self, name: str) -> Path:
         if not name or "/" in name or name.startswith("."):
             raise ExperimentError(f"invalid result name {name!r}")
+        if f"{name}.json" == _MANIFEST_FILENAME:
+            raise ExperimentError(
+                f"result name {name!r} is reserved for the campaign manifest"
+            )
         return self._directory / f"{name}.json"
+
+    def _read_document(self, name: str, path: Path) -> Dict[str, Any]:
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ResultCorruptionError(
+                f"stored result {name!r} is corrupt or truncated: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ResultCorruptionError(
+                f"stored result {name!r} is not a result document"
+            )
+        return document
 
     def save(
         self,
@@ -67,7 +137,7 @@ class ResultStore:
         config: Optional[SimulationConfig] = None,
         notes: str = "",
     ) -> Path:
-        """Persist one experiment's output."""
+        """Persist one experiment's output (atomically)."""
         from .. import __version__
 
         document = {
@@ -86,7 +156,7 @@ class ResultStore:
             "data": _encode(data),
         }
         path = self._path(name)
-        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        _write_atomic(path, json.dumps(document, indent=2, sort_keys=True))
         return path
 
     def load(self, name: str) -> Any:
@@ -94,7 +164,7 @@ class ResultStore:
         path = self._path(name)
         if not path.exists():
             raise ExperimentError(f"no stored result named {name!r}")
-        document = json.loads(path.read_text())
+        document = self._read_document(name, path)
         if document.get("format_version") != _FORMAT_VERSION:
             raise ExperimentError(
                 f"result {name!r} uses unsupported format "
@@ -107,12 +177,63 @@ class ResultStore:
         path = self._path(name)
         if not path.exists():
             raise ExperimentError(f"no stored result named {name!r}")
-        document = json.loads(path.read_text())
+        document = self._read_document(name, path)
         return {
             key: document.get(key)
             for key in ("format_version", "library_version", "config", "notes")
         }
 
+    def has(self, name: str) -> bool:
+        """Whether a result with this name is stored."""
+        return self._path(name).exists()
+
     def names(self) -> list:
-        """All stored result names."""
-        return sorted(p.stem for p in self._directory.glob("*.json"))
+        """All stored result names (the campaign manifest excluded)."""
+        return sorted(
+            p.stem
+            for p in self._directory.glob("*.json")
+            if p.name != _MANIFEST_FILENAME and not p.name.startswith(".")
+        )
+
+    # -- campaign manifest -------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        """Where this store's campaign checkpoint lives."""
+        return self._directory / _MANIFEST_FILENAME
+
+    def save_manifest(self, manifest: CampaignManifest) -> Path:
+        """Checkpoint a campaign's progress (atomically)."""
+        document = {
+            "format_version": _MANIFEST_VERSION,
+            "planned": list(manifest.planned),
+            "completed": list(manifest.completed),
+            "fingerprint": manifest.fingerprint,
+        }
+        path = self.manifest_path
+        _write_atomic(path, json.dumps(document, indent=2, sort_keys=True))
+        return path
+
+    def load_manifest(self) -> Optional[CampaignManifest]:
+        """Reload the campaign checkpoint, or ``None`` if none exists."""
+        path = self.manifest_path
+        if not path.exists():
+            return None
+        document = self._read_document("campaign manifest", path)
+        if document.get("format_version") != _MANIFEST_VERSION:
+            raise ExperimentError(
+                "campaign manifest uses unsupported format "
+                f"{document.get('format_version')}"
+            )
+        return CampaignManifest(
+            planned=list(document.get("planned", [])),
+            completed=list(document.get("completed", [])),
+            fingerprint=document.get("fingerprint"),
+        )
+
+    def clear_manifest(self) -> None:
+        """Forget the campaign checkpoint (results stay)."""
+        try:
+            self.manifest_path.unlink()
+        except FileNotFoundError:
+            pass

@@ -13,6 +13,7 @@ writing Python::
     simra-dram speedups                 # Fig 16
     simra-dram trng --bits 4096         # extension: random numbers
     simra-dram decoder --rf 0 --rs 7    # decoder algebra lookup
+    simra-dram campaign --resume        # checkpointed figure sweep
 
 Every command accepts ``--columns/--groups/--trials/--seed`` scale
 knobs where relevant.
@@ -22,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .characterization.experiment import CharacterizationScope, OperatingPoint
@@ -206,6 +208,43 @@ def _cmd_trng(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .characterization.campaign import Campaign, RetryPolicy
+    from .characterization.store import ResultStore
+    from .chaos import ChaosConfig
+    from .errors import ExperimentError
+
+    scope = _scope_from(args)
+    store = ResultStore(Path(args.results_dir))
+    chaos = None
+    if args.chaos:
+        chaos = ChaosConfig.light(
+            seed=args.chaos_seed,
+            rate=args.chaos_rate,
+            max_faults_per_kind=args.chaos_max_faults,
+        )
+    campaign = Campaign(
+        scope,
+        store=store,
+        retry=RetryPolicy(max_attempts=args.retries, base_delay_s=args.backoff_s),
+        time_budget_s=args.time_budget_s,
+        chaos=chaos,
+    )
+    try:
+        result = campaign.run(args.experiments, resume=args.resume)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(campaign.render(result))
+    print(f"\nCampaign over {len(scope.benches)} modules "
+          f"-> {result.stored_at}/")
+    for line in result.summary_lines():
+        print(line)
+    if chaos is not None:
+        print(f"chaos faults injected: {result.chaos_faults_injected}")
+    return 0 if result.succeeded else 1
+
+
 def _cmd_besttiming(args: argparse.Namespace) -> int:
     from .characterization.timing_search import (
         best_activation_timing,
@@ -309,6 +348,35 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--hex", action="store_true",
                      help="print the bits as hex")
     sub.set_defaults(handler=_cmd_trng)
+
+    sub = subparsers.add_parser(
+        "campaign",
+        help="failure-isolated multi-figure sweep with checkpoint/resume",
+    )
+    _add_scale_arguments(sub)
+    sub.add_argument(
+        "--experiments", nargs="+", default=["fig3", "fig6", "fig10"],
+        help="figure ids to run (default: fig3 fig6 fig10)",
+    )
+    sub.add_argument("--results-dir", default="campaign_results",
+                     help="ResultStore directory (default campaign_results)")
+    sub.add_argument("--resume", action="store_true",
+                     help="skip figures the store manifest records as done")
+    sub.add_argument("--retries", type=int, default=3,
+                     help="max attempts per experiment on transient faults")
+    sub.add_argument("--backoff-s", type=float, default=0.05,
+                     help="base exponential-backoff delay in seconds")
+    sub.add_argument("--time-budget-s", type=float, default=None,
+                     help="per-experiment wall-clock retry budget")
+    sub.add_argument("--chaos", action="store_true",
+                     help="inject seeded transient rig faults (soak test)")
+    sub.add_argument("--chaos-rate", type=float, default=0.05,
+                     help="per-opportunity fault rate for every kind")
+    sub.add_argument("--chaos-seed", type=int, default=7,
+                     help="chaos schedule seed")
+    sub.add_argument("--chaos-max-faults", type=int, default=4,
+                     help="cap on injected faults per kind")
+    sub.set_defaults(handler=_cmd_campaign)
 
     sub = subparsers.add_parser(
         "besttiming", help="search the issueable (t1, t2) grid"

@@ -75,6 +75,19 @@ class SimulationConfig:
         """Functional-only device: every cell computes perfectly."""
         return cls(seed=seed, columns_per_row=512, functional_only=True)
 
+    def fingerprint(self) -> dict:
+        """Stable identity of this configuration.
+
+        Campaign manifests store this so a ``--resume`` run can refuse
+        to mix results produced under a different seed or scale.
+        """
+        return {
+            "seed": self.seed,
+            "columns_per_row": self.columns_per_row,
+            "trials_per_test": self.trials_per_test,
+            "functional_only": self.functional_only,
+        }
+
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy with a different master seed."""
         return replace(self, seed=seed)

@@ -91,6 +91,19 @@ class FaultInjector:
         self.plant(planted)
         return planted
 
+    def uninstall(self) -> None:
+        """Remove the write-path hook (idempotent).
+
+        Already-pinned cell values persist until rewritten; planting
+        again re-installs the hook.
+        """
+        if not self._installed:
+            return
+        # The hook shadows the bound method as an instance attribute;
+        # deleting it restores the class's write path.
+        del self._subarray.cells.write_levels
+        self._installed = False
+
     def _install(self) -> None:
         if self._installed:
             return

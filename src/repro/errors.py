@@ -42,6 +42,40 @@ class InfrastructureError(SimraError):
     supply) was used outside its operating envelope."""
 
 
+class TransientInfrastructureError(InfrastructureError):
+    """A *transient* infrastructure fault: the kind of glitch a multi-hour
+    lab campaign sees on a real rig (a dropped FPGA transfer, a flaky
+    readback, a thermal chamber excursion, a supply brownout).  Retrying
+    the operation after the rig recovers is expected to succeed, so the
+    campaign executor retries these and only these."""
+
+
+class ProgramTransferError(TransientInfrastructureError):
+    """A command program was dropped on its way to the FPGA and never
+    replayed; the device state is untouched."""
+
+
+class ReadbackCorruptionError(TransientInfrastructureError):
+    """A readback transfer failed the host-side integrity check; the data
+    in the DRAM cells is fine, only the copy on the wire was damaged."""
+
+
+class ThermalExcursionError(TransientInfrastructureError):
+    """The thermal chamber drifted off the setpoint instead of settling;
+    the module is at an uncontrolled temperature until re-settled."""
+
+
+class VppBrownoutError(TransientInfrastructureError):
+    """The VPP rail sagged while being programmed; the module sees a
+    below-envelope wordline voltage until the supply is reprogrammed."""
+
+
 class ExperimentError(SimraError):
     """An experiment was configured inconsistently (e.g. asking for more
     row groups than a subarray can provide)."""
+
+
+class ResultCorruptionError(ExperimentError):
+    """A stored result or manifest file is truncated or not valid JSON
+    (e.g. a campaign was killed mid-write before writes became atomic,
+    or the file was damaged on disk)."""

@@ -1,0 +1,176 @@
+"""Tests for the chaos engine, proxies, and harness."""
+
+import numpy as np
+import pytest
+
+from repro.bender.program import ProgramBuilder
+from repro.chaos import (
+    ChaosConfig,
+    ChaosEngine,
+    ChaosHarness,
+    FaultKind,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProgramTransferError,
+    ReadbackCorruptionError,
+    ThermalExcursionError,
+    VppBrownoutError,
+)
+
+
+def nop_program():
+    return ProgramBuilder().nop().build()
+
+
+class TestConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(program_drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(vpp_brownout_rate=-0.1)
+
+    def test_cap_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(max_faults_per_kind=-1)
+
+    def test_burst_profile(self):
+        config = ChaosConfig.burst(seed=3)
+        assert config.max_faults_per_kind == 1
+        for kind in FaultKind:
+            assert config.rate_for(kind) == 1.0
+
+    def test_light_profile(self):
+        config = ChaosConfig.light(seed=3, rate=0.1)
+        for kind in FaultKind:
+            assert config.rate_for(kind) == 0.1
+
+
+class TestEngine:
+    def test_deterministic_schedule(self):
+        config = ChaosConfig.light(seed=9, rate=0.5, max_faults_per_kind=100)
+        first = ChaosEngine(config)
+        second = ChaosEngine(config)
+        pattern_a = [first.should_fire(FaultKind.PROGRAM_DROP) for _ in range(50)]
+        pattern_b = [second.should_fire(FaultKind.PROGRAM_DROP) for _ in range(50)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_different_seeds_differ(self):
+        fires = []
+        for seed in (1, 2):
+            engine = ChaosEngine(
+                ChaosConfig.light(seed=seed, rate=0.5, max_faults_per_kind=100)
+            )
+            fires.append(
+                [engine.should_fire(FaultKind.VPP_BROWNOUT) for _ in range(64)]
+            )
+        assert fires[0] != fires[1]
+
+    def test_cap_limits_injections(self):
+        engine = ChaosEngine(ChaosConfig.burst(seed=1))
+        fired = [engine.should_fire(FaultKind.PROGRAM_DROP) for _ in range(5)]
+        assert fired == [True, False, False, False, False]
+        stats = engine.stats
+        assert stats.injected["program-drop"] == 1
+        assert stats.opportunities["program-drop"] == 5
+
+    def test_zero_rate_never_fires(self):
+        engine = ChaosEngine(ChaosConfig(seed=1))
+        assert not any(
+            engine.should_fire(FaultKind.THERMAL_EXCURSION) for _ in range(100)
+        )
+
+    def test_total_injected(self):
+        engine = ChaosEngine(ChaosConfig.burst(seed=1))
+        for kind in FaultKind:
+            engine.should_fire(kind)
+        assert engine.stats.total_injected == len(FaultKind)
+
+
+class TestProxies:
+    @pytest.fixture()
+    def chaotic_bench(self, bench_h):
+        harness = ChaosHarness(ChaosConfig.burst(seed=4))
+        harness.install(bench_h)
+        yield bench_h, harness
+        harness.uninstall()
+
+    def test_program_drop_then_recovery(self, chaotic_bench):
+        bench, _ = chaotic_bench
+        with pytest.raises(ProgramTransferError):
+            bench.run(nop_program())
+        # The burst cap is 1 per kind; readback corruption fires on the
+        # first successful replay, then the rig is clean.
+        with pytest.raises(ReadbackCorruptionError):
+            bench.run(nop_program())
+        result = bench.run(nop_program())
+        assert result.duration_ns >= 0.0
+
+    def test_thermal_excursion_perturbs_then_recovers(self, chaotic_bench):
+        bench, harness = chaotic_bench
+        with pytest.raises(ThermalExcursionError):
+            bench.set_temperature(60.0)
+        off_target = bench.module.temperature_c
+        assert off_target == pytest.approx(
+            60.0 + harness.config.thermal_excursion_c
+        )
+        bench.set_temperature(60.0)  # retry settles cleanly
+        assert bench.module.temperature_c == pytest.approx(60.0)
+
+    def test_vpp_brownout_perturbs_then_recovers(self, chaotic_bench):
+        bench, harness = chaotic_bench
+        with pytest.raises(VppBrownoutError):
+            bench.set_vpp(2.4)
+        assert bench.module.vpp == pytest.approx(
+            harness.config.vpp_brownout_volts
+        )
+        bench.set_vpp(2.4)
+        assert bench.module.vpp == pytest.approx(2.4)
+
+    def test_readback_corruption_leaves_cells_intact(self, bench_h):
+        harness = ChaosHarness(
+            ChaosConfig(seed=4, readback_corruption_rate=1.0,
+                        max_faults_per_kind=1)
+        )
+        columns = bench_h.module.config.columns_per_row
+        pattern = (np.arange(columns) % 2).astype(np.uint8)
+        bench_h.host.initialize_rows(0, {3: pattern})
+        with harness.installed([bench_h]):
+            with pytest.raises(ReadbackCorruptionError):
+                bench_h.host.read_rows(0, [3])
+            clean = bench_h.host.read_rows(0, [3])
+        assert np.array_equal(clean[3], pattern)
+
+
+class TestHarness:
+    def test_install_uninstall_restores_components(self, bench_h):
+        originals = (bench_h.bender, bench_h.host, bench_h.thermal,
+                     bench_h.supply)
+        harness = ChaosHarness(ChaosConfig.burst(seed=2))
+        harness.install(bench_h)
+        assert bench_h.bender is not originals[0]
+        assert harness.installed_benches == 1
+        harness.uninstall()
+        assert (bench_h.bender, bench_h.host, bench_h.thermal,
+                bench_h.supply) == originals
+        assert harness.installed_benches == 0
+
+    def test_install_is_idempotent(self, bench_h):
+        harness = ChaosHarness(ChaosConfig.burst(seed=2))
+        harness.install(bench_h)
+        wrapped = bench_h.bender
+        harness.install(bench_h)  # must not double-wrap
+        assert bench_h.bender is wrapped
+        harness.uninstall()
+        assert type(bench_h.bender).__name__ == "DramBender"
+
+    def test_wrapping_preserves_rig_state(self, bench_h):
+        bench_h.set_vpp(2.3)
+        bench_h.set_temperature(70.0)
+        harness = ChaosHarness(ChaosConfig(seed=2))  # all rates zero
+        with harness.installed([bench_h]):
+            assert bench_h.supply.volts == pytest.approx(2.3)
+            assert bench_h.thermal.target_c == pytest.approx(70.0)
+            bench_h.run(nop_program())
+        assert bench_h.module.vpp == pytest.approx(2.3)

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.characterization.stats import summarize
-from repro.characterization.store import ResultStore
+from repro.characterization.store import CampaignManifest, ResultStore
 from repro.config import SimulationConfig
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ResultCorruptionError
 
 
 @pytest.fixture()
@@ -76,3 +76,78 @@ class TestValidation:
         path.write_text(document)
         with pytest.raises(ExperimentError):
             store.load("versioned")
+
+
+class TestAtomicityAndCorruption:
+    def test_truncated_file_raises_clear_error(self, store):
+        path = store.save("partial", {"x": 1})
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(ResultCorruptionError) as excinfo:
+            store.load("partial")
+        assert "partial" in str(excinfo.value)
+        with pytest.raises(ResultCorruptionError):
+            store.metadata("partial")
+        # Still a single-clause catch for library users.
+        with pytest.raises(ExperimentError):
+            store.load("partial")
+
+    def test_non_document_json_rejected(self, store):
+        path = store.save("weird", 1)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ResultCorruptionError):
+            store.load("weird")
+
+    def test_no_temp_files_left_behind(self, store):
+        store.save("a", {"x": 1})
+        store.save("a", {"x": 2})  # overwrite is also atomic
+        leftovers = [p.name for p in store.directory.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert store.load("a") == {"x": 2}
+
+    def test_failed_write_leaves_old_result_intact(self, store):
+        store.save("keep", {"x": 1})
+        with pytest.raises(ExperimentError):
+            store.save("keep", {"bad": lambda: None})
+        assert store.load("keep") == {"x": 1}
+
+    def test_has(self, store):
+        assert not store.has("thing")
+        store.save("thing", 1)
+        assert store.has("thing")
+
+
+class TestManifest:
+    def test_roundtrip(self, store):
+        manifest = CampaignManifest(
+            planned=["fig3", "fig6"],
+            completed=["fig3"],
+            fingerprint={"seed": 43},
+        )
+        store.save_manifest(manifest)
+        loaded = store.load_manifest()
+        assert loaded == manifest
+
+    def test_absent_manifest_is_none(self, store):
+        assert store.load_manifest() is None
+
+    def test_manifest_excluded_from_names(self, store):
+        store.save("fig3", 1)
+        store.save_manifest(CampaignManifest(planned=["fig3"]))
+        assert store.names() == ["fig3"]
+
+    def test_manifest_name_reserved_for_results(self, store):
+        with pytest.raises(ExperimentError):
+            store.save("campaign-manifest", 1)
+
+    def test_corrupt_manifest_raises(self, store):
+        store.save_manifest(CampaignManifest(planned=["fig3"]))
+        store.manifest_path.write_text('{"planned": [')
+        with pytest.raises(ResultCorruptionError):
+            store.load_manifest()
+
+    def test_clear_manifest(self, store):
+        store.save_manifest(CampaignManifest(planned=["fig3"]))
+        store.clear_manifest()
+        assert store.load_manifest() is None
+        store.clear_manifest()  # idempotent

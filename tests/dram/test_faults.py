@@ -43,9 +43,62 @@ class TestPlanting:
         with pytest.raises(ConfigurationError):
             injector.plant([StuckFault(row=10_000, column=0, stuck_value=1)])
 
+    def test_out_of_range_column_rejected(self, subarray):
+        injector = FaultInjector(subarray)
+        with pytest.raises(ConfigurationError):
+            injector.plant(
+                [StuckFault(row=0, column=subarray.columns, stuck_value=1)]
+            )
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StuckFault(row=-1, column=0, stuck_value=1)
+
     def test_bad_value_rejected(self):
         with pytest.raises(ConfigurationError):
             StuckFault(row=0, column=0, stuck_value=2)
+
+    def test_duplicate_coordinates_last_wins(self, subarray):
+        injector = FaultInjector(subarray)
+        injector.plant([StuckFault(row=3, column=5, stuck_value=1)])
+        injector.plant([StuckFault(row=3, column=5, stuck_value=0)])
+        assert injector.faults == [StuckFault(row=3, column=5, stuck_value=0)]
+        subarray.write_row_bits(3, np.ones(subarray.columns, dtype=np.uint8))
+        assert subarray.cells.read_bits(3)[5] == 0
+
+
+class TestInstallLifecycle:
+    def test_install_is_idempotent(self, subarray):
+        injector = FaultInjector(subarray)
+        injector.plant([StuckFault(row=1, column=1, stuck_value=1)])
+        hook = subarray.cells.write_levels
+        injector.plant([StuckFault(row=2, column=2, stuck_value=0)])
+        # The second plant reuses the installed hook, no double wrap.
+        assert subarray.cells.write_levels is hook
+
+    def test_uninstall_restores_write_path(self, subarray):
+        injector = FaultInjector(subarray)
+        injector.plant([StuckFault(row=3, column=5, stuck_value=1)])
+        injector.uninstall()
+        subarray.write_row_bits(3, np.zeros(subarray.columns, dtype=np.uint8))
+        assert subarray.cells.read_bits(3)[5] == 0  # no longer pinned
+
+    def test_uninstall_is_idempotent(self, subarray):
+        injector = FaultInjector(subarray)
+        injector.uninstall()  # nothing installed yet: a no-op
+        injector.plant([StuckFault(row=3, column=5, stuck_value=1)])
+        injector.uninstall()
+        injector.uninstall()
+        subarray.write_row_bits(3, np.zeros(subarray.columns, dtype=np.uint8))
+        assert subarray.cells.read_bits(3)[5] == 0
+
+    def test_replant_after_uninstall_reinstalls(self, subarray):
+        injector = FaultInjector(subarray)
+        injector.plant([StuckFault(row=3, column=5, stuck_value=1)])
+        injector.uninstall()
+        injector.plant([StuckFault(row=3, column=5, stuck_value=1)])
+        subarray.write_row_bits(3, np.zeros(subarray.columns, dtype=np.uint8))
+        assert subarray.cells.read_bits(3)[5] == 1
 
 
 class TestRandomPlanting:

@@ -86,3 +86,31 @@ class TestCommands:
         ]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines[-1]) == 16  # 64 bits = 8 bytes = 16 hex chars
+
+
+class TestCampaignCommand:
+    CAMPAIGN_SCALE = ["--columns", "64", "--groups", "1", "--trials", "2"]
+
+    def test_campaign_with_chaos_then_resume(self, capsys, tmp_path):
+        results_dir = str(tmp_path / "results")
+        assert main([
+            "campaign", "--experiments", "fig4a",
+            *self.CAMPAIGN_SCALE,
+            "--results-dir", results_dir,
+            "--retries", "12", "--backoff-s", "0.001",
+            "--chaos", "--chaos-rate", "0.2", "--chaos-seed", "11",
+            "--chaos-max-faults", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a: done" in out
+        assert "chaos faults injected:" in out
+
+        assert main([
+            "campaign", "--experiments", "fig4a",
+            *self.CAMPAIGN_SCALE,
+            "--results-dir", results_dir,
+            "--resume",
+        ]) == 0
+        assert "fig4a: skipped (already completed, resumed)" in (
+            capsys.readouterr().out
+        )

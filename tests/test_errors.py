@@ -1,0 +1,76 @@
+"""Tests for the exception hierarchy contract.
+
+Every error the library raises must be catchable with a single
+``except SimraError`` clause, and the transient branch must stay a
+strict subset of the infrastructure branch (the campaign executor
+retries exactly that branch).
+"""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import (
+    ExperimentError,
+    InfrastructureError,
+    ProgramTransferError,
+    ReadbackCorruptionError,
+    ResultCorruptionError,
+    SimraError,
+    ThermalExcursionError,
+    TransientInfrastructureError,
+    VppBrownoutError,
+)
+
+
+def all_error_classes():
+    return [
+        obj
+        for _, obj in sorted(vars(errors).items())
+        if inspect.isclass(obj) and issubclass(obj, Exception)
+    ]
+
+
+def test_hierarchy_is_nonempty_and_known():
+    names = {cls.__name__ for cls in all_error_classes()}
+    assert {"SimraError", "ConfigurationError", "TransientInfrastructureError",
+            "ResultCorruptionError"} <= names
+
+
+@pytest.mark.parametrize(
+    "cls", all_error_classes(), ids=lambda cls: cls.__name__
+)
+def test_every_class_derives_from_simra_error(cls):
+    assert issubclass(cls, SimraError)
+
+
+@pytest.mark.parametrize(
+    "cls", all_error_classes(), ids=lambda cls: cls.__name__
+)
+def test_every_class_catchable_as_simra_error(cls):
+    with pytest.raises(SimraError):
+        raise cls("synthetic")
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [
+        ProgramTransferError,
+        ReadbackCorruptionError,
+        ThermalExcursionError,
+        VppBrownoutError,
+    ],
+    ids=lambda cls: cls.__name__,
+)
+def test_transient_faults_are_retryable_infrastructure_errors(cls):
+    assert issubclass(cls, TransientInfrastructureError)
+    assert issubclass(cls, InfrastructureError)
+
+
+def test_result_corruption_is_an_experiment_error():
+    assert issubclass(ResultCorruptionError, ExperimentError)
+
+
+def test_non_transient_infrastructure_error_is_not_retryable():
+    assert not issubclass(InfrastructureError, TransientInfrastructureError)

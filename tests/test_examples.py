@@ -6,6 +6,7 @@ directory (some examples write result files) and must exit cleanly
 with its headline output present.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,6 +14,17 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def _example_env():
+    """Subprocess environment with the library importable from src/."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) + (os.pathsep + existing if existing else "")
+    )
+    return env
 
 EXPECTED_MARKERS = {
     "quickstart.py": "Multi-RowCopy",
@@ -46,6 +58,7 @@ def test_example_runs_clean(name, tmp_path):
         text=True,
         cwd=tmp_path,
         timeout=300,
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert EXPECTED_MARKERS[name] in completed.stdout, (
