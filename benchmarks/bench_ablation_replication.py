@@ -14,27 +14,35 @@ import numpy as np
 from _common import emit, env_int, make_config, run_once
 
 from repro.bender.testbench import TestBench
-from repro.core.majority import execute_majx, plan_majx
-from repro.core.patterns import PATTERN_RANDOM
+from repro.characterization.experiment import OperatingPoint
 from repro.core.rowgroups import sample_groups
-from repro.core.success import SuccessRateAccumulator
 from repro.dram.vendor import TESTED_MODULES
+from repro.engine import BatchedExecutor, MajXKernel, TrialPlan, TrialTask
 
 
 def _measure(bench, groups, replicas, trials, columns):
-    rates = []
-    for group in groups:
-        plan = plan_majx(3, group, replicas=replicas)
-        accumulator = SuccessRateAccumulator(columns)
-        for trial in range(trials):
-            operands = [
-                PATTERN_RANDOM.operand_bits(columns, i, "ablation", trial)
-                for i in range(3)
-            ]
-            result = execute_majx(bench, 0, plan, operands)
-            accumulator.record(result.correct)
-        rates.append(accumulator.success_rate)
-    return float(np.mean(rates))
+    tasks = [
+        TrialTask(
+            index=i,
+            bench_index=0,
+            serial=bench.module.serial,
+            bank=0,
+            subarray=group.subarray,
+            group=group,
+            trials=trials,
+            cells=columns,
+        )
+        for i, group in enumerate(groups)
+    ]
+    plan = TrialPlan(
+        name=f"ablation-maj3-r{replicas}",
+        kernel=MajXKernel(3, replicas=replicas),
+        point=OperatingPoint(t1_ns=1.5, t2_ns=3.0),
+        tasks=tasks,
+        benches=[bench],
+    )
+    result = BatchedExecutor().run(plan)
+    return float(np.mean(result.rates()))
 
 
 def bench_ablation_input_replication(benchmark):

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Engine benchmark entry point.
+
+Times the representative figure sweep on every executor, verifies the
+determinism contract, and writes ``BENCH_engine.json`` at the
+repository root (the CI artifact).  Equivalent to ``simra-dram bench``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --columns 512 --trials 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.benchmark import run_engine_benchmark, write_benchmark_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--columns", type=int, default=256)
+    parser.add_argument("--groups", type=int, default=2)
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--executors", nargs="+", default=["serial", "parallel", "batched"],
+        choices=("serial", "parallel", "batched"),
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_engine.json")
+    )
+    args = parser.parse_args(argv)
+
+    report = run_engine_benchmark(
+        columns=args.columns,
+        groups_per_size=args.groups,
+        trials=args.trials,
+        seed=args.seed,
+        executors=args.executors,
+        jobs=args.jobs,
+    )
+    path = write_benchmark_json(report, Path(args.output))
+    for line in report.summary_lines():
+        print(line)
+    print(f"wrote {path}")
+    if not report.identical:
+        return 1
+    faster = any(
+        report.speedup.get(name, 0.0) > 1.0
+        for name in ("parallel", "batched")
+        if name in report.wall_s
+    )
+    return 0 if faster or len(report.wall_s) < 2 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

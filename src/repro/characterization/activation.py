@@ -1,15 +1,15 @@
 """Section 4: characterization of simultaneous many-row activation.
 
 Reproduces the data behind Fig 3 (timing grid), Fig 4a (temperature),
-and Fig 4b (wordline voltage).
+and Fig 4b (wordline voltage).  The sweep itself runs on the trial
+engine: this module only builds the :class:`~repro.engine.TrialPlan`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..core.operations import simultaneous_activation_test
-from ..core.success import SuccessRateAccumulator
+from ..engine import ActivationKernel, ExecutorBase, TrialPlan, run_plan, tasks_for_scope
 from .experiment import CharacterizationScope, OperatingPoint
 from .stats import DistributionSummary, summarize
 
@@ -24,10 +24,31 @@ FIG4_TEMPERATURES = (50.0, 60.0, 70.0, 80.0, 90.0)
 FIG4_VPP_LEVELS = (2.5, 2.4, 2.3, 2.2, 2.1)
 
 
+def build_activation_plan(
+    scope: CharacterizationScope,
+    n_rows: int,
+    point: OperatingPoint,
+) -> TrialPlan:
+    """The N-row activation sweep as a declarative plan."""
+    tasks = tasks_for_scope(
+        scope,
+        n_rows,
+        lambda bench: n_rows * bench.module.config.columns_per_row,
+    )
+    return TrialPlan(
+        name=f"activation-{n_rows}",
+        kernel=ActivationKernel(),
+        point=point,
+        tasks=tasks,
+        benches=list(scope.benches),
+    )
+
+
 def activation_success_distribution(
     scope: CharacterizationScope,
     n_rows: int,
     point: OperatingPoint,
+    executor: Optional[ExecutorBase] = None,
 ) -> DistributionSummary:
     """Success-rate distribution of N-row activation across all groups.
 
@@ -35,25 +56,8 @@ def activation_success_distribution(
     -> WR -> readback); the group's success rate is the fraction of
     its cells that hold the WR data in *every* trial.
     """
-    scope.apply_environment(point)
-    rates: List[float] = []
-    for bench, bank, subarray in scope.iter_sites():
-        columns = bench.module.config.columns_per_row
-        for group in scope.groups_for(bench, bank, subarray, n_rows):
-            accumulator = SuccessRateAccumulator(group.size * columns)
-            for trial in range(scope.trials):
-                result = simultaneous_activation_test(
-                    bench,
-                    bank,
-                    group,
-                    t1_ns=point.t1_ns,
-                    t2_ns=point.t2_ns,
-                    pattern=point.pattern,
-                    trial=trial,
-                )
-                accumulator.record(result.flattened())
-            rates.append(accumulator.success_rate)
-    return summarize(rates)
+    result = run_plan(build_activation_plan(scope, n_rows, point), executor)
+    return summarize(result.rates())
 
 
 def figure3_timing_grid(
@@ -61,6 +65,7 @@ def figure3_timing_grid(
     sizes: Sequence[int] = ACTIVATION_SIZES,
     t1_values: Sequence[float] = FIG3_T1_VALUES,
     t2_values: Sequence[float] = FIG3_T2_VALUES,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[Tuple[float, float], Dict[int, DistributionSummary]]:
     """Fig 3: success distributions over the (t1, t2) grid and sizes."""
     grid: Dict[Tuple[float, float], Dict[int, DistributionSummary]] = {}
@@ -68,7 +73,7 @@ def figure3_timing_grid(
         for t2 in t2_values:
             point = OperatingPoint(t1_ns=t1, t2_ns=t2)
             grid[(t1, t2)] = {
-                n: activation_success_distribution(scope, n, point)
+                n: activation_success_distribution(scope, n, point, executor)
                 for n in sizes
             }
     return grid
@@ -78,13 +83,14 @@ def figure4a_temperature(
     scope: CharacterizationScope,
     sizes: Sequence[int] = ACTIVATION_SIZES,
     temperatures: Sequence[float] = FIG4_TEMPERATURES,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 4a: average success rate vs temperature (best timings)."""
     result: Dict[float, Dict[int, float]] = {}
     for temp in temperatures:
         point = OperatingPoint(temperature_c=temp)
         result[temp] = {
-            n: activation_success_distribution(scope, n, point).mean
+            n: activation_success_distribution(scope, n, point, executor).mean
             for n in sizes
         }
     return result
@@ -94,13 +100,14 @@ def figure4b_voltage(
     scope: CharacterizationScope,
     sizes: Sequence[int] = ACTIVATION_SIZES,
     vpp_levels: Sequence[float] = FIG4_VPP_LEVELS,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 4b: average success rate vs wordline voltage (best timings)."""
     result: Dict[float, Dict[int, float]] = {}
     for vpp in vpp_levels:
         point = OperatingPoint(vpp=vpp)
         result[vpp] = {
-            n: activation_success_distribution(scope, n, point).mean
+            n: activation_success_distribution(scope, n, point, executor).mean
             for n in sizes
         }
     return result

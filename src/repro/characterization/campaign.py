@@ -141,6 +141,9 @@ class CampaignResult:
     stored_at: Optional[Path] = None
     data: Dict[str, object] = field(default_factory=dict)
     chaos_faults_injected: int = 0
+    engine_stats: Optional[Dict[str, object]] = None
+    """Cumulative :class:`~repro.engine.EngineMetrics` of the campaign's
+    executor (``None`` when the campaign ran without one)."""
 
     @property
     def succeeded(self) -> bool:
@@ -176,6 +179,7 @@ class Campaign:
         chaos: Optional["ChaosConfig"] = None,  # noqa: F821
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        executor: Optional["ExecutorBase"] = None,  # noqa: F821
     ):
         if time_budget_s is not None and time_budget_s <= 0:
             raise ConfigurationError("time budget must be positive")
@@ -186,6 +190,7 @@ class Campaign:
         self._chaos = chaos
         self._sleep = sleep
         self._clock = clock
+        self._executor = executor
 
     @property
     def scope(self) -> CharacterizationScope:
@@ -230,6 +235,17 @@ class Campaign:
 
             harness = ChaosHarness(self._chaos)
             harness.install_all(self._scope.benches)
+        # Process-pool executors re-run plans in worker processes where
+        # the main harness's proxies don't reach; hand them the chaos
+        # profile so injection composes with sharded execution too.
+        executor_chaos_restore = None
+        if (
+            self._chaos is not None
+            and self._executor is not None
+            and hasattr(self._executor, "chaos")
+        ):
+            executor_chaos_restore = (self._executor, self._executor.chaos)
+            self._executor.chaos = self._chaos
         try:
             for name in experiments:
                 if name in result.skipped:
@@ -257,6 +273,18 @@ class Campaign:
             if harness is not None:
                 result.chaos_faults_injected = harness.engine.stats.total_injected
                 harness.uninstall()
+            if executor_chaos_restore is not None:
+                executor, previous = executor_chaos_restore
+                executor.chaos = previous
+        if self._executor is not None:
+            result.engine_stats = self._executor.metrics.as_dict()
+            if self._store is not None:
+                self._store.save(
+                    "engine-stats",
+                    result.engine_stats,
+                    config=config,
+                    notes="trial-engine metrics for this campaign",
+                )
         if self._store is not None:
             result.stored_at = self._store.directory
         return result
@@ -315,6 +343,14 @@ class Campaign:
         while True:
             attempt += 1
             try:
+                # Only pass the executor when one was configured: tests
+                # monkeypatch EXPERIMENTS with single-argument callables
+                # and the default call signature must keep working.
+                if self._executor is not None:
+                    return (
+                        EXPERIMENTS[name](self._scope, executor=self._executor),
+                        attempt,
+                    )
                 return EXPERIMENTS[name](self._scope), attempt
             except TransientInfrastructureError as exc:
                 elapsed = self._clock() - started

@@ -12,15 +12,12 @@ from the asymptote their trial budget leaves them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from ..core.majority import execute_majx, plan_majx
-from ..core.success import SuccessRateAccumulator
+from ..engine import ExecutorBase, checkpoint_means, run_plan
 from ..errors import ExperimentError
 from .experiment import CharacterizationScope, OperatingPoint
-from .majority import MAJX_POINT
+from .majority import MAJX_POINT, build_majx_plan
 
 
 def majx_convergence_curve(
@@ -29,6 +26,7 @@ def majx_convergence_curve(
     n_rows: int,
     trial_checkpoints: Sequence[int] = (1, 2, 4, 8, 16, 32),
     point: OperatingPoint = MAJX_POINT,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[int, float]:
     """Mean measured success after T trials, for several T.
 
@@ -38,36 +36,17 @@ def majx_convergence_curve(
     if not trial_checkpoints:
         raise ExperimentError("need at least one checkpoint")
     checkpoints = sorted(set(trial_checkpoints))
+    if checkpoints[0] < 1:
+        raise ExperimentError("checkpoints must be positive trial counts")
     max_trials = checkpoints[-1]
-    scope.apply_environment(point)
-    per_checkpoint: Dict[int, List[float]] = {t: [] for t in checkpoints}
-    for bench, bank, subarray in scope.iter_sites():
-        profile = bench.module.profile
-        if profile.max_reliable_majx < x:
-            continue
-        columns = bench.module.config.columns_per_row
-        for group in scope.groups_for(bench, bank, subarray, n_rows):
-            plan = plan_majx(x, group)
-            accumulator = SuccessRateAccumulator(columns)
-            for trial in range(max_trials):
-                operands = [
-                    point.pattern.operand_bits(
-                        columns, op, bench.module.serial, bank, trial
-                    )
-                    for op in range(x)
-                ]
-                outcome = execute_majx(
-                    bench, bank, plan, operands,
-                    t1_ns=point.t1_ns, t2_ns=point.t2_ns,
-                )
-                accumulator.record(outcome.correct)
-                if (trial + 1) in per_checkpoint:
-                    per_checkpoint[trial + 1].append(accumulator.success_rate)
-    if not per_checkpoint[checkpoints[0]]:
-        raise ExperimentError(f"no module in scope supports MAJ{x}")
-    return {
-        t: float(np.mean(values)) for t, values in per_checkpoint.items()
-    }
+    plan = build_majx_plan(
+        scope, x, n_rows, point,
+        trials=max_trials,
+        checkpoints=tuple(checkpoints),
+        empty_message=f"no module in scope supports MAJ{x}",
+    )
+    result = run_plan(plan, executor)
+    return checkpoint_means(result, checkpoints)
 
 
 def overestimate_at(

@@ -11,15 +11,16 @@ APA, and count any bystander bit that ever changed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..bender.program import apa_program
 from ..bender.testbench import TestBench
 from ..core.patterns import DataPattern, PATTERN_RANDOM
 from ..core.rowgroups import RowGroup
+from ..engine import DisturbanceKernel, ExecutorBase, TrialPlan, TrialTask, run_plan
 from ..errors import ExperimentError
+from .experiment import OperatingPoint
 
 
 @dataclass(frozen=True)
@@ -65,53 +66,62 @@ def disturbance_check(
     t1_ns: float = 1.5,
     t2_ns: float = 3.0,
     pattern: DataPattern = PATTERN_RANDOM,
+    executor: Optional[ExecutorBase] = None,
 ) -> DisturbanceReport:
     """Hammer one APA row group and audit the bystanders.
 
     The activated rows are re-initialized per trial (their content is
     consumed by the operation); the bystanders are written once and
-    must hold their exact data through every trial.
+    must hold their exact data through every trial -- a rotating probe
+    checks one bystander per trial and a full read-back audit runs at
+    the end.  ``flipped_bits`` counts bystander cells that were ever
+    observed flipped.  The operating point is built from the bench's
+    *current* temperature and VPP: a disturbance check never re-drives
+    the rig environment.
     """
     if trials < 1:
         raise ExperimentError("trials must be positive")
-    profile = bench.module.profile
-    subarray_rows = profile.subarray_rows
-    device_bank = bench.module.bank(bank)
-    columns = bench.module.config.columns_per_row
-
+    module = bench.module
+    subarray_rows = module.profile.subarray_rows
+    columns = module.config.columns_per_row
     bystanders = bystander_rows_for(group, subarray_rows)
-    reference: Dict[int, np.ndarray] = {}
-    for row in bystanders:
-        bits = pattern.row_bits(columns, "disturb-bystander", row)
-        device_bank.write_row(row, bits)
-        reference[row] = bits
-
-    rf_global, rs_global = group.global_pair(subarray_rows)
-    flipped_bits = 0
-    flipped_rows = set()
-    for trial in range(trials):
-        for global_row in group.global_rows(subarray_rows):
-            device_bank.write_row(
-                global_row,
-                pattern.row_bits(columns, "disturb-active", global_row, trial),
-            )
-        bench.run(apa_program(bank, rf_global, rs_global, t1_ns, t2_ns))
-        # Audit a rotating subset each trial plus a full audit at the
-        # end, mirroring how long hammer campaigns batch their checks.
-        probe = bystanders[trial % len(bystanders)]
-        flips = int(np.sum(device_bank.read_row(probe) != reference[probe]))
-        if flips:
-            flipped_bits += flips
-            flipped_rows.add(probe)
-    for row in bystanders:
-        flips = int(np.sum(device_bank.read_row(row) != reference[row]))
-        if flips:
-            flipped_bits += flips
-            flipped_rows.add(row)
+    kernel = DisturbanceKernel(pattern=pattern, bystanders=tuple(bystanders))
+    point = OperatingPoint(
+        t1_ns=t1_ns,
+        t2_ns=t2_ns,
+        temperature_c=module.temperature_c,
+        vpp=module.vpp,
+        pattern=pattern,
+    )
+    task = TrialTask(
+        index=0,
+        bench_index=0,
+        serial=module.serial,
+        bank=bank,
+        subarray=group.subarray,
+        group=group,
+        trials=trials,
+        cells=len(bystanders) * columns,
+    )
+    plan = TrialPlan(
+        name="disturbance",
+        kernel=kernel,
+        point=point,
+        tasks=[task],
+        benches=[bench],
+        apply_environment=False,
+    )
+    result = run_plan(plan, executor)
+    mask = result.outcomes[0].mask.reshape(len(bystanders), columns)
+    flipped_rows = tuple(
+        int(row)
+        for row, row_mask in zip(bystanders, mask)
+        if not bool(np.all(row_mask))
+    )
     return DisturbanceReport(
         group=group,
         trials=trials,
         bystander_rows=tuple(bystanders),
-        flipped_bits=flipped_bits,
-        flipped_rows=tuple(sorted(flipped_rows)),
+        flipped_bits=int(np.sum(~mask)),
+        flipped_rows=flipped_rows,
     )

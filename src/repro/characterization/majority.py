@@ -2,15 +2,16 @@
 
 Reproduces the data behind Fig 6 (MAJ3 timing/size grid), Fig 7
 (MAJX vs data pattern), Fig 8 (temperature), and Fig 9 (voltage).
+The sweep itself runs on the trial engine: this module only builds
+the :class:`~repro.engine.TrialPlan`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..core.majority import execute_majx, plan_majx
 from ..core.patterns import DataPattern, MAJX_TESTED_PATTERNS
-from ..core.success import SuccessRateAccumulator
+from ..engine import ExecutorBase, MajXKernel, TrialPlan, run_plan, tasks_for_scope
 from ..errors import ExperimentError
 from .experiment import CharacterizationScope, OperatingPoint
 from .stats import DistributionSummary, summarize
@@ -36,48 +37,62 @@ def majx_sizes_for(x: int, sizes: Sequence[int] = MAJ_SIZES) -> Tuple[int, ...]:
     return tuple(n for n in sizes if n >= x)
 
 
+def build_majx_plan(
+    scope: CharacterizationScope,
+    x: int,
+    n_rows: int,
+    point: OperatingPoint,
+    trials: Optional[int] = None,
+    checkpoints: Tuple[int, ...] = (),
+    empty_message: Optional[str] = None,
+) -> TrialPlan:
+    """The MAJX sweep as a declarative plan.
+
+    Validates the request -- the group must host X operands and at
+    least one module's vendor must reach this X -- *before* any bench
+    environment is touched, so an impossible sweep leaves the rig
+    exactly as it found it.
+    """
+    if n_rows < x:
+        raise ExperimentError(f"{n_rows}-row activation cannot host MAJ{x}")
+    tasks = tasks_for_scope(
+        scope,
+        n_rows,
+        lambda bench: bench.module.config.columns_per_row,
+        bench_predicate=lambda bench: bench.module.profile.max_reliable_majx >= x,
+        trials=trials,
+    )
+    if not tasks:
+        raise ExperimentError(
+            empty_message
+            or f"no module in scope supports MAJ{x} (vendor capability caps)"
+        )
+    return TrialPlan(
+        name=f"maj{x}-{n_rows}",
+        kernel=MajXKernel(x),
+        point=point,
+        tasks=tasks,
+        benches=list(scope.benches),
+        checkpoints=checkpoints,
+    )
+
+
 def majx_success_distribution(
     scope: CharacterizationScope,
     x: int,
     n_rows: int,
     point: OperatingPoint,
+    executor: Optional[ExecutorBase] = None,
 ) -> DistributionSummary:
     """Success-rate distribution of MAJX with N-row activation.
 
     Modules whose vendor cannot reach this X (footnote 11: Mfr. M
     stops at MAJ7) are skipped, mirroring the paper's omission of
-    <1%-success operations; if no module qualifies an error is raised.
+    <1%-success operations; if no module qualifies an error is raised
+    before the scope's environment is modified.
     """
-    if n_rows < x:
-        raise ExperimentError(f"{n_rows}-row activation cannot host MAJ{x}")
-    scope.apply_environment(point)
-    rates: List[float] = []
-    for bench, bank, subarray in scope.iter_sites():
-        profile = bench.module.profile
-        if profile.max_reliable_majx < x:
-            continue
-        columns = bench.module.config.columns_per_row
-        for group in scope.groups_for(bench, bank, subarray, n_rows):
-            plan = plan_majx(x, group)
-            accumulator = SuccessRateAccumulator(columns)
-            for trial in range(scope.trials):
-                operands = [
-                    point.pattern.operand_bits(
-                        columns, op, bench.module.serial, bank, trial
-                    )
-                    for op in range(x)
-                ]
-                result = execute_majx(
-                    bench, bank, plan, operands,
-                    t1_ns=point.t1_ns, t2_ns=point.t2_ns,
-                )
-                accumulator.record(result.correct)
-            rates.append(accumulator.success_rate)
-    if not rates:
-        raise ExperimentError(
-            f"no module in scope supports MAJ{x} (vendor capability caps)"
-        )
-    return summarize(rates)
+    result = run_plan(build_majx_plan(scope, x, n_rows, point), executor)
+    return summarize(result.rates())
 
 
 def figure6_maj3_grid(
@@ -85,6 +100,7 @@ def figure6_maj3_grid(
     sizes: Sequence[int] = MAJ_SIZES,
     t1_values: Sequence[float] = FIG6_T1_VALUES,
     t2_values: Sequence[float] = FIG6_T2_VALUES,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[Tuple[float, float], Dict[int, DistributionSummary]]:
     """Fig 6: MAJ3 success over the (t1, t2) grid and activation sizes."""
     grid: Dict[Tuple[float, float], Dict[int, DistributionSummary]] = {}
@@ -92,7 +108,7 @@ def figure6_maj3_grid(
         for t2 in t2_values:
             point = MAJX_POINT.with_timing(t1, t2)
             grid[(t1, t2)] = {
-                n: majx_success_distribution(scope, 3, n, point)
+                n: majx_success_distribution(scope, 3, n, point, executor)
                 for n in sizes
             }
     return grid
@@ -103,6 +119,7 @@ def figure7_patterns(
     x_values: Sequence[int] = MAJX_VALUES,
     patterns: Sequence[DataPattern] = MAJX_TESTED_PATTERNS,
     sizes: Sequence[int] = MAJ_SIZES,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[int, Dict[str, Dict[int, DistributionSummary]]]:
     """Fig 7: MAJX success by data pattern and activation size.
 
@@ -121,7 +138,7 @@ def figure7_patterns(
         for pattern in patterns:
             point = MAJX_POINT.with_pattern(pattern)
             per_pattern[pattern.kind] = {
-                n: majx_success_distribution(scope, x, n, point)
+                n: majx_success_distribution(scope, x, n, point, executor)
                 for n in majx_sizes_for(x, sizes)
             }
         result[x] = per_pattern
@@ -133,6 +150,7 @@ def figure8_temperature(
     x_values: Sequence[int] = MAJX_VALUES,
     temperatures: Sequence[float] = FIG8_TEMPERATURES,
     n_rows: int = 32,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[int, Dict[float, DistributionSummary]]:
     """Fig 8: MAJX success distribution vs chip temperature."""
     result: Dict[int, Dict[float, DistributionSummary]] = {}
@@ -142,7 +160,9 @@ def figure8_temperature(
         result[x] = {}
         for temp in temperatures:
             point = MAJX_POINT.with_temperature(temp)
-            result[x][temp] = majx_success_distribution(scope, x, n_rows, point)
+            result[x][temp] = majx_success_distribution(
+                scope, x, n_rows, point, executor
+            )
     return result
 
 
@@ -151,6 +171,7 @@ def figure9_voltage(
     x_values: Sequence[int] = MAJX_VALUES,
     vpp_levels: Sequence[float] = FIG9_VPP_LEVELS,
     n_rows: int = 32,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[int, Dict[float, DistributionSummary]]:
     """Fig 9: MAJX success distribution vs wordline voltage."""
     result: Dict[int, Dict[float, DistributionSummary]] = {}
@@ -160,5 +181,7 @@ def figure9_voltage(
         result[x] = {}
         for vpp in vpp_levels:
             point = MAJX_POINT.with_vpp(vpp)
-            result[x][vpp] = majx_success_distribution(scope, x, n_rows, point)
+            result[x][vpp] = majx_success_distribution(
+                scope, x, n_rows, point, executor
+            )
     return result

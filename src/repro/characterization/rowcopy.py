@@ -1,18 +1,23 @@
 """Section 6: characterization of Multi-RowCopy.
 
 Reproduces the data behind Fig 10 (timing grid), Fig 11 (data
-pattern), Fig 12a (temperature), and Fig 12b (voltage).
+pattern), Fig 12a (temperature), and Fig 12b (voltage).  The sweep
+itself runs on the trial engine: this module only builds the
+:class:`~repro.engine.TrialPlan`.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Dict, Optional, Sequence, Tuple
 
-from typing import Dict, List, Sequence, Tuple
-
-from ..core.multirowcopy import execute_multi_row_copy
 from ..core.patterns import COPY_TESTED_PATTERNS, DataPattern
-from ..core.success import SuccessRateAccumulator
+from ..engine import (
+    ExecutorBase,
+    MultiRowCopyKernel,
+    TrialPlan,
+    run_plan,
+    tasks_for_scope,
+)
 from .experiment import CharacterizationScope, OperatingPoint
 from .stats import DistributionSummary, summarize
 
@@ -29,10 +34,32 @@ COPY_POINT = OperatingPoint(t1_ns=36.0, t2_ns=3.0)
 """The best Multi-RowCopy timing configuration (Obs 14)."""
 
 
+def build_copy_plan(
+    scope: CharacterizationScope,
+    n_destinations: int,
+    point: OperatingPoint,
+) -> TrialPlan:
+    """The Multi-RowCopy sweep as a declarative plan."""
+    group_size = n_destinations + 1
+    tasks = tasks_for_scope(
+        scope,
+        group_size,
+        lambda bench: n_destinations * bench.module.config.columns_per_row,
+    )
+    return TrialPlan(
+        name=f"mrc-{n_destinations}",
+        kernel=MultiRowCopyKernel(),
+        point=point,
+        tasks=tasks,
+        benches=list(scope.benches),
+    )
+
+
 def multi_row_copy_distribution(
     scope: CharacterizationScope,
     n_destinations: int,
     point: OperatingPoint,
+    executor: Optional[ExecutorBase] = None,
 ) -> DistributionSummary:
     """Success-rate distribution of copying to N destination rows.
 
@@ -40,36 +67,8 @@ def multi_row_copy_distribution(
     pattern, the source with a distinct pattern, run the copy, read
     each destination back with nominal timing.
     """
-    scope.apply_environment(point)
-    group_size = n_destinations + 1
-    rates: List[float] = []
-    for bench, bank, subarray in scope.iter_sites():
-        columns = bench.module.config.columns_per_row
-        device_bank = bench.module.bank(bank)
-        subarray_rows = bench.module.profile.subarray_rows
-        for group in scope.groups_for(bench, bank, subarray, group_size):
-            accumulator = SuccessRateAccumulator(n_destinations * columns)
-            for trial in range(scope.trials):
-                source_global = group.global_pair(subarray_rows)[0]
-                source_bits = point.pattern.row_bits(
-                    columns, "mrc-src", bench.module.serial, bank, trial
-                )
-                destination_bits = point.pattern.inverse_bits(source_bits)
-                for global_row in group.global_rows(subarray_rows):
-                    if global_row == source_global:
-                        device_bank.write_row(global_row, source_bits)
-                    else:
-                        device_bank.write_row(global_row, destination_bits)
-                result = execute_multi_row_copy(
-                    bench, bank, group, t1_ns=point.t1_ns, t2_ns=point.t2_ns
-                )
-                accumulator.record(
-                    np.concatenate(
-                        [np.asarray(row, dtype=bool) for row in result.correctness]
-                    )
-                )
-            rates.append(accumulator.success_rate)
-    return summarize(rates)
+    result = run_plan(build_copy_plan(scope, n_destinations, point), executor)
+    return summarize(result.rates())
 
 
 def figure10_timing_grid(
@@ -77,6 +76,7 @@ def figure10_timing_grid(
     destinations: Sequence[int] = COPY_DESTINATIONS,
     t1_values: Sequence[float] = FIG10_T1_VALUES,
     t2_values: Sequence[float] = FIG10_T2_VALUES,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[Tuple[float, float], Dict[int, DistributionSummary]]:
     """Fig 10: Multi-RowCopy success over the (t1, t2) grid."""
     grid: Dict[Tuple[float, float], Dict[int, DistributionSummary]] = {}
@@ -84,7 +84,7 @@ def figure10_timing_grid(
         for t2 in t2_values:
             point = COPY_POINT.with_timing(t1, t2)
             grid[(t1, t2)] = {
-                m: multi_row_copy_distribution(scope, m, point)
+                m: multi_row_copy_distribution(scope, m, point, executor)
                 for m in destinations
             }
     return grid
@@ -94,13 +94,14 @@ def figure11_patterns(
     scope: CharacterizationScope,
     destinations: Sequence[int] = COPY_DESTINATIONS,
     patterns: Sequence[DataPattern] = COPY_TESTED_PATTERNS,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig 11: average Multi-RowCopy success by data pattern."""
     result: Dict[str, Dict[int, float]] = {}
     for pattern in patterns:
         point = COPY_POINT.with_pattern(pattern)
         result[pattern.kind] = {
-            m: multi_row_copy_distribution(scope, m, point).mean
+            m: multi_row_copy_distribution(scope, m, point, executor).mean
             for m in destinations
         }
     return result
@@ -110,13 +111,14 @@ def figure12a_temperature(
     scope: CharacterizationScope,
     destinations: Sequence[int] = COPY_DESTINATIONS,
     temperatures: Sequence[float] = FIG12_TEMPERATURES,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 12a: average Multi-RowCopy success vs temperature."""
     result: Dict[float, Dict[int, float]] = {}
     for temp in temperatures:
         point = COPY_POINT.with_temperature(temp)
         result[temp] = {
-            m: multi_row_copy_distribution(scope, m, point).mean
+            m: multi_row_copy_distribution(scope, m, point, executor).mean
             for m in destinations
         }
     return result
@@ -126,13 +128,14 @@ def figure12b_voltage(
     scope: CharacterizationScope,
     destinations: Sequence[int] = COPY_DESTINATIONS,
     vpp_levels: Sequence[float] = FIG12_VPP_LEVELS,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 12b: average Multi-RowCopy success vs wordline voltage."""
     result: Dict[float, Dict[int, float]] = {}
     for vpp in vpp_levels:
         point = COPY_POINT.with_vpp(vpp)
         result[vpp] = {
-            m: multi_row_copy_distribution(scope, m, point).mean
+            m: multi_row_copy_distribution(scope, m, point, executor).mean
             for m in destinations
         }
     return result

@@ -12,8 +12,9 @@ exactly as the paper's campaigns did.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..engine import ExecutorBase
 from ..errors import ExperimentError
 from ..units import COMMAND_GRANULARITY_NS
 from .activation import activation_success_distribution
@@ -73,10 +74,13 @@ def best_activation_timing(
     n_rows: int = 32,
     t1_values: Sequence[float] = (1.5, 3.0, 4.5),
     t2_values: Sequence[float] = (1.5, 3.0),
+    executor: Optional[ExecutorBase] = None,
 ) -> TimingSearchResult:
     """Find the best APA timings for many-row activation (§4)."""
     return search_timings(
-        lambda point: activation_success_distribution(scope, n_rows, point).mean,
+        lambda point: activation_success_distribution(
+            scope, n_rows, point, executor
+        ).mean,
         t1_values,
         t2_values,
     )
@@ -88,10 +92,13 @@ def best_majx_timing(
     n_rows: int = 32,
     t1_values: Sequence[float] = (1.5, 3.0, 4.5),
     t2_values: Sequence[float] = (1.5, 3.0),
+    executor: Optional[ExecutorBase] = None,
 ) -> TimingSearchResult:
     """Find the best APA timings for MAJX (§5; paper: t1=1.5, t2=3)."""
     return search_timings(
-        lambda point: majx_success_distribution(scope, x, n_rows, point).mean,
+        lambda point: majx_success_distribution(
+            scope, x, n_rows, point, executor
+        ).mean,
         t1_values,
         t2_values,
     )
@@ -102,11 +109,12 @@ def best_copy_timing(
     n_destinations: int = 7,
     t1_values: Sequence[float] = (1.5, 3.0, 36.0),
     t2_values: Sequence[float] = (1.5, 3.0),
+    executor: Optional[ExecutorBase] = None,
 ) -> TimingSearchResult:
     """Find the best APA timings for Multi-RowCopy (§6; paper: 36/3)."""
     return search_timings(
         lambda point: multi_row_copy_distribution(
-            scope, n_destinations, point
+            scope, n_destinations, point, executor
         ).mean,
         t1_values,
         t2_values,

@@ -10,13 +10,11 @@ of per-module means -- the quantity a deployer cares about when asking
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..core.majority import execute_majx, plan_majx
-from ..core.success import SuccessRateAccumulator
-from ..errors import ExperimentError
+from ..engine import ExecutorBase, rates_by_serial, run_plan
 from .experiment import CharacterizationScope, OperatingPoint
-from .majority import MAJX_POINT
+from .majority import MAJX_POINT, build_majx_plan
 from .stats import DistributionSummary, summarize
 
 
@@ -25,43 +23,22 @@ def per_module_majx(
     x: int,
     n_rows: int,
     point: OperatingPoint = MAJX_POINT,
+    executor: Optional[ExecutorBase] = None,
 ) -> Dict[str, DistributionSummary]:
     """MAJX success distribution per module serial.
 
     Modules whose vendor caps below X are reported as absent rather
     than zero, mirroring the paper's omissions.
     """
-    scope.apply_environment(point)
-    result: Dict[str, DistributionSummary] = {}
-    for bench in scope.benches:
-        profile = bench.module.profile
-        if profile.max_reliable_majx < x:
-            continue
-        columns = bench.module.config.columns_per_row
-        rates: List[float] = []
-        for bank in scope.banks:
-            for subarray in scope.subarrays:
-                for group in scope.groups_for(bench, bank, subarray, n_rows):
-                    plan = plan_majx(x, group)
-                    accumulator = SuccessRateAccumulator(columns)
-                    for trial in range(scope.trials):
-                        operands = [
-                            point.pattern.operand_bits(
-                                columns, op, bench.module.serial, bank, trial
-                            )
-                            for op in range(x)
-                        ]
-                        outcome = execute_majx(
-                            bench, bank, plan, operands,
-                            t1_ns=point.t1_ns, t2_ns=point.t2_ns,
-                        )
-                        accumulator.record(outcome.correct)
-                    rates.append(accumulator.success_rate)
-        if rates:
-            result[bench.module.serial] = summarize(rates)
-    if not result:
-        raise ExperimentError(f"no module in scope can run MAJ{x}")
-    return result
+    plan = build_majx_plan(
+        scope, x, n_rows, point,
+        empty_message=f"no module in scope can run MAJ{x}",
+    )
+    result = run_plan(plan, executor)
+    return {
+        serial: summarize(rates)
+        for serial, rates in rates_by_serial(plan, result).items()
+    }
 
 
 def module_spread(per_module: Dict[str, DistributionSummary]) -> DistributionSummary:

@@ -14,9 +14,14 @@ writing Python::
     simra-dram trng --bits 4096         # extension: random numbers
     simra-dram decoder --rf 0 --rs 7    # decoder algebra lookup
     simra-dram campaign --resume        # checkpointed figure sweep
+    simra-dram stats --results-dir d    # engine metrics of a campaign
+    simra-dram bench                    # executor benchmark sweep
 
 Every command accepts ``--columns/--groups/--trials/--seed`` scale
-knobs where relevant.
+knobs where relevant; measurement commands additionally take
+``--executor {serial,parallel,batched}`` + ``--jobs N`` to pick the
+trial-engine execution strategy and ``--stats`` to print the
+engine's per-layer counters afterwards.
 """
 
 from __future__ import annotations
@@ -45,6 +50,27 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="trials per group (default 6)")
     parser.add_argument("--seed", type=int, default=2024,
                         help="simulation seed (default 2024)")
+    parser.add_argument("--executor", choices=("serial", "parallel", "batched"),
+                        default="serial",
+                        help="trial-engine execution strategy (default serial)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --executor parallel")
+    parser.add_argument("--stats", action="store_true",
+                        help="print trial-engine per-layer counters afterwards")
+
+
+def _executor_from(args: argparse.Namespace):
+    from .engine import make_executor
+
+    return make_executor(
+        getattr(args, "executor", "serial"), jobs=getattr(args, "jobs", None)
+    )
+
+
+def _print_stats(args: argparse.Namespace, executor) -> None:
+    if getattr(args, "stats", False):
+        print()
+        print(executor.metrics.render())
 
 
 def _scope_from(args: argparse.Namespace) -> CharacterizationScope:
@@ -75,14 +101,16 @@ def _cmd_activation(args: argparse.Namespace) -> int:
     from .characterization.activation import activation_success_distribution
 
     scope = _scope_from(args)
+    executor = _executor_from(args)
     point = OperatingPoint(t1_ns=args.t1, t2_ns=args.t2)
     rows = {
-        f"{n}-row": activation_success_distribution(scope, n, point)
+        f"{n}-row": activation_success_distribution(scope, n, point, executor)
         for n in args.rows
     }
     print(format_distribution_table(
         f"Many-row activation success (%) at t1={args.t1} t2={args.t2}", rows
     ))
+    _print_stats(args, executor)
     return 0
 
 
@@ -90,15 +118,17 @@ def _cmd_majority(args: argparse.Namespace) -> int:
     from .characterization.majority import MAJX_POINT, majx_success_distribution
 
     scope = _scope_from(args)
+    executor = _executor_from(args)
     rows = {}
     for x in args.x:
         for n in args.rows:
             if n < x:
                 continue
             rows[f"MAJ{x}@{n}-row"] = majx_success_distribution(
-                scope, x, n, MAJX_POINT
+                scope, x, n, MAJX_POINT, executor
             )
     print(format_distribution_table("MAJX success (%), best timings", rows))
+    _print_stats(args, executor)
     return 0
 
 
@@ -106,11 +136,13 @@ def _cmd_rowcopy(args: argparse.Namespace) -> int:
     from .characterization.rowcopy import COPY_POINT, multi_row_copy_distribution
 
     scope = _scope_from(args)
+    executor = _executor_from(args)
     rows = {
-        f"->{m} rows": multi_row_copy_distribution(scope, m, COPY_POINT)
+        f"->{m} rows": multi_row_copy_distribution(scope, m, COPY_POINT, executor)
         for m in args.destinations
     }
     print(format_distribution_table("Multi-RowCopy success (%)", rows))
+    _print_stats(args, executor)
     return 0
 
 
@@ -223,12 +255,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             rate=args.chaos_rate,
             max_faults_per_kind=args.chaos_max_faults,
         )
+    executor = _executor_from(args)
     campaign = Campaign(
         scope,
         store=store,
         retry=RetryPolicy(max_attempts=args.retries, base_delay_s=args.backoff_s),
         time_budget_s=args.time_budget_s,
         chaos=chaos,
+        executor=executor,
     )
     try:
         result = campaign.run(args.experiments, resume=args.resume)
@@ -242,6 +276,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(line)
     if chaos is not None:
         print(f"chaos faults injected: {result.chaos_faults_injected}")
+    _print_stats(args, executor)
     return 0 if result.succeeded else 1
 
 
@@ -253,10 +288,11 @@ def _cmd_besttiming(args: argparse.Namespace) -> int:
     )
 
     scope = _scope_from(args)
+    executor = _executor_from(args)
     searches = {
-        "activation": lambda: best_activation_timing(scope),
-        "majx": lambda: best_majx_timing(scope, x=args.x),
-        "copy": lambda: best_copy_timing(scope),
+        "activation": lambda: best_activation_timing(scope, executor=executor),
+        "majx": lambda: best_majx_timing(scope, x=args.x, executor=executor),
+        "copy": lambda: best_copy_timing(scope, executor=executor),
     }
     result = searches[args.operation]()
     print(f"best {args.operation} timing: t1={result.best_t1_ns}ns, "
@@ -264,6 +300,7 @@ def _cmd_besttiming(args: argparse.Namespace) -> int:
     print("full grid (best to worst):")
     for (t1, t2), mean in result.ranked():
         print(f"  t1={t1:>5.1f}  t2={t2:>4.1f}  ->  {mean:7.2%}")
+    _print_stats(args, executor)
     return 0
 
 
@@ -293,6 +330,41 @@ def _cmd_decoder(args: argparse.Namespace) -> int:
     print(f"ACT {args.rf} -> PRE -> ACT {args.rs} "
           f"({args.subarray_rows}-row subarray):")
     print(f"  {len(rows)} rows simultaneously activated: {sorted(rows)}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .characterization.store import ResultStore
+    from .engine import render_stats_dict
+    from .errors import ExperimentError
+
+    store = ResultStore(Path(args.results_dir))
+    try:
+        payload = store.load("engine-stats")
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: run `simra-dram campaign --executor ...` first",
+              file=sys.stderr)
+        return 2
+    print(render_stats_dict(payload))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .engine.benchmark import run_engine_benchmark, write_benchmark_json
+
+    report = run_engine_benchmark(
+        columns=args.columns,
+        groups_per_size=args.groups,
+        trials=args.trials,
+        seed=args.seed,
+        executors=args.executors,
+        jobs=args.jobs,
+    )
+    path = write_benchmark_json(report, Path(args.output))
+    for line in report.summary_lines():
+        print(line)
+    print(f"wrote {path}")
     return 0
 
 
@@ -394,6 +466,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--columns", type=int, default=512)
     sub.add_argument("--seed", type=int, default=2024)
     sub.set_defaults(handler=_cmd_selftest)
+
+    sub = subparsers.add_parser(
+        "stats", help="render a stored campaign's trial-engine metrics"
+    )
+    sub.add_argument("--results-dir", default="campaign_results",
+                     help="ResultStore directory (default campaign_results)")
+    sub.set_defaults(handler=_cmd_stats)
+
+    sub = subparsers.add_parser(
+        "bench", help="time a figure sweep on every executor"
+    )
+    sub.add_argument("--columns", type=int, default=256)
+    sub.add_argument("--groups", type=int, default=2)
+    sub.add_argument("--trials", type=int, default=8)
+    sub.add_argument("--seed", type=int, default=2024)
+    sub.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for the parallel executor")
+    sub.add_argument(
+        "--executors", nargs="+", default=["serial", "parallel", "batched"],
+        choices=("serial", "parallel", "batched"),
+    )
+    sub.add_argument("--output", default="BENCH_engine.json",
+                     help="where to write the benchmark JSON")
+    sub.set_defaults(handler=_cmd_bench)
 
     sub = subparsers.add_parser("decoder", help="activation-set lookup")
     sub.add_argument("--rf", type=int, required=True)

@@ -36,11 +36,13 @@ from __future__ import annotations
 
 import enum
 from collections import Counter, deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Deque, Dict, FrozenSet, Optional
+from typing import Deque, Dict, FrozenSet, Iterator, Optional, Tuple
 
 import numpy as np
 
+from .. import rng
 from ..config import SimulationConfig
 from ..errors import ProtocolError, UnsupportedOperationError
 from .address import RowAddress, decompose_row
@@ -73,6 +75,33 @@ _FIXED_BYTE_WEIGHTS = {
     0x99: 0.90,
 }
 _OTHER_BYTE_WEIGHT = 0.88
+
+
+def pattern_regularity(levels: np.ndarray) -> float:
+    """How 'regular' a set of rows' charge levels is, in [0, 1].
+
+    Single-byte-periodic rows (the paper's fixed patterns) score close
+    to 1; random data scores 0.  Rows containing neutral (VDD/2) cells
+    are excluded -- they present no bitline data.  ``levels`` is a
+    (rows, columns) charge-level matrix.
+    """
+    levels = np.asarray(levels)
+    columns = levels.shape[1] if levels.ndim == 2 else 0
+    if columns % 8 != 0 or columns == 0:
+        return 0.0
+    weights = []
+    for row_levels in levels:
+        if np.any(row_levels == LEVEL_HALF):
+            continue
+        bits = (row_levels >= 2).astype(np.uint8)
+        grouped = bits.reshape(-1, 8)
+        if not np.all(grouped == grouped[0]):
+            return 0.0
+        byte = int(np.packbits(grouped[0])[0])
+        weights.append(_FIXED_BYTE_WEIGHTS.get(byte, _OTHER_BYTE_WEIGHT))
+    if not weights:
+        return 0.0
+    return float(np.mean(weights))
 
 
 class BankState(enum.Enum):
@@ -124,6 +153,7 @@ class Bank:
         self._row_buffer: Optional[np.ndarray] = None
         self._episode_written = False
         self._op_counter = 0
+        self._noise_context: Optional[Tuple[rng.Token, ...]] = None
         self._last_event: Optional[ActivationEvent] = None
         self.temperature_c = 50.0
         self.vpp = 2.5
@@ -184,6 +214,43 @@ class Bank:
                 uniformly_biased=self._profile.sense_amp_biased,
             )
         return self._subarrays[index]
+
+    # -- noise keying ---------------------------------------------------------
+
+    def set_noise_context(self, *tokens: rng.Token) -> None:
+        """Key subsequent per-trial noise by ``tokens`` instead of the
+        bank's operation ordinal.
+
+        With a context set, unstable-column coin flips depend only on
+        the context identity (plus bank/subarray/row tags), never on
+        how many operations ran before -- the contract that lets the
+        trial-execution engine replay the same measurement on any
+        executor and get identical bits.
+        """
+        self._noise_context = tokens
+
+    def clear_noise_context(self) -> None:
+        """Return to operation-ordinal noise keying."""
+        self._noise_context = None
+
+    @contextmanager
+    def noise_context(self, *tokens: rng.Token) -> Iterator[None]:
+        """Scoped :meth:`set_noise_context` / :meth:`clear_noise_context`."""
+        self.set_noise_context(*tokens)
+        try:
+            yield
+        finally:
+            self.clear_noise_context()
+
+    def _noise(self, subarray_index: int, columns: int, tag: str) -> np.ndarray:
+        """Per-trial coin flips under the active noise-keying mode."""
+        if self._noise_context is not None:
+            return self._reliability.context_noise(
+                self._noise_context, self._index, subarray_index, columns, tag
+            )
+        return self._reliability.trial_noise(
+            self._op_counter, self._index, subarray_index, columns, tag
+        )
 
     def active_rows(self) -> Dict[int, FrozenSet[int]]:
         """Currently asserted wordlines per subarray."""
@@ -351,13 +418,7 @@ class Bank:
         )
         self._op_counter += 1
         for local_row in row_array:
-            noise = self._reliability.trial_noise(
-                self._op_counter,
-                self._index,
-                subarray_index,
-                sub.columns,
-                f"maj-{local_row}",
-            )
+            noise = self._noise(subarray_index, sub.columns, f"maj-{local_row}")
             result = np.where(stable, ideal, noise).astype(np.uint8)
             sub.restore_row(int(local_row), result)
             if local_row == row_array[0]:
@@ -394,13 +455,7 @@ class Bank:
         )
         self._op_counter += 1
         for local_row in sorted(rows):
-            noise = self._reliability.trial_noise(
-                self._op_counter,
-                self._index,
-                subarray_index,
-                sub.columns,
-                f"mrc-{local_row}",
-            )
+            noise = self._noise(subarray_index, sub.columns, f"mrc-{local_row}")
             result = np.where(stable, source, noise).astype(np.uint8)
             sub.restore_row(int(local_row), result)
         self._episode_written = True
@@ -436,12 +491,8 @@ class Bank:
                 sub.columns,
             )
             self._op_counter += 1
-            noise = self._reliability.trial_noise(
-                self._op_counter,
-                self._index,
-                second.subarray,
-                sub.columns,
-                f"clone-{second.local_row}",
+            noise = self._noise(
+                second.subarray, sub.columns, f"clone-{second.local_row}"
             )
             result = np.where(stable, source, noise).astype(np.uint8)
             sub.restore_row(second.local_row, result)
@@ -525,13 +576,7 @@ class Bank:
                     sub.columns,
                 )
             for local_row in sorted(rows):
-                noise = self._reliability.trial_noise(
-                    self._op_counter,
-                    self._index,
-                    subarray_index,
-                    sub.columns,
-                    f"wr-{local_row}",
-                )
+                noise = self._noise(subarray_index, sub.columns, f"wr-{local_row}")
                 result = np.where(stable, data, noise).astype(np.uint8)
                 sub.restore_row(int(local_row), result)
         self._row_buffer = data.copy()
@@ -623,13 +668,7 @@ class Bank:
             sub.columns,
         )
         self._op_counter += 1
-        noise = self._reliability.trial_noise(
-            self._op_counter,
-            self._index,
-            addr.subarray,
-            sub.columns,
-            f"frac-{addr.local_row}",
-        )
+        noise = self._noise(addr.subarray, sub.columns, f"frac-{addr.local_row}")
         levels = np.where(
             stable, LEVEL_HALF, bits_to_levels(noise)
         ).astype(np.uint8)
@@ -666,26 +705,6 @@ class Bank:
 
     @staticmethod
     def _pattern_scale(sub: Subarray, row_array: np.ndarray) -> float:
-        """How 'regular' the activated rows' data is, in [0, 1].
-
-        Single-byte-periodic rows (the paper's fixed patterns) score
-        close to 1; random data scores 0.  Rows containing neutral
-        cells are excluded (they present no bitline data).
-        """
-        columns = sub.columns
-        if columns % 8 != 0:
-            return 0.0
-        levels = sub.cells.rows_view(row_array)
-        weights = []
-        for row_levels in levels:
-            if np.any(row_levels == LEVEL_HALF):
-                continue
-            bits = (row_levels >= 2).astype(np.uint8)
-            grouped = bits.reshape(-1, 8)
-            if not np.all(grouped == grouped[0]):
-                return 0.0
-            byte = int(np.packbits(grouped[0])[0])
-            weights.append(_FIXED_BYTE_WEIGHTS.get(byte, _OTHER_BYTE_WEIGHT))
-        if not weights:
-            return 0.0
-        return float(np.mean(weights))
+        """Regularity of the activated rows' stored data (see
+        :func:`pattern_regularity`)."""
+        return pattern_regularity(sub.cells.rows_view(row_array))

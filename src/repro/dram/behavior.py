@@ -475,7 +475,14 @@ class ReliabilityModel:
     def trial_noise(
         self, trial: int, bank: int, subarray: int, columns: int, tag: str
     ) -> np.ndarray:
-        """Per-trial coin flips for unstable columns (uint8 0/1)."""
+        """Per-trial coin flips for unstable columns (uint8 0/1).
+
+        Keyed by an operation ordinal, so the draw depends on how many
+        operations the bank executed before this one.  Engine-driven
+        measurements use :meth:`context_noise` instead, whose keys are
+        derived from the experiment identity and therefore do not
+        depend on execution order.
+        """
         return rng.uniform_bits(
             columns,
             self._config.seed,
@@ -485,4 +492,31 @@ class ReliabilityModel:
             subarray,
             tag,
             trial,
+        )
+
+    def context_noise(
+        self,
+        context: Tuple[rng.Token, ...],
+        bank: int,
+        subarray: int,
+        columns: int,
+        tag: str,
+    ) -> np.ndarray:
+        """Per-trial coin flips keyed by an explicit measurement context.
+
+        ``context`` identifies the measurement (operation signature,
+        operating point, row group, trial index) instead of the bank's
+        operation ordinal, so the same context always yields the same
+        bits regardless of what ran before -- the property that makes
+        serial, sharded, and vectorized executors bit-identical.
+        """
+        return rng.uniform_bits(
+            columns,
+            self._config.seed,
+            "ctx-noise",
+            self._serial,
+            bank,
+            subarray,
+            tag,
+            *context,
         )

@@ -1,0 +1,65 @@
+"""Unified trial-execution engine.
+
+One pipeline layer under every characterization: modules build
+declarative :class:`TrialPlan` objects (which sites, which row groups,
+how many trials, which :class:`~repro.engine.kernels.TrialKernel`) and
+executors run them -- serially through the full bender path, sharded
+across worker processes, or vectorized straight into the behavior
+model.  The engine's hard contract is determinism: for a given plan
+and simulation seed, every executor produces bit-identical results.
+"""
+
+from .executors import (
+    BatchedExecutor,
+    ExecutorBase,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    make_executor,
+    run_plan,
+    run_task_serial,
+)
+from .kernels import (
+    ActivationKernel,
+    DisturbanceKernel,
+    MajXKernel,
+    MultiRowCopyKernel,
+    TrialKernel,
+    measurement_context,
+    point_token,
+)
+from .metrics import EngineMetrics, render_stats_dict
+from .plan import (
+    PlanResult,
+    TaskOutcome,
+    TrialPlan,
+    TrialTask,
+    checkpoint_means,
+    rates_by_serial,
+    tasks_for_scope,
+)
+
+__all__ = [
+    "ActivationKernel",
+    "BatchedExecutor",
+    "DisturbanceKernel",
+    "EngineMetrics",
+    "ExecutorBase",
+    "MajXKernel",
+    "MultiRowCopyKernel",
+    "PlanResult",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "TaskOutcome",
+    "TrialKernel",
+    "TrialPlan",
+    "TrialTask",
+    "checkpoint_means",
+    "make_executor",
+    "measurement_context",
+    "point_token",
+    "rates_by_serial",
+    "render_stats_dict",
+    "run_plan",
+    "run_task_serial",
+    "tasks_for_scope",
+]

@@ -1,0 +1,162 @@
+"""Executor benchmark: one representative figure sweep per executor.
+
+Times the same declarative plans (a section 4 activation sweep, a
+section 5 MAJ3 sweep, and a section 6 Multi-RowCopy sweep) on each
+requested executor, verifies the determinism contract (identical
+success rates everywhere), and reports wall-times plus speedups over
+the serial reference.  ``simra-dram bench`` and
+``benchmarks/run_benchmarks.py`` both land here; the JSON report is
+written as ``BENCH_engine.json`` at the repository root by default.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..characterization.experiment import CharacterizationScope, OperatingPoint
+from ..config import SimulationConfig
+from ..dram.vendor import TESTED_MODULES
+from .executors import make_executor
+from .kernels import ActivationKernel, MajXKernel, MultiRowCopyKernel
+from .plan import TrialPlan, tasks_for_scope
+
+
+@dataclass
+class BenchmarkReport:
+    """Wall-times, metrics, and speedups of one benchmark run."""
+
+    scale: Dict[str, int]
+    plans: List[str]
+    wall_s: Dict[str, float] = field(default_factory=dict)
+    speedup: Dict[str, float] = field(default_factory=dict)
+    """Serial wall-time divided by this executor's wall-time."""
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    identical: bool = True
+    """Whether every executor produced bit-identical success rates."""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scale": self.scale,
+            "plans": self.plans,
+            "wall_s": self.wall_s,
+            "speedup": self.speedup,
+            "identical": self.identical,
+            "metrics": self.metrics,
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            "engine benchmark "
+            + ", ".join(f"{k}={v}" for k, v in self.scale.items()),
+            f"  plans: {', '.join(self.plans)}",
+        ]
+        for name, wall in self.wall_s.items():
+            speedup = self.speedup.get(name, 1.0)
+            lines.append(
+                f"  {name:<9} {wall:8.3f} s   ({speedup:5.2f}x vs serial)"
+            )
+        lines.append(
+            "  results bit-identical across executors: "
+            + ("yes" if self.identical else "NO (DETERMINISM VIOLATION)")
+        )
+        return lines
+
+
+def _representative_plans(scope: CharacterizationScope) -> List[TrialPlan]:
+    """A slice of each characterization family at its best timings."""
+    act_point = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+    maj_point = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+    copy_point = OperatingPoint(t1_ns=36.0, t2_ns=3.0)
+    benches = list(scope.benches)
+    plans = [
+        TrialPlan(
+            name="activation-32",
+            kernel=ActivationKernel(),
+            point=act_point,
+            tasks=tasks_for_scope(
+                scope, 32, lambda b: 32 * b.module.config.columns_per_row
+            ),
+            benches=benches,
+        ),
+        TrialPlan(
+            name="maj3-32",
+            kernel=MajXKernel(3),
+            point=maj_point,
+            tasks=tasks_for_scope(
+                scope,
+                32,
+                lambda b: b.module.config.columns_per_row,
+                bench_predicate=lambda b: b.module.profile.max_reliable_majx >= 3,
+            ),
+            benches=benches,
+        ),
+        TrialPlan(
+            name="mrc-7",
+            kernel=MultiRowCopyKernel(),
+            point=copy_point,
+            tasks=tasks_for_scope(
+                scope, 8, lambda b: 7 * b.module.config.columns_per_row
+            ),
+            benches=benches,
+        ),
+    ]
+    return plans
+
+
+def run_engine_benchmark(
+    columns: int = 256,
+    groups_per_size: int = 2,
+    trials: int = 8,
+    seed: int = 2024,
+    executors: Sequence[str] = ("serial", "parallel", "batched"),
+    jobs: Optional[int] = None,
+) -> BenchmarkReport:
+    """Time the representative sweep on each executor and compare."""
+    report = BenchmarkReport(
+        scale={
+            "columns": columns,
+            "groups_per_size": groups_per_size,
+            "trials": trials,
+            "seed": seed,
+        },
+        plans=[],
+    )
+    reference_rates: Optional[List[List[float]]] = None
+    for name in executors:
+        # A fresh scope per executor: every strategy starts from an
+        # identical cold rig, so no executor inherits warmed-up state.
+        scope = CharacterizationScope.build(
+            config=SimulationConfig(seed=seed, columns_per_row=columns),
+            specs=TESTED_MODULES,
+            modules_per_spec=1,
+            groups_per_size=groups_per_size,
+            trials=trials,
+        )
+        plans = _representative_plans(scope)
+        report.plans = [plan.name for plan in plans]
+        executor = make_executor(name, jobs=jobs)
+        started = time.perf_counter()
+        rates = [executor.run(plan).rates() for plan in plans]
+        report.wall_s[name] = time.perf_counter() - started
+        report.metrics[name] = executor.metrics.as_dict()
+        if reference_rates is None:
+            reference_rates = rates
+        elif rates != reference_rates:
+            report.identical = False
+    baseline = report.wall_s.get("serial")
+    for name, wall in report.wall_s.items():
+        report.speedup[name] = (
+            baseline / wall if baseline and wall > 0 else 1.0
+        )
+    return report
+
+
+def write_benchmark_json(report: BenchmarkReport, path: Path) -> Path:
+    """Persist the report (the CI artifact)."""
+    path = Path(path)
+    path.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,372 @@
+"""Pluggable executors for :class:`~repro.engine.plan.TrialPlan`.
+
+Three strategies, one contract: for a given plan and simulation seed,
+every executor produces bit-identical task outcomes (and therefore
+bit-identical :class:`~repro.characterization.stats.DistributionSummary`
+results).  The serial executor is the reference; the process-pool
+executor shards tasks across benches and rebuilds each bench from its
+catalog spec in the worker; the batched executor pushes whole trial
+batches down into the behavior model as vectorized numpy, gated by a
+real APA probe per task so the vectorized math only runs in the regime
+it reproduces.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bender.program import apa_program
+from ..bender.testbench import TestBench
+from ..chaos import ChaosConfig, ChaosHarness
+from ..errors import ExperimentError
+from .kernels import TrialKernel, measurement_context
+from .metrics import EngineMetrics
+from .plan import PlanResult, TaskOutcome, TrialPlan, TrialTask
+
+if TYPE_CHECKING:  # characterization imports the engine; avoid the cycle
+    from ..characterization.experiment import OperatingPoint
+
+
+def run_task_serial(
+    kernel: TrialKernel,
+    point: OperatingPoint,
+    checkpoints: Sequence[int],
+    bench: TestBench,
+    task: TrialTask,
+) -> TaskOutcome:
+    """Reference execution of one task: trial loop through the bench.
+
+    Every trial runs with the bank's noise context pinned to the
+    measurement identity, so the model's coin flips do not depend on
+    how many operations preceded this trial.
+    """
+    device_bank = bench.module.bank(task.bank)
+    kernel.setup(bench, task, point)
+    checkpoint_set = set(checkpoints)
+    snapshots: List[Tuple[int, float]] = []
+    mask = np.ones(task.cells, dtype=bool)
+    for trial in range(task.trials):
+        with device_bank.noise_context(
+            *measurement_context(kernel, point, task, trial)
+        ):
+            correct = np.asarray(
+                kernel.run_trial(bench, task, point, trial), dtype=bool
+            )
+        if correct.shape != (task.cells,):
+            raise ExperimentError(
+                f"kernel {kernel.op_name!r} returned shape {correct.shape}, "
+                f"expected ({task.cells},)"
+            )
+        mask &= correct
+        if (trial + 1) in checkpoint_set:
+            snapshots.append((trial + 1, float(np.mean(mask))))
+    audit = kernel.finalize(bench, task, point)
+    if audit is not None:
+        mask &= np.asarray(audit, dtype=bool)
+    return TaskOutcome(
+        index=task.index,
+        rate=float(np.mean(mask)),
+        trials=task.trials,
+        cells=task.cells,
+        mask=mask,
+        checkpoint_rates=tuple(snapshots),
+    )
+
+
+class ExecutorBase:
+    """Shared surface: ``run(plan) -> PlanResult`` plus cumulative metrics."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.metrics = EngineMetrics(executor=self.name)
+
+    def run(self, plan: TrialPlan) -> PlanResult:
+        raise NotImplementedError
+
+    def _apply_environment(self, plan: TrialPlan, delta: EngineMetrics) -> None:
+        if not plan.apply_environment:
+            return
+        started = time.perf_counter()
+        for bench in plan.benches:
+            bench.set_temperature(plan.point.temperature_c)
+            bench.set_vpp(plan.point.vpp)
+        delta.environment_s += time.perf_counter() - started
+
+    def _finish(self, plan: TrialPlan, delta: EngineMetrics,
+                outcomes: List[TaskOutcome], started: float) -> PlanResult:
+        reduce_started = time.perf_counter()
+        outcomes.sort(key=lambda outcome: outcome.index)
+        delta.plans += 1
+        delta.reduce_s += time.perf_counter() - reduce_started
+        delta.wall_s += time.perf_counter() - started
+        self.metrics.merge(delta)
+        return PlanResult(plan_name=plan.name, outcomes=outcomes, metrics=delta)
+
+
+class SerialExecutor(ExecutorBase):
+    """Reference executor: every trial through the full bench, in order."""
+
+    name = "serial"
+
+    def run(self, plan: TrialPlan) -> PlanResult:
+        started = time.perf_counter()
+        delta = EngineMetrics(executor=self.name, workers=1)
+        self._apply_environment(plan, delta)
+        execute_started = time.perf_counter()
+        outcomes: List[TaskOutcome] = []
+        for task in plan.tasks:
+            bench = plan.benches[task.bench_index]
+            outcomes.append(
+                run_task_serial(plan.kernel, plan.point, plan.checkpoints, bench, task)
+            )
+            delta.tasks += 1
+            delta.trials += task.trials
+            delta.cells += task.cells
+            delta.apa_programs += task.trials
+        delta.execute_s += time.perf_counter() - execute_started
+        delta.busy_s = delta.execute_s
+        return self._finish(plan, delta, outcomes, started)
+
+
+def _run_shard(payload: Dict[str, Any]) -> Tuple[List[TaskOutcome], float, int]:
+    """Worker entry point: rebuild the bench, run its tasks serially.
+
+    Module-level so it pickles under the default process start method.
+    Returns the outcomes plus the worker's busy time and how many chaos
+    faults its local harness injected (worker-side counts are reported
+    in engine metrics, separate from the campaign's main harness).
+    """
+    started = time.perf_counter()
+    bench = TestBench.for_spec(
+        payload["spec"], payload["instance"], config=payload["config"]
+    )
+    harness: Optional[ChaosHarness] = None
+    if payload["chaos"] is not None:
+        harness = ChaosHarness(payload["chaos"])
+        harness.install(bench)
+    try:
+        point: OperatingPoint = payload["point"]
+        if payload["apply_environment"]:
+            bench.set_temperature(point.temperature_c)
+            bench.set_vpp(point.vpp)
+        outcomes = [
+            run_task_serial(
+                payload["kernel"], point, payload["checkpoints"], bench, task
+            )
+            for task in payload["tasks"]
+        ]
+    finally:
+        injected = harness.engine.stats.total_injected if harness else 0
+        if harness is not None:
+            harness.uninstall()
+    return outcomes, time.perf_counter() - started, injected
+
+
+class ProcessPoolExecutor(ExecutorBase):
+    """Shards a plan's tasks across benches and runs shards in processes.
+
+    Workers rebuild each bench from its catalog spec (``module.spec``),
+    which is what makes the shards picklable; benches built by hand
+    around a bare :class:`~repro.dram.module.Module` cannot be shipped
+    and raise :class:`~repro.errors.ExperimentError`.  When ``chaos``
+    is set, each worker installs its own fault harness so fault
+    injection composes with sharded execution; worker-side injection
+    counts surface in ``metrics.chaos_faults_injected``.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chaos: Optional[ChaosConfig] = None,
+    ) -> None:
+        super().__init__()
+        self.jobs = jobs
+        self.chaos = chaos
+
+    def run(self, plan: TrialPlan) -> PlanResult:
+        started = time.perf_counter()
+        delta = EngineMetrics(executor=self.name)
+        # Drive the local benches too, so the rig observable to the
+        # caller ends in the same state a serial run would leave.
+        self._apply_environment(plan, delta)
+        shards: Dict[int, List[TrialTask]] = {}
+        for task in plan.tasks:
+            shards.setdefault(task.bench_index, []).append(task)
+        payloads: List[Dict[str, Any]] = []
+        for bench_index in sorted(shards):
+            bench = plan.benches[bench_index]
+            module = bench.module
+            if module.spec is None:
+                raise ExperimentError(
+                    "parallel executor requires catalog-built benches; "
+                    f"module {module.serial!r} has no spec to rebuild from"
+                )
+            serial = module.serial
+            instance = (
+                int(serial.rsplit("#", 1)[1]) if "#" in serial else 0
+            )
+            payloads.append(
+                {
+                    "spec": module.spec,
+                    "instance": instance,
+                    "config": module.config,
+                    "kernel": plan.kernel,
+                    "point": plan.point,
+                    "checkpoints": tuple(plan.checkpoints),
+                    "apply_environment": plan.apply_environment,
+                    "tasks": shards[bench_index],
+                    "chaos": self.chaos,
+                }
+            )
+        execute_started = time.perf_counter()
+        outcomes: List[TaskOutcome] = []
+        if payloads:
+            workers = self.jobs or (os.cpu_count() or 1)
+            workers = max(1, min(workers, len(payloads)))
+            delta.workers = workers
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = [
+                    pool.submit(_run_shard, payload) for payload in payloads
+                ]
+                for future in futures:
+                    shard_outcomes, busy_s, injected = future.result()
+                    outcomes.extend(shard_outcomes)
+                    delta.busy_s += busy_s
+                    delta.chaos_faults_injected += injected
+        for task in plan.tasks:
+            delta.tasks += 1
+            delta.trials += task.trials
+            delta.cells += task.cells
+            delta.apa_programs += task.trials
+        delta.execute_s += time.perf_counter() - execute_started
+        return self._finish(plan, delta, outcomes, started)
+
+
+class BatchedExecutor(ExecutorBase):
+    """Vectorizes whole tasks down into the behavior model.
+
+    Per task it issues ONE real APA program through the bench (the
+    probe -- also the point where chaos faults can fire) and checks the
+    bank resolved it with the semantic the kernel's batched math
+    models.  On a match the whole (trials x cells) matrix comes from
+    one :meth:`~repro.engine.kernels.TrialKernel.run_batch` call; on a
+    mismatch (wrong timing regime, blocked vendor) the task falls back
+    to the per-trial reference path.  Both paths key their noise off
+    the same measurement context, so results are bit-identical either
+    way.
+    """
+
+    name = "batched"
+
+    def run(self, plan: TrialPlan) -> PlanResult:
+        started = time.perf_counter()
+        delta = EngineMetrics(executor=self.name, workers=1)
+        self._apply_environment(plan, delta)
+        execute_started = time.perf_counter()
+        outcomes: List[TaskOutcome] = []
+        for task in plan.tasks:
+            bench = plan.benches[task.bench_index]
+            kernel = plan.kernel
+            probe_started = time.perf_counter()
+            kernel.setup(bench, task, plan.point)
+            semantic = self._probe(bench, task, plan.point)
+            delta.apa_programs += 1
+            delta.add_stage("probe", time.perf_counter() - probe_started)
+            if kernel.batched_semantic in (None, semantic):
+                batch_started = time.perf_counter()
+                outcomes.append(self._run_batched(kernel, plan, bench, task))
+                delta.add_stage("batch", time.perf_counter() - batch_started)
+            else:
+                fallback_started = time.perf_counter()
+                outcomes.append(
+                    run_task_serial(
+                        kernel, plan.point, plan.checkpoints, bench, task
+                    )
+                )
+                delta.apa_programs += task.trials
+                delta.add_stage(
+                    "fallback", time.perf_counter() - fallback_started
+                )
+            delta.tasks += 1
+            delta.trials += task.trials
+            delta.cells += task.cells
+        delta.execute_s += time.perf_counter() - execute_started
+        delta.busy_s = delta.execute_s
+        return self._finish(plan, delta, outcomes, started)
+
+    def _probe(
+        self, bench: TestBench, task: TrialTask, point: OperatingPoint
+    ) -> str:
+        subarray_rows = bench.module.profile.subarray_rows
+        rf_global, rs_global = task.group.global_pair(subarray_rows)
+        bench.run(
+            apa_program(task.bank, rf_global, rs_global, point.t1_ns, point.t2_ns)
+        )
+        event = bench.module.bank(task.bank).last_event
+        return event.semantic if event is not None else "none"
+
+    def _run_batched(
+        self,
+        kernel: TrialKernel,
+        plan: TrialPlan,
+        bench: TestBench,
+        task: TrialTask,
+    ) -> TaskOutcome:
+        matrix = np.asarray(
+            kernel.run_batch(bench, task, plan.point), dtype=bool
+        )
+        if matrix.shape != (task.trials, task.cells):
+            raise ExperimentError(
+                f"kernel {kernel.op_name!r} batch returned shape "
+                f"{matrix.shape}, expected ({task.trials}, {task.cells})"
+            )
+        running = np.logical_and.accumulate(matrix, axis=0)
+        snapshots = tuple(
+            (count, float(np.mean(running[count - 1])))
+            for count in plan.checkpoints
+            if 1 <= count <= task.trials
+        )
+        mask = running[-1].copy()
+        audit = kernel.finalize(bench, task, plan.point)
+        if audit is not None:
+            mask &= np.asarray(audit, dtype=bool)
+        return TaskOutcome(
+            index=task.index,
+            rate=float(np.mean(mask)),
+            trials=task.trials,
+            cells=task.cells,
+            mask=mask,
+            checkpoint_rates=snapshots,
+        )
+
+
+def make_executor(
+    name: Optional[str],
+    jobs: Optional[int] = None,
+    chaos: Optional[ChaosConfig] = None,
+) -> ExecutorBase:
+    """Build an executor from a CLI-style name."""
+    if name in (None, "serial"):
+        return SerialExecutor()
+    if name == "parallel":
+        return ProcessPoolExecutor(jobs=jobs, chaos=chaos)
+    if name == "batched":
+        return BatchedExecutor()
+    raise ExperimentError(
+        f"unknown executor {name!r}; choose serial, parallel, or batched"
+    )
+
+
+def run_plan(plan: TrialPlan, executor: Optional[ExecutorBase] = None) -> PlanResult:
+    """Run a plan on the given executor (default: a fresh serial one)."""
+    return (executor or SerialExecutor()).run(plan)

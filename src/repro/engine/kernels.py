@@ -1,0 +1,382 @@
+"""Trial kernels: the operation a plan measures.
+
+A kernel provides two equivalent implementations of one measurement
+trial:
+
+- :meth:`TrialKernel.run_trial` drives the full bender/testbench path
+  (program scheduling, bank state machine, host readback) for one
+  trial -- the reference semantics;
+- :meth:`TrialKernel.run_batch` computes a whole task's trial matrix
+  directly from the :class:`~repro.dram.behavior.ReliabilityModel` in
+  vectorized numpy, skipping the per-trial program round-trips.
+
+Bit-identity between the two is guaranteed by construction: every
+stochastic draw is identity-keyed (thresholds, group offsets, sense-amp
+bias, pattern bits) or keyed by the shared measurement context
+(:func:`measurement_context` -> ``ReliabilityModel.context_noise``),
+so both paths consult the same random bits.  The batched path is
+gated on the APA probe resolving to the kernel's expected semantic
+(``batched_semantic``); any other regime falls back to the per-trial
+reference path, which is always correct.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from .. import rng
+from ..bender.program import apa_program
+from ..bender.testbench import TestBench
+from ..core.majority import execute_majx, expected_majority, plan_majx
+from ..core.multirowcopy import execute_multi_row_copy
+from ..core.operations import simultaneous_activation_test
+from ..core.patterns import DataPattern
+from ..dram.bank import pattern_regularity
+from ..dram.behavior import OperationClass
+from ..dram.cell import LEVEL_HALF, bits_to_levels
+from .plan import TrialTask
+
+if TYPE_CHECKING:  # characterization imports the engine; avoid the cycle
+    from ..characterization.experiment import OperatingPoint
+
+
+def point_token(point: "OperatingPoint") -> str:
+    """Stable identity of an operating point for noise keying."""
+    return (
+        f"{point.t1_ns}:{point.t2_ns}:{point.temperature_c}:"
+        f"{point.vpp}:{point.pattern.kind}"
+    )
+
+
+def measurement_context(
+    kernel: "TrialKernel", point: "OperatingPoint", task: TrialTask, trial: int
+) -> Tuple[rng.Token, ...]:
+    """The noise-context tokens for one trial of one task.
+
+    Includes the kernel signature and operating point so distinct
+    experiments that happen to sample the same row group draw
+    independent noise, and the group identity + trial index so the
+    draw does not depend on execution order.
+    """
+    return (kernel.signature, point_token(point), task.group_token, trial)
+
+
+class TrialKernel:
+    """Base protocol for plan kernels (see module docstring)."""
+
+    op_name: str = "trial"
+    signature: str = "trial"
+    batched_semantic: Optional[str] = None
+    """APA semantic the vectorized path models; ``None`` skips the
+    probe gate (the kernel is regime-independent)."""
+
+    def setup(self, bench: TestBench, task: TrialTask, point: OperatingPoint) -> None:
+        """Once-per-task preparation (default: nothing)."""
+
+    def run_trial(
+        self, bench: TestBench, task: TrialTask, point: OperatingPoint, trial: int
+    ) -> np.ndarray:
+        """One trial through the full bench; returns a (cells,) bool vector."""
+        raise NotImplementedError
+
+    def run_batch(
+        self, bench: TestBench, task: TrialTask, point: OperatingPoint
+    ) -> np.ndarray:
+        """All trials at once; returns a (trials, cells) bool matrix."""
+        raise NotImplementedError
+
+    def finalize(
+        self, bench: TestBench, task: TrialTask, point: OperatingPoint
+    ) -> Optional[np.ndarray]:
+        """Optional end-of-task audit ANDed into the accumulated mask."""
+        return None
+
+
+class ActivationKernel(TrialKernel):
+    """Section 3.2 recipe: init -> APA -> WR -> readback."""
+
+    op_name = "activation"
+    signature = "activation"
+    batched_semantic = "majority"
+
+    def run_trial(self, bench, task, point, trial):
+        result = simultaneous_activation_test(
+            bench,
+            task.bank,
+            task.group,
+            t1_ns=point.t1_ns,
+            t2_ns=point.t2_ns,
+            pattern=point.pattern,
+            trial=trial,
+        )
+        return result.flattened()
+
+    def run_batch(self, bench, task, point):
+        module = bench.module
+        reliability = module.reliability
+        device_bank = module.bank(task.bank)
+        columns = module.config.columns_per_row
+        group = task.group
+        rows_sorted = sorted(group.rows)
+        # The WR overdrive decides correctness: stable columns latch the
+        # WR data in every opened row, unstable ones flip a coin per row.
+        z = reliability.activation_z(
+            group.size,
+            point.t1_ns,
+            point.t2_ns,
+            device_bank.temperature_c,
+            device_bank.vpp,
+        )
+        stable = reliability.stable_mask(
+            z, task.bank, task.subarray, group.rows,
+            OperationClass.ACTIVATION, columns,
+        )
+        matrix = np.empty((task.trials, task.cells), dtype=bool)
+        for trial in range(task.trials):
+            context = measurement_context(self, point, task, trial)
+            reference = point.pattern.row_bits(
+                columns, "act-wr", group.row_first, trial
+            )
+            wr_bits = point.pattern.inverse_bits(reference)
+            for position, local_row in enumerate(rows_sorted):
+                noise = reliability.context_noise(
+                    context, task.bank, task.subarray, columns,
+                    f"wr-{local_row}",
+                )
+                matrix[trial, position * columns:(position + 1) * columns] = (
+                    stable | (noise == wr_bits)
+                )
+        return matrix
+
+
+class MajXKernel(TrialKernel):
+    """Section 3.3 recipe: operands + neutral rows -> APA -> RD."""
+
+    op_name = "majority"
+    batched_semantic = "majority"
+
+    def __init__(self, x: int, replicas: Optional[int] = None):
+        self.x = x
+        self.replicas = replicas
+        self.signature = f"majx:{x}:r{0 if replicas is None else replicas}"
+
+    def run_trial(self, bench, task, point, trial):
+        columns = bench.module.config.columns_per_row
+        plan = plan_majx(self.x, task.group, replicas=self.replicas)
+        operands = [
+            point.pattern.operand_bits(columns, op, task.serial, task.bank, trial)
+            for op in range(self.x)
+        ]
+        result = execute_majx(
+            bench, task.bank, plan, operands,
+            t1_ns=point.t1_ns, t2_ns=point.t2_ns,
+        )
+        return result.correct
+
+    def run_batch(self, bench, task, point):
+        module = bench.module
+        reliability = module.reliability
+        device_bank = module.bank(task.bank)
+        sub = device_bank.subarray(task.subarray)
+        columns = module.config.columns_per_row
+        group = task.group
+        plan = plan_majx(self.x, group, replicas=self.replicas)
+        rows_sorted = sorted(group.rows)
+        temp_c = device_bank.temperature_c
+        vpp = device_bank.vpp
+        # Neutral-row stability is trial-independent (identity-keyed).
+        frac_z = reliability.frac_z(temp_c, vpp)
+        neutral_stable = {
+            local_row: reliability.stable_mask(
+                frac_z, task.bank, task.subarray, frozenset({local_row}),
+                OperationClass.FRAC, columns,
+            )
+            for local_row in plan.neutral_rows
+        }
+        first_row = rows_sorted[0]
+        matrix = np.empty((task.trials, columns), dtype=bool)
+        for trial in range(task.trials):
+            context = measurement_context(self, point, task, trial)
+            operands = [
+                point.pattern.operand_bits(
+                    columns, op, task.serial, task.bank, trial
+                )
+                for op in range(self.x)
+            ]
+            # Reconstruct the charge levels the opened rows would hold:
+            # operand rows carry their bits, neutral rows sit at VDD/2
+            # where the Frac landed and at coin-flip rails elsewhere.
+            level_rows = np.empty((group.size, columns), dtype=np.uint8)
+            for position, local_row in enumerate(rows_sorted):
+                operand_index = plan.operand_of_row.get(local_row)
+                if operand_index is not None:
+                    level_rows[position] = bits_to_levels(
+                        operands[operand_index]
+                    )
+                else:
+                    noise = reliability.context_noise(
+                        context, task.bank, task.subarray, columns,
+                        f"frac-{local_row}",
+                    )
+                    level_rows[position] = np.where(
+                        neutral_stable[local_row],
+                        LEVEL_HALF,
+                        bits_to_levels(noise),
+                    ).astype(np.uint8)
+            imbalance = (level_rows.astype(np.int64) - 1).sum(axis=0)
+            ideal = sub.sense_amps.resolve(np.sign(imbalance))
+            z_columns = reliability.majority_column_z(
+                imbalance,
+                n_rows=group.size,
+                t1_ns=point.t1_ns,
+                t2_ns=point.t2_ns,
+                pattern_scale=pattern_regularity(level_rows),
+                temp_c=temp_c,
+                vpp=vpp,
+            )
+            stable = reliability.stable_mask_vector(
+                z_columns, task.bank, task.subarray, group.rows,
+                OperationClass.MAJORITY,
+            )
+            noise = reliability.context_noise(
+                context, task.bank, task.subarray, columns, f"maj-{first_row}"
+            )
+            result = np.where(stable, ideal, noise).astype(np.uint8)
+            matrix[trial] = result == expected_majority(operands)
+        return matrix
+
+
+class MultiRowCopyKernel(TrialKernel):
+    """Section 3.4 recipe: init source/destinations -> APA -> readback."""
+
+    op_name = "rowcopy"
+    signature = "mrc"
+    batched_semantic = "copy"
+
+    def run_trial(self, bench, task, point, trial):
+        module = bench.module
+        columns = module.config.columns_per_row
+        subarray_rows = module.profile.subarray_rows
+        device_bank = module.bank(task.bank)
+        group = task.group
+        source_global = group.global_pair(subarray_rows)[0]
+        source_bits = point.pattern.row_bits(
+            columns, "mrc-src", task.serial, task.bank, trial
+        )
+        destination_bits = point.pattern.inverse_bits(source_bits)
+        for global_row in group.global_rows(subarray_rows):
+            device_bank.write_row(
+                global_row,
+                source_bits if global_row == source_global else destination_bits,
+            )
+        result = execute_multi_row_copy(
+            bench, task.bank, group, t1_ns=point.t1_ns, t2_ns=point.t2_ns
+        )
+        return np.concatenate(
+            [np.asarray(row, dtype=bool) for row in result.correctness]
+        )
+
+    def run_batch(self, bench, task, point):
+        module = bench.module
+        reliability = module.reliability
+        device_bank = module.bank(task.bank)
+        columns = module.config.columns_per_row
+        group = task.group
+        destinations = [
+            local_row for local_row in sorted(group.rows)
+            if local_row != group.row_first
+        ]
+        temp_c = device_bank.temperature_c
+        vpp = device_bank.vpp
+        matrix = np.empty((task.trials, task.cells), dtype=bool)
+        for trial in range(task.trials):
+            context = measurement_context(self, point, task, trial)
+            source_bits = point.pattern.row_bits(
+                columns, "mrc-src", task.serial, task.bank, trial
+            )
+            z = reliability.multi_row_copy_z(
+                n_destinations=max(1, group.size - 1),
+                t1_ns=point.t1_ns,
+                t2_ns=point.t2_ns,
+                source_ones_fraction=float(np.mean(source_bits)),
+                temp_c=temp_c,
+                vpp=vpp,
+            )
+            stable = reliability.stable_mask(
+                z, task.bank, task.subarray, group.rows,
+                OperationClass.MULTI_ROW_COPY, columns,
+            )
+            for position, local_row in enumerate(destinations):
+                noise = reliability.context_noise(
+                    context, task.bank, task.subarray, columns,
+                    f"mrc-{local_row}",
+                )
+                matrix[trial, position * columns:(position + 1) * columns] = (
+                    stable | (noise == source_bits)
+                )
+        return matrix
+
+
+class DisturbanceKernel(TrialKernel):
+    """Limitation-3 audit: hammer a group, watch the bystanders.
+
+    The vectorized path leans on a structural property of the behavior
+    model -- APA resolution only ever writes simultaneously *asserted*
+    rows, so bystanders cannot flip -- and proves it per task with a
+    real read-back audit in :meth:`finalize` (the audit is ANDed into
+    the accumulated mask by every executor).
+    """
+
+    op_name = "disturbance"
+    signature = "disturbance"
+    batched_semantic = None
+
+    def __init__(self, pattern: DataPattern, bystanders: Tuple[int, ...]):
+        self.pattern = pattern
+        self.bystanders = tuple(bystanders)
+
+    def _reference(self, columns: int, row: int) -> np.ndarray:
+        return self.pattern.row_bits(columns, "disturb-bystander", row)
+
+    def setup(self, bench, task, point):
+        device_bank = bench.module.bank(task.bank)
+        columns = bench.module.config.columns_per_row
+        for row in self.bystanders:
+            device_bank.write_row(row, self._reference(columns, row))
+
+    def run_trial(self, bench, task, point, trial):
+        module = bench.module
+        device_bank = module.bank(task.bank)
+        columns = module.config.columns_per_row
+        subarray_rows = module.profile.subarray_rows
+        for global_row in task.group.global_rows(subarray_rows):
+            device_bank.write_row(
+                global_row,
+                self.pattern.row_bits(
+                    columns, "disturb-active", global_row, trial
+                ),
+            )
+        rf_global, rs_global = task.group.global_pair(subarray_rows)
+        bench.run(
+            apa_program(task.bank, rf_global, rs_global, point.t1_ns, point.t2_ns)
+        )
+        # Rotating per-trial probe; finalize() audits every bystander.
+        correct = np.ones(task.cells, dtype=bool)
+        probe_index = trial % len(self.bystanders)
+        probe = self.bystanders[probe_index]
+        segment = device_bank.read_row(probe) == self._reference(columns, probe)
+        correct[probe_index * columns:(probe_index + 1) * columns] = segment
+        return correct
+
+    def run_batch(self, bench, task, point):
+        return np.ones((task.trials, task.cells), dtype=bool)
+
+    def finalize(self, bench, task, point):
+        device_bank = bench.module.bank(task.bank)
+        columns = bench.module.config.columns_per_row
+        return np.concatenate([
+            device_bank.read_row(row) == self._reference(columns, row)
+            for row in self.bystanders
+        ])

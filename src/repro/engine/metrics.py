@@ -1,0 +1,127 @@
+"""Per-layer instrumentation for the trial-execution engine.
+
+Every executor accounts the same quantities -- plans and tasks
+executed, trials measured, APA programs pushed through the bender,
+cells audited, wall-time per pipeline stage, and worker occupancy --
+so ``simra-dram stats`` can compare runs across executors and stored
+campaign results carry a machine-readable cost record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class EngineMetrics:
+    """Structured counters for one executor (cumulative across plans)."""
+
+    executor: str = ""
+    plans: int = 0
+    tasks: int = 0
+    trials: int = 0
+    apa_programs: int = 0
+    cells: int = 0
+    workers: int = 1
+    environment_s: float = 0.0
+    execute_s: float = 0.0
+    reduce_s: float = 0.0
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    """Summed worker compute time (== execute_s for in-process runs)."""
+    chaos_faults_injected: int = 0
+    """Faults injected by worker-side chaos harnesses (parallel runs)."""
+    stages: Dict[str, float] = field(default_factory=dict)
+    """Optional extra per-stage wall-times (e.g. ``probe``/``batch``)."""
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the worker pool kept busy during execution."""
+        capacity = self.wall_s * max(1, self.workers)
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_s / capacity)
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        """Accumulate an extra named stage wall-time."""
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def merge(self, other: "EngineMetrics") -> None:
+        """Fold another metrics record into this one (counters add)."""
+        self.plans += other.plans
+        self.tasks += other.tasks
+        self.trials += other.trials
+        self.apa_programs += other.apa_programs
+        self.cells += other.cells
+        self.environment_s += other.environment_s
+        self.execute_s += other.execute_s
+        self.reduce_s += other.reduce_s
+        self.wall_s += other.wall_s
+        self.busy_s += other.busy_s
+        self.chaos_faults_injected += other.chaos_faults_injected
+        self.workers = max(self.workers, other.workers)
+        for name, seconds in other.stages.items():
+            self.add_stage(name, seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (what campaign stores persist)."""
+        payload: Dict[str, object] = {
+            "executor": self.executor,
+            "plans": self.plans,
+            "tasks": self.tasks,
+            "trials": self.trials,
+            "apa_programs": self.apa_programs,
+            "cells": self.cells,
+            "workers": self.workers,
+            "environment_s": self.environment_s,
+            "execute_s": self.execute_s,
+            "reduce_s": self.reduce_s,
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "occupancy": self.occupancy,
+            "chaos_faults_injected": self.chaos_faults_injected,
+        }
+        for name, seconds in sorted(self.stages.items()):
+            payload[f"stage_{name}_s"] = seconds
+        return payload
+
+    def render(self) -> str:
+        """Human-readable stats report."""
+        lines = [
+            f"engine stats ({self.executor or 'unknown'} executor)",
+            f"  plans executed    : {self.plans}",
+            f"  tasks executed    : {self.tasks}",
+            f"  trials executed   : {self.trials}",
+            f"  APA programs      : {self.apa_programs}",
+            f"  cells audited     : {self.cells}",
+            f"  workers           : {self.workers}",
+            f"  wall time         : {self.wall_s:.3f} s",
+            f"    environment     : {self.environment_s:.3f} s",
+            f"    execute         : {self.execute_s:.3f} s",
+            f"    reduce          : {self.reduce_s:.3f} s",
+        ]
+        for name, seconds in sorted(self.stages.items()):
+            lines.append(f"    {name:<15} : {seconds:.3f} s")
+        lines.append(f"  occupancy         : {self.occupancy:.1%}")
+        if self.chaos_faults_injected:
+            lines.append(
+                f"  worker chaos faults: {self.chaos_faults_injected}"
+            )
+        return "\n".join(lines)
+
+
+def render_stats_dict(payload: Dict[str, object]) -> str:
+    """Render a stored :meth:`EngineMetrics.as_dict` payload."""
+    metrics = EngineMetrics()
+    stage_items: List = []
+    for key, value in payload.items():
+        if key.startswith("stage_") and key.endswith("_s"):
+            stage_items.append((key[len("stage_"):-2], float(value)))
+        elif key == "occupancy":
+            continue
+        elif hasattr(metrics, key):
+            setattr(metrics, key, value)
+    for name, seconds in stage_items:
+        metrics.add_stage(name, seconds)
+    return metrics.render()

@@ -1,0 +1,152 @@
+"""Declarative measurement plans for the trial-execution engine.
+
+A characterization module no longer walks (site x group x trial)
+itself; it builds a :class:`TrialPlan` -- the site/group/trial
+selection plus a :class:`~repro.engine.kernels.TrialKernel` describing
+the operation -- and hands it to an executor.  The plan is pure data
+(tasks and kernels are picklable) so the same plan can run serially,
+sharded across processes, or vectorized in batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bender.testbench import TestBench
+from ..core.rowgroups import RowGroup
+from .metrics import EngineMetrics
+
+if TYPE_CHECKING:  # characterization imports the engine; avoid the cycle
+    from ..characterization.experiment import CharacterizationScope, OperatingPoint
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One accumulator's worth of work: a row group at one site."""
+
+    index: int
+    """Position in the plan; results are always reduced in this order."""
+    bench_index: int
+    serial: str
+    bank: int
+    subarray: int
+    group: RowGroup
+    trials: int
+    cells: int
+    """Cells the per-trial correctness vector covers."""
+
+    @property
+    def group_token(self) -> str:
+        """Stable identity of the row group for noise keying."""
+        rows = ",".join(str(r) for r in sorted(self.group.rows))
+        return f"{self.group.subarray}:{rows}"
+
+
+@dataclass
+class TrialPlan:
+    """A full measurement: tasks + kernel + operating point."""
+
+    name: str
+    kernel: "TrialKernel"  # noqa: F821 -- avoids a circular import
+    point: OperatingPoint
+    tasks: List[TrialTask]
+    benches: List[TestBench]
+    checkpoints: Tuple[int, ...] = ()
+    """Trial counts at which to snapshot the running success rate."""
+    apply_environment: bool = True
+    """Whether executors drive every bench to the operating point."""
+
+    @property
+    def total_trials(self) -> int:
+        """Trials across all tasks."""
+        return sum(task.trials for task in self.tasks)
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Reduction of one task: the AND-accumulated correctness."""
+
+    index: int
+    rate: float
+    trials: int
+    cells: int
+    mask: np.ndarray
+    """Per-cell True where the cell was correct in every trial."""
+    checkpoint_rates: Tuple[Tuple[int, float], ...] = ()
+    """(trial count, running success rate) at each plan checkpoint."""
+
+
+@dataclass
+class PlanResult:
+    """What an executor returns: ordered outcomes + a metrics delta."""
+
+    plan_name: str
+    outcomes: List[TaskOutcome]
+    metrics: EngineMetrics = field(default_factory=EngineMetrics)
+
+    def rates(self) -> List[float]:
+        """Per-task success rates in task order."""
+        return [outcome.rate for outcome in self.outcomes]
+
+
+def tasks_for_scope(
+    scope: CharacterizationScope,
+    group_size: int,
+    cells_per_group: Callable[[TestBench], int],
+    bench_predicate: Optional[Callable[[TestBench], bool]] = None,
+    trials: Optional[int] = None,
+) -> List[TrialTask]:
+    """Expand a scope into tasks in the canonical site order.
+
+    The order (bench -> bank -> subarray -> group) matches what the
+    characterization modules historically produced, so distribution
+    summaries line up sample-for-sample with the pre-engine code.
+    """
+    tasks: List[TrialTask] = []
+    per_task_trials = scope.trials if trials is None else trials
+    for bench_index, bench in enumerate(scope.benches):
+        if bench_predicate is not None and not bench_predicate(bench):
+            continue
+        for bank in scope.banks:
+            for subarray in scope.subarrays:
+                for group in scope.groups_for(bench, bank, subarray, group_size):
+                    tasks.append(
+                        TrialTask(
+                            index=len(tasks),
+                            bench_index=bench_index,
+                            serial=bench.module.serial,
+                            bank=bank,
+                            subarray=subarray,
+                            group=group,
+                            trials=per_task_trials,
+                            cells=cells_per_group(bench),
+                        )
+                    )
+    return tasks
+
+
+def rates_by_serial(plan: TrialPlan, result: PlanResult) -> Dict[str, List[float]]:
+    """Group per-task rates by module serial, preserving task order."""
+    grouped: Dict[str, List[float]] = {}
+    for task, outcome in zip(plan.tasks, result.outcomes):
+        grouped.setdefault(task.serial, []).append(outcome.rate)
+    return grouped
+
+
+def checkpoint_means(
+    result: PlanResult, checkpoints: Sequence[int]
+) -> Dict[int, float]:
+    """Mean running success rate across tasks at each checkpoint."""
+    per_checkpoint: Dict[int, List[float]] = {t: [] for t in checkpoints}
+    for outcome in result.outcomes:
+        for trial_count, rate in outcome.checkpoint_rates:
+            if trial_count in per_checkpoint:
+                per_checkpoint[trial_count].append(rate)
+    return {
+        t: float(np.mean(values))
+        for t, values in per_checkpoint.items()
+        if values
+    }

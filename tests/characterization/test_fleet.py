@@ -9,6 +9,7 @@ from repro.characterization.fleet import (
     per_manufacturer_scopes,
 )
 from repro.config import SimulationConfig
+from repro.errors import ExperimentError
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +34,33 @@ class TestScopes:
         assert len(scopes["M"].benches) == 2  # E-die + B-die specs
 
 
+class TestScopeKnobs:
+    def test_build_knobs_propagate_to_scopes(self):
+        config = SimulationConfig(seed=29, columns_per_row=64)
+        scopes = per_manufacturer_scopes(
+            config, modules_per_spec=2, groups_per_size=3, trials=5
+        )
+        for scope in scopes.values():
+            assert scope.groups_per_size == 3
+            assert scope.trials == 5
+            assert len(scope.benches) == 4  # 2 specs x 2 instances
+
+    def test_module_serials_unique_across_instances(self):
+        config = SimulationConfig(seed=29, columns_per_row=64)
+        scopes = per_manufacturer_scopes(config, modules_per_spec=2)
+        for scope in scopes.values():
+            serials = [bench.module.serial for bench in scope.benches]
+            assert len(serials) == len(set(serials))
+
+    def test_scopes_share_one_config(self, scopes):
+        fingerprints = [
+            bench.module.config.fingerprint()
+            for scope in scopes.values()
+            for bench in scope.benches
+        ]
+        assert all(fp == fingerprints[0] for fp in fingerprints)
+
+
 class TestYields:
     def test_hynix_reaches_maj9(self, scopes):
         yields = best_group_yields(scopes["H"])
@@ -51,6 +79,31 @@ class TestYields:
             base = baseline_yield(scope)
             best = best_group_yields(scope)[3]
             assert 0.0 < base <= best
+
+    def test_custom_x_values_honoured(self, scopes):
+        yields = best_group_yields(scopes["H"], x_values=(3, 7))
+        assert set(yields) == {3, 7}
+
+    def test_no_capable_width_raises(self, scopes):
+        # Micron caps at MAJ7; asking only for MAJ9 leaves nothing.
+        with pytest.raises(ExperimentError, match="MAJX-capable"):
+            best_group_yields(scopes["M"], x_values=(9,))
+
+    def test_yields_are_positive_floored(self, scopes):
+        for scope in scopes.values():
+            for value in best_group_yields(scope).values():
+                assert value >= 1e-3
+
+    def test_yields_reflect_best_group_not_mean(self, scopes):
+        from repro.characterization.majority import (
+            MAJX_POINT,
+            majx_success_distribution,
+        )
+
+        summary = majx_success_distribution(scopes["H"], 3, 32, MAJX_POINT)
+        assert best_group_yields(scopes["H"])[3] == max(
+            summary.maximum, 1e-3
+        )
 
 
 class TestMeasurementDrivenModel:

@@ -116,3 +116,29 @@ class TestVendorCapabilities:
     def test_undersized_activation_rejected(self, scope_h):
         with pytest.raises(ExperimentError):
             majx_success_distribution(scope_h, 9, 8, MAJX_POINT)
+
+
+class TestValidationPrecedesEnvironment:
+    """An impossible sweep must leave the rig exactly as it found it:
+    capability and size checks run before any executor drives the
+    benches to the operating point."""
+
+    def _environment(self, scope):
+        return [
+            (bench.module.temperature_c, bench.module.vpp)
+            for bench in scope.benches
+        ]
+
+    def test_uncapable_scope_env_untouched(self, scope_m):
+        before = self._environment(scope_m)
+        hot_point = MAJX_POINT.with_temperature(90.0).with_vpp(2.1)
+        with pytest.raises(ExperimentError, match="MAJ9"):
+            majx_success_distribution(scope_m, 9, 32, hot_point)
+        assert self._environment(scope_m) == before
+
+    def test_undersized_request_env_untouched(self, scope_h):
+        before = self._environment(scope_h)
+        hot_point = MAJX_POINT.with_temperature(90.0).with_vpp(2.1)
+        with pytest.raises(ExperimentError, match="cannot host"):
+            majx_success_distribution(scope_h, 5, 4, hot_point)
+        assert self._environment(scope_h) == before

@@ -1,0 +1,242 @@
+"""Executor contract tests.
+
+The engine's hard guarantee: for a given plan and simulation seed,
+the serial reference, the process-pool executor, and the batched
+executor all produce bit-identical results -- the same
+:class:`~repro.characterization.stats.DistributionSummary`, the same
+convergence checkpoints, the same disturbance audit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bender.testbench import TestBench
+from repro.characterization.activation import (
+    activation_success_distribution,
+    build_activation_plan,
+)
+from repro.characterization.convergence import majx_convergence_curve
+from repro.characterization.disturbance import disturbance_check
+from repro.characterization.experiment import (
+    CharacterizationScope,
+    OperatingPoint,
+)
+from repro.characterization.majority import majx_success_distribution
+from repro.characterization.rowcopy import (
+    build_copy_plan,
+    multi_row_copy_distribution,
+)
+from repro.characterization.variability import per_module_majx
+from repro.config import SimulationConfig
+from repro.core.rowgroups import sample_groups
+from repro.dram.module import Module
+from repro.dram.vendor import PROFILE_SAMSUNG, TESTED_MODULES
+from repro.engine import (
+    BatchedExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    TrialKernel,
+    TrialPlan,
+    TrialTask,
+    make_executor,
+    run_plan,
+    run_task_serial,
+)
+from repro.errors import ExperimentError
+
+ACT_POINT = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+COPY_POINT = OperatingPoint(t1_ns=36.0, t2_ns=3.0)
+
+EXECUTOR_FACTORIES = {
+    "serial": SerialExecutor,
+    "parallel": lambda: ProcessPoolExecutor(jobs=2),
+    "batched": BatchedExecutor,
+}
+
+
+def make_scope(seed: int = 51, columns: int = 64, trials: int = 4):
+    """A fresh two-manufacturer scope (fresh rig per executor run)."""
+    return CharacterizationScope.build(
+        config=SimulationConfig(seed=seed, columns_per_row=columns),
+        specs=TESTED_MODULES[:2],
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=trials,
+    )
+
+
+class TestBitIdentity:
+    """Same seed, any executor, same numbers -- the engine contract."""
+
+    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    def test_activation_distribution_matches_serial(self, other):
+        reference = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=SerialExecutor()
+        )
+        candidate = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=EXECUTOR_FACTORIES[other]()
+        )
+        assert candidate == reference
+
+    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    def test_majx_distribution_matches_serial(self, other):
+        reference = majx_success_distribution(
+            make_scope(), 3, 8, ACT_POINT, executor=SerialExecutor()
+        )
+        candidate = majx_success_distribution(
+            make_scope(), 3, 8, ACT_POINT, executor=EXECUTOR_FACTORIES[other]()
+        )
+        assert candidate == reference
+
+    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    def test_rowcopy_distribution_matches_serial(self, other):
+        reference = multi_row_copy_distribution(
+            make_scope(), 3, COPY_POINT, executor=SerialExecutor()
+        )
+        candidate = multi_row_copy_distribution(
+            make_scope(), 3, COPY_POINT, executor=EXECUTOR_FACTORIES[other]()
+        )
+        assert candidate == reference
+
+    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    def test_convergence_checkpoints_match_serial(self, other):
+        checkpoints = (1, 2, 4, 8)
+        reference = majx_convergence_curve(
+            make_scope(), 3, 8, checkpoints, executor=SerialExecutor()
+        )
+        candidate = majx_convergence_curve(
+            make_scope(), 3, 8, checkpoints,
+            executor=EXECUTOR_FACTORIES[other](),
+        )
+        assert candidate == reference
+
+    def test_per_module_breakdown_matches_serial(self):
+        reference = per_module_majx(
+            make_scope(), 3, 8, ACT_POINT, executor=SerialExecutor()
+        )
+        candidate = per_module_majx(
+            make_scope(), 3, 8, ACT_POINT, executor=BatchedExecutor()
+        )
+        assert candidate == reference
+
+    def test_disturbance_audit_matches_serial(self, quick_config):
+        reports = []
+        for executor in (SerialExecutor(), BatchedExecutor()):
+            bench = TestBench.for_spec(TESTED_MODULES[0], config=quick_config)
+            group = sample_groups(0, 512, 8, 1, "engine-disturb")[0]
+            reports.append(
+                disturbance_check(bench, 0, group, trials=6, executor=executor)
+            )
+        assert reports[0] == reports[1]
+
+    def test_outcome_masks_match_cell_for_cell(self):
+        plans = []
+        for _ in range(2):
+            scope = make_scope()
+            plans.append(build_activation_plan(scope, 8, ACT_POINT))
+        serial = SerialExecutor().run(plans[0])
+        batched = BatchedExecutor().run(plans[1])
+        for ours, theirs in zip(serial.outcomes, batched.outcomes):
+            assert ours.index == theirs.index
+            assert np.array_equal(ours.mask, theirs.mask)
+            assert ours.checkpoint_rates == theirs.checkpoint_rates
+
+
+class TestBatchedFallback:
+    """Off-regime plans fall back to the reference path, bit-identically."""
+
+    def test_copy_plan_at_majority_timings_falls_back(self):
+        # t1 = 1.5 ns resolves as a charge-sharing majority, not a
+        # copy, so the batched copy math must not run.
+        point = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+        serial = SerialExecutor()
+        batched = BatchedExecutor()
+        reference = run_plan(build_copy_plan(make_scope(), 3, point), serial)
+        candidate = run_plan(build_copy_plan(make_scope(), 3, point), batched)
+        assert candidate.rates() == reference.rates()
+        assert "fallback" in batched.metrics.stages
+        # Fallback pays the per-trial program cost on top of the probe.
+        assert batched.metrics.apa_programs > serial.metrics.apa_programs
+
+    def test_on_regime_plan_uses_one_probe_per_task(self):
+        batched = BatchedExecutor()
+        plan = build_copy_plan(make_scope(), 3, COPY_POINT)
+        run_plan(plan, batched)
+        assert batched.metrics.apa_programs == len(plan.tasks)
+        assert "batch" in batched.metrics.stages
+        assert "fallback" not in batched.metrics.stages
+
+
+class TestInstrumentation:
+    def test_serial_counts_one_program_per_trial(self):
+        executor = SerialExecutor()
+        plan = build_activation_plan(make_scope(), 8, ACT_POINT)
+        run_plan(plan, executor)
+        assert executor.metrics.plans == 1
+        assert executor.metrics.tasks == len(plan.tasks)
+        assert executor.metrics.trials == plan.total_trials
+        assert executor.metrics.apa_programs == plan.total_trials
+        assert executor.metrics.occupancy > 0.0
+
+    def test_parallel_reports_worker_pool(self):
+        executor = ProcessPoolExecutor(jobs=2)
+        plan = build_activation_plan(make_scope(), 8, ACT_POINT)
+        run_plan(plan, executor)
+        assert executor.metrics.workers == 2
+        assert executor.metrics.busy_s > 0.0
+
+    def test_metrics_accumulate_across_plans(self):
+        executor = SerialExecutor()
+        scope = make_scope()
+        run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
+        run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
+        assert executor.metrics.plans == 2
+
+
+class _WrongShapeKernel(TrialKernel):
+    op_name = "broken"
+    signature = "broken"
+
+    def run_trial(self, bench, task, point, trial):
+        return np.ones(task.cells + 1, dtype=bool)
+
+
+class TestErrors:
+    def test_make_executor_names(self):
+        assert make_executor(None).name == "serial"
+        assert make_executor("serial").name == "serial"
+        assert make_executor("parallel", jobs=3).jobs == 3
+        assert make_executor("batched").name == "batched"
+        with pytest.raises(ExperimentError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_kernel_shape_mismatch_rejected(self, quick_config):
+        bench = TestBench.for_spec(TESTED_MODULES[0], config=quick_config)
+        group = sample_groups(0, 512, 4, 1, "engine-shape")[0]
+        task = TrialTask(
+            index=0, bench_index=0, serial=bench.module.serial,
+            bank=0, subarray=0, group=group, trials=1, cells=8,
+        )
+        with pytest.raises(ExperimentError, match="expected"):
+            run_task_serial(
+                _WrongShapeKernel(), ACT_POINT, (), bench, task
+            )
+
+    def test_parallel_requires_catalog_benches(self, quick_config):
+        module = Module("HANDMADE#0", PROFILE_SAMSUNG, config=quick_config)
+        bench = TestBench(module)
+        group = sample_groups(0, 512, 4, 1, "engine-nospec")[0]
+        plan = TrialPlan(
+            name="nospec",
+            kernel=_WrongShapeKernel(),
+            point=ACT_POINT,
+            tasks=[
+                TrialTask(
+                    index=0, bench_index=0, serial=module.serial,
+                    bank=0, subarray=0, group=group, trials=1, cells=8,
+                )
+            ],
+            benches=[bench],
+        )
+        with pytest.raises(ExperimentError, match="catalog-built"):
+            ProcessPoolExecutor(jobs=1).run(plan)

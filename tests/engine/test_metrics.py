@@ -1,0 +1,81 @@
+"""Tests for per-layer engine instrumentation."""
+
+from repro.engine import EngineMetrics
+from repro.engine.metrics import render_stats_dict
+
+
+class TestMerge:
+    def test_counters_add(self):
+        total = EngineMetrics(executor="serial")
+        total.merge(EngineMetrics(plans=1, tasks=2, trials=8, apa_programs=8,
+                                  cells=64, wall_s=1.0, busy_s=1.0))
+        total.merge(EngineMetrics(plans=1, tasks=3, trials=12, apa_programs=3,
+                                  cells=96, wall_s=0.5, busy_s=0.5))
+        assert total.plans == 2
+        assert total.tasks == 5
+        assert total.trials == 20
+        assert total.apa_programs == 11
+        assert total.cells == 160
+        assert total.wall_s == 1.5
+
+    def test_workers_take_the_max(self):
+        total = EngineMetrics(workers=1)
+        total.merge(EngineMetrics(workers=4))
+        total.merge(EngineMetrics(workers=2))
+        assert total.workers == 4
+
+    def test_stages_accumulate(self):
+        total = EngineMetrics()
+        total.add_stage("probe", 0.25)
+        total.merge(EngineMetrics(stages={"probe": 0.75, "batch": 1.0}))
+        assert total.stages == {"probe": 1.0, "batch": 1.0}
+
+
+class TestOccupancy:
+    def test_zero_wall_time_is_zero(self):
+        assert EngineMetrics().occupancy == 0.0
+
+    def test_serial_fully_busy(self):
+        metrics = EngineMetrics(workers=1, wall_s=2.0, busy_s=2.0)
+        assert metrics.occupancy == 1.0
+
+    def test_parallel_partial_occupancy(self):
+        metrics = EngineMetrics(workers=4, wall_s=1.0, busy_s=2.0)
+        assert metrics.occupancy == 0.5
+
+    def test_capped_at_one(self):
+        metrics = EngineMetrics(workers=1, wall_s=1.0, busy_s=5.0)
+        assert metrics.occupancy == 1.0
+
+
+class TestReporting:
+    def test_as_dict_round_trips_through_render_stats_dict(self):
+        metrics = EngineMetrics(
+            executor="batched", plans=2, tasks=6, trials=48,
+            apa_programs=6, cells=1536, wall_s=0.5, busy_s=0.5,
+        )
+        metrics.add_stage("probe", 0.1)
+        metrics.add_stage("batch", 0.3)
+        assert render_stats_dict(metrics.as_dict()) == metrics.render()
+
+    def test_render_mentions_every_headline_counter(self):
+        metrics = EngineMetrics(executor="serial", plans=1, tasks=2,
+                                trials=8, apa_programs=8, cells=64)
+        report = metrics.render()
+        for fragment in ("serial", "plans", "trials", "APA programs",
+                         "occupancy"):
+            assert fragment in report
+
+    def test_as_dict_is_json_plain(self):
+        import json
+
+        metrics = EngineMetrics(executor="parallel", workers=3)
+        metrics.add_stage("probe", 0.5)
+        payload = metrics.as_dict()
+        assert payload["stage_probe_s"] == 0.5
+        json.dumps(payload)  # must not raise
+
+    def test_worker_chaos_counts_surface_in_render(self):
+        metrics = EngineMetrics(executor="parallel", chaos_faults_injected=3)
+        assert "chaos" in metrics.render()
+        assert EngineMetrics().render().count("chaos") == 0

@@ -1,0 +1,160 @@
+"""Tests for declarative trial plans and their helpers."""
+
+import pytest
+
+from repro.characterization.experiment import (
+    CharacterizationScope,
+    OperatingPoint,
+)
+from repro.config import SimulationConfig
+from repro.core.patterns import PATTERN_AA55
+from repro.dram.vendor import TESTED_MODULES
+from repro.engine import (
+    ActivationKernel,
+    PlanResult,
+    TaskOutcome,
+    TrialPlan,
+    checkpoint_means,
+    measurement_context,
+    point_token,
+    rates_by_serial,
+    tasks_for_scope,
+)
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def scope():
+    return CharacterizationScope.build(
+        config=SimulationConfig(seed=9, columns_per_row=64),
+        specs=TESTED_MODULES[:2],
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=3,
+    )
+
+
+class TestTasksForScope:
+    def test_indices_are_contiguous_in_order(self, scope):
+        tasks = tasks_for_scope(scope, 8, lambda bench: 64)
+        assert [task.index for task in tasks] == list(range(len(tasks)))
+
+    def test_site_order_is_bench_major(self, scope):
+        tasks = tasks_for_scope(scope, 8, lambda bench: 64)
+        bench_order = [task.bench_index for task in tasks]
+        assert bench_order == sorted(bench_order)
+
+    def test_trials_default_to_scope(self, scope):
+        tasks = tasks_for_scope(scope, 8, lambda bench: 64)
+        assert all(task.trials == scope.trials for task in tasks)
+
+    def test_trials_override(self, scope):
+        tasks = tasks_for_scope(scope, 8, lambda bench: 64, trials=11)
+        assert all(task.trials == 11 for task in tasks)
+
+    def test_predicate_filters_benches_but_keeps_indices_dense(self, scope):
+        keep = scope.benches[1].module.serial
+        tasks = tasks_for_scope(
+            scope,
+            8,
+            lambda bench: 64,
+            bench_predicate=lambda bench: bench.module.serial == keep,
+        )
+        assert tasks, "predicate should keep the second bench"
+        assert {task.serial for task in tasks} == {keep}
+        assert [task.index for task in tasks] == list(range(len(tasks)))
+
+    def test_group_token_is_stable_identity(self, scope):
+        task = tasks_for_scope(scope, 8, lambda bench: 64)[0]
+        rows = ",".join(str(r) for r in sorted(task.group.rows))
+        assert task.group_token == f"{task.group.subarray}:{rows}"
+
+
+class TestNoiseIdentity:
+    def test_point_token_covers_every_environment_axis(self):
+        base = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+        variants = [
+            base.with_timing(3.0, 3.0),
+            base.with_temperature(90.0),
+            base.with_vpp(2.1),
+            base.with_pattern(PATTERN_AA55),
+        ]
+        tokens = {point_token(point) for point in variants}
+        tokens.add(point_token(base))
+        assert len(tokens) == len(variants) + 1
+
+    def test_measurement_context_distinguishes_trials(self, scope):
+        task = tasks_for_scope(scope, 8, lambda bench: 64)[0]
+        kernel = ActivationKernel()
+        point = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+        first = measurement_context(kernel, point, task, 0)
+        second = measurement_context(kernel, point, task, 1)
+        assert first != second
+        assert first[:-1] == second[:-1]
+
+    def test_measurement_context_carries_kernel_signature(self, scope):
+        task = tasks_for_scope(scope, 8, lambda bench: 64)[0]
+        point = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+        context = measurement_context(ActivationKernel(), point, task, 0)
+        assert context[0] == "activation"
+
+
+def _outcome(index, rate, serial="S#0", checkpoints=()):
+    return TaskOutcome(
+        index=index,
+        rate=rate,
+        trials=4,
+        cells=8,
+        mask=np.ones(8, dtype=bool),
+        checkpoint_rates=checkpoints,
+    )
+
+
+class TestReductions:
+    def test_rates_by_serial_preserves_task_order(self, scope):
+        tasks = tasks_for_scope(scope, 8, lambda bench: 64)
+        plan = TrialPlan(
+            name="t",
+            kernel=ActivationKernel(),
+            point=OperatingPoint(),
+            tasks=tasks,
+            benches=list(scope.benches),
+        )
+        result = PlanResult(
+            plan_name="t",
+            outcomes=[_outcome(task.index, task.index / 10.0) for task in tasks],
+        )
+        grouped = rates_by_serial(plan, result)
+        assert set(grouped) == {task.serial for task in tasks}
+        flattened = [rate for serial in grouped for rate in grouped[serial]]
+        assert sorted(flattened) == flattened
+
+    def test_checkpoint_means_averages_across_tasks(self):
+        result = PlanResult(
+            plan_name="t",
+            outcomes=[
+                _outcome(0, 0.5, checkpoints=((2, 1.0), (4, 0.5))),
+                _outcome(1, 0.25, checkpoints=((2, 0.5), (4, 0.25))),
+            ],
+        )
+        means = checkpoint_means(result, (2, 4))
+        assert means == {2: 0.75, 4: 0.375}
+
+    def test_checkpoint_means_drops_unreached_counts(self):
+        result = PlanResult(
+            plan_name="t",
+            outcomes=[_outcome(0, 0.5, checkpoints=((2, 1.0),))],
+        )
+        assert checkpoint_means(result, (2, 64)) == {2: 1.0}
+
+    def test_total_trials(self, scope):
+        tasks = tasks_for_scope(scope, 8, lambda bench: 64, trials=5)
+        plan = TrialPlan(
+            name="t",
+            kernel=ActivationKernel(),
+            point=OperatingPoint(),
+            tasks=tasks,
+            benches=list(scope.benches),
+        )
+        assert plan.total_trials == 5 * len(tasks)

@@ -114,3 +114,52 @@ class TestCampaignCommand:
         assert "fig4a: skipped (already completed, resumed)" in (
             capsys.readouterr().out
         )
+
+
+class TestEngineCommands:
+    SCALE = ["--columns", "64", "--groups", "1", "--trials", "2"]
+
+    @pytest.mark.parametrize("executor", ["serial", "batched"])
+    def test_activation_with_executor(self, capsys, executor):
+        assert main([
+            "activation", "--rows", "8", *self.SCALE,
+            "--executor", executor, "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8-row" in out
+        assert f"engine stats ({executor} executor)" in out
+
+    def test_executor_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["activation", "--executor", "gpu"])
+
+    def test_campaign_stats_round_trip(self, capsys, tmp_path):
+        results_dir = str(tmp_path / "results")
+        assert main([
+            "campaign", "--experiments", "fig4a", *self.SCALE,
+            "--results-dir", results_dir,
+            "--executor", "batched",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats (batched executor)" in out
+        assert "APA programs" in out
+
+    def test_stats_without_campaign_hints(self, capsys, tmp_path):
+        assert main(
+            ["stats", "--results-dir", str(tmp_path / "empty")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "hint" in err
+
+    def test_bench_writes_report(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_engine.json"
+        assert main([
+            "bench", "--columns", "64", "--groups", "1", "--trials", "2",
+            "--executors", "serial", "batched",
+            "--output", str(output),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical across executors: yes" in out
+        assert output.exists()

@@ -1,0 +1,52 @@
+"""Tier-1 guard: the trial loop lives in the engine, nowhere else.
+
+Every characterization walks (site x group x trial) through a
+:class:`~repro.engine.plan.TrialPlan`; a raw ``for trial in
+range(...)`` outside ``src/repro/engine/`` means someone bypassed the
+pipeline -- losing executor selection, per-layer instrumentation, and
+the bit-identity contract.  This test fails the suite if one creeps
+back in.
+"""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RAW_TRIAL_LOOP = re.compile(r"for\s+trial\s+in\s+range\(")
+ENGINE_DIR = REPO_ROOT / "src" / "repro" / "engine"
+
+SCANNED_TREES = (
+    REPO_ROOT / "src" / "repro",
+    REPO_ROOT / "benchmarks",
+)
+
+
+def _violations():
+    found = []
+    for tree in SCANNED_TREES:
+        for path in sorted(tree.rglob("*.py")):
+            if ENGINE_DIR in path.parents:
+                continue  # the engine owns the reference trial loop
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if RAW_TRIAL_LOOP.search(line):
+                    found.append(f"{path.relative_to(REPO_ROOT)}:{number}")
+    return found
+
+
+def test_trial_loops_only_inside_the_engine():
+    violations = _violations()
+    assert not violations, (
+        "raw trial loops outside repro/engine (route them through a "
+        f"TrialPlan + executor instead): {violations}"
+    )
+
+
+def test_engine_still_owns_the_reference_loop():
+    # Sanity check that the pattern still matches real code, so the
+    # guard above cannot silently rot into a vacuous pass.
+    engine_sources = "\n".join(
+        path.read_text() for path in ENGINE_DIR.rglob("*.py")
+    )
+    assert RAW_TRIAL_LOOP.search(engine_sources)
