@@ -22,7 +22,13 @@ branch of the error hierarchy the campaign executor retries.
 
 from .engine import ChaosConfig, ChaosEngine, ChaosStats, FaultKind
 from .harness import ChaosHarness
-from .proxies import ChaoticBender, ChaoticHost, ChaoticSupply, ChaoticThermal
+from .proxies import (
+    ChaoticBender,
+    ChaoticHost,
+    ChaoticStore,
+    ChaoticSupply,
+    ChaoticThermal,
+)
 
 __all__ = [
     "ChaosConfig",
@@ -32,6 +38,7 @@ __all__ = [
     "ChaosHarness",
     "ChaoticBender",
     "ChaoticHost",
+    "ChaoticStore",
     "ChaoticSupply",
     "ChaoticThermal",
 ]

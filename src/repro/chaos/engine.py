@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .. import rng
 from ..errors import ConfigurationError
@@ -56,6 +56,20 @@ class ChaosConfig:
     """Where the rail sags to during a brownout."""
     corrupted_bits: int = 4
     """How many bits a readback corruption flips (before detection)."""
+    bench_failure_serials: Tuple[str, ...] = ()
+    """Modules whose benches fail *persistently*: every program replay
+    raises :class:`~repro.errors.PersistentBenchError` (after
+    ``bench_failure_after`` clean replays).  Target-keyed rather than
+    rate-keyed so quarantine paths are exercised deterministically."""
+    bench_failure_after: int = 0
+    """Clean program replays a doomed bench performs before dying."""
+    worker_kill_serials: Tuple[str, ...] = ()
+    """Modules whose shard kills its pool worker (``os._exit``) the
+    first time a parallel executor dispatches it -- the worker-death
+    recovery proof load."""
+    result_corruption_names: Tuple[str, ...] = ()
+    """Stored-artifact names whose on-disk bytes get silently damaged
+    once, right after the save -- the integrity-audit proof load."""
 
     def __post_init__(self) -> None:
         for name in (
@@ -75,6 +89,16 @@ class ChaosConfig:
             raise ConfigurationError("corrupted_bits must be at least 1")
         if self.seed < 0:
             raise ConfigurationError("seed must be non-negative")
+        if self.bench_failure_after < 0:
+            raise ConfigurationError("bench_failure_after must be non-negative")
+        for name in (
+            "bench_failure_serials",
+            "worker_kill_serials",
+            "result_corruption_names",
+        ):
+            # Accept any iterable of strings but store hashable tuples
+            # (the config is frozen and shipped to pool workers).
+            object.__setattr__(self, name, tuple(getattr(self, name)))
 
     def rate_for(self, kind: FaultKind) -> float:
         """The configured rate of one fault kind."""
@@ -137,6 +161,9 @@ class ChaosEngine:
         self._config = config
         self._opportunities: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
         self._injected: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
+        self._bench_replays: Dict[str, int] = {}
+        self._corrupted_names: set = set()
+        self._extra_injected: Dict[str, int] = {}
 
     @property
     def config(self) -> ChaosConfig:
@@ -159,12 +186,46 @@ class ChaosEngine:
             return True
         return False
 
+    def bench_should_fail(self, serial: str) -> bool:
+        """Whether this replay on this bench fails *persistently*.
+
+        Target-keyed, not rate-keyed: benches listed in
+        ``bench_failure_serials`` fail every replay once they have
+        performed ``bench_failure_after`` clean ones.
+        """
+        if serial not in self._config.bench_failure_serials:
+            return False
+        count = self._bench_replays.get(serial, 0)
+        self._bench_replays[serial] = count + 1
+        if count < self._config.bench_failure_after:
+            return False
+        self._extra_injected["bench-failure"] = (
+            self._extra_injected.get("bench-failure", 0) + 1
+        )
+        return True
+
+    def store_should_corrupt(self, name: str) -> bool:
+        """Whether this just-saved artifact gets damaged (once per name)."""
+        if name not in self._config.result_corruption_names:
+            return False
+        if name in self._corrupted_names:
+            return False
+        self._corrupted_names.add(name)
+        self._extra_injected["result-corruption"] = (
+            self._extra_injected.get("result-corruption", 0) + 1
+        )
+        return True
+
     @property
     def stats(self) -> ChaosStats:
         """Snapshot of opportunity and injection counts per kind."""
+        injected = {
+            kind.value: count for kind, count in self._injected.items()
+        }
+        injected.update(self._extra_injected)
         return ChaosStats(
             opportunities={
                 kind.value: count for kind, count in self._opportunities.items()
             },
-            injected={kind.value: count for kind, count in self._injected.items()},
+            injected=injected,
         )

@@ -19,6 +19,7 @@ import numpy as np
 
 from .. import rng
 from ..errors import (
+    PersistentBenchError,
     ProgramTransferError,
     ReadbackCorruptionError,
     ThermalExcursionError,
@@ -44,10 +45,23 @@ class _ChaoticProxy:
 
 
 class ChaoticBender(_ChaoticProxy):
-    """FPGA replayer with transfer faults on both directions."""
+    """FPGA replayer with transfer faults on both directions.
+
+    Besides the rate-keyed transient faults, a bench listed in
+    ``ChaosConfig.bench_failure_serials`` fails *persistently*: every
+    replay raises :class:`~repro.errors.PersistentBenchError` (a
+    non-transient error the campaign does not retry -- the health
+    layer's quarantine path is the only way past it).
+    """
 
     def execute(self, program):
         """Replay one program, unless the link drops it."""
+        serial = self._wrapped.module.serial
+        if self._engine.bench_should_fail(serial):
+            raise PersistentBenchError(
+                f"bench for module {serial!r} is persistently failing; "
+                "every replay errors until the rig is repaired"
+            )
         if self._engine.should_fire(FaultKind.PROGRAM_DROP):
             raise ProgramTransferError(
                 "command program dropped before FPGA replay "
@@ -145,3 +159,30 @@ class ChaoticSupply(_ChaoticProxy):
                 f"{volts:.2f} V"
             )
         return self._wrapped.set_voltage(volts)
+
+
+class ChaoticStore(_ChaoticProxy):
+    """Result store whose on-disk artifacts can rot after a save.
+
+    The save itself reports success (as a real silent-corruption event
+    would); artifacts named in ``ChaosConfig.result_corruption_names``
+    get one seeded byte of their file damaged afterwards, to be caught
+    by the store's checksum verification on the next load or by
+    ``simra-dram audit``.
+    """
+
+    def save(self, name, data, config=None, notes="", quality=None):
+        """Persist through the real store, then maybe damage the file."""
+        path = self._wrapped.save(
+            name, data, config=config, notes=notes, quality=quality
+        )
+        if self._engine.store_should_corrupt(name):
+            raw = bytearray(path.read_bytes())
+            if raw:
+                generator = rng.generator(
+                    "chaos-store", self._engine.config.seed, name
+                )
+                position = int(generator.integers(0, len(raw)))
+                raw[position] ^= 0x20
+                path.write_bytes(bytes(raw))
+        return path

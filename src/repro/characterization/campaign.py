@@ -18,7 +18,18 @@ the executor is failure-isolated:
   carrying the full exception chain, and the sweep continues;
 - with a store attached, every completed experiment is checkpointed in
   a :class:`~repro.characterization.store.CampaignManifest`, so a
-  killed campaign re-run with ``resume=True`` skips finished figures;
+  killed campaign re-run with ``resume=True`` skips finished figures
+  (after re-verifying their content checksums) and -- unless
+  ``retry_failed=True`` -- does not burn its retry budget on figures
+  already recorded as failed for a *non-transient* cause;
+- with a :class:`~repro.health.HealthTracker` attached, every bench is
+  probed before each figure; modules whose circuit breaker trips
+  (persistent faults, repeated transient faults) are quarantined, the
+  figure degrades gracefully to the healthy subset -- bit-identical to
+  a run scoped to that subset from the start, because group sampling
+  and measurement noise are serial-keyed -- and the stored result
+  carries an explicit data-quality annotation naming what was
+  excluded;
 - a :class:`~repro.chaos.ChaosConfig` can be attached to prove all of
   the above under injected faults (the rig is restored afterwards).
 """
@@ -26,12 +37,21 @@ the executor is failure-isolated:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import rng
-from ..errors import ConfigurationError, ExperimentError, TransientInfrastructureError
+from ..bender.program import ProgramBuilder
+from ..errors import (
+    ConfigurationError,
+    ExperimentError,
+    NoHealthyModulesError,
+    PersistentBenchError,
+    ResultCorruptionError,
+    TransientInfrastructureError,
+)
+from ..health.tracker import HealthTracker
 from .activation import figure3_timing_grid, figure4a_temperature, figure4b_voltage
 from .experiment import CharacterizationScope
 from .majority import (
@@ -47,7 +67,7 @@ from .rowcopy import (
     figure12a_temperature,
     figure12b_voltage,
 )
-from .store import CampaignManifest, ResultStore
+from .store import CampaignManifest, ResultStore, storable
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig3": figure3_timing_grid,
@@ -104,8 +124,9 @@ class ExperimentFailure:
 
     experiment: str
     reason: str
-    """``"error"`` (non-retryable), ``"retries-exhausted"``, or
-    ``"time-budget"``."""
+    """``"error"`` (non-retryable), ``"retries-exhausted"``,
+    ``"time-budget"``, or ``"no-healthy-modules"`` (every bench in the
+    scope quarantined)."""
     attempts: int
     elapsed_s: float
     error: str
@@ -136,6 +157,12 @@ class CampaignResult:
     completed: List[str] = field(default_factory=list)
     skipped: List[str] = field(default_factory=list)
     """Experiments reused from a previous run's checkpoint."""
+    skipped_failed: List[str] = field(default_factory=list)
+    """Experiments skipped on resume because a previous run recorded a
+    non-transient failure (run with ``retry_failed=True`` to retry)."""
+    corrupt_rerun: List[str] = field(default_factory=list)
+    """Stored results that failed their integrity check on resume and
+    were therefore re-run instead of reused."""
     failures: List[ExperimentFailure] = field(default_factory=list)
     attempts: Dict[str, int] = field(default_factory=dict)
     stored_at: Optional[Path] = None
@@ -144,10 +171,18 @@ class CampaignResult:
     engine_stats: Optional[Dict[str, object]] = None
     """Cumulative :class:`~repro.engine.EngineMetrics` of the campaign's
     executor (``None`` when the campaign ran without one)."""
+    quality: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    """Per-experiment data-quality annotations (fleet coverage), kept
+    only when a health tracker supervises the campaign."""
+    health: Optional[Dict[str, object]] = None
+    """Fleet health summary
+    (:meth:`~repro.health.HealthTracker.as_dict`) when supervised."""
 
     @property
     def succeeded(self) -> bool:
-        """Whether every experiment produced data."""
+        """Whether every experiment *attempted this run* produced data
+        (resume-skips, including previously-failed ones, don't count
+        against it)."""
         return not self.failures
 
     def summary_lines(self) -> List[str]:
@@ -155,9 +190,23 @@ class CampaignResult:
         lines = []
         for name in self.skipped:
             lines.append(f"  {name}: skipped (already completed, resumed)")
+        for name in self.skipped_failed:
+            lines.append(
+                f"  {name}: skipped (failed non-transiently in a previous "
+                "run; use retry_failed to retry)"
+            )
         for name in self.completed:
             attempts = self.attempts.get(name, 1)
             suffix = f" after {attempts} attempts" if attempts > 1 else ""
+            if name in self.corrupt_rerun:
+                suffix += " (stored copy failed integrity check; re-run)"
+            quality = self.quality.get(name) or {}
+            quarantined = quality.get("modules_quarantined") or []
+            if quarantined:
+                suffix += (
+                    f" [degraded: {len(quarantined)} module(s) "
+                    f"quarantined: {', '.join(quarantined)}]"
+                )
             lines.append(f"  {name}: done{suffix}")
         for failure in self.failures:
             lines.append(
@@ -180,6 +229,7 @@ class Campaign:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         executor: Optional["ExecutorBase"] = None,  # noqa: F821
+        health: Optional[HealthTracker] = None,
     ):
         if time_budget_s is not None and time_budget_s <= 0:
             raise ConfigurationError("time budget must be positive")
@@ -191,6 +241,7 @@ class Campaign:
         self._sleep = sleep
         self._clock = clock
         self._executor = executor
+        self._health = health
 
     @property
     def scope(self) -> CharacterizationScope:
@@ -202,16 +253,26 @@ class Campaign:
         """The transient-fault retry policy in force."""
         return self._retry
 
+    @property
+    def health(self) -> Optional[HealthTracker]:
+        """The fleet supervisor, when one is attached."""
+        return self._health
+
     def run(
         self,
         experiments: Sequence[str] = ("fig3", "fig6", "fig10"),
         resume: bool = False,
+        retry_failed: bool = False,
     ) -> CampaignResult:
         """Execute the named experiments in order.
 
         With ``resume=True`` (requires a store) experiments already
         recorded as completed in the store's campaign manifest are
-        reloaded from disk instead of re-run.
+        reloaded from disk instead of re-run -- after their content
+        checksums verify; a damaged artifact is re-run instead.
+        Experiments the previous run recorded as failed for a
+        *non-transient* cause are skipped (no retry budget wasted on a
+        deterministic error) unless ``retry_failed=True``.
         """
         unknown = [name for name in experiments if name not in EXPERIMENTS]
         if unknown:
@@ -225,16 +286,23 @@ class Campaign:
 
         result = CampaignResult()
         config = self._scope.benches[0].module.config
-        manifest: Optional[CampaignManifest] = None
-        if self._store is not None:
-            manifest = self._prepare_manifest(experiments, config, resume, result)
 
         harness = None
+        store = self._store
         if self._chaos is not None:
             from ..chaos import ChaosHarness
 
             harness = ChaosHarness(self._chaos)
             harness.install_all(self._scope.benches)
+            if store is not None and self._chaos.result_corruption_names:
+                from ..chaos import ChaoticStore
+
+                store = ChaoticStore(store, harness.engine)
+        manifest: Optional[CampaignManifest] = None
+        if self._store is not None:
+            manifest = self._prepare_manifest(
+                experiments, config, resume, result, retry_failed
+            )
         # Process-pool executors re-run plans in worker processes where
         # the main harness's proxies don't reach; hand them the chaos
         # profile so injection composes with sharded execution too.
@@ -248,26 +316,54 @@ class Campaign:
             self._executor.chaos = self._chaos
         try:
             for name in experiments:
-                if name in result.skipped:
+                if name in result.skipped or name in result.skipped_failed:
                     continue
-                outcome = self._run_one(name)
+                scope, quality = self._scoped()
+                if quality is not None:
+                    result.quality[name] = quality
+                if scope is None:
+                    failure = ExperimentFailure(
+                        experiment=name,
+                        reason="no-healthy-modules",
+                        attempts=0,
+                        elapsed_s=0.0,
+                        error=_describe(
+                            NoHealthyModulesError(
+                                "every module in the scope is quarantined"
+                            )
+                        ),
+                        chain=(),
+                    )
+                    result.failures.append(failure)
+                    result.attempts[name] = 0
+                    self._record_failure(manifest, failure)
+                    continue
+                outcome = self._run_one(name, scope)
                 if isinstance(outcome, ExperimentFailure):
+                    if (
+                        outcome.reason == "retries-exhausted"
+                        and self._health is not None
+                    ):
+                        self._health.record_retry_exhaustion()
                     result.failures.append(outcome)
                     result.attempts[name] = outcome.attempts
+                    self._record_failure(manifest, outcome)
                     continue
                 data, attempts = outcome
                 result.data[name] = data
                 result.attempts[name] = attempts
                 result.completed.append(name)
-                if self._store is not None and manifest is not None:
-                    self._store.save(
+                if store is not None and manifest is not None:
+                    store.save(
                         name,
-                        _storable(data),
+                        storable(data),
                         config=config,
                         notes=f"campaign experiment {name}",
+                        quality=quality,
                     )
                     if name not in manifest.completed:
                         manifest.completed.append(name)
+                    manifest.failures.pop(name, None)
                     self._store.save_manifest(manifest)
         finally:
             if harness is not None:
@@ -277,6 +373,13 @@ class Campaign:
                 executor, previous = executor_chaos_restore
                 executor.chaos = previous
         if self._executor is not None:
+            if self._health is not None:
+                self._executor.metrics.breaker_trips = (
+                    self._health.breaker_trips
+                )
+                self._executor.metrics.modules_quarantined = len(
+                    self._health.quarantined_serials()
+                )
             result.engine_stats = self._executor.metrics.as_dict()
             if self._store is not None:
                 self._store.save(
@@ -285,9 +388,89 @@ class Campaign:
                     config=config,
                     notes="trial-engine metrics for this campaign",
                 )
+        if self._health is not None:
+            result.health = self._health.as_dict()
         if self._store is not None:
             result.stored_at = self._store.directory
         return result
+
+    def _scoped(self):
+        """The (possibly degraded) scope for the next experiment.
+
+        Without a health tracker this is the full scope.  With one,
+        every bench is probed first; quarantined modules leave the
+        scope and the returned quality annotation records exactly what
+        was excluded.  Returns ``(None, quality)`` when no module is
+        healthy.
+        """
+        if self._health is None:
+            return self._scope, None
+        healthy = self._probe_benches()
+        total = len(self._scope.benches)
+        quarantined = self._health.quarantined_serials()
+        quality = {
+            "supervised": True,
+            "modules_total": total,
+            "modules_active": [b.module.serial for b in healthy],
+            "modules_quarantined": list(quarantined),
+            "coverage": (len(healthy) / total) if total else 1.0,
+        }
+        if not healthy:
+            return None, quality
+        if len(healthy) == total:
+            return self._scope, quality
+        # Safe restriction: group sampling and measurement noise are
+        # serial-keyed, so the surviving modules' data is bit-identical
+        # to a run scoped to them from the start.
+        return replace(self._scope, benches=healthy), quality
+
+    def _probe_benches(self) -> List:
+        """Probe every bench with a NOP program, feeding the tracker.
+
+        The probe loop per bench is bounded by its breaker: repeated
+        transient failures trip it (quarantine), a persistent failure
+        trips it immediately, and an open breaker's cooldown is
+        advanced by the very ``admits`` consultations made here -- so
+        a quarantined module gets a half-open re-probe a few
+        experiments later and rejoins the fleet if its rig recovered.
+        """
+        probe = ProgramBuilder().nop().build()
+        healthy = []
+        for bench in self._scope.benches:
+            serial = bench.module.serial
+            self._health.register(serial)
+            admitted = False
+            while self._health.admits(serial):
+                try:
+                    bench.run(probe)
+                except PersistentBenchError:
+                    self._health.record_persistent(serial)
+                    break
+                except TransientInfrastructureError:
+                    self._health.record_transient(serial)
+                    continue
+                self._health.record_success(serial)
+                admitted = True
+                break
+            if admitted:
+                healthy.append(bench)
+        return healthy
+
+    def _record_failure(
+        self,
+        manifest: Optional[CampaignManifest],
+        failure: ExperimentFailure,
+    ) -> None:
+        """Checkpoint a failure so resume can skip or retry it."""
+        if self._store is None or manifest is None:
+            return
+        manifest.failures[failure.experiment] = {
+            "reason": failure.reason,
+            "attempts": failure.attempts,
+            "error": failure.error,
+            "chain": list(failure.chain),
+        }
+        self._store.save_manifest(manifest)
 
     def _fingerprint(self, config) -> dict:
         """Config identity plus the scope knobs that shape the data.
@@ -312,9 +495,11 @@ class Campaign:
         config,
         resume: bool,
         result: CampaignResult,
+        retry_failed: bool,
     ) -> CampaignManifest:
         """Load or start the store's checkpoint; fill resumable skips."""
         fingerprint = self._fingerprint(config)
+        serials = [bench.module.serial for bench in self._scope.benches]
         manifest = self._store.load_manifest() if resume else None
         if manifest is not None:
             if manifest.fingerprint != fingerprint:
@@ -324,18 +509,43 @@ class Campaign:
                 )
             for name in experiments:
                 if name in manifest.completed and self._store.has(name):
-                    result.data[name] = self._store.load(name)
+                    try:
+                        result.data[name] = self._store.load(name)
+                    except ResultCorruptionError:
+                        # Damaged after a clean write (bit rot, partial
+                        # overwrite): don't trust it -- re-run.
+                        result.corrupt_rerun.append(name)
+                        manifest.completed.remove(name)
+                        if self._health is not None:
+                            self._health.record_checksum_mismatch()
+                        continue
                     result.skipped.append(name)
+            if not retry_failed:
+                for name in experiments:
+                    failure = manifest.failures.get(name)
+                    if (
+                        failure is not None
+                        and failure.get("reason") == "error"
+                        and name not in result.skipped
+                    ):
+                        # A non-transient failure is deterministic:
+                        # re-running it would waste the retry budget.
+                        result.skipped_failed.append(name)
             manifest.planned = list(experiments)
+            if not manifest.serials:
+                manifest.serials = serials
         else:
             manifest = CampaignManifest(
-                planned=list(experiments), completed=[], fingerprint=fingerprint
+                planned=list(experiments),
+                completed=[],
+                fingerprint=fingerprint,
+                serials=serials,
             )
         self._store.save_manifest(manifest)
         return manifest
 
     def _run_one(
-        self, name: str
+        self, name: str, scope: CharacterizationScope
     ) -> Union[Tuple[object, int], ExperimentFailure]:
         """One experiment under the retry policy and time budget."""
         started = self._clock()
@@ -348,10 +558,10 @@ class Campaign:
                 # and the default call signature must keep working.
                 if self._executor is not None:
                     return (
-                        EXPERIMENTS[name](self._scope, executor=self._executor),
+                        EXPERIMENTS[name](scope, executor=self._executor),
                         attempt,
                     )
-                return EXPERIMENTS[name](self._scope), attempt
+                return EXPERIMENTS[name](scope), attempt
             except TransientInfrastructureError as exc:
                 elapsed = self._clock() - started
                 if attempt >= self._retry.max_attempts:
@@ -400,18 +610,9 @@ class Campaign:
         return "\n\n".join(sections)
 
 
-def _storable(data):
-    """Convert tuple keys (t1, t2) to strings for JSON persistence."""
-    if isinstance(data, dict):
-        return {
-            (
-                ",".join(str(part) for part in key)
-                if isinstance(key, tuple)
-                else str(key)
-            ): _storable(value)
-            for key, value in data.items()
-        }
-    return data
+# Kept as an alias: the canonical implementation moved next to the
+# store (whose checksums are computed over the storable form).
+_storable = storable
 
 
 def _render_experiment(name: str, data) -> str:

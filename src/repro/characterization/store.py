@@ -7,20 +7,29 @@ library version), and reloads them with
 :class:`~repro.characterization.stats.DistributionSummary` objects
 reconstructed.
 
-Robustness contract (a campaign can be killed at any instant):
+Robustness contract (a campaign can be killed at any instant, and
+stored bytes can rot between runs):
 
 - every write lands via a same-directory temp file and ``os.replace``,
   so a reader never observes a half-written document;
+- every document carries a schema-version stamp and a content
+  checksum (SHA-256 over the canonical JSON of its data payload);
+  loads verify the checksum, so a file damaged *after* a clean write
+  raises :class:`~repro.errors.ChecksumMismatchError` instead of being
+  trusted silently on resume;
 - a truncated or hand-damaged file raises
   :class:`~repro.errors.ResultCorruptionError` (an
   :class:`~repro.errors.ExperimentError`) rather than a bare
   ``json.JSONDecodeError``;
 - a :class:`CampaignManifest` checkpoint records which experiments of
-  a campaign already completed, letting ``--resume`` skip them.
+  a campaign completed or failed (and on which module fleet), letting
+  ``--resume`` skip finished figures and ``simra-dram audit`` rebuild
+  the scope for a recompute cross-check.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -29,13 +38,18 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..config import SimulationConfig
-from ..errors import ExperimentError, ResultCorruptionError
+from ..errors import ChecksumMismatchError, ExperimentError, ResultCorruptionError
 from .stats import DistributionSummary
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+"""Version 1 documents predate content checksums; they still load but
+``verify`` reports them as ``"legacy"``."""
+_CHECKSUM_ALGORITHM = "sha256-canonical-json"
 _SUMMARY_MARKER = "__distribution_summary__"
 _MANIFEST_FILENAME = "campaign-manifest.json"
-_MANIFEST_VERSION = 1
+_MANIFEST_VERSION = 2
+_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 def _encode(value: Any) -> Any:
@@ -61,6 +75,36 @@ def _decode(value: Any) -> Any:
     if isinstance(value, list):
         return [_decode(item) for item in value]
     return value
+
+
+def storable(data: Any) -> Any:
+    """Convert tuple keys (t1, t2) to strings for JSON persistence."""
+    if isinstance(data, dict):
+        return {
+            (
+                ",".join(str(part) for part in key)
+                if isinstance(key, tuple)
+                else str(key)
+            ): storable(value)
+            for key, value in data.items()
+        }
+    return data
+
+
+def canonical_data(data: Any) -> Any:
+    """The persistence-normal form of a payload (what ``load`` returns).
+
+    Recomputed figures pass through this before being compared against
+    stored ones, so tuple keys, numpy scalars converted upstream, and
+    summary objects all land in the same representation.
+    """
+    return _decode(_encode(storable(data)))
+
+
+def content_checksum(encoded: Any) -> str:
+    """SHA-256 of the canonical JSON form of an encoded data payload."""
+    canonical = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _write_atomic(path: Path, text: str) -> None:
@@ -94,6 +138,13 @@ class CampaignManifest:
     completed: List[str] = field(default_factory=list)
     fingerprint: Optional[Dict[str, Any]] = None
     """:meth:`~repro.config.SimulationConfig.fingerprint` of the run."""
+    failures: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    """Experiments the campaign gave up on, by name: ``reason`` /
+    ``attempts`` / ``error`` / ``chain``.  Non-transient failures are
+    skipped on resume unless ``--retry-failed`` is passed."""
+    serials: List[str] = field(default_factory=list)
+    """Module serials of the campaign's full scope, in bench order --
+    what ``simra-dram audit`` rebuilds the recompute scope from."""
 
 
 class ResultStore:
@@ -130,16 +181,36 @@ class ResultStore:
             )
         return document
 
+    def _verify_document(self, name: str, document: Dict[str, Any]) -> None:
+        """Check a parsed document's content checksum (if it has one)."""
+        checksum = document.get("checksum")
+        if not isinstance(checksum, dict):
+            return  # legacy version-1 document: nothing to verify against
+        recorded = checksum.get("digest")
+        actual = content_checksum(document.get("data"))
+        if recorded != actual:
+            raise ChecksumMismatchError(
+                f"stored result {name!r} failed its integrity check: "
+                f"recorded digest {recorded!r}, recomputed {actual!r}"
+            )
+
     def save(
         self,
         name: str,
         data: Any,
         config: Optional[SimulationConfig] = None,
         notes: str = "",
+        quality: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        """Persist one experiment's output (atomically)."""
+        """Persist one experiment's output (atomically, checksummed).
+
+        ``quality`` carries explicit data-quality annotations (e.g.
+        which modules were quarantined while this figure ran) so a
+        degraded campaign never shrinks its fleet silently.
+        """
         from .. import __version__
 
+        encoded = _encode(data)
         document = {
             "format_version": _FORMAT_VERSION,
             "library_version": __version__,
@@ -153,35 +224,72 @@ class ResultStore:
                 if config is not None
                 else None
             ),
-            "data": _encode(data),
+            "quality": quality,
+            "checksum": {
+                "algorithm": _CHECKSUM_ALGORITHM,
+                "digest": content_checksum(encoded),
+            },
+            "data": encoded,
         }
         path = self._path(name)
         _write_atomic(path, json.dumps(document, indent=2, sort_keys=True))
         return path
 
-    def load(self, name: str) -> Any:
-        """Reload a result's data payload."""
+    def load(self, name: str, verify: bool = True) -> Any:
+        """Reload a result's data payload (integrity-checked)."""
         path = self._path(name)
         if not path.exists():
             raise ExperimentError(f"no stored result named {name!r}")
         document = self._read_document(name, path)
-        if document.get("format_version") != _FORMAT_VERSION:
+        if document.get("format_version") not in _SUPPORTED_VERSIONS:
             raise ExperimentError(
                 f"result {name!r} uses unsupported format "
                 f"{document.get('format_version')}"
             )
+        if verify:
+            self._verify_document(name, document)
         return _decode(document["data"])
 
     def metadata(self, name: str) -> Dict[str, Any]:
-        """Reload a result's header (version, config, notes)."""
+        """Reload a result's header (version, config, notes, quality)."""
         path = self._path(name)
         if not path.exists():
             raise ExperimentError(f"no stored result named {name!r}")
         document = self._read_document(name, path)
         return {
             key: document.get(key)
-            for key in ("format_version", "library_version", "config", "notes")
+            for key in (
+                "format_version",
+                "library_version",
+                "config",
+                "notes",
+                "quality",
+                "checksum",
+            )
         }
+
+    def verify(self, name: str) -> str:
+        """Integrity status of one stored artifact, without raising.
+
+        Returns ``"ok"`` (checksum verified), ``"legacy"`` (version-1
+        document with no checksum), ``"corrupt"`` (unparsable), or
+        ``"mismatch"`` (parses, but the content no longer matches its
+        recorded digest).
+        """
+        path = self._path(name)
+        if not path.exists():
+            return "missing"
+        try:
+            document = self._read_document(name, path)
+        except ResultCorruptionError:
+            return "corrupt"
+        if not isinstance(document.get("checksum"), dict):
+            return "legacy"
+        try:
+            self._verify_document(name, document)
+        except ChecksumMismatchError:
+            return "mismatch"
+        return "ok"
 
     def has(self, name: str) -> bool:
         """Whether a result with this name is stored."""
@@ -209,6 +317,8 @@ class ResultStore:
             "planned": list(manifest.planned),
             "completed": list(manifest.completed),
             "fingerprint": manifest.fingerprint,
+            "failures": dict(manifest.failures),
+            "serials": list(manifest.serials),
         }
         path = self.manifest_path
         _write_atomic(path, json.dumps(document, indent=2, sort_keys=True))
@@ -220,7 +330,7 @@ class ResultStore:
         if not path.exists():
             return None
         document = self._read_document("campaign manifest", path)
-        if document.get("format_version") != _MANIFEST_VERSION:
+        if document.get("format_version") not in _SUPPORTED_MANIFEST_VERSIONS:
             raise ExperimentError(
                 "campaign manifest uses unsupported format "
                 f"{document.get('format_version')}"
@@ -229,6 +339,8 @@ class ResultStore:
             planned=list(document.get("planned", [])),
             completed=list(document.get("completed", [])),
             fingerprint=document.get("fingerprint"),
+            failures=dict(document.get("failures", {})),
+            serials=list(document.get("serials", [])),
         )
 
     def clear_manifest(self) -> None:

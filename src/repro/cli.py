@@ -14,6 +14,7 @@ writing Python::
     simra-dram trng --bits 4096         # extension: random numbers
     simra-dram decoder --rf 0 --rs 7    # decoder algebra lookup
     simra-dram campaign --resume        # checkpointed figure sweep
+    simra-dram audit --results-dir d    # integrity + recompute audit
     simra-dram stats --results-dir d    # engine metrics of a campaign
     simra-dram bench                    # executor benchmark sweep
 
@@ -245,6 +246,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .characterization.store import ResultStore
     from .chaos import ChaosConfig
     from .errors import ExperimentError
+    from .health import BreakerPolicy, HealthTracker
 
     scope = _scope_from(args)
     store = ResultStore(Path(args.results_dir))
@@ -256,6 +258,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             max_faults_per_kind=args.chaos_max_faults,
         )
     executor = _executor_from(args)
+    health = None
+    if args.supervise:
+        health = HealthTracker(
+            BreakerPolicy(failure_threshold=args.breaker_threshold)
+        )
     campaign = Campaign(
         scope,
         store=store,
@@ -263,9 +270,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         time_budget_s=args.time_budget_s,
         chaos=chaos,
         executor=executor,
+        health=health,
     )
     try:
-        result = campaign.run(args.experiments, resume=args.resume)
+        result = campaign.run(
+            args.experiments,
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+        )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -276,8 +288,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(line)
     if chaos is not None:
         print(f"chaos faults injected: {result.chaos_faults_injected}")
+    if result.health is not None:
+        quarantined = result.health.get("quarantined") or []
+        print(
+            f"fleet health: {len(quarantined)} module(s) quarantined, "
+            f"coverage {result.health.get('coverage', 1.0):.0%}, "
+            f"{result.health.get('breaker_trips', 0)} breaker trip(s)"
+        )
+        for serial in quarantined:
+            print(f"  quarantined: {serial}")
     _print_stats(args, executor)
     return 0 if result.succeeded else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .characterization.store import ResultStore
+    from .errors import ExperimentError
+    from .health import audit_store
+
+    store = ResultStore(Path(args.results_dir))
+    try:
+        report = audit_store(store, sample=args.sample, seed=args.seed)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"audit of {store.directory}/")
+    for line in report.summary_lines():
+        print(line)
+    store.save(
+        "audit-report",
+        report.as_dict(),
+        notes="result-integrity audit report",
+    )
+    return 0 if report.passed else 1
 
 
 def _cmd_besttiming(args: argparse.Namespace) -> int:
@@ -346,7 +389,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("hint: run `simra-dram campaign --executor ...` first",
               file=sys.stderr)
         return 2
+    if store.has("audit-report"):
+        audit = store.load("audit-report")
+        payload = dict(payload)
+        payload["audit_mismatches"] = audit.get("mismatches", 0)
     print(render_stats_dict(payload))
+    if store.has("audit-report"):
+        verdict = "PASS" if audit.get("passed") else "FAIL"
+        print(
+            f"last audit: {verdict} "
+            f"({audit.get('artifacts_checked', 0)} artifacts checked, "
+            f"{audit.get('figures_recomputed', 0)} figures recomputed, "
+            f"{audit.get('mismatches', 0)} mismatches)"
+        )
     return 0
 
 
@@ -448,7 +503,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chaos schedule seed")
     sub.add_argument("--chaos-max-faults", type=int, default=4,
                      help="cap on injected faults per kind")
+    sub.add_argument("--supervise", action="store_true",
+                     help="probe benches and quarantine unhealthy modules "
+                          "via per-module circuit breakers")
+    sub.add_argument("--breaker-threshold", type=int, default=3,
+                     help="consecutive probe failures that trip a module's "
+                          "breaker (with --supervise)")
+    sub.add_argument("--retry-failed", action="store_true",
+                     help="on --resume, retry figures recorded as failed "
+                          "for a non-transient cause")
     sub.set_defaults(handler=_cmd_campaign)
+
+    sub = subparsers.add_parser(
+        "audit",
+        help="verify stored-result checksums and recompute a sample "
+             "against the serial reference executor",
+    )
+    sub.add_argument("--results-dir", default="campaign_results",
+                     help="ResultStore directory (default campaign_results)")
+    sub.add_argument("--sample", type=int, default=2,
+                     help="completed figures to recompute (default 2)")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="seed for the deterministic sample choice")
+    sub.set_defaults(handler=_cmd_audit)
 
     sub = subparsers.add_parser(
         "besttiming", help="search the issueable (t1, t2) grid"

@@ -16,14 +16,16 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import time
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import rng
 from ..bender.program import apa_program
 from ..bender.testbench import TestBench
-from ..chaos import ChaosConfig, ChaosHarness
-from ..errors import ExperimentError
+from ..chaos import ChaosConfig, ChaosHarness, FaultKind
+from ..errors import ExperimentError, TransientInfrastructureError
 from .kernels import TrialKernel, measurement_context
 from .metrics import EngineMetrics
 from .plan import PlanResult, TaskOutcome, TrialPlan, TrialTask
@@ -134,14 +136,25 @@ class SerialExecutor(ExecutorBase):
         return self._finish(plan, delta, outcomes, started)
 
 
-def _run_shard(payload: Dict[str, Any]) -> Tuple[List[TaskOutcome], float, int]:
+def _run_shard(
+    payload: Dict[str, Any],
+) -> Tuple[List[TaskOutcome], float, Dict[str, int], Optional[Exception]]:
     """Worker entry point: rebuild the bench, run its tasks serially.
 
     Module-level so it pickles under the default process start method.
-    Returns the outcomes plus the worker's busy time and how many chaos
-    faults its local harness injected (worker-side counts are reported
-    in engine metrics, separate from the campaign's main harness).
+    Returns the outcomes plus the worker's busy time, the per-kind
+    chaos faults its local harness injected, and any *transient* error
+    the shard died of.  Transient errors travel back as data rather
+    than through ``future.result()`` so the parent can credit the
+    injected faults to its ``max_faults_per_kind`` ledger before
+    re-raising -- a shard that faulted and raised would otherwise
+    never be accounted, and a rate-keyed chaotic campaign would retry
+    against an undiminished fault budget forever.
     """
+    if payload.get("kill_worker"):
+        # Chaos proof load: this shard's worker dies abruptly, the way
+        # an OOM kill or segfault would -- no exception, no cleanup.
+        os._exit(86)
     started = time.perf_counter()
     bench = TestBench.for_spec(
         payload["spec"], payload["instance"], config=payload["config"]
@@ -150,22 +163,31 @@ def _run_shard(payload: Dict[str, Any]) -> Tuple[List[TaskOutcome], float, int]:
     if payload["chaos"] is not None:
         harness = ChaosHarness(payload["chaos"])
         harness.install(bench)
+    outcomes: List[TaskOutcome] = []
+    error: Optional[Exception] = None
     try:
         point: OperatingPoint = payload["point"]
         if payload["apply_environment"]:
             bench.set_temperature(point.temperature_c)
             bench.set_vpp(point.vpp)
-        outcomes = [
-            run_task_serial(
-                payload["kernel"], point, payload["checkpoints"], bench, task
+        for task in payload["tasks"]:
+            outcomes.append(
+                run_task_serial(
+                    payload["kernel"], point, payload["checkpoints"],
+                    bench, task,
+                )
             )
-            for task in payload["tasks"]
-        ]
+    except TransientInfrastructureError as exc:
+        error = exc
     finally:
-        injected = harness.engine.stats.total_injected if harness else 0
+        injected = (
+            {k: v for k, v in harness.engine.stats.injected.items() if v}
+            if harness
+            else {}
+        )
         if harness is not None:
             harness.uninstall()
-    return outcomes, time.perf_counter() - started, injected
+    return outcomes, time.perf_counter() - started, injected, error
 
 
 class ProcessPoolExecutor(ExecutorBase):
@@ -177,7 +199,21 @@ class ProcessPoolExecutor(ExecutorBase):
     and raise :class:`~repro.errors.ExperimentError`.  When ``chaos``
     is set, each worker installs its own fault harness so fault
     injection composes with sharded execution; worker-side injection
-    counts surface in ``metrics.chaos_faults_injected``.
+    counts surface in ``metrics.chaos_faults_injected``, and the
+    parent keeps a per-kind ledger of them so ``max_faults_per_kind``
+    holds across shard re-executions (see :meth:`_worker_chaos`).
+
+    The pool is *supervised*: a worker that dies mid-shard (the pool
+    surfaces it as ``BrokenProcessPool``) does not sink the plan.  The
+    dead worker's unfinished shards are re-issued onto a rebuilt pool
+    -- safe because every trial's noise is keyed by measurement
+    context, never execution history, so re-running a shard lands on
+    identical bits -- and after ``max_pool_restarts`` rebuilds the
+    survivors run serially in-process.  With ``shard_deadline_s`` set,
+    a straggler detector speculatively re-issues any shard that is
+    overdue (once per shard); the first copy to finish wins, and
+    duplicates are discarded, which the same determinism makes
+    harmless.
     """
 
     name = "parallel"
@@ -186,13 +222,32 @@ class ProcessPoolExecutor(ExecutorBase):
         self,
         jobs: Optional[int] = None,
         chaos: Optional[ChaosConfig] = None,
+        shard_deadline_s: Optional[float] = None,
+        max_pool_restarts: int = 2,
     ) -> None:
         super().__init__()
+        if shard_deadline_s is not None and shard_deadline_s < 0:
+            raise ExperimentError("shard_deadline_s must be non-negative")
+        if max_pool_restarts < 0:
+            raise ExperimentError("max_pool_restarts must be non-negative")
         self.jobs = jobs
         self.chaos = chaos
+        self.shard_deadline_s = shard_deadline_s
+        self.max_pool_restarts = max_pool_restarts
+        self._kills_done: set = set()
+        """Module serials whose one-shot chaos worker-kill already fired."""
+        self._faults_spent: Dict[str, int] = {}
+        """Worker-injected faults per kind, accumulated across every
+        plan this executor has run -- the parent-side ledger that makes
+        ``max_faults_per_kind`` hold across shard re-executions."""
+        self._chaos_epoch = 0
+        """Plan-run counter salting the worker chaos schedule, so a
+        retried shard does not deterministically replay the exact
+        fault sequence that just failed it."""
 
     def run(self, plan: TrialPlan) -> PlanResult:
         started = time.perf_counter()
+        self._chaos_epoch += 1
         delta = EngineMetrics(executor=self.name)
         # Drive the local benches too, so the rig observable to the
         # caller ends in the same state a serial run would leave.
@@ -213,6 +268,13 @@ class ProcessPoolExecutor(ExecutorBase):
             instance = (
                 int(serial.rsplit("#", 1)[1]) if "#" in serial else 0
             )
+            kill_worker = (
+                self.chaos is not None
+                and serial in self.chaos.worker_kill_serials
+                and serial not in self._kills_done
+            )
+            if kill_worker:
+                self._kills_done.add(serial)
             payloads.append(
                 {
                     "spec": module.spec,
@@ -223,26 +285,18 @@ class ProcessPoolExecutor(ExecutorBase):
                     "checkpoints": tuple(plan.checkpoints),
                     "apply_environment": plan.apply_environment,
                     "tasks": shards[bench_index],
-                    "chaos": self.chaos,
+                    "chaos": self._worker_chaos(serial),
+                    "kill_worker": kill_worker,
                 }
             )
         execute_started = time.perf_counter()
         outcomes: List[TaskOutcome] = []
         if payloads:
-            workers = self.jobs or (os.cpu_count() or 1)
-            workers = max(1, min(workers, len(payloads)))
-            delta.workers = workers
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                futures = [
-                    pool.submit(_run_shard, payload) for payload in payloads
-                ]
-                for future in futures:
-                    shard_outcomes, busy_s, injected = future.result()
-                    outcomes.extend(shard_outcomes)
-                    delta.busy_s += busy_s
-                    delta.chaos_faults_injected += injected
+            for shard_outcomes, busy_s in self._execute_shards(
+                payloads, delta
+            ):
+                outcomes.extend(shard_outcomes)
+                delta.busy_s += busy_s
         for task in plan.tasks:
             delta.tasks += 1
             delta.trials += task.trials
@@ -250,6 +304,172 @@ class ProcessPoolExecutor(ExecutorBase):
             delta.apa_programs += task.trials
         delta.execute_s += time.perf_counter() - execute_started
         return self._finish(plan, delta, outcomes, started)
+
+    _RATE_FIELDS = {
+        FaultKind.PROGRAM_DROP: "program_drop_rate",
+        FaultKind.READBACK_CORRUPTION: "readback_corruption_rate",
+        FaultKind.THERMAL_EXCURSION: "thermal_excursion_rate",
+        FaultKind.VPP_BROWNOUT: "vpp_brownout_rate",
+    }
+
+    def _worker_chaos(self, serial: str) -> Optional[ChaosConfig]:
+        """The chaos profile one shard's worker should install.
+
+        Worker harnesses are rebuilt per shard, so two properties the
+        serial harness gets for free must be restored here:
+
+        - **caps persist**: a fault kind whose accumulated worker-side
+          injections have reached ``max_faults_per_kind`` is shipped
+          with rate 0, so a retried plan eventually runs fault-free
+          and a chaotic campaign converges;
+        - **schedules advance**: the seed is salted with a per-plan
+          epoch (and the shard's serial), so a retried shard does not
+          deterministically replay the exact fault sequence that just
+          failed it.
+
+        Target-keyed faults (bench failures, worker kills) are
+        unaffected: they ignore the seed and are capped elsewhere.
+        """
+        chaos = self.chaos
+        if chaos is None:
+            return None
+        rated = [
+            field
+            for field in self._RATE_FIELDS.values()
+            if getattr(chaos, field) > 0.0
+        ]
+        if not rated:
+            return chaos
+        overrides: Dict[str, Any] = {}
+        cap = chaos.max_faults_per_kind
+        if cap is not None:
+            for kind, field in self._RATE_FIELDS.items():
+                if (
+                    field in rated
+                    and self._faults_spent.get(kind.value, 0) >= cap
+                ):
+                    overrides[field] = 0.0
+        salt = rng.generator(
+            "worker-chaos", chaos.seed, self._chaos_epoch, serial
+        )
+        overrides["seed"] = int(salt.integers(0, 2**31))
+        return replace(chaos, **overrides)
+
+    def _harvest(
+        self,
+        shard: Tuple[
+            List[TaskOutcome], float, Dict[str, int], Optional[Exception]
+        ],
+        delta: EngineMetrics,
+    ) -> Tuple[List[TaskOutcome], float]:
+        """Account one finished shard, re-raising its transient error.
+
+        The fault ledger is credited *before* the raise so that a
+        retried plan runs against a diminished budget -- the property
+        that makes chaotic parallel campaigns converge.
+        """
+        outcomes, busy_s, injected, error = shard
+        delta.chaos_faults_injected += sum(injected.values())
+        for kind, count in injected.items():
+            self._faults_spent[kind] = self._faults_spent.get(kind, 0) + count
+        if error is not None:
+            raise error
+        return outcomes, busy_s
+
+    def _execute_shards(
+        self, payloads: List[Dict[str, Any]], delta: EngineMetrics
+    ) -> List[Tuple[List[TaskOutcome], float]]:
+        """Run every shard to completion, surviving worker death."""
+        workers = self.jobs or (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(payloads)))
+        delta.workers = workers
+        pending: Dict[int, Dict[str, Any]] = dict(enumerate(payloads))
+        results: Dict[int, Tuple[List[TaskOutcome], float]] = {}
+        restarts = 0
+        while pending:
+            if restarts > self.max_pool_restarts:
+                # Out of pool rebuilds: finish the survivors serially
+                # in-process (the kill flag must not reach this path,
+                # or os._exit would take down the campaign itself).
+                for index in sorted(pending):
+                    results[index] = self._harvest(
+                        _run_shard(dict(pending[index], kill_worker=False)),
+                        delta,
+                    )
+                pending.clear()
+                break
+            broke = False
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=max(1, min(workers, len(pending)))
+            )
+            try:
+                future_shard: Dict[concurrent.futures.Future, int] = {}
+                for index in sorted(pending):
+                    future_shard[pool.submit(_run_shard, pending[index])] = index
+                active = set(future_shard)
+                reissued: set = set()
+                while active:
+                    deadline = self.shard_deadline_s
+                    if deadline is not None and all(
+                        future_shard[f] in reissued for f in active
+                    ):
+                        deadline = None  # every shard already duplicated
+                    done, _ = concurrent.futures.wait(
+                        active,
+                        timeout=deadline,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # Deadline elapsed with nothing finishing:
+                        # speculatively re-issue overdue shards (once
+                        # each).  First copy back wins; re-execution is
+                        # bit-identical, so duplicates are discarded.
+                        for future in list(active):
+                            index = future_shard[future]
+                            if index in reissued or index not in pending:
+                                continue
+                            reissued.add(index)
+                            delta.stragglers_reissued += 1
+                            duplicate = pool.submit(
+                                _run_shard,
+                                dict(pending[index], kill_worker=False),
+                            )
+                            future_shard[duplicate] = index
+                            active.add(duplicate)
+                        continue
+                    shard_error: Optional[Exception] = None
+                    for future in done:
+                        active.discard(future)
+                        index = future_shard[future]
+                        if index not in pending:
+                            continue  # duplicate of a finished shard
+                        try:
+                            results[index] = self._harvest(
+                                future.result(), delta
+                            )
+                        except TransientInfrastructureError as exc:
+                            # Keep harvesting (and crediting) the rest
+                            # of this round before the error surfaces.
+                            shard_error = shard_error or exc
+                            continue
+                        del pending[index]
+                    if shard_error is not None:
+                        raise shard_error
+            except concurrent.futures.process.BrokenProcessPool:
+                broke = True
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+            if broke:
+                restarts += 1
+                delta.pool_restarts += 1
+                delta.tasks_resharded += sum(
+                    len(payload["tasks"]) for payload in pending.values()
+                )
+                # A chaos kill flag fires once: clear it before the
+                # shard is re-issued, or the rebuilt pool dies too.
+                for payload in pending.values():
+                    payload["kill_worker"] = False
+        return [results[index] for index in sorted(results)]
 
 
 class BatchedExecutor(ExecutorBase):
@@ -354,12 +574,19 @@ def make_executor(
     name: Optional[str],
     jobs: Optional[int] = None,
     chaos: Optional[ChaosConfig] = None,
+    shard_deadline_s: Optional[float] = None,
+    max_pool_restarts: int = 2,
 ) -> ExecutorBase:
     """Build an executor from a CLI-style name."""
     if name in (None, "serial"):
         return SerialExecutor()
     if name == "parallel":
-        return ProcessPoolExecutor(jobs=jobs, chaos=chaos)
+        return ProcessPoolExecutor(
+            jobs=jobs,
+            chaos=chaos,
+            shard_deadline_s=shard_deadline_s,
+            max_pool_restarts=max_pool_restarts,
+        )
     if name == "batched":
         return BatchedExecutor()
     raise ExperimentError(

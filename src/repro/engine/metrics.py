@@ -32,6 +32,18 @@ class EngineMetrics:
     """Summed worker compute time (== execute_s for in-process runs)."""
     chaos_faults_injected: int = 0
     """Faults injected by worker-side chaos harnesses (parallel runs)."""
+    breaker_trips: int = 0
+    """Circuit-breaker trips observed by the supervising health layer."""
+    modules_quarantined: int = 0
+    """Modules excluded from the scope by quarantine."""
+    tasks_resharded: int = 0
+    """Tasks re-issued after their worker died mid-shard."""
+    stragglers_reissued: int = 0
+    """Overdue shards speculatively re-issued by the straggler detector."""
+    pool_restarts: int = 0
+    """Times a broken worker pool was rebuilt."""
+    audit_mismatches: int = 0
+    """Artifacts flagged by a result-integrity audit."""
     stages: Dict[str, float] = field(default_factory=dict)
     """Optional extra per-stage wall-times (e.g. ``probe``/``batch``)."""
 
@@ -60,6 +72,12 @@ class EngineMetrics:
         self.wall_s += other.wall_s
         self.busy_s += other.busy_s
         self.chaos_faults_injected += other.chaos_faults_injected
+        self.breaker_trips += other.breaker_trips
+        self.modules_quarantined += other.modules_quarantined
+        self.tasks_resharded += other.tasks_resharded
+        self.stragglers_reissued += other.stragglers_reissued
+        self.pool_restarts += other.pool_restarts
+        self.audit_mismatches += other.audit_mismatches
         self.workers = max(self.workers, other.workers)
         for name, seconds in other.stages.items():
             self.add_stage(name, seconds)
@@ -81,6 +99,12 @@ class EngineMetrics:
             "busy_s": self.busy_s,
             "occupancy": self.occupancy,
             "chaos_faults_injected": self.chaos_faults_injected,
+            "breaker_trips": self.breaker_trips,
+            "modules_quarantined": self.modules_quarantined,
+            "tasks_resharded": self.tasks_resharded,
+            "stragglers_reissued": self.stragglers_reissued,
+            "pool_restarts": self.pool_restarts,
+            "audit_mismatches": self.audit_mismatches,
         }
         for name, seconds in sorted(self.stages.items()):
             payload[f"stage_{name}_s"] = seconds
@@ -108,6 +132,18 @@ class EngineMetrics:
             lines.append(
                 f"  worker chaos faults: {self.chaos_faults_injected}"
             )
+        health = [
+            ("breaker trips", self.breaker_trips),
+            ("modules quarantined", self.modules_quarantined),
+            ("tasks re-sharded", self.tasks_resharded),
+            ("stragglers re-issued", self.stragglers_reissued),
+            ("pool restarts", self.pool_restarts),
+            ("audit mismatches", self.audit_mismatches),
+        ]
+        if any(count for _, count in health):
+            lines.append("  fleet health")
+            for label, count in health:
+                lines.append(f"    {label:<18}: {count}")
         return "\n".join(lines)
 
 

@@ -70,6 +70,21 @@ class VppBrownoutError(TransientInfrastructureError):
     below-envelope wordline voltage until the supply is reprogrammed."""
 
 
+class PersistentBenchError(InfrastructureError):
+    """A test bench is failing *persistently* (a dead FPGA link, a fried
+    level shifter): every operation against it errors until a human
+    repairs the rig.  Deliberately **not** a transient error -- retrying
+    wastes the campaign's budget; the health layer quarantines the
+    module instead (see :mod:`repro.health`)."""
+
+
+class WorkerCrashError(InfrastructureError):
+    """A trial-engine pool worker died mid-shard (killed, out-of-memory,
+    segfault).  The parallel executor's supervisor re-shards the dead
+    worker's unfinished tasks; this error surfaces only if recovery
+    itself is impossible."""
+
+
 class ExperimentError(SimraError):
     """An experiment was configured inconsistently (e.g. asking for more
     row groups than a subarray can provide)."""
@@ -79,3 +94,14 @@ class ResultCorruptionError(ExperimentError):
     """A stored result or manifest file is truncated or not valid JSON
     (e.g. a campaign was killed mid-write before writes became atomic,
     or the file was damaged on disk)."""
+
+
+class ChecksumMismatchError(ResultCorruptionError):
+    """A stored artifact parses fine but its content no longer matches
+    the checksum recorded at write time: the bytes were altered after
+    the save (bit rot, a hand edit, an injected corruption)."""
+
+
+class NoHealthyModulesError(ExperimentError):
+    """Every module in the scope is quarantined by the health layer;
+    there is nothing left to measure."""

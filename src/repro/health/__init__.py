@@ -1,0 +1,37 @@
+"""Fleet health supervision for long characterization campaigns.
+
+A real 18-module rig degrades piecewise: one bench's FPGA link dies,
+one worker process crashes, one stored file rots.  The paper's
+campaigns survive by quarantining what is broken and continuing on
+what is not -- this package is that supervision layer:
+
+- :class:`CircuitBreaker` / :class:`BreakerPolicy` -- seeded,
+  deterministic closed / open / half-open state machine per module
+  (:mod:`repro.health.breaker`).
+- :class:`HealthTracker` -- per-module observation counters feeding
+  the breakers; quarantine and coverage views the campaign consumes
+  (:mod:`repro.health.tracker`).
+- :func:`audit_store` / :class:`AuditReport` -- checksum verification
+  plus serial-recompute cross-checks over a stored campaign
+  (:mod:`repro.health.audit`).
+
+The campaign layer threads this through execution: probes feed the
+tracker, tripped modules leave the scope, and every stored result is
+annotated with the fleet it was actually measured on.
+"""
+
+from .audit import AuditFinding, AuditReport, audit_store, scope_from_manifest
+from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from .tracker import HealthTracker, ModuleHealth
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "audit_store",
+    "scope_from_manifest",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthTracker",
+    "ModuleHealth",
+]

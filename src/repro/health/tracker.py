@@ -1,0 +1,145 @@
+"""Per-module fleet health accounting.
+
+:class:`HealthTracker` is the campaign's view of which benches can be
+trusted.  Executor and probe outcomes feed it (successes, transient
+errors, persistent errors, retry exhaustion, checksum mismatches);
+one seeded :class:`~repro.health.breaker.CircuitBreaker` per module
+turns those observations into an admit/quarantine decision.  A
+quarantined module is excluded from the measurement scope and the
+campaign degrades gracefully to the healthy subset, annotating every
+stored result with what was excluded (instead of silently shrinking
+the fleet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+
+
+@dataclass
+class ModuleHealth:
+    """Raw observation counters for one module's bench."""
+
+    serial: str
+    successes: int = 0
+    transient_errors: int = 0
+    persistent_errors: int = 0
+    retry_exhaustions: int = 0
+
+
+class HealthTracker:
+    """Fleet supervisor: breakers + counters for every module."""
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None):
+        self._policy = policy if policy is not None else BreakerPolicy()
+        self._records: Dict[str, ModuleHealth] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.checksum_mismatches = 0
+        """Stored-artifact integrity failures observed (fleet-wide)."""
+        self.retry_exhaustions = 0
+        """Experiments that burned their whole retry budget (fleet-wide)."""
+
+    @property
+    def policy(self) -> BreakerPolicy:
+        """The breaker policy applied to every module."""
+        return self._policy
+
+    def register(self, serial: str) -> None:
+        """Start tracking a module (idempotent)."""
+        if serial not in self._records:
+            self._records[serial] = ModuleHealth(serial=serial)
+            self._breakers[serial] = CircuitBreaker(serial, self._policy)
+
+    def breaker(self, serial: str) -> CircuitBreaker:
+        """The breaker guarding one module."""
+        self.register(serial)
+        return self._breakers[serial]
+
+    def health(self, serial: str) -> ModuleHealth:
+        """The observation counters for one module."""
+        self.register(serial)
+        return self._records[serial]
+
+    def admits(self, serial: str) -> bool:
+        """Whether the module may be used now (advances open cooldowns)."""
+        return self.breaker(serial).allows()
+
+    # -- observation feed --------------------------------------------------
+
+    def record_success(self, serial: str) -> None:
+        """A bench operation/probe on this module succeeded."""
+        self.health(serial).successes += 1
+        self._breakers[serial].record_success()
+
+    def record_transient(self, serial: str) -> None:
+        """A bench operation/probe failed with a *transient* fault."""
+        self.health(serial).transient_errors += 1
+        self._breakers[serial].record_failure()
+
+    def record_persistent(self, serial: str) -> None:
+        """A bench operation/probe failed persistently: trip at once."""
+        self.health(serial).persistent_errors += 1
+        self._breakers[serial].failures += 1
+        self._breakers[serial].trip()
+
+    def record_retry_exhaustion(self, serial: Optional[str] = None) -> None:
+        """An experiment exhausted its retries (module-attributed or not)."""
+        self.retry_exhaustions += 1
+        if serial is not None:
+            self.health(serial).retry_exhaustions += 1
+            self._breakers[serial].record_failure()
+
+    def record_checksum_mismatch(self) -> None:
+        """A stored artifact failed its integrity check on reload."""
+        self.checksum_mismatches += 1
+
+    # -- fleet views -------------------------------------------------------
+
+    @property
+    def serials(self) -> List[str]:
+        """Every module this tracker has seen, in registration order."""
+        return list(self._records)
+
+    def quarantined_serials(self) -> List[str]:
+        """Modules currently excluded (breaker open or latched)."""
+        return [
+            serial
+            for serial, breaker in self._breakers.items()
+            if breaker.latched or breaker.state is BreakerState.OPEN
+        ]
+
+    def healthy_serials(self, serials: Iterable[str]) -> List[str]:
+        """Filter a serial list down to currently-admitted modules."""
+        return [serial for serial in serials if self.admits(serial)]
+
+    @property
+    def breaker_trips(self) -> int:
+        """Total breaker trips across the fleet."""
+        return sum(breaker.trips for breaker in self._breakers.values())
+
+    def coverage(self, total: Optional[int] = None) -> float:
+        """Fraction of the fleet not currently quarantined."""
+        count = total if total is not None else len(self._records)
+        if count <= 0:
+            return 1.0
+        return max(0.0, 1.0 - len(self.quarantined_serials()) / count)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON summary (what campaign results persist)."""
+        return {
+            "modules": {
+                serial: {
+                    **{k: v for k, v in asdict(record).items() if k != "serial"},
+                    "breaker": self._breakers[serial].as_dict(),
+                }
+                for serial, record in self._records.items()
+            },
+            "quarantined": self.quarantined_serials(),
+            "breaker_trips": self.breaker_trips,
+            "coverage": self.coverage(),
+            "retry_exhaustions": self.retry_exhaustions,
+            "checksum_mismatches": self.checksum_mismatches,
+        }

@@ -1,0 +1,115 @@
+"""Tests for the target-keyed fault classes feeding the health layer.
+
+Unlike the rate-keyed transient faults, these fire against named
+targets (a module serial, a stored-artifact name) so quarantine and
+integrity-audit paths can be exercised deterministically.
+"""
+
+import pytest
+
+from repro.bender.program import ProgramBuilder
+from repro.characterization.store import ResultStore
+from repro.chaos import ChaosConfig, ChaosEngine, ChaosHarness
+from repro.chaos.proxies import ChaoticStore
+from repro.errors import ConfigurationError, PersistentBenchError
+
+
+def nop_program():
+    return ProgramBuilder().nop().build()
+
+
+class TestConfig:
+    def test_bench_failure_after_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(bench_failure_after=-1)
+
+    def test_target_lists_normalized_to_tuples(self):
+        config = ChaosConfig(
+            bench_failure_serials=["A#0"],
+            worker_kill_serials=["B#0"],
+            result_corruption_names=["fig3"],
+        )
+        assert config.bench_failure_serials == ("A#0",)
+        assert config.worker_kill_serials == ("B#0",)
+        assert config.result_corruption_names == ("fig3",)
+
+    def test_burst_profile_has_no_targeted_faults(self):
+        config = ChaosConfig.burst(seed=3)
+        assert config.bench_failure_serials == ()
+        assert config.worker_kill_serials == ()
+        assert config.result_corruption_names == ()
+
+
+class TestPersistentBenchFailure:
+    def test_untargeted_bench_never_fails(self, bench_h):
+        engine = ChaosEngine(ChaosConfig(seed=1))
+        assert not engine.bench_should_fail(bench_h.module.serial)
+
+    def test_targeted_bench_fails_every_replay(self, bench_h):
+        serial = bench_h.module.serial
+        harness = ChaosHarness(
+            ChaosConfig(seed=1, bench_failure_serials=(serial,))
+        )
+        with harness.installed([bench_h]):
+            for _ in range(3):
+                with pytest.raises(PersistentBenchError):
+                    bench_h.run(nop_program())
+        assert harness.engine.stats.injected["bench-failure"] == 3
+
+    def test_failure_after_allows_clean_replays_first(self, bench_h):
+        serial = bench_h.module.serial
+        harness = ChaosHarness(
+            ChaosConfig(
+                seed=1,
+                bench_failure_serials=(serial,),
+                bench_failure_after=2,
+            )
+        )
+        with harness.installed([bench_h]):
+            bench_h.run(nop_program())
+            bench_h.run(nop_program())
+            with pytest.raises(PersistentBenchError):
+                bench_h.run(nop_program())
+
+
+class TestResultCorruption:
+    def test_targeted_artifact_damaged_once_and_detectable(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        engine = ChaosEngine(
+            ChaosConfig(seed=5, result_corruption_names=("figbad",))
+        )
+        chaotic = ChaoticStore(store, engine)
+        chaotic.save("figbad", {"rate": 0.5})
+        chaotic.save("figok", {"rate": 0.5})
+        assert store.verify("figbad") in ("mismatch", "corrupt")
+        assert store.verify("figok") == "ok"
+        # One-shot per name: the re-save is left intact.
+        chaotic.save("figbad", {"rate": 0.5})
+        assert store.verify("figbad") == "ok"
+        assert engine.stats.injected["result-corruption"] == 1
+
+    def test_corruption_is_seeded_deterministic(self, tmp_path):
+        damaged = []
+        for attempt in range(2):
+            store = ResultStore(tmp_path / f"results-{attempt}")
+            engine = ChaosEngine(
+                ChaosConfig(seed=5, result_corruption_names=("figbad",))
+            )
+            path = ChaoticStore(store, engine).save("figbad", {"rate": 0.5})
+            damaged.append(path.read_bytes())
+        assert damaged[0] == damaged[1]
+
+
+class TestStats:
+    def test_extras_absent_when_unconfigured(self):
+        engine = ChaosEngine(ChaosConfig.burst(seed=1))
+        stats = engine.stats
+        assert "bench-failure" not in stats.injected
+        assert "result-corruption" not in stats.injected
+
+    def test_extras_count_toward_total(self):
+        engine = ChaosEngine(
+            ChaosConfig(seed=1, bench_failure_serials=("A#0",))
+        )
+        assert engine.bench_should_fail("A#0")
+        assert engine.stats.total_injected == 1

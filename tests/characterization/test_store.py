@@ -1,11 +1,22 @@
 """Tests for the experiment result store."""
 
+import json
+
 import pytest
 
 from repro.characterization.stats import summarize
-from repro.characterization.store import CampaignManifest, ResultStore
+from repro.characterization.store import (
+    CampaignManifest,
+    ResultStore,
+    canonical_data,
+    storable,
+)
 from repro.config import SimulationConfig
-from repro.errors import ExperimentError, ResultCorruptionError
+from repro.errors import (
+    ChecksumMismatchError,
+    ExperimentError,
+    ResultCorruptionError,
+)
 
 
 @pytest.fixture()
@@ -71,11 +82,66 @@ class TestValidation:
     def test_future_format_rejected(self, store, tmp_path):
         path = store.save("versioned", 1)
         document = path.read_text().replace(
-            '"format_version": 1', '"format_version": 99'
+            '"format_version": 2', '"format_version": 99'
         )
         path.write_text(document)
         with pytest.raises(ExperimentError):
             store.load("versioned")
+
+
+class TestIntegrity:
+    def test_documents_carry_checksum_and_version(self, store):
+        path = store.save("stamped", {"x": 1})
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 2
+        assert document["checksum"]["algorithm"] == "sha256-canonical-json"
+        assert len(document["checksum"]["digest"]) == 64
+
+    def test_tampered_data_raises_mismatch(self, store):
+        path = store.save("tampered", {"rate": 0.75})
+        document = json.loads(path.read_text())
+        document["data"]["rate"] = 0.99
+        path.write_text(json.dumps(document))
+        with pytest.raises(ChecksumMismatchError):
+            store.load("tampered")
+        # ChecksumMismatchError stays inside the corruption branch.
+        with pytest.raises(ResultCorruptionError):
+            store.load("tampered")
+        assert store.verify("tampered") == "mismatch"
+
+    def test_verify_statuses(self, store):
+        store.save("clean", {"x": 1})
+        assert store.verify("clean") == "ok"
+        assert store.verify("absent") == "missing"
+        path = store.save("broken", {"x": 1})
+        path.write_text("{not json")
+        assert store.verify("broken") == "corrupt"
+
+    def test_legacy_v1_document_loads_without_checksum(self, store):
+        path = store.save("old", {"x": 1})
+        document = json.loads(path.read_text())
+        document["format_version"] = 1
+        del document["checksum"]
+        path.write_text(json.dumps(document))
+        assert store.load("old") == {"x": 1}
+        assert store.verify("old") == "legacy"
+
+    def test_unverified_load_skips_the_check(self, store):
+        path = store.save("raw", {"rate": 0.5})
+        document = json.loads(path.read_text())
+        document["data"]["rate"] = 0.6
+        path.write_text(json.dumps(document))
+        assert store.load("raw", verify=False) == {"rate": 0.6}
+
+    def test_quality_annotation_round_trip(self, store):
+        quality = {"modules_quarantined": ["m#1"], "coverage": 0.5}
+        store.save("annotated", {"x": 1}, quality=quality)
+        assert store.metadata("annotated")["quality"] == quality
+
+    def test_canonical_data_matches_load(self, store):
+        data = {(3.0, 4.5): summarize([0.5, 0.75]), "n": [1, 2]}
+        store.save("canon", storable(data))
+        assert store.load("canon") == canonical_data(data)
 
 
 class TestAtomicityAndCorruption:
@@ -151,3 +217,25 @@ class TestManifest:
         store.clear_manifest()
         assert store.load_manifest() is None
         store.clear_manifest()  # idempotent
+
+    def test_failures_and_serials_round_trip(self, store):
+        manifest = CampaignManifest(
+            planned=["fig3"],
+            failures={"fig3": {"reason": "error", "attempts": 1}},
+            serials=["MOD-A#0", "MOD-B#0"],
+        )
+        store.save_manifest(manifest)
+        loaded = store.load_manifest()
+        assert loaded.failures == manifest.failures
+        assert loaded.serials == manifest.serials
+
+    def test_legacy_manifest_without_new_fields_loads(self, store):
+        store.save_manifest(CampaignManifest(planned=["fig3"]))
+        document = json.loads(store.manifest_path.read_text())
+        document["format_version"] = 1
+        del document["failures"]
+        del document["serials"]
+        store.manifest_path.write_text(json.dumps(document))
+        loaded = store.load_manifest()
+        assert loaded.failures == {}
+        assert loaded.serials == []

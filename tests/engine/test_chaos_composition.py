@@ -62,6 +62,29 @@ class TestChaosWithExecutors:
         assert chaotic.chaos_faults_injected == 4  # one per fault kind
         assert chaotic.data == clean.data
 
+    def test_rate_chaos_converges_under_parallel_executor(self):
+        """Worker harnesses are rebuilt per shard, so the parent must
+        carry the fault-cap ledger across attempts (and salt each
+        retry's schedule) or a rate-keyed chaotic campaign would retry
+        against an undiminished, identically-scheduled fault budget
+        forever."""
+        experiments = ["fig4a"]
+        clean = Campaign(
+            make_scope(), executor=ProcessPoolExecutor(jobs=2)
+        ).run(experiments)
+        executor = ProcessPoolExecutor(jobs=2)
+        chaotic = Campaign(
+            make_scope(),
+            retry=RetryPolicy(max_attempts=20, base_delay_s=0.0),
+            chaos=ChaosConfig.light(seed=11, rate=0.2, max_faults_per_kind=2),
+            sleep=no_sleep,
+            executor=executor,
+        ).run(experiments)
+        assert chaotic.succeeded
+        assert chaotic.data == clean.data
+        # Faults really fired somewhere (main harness and/or workers).
+        assert chaotic.chaos_faults_injected >= 1
+
     def test_campaign_hands_chaos_profile_to_parallel_executor(
         self, monkeypatch
     ):

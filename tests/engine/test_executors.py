@@ -42,6 +42,7 @@ from repro.engine import (
     run_plan,
     run_task_serial,
 )
+from repro.chaos import ChaosConfig
 from repro.errors import ExperimentError
 
 ACT_POINT = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
@@ -191,6 +192,81 @@ class TestInstrumentation:
         run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
         run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
         assert executor.metrics.plans == 2
+
+
+KILL_SERIAL = TESTED_MODULES[1].module_identifier + "#0"
+
+
+class TestWorkerSupervision:
+    """Worker death, stragglers, and the serial fallback -- all of it
+    must preserve the bit-identity contract, because measurement noise
+    is context-keyed, never execution-history-keyed."""
+
+    def test_worker_crash_recovers_bit_identically(self):
+        reference = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=SerialExecutor()
+        )
+        chaos = ChaosConfig(seed=3, worker_kill_serials=(KILL_SERIAL,))
+        executor = ProcessPoolExecutor(jobs=2, chaos=chaos)
+        candidate = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        assert candidate == reference
+        assert executor.metrics.pool_restarts >= 1
+        assert executor.metrics.tasks_resharded >= 1
+
+    def test_kill_fires_once_per_serial(self):
+        chaos = ChaosConfig(seed=3, worker_kill_serials=(KILL_SERIAL,))
+        executor = ProcessPoolExecutor(jobs=2, chaos=chaos)
+        activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        restarts_after_first = executor.metrics.pool_restarts
+        activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        assert executor.metrics.pool_restarts == restarts_after_first
+
+    def test_straggler_deadline_reissues_and_stays_bit_identical(self):
+        reference = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=SerialExecutor()
+        )
+        # A zero deadline declares every in-flight shard a straggler;
+        # the duplicate issues are harmless because results are keyed
+        # by task index and noise by measurement context.
+        executor = ProcessPoolExecutor(jobs=2, shard_deadline_s=0.0)
+        candidate = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        assert candidate == reference
+        assert executor.metrics.stragglers_reissued >= 1
+
+    def test_serial_fallback_when_restart_budget_exhausted(self):
+        reference = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=SerialExecutor()
+        )
+        chaos = ChaosConfig(seed=3, worker_kill_serials=(KILL_SERIAL,))
+        executor = ProcessPoolExecutor(
+            jobs=2, chaos=chaos, max_pool_restarts=0
+        )
+        candidate = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        assert candidate == reference
+        assert executor.metrics.pool_restarts == 1
+
+    def test_deadline_knob_validated(self):
+        with pytest.raises(ExperimentError):
+            ProcessPoolExecutor(jobs=2, shard_deadline_s=-1.0)
+        with pytest.raises(ExperimentError):
+            ProcessPoolExecutor(jobs=2, max_pool_restarts=-1)
+
+    def test_make_executor_passes_supervision_knobs(self):
+        executor = make_executor(
+            "parallel", jobs=2, shard_deadline_s=4.5, max_pool_restarts=5
+        )
+        assert executor.shard_deadline_s == 4.5
+        assert executor.max_pool_restarts == 5
 
 
 class _WrongShapeKernel(TrialKernel):

@@ -1,0 +1,115 @@
+"""Circuit-breaker state-machine tests (all deterministic, no clocks)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.health import BreakerPolicy, BreakerState, CircuitBreaker
+
+
+def make_breaker(**kwargs) -> CircuitBreaker:
+    return CircuitBreaker("MOD#0", BreakerPolicy(**kwargs))
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(cooldown_probes=-1)
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(half_open_successes=0)
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(max_trips=0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows()
+
+    def test_consecutive_failures_trip(self):
+        breaker = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allows()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make_breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_counted_in_allows_consultations(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_probes=2)
+        breaker.record_failure()
+        assert not breaker.allows()  # cooldown 2 -> 1
+        assert not breaker.allows()  # cooldown 1 -> 0
+        assert breaker.allows()  # expired: half-open probe admitted
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_probes=0)
+        breaker.record_failure()
+        assert breaker.allows()  # straight to half-open
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_retrips(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_probes=0)
+        breaker.record_failure()
+        assert breaker.allows()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_explicit_trip_skips_the_threshold(self):
+        breaker = make_breaker(failure_threshold=5)
+        breaker.trip()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_max_trips_latches(self):
+        breaker = make_breaker(
+            failure_threshold=1, cooldown_probes=0, max_trips=2
+        )
+        breaker.record_failure()  # trip 1
+        assert breaker.allows()
+        breaker.record_failure()  # trip 2: latched
+        assert breaker.latched
+        for _ in range(10):
+            assert not breaker.allows()
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def cooldown_length(seed):
+            breaker = CircuitBreaker(
+                "MOD#0",
+                BreakerPolicy(
+                    failure_threshold=1,
+                    cooldown_probes=1,
+                    cooldown_jitter=5,
+                    seed=seed,
+                ),
+            )
+            breaker.record_failure()
+            count = 0
+            while not breaker.allows():
+                count += 1
+            return count
+
+        assert cooldown_length(3) == cooldown_length(3)
+        lengths = {cooldown_length(seed) for seed in range(12)}
+        assert len(lengths) > 1  # the jitter actually varies
+
+    def test_as_dict_snapshot(self):
+        breaker = make_breaker(failure_threshold=1)
+        breaker.record_failure()
+        snapshot = breaker.as_dict()
+        assert snapshot["state"] == "open"
+        assert snapshot["trips"] == 1
+        assert snapshot["failures"] == 1
+        assert snapshot["latched"] is False

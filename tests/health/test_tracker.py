@@ -1,0 +1,74 @@
+"""Fleet-tracker tests: observations in, quarantine decisions out."""
+
+from repro.health import BreakerPolicy, HealthTracker
+
+
+def make_tracker(**kwargs) -> HealthTracker:
+    return HealthTracker(BreakerPolicy(**kwargs))
+
+
+class TestObservations:
+    def test_registration_is_idempotent(self):
+        tracker = make_tracker()
+        tracker.register("A#0")
+        tracker.record_success("A#0")
+        tracker.register("A#0")
+        assert tracker.health("A#0").successes == 1
+        assert tracker.serials == ["A#0"]
+
+    def test_transient_errors_trip_after_threshold(self):
+        tracker = make_tracker(failure_threshold=2)
+        tracker.record_transient("A#0")
+        assert tracker.admits("A#0")
+        tracker.record_transient("A#0")
+        assert not tracker.admits("A#0")
+        assert tracker.quarantined_serials() == ["A#0"]
+        assert tracker.breaker_trips == 1
+
+    def test_persistent_error_quarantines_immediately(self):
+        tracker = make_tracker(failure_threshold=5)
+        tracker.record_persistent("A#0")
+        assert tracker.quarantined_serials() == ["A#0"]
+        assert tracker.health("A#0").persistent_errors == 1
+        assert tracker.breaker("A#0").failures == 1
+
+    def test_retry_exhaustion_counts_fleet_wide_and_per_module(self):
+        tracker = make_tracker()
+        tracker.record_retry_exhaustion()
+        tracker.record_retry_exhaustion("A#0")
+        assert tracker.retry_exhaustions == 2
+        assert tracker.health("A#0").retry_exhaustions == 1
+
+    def test_checksum_mismatches_counted(self):
+        tracker = make_tracker()
+        tracker.record_checksum_mismatch()
+        assert tracker.checksum_mismatches == 1
+
+
+class TestFleetViews:
+    def test_healthy_serials_filters_quarantined(self):
+        tracker = make_tracker(failure_threshold=1)
+        tracker.register("A#0")
+        tracker.register("B#0")
+        tracker.record_persistent("B#0")
+        # B's open-breaker cooldown is long enough that one filter
+        # consultation does not re-admit it.
+        assert tracker.healthy_serials(["A#0", "B#0"]) == ["A#0"]
+
+    def test_coverage_fraction(self):
+        tracker = make_tracker(failure_threshold=1)
+        for serial in ("A#0", "B#0", "C#0", "D#0"):
+            tracker.register(serial)
+        tracker.record_persistent("D#0")
+        assert tracker.coverage() == 0.75
+        assert tracker.coverage(total=8) == 0.875
+
+    def test_as_dict_shape(self):
+        tracker = make_tracker(failure_threshold=1)
+        tracker.record_success("A#0")
+        tracker.record_persistent("B#0")
+        payload = tracker.as_dict()
+        assert payload["quarantined"] == ["B#0"]
+        assert payload["breaker_trips"] == 1
+        assert payload["modules"]["A#0"]["successes"] == 1
+        assert payload["modules"]["B#0"]["breaker"]["state"] == "open"

@@ -153,6 +153,50 @@ class TestEngineCommands:
         err = capsys.readouterr().err
         assert "hint" in err
 
+    def test_audit_pass_then_catches_tampering(self, capsys, tmp_path):
+        import json
+
+        results_dir = tmp_path / "results"
+        assert main([
+            "campaign", "--experiments", "fig4a", *self.SCALE,
+            "--results-dir", str(results_dir),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "audit", "--results-dir", str(results_dir), "--sample", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "figures recomputed: 1" in out
+
+        path = results_dir / "fig4a.json"
+        document = json.loads(path.read_text())
+        document["data"] = {"forged": True}
+        path.write_text(json.dumps(document))
+        assert main([
+            "audit", "--results-dir", str(results_dir), "--sample", "1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "integrity fig4a: mismatch" in out
+
+        # The stats command surfaces the stored audit verdict.
+        assert main(["stats", "--results-dir", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "last audit: FAIL" in out
+        assert "audit mismatches" in out
+
+    def test_supervised_campaign_reports_fleet_health(self, capsys, tmp_path):
+        assert main([
+            "campaign", "--experiments", "fig4a", *self.SCALE,
+            "--results-dir", str(tmp_path / "results"),
+            "--supervise",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet health: 0 module(s) quarantined" in out
+        assert "coverage 100%" in out
+
     def test_bench_writes_report(self, capsys, tmp_path):
         output = tmp_path / "BENCH_engine.json"
         assert main([
