@@ -2,37 +2,84 @@
 """Engine benchmark entry point.
 
 Times the representative figure sweep on every executor, verifies the
-determinism contract, and writes ``BENCH_engine.json`` at the
-repository root (the CI artifact).  Equivalent to ``simra-dram bench``.
+determinism contract, records the parallel worker-scaling curve, and
+writes ``BENCH_engine.json`` at the repository root (the CI artifact).
+Equivalent to ``simra-dram bench``.
+
+With ``--floors benchmarks/perf_floors.json`` the run additionally
+acts as a perf-regression gate: it fails if any executor's speedup
+over serial drops below its stored floor times the tolerance.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
     PYTHONPATH=src python benchmarks/run_benchmarks.py --columns 512 --trials 16
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --floors benchmarks/perf_floors.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.engine.benchmark import run_engine_benchmark, write_benchmark_json  # noqa: E402
+from repro.engine.benchmark import (  # noqa: E402
+    DEFAULT_EXECUTORS,
+    run_engine_benchmark,
+    write_benchmark_json,
+)
+
+
+def check_floors(report, floors_path: Path) -> int:
+    """Compare measured speedups against the stored floors.
+
+    Returns the number of violations.  Floors apply to the speedup
+    ratio (executor vs serial), which is far more stable across
+    machines than absolute wall-times; the tolerance absorbs the
+    remaining run-to-run noise.
+    """
+    floors = json.loads(floors_path.read_text())
+    tolerance = float(floors.get("tolerance", 0.75))
+    violations = 0
+    for name, floor in floors.get("min_speedup", {}).items():
+        measured = report.speedup.get(name)
+        if measured is None:
+            print(f"floor check: {name} not benchmarked, skipping")
+            continue
+        threshold = float(floor) * tolerance
+        verdict = "ok" if measured >= threshold else "REGRESSION"
+        print(
+            f"floor check: {name} speedup {measured:.2f}x vs floor "
+            f"{float(floor):.2f}x (tolerance {tolerance:.0%} -> "
+            f"threshold {threshold:.2f}x): {verdict}"
+        )
+        if measured < threshold:
+            violations += 1
+    return violations
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--columns", type=int, default=256)
     parser.add_argument("--groups", type=int, default=2)
-    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--trials", type=int, default=32)
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument("--jobs", type=int, default=None)
     parser.add_argument(
-        "--executors", nargs="+", default=["serial", "parallel", "batched"],
-        choices=("serial", "parallel", "batched"),
+        "--executors", nargs="+", default=list(DEFAULT_EXECUTORS),
+        choices=DEFAULT_EXECUTORS,
+    )
+    parser.add_argument(
+        "--scaling-jobs", type=int, nargs="*", default=[1, 2, 4],
+        help="worker counts for the parallel scaling curve (empty to skip)",
+    )
+    parser.add_argument(
+        "--floors", type=Path, default=None,
+        help="perf_floors.json path; fail on speedups below floor*tolerance",
     )
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_engine.json")
@@ -46,6 +93,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         executors=args.executors,
         jobs=args.jobs,
+        scaling_jobs=tuple(args.scaling_jobs),
     )
     path = write_benchmark_json(report, Path(args.output))
     for line in report.summary_lines():
@@ -53,9 +101,13 @@ def main(argv=None) -> int:
     print(f"wrote {path}")
     if not report.identical:
         return 1
+    if args.floors is not None:
+        if check_floors(report, args.floors):
+            return 1
+        return 0
     faster = any(
         report.speedup.get(name, 0.0) > 1.0
-        for name in ("parallel", "batched")
+        for name in ("parallel", "batched", "fused", "fused-parallel")
         if name in report.wall_s
     )
     return 0 if faster or len(report.wall_s) < 2 else 1

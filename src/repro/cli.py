@@ -17,12 +17,16 @@ writing Python::
     simra-dram audit --results-dir d    # integrity + recompute audit
     simra-dram stats --results-dir d    # engine metrics of a campaign
     simra-dram bench                    # executor benchmark sweep
+    simra-dram cache stats              # trial-cache inventory
+    simra-dram cache clear              # drop every cached outcome
 
 Every command accepts ``--columns/--groups/--trials/--seed`` scale
 knobs where relevant; measurement commands additionally take
-``--executor {serial,parallel,batched}`` + ``--jobs N`` to pick the
-trial-engine execution strategy and ``--stats`` to print the
-engine's per-layer counters afterwards.
+``--executor {serial,parallel,batched,fused,fused-parallel}`` +
+``--jobs N`` to pick the trial-engine execution strategy,
+``--cache``/``--cache-dir`` to reuse bit-identical trial outcomes
+across runs, and ``--stats`` to print the engine's per-layer
+counters afterwards.
 """
 
 from __future__ import annotations
@@ -51,20 +55,41 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="trials per group (default 6)")
     parser.add_argument("--seed", type=int, default=2024,
                         help="simulation seed (default 2024)")
-    parser.add_argument("--executor", choices=("serial", "parallel", "batched"),
+    parser.add_argument("--executor",
+                        choices=("serial", "parallel", "batched", "fused",
+                                 "fused-parallel"),
                         default="serial",
                         help="trial-engine execution strategy (default serial)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for --executor parallel")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="serve bit-identical trial outcomes from the "
+                             "on-disk trial cache and store fresh ones")
+    parser.add_argument("--cache-dir", default=".simra-cache",
+                        help="trial-cache directory (default .simra-cache)")
     parser.add_argument("--stats", action="store_true",
                         help="print trial-engine per-layer counters afterwards")
+
+
+def _cache_from(args: argparse.Namespace, require_origin: Optional[str] = None):
+    from .engine import TrialCache
+
+    if not getattr(args, "cache", False):
+        return None
+    return TrialCache(
+        getattr(args, "cache_dir", ".simra-cache"),
+        require_origin=require_origin,
+    )
 
 
 def _executor_from(args: argparse.Namespace):
     from .engine import make_executor
 
     return make_executor(
-        getattr(args, "executor", "serial"), jobs=getattr(args, "jobs", None)
+        getattr(args, "executor", "serial"),
+        jobs=getattr(args, "jobs", None),
+        cache=_cache_from(args),
     )
 
 
@@ -307,8 +332,14 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from .health import audit_store
 
     store = ResultStore(Path(args.results_dir))
+    # Audits only ever consume cache entries the serial reference
+    # itself produced; anything else would certify an executor
+    # against its own stored output.
+    cache = _cache_from(args, require_origin="serial")
     try:
-        report = audit_store(store, sample=args.sample, seed=args.seed)
+        report = audit_store(
+            store, sample=args.sample, seed=args.seed, cache=cache
+        )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -405,6 +436,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .engine import TrialCache
+
+    cache = TrialCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached trial outcome(s) from "
+              f"{args.cache_dir}/")
+        return 0
+    stats = cache.stats()
+    print(f"trial cache at {args.cache_dir}/")
+    print(f"  entries     : {stats['entries']}")
+    print(f"  disk bytes  : {stats['disk_bytes']}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .engine.benchmark import run_engine_benchmark, write_benchmark_json
 
@@ -415,6 +462,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         executors=args.executors,
         jobs=args.jobs,
+        scaling_jobs=tuple(args.scaling_jobs),
     )
     path = write_benchmark_json(report, Path(args.output))
     for line in report.summary_lines():
@@ -525,6 +573,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="completed figures to recompute (default 2)")
     sub.add_argument("--seed", type=int, default=0,
                      help="seed for the deterministic sample choice")
+    sub.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                     default=False,
+                     help="reuse serial-origin trial-cache entries for the "
+                          "recompute sample")
+    sub.add_argument("--cache-dir", default=".simra-cache",
+                     help="trial-cache directory (default .simra-cache)")
     sub.set_defaults(handler=_cmd_audit)
 
     sub = subparsers.add_parser(
@@ -556,17 +610,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--columns", type=int, default=256)
     sub.add_argument("--groups", type=int, default=2)
-    sub.add_argument("--trials", type=int, default=8)
+    sub.add_argument("--trials", type=int, default=32)
     sub.add_argument("--seed", type=int, default=2024)
     sub.add_argument("--jobs", type=int, default=None,
-                     help="worker processes for the parallel executor")
+                     help="worker processes for the parallel executors")
     sub.add_argument(
-        "--executors", nargs="+", default=["serial", "parallel", "batched"],
-        choices=("serial", "parallel", "batched"),
+        "--executors", nargs="+",
+        default=["serial", "parallel", "batched", "fused", "fused-parallel"],
+        choices=("serial", "parallel", "batched", "fused", "fused-parallel"),
     )
+    sub.add_argument("--scaling-jobs", type=int, nargs="*", default=[1, 2, 4],
+                     help="worker counts for the parallel worker-scaling "
+                          "curve (empty to skip)")
     sub.add_argument("--output", default="BENCH_engine.json",
                      help="where to write the benchmark JSON")
     sub.set_defaults(handler=_cmd_bench)
+
+    sub = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk trial cache"
+    )
+    sub.add_argument("action", choices=("stats", "clear"))
+    sub.add_argument("--cache-dir", default=".simra-cache",
+                     help="trial-cache directory (default .simra-cache)")
+    sub.set_defaults(handler=_cmd_cache)
 
     sub = subparsers.add_parser("decoder", help="activation-set lookup")
     sub.add_argument("--rf", type=int, required=True)

@@ -11,11 +11,11 @@ reproducible).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import rng
+from .. import rng, rngblock
 from ..errors import ConfigurationError
 
 
@@ -65,6 +65,33 @@ class DataPattern:
         choice = rng.generator("pattern-pair", self.kind, *identity).integers(0, 2)
         byte = self.byte_pair[int(choice)]
         return byte_to_bits(byte, columns)
+
+    def row_bits_block(
+        self,
+        columns: int,
+        identities: Sequence[Tuple[rng.Token, ...]],
+    ) -> np.ndarray:
+        """:meth:`row_bits` for many identity tuples -> (n, columns).
+
+        Random patterns vectorize through the seed-prefix + bit-block
+        pipeline; fixed byte pairs keep the per-row generator (the
+        choice draw comes from ``Generator.integers``, which has no
+        single-bit shortcut) -- they are already cheap because each
+        row is one byte lookup.
+        """
+        if not self.is_random:
+            out = np.empty((len(identities), columns), dtype=np.uint8)
+            for i, identity in enumerate(identities):
+                out[i] = self.row_bits(columns, *identity)
+            return out
+        prefix = rng.SeedPrefix("pattern-random")
+        encoded = rng.TokenEncoder()
+        seeds = np.empty(len(identities), dtype=np.uint64)
+        for i, identity in enumerate(identities):
+            seeds[i] = prefix.seed_bytes(
+                b"".join(encoded(token) for token in identity)
+            )
+        return rngblock.uniform_bit_block(seeds, columns)
 
     def operand_bits(
         self, columns: int, operand: int, *identity: rng.Token

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet, Sequence, Tuple
 
 import numpy as np
 
-from .. import rng
+from .. import rng, rngblock
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
 from .vendor import VendorProfile
@@ -227,7 +227,12 @@ class ReliabilityModel:
         self._personality = float(
             profile.reliability_bias + MODULE_PERSONALITY_SIGMA * personality
         )
-        self._threshold_cache: Dict[Tuple[int, int, OperationClass], np.ndarray] = {}
+        self._threshold_cache: Dict[
+            Tuple[int, int, OperationClass, int], np.ndarray
+        ] = {}
+        self._group_offset_cache: Dict[
+            Tuple[int, int, FrozenSet[int], OperationClass], float
+        ] = {}
 
     @property
     def personality(self) -> float:
@@ -393,9 +398,9 @@ class ReliabilityModel:
         to every operation; a family component decorrelates operation
         types slightly.
         """
-        key = (bank, subarray, op_class)
+        key = (bank, subarray, op_class, columns)
         cached = self._threshold_cache.get(key)
-        if cached is not None and cached.shape[0] == columns:
+        if cached is not None:
             return cached
         shared = rng.standard_normal(
             columns, self._config.seed, "eta-shared", self._serial, bank, subarray
@@ -426,6 +431,10 @@ class ReliabilityModel:
         differ; this term produces the box-and-whisker spread across
         groups that Figs 3, 6, and 10 report.
         """
+        key = (bank, subarray, rows, op_class)
+        cached = self._group_offset_cache.get(key)
+        if cached is not None:
+            return cached
         token = ",".join(str(r) for r in sorted(rows))
         draw = rng.generator(
             self._config.seed,
@@ -436,7 +445,9 @@ class ReliabilityModel:
             op_class.value,
             token,
         ).standard_normal()
-        return float(GROUP_OFFSET_SIGMA[op_class] * draw)
+        offset = float(GROUP_OFFSET_SIGMA[op_class] * draw)
+        self._group_offset_cache[key] = offset
+        return offset
 
     def stable_mask(
         self,
@@ -462,12 +473,17 @@ class ReliabilityModel:
         rows: FrozenSet[int],
         op_class: OperationClass,
     ) -> np.ndarray:
-        """Like :meth:`stable_mask` but with a per-column z vector."""
+        """Like :meth:`stable_mask` but with a per-column z vector.
+
+        ``z_columns`` may carry leading batch axes -- e.g. a
+        ``(trials, columns)`` stack from a fused kernel -- in which
+        case the thresholds broadcast across them.
+        """
         z_columns = np.asarray(z_columns, dtype=np.float64)
         if self._config.functional_only:
-            return np.ones(z_columns.shape[0], dtype=bool)
+            return np.ones(z_columns.shape, dtype=bool)
         eta = self.column_thresholds(
-            bank, subarray, op_class, z_columns.shape[0]
+            bank, subarray, op_class, z_columns.shape[-1]
         )
         offset = self.group_offset(bank, subarray, rows, op_class)
         return (z_columns + offset) > eta
@@ -520,3 +536,68 @@ class ReliabilityModel:
             tag,
             *context,
         )
+
+    # -- fused block entry points ---------------------------------------------
+
+    def stable_mask_block(
+        self,
+        z_values: np.ndarray,
+        bank: int,
+        subarray: int,
+        groups: Sequence[FrozenSet[int]],
+        op_class: OperationClass,
+        columns: int,
+    ) -> np.ndarray:
+        """Stable masks for many scalar-z contests in one shot.
+
+        Row ``i`` equals ``stable_mask(z_values[i], bank, subarray,
+        groups[i], op_class, columns)``; a fused kernel evaluates all
+        its (group x trial) contests against the one shared threshold
+        vector instead of re-fetching it per trial.
+        """
+        z = np.asarray(z_values, dtype=np.float64)
+        if self._config.functional_only:
+            return np.ones((z.shape[0], columns), dtype=bool)
+        eta = self.column_thresholds(bank, subarray, op_class, columns)
+        offsets = np.array(
+            [self.group_offset(bank, subarray, g, op_class) for g in groups],
+            dtype=np.float64,
+        )
+        return (z + offsets)[:, None] > eta[None, :]
+
+    def context_noise_block(
+        self,
+        entries: Sequence[Tuple[int, int, str, Tuple[rng.Token, ...]]],
+        columns: int,
+    ) -> np.ndarray:
+        """Many :meth:`context_noise` draws as one vectorized block.
+
+        ``entries`` is a sequence of ``(bank, subarray, tag, context)``
+        tuples; row ``i`` of the returned ``(len(entries), columns)``
+        uint8 array is bit-identical to
+        ``context_noise(context, bank, subarray, columns, tag)``.
+        Seeds reuse the hashed ``(seed, "ctx-noise", serial)`` prefix
+        and a per-token encoding cache, because entries within a plan
+        differ only in their fast-moving suffix tokens.
+        """
+        prefix = rng.SeedPrefix(self._config.seed, "ctx-noise", self._serial)
+        encoded = rng.TokenEncoder()
+        # Entries enumerate a (site, row, trial) cross product, so the
+        # joined head (bank/subarray/tag) and tail (context) byte
+        # strings each repeat many times; memoizing the joins leaves
+        # only one concat and one hash per entry.
+        heads: Dict[Tuple[int, int, str], bytes] = {}
+        tails: Dict[Tuple[rng.Token, ...], bytes] = {}
+        seeds = np.empty(len(entries), dtype=np.uint64)
+        for i, (bank, subarray, tag, context) in enumerate(entries):
+            head_key = (bank, subarray, tag)
+            head = heads.get(head_key)
+            if head is None:
+                head = encoded(bank) + encoded(subarray) + encoded(tag)
+                heads[head_key] = head
+            tail = tails.get(context)
+            if tail is None:
+                tail = b"".join(encoded(token) for token in context)
+                tails[context] = tail
+            seeds[i] = prefix.seed_bytes(head + tail)
+        return rngblock.uniform_bit_block(seeds, columns)

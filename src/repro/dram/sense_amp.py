@@ -60,10 +60,12 @@ class SenseAmplifierArray:
 
         ``differential_sign`` holds -1 (toward 0), 0 (tie), +1
         (toward 1) per column; ties resolve to the bias direction.
+        Leading batch axes (e.g. a fused ``(trials, columns)`` stack)
+        broadcast against the per-column bias.
         """
         sign = np.asarray(differential_sign)
         result = np.where(sign > 0, 1, 0).astype(np.uint8)
         ties = sign == 0
         if np.any(ties):
-            result[ties] = self._bias[ties]
+            result[ties] = np.broadcast_to(self._bias, sign.shape)[ties]
         return result

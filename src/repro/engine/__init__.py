@@ -9,14 +9,17 @@ model.  The engine's hard contract is determinism: for a given plan
 and simulation seed, every executor produces bit-identical results.
 """
 
+from .cache import TrialCache
 from .executors import (
     BatchedExecutor,
     ExecutorBase,
+    FusedExecutor,
     ProcessPoolExecutor,
     SerialExecutor,
     make_executor,
     run_plan,
     run_task_serial,
+    run_tasks_fused,
 )
 from .kernels import (
     ActivationKernel,
@@ -44,12 +47,14 @@ __all__ = [
     "DisturbanceKernel",
     "EngineMetrics",
     "ExecutorBase",
+    "FusedExecutor",
     "MajXKernel",
     "MultiRowCopyKernel",
     "PlanResult",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "TaskOutcome",
+    "TrialCache",
     "TrialKernel",
     "TrialPlan",
     "TrialTask",
@@ -61,5 +66,6 @@ __all__ = [
     "render_stats_dict",
     "run_plan",
     "run_task_serial",
+    "run_tasks_fused",
     "tasks_for_scope",
 ]

@@ -25,6 +25,25 @@ from .kernels import ActivationKernel, MajXKernel, MultiRowCopyKernel
 from .plan import TrialPlan, tasks_for_scope
 
 
+DEFAULT_EXECUTORS = (
+    "serial",
+    "parallel",
+    "batched",
+    "fused",
+    "fused-parallel",
+)
+_PARALLEL_EXECUTORS = ("parallel", "fused-parallel")
+DEFAULT_BENCH_JOBS = 2
+"""Workers for the parallel executors when the caller passes no jobs.
+
+The executors themselves default to ``os.cpu_count()``, which on a
+single-core CI runner silently degrades the "parallel" measurement to
+a one-worker pool -- pure sharding overhead, no parallelism.  The
+benchmark pins an explicit default instead so the headline number
+always measures an actual multi-worker configuration; the worker-
+scaling curve covers the 1-worker case explicitly."""
+
+
 @dataclass
 class BenchmarkReport:
     """Wall-times, metrics, and speedups of one benchmark run."""
@@ -35,6 +54,9 @@ class BenchmarkReport:
     speedup: Dict[str, float] = field(default_factory=dict)
     """Serial wall-time divided by this executor's wall-time."""
     metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    worker_scaling: Dict[str, float] = field(default_factory=dict)
+    """Wall-times of the parallel executor at 1/2/4... workers
+    (keys like ``parallel@2``)."""
     identical: bool = True
     """Whether every executor produced bit-identical success rates."""
 
@@ -44,6 +66,7 @@ class BenchmarkReport:
             "plans": self.plans,
             "wall_s": self.wall_s,
             "speedup": self.speedup,
+            "worker_scaling": self.worker_scaling,
             "identical": self.identical,
             "metrics": self.metrics,
         }
@@ -54,10 +77,16 @@ class BenchmarkReport:
             + ", ".join(f"{k}={v}" for k, v in self.scale.items()),
             f"  plans: {', '.join(self.plans)}",
         ]
+        baseline = self.wall_s.get("serial")
         for name, wall in self.wall_s.items():
             speedup = self.speedup.get(name, 1.0)
             lines.append(
-                f"  {name:<9} {wall:8.3f} s   ({speedup:5.2f}x vs serial)"
+                f"  {name:<15} {wall:8.3f} s   ({speedup:5.2f}x vs serial)"
+            )
+        for name, wall in self.worker_scaling.items():
+            speedup = baseline / wall if baseline and wall > 0 else 1.0
+            lines.append(
+                f"  {name:<15} {wall:8.3f} s   ({speedup:5.2f}x vs serial)"
             )
         lines.append(
             "  results bit-identical across executors: "
@@ -110,12 +139,19 @@ def _representative_plans(scope: CharacterizationScope) -> List[TrialPlan]:
 def run_engine_benchmark(
     columns: int = 256,
     groups_per_size: int = 2,
-    trials: int = 8,
+    trials: int = 32,
     seed: int = 2024,
-    executors: Sequence[str] = ("serial", "parallel", "batched"),
+    executors: Sequence[str] = DEFAULT_EXECUTORS,
     jobs: Optional[int] = None,
+    scaling_jobs: Sequence[int] = (1, 2, 4),
 ) -> BenchmarkReport:
-    """Time the representative sweep on each executor and compare."""
+    """Time the representative sweep on each executor and compare.
+
+    Besides the headline per-executor wall-times, the report carries a
+    worker-scaling curve: the parallel executor re-timed at each count
+    in ``scaling_jobs`` (``parallel@N`` keys), so a stored benchmark
+    shows how sharding amortizes rather than a single opaque number.
+    """
     report = BenchmarkReport(
         scale={
             "columns": columns,
@@ -126,7 +162,8 @@ def run_engine_benchmark(
         plans=[],
     )
     reference_rates: Optional[List[List[float]]] = None
-    for name in executors:
+
+    def timed_run(name: str, run_jobs: Optional[int]):
         # A fresh scope per executor: every strategy starts from an
         # identical cold rig, so no executor inherits warmed-up state.
         scope = CharacterizationScope.build(
@@ -138,15 +175,31 @@ def run_engine_benchmark(
         )
         plans = _representative_plans(scope)
         report.plans = [plan.name for plan in plans]
-        executor = make_executor(name, jobs=jobs)
+        executor = make_executor(name, jobs=run_jobs)
         started = time.perf_counter()
         rates = [executor.run(plan).rates() for plan in plans]
-        report.wall_s[name] = time.perf_counter() - started
-        report.metrics[name] = executor.metrics.as_dict()
+        return time.perf_counter() - started, rates, executor
+
+    def check_rates(rates: List[List[float]]) -> None:
+        nonlocal reference_rates
         if reference_rates is None:
             reference_rates = rates
         elif rates != reference_rates:
             report.identical = False
+
+    for name in executors:
+        run_jobs = jobs
+        if run_jobs is None and name in _PARALLEL_EXECUTORS:
+            run_jobs = DEFAULT_BENCH_JOBS
+        wall, rates, executor = timed_run(name, run_jobs)
+        report.wall_s[name] = wall
+        report.metrics[name] = executor.metrics.as_dict()
+        check_rates(rates)
+    if "parallel" in executors:
+        for count in scaling_jobs:
+            wall, rates, _ = timed_run("parallel", count)
+            report.worker_scaling[f"parallel@{count}"] = wall
+            check_rates(rates)
     baseline = report.wall_s.get("serial")
     for name, wall in report.wall_s.items():
         report.speedup[name] = (

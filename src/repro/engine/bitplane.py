@@ -1,0 +1,70 @@
+"""Packed uint64 bit-plane layout for trial reduction.
+
+The fused execution path keeps each trial's per-cell correctness as a
+packed bit-plane: one uint64 word covers 64 cells, so the
+trials-to-mask reduction is a bitwise AND over words (64 cells per
+instruction) and every success rate is a popcount.  Rates computed
+this way are *exactly* ``np.mean(bool_mask)``: both are an integer
+count of ones divided by the cell count in float64, so the packed
+reduce preserves the executors' bit-identity contract down to the
+float.
+
+Cells pack most-significant-bit-first within bytes (``np.packbits``
+order); rows whose cell count is not a multiple of 64 are zero-padded,
+which is invisible to both the AND-reduction (padding stays zero) and
+the popcount (zeros count nothing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+
+_BITWISE_COUNT = getattr(np, "bitwise_count", None)
+
+
+def words_for(cells: int) -> int:
+    """uint64 words needed to hold ``cells`` packed bits."""
+    return (cells + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pack a (..., cells) bool/0-1 matrix into (..., words) uint64."""
+    bits = np.asarray(matrix, dtype=np.uint8)
+    packed_bytes = np.packbits(bits, axis=-1)
+    pad = (-packed_bytes.shape[-1]) % 8
+    if pad:
+        packed_bytes = np.concatenate(
+            [
+                packed_bytes,
+                np.zeros(packed_bytes.shape[:-1] + (pad,), dtype=np.uint8),
+            ],
+            axis=-1,
+        )
+    return packed_bytes.view(np.uint64)
+
+
+def unpack_mask(words: np.ndarray, cells: int) -> np.ndarray:
+    """Unpack one (words,) uint64 row back to a (cells,) bool mask."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(as_bytes)[:cells].astype(bool)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total set bits in a packed array."""
+    if _BITWISE_COUNT is not None:
+        return int(_BITWISE_COUNT(words).sum())
+    # Fallback for numpy < 2.0: count via byte-table unpacking.
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return int(np.unpackbits(as_bytes).sum())
+
+
+def rate(words: np.ndarray, cells: int) -> float:
+    """Fraction of set bits among ``cells`` -- exactly np.mean(mask)."""
+    return popcount(words) / cells if cells else 0.0
+
+
+def and_accumulate(planes: np.ndarray) -> np.ndarray:
+    """Running AND over the trial axis of a (trials, words) plane stack."""
+    return np.bitwise_and.accumulate(planes, axis=0)

@@ -1,0 +1,248 @@
+"""Content-addressed on-disk trial cache.
+
+A :class:`~repro.engine.plan.TaskOutcome` is a pure function of the
+simulation seed and the measurement identity -- that is the engine's
+bit-identity contract.  This module turns that property into a
+cross-run cache: each task's outcome is stored under a key derived
+from everything the bits depend on, so repeated campaigns, audits,
+and ``--resume`` runs skip recomputation entirely.
+
+Key derivation
+--------------
+The key is a BLAKE2b digest over the canonical JSON of:
+
+- a schema tag and the package version (code-version salt: any release
+  may legitimately change the model's math, so old entries must not
+  survive an upgrade);
+- the resume fingerprint fields of :class:`~repro.config.SimulationConfig`
+  (seed, columns per row, trials per test, functional-only);
+- the kernel's ``cache_token`` (its signature plus any constructor
+  state the signature misses);
+- the operating-point token (timings, temperature, VPP, pattern);
+- the task identity (module serial, bank, subarray, row-group token,
+  trials, cells) and the plan's checkpoint schedule.
+
+Any of these changing changes the key -- which *is* the invalidation
+rule; nothing is ever migrated in place.
+
+Entries are JSON files (packed mask as base64, rates as exact JSON
+doubles) carrying a sha256 content checksum and the name of the
+executor that produced them.  A truncated, corrupt, or
+wrong-checksum entry reads as a miss (recompute, never crash); a
+``require_origin`` filter lets the audit path refuse entries produced
+by the very executors it is supposed to cross-check.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import __version__
+from ..config import SimulationConfig
+from .plan import TaskOutcome, TrialTask
+
+CACHE_SCHEMA = 1
+"""Bump to invalidate every existing entry on a format change."""
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TrialCache:
+    """Content-addressed trial-outcome store under one root directory.
+
+    Counters (hits / misses / bytes) accumulate for the cache object's
+    lifetime; executors snapshot them around each plan to attribute
+    deltas to :class:`~repro.engine.metrics.EngineMetrics`.
+    """
+
+    def __init__(self, root: str, require_origin: Optional[str] = None):
+        self.root = str(root)
+        self.require_origin = require_origin
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- key derivation -------------------------------------------------------
+
+    def key_for(
+        self,
+        config: SimulationConfig,
+        kernel: "TrialKernel",  # noqa: F821 -- avoids a circular import
+        point_token: str,
+        task: TrialTask,
+        checkpoints: Tuple[int, ...],
+    ) -> str:
+        """The content address of one task's outcome."""
+        identity = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "config": config.fingerprint(),
+            "kernel": kernel.cache_token,
+            "point": point_token,
+            "serial": task.serial,
+            "bank": task.bank,
+            "subarray": task.subarray,
+            "group": task.group_token,
+            "trials": task.trials,
+            "cells": task.cells,
+            "checkpoints": list(checkpoints),
+        }
+        digest = hashlib.blake2b(
+            _canonical(identity).encode("utf-8"), digest_size=16
+        )
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- load / store ---------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the session counters."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_bytes_read": self.bytes_read,
+            "cache_bytes_written": self.bytes_written,
+        }
+
+    def load(self, key: str, task: TrialTask) -> Optional[TaskOutcome]:
+        """The cached outcome for ``key``, or None (counted as a miss).
+
+        Every failure mode -- absent entry, truncated file, JSON or
+        base64 damage, checksum mismatch, wrong shape, origin not
+        accepted -- degrades to a miss so a damaged cache can only
+        cost recomputation, never correctness.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+            checksum = hashlib.sha256(
+                _canonical(payload).encode("utf-8")
+            ).hexdigest()
+            if checksum != entry["checksum"]:
+                raise ValueError("checksum mismatch")
+            if payload["key"] != key:
+                raise ValueError("key mismatch")
+            if (
+                self.require_origin is not None
+                and payload["origin"] != self.require_origin
+            ):
+                raise ValueError("origin not accepted")
+            packed = np.frombuffer(
+                base64.b64decode(payload["mask_b64"], validate=True),
+                dtype=np.uint8,
+            )
+            mask = np.unpackbits(packed)[: task.cells].astype(bool)
+            if mask.shape != (task.cells,):
+                raise ValueError("mask shape mismatch")
+            outcome = TaskOutcome(
+                index=task.index,
+                rate=float(payload["rate"]),
+                trials=int(payload["trials"]),
+                cells=int(payload["cells"]),
+                mask=mask,
+                checkpoint_rates=tuple(
+                    (int(count), float(rate))
+                    for count, rate in payload["checkpoint_rates"]
+                ),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.bytes_read += os.path.getsize(path)
+        return outcome
+
+    def store(self, key: str, outcome: TaskOutcome, origin: str) -> None:
+        """Persist one outcome atomically (write-temp + rename)."""
+        mask = np.asarray(outcome.mask, dtype=bool)
+        payload = {
+            "key": key,
+            "origin": origin,
+            "rate": outcome.rate,
+            "trials": outcome.trials,
+            "cells": outcome.cells,
+            "checkpoint_rates": [
+                [count, rate] for count, rate in outcome.checkpoint_rates
+            ],
+            "mask_b64": base64.b64encode(
+                np.packbits(mask.astype(np.uint8)).tobytes()
+            ).decode("ascii"),
+        }
+        entry = {
+            "payload": payload,
+            "checksum": hashlib.sha256(
+                _canonical(payload).encode("utf-8")
+            ).hexdigest(),
+        }
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        encoded = json.dumps(entry).encode("utf-8")
+        handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(encoded)
+            os.replace(temp_path, path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.bytes_written += len(encoded)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _entry_paths(self) -> List[str]:
+        paths: List[str] = []
+        if not os.path.isdir(self.root):
+            return paths
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    paths.append(os.path.join(shard_dir, name))
+        return paths
+
+    def stats(self) -> Dict[str, int]:
+        """On-disk entry count and size plus the session counters."""
+        paths = self._entry_paths()
+        on_disk = 0
+        for path in paths:
+            try:
+                on_disk += os.path.getsize(path)
+            except OSError:
+                pass
+        summary: Dict[str, int] = {
+            "entries": len(paths),
+            "disk_bytes": on_disk,
+        }
+        summary.update(self.counters())
+        return summary
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -17,6 +17,7 @@ import concurrent.futures
 import os
 import time
 from dataclasses import replace
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,7 +27,9 @@ from ..bender.program import apa_program
 from ..bender.testbench import TestBench
 from ..chaos import ChaosConfig, ChaosHarness, FaultKind
 from ..errors import ExperimentError, TransientInfrastructureError
-from .kernels import TrialKernel, measurement_context
+from . import bitplane
+from .cache import TrialCache
+from .kernels import TrialKernel, measurement_context, point_token
 from .metrics import EngineMetrics
 from .plan import PlanResult, TaskOutcome, TrialPlan, TrialTask
 
@@ -52,10 +55,12 @@ def run_task_serial(
     checkpoint_set = set(checkpoints)
     snapshots: List[Tuple[int, float]] = []
     mask = np.ones(task.cells, dtype=bool)
+    # The context tokens only vary in the trial index; build the
+    # invariant prefix once instead of re-deriving the point token
+    # (string formatting) every trial.
+    context_prefix = (kernel.signature, point_token(point), task.group_token)
     for trial in range(task.trials):
-        with device_bank.noise_context(
-            *measurement_context(kernel, point, task, trial)
-        ):
+        with device_bank.noise_context(*context_prefix, trial):
             correct = np.asarray(
                 kernel.run_trial(bench, task, point, trial), dtype=bool
             )
@@ -80,16 +85,195 @@ def run_task_serial(
     )
 
 
+def _probe_semantic(
+    bench: TestBench, task: TrialTask, point: "OperatingPoint"
+) -> str:
+    """One real APA through the bench; the bank's resolved semantic."""
+    subarray_rows = bench.module.profile.subarray_rows
+    rf_global, rs_global = task.group.global_pair(subarray_rows)
+    bench.run(
+        apa_program(task.bank, rf_global, rs_global, point.t1_ns, point.t2_ns)
+    )
+    event = bench.module.bank(task.bank).last_event
+    return event.semantic if event is not None else "none"
+
+
+def _outcome_from_planes(
+    kernel: TrialKernel,
+    point: "OperatingPoint",
+    checkpoints: Sequence[int],
+    bench: TestBench,
+    task: TrialTask,
+    planes: np.ndarray,
+) -> TaskOutcome:
+    """Reduce one task's packed trial planes to a TaskOutcome.
+
+    The AND-over-trials reduction and every rate stay in the packed
+    domain (popcount / cells == np.mean of the bool mask, exactly), so
+    the outcome is bit-identical to the serial reference.
+    """
+    expected_shape = (task.trials, bitplane.words_for(task.cells))
+    if planes.shape != expected_shape:
+        raise ExperimentError(
+            f"kernel {kernel.op_name!r} slice returned shape {planes.shape}, "
+            f"expected {expected_shape}"
+        )
+    running = bitplane.and_accumulate(planes)
+    snapshots = tuple(
+        (count, bitplane.rate(running[count - 1], task.cells))
+        for count in checkpoints
+        if 1 <= count <= task.trials
+    )
+    mask_words = running[-1].copy()
+    audit = kernel.finalize(bench, task, point)
+    if audit is not None:
+        mask_words &= bitplane.pack_matrix(np.asarray(audit, dtype=bool))
+    return TaskOutcome(
+        index=task.index,
+        rate=bitplane.rate(mask_words, task.cells),
+        trials=task.trials,
+        cells=task.cells,
+        mask=bitplane.unpack_mask(mask_words, task.cells),
+        checkpoint_rates=snapshots,
+    )
+
+
+def run_tasks_fused(
+    kernel: TrialKernel,
+    point: "OperatingPoint",
+    checkpoints: Sequence[int],
+    bench: TestBench,
+    tasks: Sequence[TrialTask],
+    delta: EngineMetrics,
+) -> List[TaskOutcome]:
+    """Fused execution of one bench's tasks.
+
+    Probes each task with one real APA program, evaluates every
+    probe-passing task in a single :meth:`TrialKernel.run_slice` call
+    (block RNG + packed bit-plane reduction), and falls back to the
+    per-trial serial reference for any task whose probe resolved a
+    different semantic.  ``delta`` receives probe/fuse/fallback stage
+    timings and APA program counts.
+    """
+    outcomes: List[TaskOutcome] = []
+    sliceable: List[TrialTask] = []
+    for task in tasks:
+        probe_started = time.perf_counter()
+        kernel.setup(bench, task, point)
+        semantic = _probe_semantic(bench, task, point)
+        delta.apa_programs += 1
+        delta.add_stage("probe", time.perf_counter() - probe_started)
+        if kernel.batched_semantic in (None, semantic):
+            sliceable.append(task)
+        else:
+            fallback_started = time.perf_counter()
+            outcomes.append(
+                run_task_serial(kernel, point, checkpoints, bench, task)
+            )
+            delta.apa_programs += task.trials
+            delta.add_stage("fallback", time.perf_counter() - fallback_started)
+    if sliceable:
+        fuse_started = time.perf_counter()
+        planes_list = kernel.run_slice(bench, sliceable, point)
+        if len(planes_list) != len(sliceable):
+            raise ExperimentError(
+                f"kernel {kernel.op_name!r} slice returned "
+                f"{len(planes_list)} plane stacks for {len(sliceable)} tasks"
+            )
+        for task, planes in zip(sliceable, planes_list):
+            outcomes.append(
+                _outcome_from_planes(
+                    kernel, point, checkpoints, bench, task, planes
+                )
+            )
+        delta.add_stage("fuse", time.perf_counter() - fuse_started)
+    return outcomes
+
+
+_CACHE_COUNTER_FIELDS = (
+    "cache_hits",
+    "cache_misses",
+    "cache_bytes_read",
+    "cache_bytes_written",
+)
+
+
 class ExecutorBase:
-    """Shared surface: ``run(plan) -> PlanResult`` plus cumulative metrics."""
+    """Shared surface: ``run(plan) -> PlanResult`` plus cumulative metrics.
+
+    With a :class:`~repro.engine.cache.TrialCache` attached, ``run``
+    becomes a read-through wrapper: tasks whose outcome is already
+    cached are served from disk, the remainder run as a sub-plan on
+    the concrete executor (``_run``), and fresh outcomes are stored
+    back under the executor's name as their origin.  Because every
+    executor is bit-identical, a cached outcome is interchangeable
+    with a recomputed one -- except for audits, which pass a cache
+    with ``require_origin`` set so they never certify an executor
+    against its own stored output.
+    """
 
     name = "base"
 
-    def __init__(self) -> None:
+    def __init__(self, cache: Optional[TrialCache] = None) -> None:
         self.metrics = EngineMetrics(executor=self.name)
+        self.cache = cache
 
     def run(self, plan: TrialPlan) -> PlanResult:
+        if self.cache is None:
+            return self._run(plan)
+        return self._run_cached(plan)
+
+    def _run(self, plan: TrialPlan) -> PlanResult:
         raise NotImplementedError
+
+    def _run_cached(self, plan: TrialPlan) -> PlanResult:
+        cache = self.cache
+        assert cache is not None
+        started = time.perf_counter()
+        before = cache.counters()
+        ptoken = point_token(plan.point)
+        checkpoints = tuple(plan.checkpoints)
+        keys: Dict[int, str] = {}
+        served: List[TaskOutcome] = []
+        missing: List[TrialTask] = []
+        for task in plan.tasks:
+            config = plan.benches[task.bench_index].module.config
+            key = cache.key_for(config, plan.kernel, ptoken, task, checkpoints)
+            keys[task.index] = key
+            outcome = cache.load(key, task)
+            if outcome is None:
+                missing.append(task)
+            else:
+                served.append(outcome)
+        if missing:
+            sub_result = self._run(replace(plan, tasks=missing))
+            for outcome in sub_result.outcomes:
+                cache.store(keys[outcome.index], outcome, origin=self.name)
+            delta = sub_result.metrics
+            outcomes = sorted(
+                served + list(sub_result.outcomes),
+                key=lambda outcome: outcome.index,
+            )
+        else:
+            # Every task served from cache: the plan still counts, but
+            # no tasks/trials were *executed* -- the hit counters tell
+            # that story.
+            delta = EngineMetrics(executor=self.name, workers=1)
+            delta.plans += 1
+            delta.wall_s += time.perf_counter() - started
+            self.metrics.merge(delta)
+            outcomes = sorted(served, key=lambda outcome: outcome.index)
+        # Attribute this plan's cache activity to both the returned
+        # delta and the cumulative metrics (the sub-plan's delta was
+        # already merged by _finish, so mutate both explicitly).
+        after = cache.counters()
+        for field in _CACHE_COUNTER_FIELDS:
+            gained = after[field] - before[field]
+            setattr(delta, field, getattr(delta, field) + gained)
+            setattr(
+                self.metrics, field, getattr(self.metrics, field) + gained
+            )
+        return PlanResult(plan_name=plan.name, outcomes=outcomes, metrics=delta)
 
     def _apply_environment(self, plan: TrialPlan, delta: EngineMetrics) -> None:
         if not plan.apply_environment:
@@ -116,7 +300,7 @@ class SerialExecutor(ExecutorBase):
 
     name = "serial"
 
-    def run(self, plan: TrialPlan) -> PlanResult:
+    def _run(self, plan: TrialPlan) -> PlanResult:
         started = time.perf_counter()
         delta = EngineMetrics(executor=self.name, workers=1)
         self._apply_environment(plan, delta)
@@ -136,13 +320,38 @@ class SerialExecutor(ExecutorBase):
         return self._finish(plan, delta, outcomes, started)
 
 
+def _export_masks(
+    outcomes: List[TaskOutcome], payload: Dict[str, Any]
+) -> List[TaskOutcome]:
+    """Write packed final masks into the shard's shared-memory window.
+
+    The pickled outcomes travel back mask-less; the parent re-attaches
+    each mask from the preallocated buffer, so the dominant payload
+    (cells-sized booleans) never goes through the pickle channel.
+    """
+    layout: Dict[int, Tuple[int, int]] = payload["mask_layout"]
+    shm = shared_memory.SharedMemory(name=payload["mask_shm"])
+    words_view = np.ndarray((shm.size // 8,), dtype=np.uint64, buffer=shm.buf)
+    exported = []
+    for outcome in outcomes:
+        offset, words = layout[outcome.index]
+        packed = bitplane.pack_matrix(np.asarray(outcome.mask, dtype=bool))
+        words_view[offset:offset + words] = packed
+        exported.append(replace(outcome, mask=None))
+    del words_view
+    shm.close()
+    return exported
+
+
 def _run_shard(
     payload: Dict[str, Any],
-) -> Tuple[List[TaskOutcome], float, Dict[str, int], Optional[Exception]]:
-    """Worker entry point: rebuild the bench, run its tasks serially.
+) -> Tuple[List[TaskOutcome], Dict[str, Any], Dict[str, int], Optional[Exception]]:
+    """Worker entry point: rebuild the bench, run its shard of tasks.
 
     Module-level so it pickles under the default process start method.
-    Returns the outcomes plus the worker's busy time, the per-kind
+    The shard runs serially (the reference path) or fused, per the
+    payload's ``strategy``.  Returns the outcomes plus a stats dict
+    (busy time, worker-side APA programs, stage timings), the per-kind
     chaos faults its local harness injected, and any *transient* error
     the shard died of.  Transient errors travel back as data rather
     than through ``future.result()`` so the parent can credit the
@@ -164,19 +373,31 @@ def _run_shard(
         harness = ChaosHarness(payload["chaos"])
         harness.install(bench)
     outcomes: List[TaskOutcome] = []
+    stats: Dict[str, Any] = {"apa_programs": 0, "stages": {}}
     error: Optional[Exception] = None
     try:
         point: OperatingPoint = payload["point"]
         if payload["apply_environment"]:
             bench.set_temperature(point.temperature_c)
             bench.set_vpp(point.vpp)
-        for task in payload["tasks"]:
-            outcomes.append(
-                run_task_serial(
-                    payload["kernel"], point, payload["checkpoints"],
-                    bench, task,
-                )
+        if payload.get("strategy") == "fused":
+            scratch = EngineMetrics(executor="shard")
+            outcomes = run_tasks_fused(
+                payload["kernel"], point, payload["checkpoints"],
+                bench, payload["tasks"], scratch,
             )
+            stats["apa_programs"] = scratch.apa_programs
+            stats["stages"] = dict(scratch.stages)
+            if payload.get("mask_shm") is not None:
+                outcomes = _export_masks(outcomes, payload)
+        else:
+            for task in payload["tasks"]:
+                outcomes.append(
+                    run_task_serial(
+                        payload["kernel"], point, payload["checkpoints"],
+                        bench, task,
+                    )
+                )
     except TransientInfrastructureError as exc:
         error = exc
     finally:
@@ -187,7 +408,8 @@ def _run_shard(
         )
         if harness is not None:
             harness.uninstall()
-    return outcomes, time.perf_counter() - started, injected, error
+    stats["busy_s"] = time.perf_counter() - started
+    return outcomes, stats, injected, error
 
 
 class ProcessPoolExecutor(ExecutorBase):
@@ -224,8 +446,16 @@ class ProcessPoolExecutor(ExecutorBase):
         chaos: Optional[ChaosConfig] = None,
         shard_deadline_s: Optional[float] = None,
         max_pool_restarts: int = 2,
+        strategy: str = "serial",
+        cache: Optional[TrialCache] = None,
     ) -> None:
-        super().__init__()
+        if strategy not in ("serial", "fused"):
+            raise ExperimentError(
+                f"unknown shard strategy {strategy!r}; choose serial or fused"
+            )
+        if strategy == "fused":
+            self.name = "fused-parallel"
+        super().__init__(cache=cache)
         if shard_deadline_s is not None and shard_deadline_s < 0:
             raise ExperimentError("shard_deadline_s must be non-negative")
         if max_pool_restarts < 0:
@@ -234,6 +464,7 @@ class ProcessPoolExecutor(ExecutorBase):
         self.chaos = chaos
         self.shard_deadline_s = shard_deadline_s
         self.max_pool_restarts = max_pool_restarts
+        self.strategy = strategy
         self._kills_done: set = set()
         """Module serials whose one-shot chaos worker-kill already fired."""
         self._faults_spent: Dict[str, int] = {}
@@ -245,7 +476,7 @@ class ProcessPoolExecutor(ExecutorBase):
         retried shard does not deterministically replay the exact
         fault sequence that just failed it."""
 
-    def run(self, plan: TrialPlan) -> PlanResult:
+    def _run(self, plan: TrialPlan) -> PlanResult:
         started = time.perf_counter()
         self._chaos_epoch += 1
         delta = EngineMetrics(executor=self.name)
@@ -287,23 +518,79 @@ class ProcessPoolExecutor(ExecutorBase):
                     "tasks": shards[bench_index],
                     "chaos": self._worker_chaos(serial),
                     "kill_worker": kill_worker,
+                    "strategy": self.strategy,
+                    "mask_shm": None,
                 }
             )
+        # Composed (fused) shards hand their masks back through one
+        # preallocated shared-memory buffer instead of the pickle
+        # channel; each task owns a fixed packed-word window, so
+        # duplicate shard executions (stragglers, pool rebuilds) are
+        # harmless overwrites with identical bits.
+        shm: Optional[shared_memory.SharedMemory] = None
+        layout: Dict[int, Tuple[int, int]] = {}
+        if self.strategy == "fused" and payloads:
+            offset = 0
+            for task in plan.tasks:
+                words = bitplane.words_for(task.cells)
+                layout[task.index] = (offset, words)
+                offset += words
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(8, offset * 8)
+            )
+            for payload in payloads:
+                payload["mask_shm"] = shm.name
+                payload["mask_layout"] = {
+                    task.index: layout[task.index]
+                    for task in payload["tasks"]
+                }
         execute_started = time.perf_counter()
         outcomes: List[TaskOutcome] = []
-        if payloads:
-            for shard_outcomes, busy_s in self._execute_shards(
-                payloads, delta
-            ):
-                outcomes.extend(shard_outcomes)
-                delta.busy_s += busy_s
+        try:
+            if payloads:
+                for shard_outcomes, busy_s in self._execute_shards(
+                    payloads, delta
+                ):
+                    outcomes.extend(shard_outcomes)
+                    delta.busy_s += busy_s
+            if shm is not None:
+                outcomes = self._attach_masks(outcomes, shm, layout)
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
         for task in plan.tasks:
             delta.tasks += 1
             delta.trials += task.trials
             delta.cells += task.cells
-            delta.apa_programs += task.trials
+            if self.strategy == "serial":
+                delta.apa_programs += task.trials
         delta.execute_s += time.perf_counter() - execute_started
         return self._finish(plan, delta, outcomes, started)
+
+    @staticmethod
+    def _attach_masks(
+        outcomes: List[TaskOutcome],
+        shm: shared_memory.SharedMemory,
+        layout: Dict[int, Tuple[int, int]],
+    ) -> List[TaskOutcome]:
+        """Rehydrate mask-less shard outcomes from the shared buffer."""
+        words_view = np.ndarray(
+            (shm.size // 8,), dtype=np.uint64, buffer=shm.buf
+        )
+        attached = []
+        for outcome in outcomes:
+            offset, words = layout[outcome.index]
+            attached.append(
+                replace(
+                    outcome,
+                    mask=bitplane.unpack_mask(
+                        words_view[offset:offset + words], outcome.cells
+                    ),
+                )
+            )
+        del words_view
+        return attached
 
     _RATE_FIELDS = {
         FaultKind.PROGRAM_DROP: "program_drop_rate",
@@ -358,7 +645,7 @@ class ProcessPoolExecutor(ExecutorBase):
     def _harvest(
         self,
         shard: Tuple[
-            List[TaskOutcome], float, Dict[str, int], Optional[Exception]
+            List[TaskOutcome], Dict[str, Any], Dict[str, int], Optional[Exception]
         ],
         delta: EngineMetrics,
     ) -> Tuple[List[TaskOutcome], float]:
@@ -368,13 +655,16 @@ class ProcessPoolExecutor(ExecutorBase):
         retried plan runs against a diminished budget -- the property
         that makes chaotic parallel campaigns converge.
         """
-        outcomes, busy_s, injected, error = shard
+        outcomes, stats, injected, error = shard
         delta.chaos_faults_injected += sum(injected.values())
         for kind, count in injected.items():
             self._faults_spent[kind] = self._faults_spent.get(kind, 0) + count
         if error is not None:
             raise error
-        return outcomes, busy_s
+        delta.apa_programs += stats.get("apa_programs", 0)
+        for stage, seconds in stats.get("stages", {}).items():
+            delta.add_stage(stage, seconds)
+        return outcomes, stats["busy_s"]
 
     def _execute_shards(
         self, payloads: List[Dict[str, Any]], delta: EngineMetrics
@@ -488,7 +778,7 @@ class BatchedExecutor(ExecutorBase):
 
     name = "batched"
 
-    def run(self, plan: TrialPlan) -> PlanResult:
+    def _run(self, plan: TrialPlan) -> PlanResult:
         started = time.perf_counter()
         delta = EngineMetrics(executor=self.name, workers=1)
         self._apply_environment(plan, delta)
@@ -527,13 +817,7 @@ class BatchedExecutor(ExecutorBase):
     def _probe(
         self, bench: TestBench, task: TrialTask, point: OperatingPoint
     ) -> str:
-        subarray_rows = bench.module.profile.subarray_rows
-        rf_global, rs_global = task.group.global_pair(subarray_rows)
-        bench.run(
-            apa_program(task.bank, rf_global, rs_global, point.t1_ns, point.t2_ns)
-        )
-        event = bench.module.bank(task.bank).last_event
-        return event.semantic if event is not None else "none"
+        return _probe_semantic(bench, task, point)
 
     def _run_batched(
         self,
@@ -570,27 +854,76 @@ class BatchedExecutor(ExecutorBase):
         )
 
 
+class FusedExecutor(ExecutorBase):
+    """Evaluates whole plans as fused array programs over bit-planes.
+
+    Extends the batched executor's idea from one task to a whole plan:
+    per bench, every probe-passing task's (site x row-group x trial)
+    keyed draws are gathered into a handful of block RNG calls
+    (``ReliabilityModel.context_noise_block``,
+    ``DataPattern.row_bits_block``) and the trials-to-mask reduction
+    runs over packed uint64 bit-planes (:mod:`repro.engine.bitplane`).
+    The per-task APA semantic probe gate and the per-trial serial
+    fallback are retained unchanged, so the executor is bit-identical
+    to :class:`SerialExecutor` by the same argument as
+    :class:`BatchedExecutor` -- it just makes orders of magnitude
+    fewer RNG and bench round trips.
+    """
+
+    name = "fused"
+
+    def _run(self, plan: TrialPlan) -> PlanResult:
+        started = time.perf_counter()
+        delta = EngineMetrics(executor=self.name, workers=1)
+        self._apply_environment(plan, delta)
+        execute_started = time.perf_counter()
+        shards: Dict[int, List[TrialTask]] = {}
+        for task in plan.tasks:
+            shards.setdefault(task.bench_index, []).append(task)
+            delta.tasks += 1
+            delta.trials += task.trials
+            delta.cells += task.cells
+        outcomes: List[TaskOutcome] = []
+        for bench_index in sorted(shards):
+            bench = plan.benches[bench_index]
+            outcomes.extend(
+                run_tasks_fused(
+                    plan.kernel, plan.point, plan.checkpoints,
+                    bench, shards[bench_index], delta,
+                )
+            )
+        delta.execute_s += time.perf_counter() - execute_started
+        delta.busy_s = delta.execute_s
+        return self._finish(plan, delta, outcomes, started)
+
+
 def make_executor(
     name: Optional[str],
     jobs: Optional[int] = None,
     chaos: Optional[ChaosConfig] = None,
     shard_deadline_s: Optional[float] = None,
     max_pool_restarts: int = 2,
+    cache: Optional[TrialCache] = None,
 ) -> ExecutorBase:
     """Build an executor from a CLI-style name."""
     if name in (None, "serial"):
-        return SerialExecutor()
-    if name == "parallel":
+        return SerialExecutor(cache=cache)
+    if name in ("parallel", "fused-parallel"):
         return ProcessPoolExecutor(
             jobs=jobs,
             chaos=chaos,
             shard_deadline_s=shard_deadline_s,
             max_pool_restarts=max_pool_restarts,
+            strategy="fused" if name == "fused-parallel" else "serial",
+            cache=cache,
         )
     if name == "batched":
-        return BatchedExecutor()
+        return BatchedExecutor(cache=cache)
+    if name == "fused":
+        return FusedExecutor(cache=cache)
     raise ExperimentError(
-        f"unknown executor {name!r}; choose serial, parallel, or batched"
+        f"unknown executor {name!r}; choose serial, parallel, batched, "
+        "fused, or fused-parallel"
     )
 
 

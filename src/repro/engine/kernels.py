@@ -22,7 +22,7 @@ reference path, which is always correct.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..core.patterns import DataPattern
 from ..dram.bank import pattern_regularity
 from ..dram.behavior import OperationClass
 from ..dram.cell import LEVEL_HALF, bits_to_levels
+from . import bitplane
 from .plan import TrialTask
 
 if TYPE_CHECKING:  # characterization imports the engine; avoid the cycle
@@ -72,6 +73,17 @@ class TrialKernel:
     """APA semantic the vectorized path models; ``None`` skips the
     probe gate (the kernel is regime-independent)."""
 
+    @property
+    def cache_token(self) -> str:
+        """Identity of this kernel's math for the trial cache.
+
+        Defaults to ``signature``; kernels whose results depend on
+        constructor state the signature does not capture must extend
+        it, or the cache would serve one configuration's bits to
+        another.
+        """
+        return self.signature
+
     def setup(self, bench: TestBench, task: TrialTask, point: OperatingPoint) -> None:
         """Once-per-task preparation (default: nothing)."""
 
@@ -86,6 +98,24 @@ class TrialKernel:
     ) -> np.ndarray:
         """All trials at once; returns a (trials, cells) bool matrix."""
         raise NotImplementedError
+
+    def run_slice(
+        self, bench: TestBench, tasks: Sequence[TrialTask], point: OperatingPoint
+    ) -> List[np.ndarray]:
+        """All trials of many tasks sharing one bench, packed.
+
+        Returns one ``(trials, words)`` uint64 plane stack per task
+        (see :mod:`repro.engine.bitplane`), bit-identical to packing
+        :meth:`run_batch`.  The default packs per-task batches; fused
+        kernels override it to gather every keyed draw of the slice
+        into single block RNG calls.
+        """
+        return [
+            bitplane.pack_matrix(
+                np.asarray(self.run_batch(bench, task, point), dtype=bool)
+            )
+            for task in tasks
+        ]
 
     def finalize(
         self, bench: TestBench, task: TrialTask, point: OperatingPoint
@@ -149,6 +179,60 @@ class ActivationKernel(TrialKernel):
                     stable | (noise == wr_bits)
                 )
         return matrix
+
+    def run_slice(self, bench, tasks, point):
+        module = bench.module
+        reliability = module.reliability
+        columns = module.config.columns_per_row
+        # Gather every keyed draw of the slice: one pattern block for
+        # the (task x trial) reference rows, one noise block for the
+        # (task x trial x row) WR contests.
+        reference_ids = []
+        noise_entries = []
+        for task in tasks:
+            rows_sorted = sorted(task.group.rows)
+            for trial in range(task.trials):
+                reference_ids.append(("act-wr", task.group.row_first, trial))
+                context = measurement_context(self, point, task, trial)
+                for local_row in rows_sorted:
+                    noise_entries.append(
+                        (task.bank, task.subarray, f"wr-{local_row}", context)
+                    )
+        references = point.pattern.row_bits_block(columns, reference_ids)
+        noise = reliability.context_noise_block(noise_entries, columns)
+        planes: List[np.ndarray] = []
+        reference_offset = 0
+        noise_offset = 0
+        for task in tasks:
+            device_bank = module.bank(task.bank)
+            group = task.group
+            z = reliability.activation_z(
+                group.size,
+                point.t1_ns,
+                point.t2_ns,
+                device_bank.temperature_c,
+                device_bank.vpp,
+            )
+            stable = reliability.stable_mask(
+                z, task.bank, task.subarray, group.rows,
+                OperationClass.ACTIVATION, columns,
+            )
+            wr_bits = point.pattern.inverse_bits(
+                references[reference_offset:reference_offset + task.trials]
+            )
+            count = task.trials * group.size
+            task_noise = noise[noise_offset:noise_offset + count].reshape(
+                task.trials, group.size, columns
+            )
+            matrix = np.logical_or(
+                task_noise == wr_bits[:, None, :], stable[None, None, :]
+            )
+            planes.append(
+                bitplane.pack_matrix(matrix.reshape(task.trials, task.cells))
+            )
+            reference_offset += task.trials
+            noise_offset += count
+        return planes
 
 
 class MajXKernel(TrialKernel):
@@ -247,6 +331,112 @@ class MajXKernel(TrialKernel):
             matrix[trial] = result == expected_majority(operands)
         return matrix
 
+    def run_slice(self, bench, tasks, point):
+        module = bench.module
+        reliability = module.reliability
+        columns = module.config.columns_per_row
+        plans = [
+            plan_majx(self.x, task.group, replicas=self.replicas)
+            for task in tasks
+        ]
+        operand_ids = []
+        frac_entries = []
+        maj_entries = []
+        for task, plan in zip(tasks, plans):
+            first_row = sorted(task.group.rows)[0]
+            for trial in range(task.trials):
+                context = measurement_context(self, point, task, trial)
+                for op in range(self.x):
+                    operand_ids.append(
+                        ("operand", op, task.serial, task.bank, trial)
+                    )
+                for local_row in plan.neutral_rows:
+                    frac_entries.append(
+                        (task.bank, task.subarray, f"frac-{local_row}", context)
+                    )
+                maj_entries.append(
+                    (task.bank, task.subarray, f"maj-{first_row}", context)
+                )
+        operands = point.pattern.row_bits_block(columns, operand_ids)
+        frac_noise = reliability.context_noise_block(frac_entries, columns)
+        maj_noise = reliability.context_noise_block(maj_entries, columns)
+        planes: List[np.ndarray] = []
+        operand_offset = frac_offset = maj_offset = 0
+        for task, plan in zip(tasks, plans):
+            device_bank = module.bank(task.bank)
+            sub = device_bank.subarray(task.subarray)
+            group = task.group
+            rows_sorted = sorted(group.rows)
+            temp_c = device_bank.temperature_c
+            vpp = device_bank.vpp
+            trials = task.trials
+            frac_z = reliability.frac_z(temp_c, vpp)
+            neutral_stable = {
+                local_row: reliability.stable_mask(
+                    frac_z, task.bank, task.subarray, frozenset({local_row}),
+                    OperationClass.FRAC, columns,
+                )
+                for local_row in plan.neutral_rows
+            }
+            ops = operands[
+                operand_offset:operand_offset + trials * self.x
+            ].reshape(trials, self.x, columns)
+            n_neutral = len(plan.neutral_rows)
+            task_frac = frac_noise[
+                frac_offset:frac_offset + trials * n_neutral
+            ].reshape(trials, n_neutral, columns)
+            neutral_index = {
+                local_row: j for j, local_row in enumerate(plan.neutral_rows)
+            }
+            levels = np.empty((trials, group.size, columns), dtype=np.uint8)
+            for position, local_row in enumerate(rows_sorted):
+                operand_index = plan.operand_of_row.get(local_row)
+                if operand_index is not None:
+                    levels[:, position, :] = bits_to_levels(
+                        ops[:, operand_index, :]
+                    )
+                else:
+                    levels[:, position, :] = np.where(
+                        neutral_stable[local_row],
+                        LEVEL_HALF,
+                        bits_to_levels(
+                            task_frac[:, neutral_index[local_row], :]
+                        ),
+                    ).astype(np.uint8)
+            imbalance = (levels.astype(np.int64) - 1).sum(axis=1)
+            ideal = sub.sense_amps.resolve(np.sign(imbalance))
+            # pattern_regularity is a per-trial scalar; trials sharing
+            # a value share one 2-D majority_column_z call.
+            scales = np.array(
+                [pattern_regularity(levels[t]) for t in range(trials)]
+            )
+            z_columns = np.empty((trials, columns), dtype=np.float64)
+            for scale in np.unique(scales):
+                where = np.nonzero(scales == scale)[0]
+                z_columns[where] = reliability.majority_column_z(
+                    imbalance[where],
+                    n_rows=group.size,
+                    t1_ns=point.t1_ns,
+                    t2_ns=point.t2_ns,
+                    pattern_scale=float(scale),
+                    temp_c=temp_c,
+                    vpp=vpp,
+                )
+            stable = reliability.stable_mask_vector(
+                z_columns, task.bank, task.subarray, group.rows,
+                OperationClass.MAJORITY,
+            )
+            task_maj = maj_noise[maj_offset:maj_offset + trials]
+            result = np.where(stable, ideal, task_maj).astype(np.uint8)
+            expected = (
+                ops.astype(np.int64).sum(axis=1) * 2 > self.x
+            ).astype(np.uint8)
+            planes.append(bitplane.pack_matrix(result == expected))
+            operand_offset += trials * self.x
+            frac_offset += trials * n_neutral
+            maj_offset += trials
+        return planes
+
 
 class MultiRowCopyKernel(TrialKernel):
     """Section 3.4 recipe: init source/destinations -> APA -> readback."""
@@ -318,6 +508,66 @@ class MultiRowCopyKernel(TrialKernel):
                 )
         return matrix
 
+    def run_slice(self, bench, tasks, point):
+        module = bench.module
+        reliability = module.reliability
+        columns = module.config.columns_per_row
+        source_ids = []
+        noise_entries = []
+        destination_lists = []
+        for task in tasks:
+            destinations = [
+                local_row for local_row in sorted(task.group.rows)
+                if local_row != task.group.row_first
+            ]
+            destination_lists.append(destinations)
+            for trial in range(task.trials):
+                source_ids.append(("mrc-src", task.serial, task.bank, trial))
+                context = measurement_context(self, point, task, trial)
+                for local_row in destinations:
+                    noise_entries.append(
+                        (task.bank, task.subarray, f"mrc-{local_row}", context)
+                    )
+        sources = point.pattern.row_bits_block(columns, source_ids)
+        noise = reliability.context_noise_block(noise_entries, columns)
+        planes: List[np.ndarray] = []
+        source_offset = noise_offset = 0
+        for task, destinations in zip(tasks, destination_lists):
+            device_bank = module.bank(task.bank)
+            group = task.group
+            temp_c = device_bank.temperature_c
+            vpp = device_bank.vpp
+            trials = task.trials
+            task_sources = sources[source_offset:source_offset + trials]
+            z_values = np.array([
+                reliability.multi_row_copy_z(
+                    n_destinations=max(1, group.size - 1),
+                    t1_ns=point.t1_ns,
+                    t2_ns=point.t2_ns,
+                    source_ones_fraction=float(np.mean(task_sources[trial])),
+                    temp_c=temp_c,
+                    vpp=vpp,
+                )
+                for trial in range(trials)
+            ])
+            stable = reliability.stable_mask_block(
+                z_values, task.bank, task.subarray, [group.rows] * trials,
+                OperationClass.MULTI_ROW_COPY, columns,
+            )
+            count = trials * len(destinations)
+            task_noise = noise[noise_offset:noise_offset + count].reshape(
+                trials, len(destinations), columns
+            )
+            matrix = np.logical_or(
+                task_noise == task_sources[:, None, :], stable[:, None, :]
+            )
+            planes.append(
+                bitplane.pack_matrix(matrix.reshape(trials, task.cells))
+            )
+            source_offset += trials
+            noise_offset += count
+        return planes
+
 
 class DisturbanceKernel(TrialKernel):
     """Limitation-3 audit: hammer a group, watch the bystanders.
@@ -336,6 +586,13 @@ class DisturbanceKernel(TrialKernel):
     def __init__(self, pattern: DataPattern, bystanders: Tuple[int, ...]):
         self.pattern = pattern
         self.bystanders = tuple(bystanders)
+
+    @property
+    def cache_token(self) -> str:
+        # The signature alone misses the constructor state the audit
+        # depends on (which bystanders, what reference data).
+        bystanders = ",".join(str(row) for row in self.bystanders)
+        return f"{self.signature}:{self.pattern.kind}:{bystanders}"
 
     def _reference(self, columns: int, row: int) -> np.ndarray:
         return self.pattern.row_bits(columns, "disturb-bystander", row)

@@ -44,6 +44,14 @@ class EngineMetrics:
     """Times a broken worker pool was rebuilt."""
     audit_mismatches: int = 0
     """Artifacts flagged by a result-integrity audit."""
+    cache_hits: int = 0
+    """Tasks whose outcome was served from the trial cache."""
+    cache_misses: int = 0
+    """Tasks looked up in the trial cache and recomputed."""
+    cache_bytes_read: int = 0
+    """Bytes of cache entries successfully loaded."""
+    cache_bytes_written: int = 0
+    """Bytes of cache entries persisted."""
     stages: Dict[str, float] = field(default_factory=dict)
     """Optional extra per-stage wall-times (e.g. ``probe``/``batch``)."""
 
@@ -78,6 +86,10 @@ class EngineMetrics:
         self.stragglers_reissued += other.stragglers_reissued
         self.pool_restarts += other.pool_restarts
         self.audit_mismatches += other.audit_mismatches
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_bytes_read += other.cache_bytes_read
+        self.cache_bytes_written += other.cache_bytes_written
         self.workers = max(self.workers, other.workers)
         for name, seconds in other.stages.items():
             self.add_stage(name, seconds)
@@ -105,6 +117,10 @@ class EngineMetrics:
             "stragglers_reissued": self.stragglers_reissued,
             "pool_restarts": self.pool_restarts,
             "audit_mismatches": self.audit_mismatches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_bytes_read": self.cache_bytes_read,
+            "cache_bytes_written": self.cache_bytes_written,
         }
         for name, seconds in sorted(self.stages.items()):
             payload[f"stage_{name}_s"] = seconds
@@ -144,6 +160,15 @@ class EngineMetrics:
             lines.append("  fleet health")
             for label, count in health:
                 lines.append(f"    {label:<18}: {count}")
+        lookups = self.cache_hits + self.cache_misses
+        if lookups:
+            hit_rate = self.cache_hits / lookups
+            lines.append("  trial cache")
+            lines.append(f"    hits              : {self.cache_hits}")
+            lines.append(f"    misses            : {self.cache_misses}")
+            lines.append(f"    hit rate          : {hit_rate:.1%}")
+            lines.append(f"    bytes read        : {self.cache_bytes_read}")
+            lines.append(f"    bytes written     : {self.cache_bytes_written}")
         return "\n".join(lines)
 
 

@@ -180,6 +180,7 @@ def audit_store(
     sample: int = 2,
     seed: int = 0,
     scope=None,
+    cache=None,
 ) -> AuditReport:
     """Audit one stored campaign: checksums for all, recompute a sample.
 
@@ -187,7 +188,11 @@ def audit_store(
     recomputed with the reference serial executor and compared against
     the stored bits.  ``scope`` overrides the manifest-rebuilt scope
     (useful when auditing inside a live session that already holds the
-    benches).
+    benches).  ``cache`` (a :class:`~repro.engine.cache.TrialCache`)
+    lets repeated audits skip bit-identical recomputation; pass one
+    built with ``require_origin="serial"`` so the audit only consumes
+    entries the reference executor itself produced -- never the output
+    of an executor it is supposed to cross-check.
     """
     # The campaign layer imports repro.health; import it lazily here so
     # the health package never imports it at module load.
@@ -256,7 +261,9 @@ def audit_store(
                 )
                 continue
             fresh = canonical_data(
-                EXPERIMENTS[name](figure_scope, executor=SerialExecutor())
+                EXPERIMENTS[name](
+                    figure_scope, executor=SerialExecutor(cache=cache)
+                )
             )
             stored = store.load(name)
             report.figures_recomputed += 1

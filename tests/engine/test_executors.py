@@ -33,6 +33,7 @@ from repro.dram.module import Module
 from repro.dram.vendor import PROFILE_SAMSUNG, TESTED_MODULES
 from repro.engine import (
     BatchedExecutor,
+    FusedExecutor,
     ProcessPoolExecutor,
     SerialExecutor,
     TrialKernel,
@@ -52,7 +53,10 @@ EXECUTOR_FACTORIES = {
     "serial": SerialExecutor,
     "parallel": lambda: ProcessPoolExecutor(jobs=2),
     "batched": BatchedExecutor,
+    "fused": FusedExecutor,
+    "fused-parallel": lambda: ProcessPoolExecutor(jobs=2, strategy="fused"),
 }
+NON_SERIAL = ["parallel", "batched", "fused", "fused-parallel"]
 
 
 def make_scope(seed: int = 51, columns: int = 64, trials: int = 4):
@@ -69,7 +73,7 @@ def make_scope(seed: int = 51, columns: int = 64, trials: int = 4):
 class TestBitIdentity:
     """Same seed, any executor, same numbers -- the engine contract."""
 
-    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    @pytest.mark.parametrize("other", NON_SERIAL)
     def test_activation_distribution_matches_serial(self, other):
         reference = activation_success_distribution(
             make_scope(), 8, ACT_POINT, executor=SerialExecutor()
@@ -79,7 +83,7 @@ class TestBitIdentity:
         )
         assert candidate == reference
 
-    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    @pytest.mark.parametrize("other", NON_SERIAL)
     def test_majx_distribution_matches_serial(self, other):
         reference = majx_success_distribution(
             make_scope(), 3, 8, ACT_POINT, executor=SerialExecutor()
@@ -89,7 +93,7 @@ class TestBitIdentity:
         )
         assert candidate == reference
 
-    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    @pytest.mark.parametrize("other", NON_SERIAL)
     def test_rowcopy_distribution_matches_serial(self, other):
         reference = multi_row_copy_distribution(
             make_scope(), 3, COPY_POINT, executor=SerialExecutor()
@@ -99,7 +103,7 @@ class TestBitIdentity:
         )
         assert candidate == reference
 
-    @pytest.mark.parametrize("other", ["parallel", "batched"])
+    @pytest.mark.parametrize("other", NON_SERIAL)
     def test_convergence_checkpoints_match_serial(self, other):
         checkpoints = (1, 2, 4, 8)
         reference = majx_convergence_curve(

@@ -1,0 +1,169 @@
+"""Fused-executor contract tests.
+
+The fused path evaluates a whole plan as packed bit-plane math after a
+one-APA semantic probe per task; the fused-parallel path shards the
+same fused evaluation across a worker pool with shared-memory mask
+returns.  Both must reproduce the serial reference bit for bit --
+masks, rates, and convergence checkpoints -- including under chaos
+worker kills and off-regime fallbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization.activation import (
+    activation_success_distribution,
+    build_activation_plan,
+)
+from repro.characterization.convergence import majx_convergence_curve
+from repro.characterization.experiment import (
+    CharacterizationScope,
+    OperatingPoint,
+)
+from repro.characterization.rowcopy import build_copy_plan
+from repro.chaos import ChaosConfig
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.engine import (
+    FusedExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    make_executor,
+    run_plan,
+)
+
+ACT_POINT = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+COPY_POINT = OperatingPoint(t1_ns=36.0, t2_ns=3.0)
+KILL_SERIAL = TESTED_MODULES[1].module_identifier + "#0"
+
+
+def make_scope(seed: int = 51, columns: int = 64, trials: int = 4):
+    return CharacterizationScope.build(
+        config=SimulationConfig(seed=seed, columns_per_row=columns),
+        specs=TESTED_MODULES[:2],
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=trials,
+    )
+
+
+def assert_outcomes_identical(reference, candidate):
+    assert len(reference.outcomes) == len(candidate.outcomes)
+    for ours, theirs in zip(reference.outcomes, candidate.outcomes):
+        assert ours.index == theirs.index
+        assert ours.rate == theirs.rate
+        assert ours.checkpoint_rates == theirs.checkpoint_rates
+        assert np.array_equal(ours.mask, theirs.mask)
+
+
+@pytest.mark.parametrize("name", ["fused", "fused-parallel"])
+class TestFusedBitIdentity:
+    """Cell-for-cell equality with the serial reference."""
+
+    def make(self, name):
+        if name == "fused":
+            return FusedExecutor()
+        return ProcessPoolExecutor(jobs=2, strategy="fused")
+
+    def test_activation_masks_match_serial(self, name):
+        reference = SerialExecutor().run(
+            build_activation_plan(make_scope(), 8, ACT_POINT)
+        )
+        candidate = self.make(name).run(
+            build_activation_plan(make_scope(), 8, ACT_POINT)
+        )
+        assert_outcomes_identical(reference, candidate)
+
+    def test_copy_masks_match_serial(self, name):
+        reference = SerialExecutor().run(
+            build_copy_plan(make_scope(), 3, COPY_POINT)
+        )
+        candidate = self.make(name).run(
+            build_copy_plan(make_scope(), 3, COPY_POINT)
+        )
+        assert_outcomes_identical(reference, candidate)
+
+    def test_checkpoints_match_serial(self, name):
+        checkpoints = (1, 2, 3, 4)
+        reference = majx_convergence_curve(
+            make_scope(), 3, 4, checkpoints, executor=SerialExecutor()
+        )
+        candidate = majx_convergence_curve(
+            make_scope(), 3, 4, checkpoints, executor=self.make(name)
+        )
+        assert candidate == reference
+
+    def test_off_regime_plan_falls_back_bit_identically(self, name):
+        # Copy plan at majority timings: the probe resolves a different
+        # semantic, so every task must take the serial fallback.
+        point = OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+        reference = SerialExecutor().run(
+            build_copy_plan(make_scope(), 3, point)
+        )
+        executor = self.make(name)
+        candidate = executor.run(build_copy_plan(make_scope(), 3, point))
+        assert_outcomes_identical(reference, candidate)
+        assert "fallback" in executor.metrics.stages
+
+
+class TestFusedInstrumentation:
+    def test_one_probe_per_task_on_regime(self):
+        executor = FusedExecutor()
+        plan = build_activation_plan(make_scope(), 8, ACT_POINT)
+        run_plan(plan, executor)
+        # Fused pays exactly one real APA (the probe) per task; the
+        # trials themselves run as packed bit-plane math.
+        assert executor.metrics.apa_programs == len(plan.tasks)
+        assert "probe" in executor.metrics.stages
+        assert "fuse" in executor.metrics.stages
+        assert "fallback" not in executor.metrics.stages
+
+    def test_make_executor_builds_fused_variants(self):
+        assert make_executor("fused").name == "fused"
+        composed = make_executor("fused-parallel", jobs=2)
+        assert composed.strategy == "fused"
+        assert composed.jobs == 2
+
+
+class TestFusedParallelSupervision:
+    """PR 3 supervision must survive the batched x parallel composition."""
+
+    def test_worker_crash_recovers_bit_identically(self):
+        reference = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=SerialExecutor()
+        )
+        chaos = ChaosConfig(seed=3, worker_kill_serials=(KILL_SERIAL,))
+        executor = ProcessPoolExecutor(jobs=2, strategy="fused", chaos=chaos)
+        candidate = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        assert candidate == reference
+        assert executor.metrics.pool_restarts >= 1
+        assert executor.metrics.tasks_resharded >= 1
+
+    def test_straggler_reissue_stays_bit_identical(self):
+        reference = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=SerialExecutor()
+        )
+        executor = ProcessPoolExecutor(
+            jobs=2, strategy="fused", shard_deadline_s=0.0
+        )
+        candidate = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        assert candidate == reference
+        assert executor.metrics.stragglers_reissued >= 1
+
+    def test_serial_fallback_when_restart_budget_exhausted(self):
+        reference = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=SerialExecutor()
+        )
+        chaos = ChaosConfig(seed=3, worker_kill_serials=(KILL_SERIAL,))
+        executor = ProcessPoolExecutor(
+            jobs=2, strategy="fused", chaos=chaos, max_pool_restarts=0
+        )
+        candidate = activation_success_distribution(
+            make_scope(), 8, ACT_POINT, executor=executor
+        )
+        assert candidate == reference
+        assert executor.metrics.pool_restarts == 1

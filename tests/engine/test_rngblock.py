@@ -1,0 +1,84 @@
+"""Block-RNG equivalence tests.
+
+``uniform_bit_block`` must be bit-identical, row for row, to NumPy's
+``default_rng(seed).random(n) < 0.5`` -- that equivalence is what lets
+the fused executor draw every trial's noise in one vectorized pass
+while staying on the serial engine's exact bit stream.  The shapes
+below deliberately cross the internal seed-chunk (256) and bit-block
+(64) boundaries, including ragged tails.
+"""
+
+import numpy as np
+import pytest
+
+import repro.rngblock as rngblock
+from repro.rngblock import (
+    _uniform_bit_block_reference,
+    fast_path_enabled,
+    uniform_bit_block,
+)
+
+SHAPES = [
+    (1, 1),
+    (3, 63),       # under one bit-block
+    (8, 64),       # exactly one bit-block
+    (8, 65),       # one-bit ragged tail
+    (300, 67),     # crosses the seed-chunk boundary, ragged bits
+    (257, 128),    # chunk boundary + exact blocks
+    (513, 200),    # two chunk crossings, ragged tail
+    (10, 300),     # many blocks per row
+]
+
+
+def probe_seeds(count: int, salt: int = 0) -> np.ndarray:
+    # Deterministic spread across the 64-bit seed space, including the
+    # extremes that historically break widening multiplies.
+    rng = np.random.default_rng(1234 + salt)
+    seeds = rng.integers(0, 2**63, size=count, dtype=np.uint64)
+    seeds[: min(count, 4)] = [0, 1, 2**32, 2**64 - 1][: min(count, 4)]
+    return seeds
+
+
+class TestBitIdentity:
+    def test_fast_path_survived_startup_self_check(self):
+        assert fast_path_enabled()
+
+    @pytest.mark.parametrize("count,n_bits", SHAPES)
+    def test_matches_numpy_reference(self, count, n_bits):
+        seeds = probe_seeds(count, salt=n_bits)
+        fast = uniform_bit_block(seeds, n_bits)
+        assert fast.shape == (count, n_bits)
+        assert fast.dtype == np.uint8
+        assert np.array_equal(fast, _uniform_bit_block_reference(seeds, n_bits))
+
+    def test_rows_independent_of_batch_composition(self):
+        # A seed's bit row must not depend on its neighbours in the
+        # batch -- noise keys are per measurement context.
+        seeds = probe_seeds(20)
+        whole = uniform_bit_block(seeds, 97)
+        for i in (0, 7, 19):
+            alone = uniform_bit_block(seeds[i : i + 1], 97)
+            assert np.array_equal(whole[i], alone[0])
+
+
+class TestFallback:
+    def test_forced_fallback_is_bit_identical(self, monkeypatch):
+        seeds = probe_seeds(33)
+        fast = uniform_bit_block(seeds, 130)
+        monkeypatch.setattr(rngblock, "_FAST_PATH_OK", False)
+        assert np.array_equal(uniform_bit_block(seeds, 130), fast)
+
+    def test_self_check_exercises_the_advance_path(self):
+        # 67 bits > one 64-column block, so the startup probe covers
+        # both the closed-form head and the block-advance recurrence.
+        assert rngblock._self_check()
+
+
+class TestValidation:
+    def test_rejects_non_vector_seeds(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            uniform_bit_block(np.zeros((2, 2), dtype=np.uint64), 8)
+
+    def test_empty_seed_vector(self):
+        out = uniform_bit_block(np.empty(0, dtype=np.uint64), 8)
+        assert out.shape == (0, 8)
