@@ -29,6 +29,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.engine.benchmark import (  # noqa: E402
     DEFAULT_EXECUTORS,
+    run_campaign_benchmark,
     run_engine_benchmark,
     write_benchmark_json,
 )
@@ -78,6 +79,15 @@ def main(argv=None) -> int:
         help="worker counts for the parallel scaling curve (empty to skip)",
     )
     parser.add_argument(
+        "--campaign", action="store_true",
+        help="also time a multi-figure campaign sequentially vs pipelined "
+        "(adds the 'campaign' speedup the floors file can gate on)",
+    )
+    parser.add_argument(
+        "--campaign-trials", type=int, default=16,
+        help="trials per test for the campaign benchmark",
+    )
+    parser.add_argument(
         "--floors", type=Path, default=None,
         help="perf_floors.json path; fail on speedups below floor*tolerance",
     )
@@ -95,11 +105,22 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         scaling_jobs=tuple(args.scaling_jobs),
     )
+    if args.campaign:
+        report.campaign = run_campaign_benchmark(
+            columns=args.columns,
+            groups_per_size=args.groups,
+            trials=args.campaign_trials,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        report.speedup["campaign"] = report.campaign["speedup"]
     path = write_benchmark_json(report, Path(args.output))
     for line in report.summary_lines():
         print(line)
     print(f"wrote {path}")
     if not report.identical:
+        return 1
+    if report.campaign is not None and not report.campaign["identical"]:
         return 1
     if args.floors is not None:
         if check_floors(report, args.floors):

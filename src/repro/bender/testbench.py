@@ -17,6 +17,12 @@ from .power_supply import VppSupply
 from .program import CommandProgram
 from .thermal import TemperatureController
 
+BASELINE_TEMPERATURE_C = 50.0
+"""The paper's idle chip temperature (every bench starts here)."""
+
+BASELINE_VPP = 2.5
+"""Nominal wordline voltage (every bench starts here)."""
+
 
 class TestBench:
     """Fig 2's six-component rig around one simulated module."""
@@ -30,8 +36,7 @@ class TestBench:
         self._thermal = TemperatureController(module)
         self._supply = VppSupply(module)
         # Experiments start at the paper's baseline conditions.
-        self.set_temperature(50.0)
-        self.set_vpp(2.5)
+        self.reset_environment()
 
     @classmethod
     def for_spec(
@@ -67,6 +72,17 @@ class TestBench:
     def supply(self) -> VppSupply:
         """VPP bench supply."""
         return self._supply
+
+    def reset_environment(self) -> None:
+        """Drive the rig back to the paper's baseline conditions.
+
+        The thermal controller settles exactly onto its target, so a
+        reset bench is environmentally indistinguishable from a
+        freshly built one -- the property that lets worker processes
+        reuse benches across shards without breaking bit-identity.
+        """
+        self.set_temperature(BASELINE_TEMPERATURE_C)
+        self.set_vpp(BASELINE_VPP)
 
     def set_temperature(self, temp_c: float) -> None:
         """Program and settle a chip temperature."""

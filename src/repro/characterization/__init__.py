@@ -6,7 +6,13 @@ activation size, run repeated trials of each operation, and report the
 distribution of per-group success rates across everything tested.
 """
 
-from .stats import DistributionSummary, summarize
+from .stats import (
+    BootstrapCI,
+    DistributionSummary,
+    bootstrap_mean_ci,
+    summarize,
+    summarize_each,
+)
 from .experiment import CharacterizationScope, OperatingPoint
 from .activation import (
     activation_success_distribution,
@@ -29,11 +35,24 @@ from .rowcopy import (
     figure12a_temperature,
     figure12b_voltage,
 )
-from .report import format_distribution_table, format_series_table
+from .report import (
+    format_ci_table,
+    format_distribution_table,
+    format_series_table,
+)
 from .disturbance import DisturbanceReport, disturbance_check
 from .fleet import baseline_yield, best_group_yields, per_manufacturer_scopes
-from .variability import manufacturer_gap, module_spread, per_module_majx
-from .convergence import majx_convergence_curve, overestimate_at
+from .variability import (
+    fleet_bootstrap_ci,
+    manufacturer_gap,
+    module_spread,
+    per_module_majx,
+)
+from .convergence import (
+    majx_convergence_cis,
+    majx_convergence_curve,
+    overestimate_at,
+)
 from .store import CampaignManifest, ResultStore
 from .campaign import (
     Campaign,
@@ -50,8 +69,11 @@ from .timing_search import (
 )
 
 __all__ = [
+    "BootstrapCI",
     "DistributionSummary",
+    "bootstrap_mean_ci",
     "summarize",
+    "summarize_each",
     "CharacterizationScope",
     "OperatingPoint",
     "activation_success_distribution",
@@ -69,6 +91,7 @@ __all__ = [
     "figure11_patterns",
     "figure12a_temperature",
     "figure12b_voltage",
+    "format_ci_table",
     "format_distribution_table",
     "format_series_table",
     "DisturbanceReport",
@@ -76,9 +99,11 @@ __all__ = [
     "baseline_yield",
     "best_group_yields",
     "per_manufacturer_scopes",
+    "fleet_bootstrap_ci",
     "manufacturer_gap",
     "module_spread",
     "per_module_majx",
+    "majx_convergence_cis",
     "majx_convergence_curve",
     "overestimate_at",
     "ResultStore",

@@ -9,7 +9,16 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..engine import ActivationKernel, ExecutorBase, TrialPlan, run_plan, tasks_for_scope
+from ..engine import (
+    ActivationKernel,
+    ExecutorBase,
+    ExperimentProgram,
+    PlanResult,
+    PlanStep,
+    TrialPlan,
+    run_plan,
+    tasks_for_scope,
+)
 from .experiment import CharacterizationScope, OperatingPoint
 from .stats import DistributionSummary, summarize
 
@@ -60,6 +69,44 @@ def activation_success_distribution(
     return summarize(result.rates())
 
 
+def _summarize_rates(result: PlanResult) -> DistributionSummary:
+    return summarize(result.rates())
+
+
+def _mean_rate(result: PlanResult) -> float:
+    return summarize(result.rates()).mean
+
+
+def _nested(slots, values) -> Dict:
+    """Rebuild ``{outer: {inner: value}}`` preserving slot order."""
+    out: Dict = {}
+    for (outer, inner), value in zip(slots, values):
+        out.setdefault(outer, {})[inner] = value
+    return out
+
+
+def program_fig3(
+    scope: CharacterizationScope,
+    sizes: Sequence[int] = ACTIVATION_SIZES,
+    t1_values: Sequence[float] = FIG3_T1_VALUES,
+    t2_values: Sequence[float] = FIG3_T2_VALUES,
+) -> ExperimentProgram:
+    """Fig 3 as a declarative program (see :mod:`repro.engine.scheduler`)."""
+    steps = []
+    slots = []
+    for t1 in t1_values:
+        for t2 in t2_values:
+            point = OperatingPoint(t1_ns=t1, t2_ns=t2)
+            for n in sizes:
+                steps.append(
+                    PlanStep(build_activation_plan(scope, n, point), _summarize_rates)
+                )
+                slots.append(((t1, t2), n))
+    return ExperimentProgram(
+        "fig3", tuple(steps), lambda values: _nested(slots, values)
+    )
+
+
 def figure3_timing_grid(
     scope: CharacterizationScope,
     sizes: Sequence[int] = ACTIVATION_SIZES,
@@ -68,15 +115,27 @@ def figure3_timing_grid(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[Tuple[float, float], Dict[int, DistributionSummary]]:
     """Fig 3: success distributions over the (t1, t2) grid and sizes."""
-    grid: Dict[Tuple[float, float], Dict[int, DistributionSummary]] = {}
-    for t1 in t1_values:
-        for t2 in t2_values:
-            point = OperatingPoint(t1_ns=t1, t2_ns=t2)
-            grid[(t1, t2)] = {
-                n: activation_success_distribution(scope, n, point, executor)
-                for n in sizes
-            }
-    return grid
+    return program_fig3(scope, sizes, t1_values, t2_values).run(executor)
+
+
+def program_fig4a(
+    scope: CharacterizationScope,
+    sizes: Sequence[int] = ACTIVATION_SIZES,
+    temperatures: Sequence[float] = FIG4_TEMPERATURES,
+) -> ExperimentProgram:
+    """Fig 4a as a declarative program."""
+    steps = []
+    slots = []
+    for temp in temperatures:
+        point = OperatingPoint(temperature_c=temp)
+        for n in sizes:
+            steps.append(
+                PlanStep(build_activation_plan(scope, n, point), _mean_rate)
+            )
+            slots.append((temp, n))
+    return ExperimentProgram(
+        "fig4a", tuple(steps), lambda values: _nested(slots, values)
+    )
 
 
 def figure4a_temperature(
@@ -86,14 +145,27 @@ def figure4a_temperature(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 4a: average success rate vs temperature (best timings)."""
-    result: Dict[float, Dict[int, float]] = {}
-    for temp in temperatures:
-        point = OperatingPoint(temperature_c=temp)
-        result[temp] = {
-            n: activation_success_distribution(scope, n, point, executor).mean
-            for n in sizes
-        }
-    return result
+    return program_fig4a(scope, sizes, temperatures).run(executor)
+
+
+def program_fig4b(
+    scope: CharacterizationScope,
+    sizes: Sequence[int] = ACTIVATION_SIZES,
+    vpp_levels: Sequence[float] = FIG4_VPP_LEVELS,
+) -> ExperimentProgram:
+    """Fig 4b as a declarative program."""
+    steps = []
+    slots = []
+    for vpp in vpp_levels:
+        point = OperatingPoint(vpp=vpp)
+        for n in sizes:
+            steps.append(
+                PlanStep(build_activation_plan(scope, n, point), _mean_rate)
+            )
+            slots.append((vpp, n))
+    return ExperimentProgram(
+        "fig4b", tuple(steps), lambda values: _nested(slots, values)
+    )
 
 
 def figure4b_voltage(
@@ -103,11 +175,4 @@ def figure4b_voltage(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 4b: average success rate vs wordline voltage (best timings)."""
-    result: Dict[float, Dict[int, float]] = {}
-    for vpp in vpp_levels:
-        point = OperatingPoint(vpp=vpp)
-        result[vpp] = {
-            n: activation_success_distribution(scope, n, point, executor).mean
-            for n in sizes
-        }
-    return result
+    return program_fig4b(scope, sizes, vpp_levels).run(executor)

@@ -36,6 +36,7 @@ the executor is failure-isolated:
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -43,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import rng
 from ..bender.program import ProgramBuilder
+from ..engine.scheduler import CampaignScheduler
 from ..errors import (
     ConfigurationError,
     ExperimentError,
@@ -52,13 +54,24 @@ from ..errors import (
     TransientInfrastructureError,
 )
 from ..health.tracker import HealthTracker
-from .activation import figure3_timing_grid, figure4a_temperature, figure4b_voltage
+from .activation import (
+    figure3_timing_grid,
+    figure4a_temperature,
+    figure4b_voltage,
+    program_fig3,
+    program_fig4a,
+    program_fig4b,
+)
 from .experiment import CharacterizationScope
 from .majority import (
     figure6_maj3_grid,
     figure7_patterns,
     figure8_temperature,
     figure9_voltage,
+    program_fig6,
+    program_fig7,
+    program_fig8,
+    program_fig9,
 )
 from .report import format_distribution_table, format_series_table
 from .rowcopy import (
@@ -66,6 +79,10 @@ from .rowcopy import (
     figure11_patterns,
     figure12a_temperature,
     figure12b_voltage,
+    program_fig10,
+    program_fig11,
+    program_fig12a,
+    program_fig12b,
 )
 from .store import CampaignManifest, ResultStore, storable
 
@@ -83,6 +100,29 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig12b": figure12b_voltage,
 }
 """Every section 4-6 experiment the campaign can run, by figure id."""
+
+EXPERIMENT_PROGRAMS: Dict[str, Callable] = {
+    "fig3": program_fig3,
+    "fig4a": program_fig4a,
+    "fig4b": program_fig4b,
+    "fig6": program_fig6,
+    "fig7": program_fig7,
+    "fig8": program_fig8,
+    "fig9": program_fig9,
+    "fig10": program_fig10,
+    "fig11": program_fig11,
+    "fig12a": program_fig12a,
+    "fig12b": program_fig12b,
+}
+"""Declarative program builders (scope -> ExperimentProgram) backing
+the same figures; the pipelined scheduler runs these.  Every figure
+function delegates to its program, so both paths share one assembly
+and produce bit-identical data by construction."""
+
+_CANONICAL_EXPERIMENTS: Dict[str, Callable] = dict(EXPERIMENTS)
+"""Snapshot used to detect monkeypatched experiments: a replaced
+figure callable has no matching program, so the campaign falls back to
+calling it directly instead of pipelining."""
 
 
 @dataclass(frozen=True)
@@ -230,6 +270,7 @@ class Campaign:
         clock: Callable[[], float] = time.monotonic,
         executor: Optional["ExecutorBase"] = None,  # noqa: F821
         health: Optional[HealthTracker] = None,
+        pipeline: Optional[bool] = None,
     ):
         if time_budget_s is not None and time_budget_s <= 0:
             raise ConfigurationError("time budget must be positive")
@@ -242,6 +283,10 @@ class Campaign:
         self._clock = clock
         self._executor = executor
         self._health = health
+        self._pipeline = pipeline
+        """``True`` forces pipelined scheduling (when eligible), ``False``
+        disables it, ``None`` (default) engages it automatically for
+        multi-experiment runs on a pipelining executor."""
 
     @property
     def scope(self) -> CharacterizationScope:
@@ -306,72 +351,71 @@ class Campaign:
         # Process-pool executors re-run plans in worker processes where
         # the main harness's proxies don't reach; hand them the chaos
         # profile so injection composes with sharded execution too.
-        executor_chaos_restore = None
-        if (
-            self._chaos is not None
-            and self._executor is not None
-            and hasattr(self._executor, "chaos")
-        ):
-            executor_chaos_restore = (self._executor, self._executor.chaos)
-            self._executor.chaos = self._chaos
+        # The executor's chaos_profile context restores the previous
+        # profile in a finally block, so an executor-raised error can
+        # never leave it pointing at this campaign's engine.
+        swap = (
+            self._executor.chaos_profile(self._chaos)
+            if self._chaos is not None and self._executor is not None
+            else contextlib.nullcontext()
+        )
         try:
-            for name in experiments:
-                if name in result.skipped or name in result.skipped_failed:
-                    continue
-                scope, quality = self._scoped()
-                if quality is not None:
-                    result.quality[name] = quality
-                if scope is None:
-                    failure = ExperimentFailure(
-                        experiment=name,
-                        reason="no-healthy-modules",
-                        attempts=0,
-                        elapsed_s=0.0,
-                        error=_describe(
-                            NoHealthyModulesError(
-                                "every module in the scope is quarantined"
-                            )
-                        ),
-                        chain=(),
-                    )
-                    result.failures.append(failure)
-                    result.attempts[name] = 0
-                    self._record_failure(manifest, failure)
-                    continue
-                outcome = self._run_one(name, scope)
-                if isinstance(outcome, ExperimentFailure):
-                    if (
-                        outcome.reason == "retries-exhausted"
-                        and self._health is not None
-                    ):
-                        self._health.record_retry_exhaustion()
-                    result.failures.append(outcome)
-                    result.attempts[name] = outcome.attempts
-                    self._record_failure(manifest, outcome)
-                    continue
-                data, attempts = outcome
-                result.data[name] = data
-                result.attempts[name] = attempts
-                result.completed.append(name)
-                if store is not None and manifest is not None:
-                    store.save(
-                        name,
-                        storable(data),
-                        config=config,
-                        notes=f"campaign experiment {name}",
-                        quality=quality,
-                    )
-                    if name not in manifest.completed:
-                        manifest.completed.append(name)
-                    manifest.failures.pop(name, None)
-                    self._store.save_manifest(manifest)
+            with swap:
+                pipelined = self._run_pipelined(experiments, result)
+                for name in experiments:
+                    if name in result.skipped or name in result.skipped_failed:
+                        continue
+                    scope, quality = self._scoped()
+                    if quality is not None:
+                        result.quality[name] = quality
+                    if scope is None:
+                        failure = ExperimentFailure(
+                            experiment=name,
+                            reason="no-healthy-modules",
+                            attempts=0,
+                            elapsed_s=0.0,
+                            error=_describe(
+                                NoHealthyModulesError(
+                                    "every module in the scope is quarantined"
+                                )
+                            ),
+                            chain=(),
+                        )
+                        result.failures.append(failure)
+                        result.attempts[name] = 0
+                        self._record_failure(manifest, failure)
+                        continue
+                    outcome = self._consume(name, scope, pipelined)
+                    if isinstance(outcome, ExperimentFailure):
+                        if (
+                            outcome.reason == "retries-exhausted"
+                            and self._health is not None
+                        ):
+                            self._health.record_retry_exhaustion()
+                        result.failures.append(outcome)
+                        result.attempts[name] = outcome.attempts
+                        self._record_failure(manifest, outcome)
+                        continue
+                    data, attempts = outcome
+                    result.data[name] = data
+                    result.attempts[name] = attempts
+                    result.completed.append(name)
+                    if store is not None and manifest is not None:
+                        store.save(
+                            name,
+                            storable(data),
+                            config=config,
+                            notes=f"campaign experiment {name}",
+                            quality=quality,
+                        )
+                        if name not in manifest.completed:
+                            manifest.completed.append(name)
+                        manifest.failures.pop(name, None)
+                        self._store.save_manifest(manifest)
         finally:
             if harness is not None:
                 result.chaos_faults_injected = harness.engine.stats.total_injected
                 harness.uninstall()
-            if executor_chaos_restore is not None:
-                executor, previous = executor_chaos_restore
-                executor.chaos = previous
         if self._executor is not None:
             if self._health is not None:
                 self._executor.metrics.breaker_trips = (
@@ -393,6 +437,92 @@ class Campaign:
         if self._store is not None:
             result.stored_at = self._store.directory
         return result
+
+    def _pipeline_candidates(
+        self, experiments: Sequence[str], result: CampaignResult
+    ) -> List[str]:
+        """Experiments eligible for pipelined scheduling this run.
+
+        Pipelining changes *when* trials execute, never what they
+        compute, but it must not change observable orchestration
+        either -- so it stands down whenever per-experiment machinery
+        is in play: chaos injection (fault schedules are consumed in
+        experiment order), health supervision (probes and quarantine
+        decisions happen between experiments), monkeypatched
+        experiment callables (no program to build), or an executor
+        without pipelining support.
+        """
+        if self._pipeline is False:
+            return []
+        executor = self._executor
+        if executor is None or not getattr(
+            executor, "supports_pipelining", False
+        ):
+            return []
+        if self._chaos is not None or getattr(executor, "chaos", None) is not None:
+            return []
+        if self._health is not None:
+            return []
+        return [
+            name
+            for name in experiments
+            if name not in result.skipped
+            and name not in result.skipped_failed
+            and name in EXPERIMENT_PROGRAMS
+            and EXPERIMENTS.get(name) is _CANONICAL_EXPERIMENTS.get(name)
+        ]
+
+    def _run_pipelined(
+        self, experiments: Sequence[str], result: CampaignResult
+    ) -> Dict[str, Tuple[str, object]]:
+        """Pre-run eligible experiments as one pipelined plan stream.
+
+        Results are only *buffered* here; the main loop still commits
+        artifacts, manifest entries, and failure records strictly in
+        experiment order, so everything persisted is bit-identical to
+        a sequential run.
+        """
+        names = self._pipeline_candidates(experiments, result)
+        if not names or (len(names) < 2 and not self._pipeline):
+            return {}
+        buffered: Dict[str, Tuple[str, object]] = {}
+        programs = []
+        for name in names:
+            try:
+                programs.append(EXPERIMENT_PROGRAMS[name](self._scope))
+            except Exception as exc:  # noqa: BLE001 -- isolate the sweep
+                # Same fate as the figure function raising on its
+                # first plan build: a non-transient failure.
+                buffered[name] = ("error", exc)
+        if programs:
+            buffered.update(CampaignScheduler(self._executor).run(programs))
+        return buffered
+
+    def _consume(
+        self,
+        name: str,
+        scope: CharacterizationScope,
+        pipelined: Dict[str, Tuple[str, object]],
+    ) -> Union[Tuple[object, int], ExperimentFailure]:
+        """One experiment's outcome: buffered pipelined result or a run."""
+        if name in pipelined:
+            status, value = pipelined[name]
+            if status == "ok":
+                return value, 1
+            if isinstance(value, TransientInfrastructureError):
+                # Rare with pipelining (it requires chaos to be off):
+                # fall back to the sequential retry path.
+                return self._run_one(name, scope)
+            assert isinstance(value, Exception)
+            return ExperimentFailure(
+                experiment=name,
+                reason="error",
+                attempts=1,
+                elapsed_s=0.0,
+                error=_describe(value),
+                chain=_chain(value),
+            )
+        return self._run_one(name, scope)
 
     def _scoped(self):
         """The (possibly degraded) scope for the next experiment.

@@ -14,10 +14,16 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from ..engine import ExecutorBase, checkpoint_means, run_plan
+from ..engine import (
+    ExecutorBase,
+    checkpoint_means,
+    checkpoint_rates_by_count,
+    run_plan,
+)
 from ..errors import ExperimentError
 from .experiment import CharacterizationScope, OperatingPoint
 from .majority import MAJX_POINT, build_majx_plan
+from .stats import BootstrapCI, bootstrap_mean_ci
 
 
 def majx_convergence_curve(
@@ -33,6 +39,14 @@ def majx_convergence_curve(
     Returns ``{T: mean success across groups}``; the values are
     non-increasing in T and converge to the stable-cell fraction.
     """
+    result, checkpoints = _convergence_result(
+        scope, x, n_rows, trial_checkpoints, point, executor
+    )
+    return checkpoint_means(result, checkpoints)
+
+
+def _convergence_result(scope, x, n_rows, trial_checkpoints, point, executor):
+    """Run the checkpointed MAJX plan shared by curve and CI reports."""
     if not trial_checkpoints:
         raise ExperimentError("need at least one checkpoint")
     checkpoints = sorted(set(trial_checkpoints))
@@ -45,8 +59,36 @@ def majx_convergence_curve(
         checkpoints=tuple(checkpoints),
         empty_message=f"no module in scope supports MAJ{x}",
     )
-    result = run_plan(plan, executor)
-    return checkpoint_means(result, checkpoints)
+    return run_plan(plan, executor), checkpoints
+
+
+def majx_convergence_cis(
+    scope: CharacterizationScope,
+    x: int,
+    n_rows: int,
+    trial_checkpoints: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    point: OperatingPoint = MAJX_POINT,
+    executor: Optional[ExecutorBase] = None,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Dict[int, BootstrapCI]:
+    """Bootstrap CI of the mean measured success at each checkpoint.
+
+    Same measurement as :func:`majx_convergence_curve`, but each
+    checkpoint's cross-group mean comes back with a seeded bootstrap
+    interval, so a scaled-down reproduction can state how much of its
+    distance from the asymptote is noise versus trial-budget bias.
+    """
+    result, checkpoints = _convergence_result(
+        scope, x, n_rows, trial_checkpoints, point, executor
+    )
+    return {
+        t: bootstrap_mean_ci(
+            rates, confidence=confidence, resamples=resamples, seed=seed
+        )
+        for t, rates in checkpoint_rates_by_count(result, checkpoints).items()
+    }
 
 
 def overestimate_at(

@@ -11,8 +11,17 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.patterns import DataPattern, MAJX_TESTED_PATTERNS
-from ..engine import ExecutorBase, MajXKernel, TrialPlan, run_plan, tasks_for_scope
+from ..engine import (
+    ExecutorBase,
+    ExperimentProgram,
+    MajXKernel,
+    PlanStep,
+    TrialPlan,
+    run_plan,
+    tasks_for_scope,
+)
 from ..errors import ExperimentError
+from .activation import _mean_rate, _nested, _summarize_rates  # noqa: F401
 from .experiment import CharacterizationScope, OperatingPoint
 from .stats import DistributionSummary, summarize
 
@@ -95,6 +104,28 @@ def majx_success_distribution(
     return summarize(result.rates())
 
 
+def program_fig6(
+    scope: CharacterizationScope,
+    sizes: Sequence[int] = MAJ_SIZES,
+    t1_values: Sequence[float] = FIG6_T1_VALUES,
+    t2_values: Sequence[float] = FIG6_T2_VALUES,
+) -> ExperimentProgram:
+    """Fig 6 as a declarative program (see :mod:`repro.engine.scheduler`)."""
+    steps = []
+    slots = []
+    for t1 in t1_values:
+        for t2 in t2_values:
+            point = MAJX_POINT.with_timing(t1, t2)
+            for n in sizes:
+                steps.append(
+                    PlanStep(build_majx_plan(scope, 3, n, point), _summarize_rates)
+                )
+                slots.append(((t1, t2), n))
+    return ExperimentProgram(
+        "fig6", tuple(steps), lambda values: _nested(slots, values)
+    )
+
+
 def figure6_maj3_grid(
     scope: CharacterizationScope,
     sizes: Sequence[int] = MAJ_SIZES,
@@ -103,15 +134,44 @@ def figure6_maj3_grid(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[Tuple[float, float], Dict[int, DistributionSummary]]:
     """Fig 6: MAJ3 success over the (t1, t2) grid and activation sizes."""
-    grid: Dict[Tuple[float, float], Dict[int, DistributionSummary]] = {}
-    for t1 in t1_values:
-        for t2 in t2_values:
-            point = MAJX_POINT.with_timing(t1, t2)
-            grid[(t1, t2)] = {
-                n: majx_success_distribution(scope, 3, n, point, executor)
-                for n in sizes
-            }
-    return grid
+    return program_fig6(scope, sizes, t1_values, t2_values).run(executor)
+
+
+def _nested3(slots, values) -> Dict:
+    """Rebuild ``{a: {b: {c: value}}}`` preserving slot order."""
+    out: Dict = {}
+    for (a, b, c), value in zip(slots, values):
+        out.setdefault(a, {}).setdefault(b, {})[c] = value
+    return out
+
+
+def program_fig7(
+    scope: CharacterizationScope,
+    x_values: Sequence[int] = MAJX_VALUES,
+    patterns: Sequence[DataPattern] = MAJX_TESTED_PATTERNS,
+    sizes: Sequence[int] = MAJ_SIZES,
+) -> ExperimentProgram:
+    """Fig 7 as a declarative program (``result[x][pattern][n]``)."""
+    supported = {
+        x
+        for x in x_values
+        if any(b.module.profile.max_reliable_majx >= x for b in scope.benches)
+    }
+    steps = []
+    slots = []
+    for x in x_values:
+        if x not in supported:
+            continue
+        for pattern in patterns:
+            point = MAJX_POINT.with_pattern(pattern)
+            for n in majx_sizes_for(x, sizes):
+                steps.append(
+                    PlanStep(build_majx_plan(scope, x, n, point), _summarize_rates)
+                )
+                slots.append((x, pattern.kind, n))
+    return ExperimentProgram(
+        "fig7", tuple(steps), lambda values: _nested3(slots, values)
+    )
 
 
 def figure7_patterns(
@@ -125,24 +185,30 @@ def figure7_patterns(
 
     Returns ``result[x][pattern_kind][n_rows]``.
     """
-    supported = {
-        x
-        for x in x_values
-        if any(b.module.profile.max_reliable_majx >= x for b in scope.benches)
-    }
-    result: Dict[int, Dict[str, Dict[int, DistributionSummary]]] = {}
+    return program_fig7(scope, x_values, patterns, sizes).run(executor)
+
+
+def program_fig8(
+    scope: CharacterizationScope,
+    x_values: Sequence[int] = MAJX_VALUES,
+    temperatures: Sequence[float] = FIG8_TEMPERATURES,
+    n_rows: int = 32,
+) -> ExperimentProgram:
+    """Fig 8 as a declarative program."""
+    steps = []
+    slots = []
     for x in x_values:
-        if x not in supported:
+        if not any(b.module.profile.max_reliable_majx >= x for b in scope.benches):
             continue
-        per_pattern: Dict[str, Dict[int, DistributionSummary]] = {}
-        for pattern in patterns:
-            point = MAJX_POINT.with_pattern(pattern)
-            per_pattern[pattern.kind] = {
-                n: majx_success_distribution(scope, x, n, point, executor)
-                for n in majx_sizes_for(x, sizes)
-            }
-        result[x] = per_pattern
-    return result
+        for temp in temperatures:
+            point = MAJX_POINT.with_temperature(temp)
+            steps.append(
+                PlanStep(build_majx_plan(scope, x, n_rows, point), _summarize_rates)
+            )
+            slots.append((x, temp))
+    return ExperimentProgram(
+        "fig8", tuple(steps), lambda values: _nested(slots, values)
+    )
 
 
 def figure8_temperature(
@@ -153,17 +219,30 @@ def figure8_temperature(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[int, Dict[float, DistributionSummary]]:
     """Fig 8: MAJX success distribution vs chip temperature."""
-    result: Dict[int, Dict[float, DistributionSummary]] = {}
+    return program_fig8(scope, x_values, temperatures, n_rows).run(executor)
+
+
+def program_fig9(
+    scope: CharacterizationScope,
+    x_values: Sequence[int] = MAJX_VALUES,
+    vpp_levels: Sequence[float] = FIG9_VPP_LEVELS,
+    n_rows: int = 32,
+) -> ExperimentProgram:
+    """Fig 9 as a declarative program."""
+    steps = []
+    slots = []
     for x in x_values:
         if not any(b.module.profile.max_reliable_majx >= x for b in scope.benches):
             continue
-        result[x] = {}
-        for temp in temperatures:
-            point = MAJX_POINT.with_temperature(temp)
-            result[x][temp] = majx_success_distribution(
-                scope, x, n_rows, point, executor
+        for vpp in vpp_levels:
+            point = MAJX_POINT.with_vpp(vpp)
+            steps.append(
+                PlanStep(build_majx_plan(scope, x, n_rows, point), _summarize_rates)
             )
-    return result
+            slots.append((x, vpp))
+    return ExperimentProgram(
+        "fig9", tuple(steps), lambda values: _nested(slots, values)
+    )
 
 
 def figure9_voltage(
@@ -174,14 +253,4 @@ def figure9_voltage(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[int, Dict[float, DistributionSummary]]:
     """Fig 9: MAJX success distribution vs wordline voltage."""
-    result: Dict[int, Dict[float, DistributionSummary]] = {}
-    for x in x_values:
-        if not any(b.module.profile.max_reliable_majx >= x for b in scope.benches):
-            continue
-        result[x] = {}
-        for vpp in vpp_levels:
-            point = MAJX_POINT.with_vpp(vpp)
-            result[x][vpp] = majx_success_distribution(
-                scope, x, n_rows, point, executor
-            )
-    return result
+    return program_fig9(scope, x_values, vpp_levels, n_rows).run(executor)

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Sequence
 
-from .stats import DistributionSummary
+from .stats import BootstrapCI, DistributionSummary
 
 
 def format_distribution_table(
@@ -59,6 +59,28 @@ def format_series_table(
                 f"{'-':>12}" if value is None else f"{value * scale:>12.3f}"
             )
         lines.append(f"{label:<22}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_ci_table(
+    title: str,
+    rows: Mapping[str, BootstrapCI],
+    as_percent: bool = True,
+) -> str:
+    """Render labelled bootstrap confidence intervals as a table."""
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'case':<28} {'mean':>8} {'low':>8} {'high':>8} "
+        f"{'±half':>8} {'conf':>6} {'n':>5}"
+    )
+    lines.append(header)
+    scale = 100.0 if as_percent else 1.0
+    for label, ci in rows.items():
+        lines.append(
+            f"{label:<28} {ci.mean * scale:>8.3f} {ci.low * scale:>8.3f} "
+            f"{ci.high * scale:>8.3f} {ci.halfwidth * scale:>8.3f} "
+            f"{ci.confidence:>6.0%} {ci.n:>5d}"
+        )
     return "\n".join(lines)
 
 

@@ -13,11 +13,14 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..core.patterns import COPY_TESTED_PATTERNS, DataPattern
 from ..engine import (
     ExecutorBase,
+    ExperimentProgram,
     MultiRowCopyKernel,
+    PlanStep,
     TrialPlan,
     run_plan,
     tasks_for_scope,
 )
+from .activation import _mean_rate, _nested, _summarize_rates  # noqa: F401
 from .experiment import CharacterizationScope, OperatingPoint
 from .stats import DistributionSummary, summarize
 
@@ -71,6 +74,28 @@ def multi_row_copy_distribution(
     return summarize(result.rates())
 
 
+def program_fig10(
+    scope: CharacterizationScope,
+    destinations: Sequence[int] = COPY_DESTINATIONS,
+    t1_values: Sequence[float] = FIG10_T1_VALUES,
+    t2_values: Sequence[float] = FIG10_T2_VALUES,
+) -> ExperimentProgram:
+    """Fig 10 as a declarative program (see :mod:`repro.engine.scheduler`)."""
+    steps = []
+    slots = []
+    for t1 in t1_values:
+        for t2 in t2_values:
+            point = COPY_POINT.with_timing(t1, t2)
+            for m in destinations:
+                steps.append(
+                    PlanStep(build_copy_plan(scope, m, point), _summarize_rates)
+                )
+                slots.append(((t1, t2), m))
+    return ExperimentProgram(
+        "fig10", tuple(steps), lambda values: _nested(slots, values)
+    )
+
+
 def figure10_timing_grid(
     scope: CharacterizationScope,
     destinations: Sequence[int] = COPY_DESTINATIONS,
@@ -79,15 +104,25 @@ def figure10_timing_grid(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[Tuple[float, float], Dict[int, DistributionSummary]]:
     """Fig 10: Multi-RowCopy success over the (t1, t2) grid."""
-    grid: Dict[Tuple[float, float], Dict[int, DistributionSummary]] = {}
-    for t1 in t1_values:
-        for t2 in t2_values:
-            point = COPY_POINT.with_timing(t1, t2)
-            grid[(t1, t2)] = {
-                m: multi_row_copy_distribution(scope, m, point, executor)
-                for m in destinations
-            }
-    return grid
+    return program_fig10(scope, destinations, t1_values, t2_values).run(executor)
+
+
+def program_fig11(
+    scope: CharacterizationScope,
+    destinations: Sequence[int] = COPY_DESTINATIONS,
+    patterns: Sequence[DataPattern] = COPY_TESTED_PATTERNS,
+) -> ExperimentProgram:
+    """Fig 11 as a declarative program."""
+    steps = []
+    slots = []
+    for pattern in patterns:
+        point = COPY_POINT.with_pattern(pattern)
+        for m in destinations:
+            steps.append(PlanStep(build_copy_plan(scope, m, point), _mean_rate))
+            slots.append((pattern.kind, m))
+    return ExperimentProgram(
+        "fig11", tuple(steps), lambda values: _nested(slots, values)
+    )
 
 
 def figure11_patterns(
@@ -97,14 +132,25 @@ def figure11_patterns(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig 11: average Multi-RowCopy success by data pattern."""
-    result: Dict[str, Dict[int, float]] = {}
-    for pattern in patterns:
-        point = COPY_POINT.with_pattern(pattern)
-        result[pattern.kind] = {
-            m: multi_row_copy_distribution(scope, m, point, executor).mean
-            for m in destinations
-        }
-    return result
+    return program_fig11(scope, destinations, patterns).run(executor)
+
+
+def program_fig12a(
+    scope: CharacterizationScope,
+    destinations: Sequence[int] = COPY_DESTINATIONS,
+    temperatures: Sequence[float] = FIG12_TEMPERATURES,
+) -> ExperimentProgram:
+    """Fig 12a as a declarative program."""
+    steps = []
+    slots = []
+    for temp in temperatures:
+        point = COPY_POINT.with_temperature(temp)
+        for m in destinations:
+            steps.append(PlanStep(build_copy_plan(scope, m, point), _mean_rate))
+            slots.append((temp, m))
+    return ExperimentProgram(
+        "fig12a", tuple(steps), lambda values: _nested(slots, values)
+    )
 
 
 def figure12a_temperature(
@@ -114,14 +160,25 @@ def figure12a_temperature(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 12a: average Multi-RowCopy success vs temperature."""
-    result: Dict[float, Dict[int, float]] = {}
-    for temp in temperatures:
-        point = COPY_POINT.with_temperature(temp)
-        result[temp] = {
-            m: multi_row_copy_distribution(scope, m, point, executor).mean
-            for m in destinations
-        }
-    return result
+    return program_fig12a(scope, destinations, temperatures).run(executor)
+
+
+def program_fig12b(
+    scope: CharacterizationScope,
+    destinations: Sequence[int] = COPY_DESTINATIONS,
+    vpp_levels: Sequence[float] = FIG12_VPP_LEVELS,
+) -> ExperimentProgram:
+    """Fig 12b as a declarative program."""
+    steps = []
+    slots = []
+    for vpp in vpp_levels:
+        point = COPY_POINT.with_vpp(vpp)
+        for m in destinations:
+            steps.append(PlanStep(build_copy_plan(scope, m, point), _mean_rate))
+            slots.append((vpp, m))
+    return ExperimentProgram(
+        "fig12b", tuple(steps), lambda values: _nested(slots, values)
+    )
 
 
 def figure12b_voltage(
@@ -131,11 +188,4 @@ def figure12b_voltage(
     executor: Optional[ExecutorBase] = None,
 ) -> Dict[float, Dict[int, float]]:
     """Fig 12b: average Multi-RowCopy success vs wordline voltage."""
-    result: Dict[float, Dict[int, float]] = {}
-    for vpp in vpp_levels:
-        point = COPY_POINT.with_vpp(vpp)
-        result[vpp] = {
-            m: multi_row_copy_distribution(scope, m, point, executor).mean
-            for m in destinations
-        }
-    return result
+    return program_fig12b(scope, destinations, vpp_levels).run(executor)

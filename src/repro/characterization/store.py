@@ -17,6 +17,12 @@ stored bytes can rot between runs):
   loads verify the checksum, so a file damaged *after* a clean write
   raises :class:`~repro.errors.ChecksumMismatchError` instead of being
   trusted silently on resume;
+- version-3 documents may move their summary numbers into a columnar
+  ``<name>.columns.npz`` sidecar (one float64 array per summary field)
+  whose arrays carry their own checksum; the document's main digest is
+  always computed over the reconstructed version-2-equivalent payload,
+  so a version-2 and version-3 write of the same data share one digest
+  and ``simra-dram audit`` recompute checks need no format awareness;
 - a truncated or hand-damaged file raises
   :class:`~repro.errors.ResultCorruptionError` (an
   :class:`~repro.errors.ExperimentError`) rather than a bare
@@ -35,18 +41,25 @@ import os
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import ChecksumMismatchError, ExperimentError, ResultCorruptionError
 from .stats import DistributionSummary
 
 _FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_COLUMNAR_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 """Version 1 documents predate content checksums; they still load but
-``verify`` reports them as ``"legacy"``."""
+``verify`` reports them as ``"legacy"``.  Version 3 documents park
+their summary numbers in a columnar ``.npz`` sidecar."""
 _CHECKSUM_ALGORITHM = "sha256-canonical-json"
+_COLUMNS_CHECKSUM_ALGORITHM = "sha256-column-arrays"
 _SUMMARY_MARKER = "__distribution_summary__"
+_COLUMN_REF = "__column_ref__"
+_COLUMN_FIELDS = ("mean", "minimum", "q1", "median", "q3", "maximum", "n")
 _MANIFEST_FILENAME = "campaign-manifest.json"
 _MANIFEST_VERSION = 2
 _SUPPORTED_MANIFEST_VERSIONS = (1, 2)
@@ -107,6 +120,61 @@ def content_checksum(encoded: Any) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def _strip_summaries(encoded: Any, columns: List[Dict[str, Any]]) -> Any:
+    """Replace encoded summary dicts with ``{_COLUMN_REF: i}`` stubs.
+
+    Appends each stripped summary to ``columns`` in document order, so
+    index ``i`` in the sidecar arrays is the ``i``-th summary a reader
+    encounters walking the payload.
+    """
+    if isinstance(encoded, dict):
+        if encoded.get(_SUMMARY_MARKER):
+            index = len(columns)
+            columns.append(encoded)
+            return {_COLUMN_REF: index}
+        return {key: _strip_summaries(item, columns) for key, item in encoded.items()}
+    if isinstance(encoded, list):
+        return [_strip_summaries(item, columns) for item in encoded]
+    return encoded
+
+
+def _restore_summaries(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_strip_summaries`: stubs back to summary dicts."""
+    if isinstance(value, dict):
+        if _COLUMN_REF in value:
+            index = value[_COLUMN_REF]
+            record: Dict[str, Any] = {
+                name: (
+                    int(arrays[name][index])
+                    if name == "n"
+                    else float(arrays[name][index])
+                )
+                for name in _COLUMN_FIELDS
+            }
+            record[_SUMMARY_MARKER] = True
+            return record
+        return {key: _restore_summaries(item, arrays) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore_summaries(item, arrays) for item in value]
+    return value
+
+
+def _columns_checksum(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over the sidecar arrays' dtypes, shapes, and raw bytes.
+
+    Hashing array *contents* (not the ``.npz`` file bytes) keeps the
+    digest independent of zip metadata such as entry timestamps.
+    """
+    digest = hashlib.sha256()
+    for name in _COLUMN_FIELDS:
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(arr.dtype).encode("utf-8"))
+        digest.update(str(arr.shape).encode("utf-8"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
 def _write_atomic(path: Path, text: str) -> None:
     """Write ``text`` so that ``path`` is always absent or complete."""
     handle = tempfile.NamedTemporaryFile(
@@ -148,16 +216,31 @@ class CampaignManifest:
 
 
 class ResultStore:
-    """Directory of named experiment results."""
+    """Directory of named experiment results.
 
-    def __init__(self, directory: Path):
+    With ``columnar=True`` (or ``save(..., columnar=True)``), payloads
+    containing :class:`DistributionSummary` objects are written in
+    format version 3: the summary numbers land in a checksummed
+    ``<name>.columns.npz`` sidecar and the JSON document keeps only
+    ``{"__column_ref__": i}`` stubs.  Loads reconstruct the exact
+    version-2 payload, and the main content digest is unchanged across
+    the two encodings.
+    """
+
+    def __init__(self, directory: Path, columnar: bool = False):
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        self._columnar = bool(columnar)
 
     @property
     def directory(self) -> Path:
         """Where results live."""
         return self._directory
+
+    @property
+    def columnar(self) -> bool:
+        """Whether saves default to the columnar (version 3) format."""
+        return self._columnar
 
     def _path(self, name: str) -> Path:
         if not name or "/" in name or name.startswith("."):
@@ -167,6 +250,31 @@ class ResultStore:
                 f"result name {name!r} is reserved for the campaign manifest"
             )
         return self._directory / f"{name}.json"
+
+    def _columns_path(self, name: str) -> Path:
+        return self._directory / f"{name}.columns.npz"
+
+    def _write_columns(self, path: Path, arrays: Dict[str, np.ndarray]) -> None:
+        """Write the sidecar arrays so ``path`` is always absent or complete."""
+        handle = tempfile.NamedTemporaryFile(
+            "wb",
+            dir=path.parent,
+            prefix=f".{path.name}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
     def _read_document(self, name: str, path: Path) -> Dict[str, Any]:
         try:
@@ -181,13 +289,58 @@ class ResultStore:
             )
         return document
 
-    def _verify_document(self, name: str, document: Dict[str, Any]) -> None:
-        """Check a parsed document's content checksum (if it has one)."""
+    def _payload(
+        self, name: str, document: Dict[str, Any], verify: bool = True
+    ) -> Any:
+        """The version-2-equivalent encoded data payload of a document.
+
+        For version-3 documents this loads the column sidecar, checks
+        its array checksum (when ``verify``), and rebuilds the summary
+        dicts in place of their ``__column_ref__`` stubs.
+        """
+        data = document.get("data")
+        if document.get("format_version") != _COLUMNAR_FORMAT_VERSION:
+            return data
+        columns = document.get("columns")
+        if not isinstance(columns, dict):
+            raise ResultCorruptionError(
+                f"stored result {name!r} is columnar but lists no column sidecar"
+            )
+        sidecar = self._directory / str(columns.get("file", ""))
+        if not sidecar.exists():
+            raise ResultCorruptionError(
+                f"stored result {name!r} is missing its column sidecar "
+                f"{columns.get('file')!r}"
+            )
+        try:
+            with np.load(sidecar) as archive:
+                arrays = {field: archive[field] for field in _COLUMN_FIELDS}
+        except ChecksumMismatchError:
+            raise
+        except Exception as exc:
+            raise ResultCorruptionError(
+                f"column sidecar of result {name!r} is corrupt: {exc}"
+            ) from exc
+        if verify:
+            recorded = (columns.get("checksum") or {}).get("digest")
+            actual = _columns_checksum(arrays)
+            if recorded != actual:
+                raise ChecksumMismatchError(
+                    f"column sidecar of result {name!r} failed its integrity "
+                    f"check: recorded digest {recorded!r}, recomputed {actual!r}"
+                )
+        return _restore_summaries(data, arrays)
+
+    def _verify_document(
+        self, name: str, document: Dict[str, Any], payload: Any
+    ) -> None:
+        """Check a document's content checksum (if it has one) against
+        its version-2-equivalent payload."""
         checksum = document.get("checksum")
         if not isinstance(checksum, dict):
             return  # legacy version-1 document: nothing to verify against
         recorded = checksum.get("digest")
-        actual = content_checksum(document.get("data"))
+        actual = content_checksum(payload)
         if recorded != actual:
             raise ChecksumMismatchError(
                 f"stored result {name!r} failed its integrity check: "
@@ -198,15 +351,23 @@ class ResultStore:
         self,
         name: str,
         data: Any,
-        config: Optional[SimulationConfig] = None,
+        config: Optional[Union[SimulationConfig, Dict[str, Any]]] = None,
         notes: str = "",
         quality: Optional[Dict[str, Any]] = None,
+        columnar: Optional[bool] = None,
     ) -> Path:
         """Persist one experiment's output (atomically, checksummed).
 
         ``quality`` carries explicit data-quality annotations (e.g.
         which modules were quarantined while this figure ran) so a
         degraded campaign never shrinks its fleet silently.
+
+        ``columnar`` overrides the store's default format for this one
+        save; a columnar request for a payload with no summaries falls
+        back to a plain version-2 document.  ``config`` also accepts an
+        already-serialized header dict, so ``simra-dram migrate`` can
+        re-save an artifact without rebuilding its
+        :class:`~repro.config.SimulationConfig`.
         """
         from .. import __version__
 
@@ -216,13 +377,17 @@ class ResultStore:
             "library_version": __version__,
             "notes": notes,
             "config": (
-                {
-                    "seed": config.seed,
-                    "columns_per_row": config.columns_per_row,
-                    "trials_per_test": config.trials_per_test,
-                }
-                if config is not None
-                else None
+                dict(config)
+                if isinstance(config, dict)
+                else (
+                    {
+                        "seed": config.seed,
+                        "columns_per_row": config.columns_per_row,
+                        "trials_per_test": config.trials_per_test,
+                    }
+                    if config is not None
+                    else None
+                )
             ),
             "quality": quality,
             "checksum": {
@@ -232,7 +397,43 @@ class ResultStore:
             "data": encoded,
         }
         path = self._path(name)
+        sidecar = self._columns_path(name)
+        use_columnar = self._columnar if columnar is None else bool(columnar)
+        if use_columnar:
+            columns: List[Dict[str, Any]] = []
+            stripped = _strip_summaries(encoded, columns)
+            if columns:
+                arrays = {
+                    field: np.asarray(
+                        [record[field] for record in columns],
+                        dtype=np.int64 if field == "n" else np.float64,
+                    )
+                    for field in _COLUMN_FIELDS
+                }
+                document["format_version"] = _COLUMNAR_FORMAT_VERSION
+                document["data"] = stripped
+                document["columns"] = {
+                    "file": sidecar.name,
+                    "count": len(columns),
+                    "checksum": {
+                        "algorithm": _COLUMNS_CHECKSUM_ALGORITHM,
+                        "digest": _columns_checksum(arrays),
+                    },
+                }
+                # Sidecar first: a crash between the two writes leaves
+                # the old document pointing at refreshed arrays, which
+                # verify() reports as a mismatch -- detectable, never
+                # silently wrong.
+                self._write_columns(sidecar, arrays)
+                _write_atomic(
+                    path, json.dumps(document, indent=2, sort_keys=True)
+                )
+                return path
         _write_atomic(path, json.dumps(document, indent=2, sort_keys=True))
+        try:
+            sidecar.unlink()  # drop a stale sidecar from an earlier v3 write
+        except FileNotFoundError:
+            pass
         return path
 
     def load(self, name: str, verify: bool = True) -> Any:
@@ -246,9 +447,10 @@ class ResultStore:
                 f"result {name!r} uses unsupported format "
                 f"{document.get('format_version')}"
             )
+        payload = self._payload(name, document, verify=verify)
         if verify:
-            self._verify_document(name, document)
-        return _decode(document["data"])
+            self._verify_document(name, document, payload)
+        return _decode(payload)
 
     def metadata(self, name: str) -> Dict[str, Any]:
         """Reload a result's header (version, config, notes, quality)."""
@@ -265,6 +467,7 @@ class ResultStore:
                 "notes",
                 "quality",
                 "checksum",
+                "columns",
             )
         }
 
@@ -272,9 +475,10 @@ class ResultStore:
         """Integrity status of one stored artifact, without raising.
 
         Returns ``"ok"`` (checksum verified), ``"legacy"`` (version-1
-        document with no checksum), ``"corrupt"`` (unparsable), or
-        ``"mismatch"`` (parses, but the content no longer matches its
-        recorded digest).
+        document with no checksum), ``"corrupt"`` (unparsable, or a
+        columnar document whose sidecar is missing or unreadable), or
+        ``"mismatch"`` (parses, but the content -- document or sidecar
+        arrays -- no longer matches its recorded digest).
         """
         path = self._path(name)
         if not path.exists():
@@ -286,17 +490,20 @@ class ResultStore:
         if not isinstance(document.get("checksum"), dict):
             return "legacy"
         try:
-            self._verify_document(name, document)
+            payload = self._payload(name, document, verify=True)
+            self._verify_document(name, document, payload)
         except ChecksumMismatchError:
             return "mismatch"
+        except ResultCorruptionError:
+            return "corrupt"
         return "ok"
 
     def has(self, name: str) -> bool:
         """Whether a result with this name is stored."""
         return self._path(name).exists()
 
-    def names(self) -> list:
-        """All stored result names (the campaign manifest excluded)."""
+    def names(self) -> List[str]:
+        """All stored result names, sorted (campaign manifest excluded)."""
         return sorted(
             p.stem
             for p in self._directory.glob("*.json")

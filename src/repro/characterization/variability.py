@@ -15,7 +15,13 @@ from typing import Dict, List, Optional
 from ..engine import ExecutorBase, rates_by_serial, run_plan
 from .experiment import CharacterizationScope, OperatingPoint
 from .majority import MAJX_POINT, build_majx_plan
-from .stats import DistributionSummary, summarize
+from .stats import (
+    BootstrapCI,
+    DistributionSummary,
+    bootstrap_mean_ci,
+    summarize,
+    summarize_each,
+)
 
 
 def per_module_majx(
@@ -28,22 +34,43 @@ def per_module_majx(
     """MAJX success distribution per module serial.
 
     Modules whose vendor caps below X are reported as absent rather
-    than zero, mirroring the paper's omissions.
+    than zero, mirroring the paper's omissions.  The fleet's summaries
+    are computed in batched vector passes (one per distinct group
+    count), bit-identical to summarizing each module separately.
     """
     plan = build_majx_plan(
         scope, x, n_rows, point,
         empty_message=f"no module in scope can run MAJ{x}",
     )
     result = run_plan(plan, executor)
-    return {
-        serial: summarize(rates)
-        for serial, rates in rates_by_serial(plan, result).items()
-    }
+    grouped = rates_by_serial(plan, result)
+    summaries = summarize_each(list(grouped.values()))
+    return dict(zip(grouped.keys(), summaries))
 
 
 def module_spread(per_module: Dict[str, DistributionSummary]) -> DistributionSummary:
     """Distribution of per-module mean success rates."""
     return summarize([summary.mean for summary in per_module.values()])
+
+
+def fleet_bootstrap_ci(
+    per_module: Dict[str, DistributionSummary],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Bootstrap CI of the fleet-average success rate.
+
+    Resamples *modules* (not groups), answering "how far could the
+    paper's 18-module average sit from mine?" -- the deployer question
+    :func:`module_spread` quantifies, with an interval attached.
+    """
+    return bootstrap_mean_ci(
+        [summary.mean for summary in per_module.values()],
+        confidence=confidence,
+        resamples=resamples,
+        seed=seed,
+    )
 
 
 def manufacturer_gap(

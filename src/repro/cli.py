@@ -16,7 +16,9 @@ writing Python::
     simra-dram campaign --resume        # checkpointed figure sweep
     simra-dram audit --results-dir d    # integrity + recompute audit
     simra-dram stats --results-dir d    # engine metrics of a campaign
+    simra-dram migrate --results-dir d --out d3   # re-save as columnar v3
     simra-dram bench                    # executor benchmark sweep
+    simra-dram bench --campaign         # + sequential-vs-pipelined campaign
     simra-dram cache stats              # trial-cache inventory
     simra-dram cache clear              # drop every cached outcome
 
@@ -453,7 +455,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .engine.benchmark import run_engine_benchmark, write_benchmark_json
+    from .engine.benchmark import (
+        run_campaign_benchmark,
+        run_engine_benchmark,
+        write_benchmark_json,
+    )
 
     report = run_engine_benchmark(
         columns=args.columns,
@@ -464,11 +470,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         scaling_jobs=tuple(args.scaling_jobs),
     )
+    if args.campaign:
+        report.campaign = run_campaign_benchmark(
+            columns=args.columns,
+            groups_per_size=args.groups,
+            trials=args.campaign_trials,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        report.speedup["campaign"] = report.campaign["speedup"]
     path = write_benchmark_json(report, Path(args.output))
     for line in report.summary_lines():
         print(line)
     print(f"wrote {path}")
+    if report.campaign is not None and not report.campaign["identical"]:
+        return 1
     return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from .characterization.store import ResultStore
+
+    source = ResultStore(Path(args.results_dir))
+    target = ResultStore(Path(args.out), columnar=args.columnar)
+    failures = 0
+    migrated = 0
+    for name in source.names():
+        status = source.verify(name)
+        if status in ("corrupt", "mismatch"):
+            print(f"skipping {name!r}: integrity status {status}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        meta = source.metadata(name)
+        target.save(
+            name,
+            source.load(name),
+            config=meta.get("config"),
+            notes=meta.get("notes") or "",
+            quality=meta.get("quality"),
+        )
+        to_version = target.metadata(name).get("format_version")
+        print(f"migrated {name!r}: "
+              f"v{meta.get('format_version')} -> v{to_version}")
+        migrated += 1
+    manifest = source.load_manifest()
+    if manifest is not None:
+        target.save_manifest(manifest)
+        print("copied campaign manifest")
+    print(f"{migrated} result(s) migrated to {target.directory}/, "
+          f"{failures} skipped")
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -622,9 +674,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--scaling-jobs", type=int, nargs="*", default=[1, 2, 4],
                      help="worker counts for the parallel worker-scaling "
                           "curve (empty to skip)")
+    sub.add_argument("--campaign", action="store_true",
+                     help="also time a multi-figure campaign sequentially "
+                          "vs pipelined through the persistent worker pool")
+    sub.add_argument("--campaign-trials", type=int, default=16,
+                     help="trials per test for the campaign benchmark")
     sub.add_argument("--output", default="BENCH_engine.json",
                      help="where to write the benchmark JSON")
     sub.set_defaults(handler=_cmd_bench)
+
+    sub = subparsers.add_parser(
+        "migrate",
+        help="re-save a result store in the columnar v3 artifact format",
+    )
+    sub.add_argument("--results-dir", default="campaign_results",
+                     help="source ResultStore directory")
+    sub.add_argument("--out", required=True,
+                     help="target ResultStore directory")
+    sub.add_argument("--columnar", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="write columnar v3 documents (--no-columnar "
+                          "re-saves as plain v2 instead)")
+    sub.set_defaults(handler=_cmd_migrate)
 
     sub = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk trial cache"

@@ -10,6 +10,7 @@ and simulation seed, every executor produces bit-identical results.
 """
 
 from .cache import TrialCache
+from .columnar import OutcomeColumns, pack_outcomes, unpack_outcomes
 from .executors import (
     BatchedExecutor,
     ExecutorBase,
@@ -31,12 +32,14 @@ from .kernels import (
     point_token,
 )
 from .metrics import EngineMetrics, render_stats_dict
+from .scheduler import CampaignScheduler, ExperimentProgram, PlanStep
 from .plan import (
     PlanResult,
     TaskOutcome,
     TrialPlan,
     TrialTask,
     checkpoint_means,
+    checkpoint_rates_by_count,
     rates_by_serial,
     tasks_for_scope,
 )
@@ -44,13 +47,17 @@ from .plan import (
 __all__ = [
     "ActivationKernel",
     "BatchedExecutor",
+    "CampaignScheduler",
     "DisturbanceKernel",
     "EngineMetrics",
     "ExecutorBase",
+    "ExperimentProgram",
     "FusedExecutor",
     "MajXKernel",
     "MultiRowCopyKernel",
+    "OutcomeColumns",
     "PlanResult",
+    "PlanStep",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "TaskOutcome",
@@ -59,8 +66,10 @@ __all__ = [
     "TrialPlan",
     "TrialTask",
     "checkpoint_means",
+    "checkpoint_rates_by_count",
     "make_executor",
     "measurement_context",
+    "pack_outcomes",
     "point_token",
     "rates_by_serial",
     "render_stats_dict",
@@ -68,4 +77,5 @@ __all__ = [
     "run_task_serial",
     "run_tasks_fused",
     "tasks_for_scope",
+    "unpack_outcomes",
 ]

@@ -23,6 +23,20 @@ from ..dram.vendor import TESTED_MODULES
 from .executors import make_executor
 from .kernels import ActivationKernel, MajXKernel, MultiRowCopyKernel
 from .plan import TrialPlan, tasks_for_scope
+from .scheduler import CampaignScheduler
+
+DEFAULT_CAMPAIGN_FIGURES = ("fig4a", "fig9", "fig11")
+"""Figures timed by the whole-campaign benchmark: one sweep from each
+characterization family, dozens of small plans each -- the shape where
+per-plan pool spin-up dominates and pipelining pays."""
+
+DEFAULT_CAMPAIGN_JOBS = 4
+"""Workers for the campaign benchmark when the caller passes no jobs.
+
+A campaign-scale pool is wider than the two-worker executor headline:
+every extra worker multiplies the per-plan spin-up the sequential
+baseline pays and the persistent pool amortizes, which is exactly the
+cost the scheduler exists to remove."""
 
 
 DEFAULT_EXECUTORS = (
@@ -59,9 +73,12 @@ class BenchmarkReport:
     (keys like ``parallel@2``)."""
     identical: bool = True
     """Whether every executor produced bit-identical success rates."""
+    campaign: Optional[Dict[str, object]] = None
+    """Whole-campaign pipelining benchmark (see
+    :func:`run_campaign_benchmark`), when requested."""
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "scale": self.scale,
             "plans": self.plans,
             "wall_s": self.wall_s,
@@ -70,6 +87,9 @@ class BenchmarkReport:
             "identical": self.identical,
             "metrics": self.metrics,
         }
+        if self.campaign is not None:
+            document["campaign"] = self.campaign
+        return document
 
     def summary_lines(self) -> List[str]:
         lines = [
@@ -92,6 +112,27 @@ class BenchmarkReport:
             "  results bit-identical across executors: "
             + ("yes" if self.identical else "NO (DETERMINISM VIOLATION)")
         )
+        if self.campaign is not None:
+            lines.append(
+                "campaign benchmark "
+                + ", ".join(f"{k}={v}" for k, v in self.campaign["scale"].items())
+            )
+            lines.append(f"  figures: {', '.join(self.campaign['figures'])}")
+            walls = self.campaign["wall_s"]
+            for mode in ("sequential", "pipelined"):
+                lines.append(f"  {mode:<15} {walls[mode]:8.3f} s")
+            lines.append(
+                f"  pipelining speedup: {self.campaign['speedup']:.2f}x "
+                f"(occupancy {self.campaign['pipeline_occupancy']:.2f})"
+            )
+            lines.append(
+                "  campaign results bit-identical: "
+                + (
+                    "yes"
+                    if self.campaign["identical"]
+                    else "NO (DETERMINISM VIOLATION)"
+                )
+            )
         return lines
 
 
@@ -206,6 +247,85 @@ def run_engine_benchmark(
             baseline / wall if baseline and wall > 0 else 1.0
         )
     return report
+
+
+def run_campaign_benchmark(
+    columns: int = 256,
+    groups_per_size: int = 2,
+    trials: int = 16,
+    seed: int = 2024,
+    jobs: Optional[int] = None,
+    figures: Sequence[str] = DEFAULT_CAMPAIGN_FIGURES,
+) -> Dict[str, object]:
+    """Time a multi-figure campaign sequentially versus pipelined.
+
+    Both runs use the fused-parallel executor on identical fresh
+    scopes.  The sequential baseline reproduces the pre-scheduler
+    behavior -- every plan spins up (and tears down) its own worker
+    pool -- while the pipelined run keeps one persistent pool saturated
+    across all figures through :class:`CampaignScheduler`.  Figure
+    payloads must match exactly; the speedup is what the campaign
+    floor in ``benchmarks/perf_floors.json`` gates on.
+    """
+    from ..characterization.campaign import EXPERIMENT_PROGRAMS
+
+    run_jobs = DEFAULT_CAMPAIGN_JOBS if jobs is None else jobs
+
+    def build_programs():
+        scope = CharacterizationScope.build(
+            config=SimulationConfig(seed=seed, columns_per_row=columns),
+            specs=TESTED_MODULES,
+            modules_per_spec=1,
+            groups_per_size=groups_per_size,
+            trials=trials,
+        )
+        return [EXPERIMENT_PROGRAMS[name](scope) for name in figures]
+
+    # Sequential baseline: close() after every plan, so each one pays
+    # the pool spin-up the persistent pool amortizes away.
+    programs = build_programs()
+    executor = make_executor("fused-parallel", jobs=run_jobs)
+    sequential: Dict[str, object] = {}
+    started = time.perf_counter()
+    try:
+        for program in programs:
+            values = []
+            for step in program.steps:
+                values.append(step.reduce(executor.run(step.plan)))
+                executor.close()
+            sequential[program.name] = program.assemble(values)
+    finally:
+        executor.close()
+    sequential_wall = time.perf_counter() - started
+
+    programs = build_programs()
+    executor = make_executor("fused-parallel", jobs=run_jobs)
+    started = time.perf_counter()
+    with executor:
+        outcome = CampaignScheduler(executor).run(programs)
+    pipelined_wall = time.perf_counter() - started
+    for name, (status, value) in outcome.items():
+        if status != "ok":
+            raise value
+    pipelined = {name: value for name, (_, value) in outcome.items()}
+
+    return {
+        "scale": {
+            "columns": columns,
+            "groups_per_size": groups_per_size,
+            "trials": trials,
+            "seed": seed,
+            "jobs": run_jobs,
+        },
+        "figures": list(figures),
+        "wall_s": {"sequential": sequential_wall, "pipelined": pipelined_wall},
+        "speedup": (
+            sequential_wall / pipelined_wall if pipelined_wall > 0 else 1.0
+        ),
+        "identical": pipelined == sequential,
+        "pipeline_occupancy": executor.metrics.pipeline_occupancy,
+        "metrics": executor.metrics.as_dict(),
+    }
 
 
 def write_benchmark_json(report: BenchmarkReport, path: Path) -> Path:

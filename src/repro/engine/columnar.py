@@ -1,0 +1,185 @@
+"""Columnar (structure-of-arrays) transport for trial outcomes.
+
+Worker processes used to hand their shard results back as pickled
+lists of :class:`~repro.engine.plan.TaskOutcome` objects -- one Python
+object, one bool ndarray, and one tuple-of-tuples per task.  At
+campaign scale (thousands of tasks) the pickle channel becomes the
+bottleneck: most of the bytes are per-object overhead, not data.
+
+This module packs a whole shard's outcomes into a handful of NumPy
+arrays instead:
+
+- ``indices`` / ``rates`` / ``trials`` / ``cells``: one element per
+  task (rates travel as float64 verbatim, so the round trip is exact
+  to the bit);
+- checkpoint snapshots in CSR form (``ckpt_offsets`` into parallel
+  ``ckpt_counts`` / ``ckpt_rates`` arrays), since tasks may hit a
+  ragged subset of the plan's checkpoint schedule;
+- masks as packed uint64 bit-planes (:mod:`repro.engine.bitplane`),
+  either inline (``mask_offsets`` / ``mask_words``) or written into a
+  parent-owned shared-memory window, in which case the columns travel
+  mask-less and the parent re-attaches each mask from the buffer.
+
+Packing and unpacking are pure reshapes: every float is copied
+bit-for-bit and every mask round-trips through the same
+``pack_matrix``/``unpack_mask`` pair the fused executor already uses,
+so columnar transport preserves the engine's bit-identity contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import bitplane
+from .plan import TaskOutcome
+
+
+@dataclass
+class OutcomeColumns:
+    """One shard's outcomes as parallel arrays (structure-of-arrays)."""
+
+    indices: np.ndarray
+    """Plan-order task indices, int64 ``(n,)``."""
+    rates: np.ndarray
+    """Final success rates, float64 ``(n,)`` -- exact copies."""
+    trials: np.ndarray
+    """Trials per task, int64 ``(n,)``."""
+    cells: np.ndarray
+    """Cells per task, int64 ``(n,)``."""
+    ckpt_offsets: np.ndarray
+    """CSR row pointers into the checkpoint arrays, int64 ``(n + 1,)``."""
+    ckpt_counts: np.ndarray
+    """Checkpoint trial counts, int64 ``(total,)``."""
+    ckpt_rates: np.ndarray
+    """Checkpoint running rates, float64 ``(total,)``."""
+    mask_offsets: Optional[np.ndarray] = None
+    """CSR word pointers into ``mask_words`` (inline-mask mode only)."""
+    mask_words: Optional[np.ndarray] = None
+    """Packed uint64 masks, concatenated (inline-mask mode only)."""
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def nbytes(self) -> int:
+        """Bytes this record ships through the pickle channel."""
+        total = (
+            self.indices.nbytes
+            + self.rates.nbytes
+            + self.trials.nbytes
+            + self.cells.nbytes
+            + self.ckpt_offsets.nbytes
+            + self.ckpt_counts.nbytes
+            + self.ckpt_rates.nbytes
+        )
+        if self.mask_offsets is not None:
+            total += self.mask_offsets.nbytes
+        if self.mask_words is not None:
+            total += self.mask_words.nbytes
+        return int(total)
+
+
+def pack_outcomes(
+    outcomes: Sequence[TaskOutcome], include_masks: bool = True
+) -> OutcomeColumns:
+    """Pack outcomes into columns.
+
+    With ``include_masks=False`` the caller has already written each
+    packed mask somewhere out-of-band (the shared-memory window) and
+    the columns travel mask-less.
+    """
+    n = len(outcomes)
+    indices = np.fromiter(
+        (outcome.index for outcome in outcomes), dtype=np.int64, count=n
+    )
+    rates = np.fromiter(
+        (outcome.rate for outcome in outcomes), dtype=np.float64, count=n
+    )
+    trials = np.fromiter(
+        (outcome.trials for outcome in outcomes), dtype=np.int64, count=n
+    )
+    cells = np.fromiter(
+        (outcome.cells for outcome in outcomes), dtype=np.int64, count=n
+    )
+    ckpt_offsets = np.zeros(n + 1, dtype=np.int64)
+    for i, outcome in enumerate(outcomes):
+        ckpt_offsets[i + 1] = ckpt_offsets[i] + len(outcome.checkpoint_rates)
+    total = int(ckpt_offsets[-1])
+    ckpt_counts = np.zeros(total, dtype=np.int64)
+    ckpt_rates = np.zeros(total, dtype=np.float64)
+    cursor = 0
+    for outcome in outcomes:
+        for count, rate in outcome.checkpoint_rates:
+            ckpt_counts[cursor] = count
+            ckpt_rates[cursor] = rate
+            cursor += 1
+    mask_offsets: Optional[np.ndarray] = None
+    mask_words: Optional[np.ndarray] = None
+    if include_masks:
+        mask_offsets = np.zeros(n + 1, dtype=np.int64)
+        packed_rows: List[np.ndarray] = []
+        for i, outcome in enumerate(outcomes):
+            packed = bitplane.pack_matrix(np.asarray(outcome.mask, dtype=bool))
+            packed_rows.append(packed)
+            mask_offsets[i + 1] = mask_offsets[i] + packed.shape[0]
+        mask_words = (
+            np.concatenate(packed_rows)
+            if packed_rows
+            else np.zeros(0, dtype=np.uint64)
+        )
+    return OutcomeColumns(
+        indices=indices,
+        rates=rates,
+        trials=trials,
+        cells=cells,
+        ckpt_offsets=ckpt_offsets,
+        ckpt_counts=ckpt_counts,
+        ckpt_rates=ckpt_rates,
+        mask_offsets=mask_offsets,
+        mask_words=mask_words,
+    )
+
+
+def unpack_outcomes(
+    columns: OutcomeColumns,
+    words_view: Optional[np.ndarray] = None,
+    layout: Optional[Dict[int, Tuple[int, int]]] = None,
+) -> List[TaskOutcome]:
+    """Rebuild :class:`TaskOutcome` objects from columns.
+
+    Masks come either from the columns' inline words or -- when
+    ``words_view``/``layout`` name a shared-memory window and each
+    task's ``(offset, words)`` slot in it -- from the shared buffer.
+    """
+    outcomes: List[TaskOutcome] = []
+    for i in range(len(columns)):
+        index = int(columns.indices[i])
+        cells = int(columns.cells[i])
+        if words_view is not None and layout is not None:
+            offset, words = layout[index]
+            mask = bitplane.unpack_mask(words_view[offset:offset + words], cells)
+        elif columns.mask_words is not None and columns.mask_offsets is not None:
+            lo = int(columns.mask_offsets[i])
+            hi = int(columns.mask_offsets[i + 1])
+            mask = bitplane.unpack_mask(columns.mask_words[lo:hi], cells)
+        else:
+            raise ValueError("columns carry no masks and no window was given")
+        lo = int(columns.ckpt_offsets[i])
+        hi = int(columns.ckpt_offsets[i + 1])
+        snapshots = tuple(
+            (int(columns.ckpt_counts[j]), float(columns.ckpt_rates[j]))
+            for j in range(lo, hi)
+        )
+        outcomes.append(
+            TaskOutcome(
+                index=index,
+                rate=float(columns.rates[i]),
+                trials=int(columns.trials[i]),
+                cells=cells,
+                mask=mask,
+                checkpoint_rates=snapshots,
+            )
+        )
+    return outcomes

@@ -9,16 +9,38 @@ catalog spec in the worker; the batched executor pushes whole trial
 batches down into the behavior model as vectorized numpy, gated by a
 real APA probe per task so the vectorized math only runs in the regime
 it reproduces.
+
+The process-pool executor additionally owns a *persistent* worker
+pool: the pool spins up lazily on first use, survives across plans
+(and across experiments, when driven by
+:class:`~repro.engine.scheduler.CampaignScheduler` through
+:meth:`ExecutorBase.run_many`), and is torn down by ``close()`` / the
+context-manager exit.  Workers cache their rebuilt benches between
+shards and hand results back as columnar arrays
+(:mod:`repro.engine.columnar`) with masks in shared memory, so
+neither pool spawns nor pickled Python objects dominate campaign
+wall-clock.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import os
 import time
 from dataclasses import replace
 from multiprocessing import shared_memory
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -29,6 +51,7 @@ from ..chaos import ChaosConfig, ChaosHarness, FaultKind
 from ..errors import ExperimentError, TransientInfrastructureError
 from . import bitplane
 from .cache import TrialCache
+from .columnar import OutcomeColumns, pack_outcomes, unpack_outcomes
 from .kernels import TrialKernel, measurement_context, point_token
 from .metrics import EngineMetrics
 from .plan import PlanResult, TaskOutcome, TrialPlan, TrialTask
@@ -210,18 +233,84 @@ class ExecutorBase:
     with a recomputed one -- except for audits, which pass a cache
     with ``require_origin`` set so they never certify an executor
     against its own stored output.
+
+    Executors also expose an explicit lifecycle -- ``start()`` /
+    ``close()`` / context manager.  In-process executors hold no
+    external resources, so the default hooks are no-ops; the
+    process-pool executor uses them to manage its persistent worker
+    pool (creation stays lazy either way).
     """
 
     name = "base"
+    supports_pipelining = False
+    """Whether :meth:`run_many` overlaps plans on shared workers."""
 
     def __init__(self, cache: Optional[TrialCache] = None) -> None:
         self.metrics = EngineMetrics(executor=self.name)
         self.cache = cache
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Eagerly acquire execution resources (no-op by default)."""
+
+    def close(self) -> None:
+        """Release execution resources (no-op by default)."""
+
+    def __enter__(self) -> "ExecutorBase":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @contextlib.contextmanager
+    def chaos_profile(
+        self, chaos: Optional[ChaosConfig]
+    ) -> Iterator["ExecutorBase"]:
+        """Temporarily swap the executor's chaos profile.
+
+        Restoration happens in a ``finally`` block, so an error raised
+        anywhere in the body can never leave the executor pointing at
+        the caller's chaos engine.  Executors without a ``chaos``
+        attribute (every in-process one) make this a no-op.
+        """
+        if not hasattr(self, "chaos"):
+            yield self
+            return
+        saved = self.chaos
+        self.chaos = chaos
+        try:
+            yield self
+        finally:
+            self.chaos = saved
+
+    # -- execution ------------------------------------------------------------
+
     def run(self, plan: TrialPlan) -> PlanResult:
         if self.cache is None:
             return self._run(plan)
         return self._run_cached(plan)
+
+    def run_many(
+        self, plans: Sequence[TrialPlan]
+    ) -> List[Union[PlanResult, Exception]]:
+        """Run plans back to back, isolating per-plan failures.
+
+        The default implementation is strictly sequential; pipelining
+        executors override it to keep their workers saturated across
+        plan boundaries.  The returned list is parallel to ``plans``:
+        each element is the plan's :class:`PlanResult`, or the
+        exception that plan died of.
+        """
+        results: List[Union[PlanResult, Exception]] = []
+        for plan in plans:
+            try:
+                results.append(self.run(plan))
+            except Exception as exc:
+                results.append(exc)
+        return results
 
     def _run(self, plan: TrialPlan) -> PlanResult:
         raise NotImplementedError
@@ -320,60 +409,97 @@ class SerialExecutor(ExecutorBase):
         return self._finish(plan, delta, outcomes, started)
 
 
-def _export_masks(
-    outcomes: List[TaskOutcome], payload: Dict[str, Any]
-) -> List[TaskOutcome]:
+_BENCH_CACHE: Dict[Tuple[str, Any], TestBench] = {}
+"""Worker-local benches keyed by (module serial, simulation config).
+
+Rebuilding a bench from its catalog spec costs more than most shards;
+with a persistent pool the same worker sees the same modules over and
+over, so benches are cached for the process lifetime.  A cached bench
+is reset to the baseline environment before reuse, which -- because
+the thermal controller settles exactly and all trial noise is keyed
+by measurement context, never execution history -- makes it
+indistinguishable from a freshly built one.
+"""
+
+_BENCH_CACHE_LIMIT = 32
+
+
+def _bench_for_payload(payload: Dict[str, Any]) -> Tuple[TestBench, bool]:
+    """A (possibly cached) bench for one shard; True when reused."""
+    key = (payload["serial"], payload["config"])
+    bench = _BENCH_CACHE.get(key)
+    if bench is not None:
+        # Same starting point as a fresh build: baseline environment,
+        # applied before any chaos harness goes in (a fresh bench's
+        # constructor drives the same settings pre-harness).
+        bench.reset_environment()
+        return bench, True
+    bench = TestBench.for_spec(
+        payload["spec"], payload["instance"], config=payload["config"]
+    )
+    while len(_BENCH_CACHE) >= _BENCH_CACHE_LIMIT:
+        _BENCH_CACHE.pop(next(iter(_BENCH_CACHE)))
+    _BENCH_CACHE[key] = bench
+    return bench, False
+
+
+def _write_masks(outcomes: List[TaskOutcome], payload: Dict[str, Any]) -> None:
     """Write packed final masks into the shard's shared-memory window.
 
-    The pickled outcomes travel back mask-less; the parent re-attaches
-    each mask from the preallocated buffer, so the dominant payload
-    (cells-sized booleans) never goes through the pickle channel.
+    Each task owns a fixed packed-word slot, so duplicate shard
+    executions (stragglers, pool rebuilds) are harmless overwrites
+    with identical bits.
     """
     layout: Dict[int, Tuple[int, int]] = payload["mask_layout"]
     shm = shared_memory.SharedMemory(name=payload["mask_shm"])
     words_view = np.ndarray((shm.size // 8,), dtype=np.uint64, buffer=shm.buf)
-    exported = []
     for outcome in outcomes:
         offset, words = layout[outcome.index]
         packed = bitplane.pack_matrix(np.asarray(outcome.mask, dtype=bool))
         words_view[offset:offset + words] = packed
-        exported.append(replace(outcome, mask=None))
     del words_view
     shm.close()
-    return exported
 
 
 def _run_shard(
     payload: Dict[str, Any],
-) -> Tuple[List[TaskOutcome], Dict[str, Any], Dict[str, int], Optional[Exception]]:
-    """Worker entry point: rebuild the bench, run its shard of tasks.
+) -> Tuple[
+    Optional[OutcomeColumns], Dict[str, Any], Dict[str, int], Optional[Exception]
+]:
+    """Worker entry point: run one bench's shard of tasks.
 
     Module-level so it pickles under the default process start method.
     The shard runs serially (the reference path) or fused, per the
-    payload's ``strategy``.  Returns the outcomes plus a stats dict
-    (busy time, worker-side APA programs, stage timings), the per-kind
-    chaos faults its local harness injected, and any *transient* error
-    the shard died of.  Transient errors travel back as data rather
-    than through ``future.result()`` so the parent can credit the
-    injected faults to its ``max_faults_per_kind`` ledger before
-    re-raising -- a shard that faulted and raised would otherwise
-    never be accounted, and a rate-keyed chaotic campaign would retry
-    against an undiminished fault budget forever.
+    payload's ``strategy``.  Results come back *columnar*: masks go
+    into the parent's shared-memory window and everything else is
+    packed into :class:`~repro.engine.columnar.OutcomeColumns`, so the
+    pickle channel carries a few flat arrays instead of per-trial
+    Python objects.  Alongside travel a stats dict (busy time,
+    worker-side APA programs, stage timings, bench reuses), the
+    per-kind chaos faults the local harness injected, and any
+    *transient* error the shard died of.  Transient errors travel back
+    as data rather than through ``future.result()`` so the parent can
+    credit the injected faults to its ``max_faults_per_kind`` ledger
+    before re-raising -- a shard that faulted and raised would
+    otherwise never be accounted, and a rate-keyed chaotic campaign
+    would retry against an undiminished fault budget forever.
     """
     if payload.get("kill_worker"):
         # Chaos proof load: this shard's worker dies abruptly, the way
         # an OOM kill or segfault would -- no exception, no cleanup.
         os._exit(86)
     started = time.perf_counter()
-    bench = TestBench.for_spec(
-        payload["spec"], payload["instance"], config=payload["config"]
-    )
+    bench, reused = _bench_for_payload(payload)
     harness: Optional[ChaosHarness] = None
     if payload["chaos"] is not None:
         harness = ChaosHarness(payload["chaos"])
         harness.install(bench)
     outcomes: List[TaskOutcome] = []
-    stats: Dict[str, Any] = {"apa_programs": 0, "stages": {}}
+    stats: Dict[str, Any] = {
+        "apa_programs": 0,
+        "stages": {},
+        "bench_reuses": 1 if reused else 0,
+    }
     error: Optional[Exception] = None
     try:
         point: OperatingPoint = payload["point"]
@@ -388,8 +514,6 @@ def _run_shard(
             )
             stats["apa_programs"] = scratch.apa_programs
             stats["stages"] = dict(scratch.stages)
-            if payload.get("mask_shm") is not None:
-                outcomes = _export_masks(outcomes, payload)
         else:
             for task in payload["tasks"]:
                 outcomes.append(
@@ -408,8 +532,41 @@ def _run_shard(
         )
         if harness is not None:
             harness.uninstall()
+    columns: Optional[OutcomeColumns] = None
+    if error is None:
+        if payload.get("mask_shm") is not None:
+            _write_masks(outcomes, payload)
+            columns = pack_outcomes(outcomes, include_masks=False)
+        else:
+            columns = pack_outcomes(outcomes, include_masks=True)
     stats["busy_s"] = time.perf_counter() - started
-    return outcomes, stats, injected, error
+    return columns, stats, injected, error
+
+
+class _PendingPlan:
+    """One plan moving through prepare -> execute -> finalize."""
+
+    __slots__ = (
+        "plan", "started", "delta", "payloads", "run_tasks", "served",
+        "keys", "cache_before", "all_served", "shm", "layout",
+        "execute_started", "shard_columns", "error",
+    )
+
+    def __init__(self, plan: TrialPlan, started: float) -> None:
+        self.plan = plan
+        self.started = started
+        self.delta: Optional[EngineMetrics] = None
+        self.payloads: List[Dict[str, Any]] = []
+        self.run_tasks: List[TrialTask] = []
+        self.served: List[TaskOutcome] = []
+        self.keys: Optional[Dict[int, str]] = None
+        self.cache_before: Optional[Dict[str, int]] = None
+        self.all_served = False
+        self.shm: Optional[shared_memory.SharedMemory] = None
+        self.layout: Dict[int, Tuple[int, int]] = {}
+        self.execute_started: float = started
+        self.shard_columns: Dict[int, Tuple[OutcomeColumns, float]] = {}
+        self.error: Optional[Exception] = None
 
 
 class ProcessPoolExecutor(ExecutorBase):
@@ -425,10 +582,19 @@ class ProcessPoolExecutor(ExecutorBase):
     parent keeps a per-kind ledger of them so ``max_faults_per_kind``
     holds across shard re-executions (see :meth:`_worker_chaos`).
 
-    The pool is *supervised*: a worker that dies mid-shard (the pool
-    surfaces it as ``BrokenProcessPool``) does not sink the plan.  The
-    dead worker's unfinished shards are re-issued onto a rebuilt pool
-    -- safe because every trial's noise is keyed by measurement
+    The worker pool is *persistent*: it spins up lazily on the first
+    plan (sized to the work at hand, capped at ``jobs``), is reused by
+    every subsequent plan -- including a whole pipelined campaign
+    through :meth:`run_many` -- and grows on demand.  ``close()`` (or
+    the context-manager exit) tears it down; garbage collection does
+    too, as a backstop.  Workers cache rebuilt benches between shards
+    and reset them to the baseline environment on reuse, which the
+    exact thermal settle makes bit-identical to a fresh rebuild.
+
+    The pool is also *supervised*: a worker that dies mid-shard (the
+    pool surfaces it as ``BrokenProcessPool``) does not sink the plan.
+    The dead worker's unfinished shards are re-issued onto a rebuilt
+    pool -- safe because every trial's noise is keyed by measurement
     context, never execution history, so re-running a shard lands on
     identical bits -- and after ``max_pool_restarts`` rebuilds the
     survivors run serially in-process.  With ``shard_deadline_s`` set,
@@ -439,6 +605,7 @@ class ProcessPoolExecutor(ExecutorBase):
     """
 
     name = "parallel"
+    supports_pipelining = True
 
     def __init__(
         self,
@@ -465,6 +632,8 @@ class ProcessPoolExecutor(ExecutorBase):
         self.shard_deadline_s = shard_deadline_s
         self.max_pool_restarts = max_pool_restarts
         self.strategy = strategy
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_workers = 0
         self._kills_done: set = set()
         """Module serials whose one-shot chaos worker-kill already fired."""
         self._faults_spent: Dict[str, int] = {}
@@ -476,17 +645,123 @@ class ProcessPoolExecutor(ExecutorBase):
         retried shard does not deterministically replay the exact
         fault sequence that just failed it."""
 
+    # -- pool lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin the worker pool up eagerly (it is lazy otherwise)."""
+        self._ensure_pool(self._pool_target())
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down."""
+        pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _pool_target(self) -> int:
+        return max(1, self.jobs or (os.cpu_count() or 1))
+
+    def _ensure_pool(self, need: int) -> concurrent.futures.ProcessPoolExecutor:
+        """The persistent pool, created lazily and grown by recreation."""
+        want = max(1, min(self._pool_target(), need))
+        if self._pool is not None:
+            if self._pool_workers >= want:
+                self.metrics.pool_reuses += 1
+                return self._pool
+            self.close()
+        self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=want)
+        self._pool_workers = want
+        return self._pool
+
+    # -- plan execution -------------------------------------------------------
+
     def _run(self, plan: TrialPlan) -> PlanResult:
-        started = time.perf_counter()
+        pending = self._prepare(plan, manage_cache=False)
+        try:
+            self._execute_batch([pending])
+        except BaseException:
+            self._release(pending)
+            raise
+        return self._finalize(pending)
+
+    def run_many(
+        self, plans: Sequence[TrialPlan]
+    ) -> List[Union[PlanResult, Exception]]:
+        """Pipelined execution: one task stream over the shared pool.
+
+        Every plan is prepared up front, all shards are submitted as a
+        single supervised stream (so the pool stays saturated across
+        plan boundaries), and results are finalized strictly in plan
+        order -- a failing plan surfaces as its exception without
+        disturbing its neighbours.
+        """
+        pendings: List[_PendingPlan] = []
+        for plan in plans:
+            try:
+                pending = self._prepare(
+                    plan, manage_cache=self.cache is not None
+                )
+            except Exception as exc:
+                pending = _PendingPlan(plan, time.perf_counter())
+                pending.error = exc
+            pendings.append(pending)
+        live = [p for p in pendings if p.error is None and p.payloads]
+        try:
+            if live:
+                self._execute_batch(live)
+        except BaseException:
+            for pending in pendings:
+                self._release(pending)
+            raise
+        results: List[Union[PlanResult, Exception]] = []
+        for pending in pendings:
+            try:
+                results.append(self._finalize(pending))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    def _prepare(self, plan: TrialPlan, manage_cache: bool) -> _PendingPlan:
+        """Cache split, environment, payloads, and the mask window."""
+        pending = _PendingPlan(plan, time.perf_counter())
+        run_tasks = list(plan.tasks)
+        if manage_cache and self.cache is not None:
+            cache = self.cache
+            pending.cache_before = cache.counters()
+            ptoken = point_token(plan.point)
+            checkpoints = tuple(plan.checkpoints)
+            pending.keys = {}
+            missing: List[TrialTask] = []
+            for task in plan.tasks:
+                config = plan.benches[task.bench_index].module.config
+                key = cache.key_for(
+                    config, plan.kernel, ptoken, task, checkpoints
+                )
+                pending.keys[task.index] = key
+                outcome = cache.load(key, task)
+                if outcome is None:
+                    missing.append(task)
+                else:
+                    pending.served.append(outcome)
+            if not missing:
+                pending.all_served = True
+                return pending
+            run_tasks = missing
+        pending.run_tasks = run_tasks
         self._chaos_epoch += 1
         delta = EngineMetrics(executor=self.name)
+        pending.delta = delta
         # Drive the local benches too, so the rig observable to the
         # caller ends in the same state a serial run would leave.
         self._apply_environment(plan, delta)
         shards: Dict[int, List[TrialTask]] = {}
-        for task in plan.tasks:
+        for task in run_tasks:
             shards.setdefault(task.bench_index, []).append(task)
-        payloads: List[Dict[str, Any]] = []
         for bench_index in sorted(shards):
             bench = plan.benches[bench_index]
             module = bench.module
@@ -506,10 +781,11 @@ class ProcessPoolExecutor(ExecutorBase):
             )
             if kill_worker:
                 self._kills_done.add(serial)
-            payloads.append(
+            pending.payloads.append(
                 {
                     "spec": module.spec,
                     "instance": instance,
+                    "serial": serial,
                     "config": module.config,
                     "kernel": plan.kernel,
                     "point": plan.point,
@@ -522,75 +798,254 @@ class ProcessPoolExecutor(ExecutorBase):
                     "mask_shm": None,
                 }
             )
-        # Composed (fused) shards hand their masks back through one
-        # preallocated shared-memory buffer instead of the pickle
-        # channel; each task owns a fixed packed-word window, so
-        # duplicate shard executions (stragglers, pool rebuilds) are
-        # harmless overwrites with identical bits.
-        shm: Optional[shared_memory.SharedMemory] = None
-        layout: Dict[int, Tuple[int, int]] = {}
-        if self.strategy == "fused" and payloads:
+        if pending.payloads:
+            delta.workers = max(
+                1, min(self._pool_target(), len(pending.payloads))
+            )
+            # Shards hand their masks back through one preallocated
+            # shared-memory window instead of the pickle channel; each
+            # task owns a fixed packed-word slot, so duplicate shard
+            # executions (stragglers, pool rebuilds) are harmless
+            # overwrites with identical bits.
             offset = 0
-            for task in plan.tasks:
+            for task in run_tasks:
                 words = bitplane.words_for(task.cells)
-                layout[task.index] = (offset, words)
+                pending.layout[task.index] = (offset, words)
                 offset += words
-            shm = shared_memory.SharedMemory(
+            pending.shm = shared_memory.SharedMemory(
                 create=True, size=max(8, offset * 8)
             )
-            for payload in payloads:
-                payload["mask_shm"] = shm.name
+            for payload in pending.payloads:
+                payload["mask_shm"] = pending.shm.name
                 payload["mask_layout"] = {
-                    task.index: layout[task.index]
+                    task.index: pending.layout[task.index]
                     for task in payload["tasks"]
                 }
-        execute_started = time.perf_counter()
-        outcomes: List[TaskOutcome] = []
+        pending.execute_started = time.perf_counter()
+        return pending
+
+    def _execute_batch(self, pendings: List[_PendingPlan]) -> None:
+        """Run every pending plan's shards to completion, supervised.
+
+        All shards share one job stream over the persistent pool.
+        Per-plan accounting (stragglers, resharded tasks, chaos
+        faults) lands in each owner's delta; whole-batch events (pool
+        rebuilds) are credited once -- to the single owner's delta
+        when one plan runs alone (the historical shape), or straight
+        to the cumulative metrics for a pipelined batch.
+        """
+        jobs: Dict[int, Tuple[_PendingPlan, Dict[str, Any]]] = {}
+        for pending in pendings:
+            for payload in pending.payloads:
+                jobs[len(jobs)] = (pending, payload)
+        if not jobs:
+            return
+        batch_extra = (
+            pendings[0].delta
+            if len(pendings) == 1
+            else EngineMetrics(executor=self.name)
+        )
+        assert batch_extra is not None
+        pending_jobs = dict(jobs)
+        restarts = 0
+        while pending_jobs:
+            if restarts > self.max_pool_restarts:
+                # Out of pool rebuilds: finish the survivors serially
+                # in-process (the kill flag must not reach this path,
+                # or os._exit would take down the campaign itself).
+                for index in sorted(pending_jobs):
+                    owner, payload = pending_jobs[index]
+                    if owner.error is not None:
+                        continue
+                    try:
+                        owner.shard_columns[index] = self._harvest(
+                            _run_shard(dict(payload, kill_worker=False)),
+                            owner.delta,
+                        )
+                    except TransientInfrastructureError as exc:
+                        owner.error = exc
+                pending_jobs.clear()
+                break
+            broke = False
+            pool = self._ensure_pool(len(pending_jobs))
+            try:
+                future_job: Dict[concurrent.futures.Future, int] = {}
+                for index in sorted(pending_jobs):
+                    future_job[
+                        pool.submit(_run_shard, pending_jobs[index][1])
+                    ] = index
+                active = set(future_job)
+                reissued: set = set()
+                while active:
+                    deadline = self.shard_deadline_s
+                    if deadline is not None and all(
+                        future_job[f] in reissued for f in active
+                    ):
+                        deadline = None  # every shard already duplicated
+                    done, _ = concurrent.futures.wait(
+                        active,
+                        timeout=deadline,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # Deadline elapsed with nothing finishing:
+                        # speculatively re-issue overdue shards (once
+                        # each).  First copy back wins; re-execution is
+                        # bit-identical, so duplicates are discarded.
+                        for future in list(active):
+                            index = future_job[future]
+                            if index in reissued or index not in pending_jobs:
+                                continue
+                            owner, payload = pending_jobs[index]
+                            reissued.add(index)
+                            owner.delta.stragglers_reissued += 1
+                            duplicate = pool.submit(
+                                _run_shard,
+                                dict(payload, kill_worker=False),
+                            )
+                            future_job[duplicate] = index
+                            active.add(duplicate)
+                        continue
+                    round_failed = False
+                    for future in done:
+                        active.discard(future)
+                        index = future_job[future]
+                        if index not in pending_jobs:
+                            continue  # duplicate of a finished shard
+                        owner, _payload = pending_jobs[index]
+                        try:
+                            harvested = self._harvest(
+                                future.result(), owner.delta
+                            )
+                        except concurrent.futures.process.BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            # Keep harvesting (and crediting) the rest
+                            # of this round before the owner's failure
+                            # takes effect.
+                            if owner.error is None:
+                                owner.error = exc
+                            round_failed = True
+                            continue
+                        owner.shard_columns[index] = harvested
+                        del pending_jobs[index]
+                    if round_failed:
+                        # Abandon every remaining shard of each failed
+                        # plan; sibling plans keep running.
+                        abandoned = {
+                            index
+                            for index, (owner, _) in pending_jobs.items()
+                            if owner.error is not None
+                        }
+                        for index in abandoned:
+                            del pending_jobs[index]
+                        for future in list(active):
+                            if future_job[future] in abandoned:
+                                future.cancel()
+                                active.discard(future)
+            except concurrent.futures.process.BrokenProcessPool:
+                broke = True
+                self.close()  # discard the broken pool
+            if broke:
+                restarts += 1
+                batch_extra.pool_restarts += 1
+                for owner, payload in pending_jobs.values():
+                    owner.delta.tasks_resharded += len(payload["tasks"])
+                    # A chaos kill flag fires once: clear it before the
+                    # shard is re-issued, or the rebuilt pool dies too.
+                    payload["kill_worker"] = False
+        if len(pendings) > 1:
+            self.metrics.merge(batch_extra)
+
+    def _finalize(self, pending: _PendingPlan) -> PlanResult:
+        """Unpack, account, cache-store, and commit one plan, in order."""
+        plan = pending.plan
+        cache = self.cache if pending.keys is not None else None
         try:
-            if payloads:
-                for shard_outcomes, busy_s in self._execute_shards(
-                    payloads, delta
-                ):
-                    outcomes.extend(shard_outcomes)
-                    delta.busy_s += busy_s
-            if shm is not None:
-                outcomes = self._attach_masks(outcomes, shm, layout)
+            if pending.error is not None:
+                raise pending.error
+            if pending.all_served:
+                delta = EngineMetrics(executor=self.name, workers=1)
+                delta.plans += 1
+                delta.wall_s += time.perf_counter() - pending.started
+                self.metrics.merge(delta)
+                outcomes = sorted(
+                    pending.served, key=lambda outcome: outcome.index
+                )
+                result = PlanResult(
+                    plan_name=plan.name, outcomes=outcomes, metrics=delta
+                )
+            else:
+                delta = pending.delta
+                assert delta is not None
+                fresh: List[TaskOutcome] = []
+                words_view = None
+                if pending.shm is not None:
+                    words_view = np.ndarray(
+                        (pending.shm.size // 8,),
+                        dtype=np.uint64,
+                        buffer=pending.shm.buf,
+                    )
+                try:
+                    for index in sorted(pending.shard_columns):
+                        columns, busy_s = pending.shard_columns[index]
+                        delta.busy_s += busy_s
+                        fresh.extend(
+                            unpack_outcomes(
+                                columns,
+                                words_view=words_view,
+                                layout=(
+                                    pending.layout
+                                    if words_view is not None
+                                    else None
+                                ),
+                            )
+                        )
+                finally:
+                    del words_view
+                for task in pending.run_tasks:
+                    delta.tasks += 1
+                    delta.trials += task.trials
+                    delta.cells += task.cells
+                    if self.strategy == "serial":
+                        delta.apa_programs += task.trials
+                delta.execute_s += time.perf_counter() - pending.execute_started
+                if cache is not None:
+                    for outcome in fresh:
+                        cache.store(
+                            pending.keys[outcome.index], outcome,
+                            origin=self.name,
+                        )
+                    sub = self._finish(plan, delta, fresh, pending.started)
+                    outcomes = sorted(
+                        pending.served + sub.outcomes,
+                        key=lambda outcome: outcome.index,
+                    )
+                    result = PlanResult(
+                        plan_name=plan.name, outcomes=outcomes, metrics=delta
+                    )
+                else:
+                    result = self._finish(plan, delta, fresh, pending.started)
+            if cache is not None:
+                after = cache.counters()
+                for field in _CACHE_COUNTER_FIELDS:
+                    gained = after[field] - pending.cache_before[field]
+                    setattr(delta, field, getattr(delta, field) + gained)
+                    setattr(
+                        self.metrics, field,
+                        getattr(self.metrics, field) + gained,
+                    )
+            return result
         finally:
-            if shm is not None:
-                shm.close()
-                shm.unlink()
-        for task in plan.tasks:
-            delta.tasks += 1
-            delta.trials += task.trials
-            delta.cells += task.cells
-            if self.strategy == "serial":
-                delta.apa_programs += task.trials
-        delta.execute_s += time.perf_counter() - execute_started
-        return self._finish(plan, delta, outcomes, started)
+            self._release(pending)
 
     @staticmethod
-    def _attach_masks(
-        outcomes: List[TaskOutcome],
-        shm: shared_memory.SharedMemory,
-        layout: Dict[int, Tuple[int, int]],
-    ) -> List[TaskOutcome]:
-        """Rehydrate mask-less shard outcomes from the shared buffer."""
-        words_view = np.ndarray(
-            (shm.size // 8,), dtype=np.uint64, buffer=shm.buf
-        )
-        attached = []
-        for outcome in outcomes:
-            offset, words = layout[outcome.index]
-            attached.append(
-                replace(
-                    outcome,
-                    mask=bitplane.unpack_mask(
-                        words_view[offset:offset + words], outcome.cells
-                    ),
-                )
-            )
-        del words_view
-        return attached
+    def _release(pending: _PendingPlan) -> None:
+        """Free the plan's shared-memory mask window (idempotent)."""
+        shm, pending.shm = pending.shm, None
+        if shm is not None:
+            shm.close()
+            shm.unlink()
 
     _RATE_FIELDS = {
         FaultKind.PROGRAM_DROP: "program_drop_rate",
@@ -645,17 +1100,20 @@ class ProcessPoolExecutor(ExecutorBase):
     def _harvest(
         self,
         shard: Tuple[
-            List[TaskOutcome], Dict[str, Any], Dict[str, int], Optional[Exception]
+            Optional[OutcomeColumns],
+            Dict[str, Any],
+            Dict[str, int],
+            Optional[Exception],
         ],
         delta: EngineMetrics,
-    ) -> Tuple[List[TaskOutcome], float]:
+    ) -> Tuple[OutcomeColumns, float]:
         """Account one finished shard, re-raising its transient error.
 
         The fault ledger is credited *before* the raise so that a
         retried plan runs against a diminished budget -- the property
         that makes chaotic parallel campaigns converge.
         """
-        outcomes, stats, injected, error = shard
+        columns, stats, injected, error = shard
         delta.chaos_faults_injected += sum(injected.values())
         for kind, count in injected.items():
             self._faults_spent[kind] = self._faults_spent.get(kind, 0) + count
@@ -664,102 +1122,9 @@ class ProcessPoolExecutor(ExecutorBase):
         delta.apa_programs += stats.get("apa_programs", 0)
         for stage, seconds in stats.get("stages", {}).items():
             delta.add_stage(stage, seconds)
-        return outcomes, stats["busy_s"]
-
-    def _execute_shards(
-        self, payloads: List[Dict[str, Any]], delta: EngineMetrics
-    ) -> List[Tuple[List[TaskOutcome], float]]:
-        """Run every shard to completion, surviving worker death."""
-        workers = self.jobs or (os.cpu_count() or 1)
-        workers = max(1, min(workers, len(payloads)))
-        delta.workers = workers
-        pending: Dict[int, Dict[str, Any]] = dict(enumerate(payloads))
-        results: Dict[int, Tuple[List[TaskOutcome], float]] = {}
-        restarts = 0
-        while pending:
-            if restarts > self.max_pool_restarts:
-                # Out of pool rebuilds: finish the survivors serially
-                # in-process (the kill flag must not reach this path,
-                # or os._exit would take down the campaign itself).
-                for index in sorted(pending):
-                    results[index] = self._harvest(
-                        _run_shard(dict(pending[index], kill_worker=False)),
-                        delta,
-                    )
-                pending.clear()
-                break
-            broke = False
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=max(1, min(workers, len(pending)))
-            )
-            try:
-                future_shard: Dict[concurrent.futures.Future, int] = {}
-                for index in sorted(pending):
-                    future_shard[pool.submit(_run_shard, pending[index])] = index
-                active = set(future_shard)
-                reissued: set = set()
-                while active:
-                    deadline = self.shard_deadline_s
-                    if deadline is not None and all(
-                        future_shard[f] in reissued for f in active
-                    ):
-                        deadline = None  # every shard already duplicated
-                    done, _ = concurrent.futures.wait(
-                        active,
-                        timeout=deadline,
-                        return_when=concurrent.futures.FIRST_COMPLETED,
-                    )
-                    if not done:
-                        # Deadline elapsed with nothing finishing:
-                        # speculatively re-issue overdue shards (once
-                        # each).  First copy back wins; re-execution is
-                        # bit-identical, so duplicates are discarded.
-                        for future in list(active):
-                            index = future_shard[future]
-                            if index in reissued or index not in pending:
-                                continue
-                            reissued.add(index)
-                            delta.stragglers_reissued += 1
-                            duplicate = pool.submit(
-                                _run_shard,
-                                dict(pending[index], kill_worker=False),
-                            )
-                            future_shard[duplicate] = index
-                            active.add(duplicate)
-                        continue
-                    shard_error: Optional[Exception] = None
-                    for future in done:
-                        active.discard(future)
-                        index = future_shard[future]
-                        if index not in pending:
-                            continue  # duplicate of a finished shard
-                        try:
-                            results[index] = self._harvest(
-                                future.result(), delta
-                            )
-                        except TransientInfrastructureError as exc:
-                            # Keep harvesting (and crediting) the rest
-                            # of this round before the error surfaces.
-                            shard_error = shard_error or exc
-                            continue
-                        del pending[index]
-                    if shard_error is not None:
-                        raise shard_error
-            except concurrent.futures.process.BrokenProcessPool:
-                broke = True
-            finally:
-                pool.shutdown(wait=True, cancel_futures=True)
-            if broke:
-                restarts += 1
-                delta.pool_restarts += 1
-                delta.tasks_resharded += sum(
-                    len(payload["tasks"]) for payload in pending.values()
-                )
-                # A chaos kill flag fires once: clear it before the
-                # shard is re-issued, or the rebuilt pool dies too.
-                for payload in pending.values():
-                    payload["kill_worker"] = False
-        return [results[index] for index in sorted(results)]
+        delta.worker_bench_reuses += stats.get("bench_reuses", 0)
+        delta.bytes_shipped += columns.nbytes()
+        return columns, stats["busy_s"]
 
 
 class BatchedExecutor(ExecutorBase):

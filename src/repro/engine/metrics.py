@@ -42,6 +42,18 @@ class EngineMetrics:
     """Overdue shards speculatively re-issued by the straggler detector."""
     pool_restarts: int = 0
     """Times a broken worker pool was rebuilt."""
+    pool_reuses: int = 0
+    """Plan batches served by an already-running persistent pool."""
+    worker_bench_reuses: int = 0
+    """Shards served by a worker's cached bench instead of a rebuild."""
+    bytes_shipped: int = 0
+    """Columnar result bytes shipped over the worker pickle channel."""
+    pipelined_plans: int = 0
+    """Plans executed through the pipelined campaign scheduler."""
+    pipeline_wall_s: float = 0.0
+    """Wall-clock spent inside pipelined scheduler batches."""
+    pipeline_busy_s: float = 0.0
+    """Summed worker compute time within pipelined batches."""
     audit_mismatches: int = 0
     """Artifacts flagged by a result-integrity audit."""
     cache_hits: int = 0
@@ -62,6 +74,14 @@ class EngineMetrics:
         if capacity <= 0.0:
             return 0.0
         return min(1.0, self.busy_s / capacity)
+
+    @property
+    def pipeline_occupancy(self) -> float:
+        """Pool occupancy across pipelined scheduler batches only."""
+        capacity = self.pipeline_wall_s * max(1, self.workers)
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.pipeline_busy_s / capacity)
 
     def add_stage(self, name: str, seconds: float) -> None:
         """Accumulate an extra named stage wall-time."""
@@ -85,6 +105,12 @@ class EngineMetrics:
         self.tasks_resharded += other.tasks_resharded
         self.stragglers_reissued += other.stragglers_reissued
         self.pool_restarts += other.pool_restarts
+        self.pool_reuses += other.pool_reuses
+        self.worker_bench_reuses += other.worker_bench_reuses
+        self.bytes_shipped += other.bytes_shipped
+        self.pipelined_plans += other.pipelined_plans
+        self.pipeline_wall_s += other.pipeline_wall_s
+        self.pipeline_busy_s += other.pipeline_busy_s
         self.audit_mismatches += other.audit_mismatches
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
@@ -116,6 +142,13 @@ class EngineMetrics:
             "tasks_resharded": self.tasks_resharded,
             "stragglers_reissued": self.stragglers_reissued,
             "pool_restarts": self.pool_restarts,
+            "pool_reuses": self.pool_reuses,
+            "worker_bench_reuses": self.worker_bench_reuses,
+            "bytes_shipped": self.bytes_shipped,
+            "pipelined_plans": self.pipelined_plans,
+            "pipeline_wall_s": self.pipeline_wall_s,
+            "pipeline_busy_s": self.pipeline_busy_s,
+            "pipeline_occupancy": self.pipeline_occupancy,
             "audit_mismatches": self.audit_mismatches,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -160,6 +193,20 @@ class EngineMetrics:
             lines.append("  fleet health")
             for label, count in health:
                 lines.append(f"    {label:<18}: {count}")
+        if self.pipelined_plans or self.pool_reuses or self.bytes_shipped:
+            lines.append("  scheduler")
+            lines.append(f"    pool reuses       : {self.pool_reuses}")
+            lines.append(
+                f"    bench reuses      : {self.worker_bench_reuses}"
+            )
+            lines.append(f"    bytes shipped     : {self.bytes_shipped}")
+            if self.pipelined_plans:
+                lines.append(
+                    f"    pipelined plans   : {self.pipelined_plans}"
+                )
+                lines.append(
+                    f"    pipeline occupancy: {self.pipeline_occupancy:.1%}"
+                )
         lookups = self.cache_hits + self.cache_misses
         if lookups:
             hit_rate = self.cache_hits / lookups
@@ -179,7 +226,7 @@ def render_stats_dict(payload: Dict[str, object]) -> str:
     for key, value in payload.items():
         if key.startswith("stage_") and key.endswith("_s"):
             stage_items.append((key[len("stage_"):-2], float(value)))
-        elif key == "occupancy":
+        elif key in ("occupancy", "pipeline_occupancy"):
             continue
         elif hasattr(metrics, key):
             setattr(metrics, key, value)

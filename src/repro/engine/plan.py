@@ -136,17 +136,43 @@ def rates_by_serial(plan: TrialPlan, result: PlanResult) -> Dict[str, List[float
     return grouped
 
 
+def checkpoint_rates_by_count(
+    result: PlanResult, checkpoints: Sequence[int]
+) -> Dict[int, np.ndarray]:
+    """Per-checkpoint rate arrays, gathered in one vectorized pass.
+
+    Returns ``{T: rates}`` in checkpoint order (first occurrence wins
+    for duplicates), skipping checkpoints no task reported; within a
+    checkpoint, rates keep task order.
+    """
+    pairs = [
+        pair
+        for outcome in result.outcomes
+        for pair in outcome.checkpoint_rates
+    ]
+    if pairs:
+        counts = np.fromiter(
+            (pair[0] for pair in pairs), dtype=np.int64, count=len(pairs)
+        )
+        rates = np.fromiter(
+            (pair[1] for pair in pairs), dtype=np.float64, count=len(pairs)
+        )
+    else:
+        counts = np.empty(0, dtype=np.int64)
+        rates = np.empty(0, dtype=np.float64)
+    grouped: Dict[int, np.ndarray] = {}
+    for t in dict.fromkeys(checkpoints):
+        selected = rates[counts == t]
+        if selected.size:
+            grouped[t] = selected
+    return grouped
+
+
 def checkpoint_means(
     result: PlanResult, checkpoints: Sequence[int]
 ) -> Dict[int, float]:
     """Mean running success rate across tasks at each checkpoint."""
-    per_checkpoint: Dict[int, List[float]] = {t: [] for t in checkpoints}
-    for outcome in result.outcomes:
-        for trial_count, rate in outcome.checkpoint_rates:
-            if trial_count in per_checkpoint:
-                per_checkpoint[trial_count].append(rate)
     return {
-        t: float(np.mean(values))
-        for t, values in per_checkpoint.items()
-        if values
+        t: float(np.mean(rates))
+        for t, rates in checkpoint_rates_by_count(result, checkpoints).items()
     }

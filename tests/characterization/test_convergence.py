@@ -3,6 +3,7 @@
 import pytest
 
 from repro.characterization.convergence import (
+    majx_convergence_cis,
     majx_convergence_curve,
     overestimate_at,
 )
@@ -49,3 +50,21 @@ class TestConvergence:
     def test_empty_checkpoints_rejected(self, scope):
         with pytest.raises(ExperimentError):
             majx_convergence_curve(scope, 3, 32, ())
+
+
+class TestConvergenceCIs:
+    def test_ci_means_match_the_curve(self, scope):
+        checkpoints = (2, 8, 16)
+        curve = majx_convergence_curve(scope, 9, 32, checkpoints)
+        cis = majx_convergence_cis(scope, 9, 32, checkpoints)
+        assert sorted(cis) == sorted(curve)
+        for t, ci in cis.items():
+            # Same measurement, same mean -- the CI only adds an
+            # interval around it.
+            assert ci.mean == pytest.approx(curve[t])
+            assert ci.low <= ci.mean <= ci.high
+
+    def test_deterministic(self, scope):
+        a = majx_convergence_cis(scope, 3, 32, (2, 8), seed=5)
+        b = majx_convergence_cis(scope, 3, 32, (2, 8), seed=5)
+        assert a == b

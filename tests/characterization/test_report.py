@@ -2,11 +2,12 @@
 
 from repro.analysis import ascii_boxplot, ascii_series
 from repro.characterization.report import (
+    format_ci_table,
     format_distribution_table,
     format_scalar_table,
     format_series_table,
 )
-from repro.characterization.stats import summarize
+from repro.characterization.stats import bootstrap_mean_ci, summarize
 
 
 class TestDistributionTable:
@@ -22,6 +23,22 @@ class TestDistributionTable:
         table = format_distribution_table(
             "T", {"a": summarize([0.5])}, as_percent=False
         )
+        assert "0.500" in table
+
+
+class TestCITable:
+    def test_contains_labels_and_bounds(self):
+        ci = bootstrap_mean_ci([0.5, 0.6, 0.7], resamples=200)
+        table = format_ci_table("Fleet CI", {"MAJ5@32": ci})
+        assert "Fleet CI" in table
+        assert "MAJ5@32" in table
+        assert "±half" in table
+        assert "60.000" in table  # mean as percent
+        assert "95%" in table
+
+    def test_raw_fractions(self):
+        ci = bootstrap_mean_ci([0.5], resamples=10)
+        table = format_ci_table("T", {"a": ci}, as_percent=False)
         assert "0.500" in table
 
 

@@ -1,9 +1,16 @@
 """Tests for distribution statistics."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.characterization.stats import DistributionSummary, summarize
+from repro.characterization.stats import (
+    BootstrapCI,
+    DistributionSummary,
+    bootstrap_mean_ci,
+    summarize,
+    summarize_each,
+)
 from repro.errors import ExperimentError
 
 
@@ -50,3 +57,85 @@ class TestSummarize:
         )
         epsilon = 1e-12
         assert summary.minimum - epsilon <= summary.mean <= summary.maximum + epsilon
+
+    def test_constant_sample(self):
+        summary = summarize([0.25] * 7)
+        assert summary.minimum == summary.q1 == summary.median == 0.25
+        assert summary.q3 == summary.maximum == summary.mean == 0.25
+        assert summary.iqr == 0.0
+        assert summary.n == 7
+
+    def test_nan_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([0.5, float("nan"), 0.7])
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize(np.zeros((2, 3)))
+
+
+class TestSummarizeEach:
+    def test_bit_identical_to_scalar_loop(self):
+        # Fleet-shaped ragged input: per-module rate lists of mixed
+        # lengths, including duplicates of one length (the batched path
+        # stacks those into a single matrix).
+        generator = np.random.default_rng(7)
+        samples = [
+            list(generator.random(size))
+            for size in (1, 5, 5, 12, 3, 12, 12, 1, 40)
+        ]
+        batched = summarize_each(samples)
+        scalar = [summarize(sample) for sample in samples]
+        assert batched == scalar  # dataclass equality is exact per field
+
+    def test_empty_input(self):
+        assert summarize_each([]) == []
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize_each([[0.5], []])
+
+    def test_nan_sample_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize_each([[0.5], [float("nan")]])
+
+
+class TestBootstrapMeanCI:
+    def test_deterministic_for_fixed_seed(self):
+        values = list(np.random.default_rng(11).random(20))
+        assert bootstrap_mean_ci(values, seed=3) == bootstrap_mean_ci(
+            values, seed=3
+        )
+        assert bootstrap_mean_ci(values, seed=3) != bootstrap_mean_ci(
+            values, seed=4
+        )
+
+    def test_interval_brackets_the_mean(self):
+        values = list(np.random.default_rng(5).random(50))
+        ci = bootstrap_mean_ci(values, resamples=500)
+        assert isinstance(ci, BootstrapCI)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.halfwidth >= 0.0
+        assert ci.n == 50
+        assert ci.resamples == 500
+
+    def test_constant_sample_collapses(self):
+        ci = bootstrap_mean_ci([0.5] * 10)
+        assert ci.low == ci.mean == ci.high == 0.5
+        assert ci.halfwidth == 0.0
+
+    def test_wider_confidence_is_no_narrower(self):
+        values = list(np.random.default_rng(9).random(30))
+        narrow = bootstrap_mean_ci(values, confidence=0.80)
+        wide = bootstrap_mean_ci(values, confidence=0.99)
+        assert wide.high - wide.low >= narrow.high - narrow.low
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([0.5], confidence=1.0)
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([0.5], resamples=0)
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([0.5, float("nan")])

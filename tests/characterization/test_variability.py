@@ -4,6 +4,7 @@ import pytest
 
 from repro.characterization.experiment import CharacterizationScope
 from repro.characterization.variability import (
+    fleet_bootstrap_ci,
     manufacturer_gap,
     module_spread,
     per_module_majx,
@@ -60,3 +61,13 @@ class TestSpreadAndGap:
         gap = manufacturer_gap(scope, result)
         assert set(gap) == {"H", "M"}
         assert gap["H"] > gap["M"]
+
+    def test_fleet_bootstrap_ci(self, scope):
+        result = per_module_majx(scope, 5, 32)
+        ci = fleet_bootstrap_ci(result, seed=1)
+        fleet_mean = sum(s.mean for s in result.values()) / len(result)
+        assert ci.mean == pytest.approx(fleet_mean)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.n == len(result)
+        # Deterministic: the same fleet and seed give the same interval.
+        assert ci == fleet_bootstrap_ci(result, seed=1)

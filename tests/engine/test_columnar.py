@@ -1,0 +1,89 @@
+"""Tests for the columnar (structure-of-arrays) outcome transport."""
+
+import numpy as np
+import pytest
+
+from repro.engine import bitplane
+from repro.engine.columnar import pack_outcomes, unpack_outcomes
+from repro.engine.plan import TaskOutcome
+
+
+def _outcomes(n=6, cells=37, seed=3):
+    rng = np.random.default_rng(seed)
+    outcomes = []
+    for i in range(n):
+        mask = rng.random(cells) < 0.8
+        checkpoints = (
+            ((1, float(rng.random())), (2, float(rng.random())))
+            if i % 2
+            else ()
+        )
+        outcomes.append(
+            TaskOutcome(
+                index=i,
+                rate=float(mask.mean()),
+                trials=4,
+                cells=cells,
+                mask=mask,
+                checkpoint_rates=checkpoints,
+            )
+        )
+    return outcomes
+
+
+def _assert_equal(rebuilt, originals):
+    assert len(rebuilt) == len(originals)
+    for got, want in zip(rebuilt, originals):
+        assert got.index == want.index
+        assert got.rate == want.rate  # exact, not approximate
+        assert got.trials == want.trials
+        assert got.cells == want.cells
+        assert got.checkpoint_rates == want.checkpoint_rates
+        assert np.array_equal(got.mask, np.asarray(want.mask, dtype=bool))
+
+
+class TestInlineRoundTrip:
+    def test_round_trip_is_exact(self):
+        originals = _outcomes()
+        columns = pack_outcomes(originals)
+        _assert_equal(unpack_outcomes(columns), originals)
+
+    def test_empty_shard(self):
+        columns = pack_outcomes([])
+        assert len(columns) == 0
+        assert unpack_outcomes(columns) == []
+
+    def test_nbytes_reflects_mask_mode(self):
+        originals = _outcomes()
+        with_masks = pack_outcomes(originals, include_masks=True)
+        without = pack_outcomes(originals, include_masks=False)
+        assert with_masks.nbytes() > without.nbytes() > 0
+
+    def test_ragged_checkpoints_survive(self):
+        originals = _outcomes()
+        rebuilt = unpack_outcomes(pack_outcomes(originals))
+        lengths = [len(o.checkpoint_rates) for o in rebuilt]
+        assert lengths == [len(o.checkpoint_rates) for o in originals]
+        assert 0 in lengths and 2 in lengths
+
+
+class TestWindowedMasks:
+    def test_maskless_columns_require_a_window(self):
+        columns = pack_outcomes(_outcomes(), include_masks=False)
+        with pytest.raises(ValueError):
+            unpack_outcomes(columns)
+
+    def test_shared_window_round_trip(self):
+        originals = _outcomes()
+        columns = pack_outcomes(originals, include_masks=False)
+        layout = {}
+        rows = []
+        offset = 0
+        for outcome in originals:
+            packed = bitplane.pack_matrix(np.asarray(outcome.mask, dtype=bool))
+            layout[outcome.index] = (offset, packed.shape[0])
+            rows.append(packed)
+            offset += packed.shape[0]
+        window = np.concatenate(rows)
+        rebuilt = unpack_outcomes(columns, words_view=window, layout=layout)
+        _assert_equal(rebuilt, originals)

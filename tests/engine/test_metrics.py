@@ -79,3 +79,43 @@ class TestReporting:
         metrics = EngineMetrics(executor="parallel", chaos_faults_injected=3)
         assert "chaos" in metrics.render()
         assert EngineMetrics().render().count("chaos") == 0
+
+
+class TestSchedulerCounters:
+    def test_merge_adds_scheduler_counters(self):
+        total = EngineMetrics()
+        total.merge(EngineMetrics(pool_reuses=2, worker_bench_reuses=8,
+                                  bytes_shipped=100, pipelined_plans=3,
+                                  pipeline_wall_s=1.0, pipeline_busy_s=1.5))
+        total.merge(EngineMetrics(pool_reuses=1, bytes_shipped=50,
+                                  pipelined_plans=2, pipeline_wall_s=0.5,
+                                  pipeline_busy_s=0.5))
+        assert total.pool_reuses == 3
+        assert total.worker_bench_reuses == 8
+        assert total.bytes_shipped == 150
+        assert total.pipelined_plans == 5
+        assert total.pipeline_wall_s == 1.5
+        assert total.pipeline_busy_s == 2.0
+
+    def test_pipeline_occupancy(self):
+        metrics = EngineMetrics(workers=2, pipeline_wall_s=1.0,
+                                pipeline_busy_s=1.0)
+        assert metrics.pipeline_occupancy == 0.5
+        assert EngineMetrics().pipeline_occupancy == 0.0
+        capped = EngineMetrics(workers=1, pipeline_wall_s=1.0,
+                               pipeline_busy_s=5.0)
+        assert capped.pipeline_occupancy == 1.0
+
+    def test_scheduler_section_renders_only_when_active(self):
+        quiet = EngineMetrics(executor="serial")
+        assert "scheduler" not in quiet.render()
+        busy = EngineMetrics(executor="fused-parallel", workers=2,
+                             pool_reuses=4, worker_bench_reuses=16,
+                             bytes_shipped=2048, pipelined_plans=6,
+                             pipeline_wall_s=1.0, pipeline_busy_s=1.8)
+        report = busy.render()
+        for fragment in ("scheduler", "pool reuses", "bench reuses",
+                         "bytes shipped", "pipelined plans",
+                         "pipeline occupancy"):
+            assert fragment in report
+        assert render_stats_dict(busy.as_dict()) == report

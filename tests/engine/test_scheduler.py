@@ -1,0 +1,91 @@
+"""Tests for pipelined cross-experiment scheduling."""
+
+import pytest
+
+from repro.characterization.activation import (
+    figure4a_temperature,
+    program_fig4a,
+)
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.rowcopy import figure11_patterns, program_fig11
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.engine import (
+    CampaignScheduler,
+    ExperimentProgram,
+    PlanStep,
+    SerialExecutor,
+    make_executor,
+)
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def scope():
+    config = SimulationConfig(seed=43, columns_per_row=64)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=1,
+        trials=2,
+    )
+
+
+class TestExperimentProgram:
+    def test_program_run_matches_figure_function(self, scope):
+        assert program_fig4a(scope).run(None) == figure4a_temperature(scope)
+
+    def test_program_is_declarative(self, scope):
+        program = program_fig4a(scope)
+        assert program.name == "fig4a"
+        assert len(program.steps) > 1
+        assert all(isinstance(step, PlanStep) for step in program.steps)
+
+
+class TestCampaignScheduler:
+    def test_rejects_non_pipelining_executor(self):
+        with pytest.raises(ExperimentError):
+            CampaignScheduler(SerialExecutor())
+
+    def test_pipelined_matches_sequential_reference(self, scope):
+        reference = {
+            "fig4a": figure4a_temperature(scope),
+            "fig11": figure11_patterns(scope),
+        }
+        with make_executor("fused-parallel", jobs=2) as executor:
+            outcome = CampaignScheduler(executor).run(
+                [program_fig4a(scope), program_fig11(scope)]
+            )
+            pipelined_plans = executor.metrics.pipelined_plans
+            occupancy = executor.metrics.pipeline_occupancy
+        assert set(outcome) == {"fig4a", "fig11"}
+        for name, (status, value) in outcome.items():
+            assert status == "ok"
+            assert value == reference[name]  # bit-identical payloads
+        total_steps = len(program_fig4a(scope).steps) + len(
+            program_fig11(scope).steps
+        )
+        assert pipelined_plans == total_steps
+        assert 0.0 <= occupancy <= 1.0
+
+    def test_program_errors_are_isolated(self, scope):
+        healthy = program_fig4a(scope)
+        broken_step = PlanStep(
+            healthy.steps[0].plan, lambda result: 1 / 0
+        )
+        broken = ExperimentProgram(
+            "broken", (broken_step,), lambda values: values
+        )
+        with make_executor("fused-parallel", jobs=2) as executor:
+            outcome = CampaignScheduler(executor).run([broken, healthy])
+        status, error = outcome["broken"]
+        assert status == "error"
+        assert isinstance(error, ZeroDivisionError)
+        status, value = outcome["fig4a"]
+        assert status == "ok"
+        assert value == figure4a_temperature(scope)
+
+    def test_empty_program_list(self):
+        with make_executor("fused-parallel", jobs=2) as executor:
+            assert CampaignScheduler(executor).run([]) == {}
