@@ -70,6 +70,18 @@ class ChaosConfig:
     result_corruption_names: Tuple[str, ...] = ()
     """Stored-artifact names whose on-disk bytes get silently damaged
     once, right after the save -- the integrity-audit proof load."""
+    store_enospc_names: Tuple[str, ...] = ()
+    """Artifact names whose save fails once with ``OSError(ENOSPC)``,
+    leaving a stale ``.tmp`` behind -- the disk-full proof load for
+    ``simra-dram repair`` and the orphan scan."""
+    store_torn_write_names: Tuple[str, ...] = ()
+    """Artifact names whose saved JSON document is truncated once at a
+    seeded midpoint right after the save -- simulates a torn write that
+    slipped past the rename (e.g. a dropped page on power loss)."""
+    store_partial_sidecar_names: Tuple[str, ...] = ()
+    """Artifact names whose ``.columns.npz`` sidecar is deleted once
+    after the save (columnar artifacts), or that gain a bogus orphan
+    sidecar (plain artifacts) -- the sidecar-damage proof load."""
 
     def __post_init__(self) -> None:
         for name in (
@@ -95,6 +107,9 @@ class ChaosConfig:
             "bench_failure_serials",
             "worker_kill_serials",
             "result_corruption_names",
+            "store_enospc_names",
+            "store_torn_write_names",
+            "store_partial_sidecar_names",
         ):
             # Accept any iterable of strings but store hashable tuples
             # (the config is frozen and shipped to pool workers).
@@ -206,14 +221,31 @@ class ChaosEngine:
 
     def store_should_corrupt(self, name: str) -> bool:
         """Whether this just-saved artifact gets damaged (once per name)."""
-        if name not in self._config.result_corruption_names:
+        return self.store_should_fault("result-corruption", name)
+
+    _STORE_FAULT_FIELDS = {
+        "result-corruption": "result_corruption_names",
+        "enospc": "store_enospc_names",
+        "torn-write": "store_torn_write_names",
+        "partial-sidecar": "store_partial_sidecar_names",
+    }
+
+    def store_should_fault(self, fault: str, name: str) -> bool:
+        """Whether a storage fault of this kind hits this artifact.
+
+        Target-keyed and once-per-(kind, name): each listed artifact
+        takes each configured storage fault exactly once, so repair and
+        resume tests are deterministic without any rate tuning.
+        """
+        targets = getattr(self._config, self._STORE_FAULT_FIELDS[fault])
+        if name not in targets:
             return False
-        if name in self._corrupted_names:
+        key = (fault, name)
+        if key in self._corrupted_names:
             return False
-        self._corrupted_names.add(name)
-        self._extra_injected["result-corruption"] = (
-            self._extra_injected.get("result-corruption", 0) + 1
-        )
+        self._corrupted_names.add(key)
+        counter = fault if fault == "result-corruption" else f"store-{fault}"
+        self._extra_injected[counter] = self._extra_injected.get(counter, 0) + 1
         return True
 
     @property

@@ -13,6 +13,7 @@ fault-free behaviour.
 
 from __future__ import annotations
 
+import errno
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -162,21 +163,45 @@ class ChaoticSupply(_ChaoticProxy):
 
 
 class ChaoticStore(_ChaoticProxy):
-    """Result store whose on-disk artifacts can rot after a save.
+    """Result store whose writes can fail or rot the way real disks do.
 
-    The save itself reports success (as a real silent-corruption event
-    would); artifacts named in ``ChaosConfig.result_corruption_names``
-    get one seeded byte of their file damaged afterwards, to be caught
-    by the store's checksum verification on the next load or by
-    ``simra-dram audit``.
+    Four target-keyed storage faults, each once per named artifact:
+
+    - ``result_corruption_names``: the save reports success, then one
+      seeded byte of the file is damaged (silent bit rot) -- caught by
+      checksum verification on the next load or by ``simra-dram
+      audit``.
+    - ``store_enospc_names``: the save raises ``OSError(ENOSPC)`` and
+      leaves a stale ``.tmp`` file behind, as a writer that ran out of
+      space mid-write would.
+    - ``store_torn_write_names``: the save reports success but the JSON
+      document is truncated at a seeded midpoint (a torn write that
+      slipped past the rename).
+    - ``store_partial_sidecar_names``: a columnar artifact loses its
+      ``.columns.npz`` sidecar; a plain artifact gains a bogus orphan
+      sidecar instead.
     """
 
-    def save(self, name, data, config=None, notes="", quality=None):
-        """Persist through the real store, then maybe damage the file."""
+    def save(self, name, data, config=None, notes="", quality=None, columnar=None):
+        """Persist through the real store, injecting any staged fault."""
+        if self._engine.store_should_fault("enospc", name):
+            stale = (
+                self._wrapped.directory
+                / f".{name}.json.chaos-enospc.tmp"
+            )
+            stale.write_text('{"format_version": 2, "data": {"trunc')
+            raise OSError(
+                errno.ENOSPC, f"no space left on device (injected) saving {name!r}"
+            )
         path = self._wrapped.save(
-            name, data, config=config, notes=notes, quality=quality
+            name,
+            data,
+            config=config,
+            notes=notes,
+            quality=quality,
+            columnar=columnar,
         )
-        if self._engine.store_should_corrupt(name):
+        if self._engine.store_should_fault("result-corruption", name):
             raw = bytearray(path.read_bytes())
             if raw:
                 generator = rng.generator(
@@ -185,4 +210,18 @@ class ChaoticStore(_ChaoticProxy):
                 position = int(generator.integers(0, len(raw)))
                 raw[position] ^= 0x20
                 path.write_bytes(bytes(raw))
+        if self._engine.store_should_fault("torn-write", name):
+            raw = path.read_bytes()
+            if len(raw) > 2:
+                generator = rng.generator(
+                    "chaos-store-torn", self._engine.config.seed, name
+                )
+                cut = int(generator.integers(1, len(raw) - 1))
+                path.write_bytes(raw[:cut])
+        if self._engine.store_should_fault("partial-sidecar", name):
+            sidecar = self._wrapped.directory / f"{name}.columns.npz"
+            if sidecar.exists():
+                sidecar.unlink()
+            else:
+                sidecar.write_bytes(b"not an npz archive")
         return path

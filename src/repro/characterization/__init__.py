@@ -54,6 +54,7 @@ from .convergence import (
     overestimate_at,
 )
 from .store import CampaignManifest, ResultStore
+from .repair import RepairFinding, RepairReport, repair_store
 from .campaign import (
     Campaign,
     CampaignResult,
@@ -108,6 +109,9 @@ __all__ = [
     "overestimate_at",
     "ResultStore",
     "CampaignManifest",
+    "RepairFinding",
+    "RepairReport",
+    "repair_store",
     "Campaign",
     "CampaignResult",
     "ExperimentFailure",

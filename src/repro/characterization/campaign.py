@@ -165,8 +165,10 @@ class ExperimentFailure:
     experiment: str
     reason: str
     """``"error"`` (non-retryable), ``"retries-exhausted"``,
-    ``"time-budget"``, or ``"no-healthy-modules"`` (every bench in the
-    scope quarantined)."""
+    ``"time-budget"``, ``"no-healthy-modules"`` (every bench in the
+    scope quarantined), or ``"store-error"`` (the experiment produced
+    data but committing it to the result store failed; resume re-runs
+    it)."""
     attempts: int
     elapsed_s: float
     error: str
@@ -217,13 +219,23 @@ class CampaignResult:
     health: Optional[Dict[str, object]] = None
     """Fleet health summary
     (:meth:`~repro.health.HealthTracker.as_dict`) when supervised."""
+    interrupted: bool = False
+    """The run was stopped by SIGTERM/SIGINT (graceful interruption):
+    everything committed so far is checkpointed and ``resume=True``
+    picks up from the manifest."""
+    not_run: List[str] = field(default_factory=list)
+    """Experiments never attempted because the run was interrupted."""
+    pipeline_declined_reason: Optional[str] = None
+    """Why this run fell back to sequential scheduling (``None`` when
+    it pipelined, or when there was nothing to decline)."""
 
     @property
     def succeeded(self) -> bool:
         """Whether every experiment *attempted this run* produced data
         (resume-skips, including previously-failed ones, don't count
-        against it)."""
-        return not self.failures
+        against it).  An interrupted run never counts as succeeded --
+        it is resumable, not finished."""
+        return not self.failures and not self.interrupted
 
     def summary_lines(self) -> List[str]:
         """One line per experiment outcome."""
@@ -252,6 +264,13 @@ class CampaignResult:
             lines.append(
                 f"  {failure.experiment}: FAILED ({failure.reason}, "
                 f"{failure.attempts} attempts) {failure.error}"
+            )
+        for name in self.not_run:
+            lines.append(f"  {name}: not run (campaign interrupted)")
+        if self.interrupted:
+            lines.append(
+                "  campaign interrupted; completed work is checkpointed "
+                "-- re-run with --resume to continue"
             )
         return lines
 
@@ -334,88 +353,152 @@ class Campaign:
 
         harness = None
         store = self._store
-        if self._chaos is not None:
-            from ..chaos import ChaosHarness
-
-            harness = ChaosHarness(self._chaos)
-            harness.install_all(self._scope.benches)
-            if store is not None and self._chaos.result_corruption_names:
-                from ..chaos import ChaoticStore
-
-                store = ChaoticStore(store, harness.engine)
-        manifest: Optional[CampaignManifest] = None
-        if self._store is not None:
-            manifest = self._prepare_manifest(
-                experiments, config, resume, result, retry_failed
-            )
-        # Process-pool executors re-run plans in worker processes where
-        # the main harness's proxies don't reach; hand them the chaos
-        # profile so injection composes with sharded execution too.
-        # The executor's chaos_profile context restores the previous
-        # profile in a finally block, so an executor-raised error can
-        # never leave it pointing at this campaign's engine.
-        swap = (
-            self._executor.chaos_profile(self._chaos)
-            if self._chaos is not None and self._executor is not None
+        lock = (
+            self._store.locked()
+            if self._store is not None
             else contextlib.nullcontext()
         )
-        try:
-            with swap:
-                pipelined = self._run_pipelined(experiments, result)
-                for name in experiments:
-                    if name in result.skipped or name in result.skipped_failed:
-                        continue
-                    scope, quality = self._scoped()
-                    if quality is not None:
-                        result.quality[name] = quality
-                    if scope is None:
-                        failure = ExperimentFailure(
-                            experiment=name,
-                            reason="no-healthy-modules",
-                            attempts=0,
-                            elapsed_s=0.0,
-                            error=_describe(
-                                NoHealthyModulesError(
-                                    "every module in the scope is quarantined"
-                                )
-                            ),
-                            chain=(),
-                        )
-                        result.failures.append(failure)
-                        result.attempts[name] = 0
-                        self._record_failure(manifest, failure)
-                        continue
-                    outcome = self._consume(name, scope, pipelined)
-                    if isinstance(outcome, ExperimentFailure):
+        with lock:
+            if self._store is not None:
+                # Single writer established: any temp files still lying
+                # around are debris from a hard-killed predecessor.
+                self._store.clean_stale_tmp()
+                if not resume:
+                    self._store.clear_journal()
+            if self._chaos is not None:
+                from ..chaos import ChaosHarness
+
+                harness = ChaosHarness(self._chaos)
+                harness.install_all(self._scope.benches)
+                chaos_touches_store = (
+                    self._chaos.result_corruption_names
+                    or self._chaos.store_enospc_names
+                    or self._chaos.store_torn_write_names
+                    or self._chaos.store_partial_sidecar_names
+                )
+                if store is not None and chaos_touches_store:
+                    from ..chaos import ChaoticStore
+
+                    store = ChaoticStore(store, harness.engine)
+            manifest: Optional[CampaignManifest] = None
+            if self._store is not None:
+                manifest = self._prepare_manifest(
+                    experiments, config, resume, result, retry_failed
+                )
+            # Process-pool executors re-run plans in worker processes
+            # where the main harness's proxies don't reach; hand them
+            # the chaos profile so injection composes with sharded
+            # execution too.  The executor's chaos_profile context
+            # restores the previous profile in a finally block, so an
+            # executor-raised error can never leave it pointing at this
+            # campaign's engine.
+            swap = (
+                self._executor.chaos_profile(self._chaos)
+                if self._chaos is not None and self._executor is not None
+                else contextlib.nullcontext()
+            )
+            try:
+                with swap:
+                    pipelined = self._run_pipelined(
+                        experiments, result, manifest, store, config
+                    )
+                    for name in experiments:
                         if (
-                            outcome.reason == "retries-exhausted"
-                            and self._health is not None
+                            name in result.skipped
+                            or name in result.skipped_failed
                         ):
-                            self._health.record_retry_exhaustion()
-                        result.failures.append(outcome)
-                        result.attempts[name] = outcome.attempts
-                        self._record_failure(manifest, outcome)
-                        continue
-                    data, attempts = outcome
-                    result.data[name] = data
-                    result.attempts[name] = attempts
-                    result.completed.append(name)
-                    if store is not None and manifest is not None:
-                        store.save(
-                            name,
-                            storable(data),
-                            config=config,
-                            notes=f"campaign experiment {name}",
-                            quality=quality,
-                        )
-                        if name not in manifest.completed:
-                            manifest.completed.append(name)
-                        manifest.failures.pop(name, None)
+                            continue
+                        if pipelined.get(name, ("", None))[0] == "committed":
+                            continue  # persisted by the streaming commit
+                        scope, quality = self._scoped()
+                        if quality is not None:
+                            result.quality[name] = quality
+                        if scope is None:
+                            failure = ExperimentFailure(
+                                experiment=name,
+                                reason="no-healthy-modules",
+                                attempts=0,
+                                elapsed_s=0.0,
+                                error=_describe(
+                                    NoHealthyModulesError(
+                                        "every module in the scope is "
+                                        "quarantined"
+                                    )
+                                ),
+                                chain=(),
+                            )
+                            result.failures.append(failure)
+                            result.attempts[name] = 0
+                            self._record_failure(manifest, failure)
+                            continue
+                        outcome = self._consume(name, scope, pipelined)
+                        if isinstance(outcome, ExperimentFailure):
+                            if (
+                                outcome.reason == "retries-exhausted"
+                                and self._health is not None
+                            ):
+                                self._health.record_retry_exhaustion()
+                            result.failures.append(outcome)
+                            result.attempts[name] = outcome.attempts
+                            self._record_failure(manifest, outcome)
+                            continue
+                        data, attempts = outcome
+                        if store is not None and manifest is not None:
+                            try:
+                                self._commit_experiment(
+                                    name, data, manifest, store, config,
+                                    quality=quality,
+                                )
+                            except Exception as exc:  # noqa: BLE001
+                                failure = ExperimentFailure(
+                                    experiment=name,
+                                    reason="store-error",
+                                    attempts=attempts,
+                                    elapsed_s=0.0,
+                                    error=_describe(exc),
+                                    chain=_chain(exc),
+                                )
+                                result.failures.append(failure)
+                                result.attempts[name] = attempts
+                                self._record_failure(manifest, failure)
+                                continue
+                        result.data[name] = data
+                        result.attempts[name] = attempts
+                        result.completed.append(name)
+            except KeyboardInterrupt:
+                # Graceful interruption (SIGTERM/SIGINT translated by
+                # the CLI, or a raised KeyboardInterrupt): everything
+                # committed so far is already checkpointed; abandon the
+                # in-flight work, close the pool, and report a
+                # resumable partial result instead of unwinding.
+                result.interrupted = True
+                if self._executor is not None:
+                    with contextlib.suppress(Exception):
+                        self._executor.close()
+            finally:
+                if harness is not None:
+                    result.chaos_faults_injected = (
+                        harness.engine.stats.total_injected
+                    )
+                    harness.uninstall()
+            if result.interrupted:
+                accounted = (
+                    set(result.skipped)
+                    | set(result.skipped_failed)
+                    | set(result.completed)
+                    | {failure.experiment for failure in result.failures}
+                )
+                result.not_run = [
+                    name for name in experiments if name not in accounted
+                ]
+                if manifest is not None:
+                    with contextlib.suppress(Exception):
                         self._store.save_manifest(manifest)
-        finally:
-            if harness is not None:
-                result.chaos_faults_injected = harness.engine.stats.total_injected
-                harness.uninstall()
+            self._finish_run(result, config)
+        return result
+
+    def _finish_run(self, result: CampaignResult, config) -> None:
+        """Engine-stats persistence and health summary for one run."""
         if self._executor is not None:
             if self._health is not None:
                 self._executor.metrics.breaker_trips = (
@@ -436,34 +519,34 @@ class Campaign:
             result.health = self._health.as_dict()
         if self._store is not None:
             result.stored_at = self._store.directory
-        return result
 
     def _pipeline_candidates(
         self, experiments: Sequence[str], result: CampaignResult
-    ) -> List[str]:
+    ) -> Tuple[List[str], str]:
         """Experiments eligible for pipelined scheduling this run.
 
         Pipelining changes *when* trials execute, never what they
-        compute, but it must not change observable orchestration
-        either -- so it stands down whenever per-experiment machinery
-        is in play: chaos injection (fault schedules are consumed in
-        experiment order), health supervision (probes and quarantine
-        decisions happen between experiments), monkeypatched
-        experiment callables (no program to build), or an executor
-        without pipelining support.
+        compute: plan building is pure and worker-side chaos schedules
+        partition deterministically per (epoch, serial), so chaos
+        campaigns pipeline too and still commit bit-identical
+        artifacts.  It stands down only when per-experiment
+        orchestration genuinely interleaves with execution: health
+        supervision (probes and quarantine decisions happen between
+        experiments), monkeypatched experiment callables (no program
+        to build), or an executor without pipelining support.  Returns
+        the eligible names plus the declined reason (empty when
+        eligible).
         """
         if self._pipeline is False:
-            return []
+            return [], "disabled"
         executor = self._executor
-        if executor is None or not getattr(
-            executor, "supports_pipelining", False
-        ):
-            return []
-        if self._chaos is not None or getattr(executor, "chaos", None) is not None:
-            return []
+        if executor is None:
+            return [], "no-executor"
+        if not getattr(executor, "supports_pipelining", False):
+            return [], "executor-not-pipelining"
         if self._health is not None:
-            return []
-        return [
+            return [], "health-supervised"
+        names = [
             name
             for name in experiments
             if name not in result.skipped
@@ -471,19 +554,35 @@ class Campaign:
             and name in EXPERIMENT_PROGRAMS
             and EXPERIMENTS.get(name) is _CANONICAL_EXPERIMENTS.get(name)
         ]
+        if not names or (len(names) < 2 and not self._pipeline):
+            return [], "fewer-than-2-eligible-experiments"
+        return names, ""
 
     def _run_pipelined(
-        self, experiments: Sequence[str], result: CampaignResult
+        self,
+        experiments: Sequence[str],
+        result: CampaignResult,
+        manifest: Optional[CampaignManifest],
+        store,
+        config,
     ) -> Dict[str, Tuple[str, object]]:
         """Pre-run eligible experiments as one pipelined plan stream.
 
-        Results are only *buffered* here; the main loop still commits
-        artifacts, manifest entries, and failure records strictly in
-        experiment order, so everything persisted is bit-identical to
-        a sequential run.
+        With a store attached, every experiment is *committed
+        incrementally* -- journal intent, atomic artifact write,
+        manifest update -- the moment its last plan settles, strictly
+        in experiment order and while later experiments' plans are
+        still executing, so a crash loses at most the in-flight
+        program.  Its buffered status becomes ``"committed"`` and the
+        main loop skips it.  Without a store, results are only
+        buffered and the main loop consumes them as before.  Either
+        way everything persisted is bit-identical to a sequential run.
         """
-        names = self._pipeline_candidates(experiments, result)
-        if not names or (len(names) < 2 and not self._pipeline):
+        names, reason = self._pipeline_candidates(experiments, result)
+        result.pipeline_declined_reason = reason or None
+        if self._executor is not None and reason:
+            self._executor.metrics.pipeline_declined_reason = reason
+        if not names:
             return {}
         buffered: Dict[str, Tuple[str, object]] = {}
         programs = []
@@ -494,9 +593,67 @@ class Campaign:
                 # Same fate as the figure function raising on its
                 # first plan build: a non-transient failure.
                 buffered[name] = ("error", exc)
+
+        commit: Optional[Callable[[str, Tuple[str, object]], None]] = None
+        if store is not None and manifest is not None:
+
+            def commit(name: str, outcome: Tuple[str, object]) -> None:
+                status, value = outcome
+                if status != "ok":
+                    buffered[name] = outcome
+                    return
+                try:
+                    self._commit_experiment(
+                        name, value, manifest, store, config
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001
+                    # The data is fine but the disk is not; the main
+                    # loop records a resumable store-error failure.
+                    buffered[name] = ("store-error", exc)
+                    return
+                result.data[name] = value
+                result.attempts[name] = 1
+                result.completed.append(name)
+                buffered[name] = ("committed", value)
+
         if programs:
-            buffered.update(CampaignScheduler(self._executor).run(programs))
+            outcomes = CampaignScheduler(self._executor).run(
+                programs, on_program=commit
+            )
+            for name, outcome in outcomes.items():
+                buffered.setdefault(name, outcome)
         return buffered
+
+    def _commit_experiment(
+        self, name: str, data, manifest: CampaignManifest, store, config,
+        quality: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Durably persist one finished experiment.
+
+        Write-ahead discipline: journal the intent, write the artifact
+        atomically (fsync before rename), update the manifest, then
+        journal completion.  An intent without a matching done entry
+        marks the artifact as suspect for ``simra-dram repair``.
+        """
+        self._store.journal_append(
+            {"event": "commit-intent", "experiment": name}
+        )
+        store.save(
+            name,
+            storable(data),
+            config=config,
+            notes=f"campaign experiment {name}",
+            quality=quality,
+        )
+        if name not in manifest.completed:
+            manifest.completed.append(name)
+        manifest.failures.pop(name, None)
+        self._store.save_manifest(manifest)
+        self._store.journal_append(
+            {"event": "commit-done", "experiment": name}
+        )
 
     def _consume(
         self,
@@ -509,9 +666,23 @@ class Campaign:
             status, value = pipelined[name]
             if status == "ok":
                 return value, 1
+            if status == "store-error":
+                # The experiment itself succeeded; the commit did not.
+                # Recorded with its own reason so resume's skip check
+                # (which only skips deterministic "error" failures)
+                # re-runs it once the store is repaired.
+                assert isinstance(value, Exception)
+                return ExperimentFailure(
+                    experiment=name,
+                    reason="store-error",
+                    attempts=1,
+                    elapsed_s=0.0,
+                    error=_describe(value),
+                    chain=_chain(value),
+                )
             if isinstance(value, TransientInfrastructureError):
-                # Rare with pipelining (it requires chaos to be off):
-                # fall back to the sequential retry path.
+                # A worker-side chaos fault leaked past the executor's
+                # retries: fall back to the sequential retry path.
                 return self._run_one(name, scope)
             assert isinstance(value, Exception)
             return ExperimentFailure(

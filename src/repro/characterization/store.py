@@ -35,18 +35,24 @@ stored bytes can rot between runs):
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
 from ..config import SimulationConfig
-from ..errors import ChecksumMismatchError, ExperimentError, ResultCorruptionError
+from ..errors import (
+    ChecksumMismatchError,
+    ExperimentError,
+    ResultCorruptionError,
+    StoreLockedError,
+)
 from .stats import DistributionSummary
 
 _FORMAT_VERSION = 2
@@ -63,6 +69,9 @@ _COLUMN_FIELDS = ("mean", "minimum", "q1", "median", "q3", "maximum", "n")
 _MANIFEST_FILENAME = "campaign-manifest.json"
 _MANIFEST_VERSION = 2
 _SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+_JOURNAL_FILENAME = "campaign-journal.jsonl"
+_LOCK_FILENAME = ".store.lock"
+_COLUMNS_SUFFIX = ".columns.npz"
 
 
 def _encode(value: Any) -> Any:
@@ -175,6 +184,23 @@ def _columns_checksum(arrays: Dict[str, np.ndarray]) -> str:
     return digest.hexdigest()
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk (the rename half of the
+    fsync-before-rename discipline).  Best-effort: some filesystems do
+    not support directory fsync, and losing it only widens the crash
+    window, it never corrupts."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_atomic(path: Path, text: str) -> None:
     """Write ``text`` so that ``path`` is always absent or complete."""
     handle = tempfile.NamedTemporaryFile(
@@ -190,12 +216,28 @@ def _write_atomic(path: Path, text: str) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(handle.name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(handle.name)
         except OSError:
             pass
         raise
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
 
 
 @dataclass
@@ -269,6 +311,7 @@ class ResultStore:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(handle.name, path)
+            _fsync_directory(path.parent)
         except BaseException:
             try:
                 os.unlink(handle.name)
@@ -471,15 +514,28 @@ class ResultStore:
             )
         }
 
-    def verify(self, name: str) -> str:
-        """Integrity status of one stored artifact, without raising.
+    def verify(self, name: Optional[str] = None) -> Union[str, Dict[str, Any]]:
+        """Integrity status of one artifact, or a store-wide scan.
 
-        Returns ``"ok"`` (checksum verified), ``"legacy"`` (version-1
-        document with no checksum), ``"corrupt"`` (unparsable, or a
-        columnar document whose sidecar is missing or unreadable), or
-        ``"mismatch"`` (parses, but the content -- document or sidecar
-        arrays -- no longer matches its recorded digest).
+        With ``name``, returns ``"ok"`` (checksum verified),
+        ``"legacy"`` (version-1 document with no checksum),
+        ``"corrupt"`` (unparsable, or a columnar document whose sidecar
+        is missing or unreadable), ``"mismatch"`` (parses, but the
+        content -- document or sidecar arrays -- no longer matches its
+        recorded digest), or ``"missing"``.
+
+        Without ``name``, returns a store-wide report dict: per-name
+        statuses under ``"artifacts"``, plus the debris a crashed
+        writer leaves behind -- stale ``*.tmp`` files under
+        ``"orphaned_tmp"`` and ``.columns.npz`` sidecars no document
+        references under ``"unreferenced_sidecars"``.
         """
+        if name is None:
+            return {
+                "artifacts": {n: self.verify(n) for n in self.names()},
+                "orphaned_tmp": self.orphaned_tmp_files(),
+                "unreferenced_sidecars": self.unreferenced_sidecars(),
+            }
         path = self._path(name)
         if not path.exists():
             return "missing"
@@ -497,6 +553,108 @@ class ResultStore:
         except ResultCorruptionError:
             return "corrupt"
         return "ok"
+
+    def diagnose(self, name: str) -> str:
+        """Fine-grained damage classification of one stored artifact.
+
+        Refines :meth:`verify`'s coarse statuses into what ``simra-dram
+        repair`` reports: ``"torn-json"`` (truncated or non-JSON
+        document), ``"checksum-mismatch"`` (document bytes altered
+        after the save), ``"sidecar-missing"`` / ``"sidecar-corrupt"``
+        / ``"sidecar-mismatch"`` (columnar sidecar damage), plus the
+        benign ``"ok"`` / ``"legacy"`` / ``"missing"``.
+        """
+        path = self._path(name)
+        if not path.exists():
+            return "missing"
+        try:
+            document = self._read_document(name, path)
+        except ResultCorruptionError:
+            return "torn-json"
+        if document.get("format_version") == _COLUMNAR_FORMAT_VERSION:
+            columns = document.get("columns")
+            if not isinstance(columns, dict):
+                return "torn-json"
+            sidecar = self._directory / str(columns.get("file", ""))
+            if not sidecar.exists():
+                return "sidecar-missing"
+            try:
+                with np.load(sidecar) as archive:
+                    arrays = {f: archive[f] for f in _COLUMN_FIELDS}
+            except Exception:
+                return "sidecar-corrupt"
+            recorded = (columns.get("checksum") or {}).get("digest")
+            if recorded != _columns_checksum(arrays):
+                return "sidecar-mismatch"
+        if not isinstance(document.get("checksum"), dict):
+            return "legacy"
+        try:
+            payload = self._payload(name, document, verify=True)
+            self._verify_document(name, document, payload)
+        except ChecksumMismatchError:
+            return "checksum-mismatch"
+        except ResultCorruptionError:
+            return "torn-json"
+        return "ok"
+
+    def orphaned_tmp_files(self) -> List[str]:
+        """Stale ``*.tmp`` files left by writers that died mid-write.
+
+        The atomic-write discipline only leaves these behind on a hard
+        kill (SIGKILL, ``os._exit``) or an out-of-space failure between
+        the temp write and the rename; a clean unwind unlinks them.
+        """
+        return sorted(
+            p.name
+            for p in self._directory.glob("*.tmp")
+            if p.is_file() and p.name != _LOCK_FILENAME
+        )
+
+    def unreferenced_sidecars(self) -> List[str]:
+        """``.columns.npz`` sidecars no live document points at.
+
+        A sidecar is referenced only by a version-3 document of the
+        same name whose ``columns.file`` names it; anything else is
+        debris from a crashed columnar write or an injected fault.
+        """
+        orphans = []
+        for sidecar in sorted(self._directory.glob(f"*{_COLUMNS_SUFFIX}")):
+            if sidecar.name.startswith("."):
+                continue
+            stem = sidecar.name[: -len(_COLUMNS_SUFFIX)]
+            document_path = self._directory / f"{stem}.json"
+            referenced = False
+            if document_path.exists():
+                try:
+                    document = json.loads(document_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    document = None
+                if (
+                    isinstance(document, dict)
+                    and document.get("format_version")
+                    == _COLUMNAR_FORMAT_VERSION
+                ):
+                    columns = document.get("columns")
+                    if isinstance(columns, dict):
+                        referenced = columns.get("file") == sidecar.name
+            if not referenced:
+                orphans.append(sidecar.name)
+        return orphans
+
+    def clean_stale_tmp(self) -> List[str]:
+        """Delete orphaned temp files; returns the names removed.
+
+        Safe whenever no other writer holds the store lock: every live
+        temp file belongs to the (single) writer that created it.
+        """
+        removed = []
+        for filename in self.orphaned_tmp_files():
+            try:
+                (self._directory / filename).unlink()
+            except FileNotFoundError:
+                continue
+            removed.append(filename)
+        return removed
 
     def has(self, name: str) -> bool:
         """Whether a result with this name is stored."""
@@ -556,3 +714,120 @@ class ResultStore:
             self.manifest_path.unlink()
         except FileNotFoundError:
             pass
+
+    # -- write-ahead journal -----------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        """Where the append-only commit journal lives."""
+        return self._directory / _JOURNAL_FILENAME
+
+    def journal_append(self, entry: Dict[str, Any]) -> None:
+        """Append one fsync'd JSON line to the commit journal.
+
+        The campaign writes a ``commit-intent`` line before each
+        artifact save and a ``commit-done`` line after the manifest
+        update; an intent with no matching done marks the artifact a
+        crash may have left half-committed, which ``simra-dram
+        repair`` inspects.
+        """
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def journal_entries(self) -> List[Dict[str, Any]]:
+        """All parsable journal entries, in append order.
+
+        A torn final line (the writer died mid-append) is skipped
+        rather than raised: the journal is advisory damage-tracking
+        metadata, never the source of truth for result bits.
+        """
+        path = self.journal_path
+        if not path.exists():
+            return []
+        entries = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries
+
+    def clear_journal(self) -> None:
+        """Forget the commit journal (results and manifest stay)."""
+        try:
+            self.journal_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- writer lock -------------------------------------------------------
+
+    @property
+    def lock_path(self) -> Path:
+        """Where the single-writer lockfile lives."""
+        return self._directory / _LOCK_FILENAME
+
+    def acquire_lock(self) -> None:
+        """Take the store's single-writer lock, or raise.
+
+        The lockfile records the holder's pid; a lock whose pid is dead
+        (or is this very process, i.e. a previous run in the same
+        interpreter was hard-killed mid-campaign) is stolen.  A lock
+        held by a different live process raises
+        :class:`~repro.errors.StoreLockedError`.
+        """
+        path = self.lock_path
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    holder = int(path.read_text().strip() or "0")
+                except (OSError, ValueError):
+                    holder = 0
+                if holder == os.getpid() or not _pid_alive(holder):
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                raise StoreLockedError(
+                    f"result store {self._directory} is locked by running "
+                    f"process {holder}; a second writer would interleave "
+                    "manifest updates"
+                )
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            return
+
+    def release_lock(self) -> None:
+        """Drop the single-writer lock if this process holds it."""
+        path = self.lock_path
+        try:
+            holder = int(path.read_text().strip() or "0")
+        except (OSError, ValueError):
+            return
+        if holder == os.getpid():
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    @contextlib.contextmanager
+    def locked(self) -> Iterator["ResultStore"]:
+        """Hold the single-writer lock for the duration of a block."""
+        self.acquire_lock()
+        try:
+            yield self
+        finally:
+            self.release_lock()

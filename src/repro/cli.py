@@ -15,6 +15,7 @@ writing Python::
     simra-dram decoder --rf 0 --rs 7    # decoder algebra lookup
     simra-dram campaign --resume        # checkpointed figure sweep
     simra-dram audit --results-dir d    # integrity + recompute audit
+    simra-dram repair --results-dir d   # quarantine damage, patch manifest
     simra-dram stats --results-dir d    # engine metrics of a campaign
     simra-dram migrate --results-dir d --out d3   # re-save as columnar v3
     simra-dram bench                    # executor benchmark sweep
@@ -29,14 +30,22 @@ knobs where relevant; measurement commands additionally take
 ``--cache``/``--cache-dir`` to reuse bit-identical trial outcomes
 across runs, and ``--stats`` to print the engine's per-layer
 counters afterwards.
+
+Exit codes: 0 success; 1 experiment failures, audit FAIL, or damage
+found by a dry-run repair; 2 usage/configuration error (including a
+store locked by another live campaign); 3 campaign interrupted by
+SIGTERM/SIGINT -- completed work is checkpointed and ``campaign
+--resume`` continues it.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from .characterization.experiment import CharacterizationScope, OperatingPoint
 from .characterization.report import (
@@ -46,6 +55,40 @@ from .characterization.report import (
 )
 from .config import SimulationConfig
 from .dram.vendor import TESTED_MODULES, catalog_summary
+
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 3
+"""A campaign stopped by SIGTERM/SIGINT: resumable, not failed."""
+
+
+@contextlib.contextmanager
+def _graceful_signals() -> Iterator[None]:
+    """Translate SIGTERM into KeyboardInterrupt for the block.
+
+    The campaign treats KeyboardInterrupt as a graceful stop (drain the
+    checkpoint, close the pool, report a resumable partial result), so
+    a supervisor's SIGTERM gets the same choreography as Ctrl-C instead
+    of an abrupt unwind.  No-op where signal handlers cannot be
+    installed (non-main thread, platforms without SIGTERM).
+    """
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = None
+    installed = False
+    try:
+        previous = signal.signal(signal.SIGTERM, _interrupt)
+        installed = True
+    except (ValueError, OSError, AttributeError):
+        pass
+    try:
+        yield
+    finally:
+        if installed:
+            signal.signal(signal.SIGTERM, previous)
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -131,10 +174,13 @@ def _cmd_activation(args: argparse.Namespace) -> int:
     scope = _scope_from(args)
     executor = _executor_from(args)
     point = OperatingPoint(t1_ns=args.t1, t2_ns=args.t2)
-    rows = {
-        f"{n}-row": activation_success_distribution(scope, n, point, executor)
-        for n in args.rows
-    }
+    with executor:
+        rows = {
+            f"{n}-row": activation_success_distribution(
+                scope, n, point, executor
+            )
+            for n in args.rows
+        }
     print(format_distribution_table(
         f"Many-row activation success (%) at t1={args.t1} t2={args.t2}", rows
     ))
@@ -148,13 +194,14 @@ def _cmd_majority(args: argparse.Namespace) -> int:
     scope = _scope_from(args)
     executor = _executor_from(args)
     rows = {}
-    for x in args.x:
-        for n in args.rows:
-            if n < x:
-                continue
-            rows[f"MAJ{x}@{n}-row"] = majx_success_distribution(
-                scope, x, n, MAJX_POINT, executor
-            )
+    with executor:
+        for x in args.x:
+            for n in args.rows:
+                if n < x:
+                    continue
+                rows[f"MAJ{x}@{n}-row"] = majx_success_distribution(
+                    scope, x, n, MAJX_POINT, executor
+                )
     print(format_distribution_table("MAJX success (%), best timings", rows))
     _print_stats(args, executor)
     return 0
@@ -165,10 +212,13 @@ def _cmd_rowcopy(args: argparse.Namespace) -> int:
 
     scope = _scope_from(args)
     executor = _executor_from(args)
-    rows = {
-        f"->{m} rows": multi_row_copy_distribution(scope, m, COPY_POINT, executor)
-        for m in args.destinations
-    }
+    with executor:
+        rows = {
+            f"->{m} rows": multi_row_copy_distribution(
+                scope, m, COPY_POINT, executor
+            )
+            for m in args.destinations
+        }
     print(format_distribution_table("Multi-RowCopy success (%)", rows))
     _print_stats(args, executor)
     return 0
@@ -298,16 +348,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         chaos=chaos,
         executor=executor,
         health=health,
+        pipeline=args.pipeline,
     )
     try:
-        result = campaign.run(
-            args.experiments,
-            resume=args.resume,
-            retry_failed=args.retry_failed,
-        )
+        with executor, _graceful_signals():
+            result = campaign.run(
+                args.experiments,
+                resume=args.resume,
+                retry_failed=args.retry_failed,
+            )
     except ExperimentError as exc:
+        # Includes StoreLockedError: another live campaign owns the
+        # store; a second writer would interleave manifest updates.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(campaign.render(result))
     print(f"\nCampaign over {len(scope.benches)} modules "
           f"-> {result.stored_at}/")
@@ -325,7 +379,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for serial in quarantined:
             print(f"  quarantined: {serial}")
     _print_stats(args, executor)
-    return 0 if result.succeeded else 1
+    if result.interrupted:
+        return EXIT_INTERRUPTED
+    return EXIT_OK if result.succeeded else EXIT_FAILURES
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -356,6 +412,27 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .characterization.repair import repair_store
+    from .characterization.store import ResultStore
+    from .errors import ExperimentError
+
+    store = ResultStore(Path(args.results_dir))
+    try:
+        report = repair_store(
+            store, delete=args.delete, dry_run=args.dry_run
+        )
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"repair of {store.directory}/")
+    for line in report.summary_lines():
+        print(line)
+    if args.dry_run and report.damage_found:
+        return EXIT_FAILURES
+    return EXIT_OK
+
+
 def _cmd_besttiming(args: argparse.Namespace) -> int:
     from .characterization.timing_search import (
         best_activation_timing,
@@ -370,7 +447,8 @@ def _cmd_besttiming(args: argparse.Namespace) -> int:
         "majx": lambda: best_majx_timing(scope, x=args.x, executor=executor),
         "copy": lambda: best_copy_timing(scope, executor=executor),
     }
-    result = searches[args.operation]()
+    with executor:
+        result = searches[args.operation]()
     print(f"best {args.operation} timing: t1={result.best_t1_ns}ns, "
           f"t2={result.best_t2_ns}ns (mean success {result.best_mean:.2%})")
     print("full grid (best to worst):")
@@ -612,6 +690,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--retry-failed", action="store_true",
                      help="on --resume, retry figures recorded as failed "
                           "for a non-transient cause")
+    sub.add_argument("--pipeline", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="force (--pipeline) or disable (--no-pipeline) "
+                          "pipelined cross-experiment scheduling; the "
+                          "default engages it automatically for "
+                          "multi-figure runs on a pipelining executor")
     sub.set_defaults(handler=_cmd_campaign)
 
     sub = subparsers.add_parser(
@@ -632,6 +716,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--cache-dir", default=".simra-cache",
                      help="trial-cache directory (default .simra-cache)")
     sub.set_defaults(handler=_cmd_audit)
+
+    sub = subparsers.add_parser(
+        "repair",
+        help="scan a result store for crash/rot damage, quarantine or "
+             "delete bad artifacts, and patch the manifest so "
+             "`campaign --resume` re-runs them",
+    )
+    sub.add_argument("--results-dir", default="campaign_results",
+                     help="ResultStore directory (default campaign_results)")
+    sub.add_argument("--delete", action="store_true",
+                     help="delete damaged files instead of moving them "
+                          "into the store's quarantine/ subdirectory")
+    sub.add_argument("--dry-run", action="store_true",
+                     help="report what would be repaired without touching "
+                          "the store (exit 1 when damage is found)")
+    sub.set_defaults(handler=_cmd_repair)
 
     sub = subparsers.add_parser(
         "besttiming", help="search the issueable (t1, t2) grid"

@@ -217,9 +217,11 @@ def run_engine_benchmark(
         plans = _representative_plans(scope)
         report.plans = [plan.name for plan in plans]
         executor = make_executor(name, jobs=run_jobs)
-        started = time.perf_counter()
-        rates = [executor.run(plan).rates() for plan in plans]
-        return time.perf_counter() - started, rates, executor
+        with executor:
+            started = time.perf_counter()
+            rates = [executor.run(plan).rates() for plan in plans]
+            wall = time.perf_counter() - started
+        return wall, rates, executor
 
     def check_rates(rates: List[List[float]]) -> None:
         nonlocal reference_rates

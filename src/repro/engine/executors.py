@@ -33,6 +33,7 @@ from multiprocessing import shared_memory
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -294,7 +295,11 @@ class ExecutorBase:
         return self._run_cached(plan)
 
     def run_many(
-        self, plans: Sequence[TrialPlan]
+        self,
+        plans: Sequence[TrialPlan],
+        on_result: Optional[
+            Callable[[int, Union[PlanResult, Exception]], None]
+        ] = None,
     ) -> List[Union[PlanResult, Exception]]:
         """Run plans back to back, isolating per-plan failures.
 
@@ -303,13 +308,23 @@ class ExecutorBase:
         plan boundaries.  The returned list is parallel to ``plans``:
         each element is the plan's :class:`PlanResult`, or the
         exception that plan died of.
+
+        ``on_result`` streams each settled plan (index, result-or-
+        exception) to the caller as soon as it is available, strictly
+        in plan order -- the hook incremental campaign commits hang
+        off.  Exceptions it raises propagate to the caller (a
+        ``KeyboardInterrupt`` mid-stream leaves already-streamed plans
+        delivered).
         """
         results: List[Union[PlanResult, Exception]] = []
-        for plan in plans:
+        for index, plan in enumerate(plans):
             try:
-                results.append(self.run(plan))
+                result: Union[PlanResult, Exception] = self.run(plan)
             except Exception as exc:
-                results.append(exc)
+                result = exc
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
         return results
 
     def _run(self, plan: TrialPlan) -> PlanResult:
@@ -652,7 +667,14 @@ class ProcessPoolExecutor(ExecutorBase):
         self._ensure_pool(self._pool_target())
 
     def close(self) -> None:
-        """Shut the persistent worker pool down."""
+        """Shut the persistent worker pool down (idempotent).
+
+        The pool reference is detached before the shutdown call, so a
+        second ``close()`` -- or ``close()`` from an interrupt handler
+        racing the context-manager exit -- is a no-op rather than a
+        double shutdown.  In-flight futures are cancelled; running
+        shards are waited out, never killed mid-write.
+        """
         pool, self._pool, self._pool_workers = self._pool, None, 0
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
@@ -690,7 +712,11 @@ class ProcessPoolExecutor(ExecutorBase):
         return self._finalize(pending)
 
     def run_many(
-        self, plans: Sequence[TrialPlan]
+        self,
+        plans: Sequence[TrialPlan],
+        on_result: Optional[
+            Callable[[int, Union[PlanResult, Exception]], None]
+        ] = None,
     ) -> List[Union[PlanResult, Exception]]:
         """Pipelined execution: one task stream over the shared pool.
 
@@ -699,6 +725,14 @@ class ProcessPoolExecutor(ExecutorBase):
         plan boundaries), and results are finalized strictly in plan
         order -- a failing plan surfaces as its exception without
         disturbing its neighbours.
+
+        With ``on_result`` set, each plan is finalized and streamed to
+        the caller as soon as its last shard lands (still strictly in
+        plan order), instead of after the whole batch drains -- so a
+        crash mid-batch loses only plans whose results were never
+        delivered.  Exceptions the callback raises abort the batch:
+        in-flight shards are abandoned, shared memory is released, and
+        the exception propagates.
         """
         pendings: List[_PendingPlan] = []
         for plan in plans:
@@ -710,21 +744,40 @@ class ProcessPoolExecutor(ExecutorBase):
                 pending = _PendingPlan(plan, time.perf_counter())
                 pending.error = exc
             pendings.append(pending)
+        order = {id(pending): index for index, pending in enumerate(pendings)}
+        settled: Dict[int, Union[PlanResult, Exception]] = {}
+        next_emit = [0]
+
+        def settle(pending: _PendingPlan) -> None:
+            index = order[id(pending)]
+            if index in settled:
+                return
+            try:
+                settled[index] = self._finalize(pending)
+            except Exception as exc:
+                settled[index] = exc
+            while next_emit[0] in settled:
+                if on_result is not None:
+                    on_result(next_emit[0], settled[next_emit[0]])
+                next_emit[0] += 1
+
         live = [p for p in pendings if p.error is None and p.payloads]
         try:
+            # Plans that never reach the pool (prepare errors, fully
+            # cache-served) settle up front so their stream position
+            # never blocks a later live plan's delivery.
+            for pending in pendings:
+                if pending not in live:
+                    settle(pending)
             if live:
-                self._execute_batch(live)
+                self._execute_batch(live, on_complete=settle)
         except BaseException:
             for pending in pendings:
                 self._release(pending)
             raise
-        results: List[Union[PlanResult, Exception]] = []
         for pending in pendings:
-            try:
-                results.append(self._finalize(pending))
-            except Exception as exc:
-                results.append(exc)
-        return results
+            settle(pending)
+        return [settled[index] for index in range(len(pendings))]
 
     def _prepare(self, plan: TrialPlan, manage_cache: bool) -> _PendingPlan:
         """Cache split, environment, payloads, and the mask window."""
@@ -824,7 +877,11 @@ class ProcessPoolExecutor(ExecutorBase):
         pending.execute_started = time.perf_counter()
         return pending
 
-    def _execute_batch(self, pendings: List[_PendingPlan]) -> None:
+    def _execute_batch(
+        self,
+        pendings: List[_PendingPlan],
+        on_complete: Optional[Callable[[_PendingPlan], None]] = None,
+    ) -> None:
         """Run every pending plan's shards to completion, supervised.
 
         All shards share one job stream over the persistent pool.
@@ -833,6 +890,11 @@ class ProcessPoolExecutor(ExecutorBase):
         rebuilds) are credited once -- to the single owner's delta
         when one plan runs alone (the historical shape), or straight
         to the cumulative metrics for a pipelined batch.
+
+        ``on_complete`` fires the moment a plan has no outstanding
+        shards left -- every shard harvested, or the plan abandoned on
+        its first error -- which is what lets :meth:`run_many` stream
+        finalized plans mid-batch.
         """
         jobs: Dict[int, Tuple[_PendingPlan, Dict[str, Any]]] = {}
         for pending in pendings:
@@ -840,6 +902,14 @@ class ProcessPoolExecutor(ExecutorBase):
                 jobs[len(jobs)] = (pending, payload)
         if not jobs:
             return
+        outstanding: Dict[int, int] = {}
+        for owner, _ in jobs.values():
+            outstanding[id(owner)] = outstanding.get(id(owner), 0) + 1
+
+        def job_settled(owner: _PendingPlan) -> None:
+            outstanding[id(owner)] -= 1
+            if outstanding[id(owner)] == 0 and on_complete is not None:
+                on_complete(owner)
         batch_extra = (
             pendings[0].delta
             if len(pendings) == 1
@@ -855,15 +925,15 @@ class ProcessPoolExecutor(ExecutorBase):
                 # or os._exit would take down the campaign itself).
                 for index in sorted(pending_jobs):
                     owner, payload = pending_jobs[index]
-                    if owner.error is not None:
-                        continue
-                    try:
-                        owner.shard_columns[index] = self._harvest(
-                            _run_shard(dict(payload, kill_worker=False)),
-                            owner.delta,
-                        )
-                    except TransientInfrastructureError as exc:
-                        owner.error = exc
+                    if owner.error is None:
+                        try:
+                            owner.shard_columns[index] = self._harvest(
+                                _run_shard(dict(payload, kill_worker=False)),
+                                owner.delta,
+                            )
+                        except TransientInfrastructureError as exc:
+                            owner.error = exc
+                    job_settled(owner)
                 pending_jobs.clear()
                 break
             broke = False
@@ -929,6 +999,7 @@ class ProcessPoolExecutor(ExecutorBase):
                             continue
                         owner.shard_columns[index] = harvested
                         del pending_jobs[index]
+                        job_settled(owner)
                     if round_failed:
                         # Abandon every remaining shard of each failed
                         # plan; sibling plans keep running.
@@ -937,12 +1008,13 @@ class ProcessPoolExecutor(ExecutorBase):
                             for index, (owner, _) in pending_jobs.items()
                             if owner.error is not None
                         }
-                        for index in abandoned:
-                            del pending_jobs[index]
                         for future in list(active):
                             if future_job[future] in abandoned:
                                 future.cancel()
                                 active.discard(future)
+                        for index in abandoned:
+                            owner, _payload = pending_jobs.pop(index)
+                            job_settled(owner)
             except concurrent.futures.process.BrokenProcessPool:
                 broke = True
                 self.close()  # discard the broken pool

@@ -54,6 +54,12 @@ class EngineMetrics:
     """Wall-clock spent inside pipelined scheduler batches."""
     pipeline_busy_s: float = 0.0
     """Summed worker compute time within pipelined batches."""
+    pipeline_declined_reason: str = ""
+    """Why the campaign fell back to sequential execution instead of
+    pipelining (``disabled`` / ``no-executor`` /
+    ``executor-not-pipelining`` / ``health-supervised`` /
+    ``fewer-than-2-eligible-experiments``); empty when pipelining
+    ran or was never considered."""
     audit_mismatches: int = 0
     """Artifacts flagged by a result-integrity audit."""
     cache_hits: int = 0
@@ -111,6 +117,8 @@ class EngineMetrics:
         self.pipelined_plans += other.pipelined_plans
         self.pipeline_wall_s += other.pipeline_wall_s
         self.pipeline_busy_s += other.pipeline_busy_s
+        if not self.pipeline_declined_reason:
+            self.pipeline_declined_reason = other.pipeline_declined_reason
         self.audit_mismatches += other.audit_mismatches
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
@@ -149,6 +157,7 @@ class EngineMetrics:
             "pipeline_wall_s": self.pipeline_wall_s,
             "pipeline_busy_s": self.pipeline_busy_s,
             "pipeline_occupancy": self.pipeline_occupancy,
+            "pipeline_declined_reason": self.pipeline_declined_reason,
             "audit_mismatches": self.audit_mismatches,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -193,7 +202,12 @@ class EngineMetrics:
             lines.append("  fleet health")
             for label, count in health:
                 lines.append(f"    {label:<18}: {count}")
-        if self.pipelined_plans or self.pool_reuses or self.bytes_shipped:
+        if (
+            self.pipelined_plans
+            or self.pool_reuses
+            or self.bytes_shipped
+            or self.pipeline_declined_reason
+        ):
             lines.append("  scheduler")
             lines.append(f"    pool reuses       : {self.pool_reuses}")
             lines.append(
@@ -206,6 +220,11 @@ class EngineMetrics:
                 )
                 lines.append(
                     f"    pipeline occupancy: {self.pipeline_occupancy:.1%}"
+                )
+            if self.pipeline_declined_reason:
+                lines.append(
+                    "    pipeline declined : "
+                    f"{self.pipeline_declined_reason}"
                 )
         lookups = self.cache_hits + self.cache_misses
         if lookups:

@@ -84,39 +84,83 @@ class CampaignScheduler:
         self.executor = executor
 
     def run(
-        self, programs: Sequence[ExperimentProgram]
+        self,
+        programs: Sequence[ExperimentProgram],
+        on_program: Optional[
+            Callable[[str, Tuple[str, Any]], None]
+        ] = None,
     ) -> Dict[str, Tuple[str, Any]]:
-        """Execute every program; ``{name: ("ok", data) | ("error", exc)}``."""
+        """Execute every program; ``{name: ("ok", data) | ("error", exc)}``.
+
+        With ``on_program`` set, each program's outcome is reduced,
+        assembled, and streamed to the callback the moment its last
+        plan settles -- strictly in program order, while later
+        programs' plans are still executing.  This is the incremental-
+        commit hook: the campaign persists each experiment as it
+        finishes, so a crash loses at most the in-flight program.
+        Exceptions the callback raises abort the stream and propagate
+        (the executor abandons its in-flight shards on the way out).
+        """
         started = time.perf_counter()
         plans: List[TrialPlan] = []
         spans: List[Tuple[ExperimentProgram, int, int]] = []
         for program in programs:
             spans.append((program, len(plans), len(program.steps)))
             plans.extend(step.plan for step in program.steps)
-        results = self.executor.run_many(plans) if plans else []
-        metrics = self.executor.metrics
-        metrics.pipelined_plans += len(plans)
-        metrics.pipeline_wall_s += time.perf_counter() - started
-        metrics.pipeline_busy_s += sum(
-            result.metrics.busy_s
-            for result in results
-            if isinstance(result, PlanResult)
-        )
+        results: List[Any] = [None] * len(plans)
         outcomes: Dict[str, Tuple[str, Any]] = {}
-        for program, start, count in spans:
+        next_span = [0]
+
+        def finish_span(span_index: int) -> None:
+            program, start, count = spans[span_index]
             chunk = results[start:start + count]
             error = next(
                 (item for item in chunk if isinstance(item, Exception)), None
             )
             if error is not None:
-                outcomes[program.name] = ("error", error)
-                continue
-            try:
-                values = [
-                    step.reduce(result)
-                    for step, result in zip(program.steps, chunk)
-                ]
-                outcomes[program.name] = ("ok", program.assemble(values))
-            except Exception as exc:  # noqa: BLE001 -- isolate programs
-                outcomes[program.name] = ("error", exc)
+                outcome: Tuple[str, Any] = ("error", error)
+            else:
+                try:
+                    values = [
+                        step.reduce(result)
+                        for step, result in zip(program.steps, chunk)
+                    ]
+                    outcome = ("ok", program.assemble(values))
+                except Exception as exc:  # noqa: BLE001 -- isolate programs
+                    outcome = ("error", exc)
+            outcomes[program.name] = outcome
+            if on_program is not None:
+                on_program(program.name, outcome)
+
+        def plan_settled(index: int, result: Any) -> None:
+            results[index] = result
+            # run_many streams strictly in plan order, so every span
+            # ending at or before this plan is fully buffered.
+            while next_span[0] < len(spans):
+                _, start, count = spans[next_span[0]]
+                if start + count > index + 1:
+                    break
+                finish_span(next_span[0])
+                next_span[0] += 1
+
+        raw = (
+            self.executor.run_many(plans, on_result=plan_settled)
+            if plans
+            else []
+        )
+        metrics = self.executor.metrics
+        metrics.pipelined_plans += len(plans)
+        metrics.pipeline_wall_s += time.perf_counter() - started
+        metrics.pipeline_busy_s += sum(
+            result.metrics.busy_s
+            for result in raw
+            if isinstance(result, PlanResult)
+        )
+        # Sweep any span the stream did not cover: zero-step programs,
+        # and every span when the executor ignored the callback.
+        for index, result in enumerate(raw):
+            results[index] = result
+        while next_span[0] < len(spans):
+            finish_span(next_span[0])
+            next_span[0] += 1
         return outcomes

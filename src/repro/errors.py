@@ -90,6 +90,13 @@ class ExperimentError(SimraError):
     row groups than a subarray can provide)."""
 
 
+class StoreLockedError(ExperimentError):
+    """Another live process holds the result store's writer lock; two
+    campaigns writing one directory would interleave manifests and
+    journal entries.  Locks left by dead processes are stolen, so this
+    only fires for a genuinely concurrent writer."""
+
+
 class ResultCorruptionError(ExperimentError):
     """A stored result or manifest file is truncated or not valid JSON
     (e.g. a campaign was killed mid-write before writes became atomic,

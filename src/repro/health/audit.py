@@ -40,7 +40,10 @@ class AuditFinding:
     """``"integrity"`` (checksum pass) or ``"recompute"`` (cross-check)."""
     status: str
     """Integrity: ``ok`` / ``legacy`` / ``mismatch`` / ``corrupt`` /
-    ``missing``.  Recompute: ``match`` / ``mismatch`` / ``skipped``."""
+    ``missing``, plus the store-debris findings ``orphaned-tmp`` (a
+    stale temp file from a writer that died mid-write) and
+    ``orphaned-sidecar`` (a ``.columns.npz`` no document references).
+    Recompute: ``match`` / ``mismatch`` / ``skipped``."""
     detail: str = ""
 
     @property
@@ -205,12 +208,33 @@ def audit_store(
 
     report = AuditReport()
 
-    # Pass 1: integrity of every artifact in the store.
-    for name in store.names():
-        status = store.verify(name)
+    # Pass 1: integrity of every artifact, plus crashed-writer debris
+    # (stale temp files, sidecars no document references).
+    scan = store.verify()
+    for name, status in scan["artifacts"].items():
         report.artifacts_checked += 1
         report.findings.append(
             AuditFinding(name=name, kind="integrity", status=status)
+        )
+    for filename in scan["orphaned_tmp"]:
+        report.findings.append(
+            AuditFinding(
+                name=filename,
+                kind="integrity",
+                status="orphaned-tmp",
+                detail="stale temp file from an interrupted write; "
+                "run simra-dram repair",
+            )
+        )
+    for filename in scan["unreferenced_sidecars"]:
+        report.findings.append(
+            AuditFinding(
+                name=filename,
+                kind="integrity",
+                status="orphaned-sidecar",
+                detail="column sidecar no stored document references; "
+                "run simra-dram repair",
+            )
         )
 
     # Pass 2: recompute a deterministic sample of completed figures.

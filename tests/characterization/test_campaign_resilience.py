@@ -236,10 +236,15 @@ class TestResume:
         monkeypatch.setitem(EXPERIMENTS, "figkill", killed)
 
         store = ResultStore(tmp_path / "campaign")
-        with pytest.raises(KeyboardInterrupt):
-            Campaign(scope, store=store, sleep=no_sleep).run(
-                ["figok1", "figkill", "figok2"]
-            )
+        # Graceful interruption: the KeyboardInterrupt does not unwind;
+        # the run reports a resumable partial result instead.
+        partial = Campaign(scope, store=store, sleep=no_sleep).run(
+            ["figok1", "figkill", "figok2"]
+        )
+        assert partial.interrupted
+        assert not partial.succeeded
+        assert partial.completed == ["figok1"]
+        assert partial.not_run == ["figkill", "figok2"]
         manifest = store.load_manifest()
         assert manifest.completed == ["figok1"]
 

@@ -1,0 +1,90 @@
+"""Chaos campaigns now pipeline -- and stay bit-identical.
+
+PR 6 lifts the pipelined scheduler's chaos exclusion: worker-side
+fault schedules partition deterministically per (epoch, serial) and
+all measurement noise is context-keyed, so a same-seed chaos campaign
+must commit byte-identical artifacts whether the scheduler pipelines
+or runs sequentially.
+"""
+
+import json
+
+import pytest
+
+from repro.characterization.campaign import Campaign, RetryPolicy
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.store import ResultStore
+from repro.chaos import ChaosConfig
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.engine import make_executor
+
+FIGURES = ("fig4a", "fig11")
+
+
+def _scope():
+    config = SimulationConfig(seed=43, columns_per_row=64)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:2],
+        modules_per_spec=1,
+        groups_per_size=1,
+        trials=2,
+    )
+
+
+def _chaos():
+    return ChaosConfig.light(seed=7, rate=0.05, max_faults_per_kind=2)
+
+
+def _run(directory, pipeline):
+    store = ResultStore(directory)
+    with make_executor("fused-parallel", jobs=2) as executor:
+        result = Campaign(
+            _scope(),
+            store=store,
+            chaos=_chaos(),
+            retry=RetryPolicy(max_attempts=20, base_delay_s=0.0),
+            executor=executor,
+            pipeline=pipeline,
+        ).run(list(FIGURES))
+        pipelined_plans = executor.metrics.pipelined_plans
+    assert result.succeeded
+    return store, pipelined_plans
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    root = tmp_path_factory.mktemp("chaos_pipeline")
+    sequential_store, sequential_plans = _run(root / "sequential", False)
+    pipelined_store, pipelined_plans = _run(root / "pipelined", True)
+    return sequential_store, sequential_plans, pipelined_store, pipelined_plans
+
+
+class TestChaosEligibility:
+    def test_chaos_no_longer_declines_pipelining(self, stores):
+        _, sequential_plans, _, pipelined_plans = stores
+        assert sequential_plans == 0
+        assert pipelined_plans > 0
+
+    def test_artifacts_bit_identical(self, stores):
+        sequential_store, _, pipelined_store, _ = stores
+        for name in FIGURES:
+            sequential_doc = json.loads(
+                (sequential_store.directory / f"{name}.json").read_text()
+            )
+            pipelined_doc = json.loads(
+                (pipelined_store.directory / f"{name}.json").read_text()
+            )
+            assert sequential_doc["data"] == pipelined_doc["data"], name
+            assert sequential_doc["checksum"] == pipelined_doc["checksum"], name
+
+    def test_both_stores_verify_clean(self, stores):
+        sequential_store, _, pipelined_store, _ = stores
+        for store in (sequential_store, pipelined_store):
+            scan = store.verify()
+            assert all(
+                status == "ok" for status in scan["artifacts"].values()
+            )
+            assert scan["orphaned_tmp"] == []
+            assert scan["unreferenced_sidecars"] == []

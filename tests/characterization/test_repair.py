@@ -1,0 +1,223 @@
+"""Store repair: injected damage is classified, removed, and resumable.
+
+Acceptance flow under test: a store damaged by injected storage faults
+(ENOSPC debris, torn writes, lost sidecars) is brought back to a
+``verify()``-clean state by ``repair_store``; the patched manifest
+makes ``resume=True`` re-run exactly the damaged experiments; and the
+rebuilt store passes the full integrity audit.
+"""
+
+import json
+import os
+
+from repro.characterization.campaign import Campaign
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.repair import repair_store
+from repro.characterization.store import ResultStore
+from repro.chaos import ChaosConfig
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.health.audit import audit_store
+
+
+def _scope():
+    config = SimulationConfig(seed=43, columns_per_row=64)
+    return CharacterizationScope.build(
+        config=config,
+        specs=TESTED_MODULES[:1],
+        modules_per_spec=1,
+        groups_per_size=1,
+        trials=2,
+    )
+
+
+def _seeded_store(directory, columnar=False, figures=("fig4a", "fig11")):
+    store = ResultStore(directory, columnar=columnar)
+    result = Campaign(_scope(), store=store).run(list(figures))
+    assert result.succeeded
+    return store
+
+
+def _store_clean(store):
+    scan = store.verify()
+    return (
+        all(status == "ok" for status in scan["artifacts"].values())
+        and scan["orphaned_tmp"] == []
+        and scan["unreferenced_sidecars"] == []
+    )
+
+
+class TestClassification:
+    def test_clean_store_reports_nothing(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        report = repair_store(store)
+        assert not report.damage_found
+        assert report.repaired == 0
+        assert "nothing to repair" in "\n".join(report.summary_lines())
+
+    def test_torn_json_quarantined_and_manifest_patched(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        path = store.directory / "fig4a.json"
+        path.write_text(path.read_text()[:40])
+
+        report = repair_store(store)
+        by_name = {f.name: f for f in report.findings}
+        assert by_name["fig4a"].classification == "torn-json"
+        assert by_name["fig4a"].action == "quarantined"
+        assert (store.directory / "quarantine" / "fig4a.json").exists()
+        assert not store.has("fig4a")
+        assert "fig4a" not in store.load_manifest().completed
+        assert "fig11" in store.load_manifest().completed
+        assert _store_clean(store)
+
+    def test_checksum_mismatch_deleted_with_delete(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        path = store.directory / "fig11.json"
+        document = json.loads(path.read_text())
+        document["data"] = {"tampered": 1.0}
+        path.write_text(json.dumps(document))
+
+        report = repair_store(store, delete=True)
+        by_name = {f.name: f for f in report.findings}
+        assert by_name["fig11"].classification == "checksum-mismatch"
+        assert by_name["fig11"].action == "deleted"
+        assert not path.exists()
+        assert not (store.directory / "quarantine").exists()
+
+    def test_missing_sidecar_and_orphans(self, tmp_path):
+        # fig6 summaries land in a .columns.npz sidecar on a columnar
+        # store (fig4a/fig11 are plain-float payloads with none).
+        store = _seeded_store(
+            tmp_path / "store", columnar=True, figures=("fig6", "fig11")
+        )
+        (store.directory / "fig6.columns.npz").unlink()
+        (store.directory / ".fig11.json.x.tmp").write_text("{")
+        (store.directory / "ghost.columns.npz").write_bytes(b"junk")
+
+        report = repair_store(store)
+        classifications = {
+            f.name: f.classification for f in report.findings
+        }
+        assert classifications["fig6"] == "sidecar-missing"
+        assert classifications[".fig11.json.x.tmp"] == "orphaned-tmp"
+        assert classifications["ghost.columns.npz"] == "orphaned-sidecar"
+        assert _store_clean(store)
+
+    def test_missing_artifact_leaves_manifest(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        (store.directory / "fig11.json").unlink()
+        report = repair_store(store)
+        by_name = {f.name: f for f in report.findings}
+        assert by_name["fig11"].classification == "missing-artifact"
+        assert by_name["fig11"].action == "manifest-patched"
+        assert store.load_manifest().completed == ["fig4a"]
+
+    def test_corrupt_manifest_quarantined(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        store.manifest_path.write_text("{ torn")
+        report = repair_store(store)
+        assert any(
+            f.classification == "corrupt-manifest" for f in report.findings
+        )
+        assert store.load_manifest() is None
+
+    def test_stale_lock_removed(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        store.lock_path.write_text("4194001")  # dead pid
+        report = repair_store(store)
+        by_name = {f.name: f for f in report.findings}
+        assert by_name[".store.lock"].classification == "stale-lock"
+        assert not store.lock_path.exists()
+
+
+class TestJournalReplay:
+    def test_intent_without_done_redoes_manifest_entry(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        manifest = store.load_manifest()
+        manifest.completed.remove("fig4a")
+        store.save_manifest(manifest)
+        # The artifact landed but the crash hit between the manifest
+        # update and the journal's done record.
+        store.clear_journal()
+        store.journal_append(
+            {"event": "commit-intent", "experiment": "fig4a"}
+        )
+
+        report = repair_store(store)
+        by_name = {f.name: f for f in report.findings}
+        assert by_name["fig4a"].classification == "interrupted-commit"
+        assert by_name["fig4a"].action == "redone"
+        assert "fig4a" in store.load_manifest().completed
+        assert store.journal_entries() == []  # folded in and cleared
+
+    def test_intent_for_absent_artifact_reported(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        store.clear_journal()
+        store.journal_append(
+            {"event": "commit-intent", "experiment": "fig-gone"}
+        )
+        report = repair_store(store)
+        by_name = {f.name: f for f in report.findings}
+        assert by_name["fig-gone"].classification == "interrupted-commit"
+        assert by_name["fig-gone"].action == "none"
+
+
+class TestDryRun:
+    def test_dry_run_reports_without_touching(self, tmp_path):
+        store = _seeded_store(tmp_path / "store")
+        path = store.directory / "fig4a.json"
+        damaged_bytes = path.read_text()[:40]
+        path.write_text(damaged_bytes)
+
+        report = repair_store(store, dry_run=True)
+        assert report.dry_run and report.damage_found
+        by_name = {f.name: f for f in report.findings}
+        assert by_name["fig4a"].action == "would-quarantined"
+        assert path.read_text() == damaged_bytes  # untouched
+        assert "fig4a" in store.load_manifest().completed
+        assert not (store.directory / "quarantine").exists()
+
+
+class TestAcceptanceFlow:
+    def test_chaos_damaged_store_repairs_and_resumes_clean(self, tmp_path):
+        """ENOSPC + torn write + lost sidecar -> repair -> resume -> audit."""
+        directory = tmp_path / "store"
+        chaos = ChaosConfig(
+            seed=5,
+            store_enospc_names=("fig4a",),
+            store_torn_write_names=("fig11",),
+            store_partial_sidecar_names=("fig6",),
+        )
+        store = ResultStore(directory, columnar=True)
+        result = Campaign(_scope(), store=store, chaos=chaos).run(
+            ["fig4a", "fig11", "fig6"]
+        )
+        # The ENOSPC save failed outright (a resumable store-error);
+        # the torn write and the lost sidecar slipped past the save.
+        assert [f.experiment for f in result.failures] == ["fig4a"]
+        assert result.failures[0].reason == "store-error"
+        assert result.chaos_faults_injected == 3
+        assert not _store_clean(store)
+
+        report = repair_store(store)
+        classifications = {
+            f.name: f.classification
+            for f in report.findings
+            if f.classification not in ("interrupted-commit",)
+        }
+        assert classifications["fig11"] == "torn-json"
+        assert classifications["fig6"] == "sidecar-missing"
+        assert any(
+            f.classification == "orphaned-tmp" for f in report.findings
+        )
+        assert _store_clean(store)
+        completed = store.load_manifest().completed
+        assert "fig11" not in completed and "fig6" not in completed
+
+        resumed = Campaign(_scope(), store=store).run(
+            ["fig4a", "fig11", "fig6"], resume=True
+        )
+        assert resumed.succeeded
+        assert sorted(resumed.completed) == ["fig11", "fig4a", "fig6"]
+        assert _store_clean(store)
+        assert audit_store(store, sample=2, scope=_scope()).passed

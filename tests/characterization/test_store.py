@@ -1,6 +1,7 @@
 """Tests for the experiment result store."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -17,6 +18,7 @@ from repro.errors import (
     ChecksumMismatchError,
     ExperimentError,
     ResultCorruptionError,
+    StoreLockedError,
 )
 
 
@@ -343,3 +345,102 @@ class TestManifest:
         loaded = store.load_manifest()
         assert loaded.failures == {}
         assert loaded.serials == []
+
+
+class TestStoreScan:
+    """Store-wide verify(): artifacts plus write debris (PR 6)."""
+
+    def test_clean_store_scans_clean(self, store):
+        store.save("figa", {"v": 1.0})
+        scan = store.verify()
+        assert scan["artifacts"] == {"figa": "ok"}
+        assert scan["orphaned_tmp"] == []
+        assert scan["unreferenced_sidecars"] == []
+
+    def test_orphaned_tmp_and_sidecar_detected(self, store):
+        store.save("figa", {"v": 1.0})
+        # Debris from an interrupted atomic write and from a crash
+        # between sidecar and document writes.
+        (store.directory / ".figa.json.1234.tmp").write_text("{")
+        (store.directory / "ghost.columns.npz").write_bytes(b"junk")
+
+        scan = store.verify()
+        assert scan["artifacts"] == {"figa": "ok"}
+        assert scan["orphaned_tmp"] == [".figa.json.1234.tmp"]
+        assert scan["unreferenced_sidecars"] == ["ghost.columns.npz"]
+
+    def test_referenced_sidecar_is_not_an_orphan(self, tmp_path):
+        store = ResultStore(tmp_path / "columnar", columnar=True)
+        store.save("figs", _summary_payload())
+        assert (store.directory / "figs.columns.npz").exists()
+        assert store.verify()["unreferenced_sidecars"] == []
+
+    def test_clean_stale_tmp_removes_only_debris(self, store):
+        store.save("figa", {"v": 1.0})
+        debris = store.directory / ".figa.json.1234.tmp"
+        debris.write_text("{")
+        removed = store.clean_stale_tmp()
+        assert removed == [".figa.json.1234.tmp"]
+        assert not debris.exists()
+        assert store.verify("figa") == "ok"
+
+
+class TestJournal:
+    def test_append_and_read_back(self, store):
+        store.journal_append({"event": "commit-intent", "experiment": "a"})
+        store.journal_append({"event": "commit-done", "experiment": "a"})
+        assert store.journal_entries() == [
+            {"event": "commit-intent", "experiment": "a"},
+            {"event": "commit-done", "experiment": "a"},
+        ]
+
+    def test_torn_trailing_line_skipped(self, store):
+        store.journal_append({"event": "commit-intent", "experiment": "a"})
+        with store.journal_path.open("a") as handle:
+            handle.write('{"event": "commit-in')  # crash mid-append
+        assert store.journal_entries() == [
+            {"event": "commit-intent", "experiment": "a"}
+        ]
+
+    def test_clear(self, store):
+        store.journal_append({"event": "commit-intent", "experiment": "a"})
+        store.clear_journal()
+        assert store.journal_entries() == []
+        assert not store.journal_path.exists()
+
+    def test_absent_journal_reads_empty(self, store):
+        assert store.journal_entries() == []
+
+
+class TestWriterLock:
+    def test_lock_excludes_live_writer(self, store):
+        store.lock_path.write_text("1")  # pid 1 is always alive, never us
+        with pytest.raises(StoreLockedError):
+            store.acquire_lock()
+        assert store.lock_path.read_text() == "1"  # not stolen
+
+    def test_dead_holder_is_stolen(self, store):
+        store.lock_path.write_text("4194001")  # beyond pid_max
+        store.acquire_lock()
+        assert store.lock_path.read_text() == str(os.getpid())
+        store.release_lock()
+
+    def test_own_stale_lock_is_stolen(self, store):
+        # A previous run in this interpreter was hard-killed while
+        # holding the lock; the same process may re-acquire.
+        store.acquire_lock()
+        store.acquire_lock()
+        store.release_lock()
+        assert not store.lock_path.exists()
+
+    def test_locked_context_releases_on_error(self, store):
+        with pytest.raises(RuntimeError):
+            with store.locked():
+                assert store.lock_path.exists()
+                raise RuntimeError("boom")
+        assert not store.lock_path.exists()
+
+    def test_release_is_holder_checked(self, store):
+        store.lock_path.write_text("1")
+        store.release_lock()  # someone else's lock: left alone
+        assert store.lock_path.exists()

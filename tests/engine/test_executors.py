@@ -320,3 +320,61 @@ class TestErrors:
         )
         with pytest.raises(ExperimentError, match="catalog-built"):
             ProcessPoolExecutor(jobs=1).run(plan)
+
+
+class TestStreamingRunMany:
+    """run_many(on_result): settled plans stream strictly in plan order
+    -- the hook the campaign's incremental commits hang off (PR 6)."""
+
+    def _plans(self, count=3):
+        scope = make_scope()
+        return [
+            build_activation_plan(scope, 8, ACT_POINT) for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("name", ["serial", "fused-parallel"])
+    def test_emission_order_and_parity(self, name):
+        plans = self._plans()
+        streamed = []
+        with EXECUTOR_FACTORIES[name]() as executor:
+            results = executor.run_many(
+                plans, on_result=lambda i, r: streamed.append((i, r))
+            )
+        assert [index for index, _ in streamed] == [0, 1, 2]
+        assert [result for _, result in streamed] == results
+        assert len(results) == len(plans)
+        for result in results:
+            assert not isinstance(result, Exception)
+
+    def test_interrupt_in_hook_leaves_streamed_plans_delivered(self):
+        plans = self._plans(2)
+        streamed = []
+
+        def hook(index, result):
+            streamed.append(index)
+            raise KeyboardInterrupt
+
+        with EXECUTOR_FACTORIES["fused-parallel"]() as executor:
+            with pytest.raises(KeyboardInterrupt):
+                executor.run_many(plans, on_result=hook)
+        assert streamed == [0]
+
+
+class TestCloseIdempotence:
+    def test_double_close_is_a_no_op(self):
+        executor = ProcessPoolExecutor(jobs=2)
+        run_plan(build_activation_plan(make_scope(), 8, ACT_POINT), executor)
+        executor.close()
+        executor.close()
+
+    def test_close_before_first_run(self):
+        ProcessPoolExecutor(jobs=2).close()
+
+    def test_context_manager_after_manual_close(self):
+        executor = ProcessPoolExecutor(jobs=2)
+        with executor:
+            run_plan(
+                build_activation_plan(make_scope(), 8, ACT_POINT), executor
+            )
+            executor.close()
+        # __exit__ closed it a second time without complaint.

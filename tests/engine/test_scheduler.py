@@ -89,3 +89,43 @@ class TestCampaignScheduler:
     def test_empty_program_list(self):
         with make_executor("fused-parallel", jobs=2) as executor:
             assert CampaignScheduler(executor).run([]) == {}
+
+
+class TestStreamingPrograms:
+    """run(on_program): finished programs stream in program order --
+    the campaign's per-program commit point (PR 6)."""
+
+    def test_outcomes_stream_in_program_order(self, scope):
+        streamed = []
+        with make_executor("fused-parallel", jobs=2) as executor:
+            outcome = CampaignScheduler(executor).run(
+                [program_fig4a(scope), program_fig11(scope)],
+                on_program=lambda name, o: streamed.append((name, o)),
+            )
+        assert [name for name, _ in streamed] == ["fig4a", "fig11"]
+        assert dict(streamed) == outcome
+
+    def test_errors_stream_too(self, scope):
+        healthy = program_fig4a(scope)
+        broken_step = PlanStep(healthy.steps[0].plan, lambda result: 1 / 0)
+        broken = ExperimentProgram(
+            "broken", (broken_step,), lambda values: values
+        )
+        streamed = []
+        with make_executor("fused-parallel", jobs=2) as executor:
+            CampaignScheduler(executor).run(
+                [broken, healthy],
+                on_program=lambda name, o: streamed.append((name, o[0])),
+            )
+        assert streamed == [("broken", "error"), ("fig4a", "ok")]
+
+    def test_interrupt_in_hook_propagates(self, scope):
+        def hook(_name, _outcome):
+            raise KeyboardInterrupt
+
+        with make_executor("fused-parallel", jobs=2) as executor:
+            with pytest.raises(KeyboardInterrupt):
+                CampaignScheduler(executor).run(
+                    [program_fig4a(scope), program_fig11(scope)],
+                    on_program=hook,
+                )

@@ -283,3 +283,82 @@ class TestMigrateCommand:
         captured = capsys.readouterr()
         assert "skipping 'fig3': integrity status mismatch" in captured.err
         assert not (target / "fig3.json").exists()
+
+
+class TestRepairCommand:
+    SCALE = ["--columns", "64", "--groups", "1", "--trials", "2"]
+
+    def test_dry_run_then_repair_then_resume(self, capsys, tmp_path):
+        results_dir = tmp_path / "results"
+        assert main([
+            "campaign", "--experiments", "fig4a", *self.SCALE,
+            "--results-dir", str(results_dir),
+        ]) == 0
+        capsys.readouterr()
+
+        # Tear the artifact the way an interrupted write would.
+        path = results_dir / "fig4a.json"
+        path.write_text(path.read_text()[:40])
+
+        # Dry run reports the damage and exits non-zero, touching nothing.
+        assert main([
+            "repair", "--results-dir", str(results_dir), "--dry-run",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "fig4a: torn-json -> would-quarantined" in out
+        assert "nothing was changed" in out
+
+        assert main(["repair", "--results-dir", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a: torn-json -> quarantined" in out
+        assert "1 item(s) repaired" in out
+
+        # The patched manifest makes --resume re-run exactly the loss.
+        assert main([
+            "campaign", "--experiments", "fig4a", *self.SCALE,
+            "--results-dir", str(results_dir), "--resume",
+        ]) == 0
+        assert "fig4a: done" in capsys.readouterr().out
+        assert main([
+            "audit", "--results-dir", str(results_dir), "--sample", "1",
+        ]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_clean_store_repairs_to_nothing(self, capsys, tmp_path):
+        results_dir = tmp_path / "results"
+        assert main([
+            "campaign", "--experiments", "fig4a", *self.SCALE,
+            "--results-dir", str(results_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["repair", "--results-dir", str(results_dir)]) == 0
+        assert "nothing to repair" in capsys.readouterr().out
+
+
+class TestPipelineFlag:
+    SCALE = ["--columns", "64", "--groups", "1", "--trials", "2"]
+
+    def test_parses_both_polarities(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["campaign", "--pipeline"]
+        ).pipeline is True
+        assert parser.parse_args(
+            ["campaign", "--no-pipeline"]
+        ).pipeline is False
+        assert parser.parse_args(["campaign"]).pipeline is None
+
+    def test_declined_reason_reaches_stats(self, capsys, tmp_path):
+        results_dir = str(tmp_path / "results")
+        # The batched executor cannot pipeline, so the campaign records
+        # why the pipelined scheduler stood down.
+        assert main([
+            "campaign", "--experiments", "fig4a", *self.SCALE,
+            "--results-dir", results_dir,
+            "--executor", "batched", "--pipeline",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline declined" in out
+        assert "executor-not-pipelining" in out
