@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``simra-dram serve`` (the push CI gate).
+
+Starts the CLI server as a real subprocess over a stored campaign,
+parses the bound address off its startup line, GETs every documented
+endpoint asserting ``200`` (and an ``ETag`` where the API promises
+one), revalidates a figure with ``If-None-Match`` asserting ``304``,
+then SIGTERMs the server and asserts the graceful exit code ``0``.
+
+Unlike the load benchmark this goes through the full production
+stack -- argparse, signal handling, the printed address -- so a broken
+console entry point or regressed startup line fails CI even when the
+in-process service tests pass.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+    PYTHONPATH=src python benchmarks/service_smoke.py --results-dir my_results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_ADDRESS_RE = re.compile(
+    r"serving \d+ stored result\(s\) from .+ on http://([^:]+):(\d+)"
+)
+
+
+def _get(url: str, headers: dict = None):
+    """``(status, headers, parsed-JSON body)`` for one GET."""
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                json.loads(response.read() or b"null"),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read() or b"null")
+
+
+def run_smoke(results_dir: Path) -> int:
+    """Returns the number of failed checks (0 == smoke passed)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--results-dir",
+            str(results_dir),
+            "--port",
+            "0",  # pick a free port; we parse it off the startup line
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    failures = 0
+    try:
+        line = process.stdout.readline()
+        print(f"server: {line.strip()}")
+        match = _ADDRESS_RE.search(line)
+        if not match:
+            print(f"FAIL: unparseable startup line {line!r}")
+            return 1
+        base = f"http://{match.group(1)}:{match.group(2)}"
+
+        status, headers, index = _get(f"{base}/")
+        _check("GET /", status == 200, f"HTTP {status}")
+        figure_names = []
+        if status == 200:
+            status, headers, listing = _get(f"{base}/figures")
+            _check(
+                "GET /figures",
+                status == 200 and "ETag" in headers,
+                f"HTTP {status}, ETag {headers.get('ETag')!r}",
+            )
+            figure_names = [f["name"] for f in listing.get("figures", [])]
+        if not figure_names:
+            print("FAIL: store served no figures")
+            return 1
+
+        etag = None
+        for name in figure_names:
+            status, headers, _body = _get(f"{base}/figures/{name}")
+            ok = status == 200 and headers.get("ETag", "").startswith(
+                '"sha256:'
+            )
+            failures += _check(
+                f"GET /figures/{name}",
+                ok,
+                f"HTTP {status}, ETag {headers.get('ETag')!r}",
+            )
+            if ok and etag is None:
+                etag = (name, headers["ETag"])
+
+        for endpoint in ("/fleet/summary", "/audit/status"):
+            status, headers, _body = _get(f"{base}{endpoint}")
+            failures += _check(
+                f"GET {endpoint}",
+                status == 200 and "ETag" in headers,
+                f"HTTP {status}, ETag {headers.get('ETag')!r}",
+            )
+
+        # A CI endpoint for some summary-bearing figure must answer
+        # 200; figures without summaries answer 400 by design.
+        ci_statuses = {
+            name: _get(f"{base}/ci/{name}?resamples=100")[0]
+            for name in figure_names
+        }
+        failures += _check(
+            "GET /ci/{name}",
+            200 in ci_statuses.values()
+            and set(ci_statuses.values()) <= {200, 400},
+            f"statuses {ci_statuses}",
+        )
+
+        # Conditional revalidation: If-None-Match with the served ETag
+        # must short-circuit to 304.
+        name, value = etag
+        status, headers, _body = _get(
+            f"{base}/figures/{name}", headers={"If-None-Match": value}
+        )
+        failures += _check(
+            f"revalidate /figures/{name}",
+            status == 304 and headers.get("ETag") == value,
+            f"HTTP {status}",
+        )
+
+        status, _headers, _body = _get(f"{base}/figures/no-such-figure")
+        failures += _check("404 for unknown figure", status == 404,
+                           f"HTTP {status}")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            exit_code = process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            exit_code = process.wait()
+    failures += _check("graceful SIGTERM exit", exit_code == 0,
+                       f"exit code {exit_code}")
+    return failures
+
+
+def _check(label: str, ok: bool, detail: str) -> int:
+    print(f"{'ok  ' if ok else 'FAIL'}: {label} ({detail})")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results-dir",
+        default=str(REPO_ROOT / "campaign_results"),
+        help="stored campaign to serve (default campaign_results)",
+    )
+    args = parser.parse_args(argv)
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"no stored campaign at {results_dir}/", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    failures = run_smoke(results_dir)
+    elapsed = time.perf_counter() - started
+    if failures:
+        print(f"service smoke: {failures} failure(s) in {elapsed:.1f} s",
+              file=sys.stderr)
+        return 1
+    print(f"service smoke passed in {elapsed:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

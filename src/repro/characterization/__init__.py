@@ -53,6 +53,7 @@ from .convergence import (
     majx_convergence_curve,
     overestimate_at,
 )
+from .reader import ResultReader
 from .store import CampaignManifest, ResultStore
 from .repair import RepairFinding, RepairReport, repair_store
 from .campaign import (
@@ -107,6 +108,7 @@ __all__ = [
     "majx_convergence_cis",
     "majx_convergence_curve",
     "overestimate_at",
+    "ResultReader",
     "ResultStore",
     "CampaignManifest",
     "RepairFinding",

@@ -801,7 +801,8 @@ class Campaign:
         """Load or start the store's checkpoint; fill resumable skips."""
         fingerprint = self._fingerprint(config)
         serials = [bench.module.serial for bench in self._scope.benches]
-        manifest = self._store.load_manifest() if resume else None
+        reader = getattr(self._store, "reader", self._store)
+        manifest = reader.load_manifest() if resume else None
         if manifest is not None:
             if manifest.fingerprint != fingerprint:
                 raise ExperimentError(
@@ -809,9 +810,9 @@ class Campaign:
                     f"configuration ({manifest.fingerprint} vs {fingerprint})"
                 )
             for name in experiments:
-                if name in manifest.completed and self._store.has(name):
+                if name in manifest.completed and reader.has(name):
                     try:
-                        result.data[name] = self._store.load(name)
+                        result.data[name] = reader.load(name)
                     except ResultCorruptionError:
                         # Damaged after a clean write (bit rot, partial
                         # overwrite): don't trust it -- re-run.

@@ -35,17 +35,6 @@ from .store import CampaignManifest, ResultStore
 
 _QUARANTINE_DIRNAME = "quarantine"
 
-_DAMAGED = (
-    "torn-json",
-    "checksum-mismatch",
-    "sidecar-missing",
-    "sidecar-corrupt",
-    "sidecar-mismatch",
-)
-"""``ResultStore.diagnose`` classifications that make an artifact
-untrustworthy (``ok`` / ``legacy`` / ``missing`` are not damage of a
-present artifact)."""
-
 
 @dataclass(frozen=True)
 class RepairFinding:
@@ -140,15 +129,18 @@ def repair_store(
     ``campaign --resume`` re-runs exactly the damaged ones.
     """
     report = RepairReport(dry_run=dry_run)
+    # Every read goes through the store's lock-free read path; only
+    # quarantine moves, manifest patches, and the journal clear touch
+    # the write path.
+    reader = getattr(store, "reader", store)
 
     def act(action: str) -> str:
         return f"would-{action}" if dry_run else action
 
     def remove_artifact(name: str, classification: str, detail: str) -> None:
-        files = [f"{name}.json"]
-        sidecar = store.directory / f"{name}.columns.npz"
-        if sidecar.exists():
-            files.append(sidecar.name)
+        # The canonical sidecar plus any generation files a live
+        # rewrite parked next to it -- damage takes them all along.
+        files = [f"{name}.json"] + reader.sidecar_names(name)
         if not dry_run:
             for filename in files:
                 if delete:
@@ -168,7 +160,7 @@ def repair_store(
     manifest: Optional[CampaignManifest] = None
     manifest_dirty = False
     try:
-        manifest = store.load_manifest()
+        manifest = reader.load_manifest()
     except (ExperimentError, json.JSONDecodeError) as exc:
         if not dry_run:
             _quarantine(store, store.manifest_path.name)
@@ -184,8 +176,8 @@ def repair_store(
     # Damaged artifacts: quarantine/delete, and drop from the manifest
     # so resume re-runs them.
     damaged: List[str] = []
-    for name in store.names():
-        classification = store.diagnose(name)
+    for name in reader.names():
+        classification = reader.validate(name)
         if classification in ("ok", "legacy"):
             continue
         damaged.append(name)
@@ -200,7 +192,7 @@ def repair_store(
                 manifest.completed.remove(name)
                 manifest_dirty = True
         for name in list(manifest.completed):
-            if not store.has(name):
+            if not reader.has(name):
                 manifest.completed.remove(name)
                 manifest_dirty = True
                 report.findings.append(
@@ -219,10 +211,10 @@ def repair_store(
     # it; anything else was handled by the damage scan above.
     done = {
         entry.get("experiment")
-        for entry in store.journal_entries()
+        for entry in reader.journal_entries()
         if entry.get("event") == "commit-done"
     }
-    for entry in store.journal_entries():
+    for entry in reader.journal_entries():
         if entry.get("event") != "commit-intent":
             continue
         name = entry.get("experiment")
@@ -231,8 +223,8 @@ def repair_store(
         done.add(name)  # report each suspect once
         if (
             manifest is not None
-            and store.has(name)
-            and store.diagnose(name) in ("ok", "legacy")
+            and reader.has(name)
+            and reader.validate(name) in ("ok", "legacy")
         ):
             if name not in manifest.completed:
                 manifest.completed.append(name)
@@ -258,7 +250,7 @@ def repair_store(
             )
 
     # Crashed-writer debris.
-    for filename in store.orphaned_tmp_files():
+    for filename in reader.orphaned_tmp_files():
         if not dry_run:
             (store.directory / filename).unlink(missing_ok=True)
         report.findings.append(
@@ -269,7 +261,7 @@ def repair_store(
                 detail="stale temp file from an interrupted write",
             )
         )
-    for filename in store.unreferenced_sidecars():
+    for filename in reader.unreferenced_sidecars():
         if not dry_run:
             if delete:
                 (store.directory / filename).unlink(missing_ok=True)
@@ -288,7 +280,7 @@ def repair_store(
     # campaign anyway; removing it here keeps the scan's "clean" verdict
     # honest.  A live holder's lock is left alone (and is the caller's
     # cue not to repair a store mid-campaign).
-    lock = store.lock_path
+    lock = reader.lock_path
     if lock.exists():
         from .store import _pid_alive
 

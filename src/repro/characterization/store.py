@@ -1,4 +1,4 @@
-"""Persistence of characterization results.
+"""Persistence of characterization results (the write path).
 
 Long campaigns (the full-fidelity settings in EXPERIMENTS.md) should
 not be re-run to re-render a table.  :class:`ResultStore` writes
@@ -6,6 +6,18 @@ experiment outputs as JSON next to a metadata header (seed, scale,
 library version), and reloads them with
 :class:`~repro.characterization.stats.DistributionSummary` objects
 reconstructed.
+
+The storage layer is split in two:
+
+- :class:`~repro.characterization.reader.ResultReader` (the read
+  path) loads, verifies, and classifies stored artifacts without ever
+  touching the ``.store.lock`` -- arbitrarily many concurrent readers;
+- :class:`ResultStore` (this module, the write path) owns every
+  mutation -- atomic artifact writes, the campaign manifest, the
+  write-ahead journal, and the single-writer lock -- and *delegates
+  all reads* to an embedded reader (exposed as :attr:`ResultStore.
+  reader`), so the writer and its consumers interpret bytes
+  identically.
 
 Robustness contract (a campaign can be killed at any instant, and
 stored bytes can rot between runs):
@@ -36,152 +48,42 @@ stored bytes can rot between runs):
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import json
 import os
 import tempfile
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
 from ..config import SimulationConfig
-from ..errors import (
-    ChecksumMismatchError,
-    ExperimentError,
-    ResultCorruptionError,
-    StoreLockedError,
+from ..errors import ExperimentError, StoreLockedError
+from .reader import (  # noqa: F401  (re-exported: the codec lives with the reader)
+    _CHECKSUM_ALGORITHM,
+    _COLUMN_FIELDS,
+    _COLUMN_REF,
+    _COLUMNAR_FORMAT_VERSION,
+    _COLUMNS_CHECKSUM_ALGORITHM,
+    _COLUMNS_SUFFIX,
+    _FORMAT_VERSION,
+    _JOURNAL_FILENAME,
+    _LOCK_FILENAME,
+    _MANIFEST_FILENAME,
+    _MANIFEST_VERSION,
+    _SUMMARY_MARKER,
+    _SUPPORTED_MANIFEST_VERSIONS,
+    _SUPPORTED_VERSIONS,
+    ResultReader,
+    _columns_checksum,
+    _decode,
+    _encode,
+    _restore_summaries,
+    _strip_summaries,
+    canonical_data,
+    content_checksum,
+    storable,
 )
-from .stats import DistributionSummary
-
-_FORMAT_VERSION = 2
-_COLUMNAR_FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
-"""Version 1 documents predate content checksums; they still load but
-``verify`` reports them as ``"legacy"``.  Version 3 documents park
-their summary numbers in a columnar ``.npz`` sidecar."""
-_CHECKSUM_ALGORITHM = "sha256-canonical-json"
-_COLUMNS_CHECKSUM_ALGORITHM = "sha256-column-arrays"
-_SUMMARY_MARKER = "__distribution_summary__"
-_COLUMN_REF = "__column_ref__"
-_COLUMN_FIELDS = ("mean", "minimum", "q1", "median", "q3", "maximum", "n")
-_MANIFEST_FILENAME = "campaign-manifest.json"
-_MANIFEST_VERSION = 2
-_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
-_JOURNAL_FILENAME = "campaign-journal.jsonl"
-_LOCK_FILENAME = ".store.lock"
-_COLUMNS_SUFFIX = ".columns.npz"
-
-
-def _encode(value: Any) -> Any:
-    if isinstance(value, DistributionSummary):
-        payload = asdict(value)
-        payload[_SUMMARY_MARKER] = True
-        return payload
-    if isinstance(value, dict):
-        return {str(key): _encode(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_encode(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    raise ExperimentError(f"cannot persist value of type {type(value)!r}")
-
-
-def _decode(value: Any) -> Any:
-    if isinstance(value, dict):
-        if value.get(_SUMMARY_MARKER):
-            fields = {k: v for k, v in value.items() if k != _SUMMARY_MARKER}
-            return DistributionSummary(**fields)
-        return {key: _decode(item) for key, item in value.items()}
-    if isinstance(value, list):
-        return [_decode(item) for item in value]
-    return value
-
-
-def storable(data: Any) -> Any:
-    """Convert tuple keys (t1, t2) to strings for JSON persistence."""
-    if isinstance(data, dict):
-        return {
-            (
-                ",".join(str(part) for part in key)
-                if isinstance(key, tuple)
-                else str(key)
-            ): storable(value)
-            for key, value in data.items()
-        }
-    return data
-
-
-def canonical_data(data: Any) -> Any:
-    """The persistence-normal form of a payload (what ``load`` returns).
-
-    Recomputed figures pass through this before being compared against
-    stored ones, so tuple keys, numpy scalars converted upstream, and
-    summary objects all land in the same representation.
-    """
-    return _decode(_encode(storable(data)))
-
-
-def content_checksum(encoded: Any) -> str:
-    """SHA-256 of the canonical JSON form of an encoded data payload."""
-    canonical = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def _strip_summaries(encoded: Any, columns: List[Dict[str, Any]]) -> Any:
-    """Replace encoded summary dicts with ``{_COLUMN_REF: i}`` stubs.
-
-    Appends each stripped summary to ``columns`` in document order, so
-    index ``i`` in the sidecar arrays is the ``i``-th summary a reader
-    encounters walking the payload.
-    """
-    if isinstance(encoded, dict):
-        if encoded.get(_SUMMARY_MARKER):
-            index = len(columns)
-            columns.append(encoded)
-            return {_COLUMN_REF: index}
-        return {key: _strip_summaries(item, columns) for key, item in encoded.items()}
-    if isinstance(encoded, list):
-        return [_strip_summaries(item, columns) for item in encoded]
-    return encoded
-
-
-def _restore_summaries(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
-    """Inverse of :func:`_strip_summaries`: stubs back to summary dicts."""
-    if isinstance(value, dict):
-        if _COLUMN_REF in value:
-            index = value[_COLUMN_REF]
-            record: Dict[str, Any] = {
-                name: (
-                    int(arrays[name][index])
-                    if name == "n"
-                    else float(arrays[name][index])
-                )
-                for name in _COLUMN_FIELDS
-            }
-            record[_SUMMARY_MARKER] = True
-            return record
-        return {key: _restore_summaries(item, arrays) for key, item in value.items()}
-    if isinstance(value, list):
-        return [_restore_summaries(item, arrays) for item in value]
-    return value
-
-
-def _columns_checksum(arrays: Dict[str, np.ndarray]) -> str:
-    """SHA-256 over the sidecar arrays' dtypes, shapes, and raw bytes.
-
-    Hashing array *contents* (not the ``.npz`` file bytes) keeps the
-    digest independent of zip metadata such as entry timestamps.
-    """
-    digest = hashlib.sha256()
-    for name in _COLUMN_FIELDS:
-        arr = np.ascontiguousarray(arrays[name])
-        digest.update(name.encode("utf-8"))
-        digest.update(str(arr.dtype).encode("utf-8"))
-        digest.update(str(arr.shape).encode("utf-8"))
-        digest.update(arr.tobytes())
-    return digest.hexdigest()
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -258,7 +160,7 @@ class CampaignManifest:
 
 
 class ResultStore:
-    """Directory of named experiment results.
+    """Directory of named experiment results (the single writer).
 
     With ``columnar=True`` (or ``save(..., columnar=True)``), payloads
     containing :class:`DistributionSummary` objects are written in
@@ -267,12 +169,18 @@ class ResultStore:
     ``{"__column_ref__": i}`` stubs.  Loads reconstruct the exact
     version-2 payload, and the main content digest is unchanged across
     the two encodings.
+
+    Every read-side method (``load`` / ``metadata`` / ``verify`` /
+    ``diagnose`` / ``names`` / ...) is served by the embedded
+    :attr:`reader`; consumers that never write should take the reader
+    directly and skip the store (and its lock) entirely.
     """
 
     def __init__(self, directory: Path, columnar: bool = False):
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._columnar = bool(columnar)
+        self._reader = ResultReader(self._directory)
 
     @property
     def directory(self) -> Path:
@@ -284,17 +192,16 @@ class ResultStore:
         """Whether saves default to the columnar (version 3) format."""
         return self._columnar
 
+    @property
+    def reader(self) -> ResultReader:
+        """The store's read path (lock-free, digest-memoizing)."""
+        return self._reader
+
     def _path(self, name: str) -> Path:
-        if not name or "/" in name or name.startswith("."):
-            raise ExperimentError(f"invalid result name {name!r}")
-        if f"{name}.json" == _MANIFEST_FILENAME:
-            raise ExperimentError(
-                f"result name {name!r} is reserved for the campaign manifest"
-            )
-        return self._directory / f"{name}.json"
+        return self._reader.path_for(name)
 
     def _columns_path(self, name: str) -> Path:
-        return self._directory / f"{name}.columns.npz"
+        return self._reader.columns_path_for(name)
 
     def _write_columns(self, path: Path, arrays: Dict[str, np.ndarray]) -> None:
         """Write the sidecar arrays so ``path`` is always absent or complete."""
@@ -318,77 +225,6 @@ class ResultStore:
             except OSError:
                 pass
             raise
-
-    def _read_document(self, name: str, path: Path) -> Dict[str, Any]:
-        try:
-            document = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
-            raise ResultCorruptionError(
-                f"stored result {name!r} is corrupt or truncated: {exc}"
-            ) from exc
-        if not isinstance(document, dict):
-            raise ResultCorruptionError(
-                f"stored result {name!r} is not a result document"
-            )
-        return document
-
-    def _payload(
-        self, name: str, document: Dict[str, Any], verify: bool = True
-    ) -> Any:
-        """The version-2-equivalent encoded data payload of a document.
-
-        For version-3 documents this loads the column sidecar, checks
-        its array checksum (when ``verify``), and rebuilds the summary
-        dicts in place of their ``__column_ref__`` stubs.
-        """
-        data = document.get("data")
-        if document.get("format_version") != _COLUMNAR_FORMAT_VERSION:
-            return data
-        columns = document.get("columns")
-        if not isinstance(columns, dict):
-            raise ResultCorruptionError(
-                f"stored result {name!r} is columnar but lists no column sidecar"
-            )
-        sidecar = self._directory / str(columns.get("file", ""))
-        if not sidecar.exists():
-            raise ResultCorruptionError(
-                f"stored result {name!r} is missing its column sidecar "
-                f"{columns.get('file')!r}"
-            )
-        try:
-            with np.load(sidecar) as archive:
-                arrays = {field: archive[field] for field in _COLUMN_FIELDS}
-        except ChecksumMismatchError:
-            raise
-        except Exception as exc:
-            raise ResultCorruptionError(
-                f"column sidecar of result {name!r} is corrupt: {exc}"
-            ) from exc
-        if verify:
-            recorded = (columns.get("checksum") or {}).get("digest")
-            actual = _columns_checksum(arrays)
-            if recorded != actual:
-                raise ChecksumMismatchError(
-                    f"column sidecar of result {name!r} failed its integrity "
-                    f"check: recorded digest {recorded!r}, recomputed {actual!r}"
-                )
-        return _restore_summaries(data, arrays)
-
-    def _verify_document(
-        self, name: str, document: Dict[str, Any], payload: Any
-    ) -> None:
-        """Check a document's content checksum (if it has one) against
-        its version-2-equivalent payload."""
-        checksum = document.get("checksum")
-        if not isinstance(checksum, dict):
-            return  # legacy version-1 document: nothing to verify against
-        recorded = checksum.get("digest")
-        actual = content_checksum(payload)
-        if recorded != actual:
-            raise ChecksumMismatchError(
-                f"stored result {name!r} failed its integrity check: "
-                f"recorded digest {recorded!r}, recomputed {actual!r}"
-            )
 
     def save(
         self,
@@ -441,6 +277,7 @@ class ResultStore:
         }
         path = self._path(name)
         sidecar = self._columns_path(name)
+        self._reader.invalidate(name)
         use_columnar = self._columnar if columnar is None else bool(columnar)
         if use_columnar:
             columns: List[Dict[str, Any]] = []
@@ -453,6 +290,18 @@ class ResultStore:
                     )
                     for field in _COLUMN_FIELDS
                 }
+                arrays_digest = _columns_checksum(arrays)
+                if sidecar.exists():
+                    # Rewriting a live columnar artifact: park the new
+                    # arrays under a generation-unique name instead of
+                    # replacing the referenced file in place, so a
+                    # concurrent lockless reader (or a crash between
+                    # the two writes) still finds the old document
+                    # paired with its old, intact sidecar.  The stale
+                    # generation is swept once the document flips.
+                    sidecar = self._directory / (
+                        f"{name}.g{arrays_digest[:12]}{_COLUMNS_SUFFIX}"
+                    )
                 document["format_version"] = _COLUMNAR_FORMAT_VERSION
                 document["data"] = stripped
                 document["columns"] = {
@@ -460,186 +309,74 @@ class ResultStore:
                     "count": len(columns),
                     "checksum": {
                         "algorithm": _COLUMNS_CHECKSUM_ALGORITHM,
-                        "digest": _columns_checksum(arrays),
+                        "digest": arrays_digest,
                     },
                 }
-                # Sidecar first: a crash between the two writes leaves
-                # the old document pointing at refreshed arrays, which
-                # verify() reports as a mismatch -- detectable, never
-                # silently wrong.
+                # Sidecar first: until the document flips, readers
+                # resolve the previous pair; afterwards, the new one.
                 self._write_columns(sidecar, arrays)
                 _write_atomic(
                     path, json.dumps(document, indent=2, sort_keys=True)
                 )
+                self._sweep_stale_sidecars(name, keep=sidecar.name)
                 return path
         _write_atomic(path, json.dumps(document, indent=2, sort_keys=True))
-        try:
-            sidecar.unlink()  # drop a stale sidecar from an earlier v3 write
-        except FileNotFoundError:
-            pass
+        self._sweep_stale_sidecars(name, keep=None)
         return path
+
+    def _sweep_stale_sidecars(self, name: str, keep: Optional[str]) -> None:
+        """Drop this artifact's sidecar files except ``keep``.
+
+        Best-effort: a swept generation may be mid-read by a lockless
+        reader, whose load then retries against the fresh document.
+        """
+        for filename in self._reader.sidecar_names(name):
+            if filename == keep:
+                continue
+            try:
+                (self._directory / filename).unlink()
+            except OSError:
+                pass
+
+    # -- read path (delegated to the embedded ResultReader) -----------------
 
     def load(self, name: str, verify: bool = True) -> Any:
         """Reload a result's data payload (integrity-checked)."""
-        path = self._path(name)
-        if not path.exists():
-            raise ExperimentError(f"no stored result named {name!r}")
-        document = self._read_document(name, path)
-        if document.get("format_version") not in _SUPPORTED_VERSIONS:
-            raise ExperimentError(
-                f"result {name!r} uses unsupported format "
-                f"{document.get('format_version')}"
-            )
-        payload = self._payload(name, document, verify=verify)
-        if verify:
-            self._verify_document(name, document, payload)
-        return _decode(payload)
+        return self._reader.load(name, verify=verify)
 
     def metadata(self, name: str) -> Dict[str, Any]:
         """Reload a result's header (version, config, notes, quality)."""
-        path = self._path(name)
-        if not path.exists():
-            raise ExperimentError(f"no stored result named {name!r}")
-        document = self._read_document(name, path)
-        return {
-            key: document.get(key)
-            for key in (
-                "format_version",
-                "library_version",
-                "config",
-                "notes",
-                "quality",
-                "checksum",
-                "columns",
-            )
-        }
+        return self._reader.metadata(name)
 
     def verify(self, name: Optional[str] = None) -> Union[str, Dict[str, Any]]:
         """Integrity status of one artifact, or a store-wide scan.
 
-        With ``name``, returns ``"ok"`` (checksum verified),
-        ``"legacy"`` (version-1 document with no checksum),
-        ``"corrupt"`` (unparsable, or a columnar document whose sidecar
-        is missing or unreadable), ``"mismatch"`` (parses, but the
-        content -- document or sidecar arrays -- no longer matches its
-        recorded digest), or ``"missing"``.
-
-        Without ``name``, returns a store-wide report dict: per-name
-        statuses under ``"artifacts"``, plus the debris a crashed
-        writer leaves behind -- stale ``*.tmp`` files under
-        ``"orphaned_tmp"`` and ``.columns.npz`` sidecars no document
-        references under ``"unreferenced_sidecars"``.
+        See :meth:`ResultReader.verify`.
         """
-        if name is None:
-            return {
-                "artifacts": {n: self.verify(n) for n in self.names()},
-                "orphaned_tmp": self.orphaned_tmp_files(),
-                "unreferenced_sidecars": self.unreferenced_sidecars(),
-            }
-        path = self._path(name)
-        if not path.exists():
-            return "missing"
-        try:
-            document = self._read_document(name, path)
-        except ResultCorruptionError:
-            return "corrupt"
-        if not isinstance(document.get("checksum"), dict):
-            return "legacy"
-        try:
-            payload = self._payload(name, document, verify=True)
-            self._verify_document(name, document, payload)
-        except ChecksumMismatchError:
-            return "mismatch"
-        except ResultCorruptionError:
-            return "corrupt"
-        return "ok"
+        return self._reader.verify(name)
 
     def diagnose(self, name: str) -> str:
         """Fine-grained damage classification of one stored artifact.
 
-        Refines :meth:`verify`'s coarse statuses into what ``simra-dram
-        repair`` reports: ``"torn-json"`` (truncated or non-JSON
-        document), ``"checksum-mismatch"`` (document bytes altered
-        after the save), ``"sidecar-missing"`` / ``"sidecar-corrupt"``
-        / ``"sidecar-mismatch"`` (columnar sidecar damage), plus the
-        benign ``"ok"`` / ``"legacy"`` / ``"missing"``.
+        See :meth:`ResultReader.validate` (the single implementation).
         """
-        path = self._path(name)
-        if not path.exists():
-            return "missing"
-        try:
-            document = self._read_document(name, path)
-        except ResultCorruptionError:
-            return "torn-json"
-        if document.get("format_version") == _COLUMNAR_FORMAT_VERSION:
-            columns = document.get("columns")
-            if not isinstance(columns, dict):
-                return "torn-json"
-            sidecar = self._directory / str(columns.get("file", ""))
-            if not sidecar.exists():
-                return "sidecar-missing"
-            try:
-                with np.load(sidecar) as archive:
-                    arrays = {f: archive[f] for f in _COLUMN_FIELDS}
-            except Exception:
-                return "sidecar-corrupt"
-            recorded = (columns.get("checksum") or {}).get("digest")
-            if recorded != _columns_checksum(arrays):
-                return "sidecar-mismatch"
-        if not isinstance(document.get("checksum"), dict):
-            return "legacy"
-        try:
-            payload = self._payload(name, document, verify=True)
-            self._verify_document(name, document, payload)
-        except ChecksumMismatchError:
-            return "checksum-mismatch"
-        except ResultCorruptionError:
-            return "torn-json"
-        return "ok"
+        return self._reader.validate(name)
 
     def orphaned_tmp_files(self) -> List[str]:
-        """Stale ``*.tmp`` files left by writers that died mid-write.
-
-        The atomic-write discipline only leaves these behind on a hard
-        kill (SIGKILL, ``os._exit``) or an out-of-space failure between
-        the temp write and the rename; a clean unwind unlinks them.
-        """
-        return sorted(
-            p.name
-            for p in self._directory.glob("*.tmp")
-            if p.is_file() and p.name != _LOCK_FILENAME
-        )
+        """Stale ``*.tmp`` files left by writers that died mid-write."""
+        return self._reader.orphaned_tmp_files()
 
     def unreferenced_sidecars(self) -> List[str]:
-        """``.columns.npz`` sidecars no live document points at.
+        """``.columns.npz`` sidecars no live document points at."""
+        return self._reader.unreferenced_sidecars()
 
-        A sidecar is referenced only by a version-3 document of the
-        same name whose ``columns.file`` names it; anything else is
-        debris from a crashed columnar write or an injected fault.
-        """
-        orphans = []
-        for sidecar in sorted(self._directory.glob(f"*{_COLUMNS_SUFFIX}")):
-            if sidecar.name.startswith("."):
-                continue
-            stem = sidecar.name[: -len(_COLUMNS_SUFFIX)]
-            document_path = self._directory / f"{stem}.json"
-            referenced = False
-            if document_path.exists():
-                try:
-                    document = json.loads(document_path.read_text())
-                except (OSError, json.JSONDecodeError):
-                    document = None
-                if (
-                    isinstance(document, dict)
-                    and document.get("format_version")
-                    == _COLUMNAR_FORMAT_VERSION
-                ):
-                    columns = document.get("columns")
-                    if isinstance(columns, dict):
-                        referenced = columns.get("file") == sidecar.name
-            if not referenced:
-                orphans.append(sidecar.name)
-        return orphans
+    def has(self, name: str) -> bool:
+        """Whether a result with this name is stored."""
+        return self._reader.has(name)
+
+    def names(self) -> List[str]:
+        """All stored result names, sorted (campaign manifest excluded)."""
+        return self._reader.names()
 
     def clean_stale_tmp(self) -> List[str]:
         """Delete orphaned temp files; returns the names removed.
@@ -648,7 +385,7 @@ class ResultStore:
         temp file belongs to the (single) writer that created it.
         """
         removed = []
-        for filename in self.orphaned_tmp_files():
+        for filename in self._reader.orphaned_tmp_files():
             try:
                 (self._directory / filename).unlink()
             except FileNotFoundError:
@@ -656,24 +393,12 @@ class ResultStore:
             removed.append(filename)
         return removed
 
-    def has(self, name: str) -> bool:
-        """Whether a result with this name is stored."""
-        return self._path(name).exists()
-
-    def names(self) -> List[str]:
-        """All stored result names, sorted (campaign manifest excluded)."""
-        return sorted(
-            p.stem
-            for p in self._directory.glob("*.json")
-            if p.name != _MANIFEST_FILENAME and not p.name.startswith(".")
-        )
-
     # -- campaign manifest -------------------------------------------------
 
     @property
     def manifest_path(self) -> Path:
         """Where this store's campaign checkpoint lives."""
-        return self._directory / _MANIFEST_FILENAME
+        return self._reader.manifest_path
 
     def save_manifest(self, manifest: CampaignManifest) -> Path:
         """Checkpoint a campaign's progress (atomically)."""
@@ -691,22 +416,7 @@ class ResultStore:
 
     def load_manifest(self) -> Optional[CampaignManifest]:
         """Reload the campaign checkpoint, or ``None`` if none exists."""
-        path = self.manifest_path
-        if not path.exists():
-            return None
-        document = self._read_document("campaign manifest", path)
-        if document.get("format_version") not in _SUPPORTED_MANIFEST_VERSIONS:
-            raise ExperimentError(
-                "campaign manifest uses unsupported format "
-                f"{document.get('format_version')}"
-            )
-        return CampaignManifest(
-            planned=list(document.get("planned", [])),
-            completed=list(document.get("completed", [])),
-            fingerprint=document.get("fingerprint"),
-            failures=dict(document.get("failures", {})),
-            serials=list(document.get("serials", [])),
-        )
+        return self._reader.load_manifest()
 
     def clear_manifest(self) -> None:
         """Forget the campaign checkpoint (results stay)."""
@@ -720,7 +430,7 @@ class ResultStore:
     @property
     def journal_path(self) -> Path:
         """Where the append-only commit journal lives."""
-        return self._directory / _JOURNAL_FILENAME
+        return self._reader.journal_path
 
     def journal_append(self, entry: Dict[str, Any]) -> None:
         """Append one fsync'd JSON line to the commit journal.
@@ -738,27 +448,8 @@ class ResultStore:
             os.fsync(handle.fileno())
 
     def journal_entries(self) -> List[Dict[str, Any]]:
-        """All parsable journal entries, in append order.
-
-        A torn final line (the writer died mid-append) is skipped
-        rather than raised: the journal is advisory damage-tracking
-        metadata, never the source of truth for result bits.
-        """
-        path = self.journal_path
-        if not path.exists():
-            return []
-        entries = []
-        for line in path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(entry, dict):
-                entries.append(entry)
-        return entries
+        """All parsable journal entries, in append order."""
+        return self._reader.journal_entries()
 
     def clear_journal(self) -> None:
         """Forget the commit journal (results and manifest stay)."""
@@ -772,7 +463,7 @@ class ResultStore:
     @property
     def lock_path(self) -> Path:
         """Where the single-writer lockfile lives."""
-        return self._directory / _LOCK_FILENAME
+        return self._reader.lock_path
 
     def acquire_lock(self) -> None:
         """Take the store's single-writer lock, or raise.

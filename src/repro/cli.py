@@ -17,6 +17,7 @@ writing Python::
     simra-dram audit --results-dir d    # integrity + recompute audit
     simra-dram repair --results-dir d   # quarantine damage, patch manifest
     simra-dram stats --results-dir d    # engine metrics of a campaign
+    simra-dram serve --results-dir d    # HTTP query API over stored results
     simra-dram migrate --results-dir d --out d3   # re-save as columnar v3
     simra-dram bench                    # executor benchmark sweep
     simra-dram bench --campaign         # + sequential-vs-pipelined campaign
@@ -488,11 +489,13 @@ def _cmd_decoder(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .characterization.store import ResultStore
+    from .characterization.reader import ResultReader
     from .engine import render_stats_dict
     from .errors import ExperimentError
 
-    store = ResultStore(Path(args.results_dir))
+    # Stats never writes: read through the lock-free reader, so it
+    # works while a live campaign holds the store's writer lock.
+    store = ResultReader(Path(args.results_dir))
     try:
         payload = store.load("engine-stats")
     except ExperimentError as exc:
@@ -514,6 +517,43 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"{audit.get('mismatches', 0)} mismatches)"
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .characterization.reader import ResultReader
+    from .service import HotFigureCache, ResultServer, ResultService
+
+    directory = Path(args.results_dir)
+    if not directory.is_dir():
+        print(f"error: no result store at {directory}/", file=sys.stderr)
+        print("hint: run `simra-dram campaign` first", file=sys.stderr)
+        return EXIT_USAGE
+    reader = ResultReader(directory)
+    service = ResultService(
+        reader, cache=HotFigureCache(reader, capacity=args.cache_size)
+    )
+    server = ResultServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        host, port = server.address
+        # The smoke/benchmark harnesses parse this line for the bound
+        # port, so keep its shape stable (and flush through pipes).
+        print(
+            f"serving {len(reader.names())} stored result(s) from "
+            f"{directory}/ on http://{host}:{port}",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        with _graceful_signals():
+            asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return EXIT_OK
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -756,6 +796,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--results-dir", default="campaign_results",
                      help="ResultStore directory (default campaign_results)")
     sub.set_defaults(handler=_cmd_stats)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="serve stored results over an asyncio HTTP query API "
+             "(lock-free reads; safe beside a live campaign)",
+    )
+    sub.add_argument("--results-dir", default="campaign_results",
+                     help="ResultStore directory (default campaign_results)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8774,
+                     help="bind port; 0 picks a free one (default 8774)")
+    sub.add_argument("--cache-size", type=int, default=32,
+                     help="hot-figure cache capacity (default 32)")
+    sub.set_defaults(handler=_cmd_serve)
 
     sub = subparsers.add_parser(
         "bench", help="time a figure sweep on every executor"

@@ -74,16 +74,38 @@ class EngineMetrics:
     """Optional extra per-stage wall-times (e.g. ``probe``/``batch``)."""
 
     @property
-    def occupancy(self) -> float:
-        """Fraction of the worker pool kept busy during execution."""
+    def executor_busy_fraction(self) -> float:
+        """Fraction of the pool busy across an executor's *whole life*.
+
+        ``busy_s / (wall_s * workers)`` where ``wall_s`` spans every
+        plan the executor ran, including the gaps between plans a
+        sequential campaign leaves the pool idle in -- which is why a
+        pipelined campaign can report a tiny busy fraction (0.016 on
+        the CI shape) next to a high :attr:`pipeline_occupancy`
+        (0.96): the two denominators measure different windows.  This
+        was historically named ``occupancy``; that alias is kept for
+        stored payloads and old callers.
+        """
         capacity = self.wall_s * max(1, self.workers)
         if capacity <= 0.0:
             return 0.0
         return min(1.0, self.busy_s / capacity)
 
     @property
+    def occupancy(self) -> float:
+        """Legacy alias of :attr:`executor_busy_fraction`."""
+        return self.executor_busy_fraction
+
+    @property
     def pipeline_occupancy(self) -> float:
-        """Pool occupancy across pipelined scheduler batches only."""
+        """Pool occupancy *within* pipelined scheduler batches only.
+
+        ``pipeline_busy_s / (pipeline_wall_s * workers)`` -- the
+        denominator counts only the wall-clock spent inside scheduler
+        batches, so this measures how well the pipelined scheduler
+        packs the pool, not how often the campaign used it (that is
+        :attr:`executor_busy_fraction`).
+        """
         capacity = self.pipeline_wall_s * max(1, self.workers)
         if capacity <= 0.0:
             return 0.0
@@ -143,6 +165,9 @@ class EngineMetrics:
             "reduce_s": self.reduce_s,
             "wall_s": self.wall_s,
             "busy_s": self.busy_s,
+            "executor_busy_fraction": self.executor_busy_fraction,
+            # Legacy name of executor_busy_fraction; kept so stored
+            # payloads and downstream dashboards keep parsing.
             "occupancy": self.occupancy,
             "chaos_faults_injected": self.chaos_faults_injected,
             "breaker_trips": self.breaker_trips,
@@ -185,7 +210,10 @@ class EngineMetrics:
         ]
         for name, seconds in sorted(self.stages.items()):
             lines.append(f"    {name:<15} : {seconds:.3f} s")
-        lines.append(f"  occupancy         : {self.occupancy:.1%}")
+        lines.append(
+            "  executor busy fraction (occupancy): "
+            f"{self.executor_busy_fraction:.1%}"
+        )
         if self.chaos_faults_injected:
             lines.append(
                 f"  worker chaos faults: {self.chaos_faults_injected}"
@@ -245,7 +273,13 @@ def render_stats_dict(payload: Dict[str, object]) -> str:
     for key, value in payload.items():
         if key.startswith("stage_") and key.endswith("_s"):
             stage_items.append((key[len("stage_"):-2], float(value)))
-        elif key in ("occupancy", "pipeline_occupancy"):
+        elif key in (
+            "occupancy",
+            "executor_busy_fraction",
+            "pipeline_occupancy",
+        ):
+            # Computed properties: derived from the counters below, so
+            # stored copies (old or new name) are never assigned.
             continue
         elif hasattr(metrics, key):
             setattr(metrics, key, value)

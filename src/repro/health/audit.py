@@ -200,17 +200,20 @@ def audit_store(
     # The campaign layer imports repro.health; import it lazily here so
     # the health package never imports it at module load.
     from ..characterization.campaign import EXPERIMENTS
-    from ..characterization.store import canonical_data
+    from ..characterization.reader import canonical_data
     from ..engine import SerialExecutor
 
     if sample < 0:
         raise ExperimentError("audit sample size must be non-negative")
 
     report = AuditReport()
+    # Audits are read-only: everything below goes through the store's
+    # lock-free read path (a bare ResultReader is accepted directly).
+    reader = getattr(store, "reader", store)
 
     # Pass 1: integrity of every artifact, plus crashed-writer debris
     # (stale temp files, sidecars no document references).
-    scan = store.verify()
+    scan = reader.verify()
     for name, status in scan["artifacts"].items():
         report.artifacts_checked += 1
         report.findings.append(
@@ -238,15 +241,15 @@ def audit_store(
         )
 
     # Pass 2: recompute a deterministic sample of completed figures.
-    manifest = store.load_manifest()
+    manifest = reader.load_manifest()
     candidates = []
     if manifest is not None:
         candidates = [
             name
             for name in manifest.completed
             if name in EXPERIMENTS
-            and store.has(name)
-            and store.verify(name) == "ok"
+            and reader.has(name)
+            and reader.verify(name) == "ok"
         ]
     if sample and candidates:
         order = rng.generator("audit", seed).permutation(len(candidates))
@@ -269,7 +272,7 @@ def audit_store(
                     )
                 )
                 continue
-            quality = (store.metadata(name) or {}).get("quality") or {}
+            quality = (reader.metadata(name) or {}).get("quality") or {}
             figure_scope = _restricted(
                 audit_scope, quality.get("modules_active")
             )
@@ -289,7 +292,7 @@ def audit_store(
                     figure_scope, executor=SerialExecutor(cache=cache)
                 )
             )
-            stored = store.load(name)
+            stored = reader.load(name)
             report.figures_recomputed += 1
             if fresh == stored:
                 report.findings.append(

@@ -1,0 +1,376 @@
+"""Route handling for the result query service (transport-agnostic).
+
+:class:`ResultService` maps HTTP-shaped requests onto the storage
+read path and the PR 5 analytics, returning plain
+:class:`ServiceResponse` records the asyncio transport (or a test)
+serializes.  Keeping it synchronous and transport-free means the same
+handler is exercised by unit tests, the stdlib HTTP server, and the
+load benchmark without a socket in sight.
+
+Endpoints (all ``GET``/``HEAD``):
+
+- ``/`` -- endpoint index and store location;
+- ``/figures`` -- stored figure inventory (name, format, ETag);
+- ``/figures/{name}`` -- one figure's metadata + decoded payload;
+- ``/fleet/summary`` -- campaign manifest + per-figure summary
+  statistics across the module fleet;
+- ``/ci/{name}`` -- seeded percentile-bootstrap CI over the figure's
+  per-group summary means (``?confidence=&resamples=&seed=``);
+- ``/audit/status`` -- last stored ``audit-report``, lock holder, and
+  journal depth.
+
+Conditional requests: every 200 carries a strong ``ETag`` derived
+from the store's content digests (``"sha256:<digest>"`` for one
+figure -- stable across a v2->v3 ``migrate`` because both encodings
+share a digest -- and a state-token digest for list endpoints); a
+matching ``If-None-Match`` short-circuits to ``304`` without loading
+anything.
+
+Error mapping: an absent artifact is ``404``; a stored artifact that
+fails integrity (:class:`~repro.errors.ResultCorruptionError`,
+including checksum mismatches) is ``409 Conflict`` -- the data exists
+but cannot be trusted; a store locked against the operation
+(:class:`~repro.errors.StoreLockedError`) is ``503`` with
+``Retry-After``; malformed query parameters are ``400``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..characterization.reader import ResultReader, _encode
+from ..characterization.stats import bootstrap_mean_ci, summarize
+from ..errors import (
+    ExperimentError,
+    ResultCorruptionError,
+    StoreLockedError,
+)
+from .cache import HotFigureCache
+
+_JSON_TYPE = "application/json; charset=utf-8"
+
+
+@dataclass
+class ServiceResponse:
+    """One materialized HTTP response (status, headers, JSON body)."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def reason(self) -> str:
+        return {
+            200: "OK",
+            304: "Not Modified",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            409: "Conflict",
+            500: "Internal Server Error",
+            503: "Service Unavailable",
+        }.get(self.status, "Unknown")
+
+
+class _HttpError(Exception):
+    """Internal routing error carrying an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _json_response(
+    status: int,
+    payload: Any,
+    etag: Optional[str] = None,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> ServiceResponse:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    headers = {"Content-Type": _JSON_TYPE}
+    if etag is not None:
+        headers["ETag"] = etag
+    if extra_headers:
+        headers.update(extra_headers)
+    return ServiceResponse(status=status, headers=headers, body=body)
+
+
+def _etag_matches(header_value: str, etag: str) -> bool:
+    """Whether an ``If-None-Match`` header revalidates this ETag."""
+    for candidate in header_value.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:].strip()
+        if candidate == "*" or candidate == etag:
+            return True
+    return False
+
+
+def _walk_summaries(encoded: Any, means: List[float]) -> None:
+    """Collect every encoded summary's mean, in document order."""
+    if isinstance(encoded, dict):
+        if encoded.get("__distribution_summary__"):
+            means.append(float(encoded["mean"]))
+            return
+        for item in encoded.values():
+            _walk_summaries(item, means)
+    elif isinstance(encoded, list):
+        for item in encoded:
+            _walk_summaries(item, means)
+
+
+class ResultService:
+    """The query service's routing and representation layer."""
+
+    def __init__(
+        self,
+        reader: ResultReader,
+        cache: Optional[HotFigureCache] = None,
+    ):
+        self._reader = reader
+        self._cache = cache if cache is not None else HotFigureCache(reader)
+        self.requests = 0
+        self.not_modified = 0
+
+    @property
+    def reader(self) -> ResultReader:
+        """The lock-free read path this service fronts."""
+        return self._reader
+
+    @property
+    def cache(self) -> HotFigureCache:
+        """The digest-keyed hot-figure cache."""
+        return self._cache
+
+    # -- request entry point -------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ServiceResponse:
+        """Route one request; never raises.
+
+        ``headers`` keys are matched case-insensitively.  ``HEAD`` is
+        handled by the transport (same headers, no body), so it routes
+        like ``GET`` here.
+        """
+        self.requests += 1
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        if method.upper() not in ("GET", "HEAD"):
+            return _json_response(
+                405,
+                {"error": f"method {method} not allowed"},
+                extra_headers={"Allow": "GET, HEAD"},
+            )
+        split = urlsplit(target)
+        path = unquote(split.path)
+        query = parse_qs(split.query)
+        try:
+            etag, payload = self._route(path, query)
+        except _HttpError as exc:
+            extra = (
+                {"Retry-After": "1"} if exc.status == 503 else None
+            )
+            return _json_response(
+                exc.status, {"error": str(exc)}, extra_headers=extra
+            )
+        except ResultCorruptionError as exc:
+            return _json_response(409, {"error": str(exc)})
+        except StoreLockedError as exc:
+            return _json_response(
+                503, {"error": str(exc)}, extra_headers={"Retry-After": "1"}
+            )
+        except ExperimentError as exc:
+            return _json_response(500, {"error": str(exc)})
+        if etag is not None:
+            conditional = headers.get("if-none-match")
+            if conditional and _etag_matches(conditional, etag):
+                self.not_modified += 1
+                return ServiceResponse(status=304, headers={"ETag": etag})
+        return _json_response(200, payload, etag=etag)
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route(
+        self, path: str, query: Dict[str, List[str]]
+    ) -> Tuple[Optional[str], Any]:
+        if path in ("", "/"):
+            return None, self._index()
+        if path == "/figures":
+            return self._figures()
+        if path.startswith("/figures/"):
+            return self._figure(path[len("/figures/"):])
+        if path == "/fleet/summary":
+            return self._fleet_summary()
+        if path.startswith("/ci/"):
+            return self._ci(path[len("/ci/"):], query)
+        if path == "/audit/status":
+            return self._audit_status()
+        raise _HttpError(404, f"no such endpoint {path!r}")
+
+    def _index(self) -> Dict[str, Any]:
+        return {
+            "service": "simra-dram results",
+            "store": str(self._reader.directory),
+            "endpoints": [
+                "/figures",
+                "/figures/{name}",
+                "/fleet/summary",
+                "/ci/{name}",
+                "/audit/status",
+            ],
+            "cache": self._cache.stats(),
+        }
+
+    def _figure_name(self, raw: str) -> str:
+        name = raw.strip("/")
+        if not name or "/" in name or name.startswith("."):
+            raise _HttpError(404, f"invalid figure name {raw!r}")
+        return name
+
+    def _load(self, name: str) -> Tuple[str, Any]:
+        """``(digest, decoded payload)`` with HTTP error mapping."""
+        if not self._reader.has(name):
+            raise _HttpError(404, f"no stored result named {name!r}")
+        return self._cache.get(name)
+
+    def _figures(self) -> Tuple[str, Any]:
+        listing = []
+        for name in self._reader.names():
+            entry: Dict[str, Any] = {"name": name}
+            # The coarse integrity verdict ("ok" / "legacy" /
+            # "corrupt" / "mismatch"); damaged entries stay listed --
+            # hiding them would make damage look like deletion -- but
+            # carry no ETag or metadata.
+            entry["status"] = self._reader.verify(name)
+            if entry["status"] in ("ok", "legacy"):
+                meta = self._reader.metadata(name)
+                entry["format_version"] = meta.get("format_version")
+                entry["notes"] = meta.get("notes")
+                entry["etag"] = f'"sha256:{self._reader.content_digest(name)}"'
+            listing.append(entry)
+        etag = f'"state:{self._reader.state_token()}"'
+        return etag, {"figures": listing, "count": len(listing)}
+
+    def _figure(self, raw: str) -> Tuple[str, Any]:
+        name = self._figure_name(raw)
+        digest, payload = self._load(name)
+        etag = f'"sha256:{digest}"'
+        meta = self._reader.metadata(name)
+        return etag, {
+            "name": name,
+            "etag": etag,
+            "format_version": meta.get("format_version"),
+            "library_version": meta.get("library_version"),
+            "config": meta.get("config"),
+            "notes": meta.get("notes"),
+            "quality": meta.get("quality"),
+            # Decoded payloads carry DistributionSummary objects;
+            # re-encode to the marker-dict JSON form clients parse.
+            "data": _encode(payload),
+        }
+
+    def _fleet_summary(self) -> Tuple[str, Any]:
+        manifest = self._reader.load_manifest()
+        figures: Dict[str, Any] = {}
+        for name in self._reader.names():
+            try:
+                _, payload = self._load(name)
+            except (_HttpError, ResultCorruptionError):
+                continue
+            means: List[float] = []
+            _walk_summaries(_encode(payload), means)
+            if not means:
+                continue
+            figures[name] = {
+                "summaries": len(means),
+                "across_groups": _encode(summarize(means)),
+            }
+        etag = f'"state:{self._reader.state_token()}"'
+        return etag, {
+            "figures": figures,
+            "manifest": (
+                None
+                if manifest is None
+                else {
+                    "planned": list(manifest.planned),
+                    "completed": list(manifest.completed),
+                    "failures": sorted(manifest.failures),
+                    "modules": len(manifest.serials),
+                }
+            ),
+        }
+
+    def _ci(
+        self, raw: str, query: Dict[str, List[str]]
+    ) -> Tuple[str, Any]:
+        name = self._figure_name(raw)
+
+        def _param(key: str, default: float, cast) -> Any:
+            values = query.get(key)
+            if not values:
+                return default
+            try:
+                return cast(values[-1])
+            except (TypeError, ValueError):
+                raise _HttpError(
+                    400, f"query parameter {key}={values[-1]!r} is not a "
+                    f"{cast.__name__}"
+                )
+
+        confidence = _param("confidence", 0.95, float)
+        resamples = _param("resamples", 2000, int)
+        seed = _param("seed", 0, int)
+        digest, payload = self._load(name)
+        means: List[float] = []
+        _walk_summaries(_encode(payload), means)
+        if not means:
+            raise _HttpError(
+                400,
+                f"stored result {name!r} carries no distribution "
+                "summaries to bootstrap",
+            )
+        try:
+            ci = bootstrap_mean_ci(
+                means, confidence=confidence, resamples=resamples, seed=seed
+            )
+        except ExperimentError as exc:
+            raise _HttpError(400, str(exc))
+        # The CI depends on the query knobs as well as the content, so
+        # its ETag extends the artifact digest with them.
+        ci_etag = f'"sha256:{digest}:ci:{confidence}:{resamples}:{seed}"'
+        return ci_etag, {
+            "name": name,
+            "groups": len(means),
+            "confidence": ci.confidence,
+            "resamples": ci.resamples,
+            "seed": seed,
+            "mean": ci.mean,
+            "low": ci.low,
+            "high": ci.high,
+            "halfwidth": ci.halfwidth,
+        }
+
+    def _audit_status(self) -> Tuple[str, Any]:
+        report: Optional[Any] = None
+        status = "never-audited"
+        if self._reader.has("audit-report"):
+            _, report = self._load("audit-report")
+            report = _encode(report)
+            status = "pass" if report.get("passed") else "fail"
+        manifest = self._reader.load_manifest()
+        etag = f'"state:{self._reader.state_token()}"'
+        return etag, {
+            "status": status,
+            "report": report,
+            "lock_holder": self._reader.lock_holder(),
+            "journal_entries": len(self._reader.journal_entries()),
+            "completed": (
+                len(manifest.completed) if manifest is not None else 0
+            ),
+        }

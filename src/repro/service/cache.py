@@ -1,0 +1,126 @@
+"""In-process hot-figure cache for the result read path.
+
+Decoded figure payloads are expensive relative to a ``stat`` call
+(JSON parse + summary reconstruction), and the figures millions of
+readers want are few: exactly the shape an LRU over content digests
+serves well.  :class:`HotFigureCache` keys every entry by the
+artifact's sha256 content digest (what the store records at save time
+and :meth:`~repro.characterization.reader.ResultReader.content_digest`
+memoizes per stat signature), so:
+
+- a **hit** costs two ``stat`` calls and no hashing, parsing, or
+  verification;
+- any committed write changes the artifact's stat signature, the
+  digest lookup sees a different ETag, and the stale entry is replaced
+  -- the journal/mtime watch *is* the digest check, there is no timer
+  to race;
+- because version-2 and version-3 encodings of the same data share a
+  digest, a ``simra-dram migrate`` does not evict anything.
+
+The same instance backs the CLI and the HTTP service, so a service
+colocated with analytics tooling shares one working set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..characterization.reader import ResultReader
+
+
+class HotFigureCache:
+    """LRU of decoded figure payloads keyed by content digest."""
+
+    def __init__(self, reader: ResultReader, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self._reader = reader
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[str, Tuple[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._state_token: Optional[str] = None
+
+    @property
+    def reader(self) -> ResultReader:
+        """The read path this cache fronts."""
+        return self._reader
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident figures."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        name: str,
+        loader: Optional[Callable[[str], Any]] = None,
+    ) -> Tuple[str, Any]:
+        """``(etag, payload)`` of one stored figure, cached by digest.
+
+        The digest lookup itself is stat-memoized by the reader, so a
+        hit never parses or hashes anything.  ``loader`` overrides the
+        miss path (defaults to a verified ``reader.load``); corruption
+        and missing-artifact errors propagate to the caller untouched
+        -- a damaged artifact is never cached.
+        """
+        etag = self._reader.content_digest(name)
+        entry = self._entries.get(name)
+        if entry is not None and entry[0] == etag:
+            self.hits += 1
+            self._entries.move_to_end(name)
+            return etag, entry[1]
+        if entry is not None:
+            self.invalidations += 1
+            self._entries.pop(name, None)
+        self.misses += 1
+        payload = (loader or self._reader.load)(name)
+        self._entries[name] = (etag, payload)
+        self._entries.move_to_end(name)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return etag, payload
+
+    def watch(self) -> bool:
+        """Coarse store-change probe; drops everything on a change.
+
+        Compares the reader's :meth:`~repro.characterization.reader.
+        ResultReader.state_token` (artifact stat signatures + manifest
+        + journal) against the last observed one and clears the cache
+        when it moved.  Per-entry digest checks already make stale
+        hits impossible; this is the belt-and-braces sweep a
+        long-running service runs between requests so deleted
+        artifacts do not pin memory.  Returns whether a change was
+        seen.
+        """
+        token = self._reader.state_token()
+        if token == self._state_token:
+            return False
+        changed = self._state_token is not None
+        self._state_token = token
+        if changed and self._entries:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+        return changed
+
+    def clear(self) -> None:
+        """Drop every resident entry."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``/figures`` headers and the benchmark report."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

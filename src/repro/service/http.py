@@ -1,0 +1,212 @@
+"""Stdlib-asyncio HTTP/1.1 transport for the result query service.
+
+One :class:`ResultServer` wraps a :class:`~repro.service.api.
+ResultService` behind ``asyncio.start_server``: thousands of
+concurrent keep-alive connections multiplex onto one event loop, and
+because every request resolves through the lock-free read path (stat
+calls + the hot-figure cache), the per-request handler never blocks
+the loop on anything slower than a small file read.
+
+Protocol scope (deliberately minimal -- this is a results API, not a
+general web server): ``GET``/``HEAD`` only, no request bodies, no TLS,
+no chunked encoding; responses always carry ``Content-Length`` and
+honor ``Connection: close``.  Malformed requests get a ``400`` and the
+connection is closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional, Set, Tuple
+
+from .api import ResultService, ServiceResponse
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_LINES = 100
+_DEFAULT_KEEPALIVE_S = 30.0
+
+
+class ResultServer:
+    """Asyncio HTTP server over one :class:`ResultService`."""
+
+    def __init__(
+        self,
+        service: ResultService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        keepalive_s: float = _DEFAULT_KEEPALIVE_S,
+        backlog: int = 1024,
+    ):
+        self._service = service
+        self._host = host
+        self._port = port
+        self._keepalive_s = keepalive_s
+        self._backlog = backlog
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self.connections = 0
+        self.requests = 0
+
+    @property
+    def service(self) -> ResultService:
+        """The routing layer this transport serves."""
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves on start)."""
+        if self._server is None or not self._server.sockets:
+            return (self._host, self._port)
+        sock = self._server.sockets[0]
+        name = sock.getsockname()
+        return (name[0], name[1])
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        # The default backlog (100) RSTs connection bursts bigger than
+        # the accept queue -- a thousand readers arriving together is
+        # exactly this service's design load, so ask for more (the
+        # kernel still clamps to net.core.somaxconn).
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._host,
+            port=self._port,
+            backlog=self._backlog,
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, then close idle keep-alive connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Keep-alive handlers otherwise linger until their read times
+        # out; cancelling here lets asyncio.run() exit without noise.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (what ``simra-dram serve`` awaits)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), timeout=self._keepalive_s
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if request is None:
+                    break
+                method, target, headers, malformed = request
+                if malformed:
+                    await self._write_response(
+                        writer,
+                        "GET",
+                        ServiceResponse(
+                            status=400,
+                            headers={"Content-Type": "text/plain"},
+                            body=b"malformed request",
+                        ),
+                        close=True,
+                    )
+                    break
+                self.requests += 1
+                response = self._service.handle(method, target, headers)
+                close = headers.get("connection", "").lower() == "close"
+                await self._write_response(
+                    writer, method, response, close=close
+                )
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown.  Exit normally instead of cancelled:
+            # the stdlib stream protocol's done-callback calls
+            # task.exception() unguarded, which re-raises for tasks
+            # that finish cancelled and spams the loop's error log.
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(
+                ConnectionError, OSError, asyncio.CancelledError
+            ):
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, dict, bool]]:
+        """Parse one request head; ``None`` on clean EOF.
+
+        Returns ``(method, target, headers, malformed)``.
+        """
+        line = await reader.readline()
+        if not line:
+            return None
+        if len(line) > _MAX_REQUEST_LINE:
+            return ("GET", "/", {}, True)
+        parts = line.decode("latin1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return ("GET", "/", {}, True)
+        method, target, _version = parts
+        headers = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if not line:
+                return None
+            text = line.decode("latin1").strip()
+            if not text:
+                break
+            key, sep, value = text.partition(":")
+            if not sep:
+                return (method, target, headers, True)
+            headers[key.strip().lower()] = value.strip()
+        else:
+            return (method, target, headers, True)
+        # GET/HEAD carry no body; anything that declares one is out of
+        # protocol scope for this read-only API.
+        if headers.get("content-length", "0") not in ("", "0"):
+            return (method, target, headers, True)
+        return (method, target, headers, False)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        response: ServiceResponse,
+        close: bool,
+    ) -> None:
+        body = b"" if method.upper() == "HEAD" else response.body
+        head = [f"HTTP/1.1 {response.status} {response.reason}"]
+        headers = dict(response.headers)
+        headers["Content-Length"] = str(
+            0 if response.status == 304 else len(response.body)
+        )
+        headers["Connection"] = "close" if close else "keep-alive"
+        for key, value in headers.items():
+            head.append(f"{key}: {value}")
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin1")
+        if response.status != 304:
+            payload += body
+        writer.write(payload)
+        await writer.drain()

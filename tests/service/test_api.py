@@ -1,0 +1,206 @@
+"""Tests for the transport-free service routing layer."""
+
+import json
+
+import pytest
+
+from repro.characterization.reader import ResultReader
+from repro.characterization.stats import bootstrap_mean_ci, summarize
+from repro.characterization.store import ResultStore
+from repro.service.api import ResultService
+from repro.service.cache import HotFigureCache
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = ResultStore(tmp_path / "results")
+    store.save(
+        "fig3",
+        {"rows": {"8": summarize([0.99, 0.98]), "16": summarize([0.9, 0.91])}},
+        notes="many-row activation",
+    )
+    store.save("plain", {"threshold": 0.5})
+    return store
+
+
+@pytest.fixture()
+def service(store):
+    return ResultService(ResultReader(store.directory))
+
+
+def _body(response):
+    return json.loads(response.body.decode("utf-8"))
+
+
+class TestIndex:
+    def test_lists_endpoints(self, service):
+        response = service.handle("GET", "/")
+        assert response.status == 200
+        body = _body(response)
+        assert "/figures/{name}" in body["endpoints"]
+        assert body["cache"]["entries"] == 0
+
+
+class TestFigures:
+    def test_listing_with_state_etag(self, service):
+        response = service.handle("GET", "/figures")
+        assert response.status == 200
+        assert response.headers["ETag"].startswith('"state:')
+        body = _body(response)
+        assert body["count"] == 2
+        by_name = {f["name"]: f for f in body["figures"]}
+        assert by_name["fig3"]["status"] == "ok"
+        assert by_name["fig3"]["format_version"] == 2
+        assert by_name["fig3"]["notes"] == "many-row activation"
+        assert by_name["fig3"]["etag"].startswith('"sha256:')
+
+    def test_single_figure(self, service):
+        response = service.handle("GET", "/figures/fig3")
+        assert response.status == 200
+        body = _body(response)
+        assert body["name"] == "fig3"
+        assert response.headers["ETag"] == body["etag"]
+        summary = body["data"]["rows"]["8"]
+        assert summary["__distribution_summary__"] is True
+        assert summary["n"] == 2
+
+    def test_unknown_figure_404(self, service):
+        response = service.handle("GET", "/figures/ghost")
+        assert response.status == 404
+        assert "ghost" in _body(response)["error"]
+
+    def test_invalid_name_404(self, service):
+        assert service.handle("GET", "/figures/.hidden").status == 404
+        assert service.handle("GET", "/figures/a/b").status == 404
+
+    def test_unknown_endpoint_404(self, service):
+        assert service.handle("GET", "/nope").status == 404
+
+    def test_listing_marks_corrupt_entries(self, store, service):
+        path = store.directory / "plain.json"
+        document = json.loads(path.read_text())
+        document["data"]["threshold"] = 0.75
+        path.write_text(json.dumps(document))
+        body = _body(service.handle("GET", "/figures"))
+        by_name = {f["name"]: f for f in body["figures"]}
+        assert by_name["plain"]["status"] == "mismatch"
+        assert "etag" not in by_name["plain"]
+        assert by_name["fig3"]["status"] == "ok"
+
+    def test_corrupt_figure_is_409(self, store, service):
+        path = store.directory / "plain.json"
+        document = json.loads(path.read_text())
+        document["data"]["threshold"] = 0.75
+        path.write_text(json.dumps(document))
+        response = service.handle("GET", "/figures/plain")
+        assert response.status == 409
+
+
+class TestConditionalRequests:
+    def test_if_none_match_304(self, service):
+        first = service.handle("GET", "/figures/fig3")
+        etag = first.headers["ETag"]
+        response = service.handle(
+            "GET", "/figures/fig3", {"If-None-Match": etag}
+        )
+        assert response.status == 304
+        assert response.headers["ETag"] == etag
+        assert response.body == b""
+        assert service.not_modified == 1
+
+    def test_stale_etag_is_full_200(self, service):
+        response = service.handle(
+            "GET", "/figures/fig3", {"If-None-Match": '"sha256:stale"'}
+        )
+        assert response.status == 200
+
+    def test_star_and_lists_match(self, service):
+        etag = service.handle("GET", "/figures/fig3").headers["ETag"]
+        for header in ("*", f'"other", {etag}', f"W/{etag}"):
+            response = service.handle(
+                "GET", "/figures/fig3", {"if-none-match": header}
+            )
+            assert response.status == 304, header
+
+    def test_etag_changes_when_content_does(self, store, service):
+        old = service.handle("GET", "/figures/plain").headers["ETag"]
+        store.save("plain", {"threshold": 0.75})
+        new = service.handle("GET", "/figures/plain")
+        assert new.status == 200
+        assert new.headers["ETag"] != old
+
+
+class TestMethodHandling:
+    def test_post_is_405_with_allow(self, service):
+        response = service.handle("POST", "/figures")
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET, HEAD"
+
+    def test_head_routes_like_get(self, service):
+        get = service.handle("GET", "/figures/fig3")
+        head = service.handle("HEAD", "/figures/fig3")
+        assert head.status == 200
+        assert head.headers["ETag"] == get.headers["ETag"]
+
+
+class TestCi:
+    def test_matches_direct_bootstrap(self, service):
+        response = service.handle("GET", "/ci/fig3?resamples=500&seed=3")
+        assert response.status == 200
+        body = _body(response)
+        expected = bootstrap_mean_ci(
+            [0.985, 0.905], confidence=0.95, resamples=500, seed=3
+        )
+        assert body["mean"] == pytest.approx(expected.mean)
+        assert body["low"] == pytest.approx(expected.low)
+        assert body["high"] == pytest.approx(expected.high)
+        assert body["groups"] == 2
+
+    def test_etag_varies_with_parameters(self, service):
+        one = service.handle("GET", "/ci/fig3?seed=1").headers["ETag"]
+        two = service.handle("GET", "/ci/fig3?seed=2").headers["ETag"]
+        assert one != two
+
+    def test_bad_parameter_400(self, service):
+        response = service.handle("GET", "/ci/fig3?resamples=lots")
+        assert response.status == 400
+        assert "resamples" in _body(response)["error"]
+
+    def test_summary_free_figure_400(self, service):
+        response = service.handle("GET", "/ci/plain")
+        assert response.status == 400
+        assert "no distribution summaries" in _body(response)["error"]
+
+    def test_unknown_figure_404(self, service):
+        assert service.handle("GET", "/ci/ghost").status == 404
+
+
+class TestFleetSummaryAndAudit:
+    def test_fleet_summary_skips_summary_free(self, service):
+        body = _body(service.handle("GET", "/fleet/summary"))
+        assert set(body["figures"]) == {"fig3"}
+        assert body["figures"]["fig3"]["summaries"] == 2
+        assert body["manifest"] is None
+
+    def test_audit_status_never_audited(self, service):
+        body = _body(service.handle("GET", "/audit/status"))
+        assert body["status"] == "never-audited"
+        assert body["report"] is None
+        assert body["lock_holder"] is None
+
+    def test_audit_status_surfaces_stored_report(self, store, service):
+        store.save("audit-report", {"passed": True, "artifacts": 2})
+        body = _body(service.handle("GET", "/audit/status"))
+        assert body["status"] == "pass"
+        assert body["report"]["artifacts"] == 2
+
+
+class TestCacheIntegration:
+    def test_handle_populates_shared_cache(self, store):
+        reader = ResultReader(store.directory)
+        cache = HotFigureCache(reader, capacity=4)
+        service = ResultService(reader, cache=cache)
+        service.handle("GET", "/figures/fig3")
+        service.handle("GET", "/figures/fig3")
+        assert cache.hits >= 1
+        assert cache.misses == 1

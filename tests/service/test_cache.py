@@ -1,0 +1,118 @@
+"""Tests for the digest-keyed hot-figure cache."""
+
+import pytest
+
+from repro.characterization.reader import ResultReader
+from repro.characterization.stats import summarize
+from repro.characterization.store import ResultStore
+from repro.service.cache import HotFigureCache
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "results")
+
+
+@pytest.fixture()
+def reader(store):
+    return ResultReader(store.directory)
+
+
+class TestHitsAndMisses:
+    def test_first_get_misses_then_hits(self, store, reader):
+        store.save("fig", {"x": 1})
+        cache = HotFigureCache(reader)
+        digest, payload = cache.get("fig")
+        assert payload == {"x": 1}
+        assert (cache.misses, cache.hits) == (1, 0)
+        again, payload = cache.get("fig")
+        assert again == digest and payload == {"x": 1}
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_hit_skips_the_store_load(self, store, reader):
+        store.save("fig", {"x": 1})
+        cache = HotFigureCache(reader)
+        cache.get("fig")
+        loads = {"n": 0}
+        original = reader.load
+
+        def counting_load(name, **kwargs):
+            loads["n"] += 1
+            return original(name, **kwargs)
+
+        reader.load = counting_load
+        cache.get("fig")
+        assert loads["n"] == 0  # two stats, no load
+
+    def test_summary_payloads_cache_decoded(self, store, reader):
+        data = {"groups": {"a": summarize([0.5, 0.7])}}
+        store.save("fig", data)
+        cache = HotFigureCache(reader)
+        _, first = cache.get("fig")
+        _, second = cache.get("fig")
+        assert first == data and second == data
+
+
+class TestInvalidation:
+    def test_rewrite_invalidates_by_digest(self, store, reader):
+        store.save("fig", {"x": 1})
+        cache = HotFigureCache(reader)
+        old_digest, _ = cache.get("fig")
+        store.save("fig", {"x": 2})
+        new_digest, payload = cache.get("fig")
+        assert payload == {"x": 2}
+        assert new_digest != old_digest
+        assert cache.invalidations == 1
+        assert cache.misses == 2
+
+    def test_watch_clears_on_store_change(self, store, reader):
+        store.save("fig", {"x": 1})
+        cache = HotFigureCache(reader)
+        cache.get("fig")
+        assert cache.watch() is False  # no change: nothing dropped
+        assert cache.stats()["entries"] == 1
+        store.save("other", {"y": 1})
+        assert cache.watch() is True
+        assert cache.stats()["entries"] == 0
+
+    def test_clear(self, store, reader):
+        store.save("fig", {"x": 1})
+        cache = HotFigureCache(reader)
+        cache.get("fig")
+        cache.clear()
+        assert cache.stats()["entries"] == 0
+        cache.get("fig")
+        assert cache.misses == 2
+
+
+class TestLru:
+    def test_eviction_order(self, store, reader):
+        for index in range(3):
+            store.save(f"fig{index}", {"x": index})
+        cache = HotFigureCache(reader, capacity=2)
+        cache.get("fig0")
+        cache.get("fig1")
+        cache.get("fig0")  # refresh fig0: fig1 is now least recent
+        cache.get("fig2")  # evicts fig1
+        assert cache.evictions == 1
+        hits = cache.hits
+        cache.get("fig0")
+        assert cache.hits == hits + 1  # still cached
+
+    def test_capacity_validated(self, reader):
+        with pytest.raises(ValueError):
+            HotFigureCache(reader, capacity=0)
+
+    def test_stats_shape(self, store, reader):
+        store.save("fig", {"x": 1})
+        cache = HotFigureCache(reader, capacity=7)
+        cache.get("fig")
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1,
+            "capacity": 7,
+            "hits": 0,
+            "misses": 1,
+            "evictions": 0,
+            "invalidations": 0,
+        }

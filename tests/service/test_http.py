@@ -1,0 +1,208 @@
+"""End-to-end tests of the asyncio HTTP transport (raw sockets)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.characterization.reader import ResultReader
+from repro.characterization.stats import summarize
+from repro.characterization.store import ResultStore
+from repro.service.api import ResultService
+from repro.service.http import ResultServer
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = ResultStore(tmp_path / "results")
+    store.save("fig3", {"rows": {"8": summarize([0.99, 0.98, 0.97])}})
+    return store
+
+
+def _serve(store, session):
+    """Run ``session(host, port, service)`` against a live server."""
+
+    async def _run():
+        service = ResultService(ResultReader(store.directory))
+        server = ResultServer(service)
+        await server.start()
+        try:
+            host, port = server.address
+            return await session(host, port, service)
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())
+
+
+async def _request(reader, writer, target, headers=()):
+    head = f"GET {target} HTTP/1.1\r\nHost: t\r\n"
+    for key, value in headers:
+        head += f"{key}: {value}\r\n"
+    writer.write((head + "\r\n").encode("latin1"))
+    await writer.drain()
+    return await _response(reader)
+
+
+async def _response(reader, head=False):
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        key, _, value = line.decode("latin1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", "0") or "0")
+    if length and not head:  # HEAD: Content-Length describes the
+        body = await reader.readexactly(length)  # suppressed body
+    return status, headers, body
+
+
+class TestHttpEndToEnd:
+    def test_keepalive_pipeline_and_304(self, store):
+        async def session(host, port, service):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                # Three requests on ONE connection.
+                status, headers, body = await _request(
+                    reader, writer, "/figures/fig3"
+                )
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                etag = headers["etag"]
+                payload = json.loads(body)
+                assert payload["name"] == "fig3"
+
+                status, headers, body = await _request(
+                    reader, writer, "/figures"
+                )
+                assert status == 200
+
+                status, headers, body = await _request(
+                    reader,
+                    writer,
+                    "/figures/fig3",
+                    headers=[("If-None-Match", etag)],
+                )
+                assert status == 304
+                assert headers["etag"] == etag
+                assert headers["content-length"] == "0"
+                assert body == b""
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            assert service.requests == 3
+            assert service.not_modified == 1
+
+        _serve(store, session)
+
+    def test_connection_close_honored(self, store):
+        async def session(host, port, service):
+            reader, writer = await asyncio.open_connection(host, port)
+            status, headers, _body = await _request(
+                reader, writer, "/", headers=[("Connection", "close")]
+            )
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""  # server closed
+            writer.close()
+            await writer.wait_closed()
+
+        _serve(store, session)
+
+    def test_head_sends_headers_only(self, store):
+        async def session(host, port, service):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"HEAD /figures/fig3 HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            status, headers, body = await _response(reader, head=True)
+            assert status == 200
+            assert body == b""
+            assert int(headers["content-length"]) > 0
+            # The connection stays usable: Content-Length described
+            # the suppressed body, nothing more is in flight.
+            status, _headers, body = await _request(
+                reader, writer, "/figures/fig3"
+            )
+            assert status == 200 and body
+            writer.close()
+            await writer.wait_closed()
+
+        _serve(store, session)
+
+    def test_malformed_request_is_400_and_close(self, store):
+        async def session(host, port, service):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"NOT-HTTP\r\n\r\n")
+            await writer.drain()
+            status, _headers, _body = await _response(reader)
+            assert status == 400
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+
+        _serve(store, session)
+
+    def test_request_body_rejected(self, store):
+        async def session(host, port, service):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"GET / HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello"
+            )
+            await writer.drain()
+            status, _headers, _body = await _response(reader)
+            assert status == 400
+            writer.close()
+            await writer.wait_closed()
+
+        _serve(store, session)
+
+    def test_post_is_405(self, store):
+        async def session(host, port, service):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"POST /figures HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            status, headers, _body = await _response(reader)
+            assert status == 405
+            assert headers["allow"] == "GET, HEAD"
+            writer.close()
+            await writer.wait_closed()
+
+        _serve(store, session)
+
+    def test_concurrent_connections(self, store):
+        async def session(host, port, service):
+            async def one(index):
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    status, _headers, _body = await _request(
+                        reader, writer, "/figures/fig3"
+                    )
+                    return status
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+            statuses = await asyncio.gather(*(one(i) for i in range(50)))
+            assert statuses == [200] * 50
+
+        _serve(store, session)
+
+    def test_stop_closes_idle_keepalive_connections(self, store):
+        async def _run():
+            service = ResultService(ResultReader(store.directory))
+            server = ResultServer(service)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            status, _headers, _body = await _request(reader, writer, "/")
+            assert status == 200
+            await server.stop()  # must not hang on the idle connection
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+
+        asyncio.run(_run())
