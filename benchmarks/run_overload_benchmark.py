@@ -1,0 +1,615 @@
+#!/usr/bin/env python
+"""Overload + chaos soak for the result service (the degradation gate).
+
+Runs the asyncio HTTP service in-process at **twice its admission
+design load** with reader-path faults injected (slow reads, transient
+I/O errors, digest-verification failures) and proves the production
+posture rather than the happy path:
+
+- excess load is **shed** with fast ``503 + Retry-After`` responses
+  instead of queueing (the server's shed counters must move);
+- accepted requests keep a bounded p99 -- overload makes the service
+  smaller, not slower;
+- the 5xx budget holds: well-behaved clients that honor ``Retry-After``
+  see a bounded fraction of shed/faulted responses;
+- **zero torn responses**: every 200 figure body re-verifies against
+  its ETag's sha256 content digest;
+- a mid-load graceful drain loses **zero accepted in-flight
+  requests**: every response that started arriving completes, and the
+  drain finishes inside its budget.
+
+Results merge into ``BENCH_service.json`` under the ``"overload"``
+key (the steady-state numbers from ``run_service_benchmark.py`` keep
+their top-level spot).  With ``--floors benchmarks/service_floors.json``
+the run gates against that file's ``"overload"`` section.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_overload_benchmark.py
+    PYTHONPATH=src python benchmarks/run_overload_benchmark.py \
+        --floors benchmarks/service_floors.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.characterization.reader import (  # noqa: E402
+    ResultReader,
+    content_checksum,
+)
+from repro.chaos import ChaosConfig, ChaosEngine, ChaoticReader  # noqa: E402
+from repro.health.breaker import BreakerPolicy  # noqa: E402
+from repro.service import (  # noqa: E402
+    HotFigureCache,
+    ResultServer,
+    ResultService,
+)
+from repro.service.resilience import ResiliencePolicy  # noqa: E402
+
+from run_service_benchmark import _percentile, _raise_fd_limit  # noqa: E402
+
+_ALLOWED_STATUSES = {200, 304, 404, 409, 503, 504}
+_RETRY_BACKOFF_S = 0.1
+"""How long a well-behaved client waits after a 503/504 shed."""
+
+
+class TornResponse(Exception):
+    """The connection died partway through a response."""
+
+
+async def _read_full_response(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[int, Dict[str, str], bytes]]:
+    """One complete response, ``None`` on clean EOF before any byte.
+
+    Raises :class:`TornResponse` if the connection dies *after* the
+    first byte -- the failure mode the benchmark asserts never
+    happens: a response either arrives whole or not at all.
+    """
+    status_line = await reader.readline()
+    if not status_line:
+        return None
+    try:
+        status = int(status_line.split()[1])
+    except (IndexError, ValueError):
+        raise TornResponse(f"unparseable status line {status_line!r}")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line == b"":
+            raise TornResponse("EOF inside response headers")
+        if line == b"\r\n":
+            break
+        key, _, value = line.decode("latin1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    body = b""
+    if length and status != 304:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise TornResponse(
+                f"EOF inside body ({len(exc.partial)}/{length} bytes)"
+            )
+    return status, headers, body
+
+
+def _verify_figure_body(etag: str, body: bytes) -> Optional[str]:
+    """Recompute the body's content digest against its ETag.
+
+    Returns a defect description, or ``None`` when the body is whole:
+    the 200 contract is that ``body["data"]`` hashes to the sha256 the
+    ETag advertises, so any truncation or interleaving shows up here.
+    """
+    if not etag.startswith('"sha256:'):
+        return f"unexpected ETag shape {etag!r}"
+    expected = etag.strip('"').split(":", 1)[1]
+    try:
+        document = json.loads(body)
+    except ValueError:
+        return "body is not valid JSON"
+    actual = content_checksum(document.get("data"))
+    if actual != expected:
+        return f"digest mismatch: body {actual[:12]} vs etag {expected[:12]}"
+    return None
+
+
+async def _client_session(
+    host: str,
+    port: int,
+    plan: List[str],
+    outcomes: List[Dict[str, object]],
+    barrier: asyncio.Barrier,
+) -> None:
+    """One closed-loop client; reconnects when the server closes.
+
+    Records one outcome dict per plan item.  Honors ``Retry-After``
+    (coarsely, capped at ``_RETRY_BACKOFF_S``) after a shed, the way a
+    well-behaved production client would.
+    """
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect() -> bool:
+        nonlocal reader, writer
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            return True
+        except OSError:
+            reader = writer = None
+            return False
+
+    await _connect()
+    await barrier.wait()
+    try:
+        for target in plan:
+            if writer is None and not await _connect():
+                # Listener gone: only legitimate once the drain began.
+                outcomes.append(
+                    {
+                        "target": target,
+                        "status": "refused",
+                        "at": time.perf_counter(),
+                    }
+                )
+                continue
+            started = time.perf_counter()
+            writer.write(
+                f"GET {target} HTTP/1.1\r\nHost: soak\r\n\r\n".encode(
+                    "latin1"
+                )
+            )
+            outcome: Dict[str, object] = {"target": target, "sent": started}
+            try:
+                await writer.drain()
+                result = await _read_full_response(reader)
+            except TornResponse as exc:
+                outcome.update(status="torn", detail=str(exc))
+                outcomes.append(outcome)
+                writer, reader = None, None
+                continue
+            except (ConnectionError, OSError) as exc:
+                outcome.update(status="reset", detail=str(exc))
+                outcomes.append(outcome)
+                writer, reader = None, None
+                continue
+            if result is None:
+                # Clean EOF with a request on the wire: the graceful
+                # close race.  Acceptable only once the drain began.
+                outcome.update(status="unanswered", at=time.perf_counter())
+                outcomes.append(outcome)
+                writer, reader = None, None
+                continue
+            status, headers, body = result
+            outcome.update(
+                status=status,
+                latency_s=time.perf_counter() - started,
+                retry_after=headers.get("retry-after"),
+            )
+            if (
+                status == 200
+                and target.startswith("/figures/")
+                and "?" not in target
+            ):
+                outcome["defect"] = _verify_figure_body(
+                    headers.get("etag", ""), body
+                )
+            outcomes.append(outcome)
+            if headers.get("connection", "").lower() == "close":
+                writer.close()
+                writer, reader = None, None
+            if status in (503, 504):
+                await asyncio.sleep(_RETRY_BACKOFF_S)
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def _build_server(
+    results_dir: Path,
+    max_concurrent: int,
+    read_workers: int,
+    chaos_seed: int,
+) -> Tuple[ResultServer, ResultReader]:
+    """An in-process server with a tight admission budget and a
+    chaotic reader underneath (slow, flaky, occasionally lying)."""
+    store_reader = ResultReader(results_dir)
+    chaos = ChaosConfig(
+        seed=chaos_seed,
+        read_delay_rate=0.2,
+        read_delay_s=0.03,
+        read_error_rate=0.02,
+        read_digest_mismatch_rate=0.02,
+    )
+    chaotic = ChaoticReader(store_reader, ChaosEngine(chaos))
+    policy = ResiliencePolicy(
+        max_concurrent_requests=max_concurrent,
+        request_timeout_s=2.0,
+        drain_timeout_s=10.0,
+        read_workers=read_workers,
+        breaker=BreakerPolicy(failure_threshold=5, cooldown_probes=10),
+    )
+    # cache capacity 1 with several figures forces misses through the
+    # chaotic reader -- a fully warm cache would hide every fault.
+    service = ResultService(
+        chaotic, cache=HotFigureCache(chaotic, capacity=1)
+    )
+    server = ResultServer(
+        service, keepalive_s=300.0, backlog=4096, policy=policy
+    )
+    return server, store_reader
+
+
+def _plans(
+    names: List[str], readers: int, requests_per_reader: int
+) -> List[List[str]]:
+    plans = []
+    for index in range(readers):
+        plan = []
+        for turn in range(requests_per_reader):
+            name = names[(index + turn) % len(names)]
+            plan.append(
+                "/figures" if turn % 4 == 3 else f"/figures/{name}"
+            )
+        plans.append(plan)
+    return plans
+
+
+async def run_overload_soak(
+    results_dir: Path,
+    readers: int,
+    requests_per_reader: int,
+    max_concurrent: int,
+    chaos_seed: int,
+) -> Dict[str, object]:
+    """Phase 1: sustained 2x-design-load soak under reader faults."""
+    server, store_reader = _build_server(
+        results_dir, max_concurrent, read_workers=4, chaos_seed=chaos_seed
+    )
+    names = [
+        n
+        for n in store_reader.names()
+        if n not in ("engine-stats", "audit-report")
+    ]
+    if not names:
+        raise SystemExit(f"no stored figures under {results_dir}/")
+    await server.start()
+    host, port = server.address
+
+    outcomes: List[Dict[str, object]] = []
+    barrier = asyncio.Barrier(readers + 1)
+    tasks = [
+        asyncio.create_task(
+            _client_session(host, port, plan, outcomes, barrier)
+        )
+        for plan in _plans(names, readers, requests_per_reader)
+    ]
+    await barrier.wait()
+    started = time.perf_counter()
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+    metrics = server.service.handle("GET", "/metrics", {})
+    await server.stop()
+    return _soak_report(
+        outcomes, elapsed, readers, max_concurrent, json.loads(metrics.body)
+    )
+
+
+def _soak_report(
+    outcomes: List[Dict[str, object]],
+    elapsed: float,
+    readers: int,
+    max_concurrent: int,
+    metrics: Dict[str, object],
+) -> Dict[str, object]:
+    by_status: Dict[str, int] = {}
+    accepted_latencies: List[float] = []
+    defects: List[str] = []
+    for outcome in outcomes:
+        status = outcome["status"]
+        by_status[str(status)] = by_status.get(str(status), 0) + 1
+        if status in (200, 304):
+            accepted_latencies.append(outcome["latency_s"])
+        if isinstance(status, int) and status not in _ALLOWED_STATUSES:
+            defects.append(f"unexpected HTTP {status} for {outcome['target']}")
+        if status in ("torn", "reset", "unanswered", "refused"):
+            defects.append(
+                f"{status} during steady-state soak: "
+                f"{outcome.get('detail', outcome['target'])}"
+            )
+        if outcome.get("defect"):
+            defects.append(f"{outcome['target']}: {outcome['defect']}")
+    accepted_latencies.sort()
+    total = len(outcomes)
+    fives = sum(
+        count
+        for status, count in by_status.items()
+        if status.isdigit() and status.startswith("5")
+    )
+    server_stats = metrics.get("server", {})
+    return {
+        "concurrent_clients": readers,
+        "admission_budget": max_concurrent,
+        "requests": total,
+        "elapsed_s": elapsed,
+        "responses_by_status": dict(sorted(by_status.items())),
+        "accepted": len(accepted_latencies),
+        "five_xx": fives,
+        "five_xx_fraction": fives / total if total else 0.0,
+        "shed_requests": server_stats.get("shed_requests", 0),
+        "deadline_timeouts": server_stats.get("deadline_timeouts", 0),
+        "read_faults": server_stats.get("read_faults", 0),
+        "breaker": metrics.get("breaker", {}),
+        "accepted_latency_ms": {
+            "p50": 1000.0 * _percentile(accepted_latencies, 0.50),
+            "p95": 1000.0 * _percentile(accepted_latencies, 0.95),
+            "p99": 1000.0 * _percentile(accepted_latencies, 0.99),
+            "max": 1000.0
+            * (accepted_latencies[-1] if accepted_latencies else 0.0),
+        },
+        "torn_responses": sum(
+            1 for o in outcomes if o["status"] == "torn" or o.get("defect")
+        ),
+        "defects": defects[:10],
+        "defect_count": len(defects),
+    }
+
+
+async def run_drain_under_load(
+    results_dir: Path,
+    readers: int,
+    requests_per_reader: int,
+    max_concurrent: int,
+    chaos_seed: int,
+    drain_after_s: float,
+) -> Dict[str, object]:
+    """Phase 2: graceful drain while clients are mid-flight.
+
+    The invariant: once the drain begins, every response that started
+    arriving completes (no torn bodies), requests the server never
+    picked up see a clean close or connection refusal -- never a
+    reset -- and the drain finishes inside its budget.
+    """
+    server, store_reader = _build_server(
+        results_dir, max_concurrent, read_workers=4, chaos_seed=chaos_seed
+    )
+    names = [
+        n
+        for n in store_reader.names()
+        if n not in ("engine-stats", "audit-report")
+    ]
+    await server.start()
+    host, port = server.address
+
+    outcomes: List[Dict[str, object]] = []
+    barrier = asyncio.Barrier(readers + 1)
+    tasks = [
+        asyncio.create_task(
+            _client_session(host, port, plan, outcomes, barrier)
+        )
+        for plan in _plans(names, readers, requests_per_reader)
+    ]
+    await barrier.wait()
+    await asyncio.sleep(drain_after_s)
+    drain_began = [time.perf_counter()]
+    drain_started = time.perf_counter()
+    clean = await server.drain()
+    drain_elapsed = time.perf_counter() - drain_started
+    await asyncio.gather(*tasks)
+    await server.stop()
+
+    defects: List[str] = []
+    served_after_drain = 0
+    closed_after_drain = 0
+    for outcome in outcomes:
+        status = outcome["status"]
+        if status == "torn" or outcome.get("defect"):
+            defects.append(
+                f"torn across drain: {outcome.get('defect') or outcome.get('detail')}"
+            )
+        elif status == "reset":
+            defects.append(f"connection reset: {outcome.get('detail')}")
+        elif status in ("unanswered", "refused"):
+            at = outcome.get("at", 0.0)
+            if at < drain_began[0]:
+                defects.append(
+                    f"{status} before the drain began ({outcome['target']})"
+                )
+            else:
+                closed_after_drain += 1
+        elif isinstance(status, int):
+            if outcome["sent"] >= drain_began[0]:
+                served_after_drain += 1
+            if status not in _ALLOWED_STATUSES:
+                defects.append(f"unexpected HTTP {status}")
+    answered = sum(1 for o in outcomes if isinstance(o["status"], int))
+    return {
+        "concurrent_clients": readers,
+        "drain_after_s": drain_after_s,
+        "drain_clean": clean,
+        "drain_elapsed_s": drain_elapsed,
+        "answered": answered,
+        "served_during_drain": served_after_drain,
+        "closed_cleanly_after_drain": closed_after_drain,
+        "lost_in_flight": len(defects),
+        "defects": defects[:10],
+    }
+
+
+def check_overload_floors(
+    report: Dict[str, object], floors_path: Path
+) -> int:
+    """Gate the soak + drain numbers against the ``overload`` floors."""
+    floors = json.loads(floors_path.read_text()).get("overload")
+    if not floors:
+        print(f"no 'overload' section in {floors_path}; nothing to gate")
+        return 0
+    tolerance = float(floors.get("tolerance", 0.5))
+    soak = report["soak"]
+    drain = report["drain"]
+    violations = 0
+
+    def _gate(label: str, ok: bool, detail: str) -> None:
+        nonlocal violations
+        print(f"floor check: {label}: {detail}: "
+              f"{'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            violations += 1
+
+    _gate(
+        "shedding engaged",
+        int(soak["shed_requests"]) >= int(floors.get("min_shed", 1)),
+        f"{soak['shed_requests']} shed vs min {floors.get('min_shed', 1)}",
+    )
+    min_accepted = int(floors.get("min_accepted_responses", 0))
+    _gate(
+        "accepted responses",
+        int(soak["accepted"]) >= min_accepted,
+        f"{soak['accepted']} accepted vs min {min_accepted}",
+    )
+    max_fraction = float(floors.get("max_5xx_fraction", 1.0))
+    _gate(
+        "5xx budget",
+        float(soak["five_xx_fraction"]) <= max_fraction,
+        f"{soak['five_xx_fraction']:.2%} 5xx vs budget {max_fraction:.0%}",
+    )
+    ceiling = float(floors.get("max_accepted_p99_ms", float("inf")))
+    threshold = ceiling / tolerance
+    p99 = float(soak["accepted_latency_ms"]["p99"])
+    _gate(
+        "accepted p99",
+        p99 <= threshold,
+        f"{p99:.1f} ms vs ceiling {ceiling:.1f} ms "
+        f"(tolerance {tolerance:.0%} -> {threshold:.1f} ms)",
+    )
+    _gate(
+        "zero torn responses",
+        int(soak["torn_responses"]) == 0,
+        f"{soak['torn_responses']} torn",
+    )
+    _gate(
+        "soak defects",
+        int(soak["defect_count"]) == 0,
+        f"{soak['defect_count']} defect(s) {soak['defects']}",
+    )
+    _gate("drain clean", bool(drain["drain_clean"]), str(drain["drain_clean"]))
+    _gate(
+        "zero lost in-flight across drain",
+        int(drain["lost_in_flight"]) == 0,
+        f"{drain['lost_in_flight']} lost {drain['defects']}",
+    )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results-dir",
+        default=str(REPO_ROOT / "campaign_results"),
+        help="stored campaign to serve (default campaign_results)",
+    )
+    parser.add_argument(
+        "--admission-budget", type=int, default=16,
+        help="max_concurrent_requests for the soak server (default 16); "
+             "the client fleet is sized at 2x this",
+    )
+    parser.add_argument(
+        "--requests-per-reader", type=int, default=30,
+        help="requests per soak client (default 30)",
+    )
+    parser.add_argument("--chaos-seed", type=int, default=7,
+                        help="reader-fault schedule seed (default 7)")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_service.json"),
+        help="benchmark JSON to merge the 'overload' section into",
+    )
+    parser.add_argument("--floors", type=Path, default=None,
+                        help="service_floors.json to gate against")
+    args = parser.parse_args(argv)
+
+    readers = 2 * args.admission_budget
+    _raise_fd_limit(2 * readers + 64)
+
+    soak = asyncio.run(
+        run_overload_soak(
+            Path(args.results_dir),
+            readers=readers,
+            requests_per_reader=args.requests_per_reader,
+            max_concurrent=args.admission_budget,
+            chaos_seed=args.chaos_seed,
+        )
+    )
+    drain = asyncio.run(
+        run_drain_under_load(
+            Path(args.results_dir),
+            readers=args.admission_budget,
+            requests_per_reader=60,
+            max_concurrent=args.admission_budget,
+            chaos_seed=args.chaos_seed,
+            drain_after_s=0.25,
+        )
+    )
+    report = {"soak": soak, "drain": drain}
+
+    output = Path(args.output)
+    merged: Dict[str, object] = {}
+    if output.exists():
+        try:
+            merged = json.loads(output.read_text())
+        except ValueError:
+            merged = {}
+    merged["overload"] = report
+    output.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    latency = soak["accepted_latency_ms"]
+    print(
+        f"soak: {soak['requests']} requests from {readers} clients at "
+        f"2x admission budget {args.admission_budget} in "
+        f"{soak['elapsed_s']:.2f} s"
+    )
+    print(
+        f"  accepted {soak['accepted']}  shed {soak['shed_requests']}  "
+        f"5xx {soak['five_xx_fraction']:.1%}  "
+        f"read faults {soak['read_faults']}  "
+        f"deadline timeouts {soak['deadline_timeouts']}"
+    )
+    print(
+        f"  accepted p50 {latency['p50']:.2f} ms  "
+        f"p95 {latency['p95']:.2f} ms  p99 {latency['p99']:.2f} ms  "
+        f"torn {soak['torn_responses']}"
+    )
+    print(
+        f"drain: clean={drain['drain_clean']} in "
+        f"{drain['drain_elapsed_s']:.2f} s, "
+        f"{drain['answered']} answered "
+        f"({drain['served_during_drain']} during the drain), "
+        f"{drain['lost_in_flight']} lost in flight"
+    )
+    print(f"wrote {output} ('overload' section)")
+
+    if args.floors is not None:
+        violations = check_overload_floors(report, args.floors)
+        if violations:
+            print(f"{violations} overload floor violation(s)",
+                  file=sys.stderr)
+            return 1
+    elif soak["defect_count"] or drain["lost_in_flight"] or not drain[
+        "drain_clean"
+    ]:
+        print("overload soak defects detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -322,7 +322,17 @@ def main(argv=None) -> int:
         )
     )
     output = Path(args.output)
-    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    payload: Dict[str, object] = dict(report)
+    if output.exists():
+        # The overload benchmark merges its section into the same
+        # artifact; a steady-state rerun must not wipe it.
+        try:
+            previous = json.loads(output.read_text())
+        except (ValueError, OSError):
+            previous = {}
+        if isinstance(previous, dict) and "overload" in previous:
+            payload["overload"] = previous["overload"]
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     latency = report["latency_ms"]
     print(

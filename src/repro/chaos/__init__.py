@@ -25,6 +25,7 @@ from .harness import ChaosHarness
 from .proxies import (
     ChaoticBender,
     ChaoticHost,
+    ChaoticReader,
     ChaoticStore,
     ChaoticSupply,
     ChaoticThermal,
@@ -38,6 +39,7 @@ __all__ = [
     "ChaosHarness",
     "ChaoticBender",
     "ChaoticHost",
+    "ChaoticReader",
     "ChaoticStore",
     "ChaoticSupply",
     "ChaoticThermal",

@@ -31,6 +31,14 @@ class FaultKind(Enum):
     """Thermal chamber drifts off the setpoint instead of settling."""
     VPP_BROWNOUT = "vpp-brownout"
     """VPP rail sags while being programmed."""
+    READ_DELAY = "read-delay"
+    """A stored-result read stalls (a congested or failing disk)."""
+    READ_ERROR = "read-error"
+    """A stored-result read fails with a transient ``OSError(EIO)``."""
+    READ_DIGEST_MISMATCH = "read-digest-mismatch"
+    """A stored-result read fails its digest verification (bytes on
+    disk no longer match the recorded checksum) -- transiently, the
+    way a flaky controller or racing rewrite looks to a reader."""
 
 
 @dataclass(frozen=True)
@@ -49,6 +57,19 @@ class ChaosConfig:
     readback_corruption_rate: float = 0.0
     thermal_excursion_rate: float = 0.0
     vpp_brownout_rate: float = 0.0
+    read_delay_rate: float = 0.0
+    """Reader-path fault: rate of stored-result reads that stall for
+    ``read_delay_s`` before completing (slow-disk proof load for the
+    service's request deadlines)."""
+    read_error_rate: float = 0.0
+    """Reader-path fault: rate of stored-result reads that raise a
+    transient ``OSError(EIO)``."""
+    read_digest_mismatch_rate: float = 0.0
+    """Reader-path fault: rate of stored-result reads that raise
+    :class:`~repro.errors.ChecksumMismatchError` -- the proof load for
+    the service's store-read circuit breaker."""
+    read_delay_s: float = 0.25
+    """How long an injected slow read stalls (seconds)."""
     max_faults_per_kind: Optional[int] = None
     thermal_excursion_c: float = 7.5
     """How far off the setpoint an excursion leaves the module (C)."""
@@ -84,11 +105,16 @@ class ChaosConfig:
     sidecar (plain artifacts) -- the sidecar-damage proof load."""
 
     def __post_init__(self) -> None:
+        if self.read_delay_s < 0:
+            raise ConfigurationError("read_delay_s must be non-negative")
         for name in (
             "program_drop_rate",
             "readback_corruption_rate",
             "thermal_excursion_rate",
             "vpp_brownout_rate",
+            "read_delay_rate",
+            "read_error_rate",
+            "read_digest_mismatch_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -122,6 +148,9 @@ class ChaosConfig:
             FaultKind.READBACK_CORRUPTION: self.readback_corruption_rate,
             FaultKind.THERMAL_EXCURSION: self.thermal_excursion_rate,
             FaultKind.VPP_BROWNOUT: self.vpp_brownout_rate,
+            FaultKind.READ_DELAY: self.read_delay_rate,
+            FaultKind.READ_ERROR: self.read_error_rate,
+            FaultKind.READ_DIGEST_MISMATCH: self.read_digest_mismatch_rate,
         }[kind]
 
     @classmethod
@@ -138,6 +167,10 @@ class ChaosConfig:
             readback_corruption_rate=1.0,
             thermal_excursion_rate=1.0,
             vpp_brownout_rate=1.0,
+            read_delay_rate=1.0,
+            read_error_rate=1.0,
+            read_digest_mismatch_rate=1.0,
+            read_delay_s=0.01,
             max_faults_per_kind=1,
         )
 
@@ -152,6 +185,10 @@ class ChaosConfig:
             readback_corruption_rate=rate,
             thermal_excursion_rate=rate,
             vpp_brownout_rate=rate,
+            read_delay_rate=rate,
+            read_error_rate=rate,
+            read_digest_mismatch_rate=rate,
+            read_delay_s=0.01,
             max_faults_per_kind=max_faults_per_kind,
         )
 

@@ -14,12 +14,15 @@ fault-free behaviour.
 from __future__ import annotations
 
 import errno
+import threading
+import time
 from typing import Dict, List, Sequence
 
 import numpy as np
 
 from .. import rng
 from ..errors import (
+    ChecksumMismatchError,
     PersistentBenchError,
     ProgramTransferError,
     ReadbackCorruptionError,
@@ -162,7 +165,74 @@ class ChaoticSupply(_ChaoticProxy):
         return self._wrapped.set_voltage(volts)
 
 
-class ChaoticStore(_ChaoticProxy):
+class _ReaderFaultMixin:
+    """Shared reader-path fault injection (rate-keyed, seeded).
+
+    Three fault kinds cover how a disk read goes wrong in practice:
+    it *stalls* (:attr:`~repro.chaos.engine.FaultKind.READ_DELAY` --
+    the request-deadline proof load), it *errors transiently*
+    (:attr:`~repro.chaos.engine.FaultKind.READ_ERROR`, an
+    ``OSError(EIO)``), or it *lies* (:attr:`~repro.chaos.engine.
+    FaultKind.READ_DIGEST_MISMATCH`, a
+    :class:`~repro.errors.ChecksumMismatchError` as if the bytes no
+    longer matched their recorded checksum).  The engine consultation
+    is serialized under a lock because the HTTP service's read pool
+    loads from several threads at once; fault *counts* stay exact and
+    capped even though cross-thread ordering is scheduling-dependent.
+    """
+
+    _engine: ChaosEngine
+
+    def _init_read_faults(self) -> None:
+        self._read_fault_lock = threading.Lock()
+
+    def _inject_read_faults(self, name: str) -> None:
+        with self._read_fault_lock:
+            delay = self._engine.should_fire(FaultKind.READ_DELAY)
+            error = self._engine.should_fire(FaultKind.READ_ERROR)
+            mismatch = self._engine.should_fire(
+                FaultKind.READ_DIGEST_MISMATCH
+            )
+        if delay:
+            # The stall happens whether or not the read then fails --
+            # real disks are slow first and wrong second.
+            time.sleep(self._engine.config.read_delay_s)
+        if error:
+            raise OSError(
+                errno.EIO,
+                f"transient I/O error (injected) reading {name!r}",
+            )
+        if mismatch:
+            raise ChecksumMismatchError(
+                f"stored result {name!r} failed digest verification "
+                "(injected): content no longer matches its recorded "
+                "checksum"
+            )
+
+
+class ChaoticReader(_ReaderFaultMixin, _ChaoticProxy):
+    """Result reader whose disk reads can stall, error, or lie.
+
+    Wraps a :class:`~repro.characterization.reader.ResultReader` (all
+    other read APIs -- digests, metadata, verify, manifest -- fall
+    through untouched) and injects the reader-path faults into
+    ``load``, the call that actually pulls payload bytes off disk.
+    This is what ``simra-dram serve --chaos-read-*`` installs into a
+    live server, so the admission/deadline/breaker machinery is
+    exercised against real sockets.
+    """
+
+    def __init__(self, wrapped, engine: ChaosEngine):
+        super().__init__(wrapped, engine)
+        self._init_read_faults()
+
+    def load(self, name: str, verify: bool = True):
+        """Load one stored payload, unless the disk misbehaves."""
+        self._inject_read_faults(name)
+        return self._wrapped.load(name, verify=verify)
+
+
+class ChaoticStore(_ReaderFaultMixin, _ChaoticProxy):
     """Result store whose writes can fail or rot the way real disks do.
 
     Four target-keyed storage faults, each once per named artifact:
@@ -180,7 +250,21 @@ class ChaoticStore(_ChaoticProxy):
     - ``store_partial_sidecar_names``: a columnar artifact loses its
       ``.columns.npz`` sidecar; a plain artifact gains a bogus orphan
       sidecar instead.
+
+    Loads additionally take the rate-keyed reader-path faults
+    (:class:`_ReaderFaultMixin`), so resume/audit paths that read
+    through the store see the same slow/faulted disk a chaotic
+    service does.
     """
+
+    def __init__(self, wrapped, engine: ChaosEngine):
+        super().__init__(wrapped, engine)
+        self._init_read_faults()
+
+    def load(self, name, verify: bool = True):
+        """Load through the real store, unless the disk misbehaves."""
+        self._inject_read_faults(name)
+        return self._wrapped.load(name, verify=verify)
 
     def save(self, name, data, config=None, notes="", quality=None, columnar=None):
         """Persist through the real store, injecting any staged fault."""

@@ -523,18 +523,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .characterization.reader import ResultReader
+    from .errors import ConfigurationError
+    from .health.breaker import BreakerPolicy
     from .service import HotFigureCache, ResultServer, ResultService
+    from .service.resilience import ResiliencePolicy
 
     directory = Path(args.results_dir)
     if not directory.is_dir():
         print(f"error: no result store at {directory}/", file=sys.stderr)
         print("hint: run `simra-dram campaign` first", file=sys.stderr)
         return EXIT_USAGE
+    try:
+        policy = ResiliencePolicy(
+            max_concurrent_requests=args.max_concurrent_requests,
+            max_connections=args.max_connections,
+            request_timeout_s=args.request_timeout,
+            drain_timeout_s=args.drain_timeout,
+            read_workers=args.read_workers,
+            breaker=BreakerPolicy(
+                failure_threshold=args.breaker_threshold,
+                cooldown_probes=args.breaker_cooldown,
+            ),
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     reader = ResultReader(directory)
+    chaos_rates = {
+        "read_delay_rate": args.chaos_read_delay_rate,
+        "read_error_rate": args.chaos_read_error_rate,
+        "read_digest_mismatch_rate": args.chaos_digest_mismatch_rate,
+    }
+    if any(rate > 0 for rate in chaos_rates.values()):
+        from .chaos import ChaosConfig, ChaosEngine, ChaoticReader
+
+        try:
+            chaos = ChaosConfig(
+                seed=args.chaos_seed,
+                read_delay_s=args.chaos_read_delay_s,
+                max_faults_per_kind=args.chaos_max_faults,
+                **chaos_rates,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        reader = ChaoticReader(reader, ChaosEngine(chaos))
+        print(
+            f"chaos: reader-path fault injection armed (seed {chaos.seed})",
+            flush=True,
+        )
     service = ResultService(
         reader, cache=HotFigureCache(reader, capacity=args.cache_size)
     )
-    server = ResultServer(service, host=args.host, port=args.port)
+    server = ResultServer(
+        service, host=args.host, port=args.port, policy=policy
+    )
+    outcome = {"interrupted": False, "clean": True}
 
     async def _run() -> None:
         await server.start()
@@ -546,13 +590,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{directory}/ on http://{host}:{port}",
             flush=True,
         )
-        await server.serve_forever()
+        loop = asyncio.get_running_loop()
+        drain_requested = loop.create_future()
+
+        def _request_drain(signame: str) -> None:
+            if not drain_requested.done():
+                drain_requested.set_result(signame)
+
+        installed = []
+        for signame in ("SIGTERM", "SIGINT"):
+            signum = getattr(signal, signame, None)
+            if signum is None:
+                continue
+            try:
+                loop.add_signal_handler(signum, _request_drain, signame)
+            except (ValueError, OSError, RuntimeError, NotImplementedError):
+                continue
+            installed.append(signum)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        try:
+            await asyncio.wait(
+                {serve_task, drain_requested},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if drain_requested.done():
+                outcome["interrupted"] = True
+                print(
+                    f"\n{drain_requested.result()}: draining (budget "
+                    f"{server.policy.drain_timeout_s:g}s) ...",
+                    flush=True,
+                )
+                outcome["clean"] = await server.drain()
+                serve_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve_task
+        finally:
+            for signum in installed:
+                with contextlib.suppress(
+                    ValueError, OSError, RuntimeError, NotImplementedError
+                ):
+                    loop.remove_signal_handler(signum)
+            await server.stop()
 
     try:
         with _graceful_signals():
             asyncio.run(_run())
     except KeyboardInterrupt:
-        print("\nserver stopped")
+        # add_signal_handler was unavailable (non-main thread, exotic
+        # platform), so the _graceful_signals fallback turned SIGTERM
+        # into this.  The loop is already unwound -- no drain
+        # choreography -- but the stop is still a resumable interrupt.
+        outcome["interrupted"] = True
+    if outcome["interrupted"]:
+        if not outcome["clean"]:
+            print(
+                "drain budget exceeded: cancelled in-flight request(s)",
+                file=sys.stderr,
+            )
+            return EXIT_FAILURES
+        print("server stopped: drain complete", flush=True)
+        return EXIT_INTERRUPTED
     return EXIT_OK
 
 
@@ -810,6 +907,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bind port; 0 picks a free one (default 8774)")
     sub.add_argument("--cache-size", type=int, default=32,
                      help="hot-figure cache capacity (default 32)")
+    sub.add_argument("--max-concurrent-requests", type=int, default=64,
+                     help="admission budget: store-backed requests in "
+                          "flight before shedding with 503 (default 64)")
+    sub.add_argument("--max-connections", type=int, default=4096,
+                     help="open-socket budget before new connections are "
+                          "shed with 503 (default 4096)")
+    sub.add_argument("--request-timeout", type=float, default=5.0,
+                     help="per-request store-read deadline in seconds; "
+                          "past it the client gets 504 (default 5.0)")
+    sub.add_argument("--drain-timeout", type=float, default=10.0,
+                     help="graceful-drain budget in seconds on "
+                          "SIGTERM/SIGINT (default 10.0)")
+    sub.add_argument("--read-workers", type=int, default=8,
+                     help="store-read thread-pool size (default 8)")
+    sub.add_argument("--breaker-threshold", type=int, default=5,
+                     help="consecutive store-read faults that open the "
+                          "circuit breaker (default 5)")
+    sub.add_argument("--breaker-cooldown", type=int, default=10,
+                     help="breaker consultations skipped while open "
+                          "before a half-open probe (default 10)")
+    sub.add_argument("--chaos-read-delay-rate", type=float, default=0.0,
+                     help="chaos: rate of store reads that stall "
+                          "(default 0 = off)")
+    sub.add_argument("--chaos-read-delay-s", type=float, default=0.25,
+                     help="chaos: how long an injected slow read stalls "
+                          "(default 0.25s)")
+    sub.add_argument("--chaos-read-error-rate", type=float, default=0.0,
+                     help="chaos: rate of store reads that raise a "
+                          "transient I/O error (default 0 = off)")
+    sub.add_argument("--chaos-digest-mismatch-rate", type=float,
+                     default=0.0,
+                     help="chaos: rate of store reads that fail digest "
+                          "verification (default 0 = off)")
+    sub.add_argument("--chaos-max-faults", type=int, default=None,
+                     help="chaos: cap on injected faults per kind "
+                          "(default unlimited)")
+    sub.add_argument("--chaos-seed", type=int, default=7,
+                     help="chaos: fault-schedule seed (default 7)")
     sub.set_defaults(handler=_cmd_serve)
 
     sub = subparsers.add_parser(

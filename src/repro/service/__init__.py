@@ -10,11 +10,23 @@ with the CLI.
 """
 
 from .cache import HotFigureCache
+from .resilience import (
+    AdmissionController,
+    ResiliencePolicy,
+    ResilienceState,
+    ServerStats,
+    StoreReadBreaker,
+)
 from .api import ResultService, ServiceResponse
 from .http import ResultServer
 
 __all__ = [
     "HotFigureCache",
+    "AdmissionController",
+    "ResiliencePolicy",
+    "ResilienceState",
+    "ServerStats",
+    "StoreReadBreaker",
     "ResultService",
     "ServiceResponse",
     "ResultServer",

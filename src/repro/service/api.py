@@ -17,7 +17,13 @@ Endpoints (all ``GET``/``HEAD``):
 - ``/ci/{name}`` -- seeded percentile-bootstrap CI over the figure's
   per-group summary means (``?confidence=&resamples=&seed=``);
 - ``/audit/status`` -- last stored ``audit-report``, lock holder, and
-  journal depth.
+  journal depth;
+- ``/healthz`` / ``/readyz`` / ``/metrics`` -- liveness, readiness
+  (store reachable, not draining, store-read breaker closed), and the
+  resilience counters.  These are *control* endpoints: the transport
+  answers them inline on the event loop -- never admitted against the
+  request budget, never offloaded to the read pool -- so probes keep
+  working while the store path is saturated or broken.
 
 Conditional requests: every 200 carries a strong ``ETag`` derived
 from the store's content digests (``"sha256:<digest>"`` for one
@@ -31,7 +37,15 @@ fails integrity (:class:`~repro.errors.ResultCorruptionError`,
 including checksum mismatches) is ``409 Conflict`` -- the data exists
 but cannot be trusted; a store locked against the operation
 (:class:`~repro.errors.StoreLockedError`) is ``503`` with
-``Retry-After``; malformed query parameters are ``400``.
+``Retry-After``; a *transient* read fault (``OSError`` out of the
+filesystem) is also ``503 + Retry-After`` -- retryable, unlike the
+409s; malformed query parameters are ``400``.
+
+Figure reads are guarded by the store-read circuit breaker in the
+bound :class:`~repro.service.resilience.ResilienceState`: repeated
+read faults trip it, an open breaker turns figure reads into fast
+``503``s (and flips ``/readyz``) until a half-open probe read
+succeeds.
 """
 
 from __future__ import annotations
@@ -49,8 +63,14 @@ from ..errors import (
     StoreLockedError,
 )
 from .cache import HotFigureCache
+from .resilience import ResilienceState
 
 _JSON_TYPE = "application/json; charset=utf-8"
+
+CONTROL_PATHS = ("/healthz", "/readyz", "/metrics")
+"""Endpoints the transport must answer inline (no admission, no
+offload): degradation signals have to work while the store path
+doesn't."""
 
 
 @dataclass
@@ -72,6 +92,7 @@ class ServiceResponse:
             409: "Conflict",
             500: "Internal Server Error",
             503: "Service Unavailable",
+            504: "Gateway Timeout",
         }.get(self.status, "Unknown")
 
 
@@ -129,9 +150,13 @@ class ResultService:
         self,
         reader: ResultReader,
         cache: Optional[HotFigureCache] = None,
+        resilience: Optional[ResilienceState] = None,
     ):
         self._reader = reader
         self._cache = cache if cache is not None else HotFigureCache(reader)
+        self._resilience = (
+            resilience if resilience is not None else ResilienceState()
+        )
         self.requests = 0
         self.not_modified = 0
 
@@ -144,6 +169,23 @@ class ResultService:
     def cache(self) -> HotFigureCache:
         """The digest-keyed hot-figure cache."""
         return self._cache
+
+    @property
+    def resilience(self) -> ResilienceState:
+        """The resilience state behind /readyz, /metrics, and the
+        store-read breaker."""
+        return self._resilience
+
+    def bind_resilience(self, state: ResilienceState) -> None:
+        """Adopt the transport's resilience state (budgets + stats).
+
+        The server calls this on construction so the breaker the
+        routing layer feeds is the one whose trips the transport's
+        ``/metrics`` and ``/readyz`` report.  A service used without a
+        server keeps its own default state, so the control endpoints
+        and breaker guard work in unit tests and the benchmark too.
+        """
+        self._resilience = state
 
     # -- request entry point -------------------------------------------------
 
@@ -170,6 +212,8 @@ class ResultService:
         split = urlsplit(target)
         path = unquote(split.path)
         query = parse_qs(split.query)
+        if path in CONTROL_PATHS:
+            return self._control(path)
         try:
             etag, payload = self._route(path, query)
         except _HttpError as exc:
@@ -184,6 +228,16 @@ class ResultService:
         except StoreLockedError as exc:
             return _json_response(
                 503, {"error": str(exc)}, extra_headers={"Retry-After": "1"}
+            )
+        except OSError as exc:
+            # A transient filesystem fault (EIO, chaos injection): the
+            # client should retry -- unlike a 409, nothing is known to
+            # be damaged.
+            self._resilience.stats.count("read_faults")
+            return _json_response(
+                503,
+                {"error": f"transient store read fault: {exc}"},
+                extra_headers={"Retry-After": "1"},
             )
         except ExperimentError as exc:
             return _json_response(500, {"error": str(exc)})
@@ -223,7 +277,45 @@ class ResultService:
                 "/fleet/summary",
                 "/ci/{name}",
                 "/audit/status",
+                "/healthz",
+                "/readyz",
+                "/metrics",
             ],
+            "cache": self._cache.stats(),
+        }
+
+    # -- degradation signals ---------------------------------------------------
+
+    def _control(self, path: str) -> ServiceResponse:
+        """``/healthz`` / ``/readyz`` / ``/metrics`` (no ETags: live
+        signals, not cacheable representations)."""
+        if path == "/healthz":
+            # Liveness: the process answers, nothing more is claimed.
+            return _json_response(200, {"status": "alive"})
+        if path == "/readyz":
+            ready, checks = self._resilience.readiness(self._reader)
+            status = 200 if ready else 503
+            extra = None if ready else {"Retry-After": "1"}
+            return _json_response(
+                status,
+                {"ready": ready, "checks": checks},
+                extra_headers=extra,
+            )
+        return _json_response(200, self._metrics())
+
+    def _metrics(self) -> Dict[str, Any]:
+        """The counters behind ``/metrics`` (plain JSON, no scraping
+        format -- consistent with the rest of the JSON API)."""
+        state = self._resilience
+        return {
+            "server": state.stats.as_dict(),
+            "admission": state.admission.as_dict(),
+            "breaker": state.breaker.as_dict(),
+            "draining": state.draining,
+            "service": {
+                "requests": self.requests,
+                "not_modified": self.not_modified,
+            },
             "cache": self._cache.stats(),
         }
 
@@ -234,10 +326,29 @@ class ResultService:
         return name
 
     def _load(self, name: str) -> Tuple[str, Any]:
-        """``(digest, decoded payload)`` with HTTP error mapping."""
+        """``(digest, decoded payload)`` with HTTP error mapping.
+
+        Guarded by the store-read circuit breaker: an open breaker
+        short-circuits to ``503`` without touching the disk; read
+        faults (I/O errors, integrity failures) feed it, successes
+        close it again from half-open.  A plain 404 is not a fault.
+        """
+        breaker = self._resilience.breaker
+        if not breaker.allows():
+            raise _HttpError(
+                503,
+                "store-read circuit breaker is open after repeated read "
+                "faults; retry shortly",
+            )
         if not self._reader.has(name):
             raise _HttpError(404, f"no stored result named {name!r}")
-        return self._cache.get(name)
+        try:
+            result = self._cache.get(name)
+        except (ResultCorruptionError, OSError):
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return result
 
     def _figures(self) -> Tuple[str, Any]:
         listing = []

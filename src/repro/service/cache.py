@@ -19,10 +19,18 @@ memoizes per stat signature), so:
 
 The same instance backs the CLI and the HTTP service, so a service
 colocated with analytics tooling shares one working set.
+
+The cache is thread-safe: the server offloads store reads to a small
+thread pool (PR 8), so ``get`` races itself.  A lock guards the LRU
+bookkeeping; the miss-path load runs *outside* it (a slow disk read
+must not serialize every other reader), so two racing misses may both
+load -- the second insert simply wins, which is harmless because
+entries are keyed by content digest.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -38,6 +46,7 @@ class HotFigureCache:
         self._reader = reader
         self._capacity = int(capacity)
         self._entries: "OrderedDict[str, Tuple[str, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -71,21 +80,25 @@ class HotFigureCache:
         -- a damaged artifact is never cached.
         """
         etag = self._reader.content_digest(name)
-        entry = self._entries.get(name)
-        if entry is not None and entry[0] == etag:
-            self.hits += 1
-            self._entries.move_to_end(name)
-            return etag, entry[1]
-        if entry is not None:
-            self.invalidations += 1
-            self._entries.pop(name, None)
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None and entry[0] == etag:
+                self.hits += 1
+                self._entries.move_to_end(name)
+                return etag, entry[1]
+            if entry is not None:
+                self.invalidations += 1
+                self._entries.pop(name, None)
+            self.misses += 1
+        # The load runs unlocked: a slow read must not serialize every
+        # other reader.  Racing misses both load; last insert wins.
         payload = (loader or self._reader.load)(name)
-        self._entries[name] = (etag, payload)
-        self._entries.move_to_end(name)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[name] = (etag, payload)
+            self._entries.move_to_end(name)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return etag, payload
 
     def watch(self) -> bool:
@@ -101,26 +114,29 @@ class HotFigureCache:
         seen.
         """
         token = self._reader.state_token()
-        if token == self._state_token:
-            return False
-        changed = self._state_token is not None
-        self._state_token = token
-        if changed and self._entries:
-            self.invalidations += len(self._entries)
-            self._entries.clear()
-        return changed
+        with self._lock:
+            if token == self._state_token:
+                return False
+            changed = self._state_token is not None
+            self._state_token = token
+            if changed and self._entries:
+                self.invalidations += len(self._entries)
+                self._entries.clear()
+            return changed
 
     def clear(self) -> None:
         """Drop every resident entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
         """Counters for ``/figures`` headers and the benchmark report."""
-        return {
-            "entries": len(self._entries),
-            "capacity": self._capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

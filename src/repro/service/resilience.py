@@ -1,0 +1,387 @@
+"""Resilience layer for the result query service.
+
+The transport (:mod:`repro.service.http`) and routing layer
+(:mod:`repro.service.api`) stay correct under happy-path load; this
+module is what keeps them *standing* when reality diverges from it --
+connection storms past the design load, disk reads that stall or lie,
+and supervisors that want the process gone without losing in-flight
+work.  Four cooperating pieces, all stdlib:
+
+- :class:`ResiliencePolicy` -- the declarative budget sheet: how many
+  requests may execute at once, how long one may take, how long a
+  drain may run, how twitchy the store-read circuit breaker is.
+- :class:`AdmissionController` -- a thread-safe concurrent-request
+  budget.  ``try_acquire`` never blocks: a request over budget is shed
+  with a fast ``503 + Retry-After`` instead of queueing unboundedly
+  behind a slow disk.
+- :class:`ServerStats` -- request/shed/error/timeout counters plus a
+  bounded latency reservoir, the payload behind ``/metrics``.
+- :class:`StoreReadBreaker` -- a thread-safe wrapper around the fleet
+  supervision layer's :class:`~repro.health.breaker.CircuitBreaker`:
+  repeated reader faults (I/O errors, digest mismatches) trip it open,
+  figure reads turn into ``503`` and ``/readyz`` flips, and a
+  half-open probe read closes it again.
+
+:class:`ResilienceState` bundles one live instance of each and is
+shared between the transport (which admits, times out, and counts) and
+the routing layer (which serves ``/healthz``, ``/readyz``, and
+``/metrics`` off it).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..health.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+
+
+def _default_breaker_policy() -> BreakerPolicy:
+    """The store-read breaker's default trip/recover schedule.
+
+    The cooldown is counted in consultations (each guarded read while
+    open counts one), so a busy service probes again quickly and an
+    idle one stays open until the next reader shows up -- no wall
+    clocks, same as the campaign fleet breakers.
+    """
+    return BreakerPolicy(failure_threshold=5, cooldown_probes=10)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Budgets and thresholds for one :class:`ResilienceState`."""
+
+    max_concurrent_requests: int = 64
+    """Store-backed requests allowed in flight (executing or queued on
+    the read pool) before new ones are shed with ``503``."""
+    max_connections: int = 4096
+    """Open sockets allowed before new connections get an immediate
+    ``503 + Connection: close``."""
+    request_timeout_s: float = 5.0
+    """Deadline for one offloaded store read; past it the client gets
+    ``504`` and the (unkillable) worker thread finishes into the void."""
+    write_timeout_s: float = 15.0
+    """Bound on flushing one response to the socket; a client that
+    reads slower than this gets aborted instead of pinning the task."""
+    drain_timeout_s: float = 10.0
+    """Graceful-drain budget: in-flight work past it is cancelled."""
+    drain_grace_s: float = 0.1
+    """How long an idle keep-alive connection is given at drain start
+    to surface a request already on the wire before being closed."""
+    read_workers: int = 8
+    """Threads in the store-read pool (one slow read occupies one)."""
+    latency_window: int = 4096
+    """Latency samples kept for the ``/metrics`` quantiles."""
+    breaker: BreakerPolicy = field(default_factory=_default_breaker_policy)
+    """Trip/cooldown policy for the store-read circuit breaker."""
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_requests < 1:
+            raise ConfigurationError(
+                "max_concurrent_requests must be at least 1, got "
+                f"{self.max_concurrent_requests}"
+            )
+        if self.max_connections < 1:
+            raise ConfigurationError(
+                f"max_connections must be at least 1, got {self.max_connections}"
+            )
+        for name in (
+            "request_timeout_s",
+            "write_timeout_s",
+            "drain_timeout_s",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.drain_grace_s < 0:
+            raise ConfigurationError(
+                f"drain_grace_s must be non-negative, got {self.drain_grace_s}"
+            )
+        if self.read_workers < 1:
+            raise ConfigurationError(
+                f"read_workers must be at least 1, got {self.read_workers}"
+            )
+        if self.latency_window < 1:
+            raise ConfigurationError(
+                f"latency_window must be at least 1, got {self.latency_window}"
+            )
+
+
+class AdmissionController:
+    """Non-blocking concurrent-request budget (thread-safe).
+
+    ``try_acquire`` is called on the event loop before a request is
+    offloaded; ``release`` runs from the worker thread's done callback
+    so a slot stays occupied for as long as its thread does -- a
+    timed-out request that is still grinding in the pool keeps its
+    slot, which is exactly what stops a stalled disk from admitting
+    unbounded work behind itself.
+    """
+
+    def __init__(self, limit: int):
+        self._limit = int(limit)
+        self._lock = threading.Lock()
+        self._active = 0
+        self.shed = 0
+        self.peak = 0
+
+    @property
+    def limit(self) -> int:
+        """The concurrent-request budget."""
+        return self._limit
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding a slot."""
+        return self._active
+
+    def try_acquire(self) -> bool:
+        """Take a slot if one is free; never blocks."""
+        with self._lock:
+            if self._active >= self._limit:
+                self.shed += 1
+                return False
+            self._active += 1
+            if self._active > self.peak:
+                self.peak = self._active
+            return True
+
+    def release(self) -> None:
+        """Return a slot (idempotence is the caller's job)."""
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-JSON snapshot for ``/metrics``."""
+        with self._lock:
+            return {
+                "limit": self._limit,
+                "active": self._active,
+                "peak": self.peak,
+                "shed": self.shed,
+            }
+
+
+class LatencyWindow:
+    """Bounded reservoir of request latencies (thread-safe).
+
+    A plain ring of the most recent ``maxlen`` samples: the service's
+    load profile shifts over hours, and recent quantiles are what an
+    operator watching ``/metrics`` actually wants.
+    """
+
+    def __init__(self, maxlen: int = 4096):
+        self._samples: "deque[float]" = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one request's wall-clock latency."""
+        with self._lock:
+            self._samples.append(float(seconds))
+            self.count += 1
+
+    def quantiles(self) -> Dict[str, float]:
+        """``p50/p95/p99/max`` in milliseconds over the window."""
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+        def _at(fraction: float) -> float:
+            index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+            return 1000.0 * ordered[index]
+
+        return {
+            "p50": _at(0.50),
+            "p95": _at(0.95),
+            "p99": _at(0.99),
+            "max": 1000.0 * ordered[-1],
+        }
+
+
+class ServerStats:
+    """Counters the transport feeds and ``/metrics`` serves.
+
+    Everything is incremented under one lock: the transport writes
+    from the event loop, admission releases and breaker feeds arrive
+    from pool threads, and ``/metrics`` snapshots from wherever the
+    routing layer runs.
+    """
+
+    _CLASSES = ("2xx", "3xx", "4xx", "5xx")
+
+    def __init__(self, latency_window: int = 4096):
+        self._lock = threading.Lock()
+        self.connections_total = 0
+        self.connections_active = 0
+        self.requests_total = 0
+        self.shed_requests = 0
+        self.shed_connections = 0
+        self.deadline_timeouts = 0
+        self.read_faults = 0
+        self.slow_client_aborts = 0
+        self.responses: Dict[str, int] = {c: 0 for c in self._CLASSES}
+        self.latency = LatencyWindow(latency_window)
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_total += 1
+            self.connections_active += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            if self.connections_active > 0:
+                self.connections_active -= 1
+
+    def record_response(
+        self, status: int, latency_s: Optional[float] = None
+    ) -> None:
+        """Count one written response (and optionally its latency)."""
+        bucket = f"{min(max(status // 100, 2), 5)}xx"
+        with self._lock:
+            self.requests_total += 1
+            self.responses[bucket] = self.responses.get(bucket, 0) + 1
+        if latency_s is not None:
+            self.latency.record(latency_s)
+
+    def count(self, counter: str) -> None:
+        """Bump one named event counter (thread-safe)."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON snapshot for ``/metrics``."""
+        with self._lock:
+            snapshot = {
+                "connections_total": self.connections_total,
+                "connections_active": self.connections_active,
+                "requests_total": self.requests_total,
+                "shed_requests": self.shed_requests,
+                "shed_connections": self.shed_connections,
+                "deadline_timeouts": self.deadline_timeouts,
+                "read_faults": self.read_faults,
+                "slow_client_aborts": self.slow_client_aborts,
+                "responses": dict(self.responses),
+            }
+        snapshot["latency_ms"] = self.latency.quantiles()
+        snapshot["latency_samples"] = self.latency.count
+        return snapshot
+
+
+class StoreReadBreaker:
+    """Thread-safe store-read circuit breaker.
+
+    Reuses the campaign fleet's deterministic
+    :class:`~repro.health.breaker.CircuitBreaker` state machine
+    unchanged; the lock exists because service reads consult it from
+    pool threads, which the single-threaded campaign never does.  The
+    read-only :attr:`state` view (what ``/readyz`` reports) never
+    consumes a cooldown consultation -- only guarded reads do, so
+    health probes cannot accidentally schedule the half-open probe.
+    """
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None):
+        self._breaker = CircuitBreaker(
+            "store-read",
+            policy if policy is not None else _default_breaker_policy(),
+        )
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> BreakerState:
+        """Current breaker state (no cooldown consultation)."""
+        with self._lock:
+            return self._breaker.state
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has tripped open."""
+        with self._lock:
+            return self._breaker.trips
+
+    def allows(self) -> bool:
+        """Whether a store read may proceed (counts toward cooldown)."""
+        with self._lock:
+            return self._breaker.allows()
+
+    def record_success(self) -> None:
+        """Feed one successful store read."""
+        with self._lock:
+            self._breaker.record_success()
+
+    def record_failure(self) -> None:
+        """Feed one faulted store read."""
+        with self._lock:
+            self._breaker.record_failure()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON snapshot for ``/metrics`` and ``/readyz``."""
+        with self._lock:
+            return self._breaker.as_dict()
+
+
+class ResilienceState:
+    """One service's live resilience machinery, shared across layers.
+
+    The transport owns admission, timeouts, and the stats feed; the
+    routing layer reads everything back out for ``/healthz``,
+    ``/readyz``, and ``/metrics``; the CLI flips :attr:`draining` when
+    a supervisor asks the process to go away.
+    """
+
+    def __init__(self, policy: Optional[ResiliencePolicy] = None):
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.admission = AdmissionController(self.policy.max_concurrent_requests)
+        self.stats = ServerStats(self.policy.latency_window)
+        self.breaker = StoreReadBreaker(self.policy.breaker)
+        self._draining = threading.Event()
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain is in progress."""
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Flip ``/readyz`` to not-ready and mark the drain started."""
+        self._draining.set()
+
+    def readiness(self, reader) -> Tuple[bool, Dict[str, Any]]:
+        """``(ready, checks)`` for ``/readyz``.
+
+        Ready means: the store directory is reachable, no drain is in
+        progress, and the store-read breaker is fully closed (half-open
+        still reports not-ready -- the service is probing, not
+        recovered; one successful guarded read flips it back).
+        """
+        store_ok = False
+        try:
+            store_ok = reader.directory.is_dir()
+        except OSError:
+            store_ok = False
+        breaker_state = self.breaker.state
+        checks: Dict[str, Any] = {
+            "store_reachable": store_ok,
+            "draining": self.draining,
+            "breaker": breaker_state.value,
+        }
+        ready = (
+            store_ok
+            and not self.draining
+            and breaker_state is BreakerState.CLOSED
+        )
+        return ready, checks
+
+    def shed_reasons(self) -> List[str]:
+        """Human-readable summary lines for drain/shutdown reporting."""
+        stats = self.stats.as_dict()
+        return [
+            f"{stats['requests_total']} request(s) served",
+            f"{stats['shed_requests']} shed at admission",
+            f"{stats['shed_connections']} connection(s) shed",
+            f"{stats['deadline_timeouts']} deadline timeout(s)",
+        ]

@@ -1,0 +1,156 @@
+"""Reader-path fault injection: slow, flaky, and lying disk reads."""
+
+import threading
+import time
+
+import pytest
+
+from repro.characterization.store import ResultStore
+from repro.characterization.reader import ResultReader
+from repro.chaos import (
+    ChaosConfig,
+    ChaosEngine,
+    ChaoticReader,
+    ChaoticStore,
+    FaultKind,
+)
+from repro.errors import ChecksumMismatchError, ConfigurationError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = ResultStore(tmp_path / "results")
+    store.save("figx", {"rate": 0.5})
+    store.save("figy", {"rate": 0.25})
+    return store
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_delay_rate": 1.5},
+            {"read_error_rate": -0.1},
+            {"read_digest_mismatch_rate": 2.0},
+            {"read_delay_s": -1.0},
+        ],
+    )
+    def test_reader_knobs_validated(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(**kwargs)
+
+    def test_rate_for_covers_reader_kinds(self):
+        config = ChaosConfig(
+            read_delay_rate=0.1,
+            read_error_rate=0.2,
+            read_digest_mismatch_rate=0.3,
+        )
+        assert config.rate_for(FaultKind.READ_DELAY) == 0.1
+        assert config.rate_for(FaultKind.READ_ERROR) == 0.2
+        assert config.rate_for(FaultKind.READ_DIGEST_MISMATCH) == 0.3
+
+
+class TestChaoticReader:
+    def _chaotic(self, store, **kwargs):
+        engine = ChaosEngine(ChaosConfig(**kwargs))
+        return ChaoticReader(ResultReader(store.directory), engine), engine
+
+    def test_clean_profile_delegates(self, store):
+        chaotic, _engine = self._chaotic(store)
+        assert chaotic.load("figx") == {"rate": 0.5}
+        # Non-load APIs fall through untouched.
+        assert set(chaotic.names()) == {"figx", "figy"}
+        assert chaotic.verify("figx") == "ok"
+
+    def test_injected_error_is_transient_oserror(self, store):
+        chaotic, engine = self._chaotic(
+            store, read_error_rate=1.0, max_faults_per_kind=1
+        )
+        with pytest.raises(OSError) as excinfo:
+            chaotic.load("figx")
+        assert "figx" in str(excinfo.value)
+        # Capped at one: the next load goes through.
+        assert chaotic.load("figx") == {"rate": 0.5}
+        assert engine.stats.injected["read-error"] == 1
+
+    def test_injected_digest_mismatch(self, store):
+        chaotic, _engine = self._chaotic(
+            store, read_digest_mismatch_rate=1.0, max_faults_per_kind=1
+        )
+        with pytest.raises(ChecksumMismatchError):
+            chaotic.load("figx")
+        assert chaotic.load("figx") == {"rate": 0.5}
+
+    def test_injected_delay_stalls_then_succeeds(self, store):
+        chaotic, engine = self._chaotic(
+            store,
+            read_delay_rate=1.0,
+            read_delay_s=0.05,
+            max_faults_per_kind=1,
+        )
+        started = time.perf_counter()
+        assert chaotic.load("figx") == {"rate": 0.5}
+        assert time.perf_counter() - started >= 0.05
+        started = time.perf_counter()
+        chaotic.load("figx")  # cap reached: fast again
+        assert time.perf_counter() - started < 0.05
+        assert engine.stats.injected["read-delay"] == 1
+
+    def test_schedule_is_deterministic(self, store):
+        def pattern():
+            chaotic, _ = self._chaotic(
+                store, read_error_rate=0.5, max_faults_per_kind=100
+            )
+            outcomes = []
+            for _ in range(30):
+                try:
+                    chaotic.load("figx")
+                    outcomes.append(False)
+                except OSError:
+                    outcomes.append(True)
+            return outcomes
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_fault_counts_exact_under_threads(self, store):
+        chaotic, engine = self._chaotic(
+            store, read_error_rate=1.0, max_faults_per_kind=5
+        )
+        errors = []
+
+        def worker():
+            for _ in range(20):
+                try:
+                    chaotic.load("figx")
+                except OSError:
+                    errors.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 5
+        assert engine.stats.injected["read-error"] == 5
+
+
+class TestChaoticStoreLoads:
+    def test_store_load_takes_reader_faults(self, store):
+        engine = ChaosEngine(
+            ChaosConfig(read_error_rate=1.0, max_faults_per_kind=1)
+        )
+        chaotic = ChaoticStore(store, engine)
+        with pytest.raises(OSError):
+            chaotic.load("figx")
+        assert chaotic.load("figx") == {"rate": 0.5}
+
+    def test_store_save_path_unaffected_by_reader_rates(self, store):
+        engine = ChaosEngine(
+            ChaosConfig(read_error_rate=1.0, max_faults_per_kind=10)
+        )
+        chaotic = ChaoticStore(store, engine)
+        path = chaotic.save("fignew", {"rate": 0.125})
+        assert path.exists()
+        assert store.load("fignew") == {"rate": 0.125}

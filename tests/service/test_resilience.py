@@ -1,0 +1,265 @@
+"""Unit tests for the service resilience layer."""
+
+import threading
+
+import pytest
+
+from repro.characterization.store import ResultStore
+from repro.errors import ConfigurationError
+from repro.health.breaker import BreakerPolicy, BreakerState
+from repro.service.resilience import (
+    AdmissionController,
+    LatencyWindow,
+    ResiliencePolicy,
+    ResilienceState,
+    ServerStats,
+    StoreReadBreaker,
+)
+
+
+class TestResiliencePolicy:
+    def test_defaults_are_valid(self):
+        policy = ResiliencePolicy()
+        assert policy.max_concurrent_requests == 64
+        assert policy.breaker.failure_threshold == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrent_requests": 0},
+            {"max_connections": 0},
+            {"request_timeout_s": 0.0},
+            {"write_timeout_s": -1.0},
+            {"drain_timeout_s": 0.0},
+            {"drain_grace_s": -0.1},
+            {"read_workers": 0},
+            {"latency_window": 0},
+        ],
+    )
+    def test_budgets_validated(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(**kwargs)
+
+
+class TestAdmissionController:
+    def test_acquire_to_limit_then_shed(self):
+        admission = AdmissionController(2)
+        assert admission.try_acquire()
+        assert admission.try_acquire()
+        assert not admission.try_acquire()
+        assert admission.shed == 1
+        assert admission.active == 2
+        assert admission.peak == 2
+
+    def test_release_frees_a_slot(self):
+        admission = AdmissionController(1)
+        assert admission.try_acquire()
+        assert not admission.try_acquire()
+        admission.release()
+        assert admission.try_acquire()
+
+    def test_release_never_goes_negative(self):
+        admission = AdmissionController(1)
+        admission.release()
+        assert admission.active == 0
+        assert admission.try_acquire()
+
+    def test_never_blocks_under_contention(self):
+        admission = AdmissionController(4)
+        outcomes = []
+
+        def worker():
+            for _ in range(200):
+                if admission.try_acquire():
+                    admission.release()
+                outcomes.append(True)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 8 * 200
+        assert admission.active == 0
+        assert admission.as_dict()["peak"] <= 4
+
+
+class TestLatencyWindow:
+    def test_quantiles_over_known_samples(self):
+        window = LatencyWindow(maxlen=100)
+        for value in range(1, 101):  # 1..100 ms
+            window.record(value / 1000.0)
+        quantiles = window.quantiles()
+        assert quantiles["max"] == pytest.approx(100.0)
+        assert 45.0 <= quantiles["p50"] <= 55.0
+        assert 90.0 <= quantiles["p95"] <= 100.0
+        assert quantiles["p99"] <= quantiles["max"]
+
+    def test_empty_window_is_zeros(self):
+        assert LatencyWindow().quantiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
+    def test_window_is_bounded(self):
+        window = LatencyWindow(maxlen=8)
+        for _ in range(100):
+            window.record(0.001)
+        assert window.count == 100
+        assert len(window._samples) == 8
+
+
+class TestServerStats:
+    def test_response_classes(self):
+        stats = ServerStats()
+        for status in (200, 304, 404, 503, 504, 500):
+            stats.record_response(status)
+        snapshot = stats.as_dict()
+        assert snapshot["responses"] == {
+            "2xx": 1, "3xx": 1, "4xx": 1, "5xx": 3,
+        }
+        assert snapshot["requests_total"] == 6
+
+    def test_latency_recorded_only_when_given(self):
+        stats = ServerStats()
+        stats.record_response(200, latency_s=0.010)
+        stats.record_response(503)
+        assert stats.as_dict()["latency_samples"] == 1
+
+    def test_named_counters(self):
+        stats = ServerStats()
+        stats.count("shed_requests")
+        stats.count("deadline_timeouts")
+        stats.count("deadline_timeouts")
+        snapshot = stats.as_dict()
+        assert snapshot["shed_requests"] == 1
+        assert snapshot["deadline_timeouts"] == 2
+
+    def test_connection_accounting(self):
+        stats = ServerStats()
+        stats.connection_opened()
+        stats.connection_opened()
+        stats.connection_closed()
+        snapshot = stats.as_dict()
+        assert snapshot["connections_total"] == 2
+        assert snapshot["connections_active"] == 1
+        stats.connection_closed()
+        stats.connection_closed()  # spurious close never goes negative
+        assert stats.as_dict()["connections_active"] == 0
+
+
+class TestStoreReadBreaker:
+    def _policy(self):
+        return BreakerPolicy(failure_threshold=2, cooldown_probes=2)
+
+    def test_trips_after_threshold(self):
+        breaker = StoreReadBreaker(self._policy())
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_open_denies_then_half_open_probe_recovers(self):
+        breaker = StoreReadBreaker(self._policy())
+        breaker.record_failure()
+        breaker.record_failure()
+        # Cooldown counted in consultations, then one probe allowed.
+        denied = 0
+        while not breaker.allows():
+            denied += 1
+            assert denied < 10
+        assert denied == 2
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_state_view_never_consumes_cooldown(self):
+        breaker = StoreReadBreaker(self._policy())
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(50):  # /readyz polling must not schedule probes
+            assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows()
+
+    def test_success_resets_failure_streak(self):
+        breaker = StoreReadBreaker(self._policy())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_thread_safety_smoke(self):
+        breaker = StoreReadBreaker(BreakerPolicy(failure_threshold=3,
+                                                 cooldown_probes=1))
+
+        def worker(index):
+            for turn in range(100):
+                if breaker.allows():
+                    if (index + turn) % 3:
+                        breaker.record_success()
+                    else:
+                        breaker.record_failure()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert breaker.state in (
+            BreakerState.CLOSED, BreakerState.OPEN, BreakerState.HALF_OPEN
+        )
+
+
+class TestResilienceState:
+    def _reader(self, tmp_path):
+        from repro.characterization.reader import ResultReader
+
+        store = ResultStore(tmp_path / "results")
+        store.save("fig", {"rate": 1.0})
+        return ResultReader(store.directory)
+
+    def test_ready_when_healthy(self, tmp_path):
+        state = ResilienceState()
+        ready, checks = state.readiness(self._reader(tmp_path))
+        assert ready
+        assert checks == {
+            "store_reachable": True,
+            "draining": False,
+            "breaker": "closed",
+        }
+
+    def test_drain_flips_readiness(self, tmp_path):
+        state = ResilienceState()
+        state.begin_drain()
+        ready, checks = state.readiness(self._reader(tmp_path))
+        assert not ready and checks["draining"] is True
+
+    def test_open_breaker_flips_readiness(self, tmp_path):
+        state = ResilienceState(
+            ResiliencePolicy(
+                breaker=BreakerPolicy(failure_threshold=1, cooldown_probes=1)
+            )
+        )
+        state.breaker.record_failure()
+        ready, checks = state.readiness(self._reader(tmp_path))
+        assert not ready and checks["breaker"] == "open"
+
+    def test_unreachable_store_flips_readiness(self, tmp_path):
+        from repro.characterization.reader import ResultReader
+
+        state = ResilienceState()
+        ready, checks = state.readiness(
+            ResultReader(tmp_path / "never-created")
+        )
+        assert not ready and checks["store_reachable"] is False
+
+    def test_shed_reasons_summarize_counters(self):
+        state = ResilienceState()
+        state.stats.record_response(200)
+        state.stats.count("shed_requests")
+        lines = state.shed_reasons()
+        assert any("1 request(s) served" in line for line in lines)
+        assert any("1 shed at admission" in line for line in lines)

@@ -362,3 +362,50 @@ class TestPipelineFlag:
         out = capsys.readouterr().out
         assert "pipeline declined" in out
         assert "executor-not-pipelining" in out
+
+
+class TestServeCommand:
+    def test_missing_store_is_usage_error(self, capsys, tmp_path):
+        assert main(
+            ["serve", "--results-dir", str(tmp_path / "nope")]
+        ) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_invalid_resilience_budget_is_usage_error(
+        self, capsys, tmp_path
+    ):
+        results_dir = tmp_path / "results"
+        results_dir.mkdir()
+        assert main([
+            "serve", "--results-dir", str(results_dir),
+            "--max-concurrent-requests", "0",
+        ]) == 2
+        assert "max_concurrent_requests" in capsys.readouterr().err
+
+    def test_invalid_chaos_rate_is_usage_error(self, capsys, tmp_path):
+        results_dir = tmp_path / "results"
+        results_dir.mkdir()
+        assert main([
+            "serve", "--results-dir", str(results_dir),
+            "--chaos-read-error-rate", "1.5",
+        ]) == 2
+        assert "read_error_rate" in capsys.readouterr().err
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve",
+            "--max-concurrent-requests", "8",
+            "--max-connections", "32",
+            "--request-timeout", "1.5",
+            "--drain-timeout", "2.0",
+            "--read-workers", "2",
+            "--breaker-threshold", "3",
+            "--breaker-cooldown", "4",
+            "--chaos-digest-mismatch-rate", "0.5",
+            "--chaos-max-faults", "6",
+        ])
+        assert args.max_concurrent_requests == 8
+        assert args.request_timeout == 1.5
+        assert args.breaker_threshold == 3
+        assert args.chaos_digest_mismatch_rate == 0.5
+        assert args.chaos_max_faults == 6
