@@ -31,8 +31,14 @@ from repro.engine.benchmark import (  # noqa: E402
     DEFAULT_EXECUTORS,
     run_campaign_benchmark,
     run_engine_benchmark,
+    run_fleet_benchmark,
     write_benchmark_json,
 )
+from repro.engine.executors import available_cpu_count  # noqa: E402
+
+# Floors that only hold when the machine can actually run the workers
+# in parallel: a 1-CPU container measures time-slicing, not scaling.
+CPU_GATED_FLOORS = {"parallel": 2, "fleet": 2}
 
 
 def check_floors(report, floors_path: Path) -> int:
@@ -41,15 +47,27 @@ def check_floors(report, floors_path: Path) -> int:
     Returns the number of violations.  Floors apply to the speedup
     ratio (executor vs serial), which is far more stable across
     machines than absolute wall-times; the tolerance absorbs the
-    remaining run-to-run noise.
+    remaining run-to-run noise.  Worker-scaling floors (the
+    ``worker_scaling`` section) gate on the parallel executor's
+    scaling curve; they and other parallelism floors are skipped --
+    with a printed note -- on machines without enough usable CPUs to
+    make the measurement meaningful.
     """
     floors = json.loads(floors_path.read_text())
     tolerance = float(floors.get("tolerance", 0.75))
+    cpus = available_cpu_count()
     violations = 0
     for name, floor in floors.get("min_speedup", {}).items():
         measured = report.speedup.get(name)
         if measured is None:
             print(f"floor check: {name} not benchmarked, skipping")
+            continue
+        needs = CPU_GATED_FLOORS.get(name)
+        if needs is not None and cpus < needs:
+            print(
+                f"floor check: {name} needs >= {needs} usable CPUs "
+                f"(have {cpus}), skipping"
+            )
             continue
         threshold = float(floor) * tolerance
         verdict = "ok" if measured >= threshold else "REGRESSION"
@@ -60,7 +78,72 @@ def check_floors(report, floors_path: Path) -> int:
         )
         if measured < threshold:
             violations += 1
+    violations += check_scaling_floors(
+        report, floors.get("worker_scaling", {}), tolerance, cpus
+    )
     return violations
+
+
+def check_scaling_floors(report, scaling, tolerance: float, cpus: int) -> int:
+    """Gate the parallel worker-scaling curve (``parallel@N`` keys)."""
+    if not scaling:
+        return 0
+    curve = report.worker_scaling
+
+    def wall(count: int):
+        return curve.get(f"parallel@{count}")
+
+    violations = 0
+    ratio_floor = scaling.get("min_ratio_4_over_1")
+    if ratio_floor is not None:
+        if cpus < 4:
+            print(
+                "floor check: parallel@4-over-@1 ratio needs >= 4 usable "
+                f"CPUs (have {cpus}), skipping"
+            )
+        elif wall(4) is None or wall(1) is None:
+            print("floor check: scaling curve not benchmarked, skipping")
+        else:
+            measured = wall(1) / wall(4) if wall(4) > 0 else 1.0
+            threshold = float(ratio_floor) * tolerance
+            verdict = "ok" if measured >= threshold else "REGRESSION"
+            print(
+                f"floor check: parallel@4 vs parallel@1 {measured:.2f}x "
+                f"vs floor {float(ratio_floor):.2f}x (threshold "
+                f"{threshold:.2f}x): {verdict}"
+            )
+            if measured < threshold:
+                violations += 1
+    if scaling.get("monotonic"):
+        counts = [int(c) for c in scaling["monotonic"]]
+        if cpus < max(counts):
+            print(
+                f"floor check: monotonic scaling needs >= {max(counts)} "
+                f"usable CPUs (have {cpus}), skipping"
+            )
+        elif any(wall(c) is None for c in counts):
+            print("floor check: scaling curve not benchmarked, skipping")
+        else:
+            # Each step up the curve must not be slower than the
+            # previous one by more than the tolerance allows.
+            ok = all(
+                wall(hi) <= wall(lo) / tolerance
+                for lo, hi in zip(counts, counts[1:])
+            )
+            walls = ", ".join(f"@{c}={wall(c):.3f}s" for c in counts)
+            print(
+                f"floor check: monotonic worker scaling ({walls}): "
+                + ("ok" if ok else "REGRESSION")
+            )
+            if not ok:
+                violations += 1
+    return violations
+
+
+def _jobs_value(text: str):
+    if text.strip().lower() == "auto":
+        return available_cpu_count()
+    return int(text)
 
 
 def main(argv=None) -> int:
@@ -69,7 +152,11 @@ def main(argv=None) -> int:
     parser.add_argument("--groups", type=int, default=2)
     parser.add_argument("--trials", type=int, default=32)
     parser.add_argument("--seed", type=int, default=2024)
-    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--jobs", type=_jobs_value, default=None,
+        help="worker count for parallel executors (an integer, or "
+        "'auto' for the usable cgroup-aware CPU count)",
+    )
     parser.add_argument(
         "--executors", nargs="+", default=list(DEFAULT_EXECUTORS),
         choices=DEFAULT_EXECUTORS,
@@ -86,6 +173,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--campaign-trials", type=int, default=16,
         help="trials per test for the campaign benchmark",
+    )
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help="also time a >= 6-figure campaign on a localhost worker "
+        "fleet vs the single-pool pipelined baseline (adds the 'fleet' "
+        "section and speedup)",
+    )
+    parser.add_argument(
+        "--fleet-workers", type=int, default=2,
+        help="worker subprocesses for the fleet benchmark",
     )
     parser.add_argument(
         "--floors", type=Path, default=None,
@@ -114,6 +211,13 @@ def main(argv=None) -> int:
             jobs=args.jobs,
         )
         report.speedup["campaign"] = report.campaign["speedup"]
+    if args.fleet:
+        report.fleet = run_fleet_benchmark(
+            seed=args.seed,
+            jobs=args.jobs,
+            workers=args.fleet_workers,
+        )
+        report.speedup["fleet"] = report.fleet["speedup"]
     path = write_benchmark_json(report, Path(args.output))
     for line in report.summary_lines():
         print(line)
@@ -121,6 +225,10 @@ def main(argv=None) -> int:
     if not report.identical:
         return 1
     if report.campaign is not None and not report.campaign["identical"]:
+        return 1
+    if report.fleet is not None and not (
+        report.fleet["identical"] and report.fleet["audit_passed"]
+    ):
         return 1
     if args.floors is not None:
         if check_floors(report, args.floors):

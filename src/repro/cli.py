@@ -14,6 +14,8 @@ writing Python::
     simra-dram trng --bits 4096         # extension: random numbers
     simra-dram decoder --rf 0 --rs 7    # decoder algebra lookup
     simra-dram campaign --resume        # checkpointed figure sweep
+    simra-dram campaign --fleet 4       # figures across 4 worker processes
+    simra-dram worker --connect H:P     # fleet worker serving a dispatcher
     simra-dram audit --results-dir d    # integrity + recompute audit
     simra-dram repair --results-dir d   # quarantine damage, patch manifest
     simra-dram stats --results-dir d    # engine metrics of a campaign
@@ -92,6 +94,25 @@ def _graceful_signals() -> Iterator[None]:
             signal.signal(signal.SIGTERM, previous)
 
 
+def _jobs_value(text: str) -> Optional[int]:
+    """``--jobs`` parser: an explicit count, or ``auto``.
+
+    ``auto`` resolves to the *usable* CPU count (cgroup/affinity
+    aware via ``os.process_cpu_count`` where available), so container
+    CI with a 2-CPU quota on a 64-core host gets 2 workers, not 64.
+    """
+    if text.strip().lower() == "auto":
+        from .engine import available_cpu_count
+
+        return available_cpu_count()
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        )
+
+
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--columns", type=int, default=512,
                         help="simulated bitlines per row (default 512)")
@@ -106,8 +127,10 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                                  "fused-parallel"),
                         default="serial",
                         help="trial-engine execution strategy (default serial)")
-    parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for --executor parallel")
+    parser.add_argument("--jobs", type=_jobs_value, default=None,
+                        help="worker processes for --executor parallel "
+                             "(an integer, or 'auto' for the usable "
+                             "cgroup-aware CPU count)")
     parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="serve bit-identical trial outcomes from the "
@@ -319,12 +342,79 @@ def _cmd_trng(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .engine.fleet import run_worker
+    from .errors import ExperimentError
+
+    try:
+        run_worker(args.connect, executor_name=args.executor, jobs=args.jobs)
+    except (ExperimentError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def _cmd_campaign_fleet(args: argparse.Namespace) -> int:
+    from .characterization.store import ResultStore
+    from .engine.fleet import LocalFleet, fleet_scope, run_fleet_campaign
+    from .errors import ExperimentError
+
+    if args.resume or args.chaos or args.supervise:
+        print(
+            "error: --fleet does not combine with --resume/--chaos/"
+            "--supervise; run those through the single-host campaign",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.fleet_chips:
+        config = SimulationConfig(seed=args.seed, columns_per_row=args.columns)
+        scope = fleet_scope(
+            args.fleet_chips,
+            config=config,
+            groups_per_size=args.groups,
+            trials=args.trials,
+        )
+    else:
+        scope = _scope_from(args)
+    store = ResultStore(Path(args.results_dir))
+    try:
+        with LocalFleet(
+            workers=args.fleet,
+            executor_name=args.executor,
+            jobs=args.jobs,
+        ) as fleet:
+            dispatcher = fleet.dispatcher()
+            result = run_fleet_campaign(
+                scope, args.experiments, dispatcher, store=store
+            )
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(
+        f"Fleet campaign over {len(scope.benches)} modules across "
+        f"{args.fleet} worker(s) -> {store.directory}/"
+    )
+    for name in result.completed:
+        print(f"  {name}: done")
+    for name, error in sorted(result.failures.items()):
+        print(f"  {name}: FAILED ({error})")
+    if getattr(args, "stats", False) and result.engine_stats:
+        from .engine import render_stats_dict
+
+        print()
+        print(render_stats_dict(result.engine_stats))
+    return EXIT_OK if result.succeeded else EXIT_FAILURES
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .characterization.campaign import Campaign, RetryPolicy
     from .characterization.store import ResultStore
     from .chaos import ChaosConfig
     from .errors import ExperimentError
     from .health import BreakerPolicy, HealthTracker
+
+    if args.fleet:
+        return _cmd_campaign_fleet(args)
 
     scope = _scope_from(args)
     store = ResultStore(Path(args.results_dir))
@@ -833,7 +923,35 @@ def build_parser() -> argparse.ArgumentParser:
                           "pipelined cross-experiment scheduling; the "
                           "default engages it automatically for "
                           "multi-figure runs on a pipelining executor")
+    sub.add_argument("--fleet", type=int, default=None, metavar="N",
+                     help="distribute whole figures across N localhost "
+                          "worker processes speaking the fleet socket "
+                          "protocol (breakers, straggler re-issue, and "
+                          "worker-death recovery included; artifacts stay "
+                          "byte-equal to a single-host run)")
+    sub.add_argument("--fleet-chips", type=int, default=None, metavar="N",
+                     help="with --fleet: characterize N sampled "
+                          "vendor-profile chips instead of the paper's "
+                          "one-module-per-spec catalog scope")
     sub.set_defaults(handler=_cmd_campaign)
+
+    sub = subparsers.add_parser(
+        "worker",
+        help="serve campaign figures to a fleet dispatcher over the "
+             "length-prefixed columnar socket protocol",
+    )
+    sub.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="dispatcher address to dial into")
+    sub.add_argument("--executor",
+                     choices=("serial", "parallel", "batched", "fused",
+                              "fused-parallel"),
+                     default="serial",
+                     help="per-figure execution strategy (default serial)")
+    sub.add_argument("--jobs", type=_jobs_value, default=None,
+                     help="worker processes for parallel executors "
+                          "(an integer, or 'auto' for the usable "
+                          "cgroup-aware CPU count)")
+    sub.set_defaults(handler=_cmd_worker)
 
     sub = subparsers.add_parser(
         "audit",

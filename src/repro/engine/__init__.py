@@ -10,17 +10,40 @@ and simulation seed, every executor produces bit-identical results.
 """
 
 from .cache import TrialCache
-from .columnar import OutcomeColumns, pack_outcomes, unpack_outcomes
+from .columnar import (
+    OutcomeColumns,
+    TaskColumns,
+    columns_from_arrays,
+    columns_to_arrays,
+    pack_outcomes,
+    pack_tasks,
+    unpack_outcomes,
+    unpack_tasks,
+)
 from .executors import (
     BatchedExecutor,
     ExecutorBase,
     FusedExecutor,
     ProcessPoolExecutor,
     SerialExecutor,
+    available_cpu_count,
     make_executor,
     run_plan,
     run_task_serial,
     run_tasks_fused,
+)
+from .fleet import (
+    FleetDispatcher,
+    FleetItem,
+    FleetOutcome,
+    LocalFleet,
+    fleet_scope,
+    recv_columns,
+    recv_frame,
+    run_fleet_campaign,
+    run_worker,
+    send_columns,
+    send_frame,
 )
 from .kernels import (
     ActivationKernel,
@@ -52,7 +75,11 @@ __all__ = [
     "EngineMetrics",
     "ExecutorBase",
     "ExperimentProgram",
+    "FleetDispatcher",
+    "FleetItem",
+    "FleetOutcome",
     "FusedExecutor",
+    "LocalFleet",
     "MajXKernel",
     "MultiRowCopyKernel",
     "OutcomeColumns",
@@ -60,22 +87,35 @@ __all__ = [
     "PlanStep",
     "ProcessPoolExecutor",
     "SerialExecutor",
+    "TaskColumns",
     "TaskOutcome",
     "TrialCache",
     "TrialKernel",
     "TrialPlan",
     "TrialTask",
+    "available_cpu_count",
     "checkpoint_means",
     "checkpoint_rates_by_count",
+    "columns_from_arrays",
+    "columns_to_arrays",
+    "fleet_scope",
     "make_executor",
     "measurement_context",
     "pack_outcomes",
+    "pack_tasks",
     "point_token",
     "rates_by_serial",
+    "recv_columns",
+    "recv_frame",
     "render_stats_dict",
+    "run_fleet_campaign",
     "run_plan",
     "run_task_serial",
     "run_tasks_fused",
+    "run_worker",
+    "send_columns",
+    "send_frame",
     "tasks_for_scope",
     "unpack_outcomes",
+    "unpack_tasks",
 ]

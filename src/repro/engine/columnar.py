@@ -1,4 +1,4 @@
-"""Columnar (structure-of-arrays) transport for trial outcomes.
+"""Columnar (structure-of-arrays) transport for trial work, both ways.
 
 Worker processes used to hand their shard results back as pickled
 lists of :class:`~repro.engine.plan.TaskOutcome` objects -- one Python
@@ -6,8 +6,18 @@ object, one bool ndarray, and one tuple-of-tuples per task.  At
 campaign scale (thousands of tasks) the pickle channel becomes the
 bottleneck: most of the bytes are per-object overhead, not data.
 
-This module packs a whole shard's outcomes into a handful of NumPy
-arrays instead:
+Since the slice-dispatch rework the *downlink* is columnar too:
+:class:`TaskColumns` packs a contiguous slice of a plan's
+:class:`~repro.engine.plan.TrialTask` specs (row groups in CSR form)
+into flat arrays, so a dispatch ships one columnar message per worker
+instead of a pickled object graph per task.  Both directions share
+the same array-list serialization (:func:`columns_to_arrays` /
+:func:`columns_from_arrays`), which is also what the fleet tier's
+length-prefixed socket protocol (:mod:`repro.engine.fleet`) puts on
+the wire.
+
+For the *uplink*, this module packs a whole shard's outcomes into a
+handful of NumPy arrays:
 
 - ``indices`` / ``rates`` / ``trials`` / ``cells``: one element per
   task (rates travel as float64 verbatim, so the round trip is exact
@@ -34,7 +44,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import bitplane
-from .plan import TaskOutcome
+from ..core.rowgroups import RowGroup
+from .plan import TaskOutcome, TrialTask
 
 
 @dataclass
@@ -183,3 +194,199 @@ def unpack_outcomes(
             )
         )
     return outcomes
+
+
+@dataclass
+class TaskColumns:
+    """A contiguous slice of a plan's task specs as parallel arrays.
+
+    The downlink twin of :class:`OutcomeColumns`: one dispatch ships a
+    whole slice of tasks as eleven flat arrays instead of a pickled
+    list of :class:`~repro.engine.plan.TrialTask` objects (each
+    dragging a :class:`~repro.core.rowgroups.RowGroup` and its
+    frozenset along).  Row groups travel in CSR form
+    (``row_offsets`` into ``row_values``), and each task names its
+    bench by a slice-local ``slot`` into the dispatch's bench-section
+    table -- the worker maps slots back to (spec, instance, serial).
+    """
+
+    indices: np.ndarray
+    """Plan-order task indices, int64 ``(n,)``."""
+    slots: np.ndarray
+    """Slice-local bench-section slot per task, int64 ``(n,)``."""
+    banks: np.ndarray
+    """Bank index per task, int64 ``(n,)``."""
+    subarrays: np.ndarray
+    """Subarray index per task, int64 ``(n,)``."""
+    trials: np.ndarray
+    """Trials per task, int64 ``(n,)``."""
+    cells: np.ndarray
+    """Cells per task, int64 ``(n,)``."""
+    group_subarrays: np.ndarray
+    """RowGroup.subarray per task, int64 ``(n,)``."""
+    row_first: np.ndarray
+    """RowGroup.row_first per task, int64 ``(n,)``."""
+    row_second: np.ndarray
+    """RowGroup.row_second per task, int64 ``(n,)``."""
+    row_offsets: np.ndarray
+    """CSR row pointers into ``row_values``, int64 ``(n + 1,)``."""
+    row_values: np.ndarray
+    """Concatenated sorted group rows, int64 ``(total,)``."""
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def nbytes(self) -> int:
+        """Bytes this record ships through the dispatch channel."""
+        return int(
+            sum(
+                getattr(self, name).nbytes
+                for name in _TASK_COLUMN_FIELDS
+            )
+        )
+
+
+_TASK_COLUMN_FIELDS = (
+    "indices",
+    "slots",
+    "banks",
+    "subarrays",
+    "trials",
+    "cells",
+    "group_subarrays",
+    "row_first",
+    "row_second",
+    "row_offsets",
+    "row_values",
+)
+
+_OUTCOME_COLUMN_FIELDS = (
+    "indices",
+    "rates",
+    "trials",
+    "cells",
+    "ckpt_offsets",
+    "ckpt_counts",
+    "ckpt_rates",
+    "mask_offsets",
+    "mask_words",
+)
+
+
+def pack_tasks(tasks: Sequence[TrialTask], slots: Sequence[int]) -> TaskColumns:
+    """Pack a slice of tasks into columns.
+
+    ``slots`` is parallel to ``tasks`` and names each task's
+    slice-local bench section (the dispatch payload carries the
+    section table separately).
+    """
+    n = len(tasks)
+    if len(slots) != n:
+        raise ValueError("slots must be parallel to tasks")
+    row_offsets = np.zeros(n + 1, dtype=np.int64)
+    for i, task in enumerate(tasks):
+        row_offsets[i + 1] = row_offsets[i] + len(task.group.rows)
+    row_values = np.zeros(int(row_offsets[-1]), dtype=np.int64)
+    cursor = 0
+    for task in tasks:
+        for row in sorted(task.group.rows):
+            row_values[cursor] = row
+            cursor += 1
+
+    def column(values) -> np.ndarray:
+        return np.fromiter(values, dtype=np.int64, count=n)
+
+    return TaskColumns(
+        indices=column(task.index for task in tasks),
+        slots=np.asarray(list(slots), dtype=np.int64),
+        banks=column(task.bank for task in tasks),
+        subarrays=column(task.subarray for task in tasks),
+        trials=column(task.trials for task in tasks),
+        cells=column(task.cells for task in tasks),
+        group_subarrays=column(task.group.subarray for task in tasks),
+        row_first=column(task.group.row_first for task in tasks),
+        row_second=column(task.group.row_second for task in tasks),
+        row_offsets=row_offsets,
+        row_values=row_values,
+    )
+
+
+def unpack_tasks(
+    columns: TaskColumns, serials: Sequence[str]
+) -> List[TrialTask]:
+    """Rebuild :class:`TrialTask` objects from columns.
+
+    ``serials`` maps each slice-local slot to its module serial; the
+    reconstructed tasks carry the slot as their ``bench_index``, which
+    is exactly how the worker's section loop addresses them.  Group
+    rows round-trip through sorted order, which
+    :attr:`TrialTask.group_token` (the noise key) sorts anyway, so
+    reconstruction is bit-transparent.
+    """
+    tasks: List[TrialTask] = []
+    for i in range(len(columns)):
+        lo = int(columns.row_offsets[i])
+        hi = int(columns.row_offsets[i + 1])
+        slot = int(columns.slots[i])
+        group = RowGroup(
+            subarray=int(columns.group_subarrays[i]),
+            row_first=int(columns.row_first[i]),
+            row_second=int(columns.row_second[i]),
+            rows=frozenset(int(row) for row in columns.row_values[lo:hi]),
+        )
+        tasks.append(
+            TrialTask(
+                index=int(columns.indices[i]),
+                bench_index=slot,
+                serial=serials[slot],
+                bank=int(columns.banks[i]),
+                subarray=int(columns.subarrays[i]),
+                group=group,
+                trials=int(columns.trials[i]),
+                cells=int(columns.cells[i]),
+            )
+        )
+    return tasks
+
+
+def columns_to_arrays(
+    columns,
+) -> Tuple[Dict[str, object], List[np.ndarray]]:
+    """Flatten a columns record into (header, array list) for the wire.
+
+    Works for both :class:`TaskColumns` and :class:`OutcomeColumns`
+    (mask-less outcome columns mark the absent fields in the header
+    instead of shipping empty placeholders).  The inverse is
+    :func:`columns_from_arrays`.
+    """
+    if isinstance(columns, TaskColumns):
+        fields = list(_TASK_COLUMN_FIELDS)
+        kind = "tasks"
+    elif isinstance(columns, OutcomeColumns):
+        fields = [
+            name
+            for name in _OUTCOME_COLUMN_FIELDS
+            if getattr(columns, name) is not None
+        ]
+        kind = "outcomes"
+    else:
+        raise TypeError(f"not a columns record: {type(columns).__name__}")
+    return {"kind": kind, "fields": fields}, [
+        np.ascontiguousarray(getattr(columns, name)) for name in fields
+    ]
+
+
+def columns_from_arrays(header: Dict[str, object], arrays: Sequence[np.ndarray]):
+    """Rebuild a :func:`columns_to_arrays` record from the wire form."""
+    fields = list(header["fields"])
+    if len(fields) != len(arrays):
+        raise ValueError(
+            f"header names {len(fields)} fields but {len(arrays)} arrays "
+            "arrived"
+        )
+    values = dict(zip(fields, arrays))
+    if header.get("kind") == "tasks":
+        return TaskColumns(**values)
+    if header.get("kind") == "outcomes":
+        return OutcomeColumns(**values)
+    raise ValueError(f"unknown columns kind {header.get('kind')!r}")

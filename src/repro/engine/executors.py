@@ -52,13 +52,42 @@ from ..chaos import ChaosConfig, ChaosHarness, FaultKind
 from ..errors import ExperimentError, TransientInfrastructureError
 from . import bitplane
 from .cache import TrialCache
-from .columnar import OutcomeColumns, pack_outcomes, unpack_outcomes
+from .columnar import (
+    OutcomeColumns,
+    TaskColumns,
+    pack_outcomes,
+    pack_tasks,
+    unpack_outcomes,
+    unpack_tasks,
+)
 from .kernels import TrialKernel, measurement_context, point_token
 from .metrics import EngineMetrics
 from .plan import PlanResult, TaskOutcome, TrialPlan, TrialTask
 
 if TYPE_CHECKING:  # characterization imports the engine; avoid the cycle
     from ..characterization.experiment import OperatingPoint
+
+
+def available_cpu_count() -> int:
+    """CPUs actually usable by this process (cgroup/affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; a containerized CI job is
+    usually pinned to far fewer.  Prefer ``os.process_cpu_count``
+    (3.13+), fall back to the scheduler affinity mask, then to the
+    machine count -- so worker defaults never oversubscribe a
+    cgroup-limited runner.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        count = counter()
+        if count:
+            return count
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 def run_task_serial(
@@ -249,6 +278,11 @@ class ExecutorBase:
     def __init__(self, cache: Optional[TrialCache] = None) -> None:
         self.metrics = EngineMetrics(executor=self.name)
         self.cache = cache
+        self._merge_skip_windows = False
+        """While True (pipelined batches), per-plan deltas merge into
+        the cumulative metrics without their wall/execute windows --
+        overlapping plans would otherwise multi-count the same
+        seconds; the batch adds one real window instead."""
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -395,7 +429,7 @@ class ExecutorBase:
         delta.plans += 1
         delta.reduce_s += time.perf_counter() - reduce_started
         delta.wall_s += time.perf_counter() - started
-        self.metrics.merge(delta)
+        self.metrics.merge(delta, skip_windows=self._merge_skip_windows)
         return PlanResult(plan_name=plan.name, outcomes=outcomes, metrics=delta)
 
 
@@ -439,9 +473,9 @@ indistinguishable from a freshly built one.
 _BENCH_CACHE_LIMIT = 32
 
 
-def _bench_for_payload(payload: Dict[str, Any]) -> Tuple[TestBench, bool]:
-    """A (possibly cached) bench for one shard; True when reused."""
-    key = (payload["serial"], payload["config"])
+def _bench_for_section(section: Dict[str, Any]) -> Tuple[TestBench, bool]:
+    """A (possibly cached) bench for one slice section; True when reused."""
+    key = (section["serial"], section["config"])
     bench = _BENCH_CACHE.get(key)
     if bench is not None:
         # Same starting point as a fresh build: baseline environment,
@@ -450,7 +484,7 @@ def _bench_for_payload(payload: Dict[str, Any]) -> Tuple[TestBench, bool]:
         bench.reset_environment()
         return bench, True
     bench = TestBench.for_spec(
-        payload["spec"], payload["instance"], config=payload["config"]
+        section["spec"], section["instance"], config=section["config"]
     )
     while len(_BENCH_CACHE) >= _BENCH_CACHE_LIMIT:
         _BENCH_CACHE.pop(next(iter(_BENCH_CACHE)))
@@ -476,77 +510,103 @@ def _write_masks(outcomes: List[TaskOutcome], payload: Dict[str, Any]) -> None:
     shm.close()
 
 
-def _run_shard(
+def _run_slice(
     payload: Dict[str, Any],
 ) -> Tuple[
     Optional[OutcomeColumns], Dict[str, Any], Dict[str, int], Optional[Exception]
 ]:
-    """Worker entry point: run one bench's shard of tasks.
+    """Worker entry point: run one contiguous slice of a plan.
 
     Module-level so it pickles under the default process start method.
-    The shard runs serially (the reference path) or fused, per the
-    payload's ``strategy``.  Results come back *columnar*: masks go
-    into the parent's shared-memory window and everything else is
+    A slice spans one or more bench *sections* -- the payload carries a
+    section table (spec/serial/config/chaos per bench) plus the slice's
+    task specs as one :class:`~repro.engine.columnar.TaskColumns`
+    message, so a dispatch amortizes its round-trip, bench
+    rebuild/fingerprint check, and chaos-harness install over many
+    tasks instead of paying them per bench shard.  Tasks run serially
+    (the reference path) or fused, per the payload's ``strategy``.
+
+    Results come back *columnar* too: masks go into the parent's
+    shared-memory window (when one is attached) and everything else is
     packed into :class:`~repro.engine.columnar.OutcomeColumns`, so the
     pickle channel carries a few flat arrays instead of per-trial
     Python objects.  Alongside travel a stats dict (busy time,
-    worker-side APA programs, stage timings, bench reuses), the
-    per-kind chaos faults the local harness injected, and any
-    *transient* error the shard died of.  Transient errors travel back
+    worker-side APA programs, stage timings, bench reuses, tasks run),
+    the per-kind chaos faults the local harnesses injected, and any
+    *transient* error the slice died of.  Transient errors travel back
     as data rather than through ``future.result()`` so the parent can
     credit the injected faults to its ``max_faults_per_kind`` ledger
-    before re-raising -- a shard that faulted and raised would
+    before re-raising -- a slice that faulted and raised would
     otherwise never be accounted, and a rate-keyed chaotic campaign
     would retry against an undiminished fault budget forever.
     """
     if payload.get("kill_worker"):
-        # Chaos proof load: this shard's worker dies abruptly, the way
+        # Chaos proof load: this slice's worker dies abruptly, the way
         # an OOM kill or segfault would -- no exception, no cleanup.
         os._exit(86)
     started = time.perf_counter()
-    bench, reused = _bench_for_payload(payload)
-    harness: Optional[ChaosHarness] = None
-    if payload["chaos"] is not None:
-        harness = ChaosHarness(payload["chaos"])
-        harness.install(bench)
+    sections: List[Dict[str, Any]] = payload["sections"]
+    tasks = unpack_tasks(
+        payload["tasks"], [section["serial"] for section in sections]
+    )
+    by_slot: Dict[int, List[TrialTask]] = {}
+    for task in tasks:
+        by_slot.setdefault(task.bench_index, []).append(task)
     outcomes: List[TaskOutcome] = []
     stats: Dict[str, Any] = {
         "apa_programs": 0,
         "stages": {},
-        "bench_reuses": 1 if reused else 0,
+        "bench_reuses": 0,
+        "tasks_run": 0,
     }
+    injected: Dict[str, int] = {}
     error: Optional[Exception] = None
-    try:
-        point: OperatingPoint = payload["point"]
-        if payload["apply_environment"]:
-            bench.set_temperature(point.temperature_c)
-            bench.set_vpp(point.vpp)
-        if payload.get("strategy") == "fused":
-            scratch = EngineMetrics(executor="shard")
-            outcomes = run_tasks_fused(
-                payload["kernel"], point, payload["checkpoints"],
-                bench, payload["tasks"], scratch,
-            )
-            stats["apa_programs"] = scratch.apa_programs
-            stats["stages"] = dict(scratch.stages)
-        else:
-            for task in payload["tasks"]:
-                outcomes.append(
-                    run_task_serial(
+    point: OperatingPoint = payload["point"]
+    for slot in sorted(by_slot):
+        section = sections[slot]
+        bench, reused = _bench_for_section(section)
+        if reused:
+            stats["bench_reuses"] += 1
+        harness: Optional[ChaosHarness] = None
+        if section["chaos"] is not None:
+            harness = ChaosHarness(section["chaos"])
+            harness.install(bench)
+        try:
+            if payload["apply_environment"]:
+                bench.set_temperature(point.temperature_c)
+                bench.set_vpp(point.vpp)
+            if payload.get("strategy") == "fused":
+                scratch = EngineMetrics(executor="slice")
+                outcomes.extend(
+                    run_tasks_fused(
                         payload["kernel"], point, payload["checkpoints"],
-                        bench, task,
+                        bench, by_slot[slot], scratch,
                     )
                 )
-    except TransientInfrastructureError as exc:
-        error = exc
-    finally:
-        injected = (
-            {k: v for k, v in harness.engine.stats.injected.items() if v}
-            if harness
-            else {}
-        )
-        if harness is not None:
-            harness.uninstall()
+                stats["apa_programs"] += scratch.apa_programs
+                for stage, seconds in scratch.stages.items():
+                    stats["stages"][stage] = (
+                        stats["stages"].get(stage, 0.0) + seconds
+                    )
+            else:
+                for task in by_slot[slot]:
+                    outcomes.append(
+                        run_task_serial(
+                            payload["kernel"], point, payload["checkpoints"],
+                            bench, task,
+                        )
+                    )
+            stats["tasks_run"] += len(by_slot[slot])
+        except TransientInfrastructureError as exc:
+            error = exc
+        finally:
+            if harness is not None:
+                for kind, count in harness.engine.stats.injected.items():
+                    if count:
+                        injected[kind] = injected.get(kind, 0) + count
+                harness.uninstall()
+        if error is not None:
+            break
     columns: Optional[OutcomeColumns] = None
     if error is None:
         if payload.get("mask_shm") is not None:
@@ -559,19 +619,22 @@ def _run_shard(
 
 
 class _PendingPlan:
-    """One plan moving through prepare -> execute -> finalize."""
+    """One plan moving through prepare -> slice -> execute -> finalize."""
 
     __slots__ = (
-        "plan", "started", "delta", "payloads", "run_tasks", "served",
-        "keys", "cache_before", "all_served", "shm", "layout",
-        "execute_started", "shard_columns", "error",
+        "plan", "started", "delta", "sections", "section_tasks",
+        "run_tasks", "served", "keys", "cache_before", "all_served",
+        "shm", "layout", "execute_started", "shard_columns", "error",
     )
 
     def __init__(self, plan: TrialPlan, started: float) -> None:
         self.plan = plan
         self.started = started
         self.delta: Optional[EngineMetrics] = None
-        self.payloads: List[Dict[str, Any]] = []
+        self.sections: List[Dict[str, Any]] = []
+        """Per-bench rebuild recipes (spec/instance/serial/config/chaos)."""
+        self.section_tasks: List[List[TrialTask]] = []
+        """Tasks per section, parallel to ``sections``, in plan order."""
         self.run_tasks: List[TrialTask] = []
         self.served: List[TaskOutcome] = []
         self.keys: Optional[Dict[int, str]] = None
@@ -630,6 +693,7 @@ class ProcessPoolExecutor(ExecutorBase):
         max_pool_restarts: int = 2,
         strategy: str = "serial",
         cache: Optional[TrialCache] = None,
+        dispatch_target_s: float = 0.05,
     ) -> None:
         if strategy not in ("serial", "fused"):
             raise ExperimentError(
@@ -642,11 +706,19 @@ class ProcessPoolExecutor(ExecutorBase):
             raise ExperimentError("shard_deadline_s must be non-negative")
         if max_pool_restarts < 0:
             raise ExperimentError("max_pool_restarts must be non-negative")
+        if dispatch_target_s < 0:
+            raise ExperimentError("dispatch_target_s must be non-negative")
         self.jobs = jobs
         self.chaos = chaos
         self.shard_deadline_s = shard_deadline_s
         self.max_pool_restarts = max_pool_restarts
         self.strategy = strategy
+        self.dispatch_target_s = dispatch_target_s
+        """Minimum estimated compute per dispatch; slices are sized so
+        each round-trip amortizes over at least this much work."""
+        self._task_cost_ema: Optional[float] = None
+        """Exponential moving average of observed per-task worker
+        seconds, feeding the adaptive slice sizing."""
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_workers = 0
         self._kills_done: set = set()
@@ -686,7 +758,7 @@ class ProcessPoolExecutor(ExecutorBase):
             pass
 
     def _pool_target(self) -> int:
-        return max(1, self.jobs or (os.cpu_count() or 1))
+        return max(1, self.jobs or available_cpu_count())
 
     def _ensure_pool(self, need: int) -> concurrent.futures.ProcessPoolExecutor:
         """The persistent pool, created lazily and grown by recreation."""
@@ -734,6 +806,7 @@ class ProcessPoolExecutor(ExecutorBase):
         in-flight shards are abandoned, shared memory is released, and
         the exception propagates.
         """
+        batch_started = time.perf_counter()
         pendings: List[_PendingPlan] = []
         for plan in plans:
             try:
@@ -761,26 +834,40 @@ class ProcessPoolExecutor(ExecutorBase):
                     on_result(next_emit[0], settled[next_emit[0]])
                 next_emit[0] += 1
 
-        live = [p for p in pendings if p.error is None and p.payloads]
+        live = [p for p in pendings if p.error is None and p.sections]
+        # Per-plan wall/execute windows overlap across a pipelined
+        # batch; merging them all would multi-count the same seconds
+        # (a 2 s batch of 60 plans once reported 129 s of wall).  Plans
+        # keep their own windows in their PlanResult deltas, but the
+        # cumulative metrics take exactly one batch-level window.
+        self._merge_skip_windows = True
+        execute_started = time.perf_counter()
         try:
-            # Plans that never reach the pool (prepare errors, fully
-            # cache-served) settle up front so their stream position
-            # never blocks a later live plan's delivery.
+            try:
+                # Plans that never reach the pool (prepare errors, fully
+                # cache-served) settle up front so their stream position
+                # never blocks a later live plan's delivery.
+                for pending in pendings:
+                    if pending not in live:
+                        settle(pending)
+                if live:
+                    self._execute_batch(live, on_complete=settle)
+            except BaseException:
+                for pending in pendings:
+                    self._release(pending)
+                raise
             for pending in pendings:
-                if pending not in live:
-                    settle(pending)
+                settle(pending)
+        finally:
+            self._merge_skip_windows = False
+            now = time.perf_counter()
             if live:
-                self._execute_batch(live, on_complete=settle)
-        except BaseException:
-            for pending in pendings:
-                self._release(pending)
-            raise
-        for pending in pendings:
-            settle(pending)
+                self.metrics.execute_s += now - execute_started
+            self.metrics.wall_s += now - batch_started
         return [settled[index] for index in range(len(pendings))]
 
     def _prepare(self, plan: TrialPlan, manage_cache: bool) -> _PendingPlan:
-        """Cache split, environment, payloads, and the mask window."""
+        """Cache split, environment, bench sections, and the mask window."""
         pending = _PendingPlan(plan, time.perf_counter())
         run_tasks = list(plan.tasks)
         if manage_cache and self.cache is not None:
@@ -834,30 +921,21 @@ class ProcessPoolExecutor(ExecutorBase):
             )
             if kill_worker:
                 self._kills_done.add(serial)
-            pending.payloads.append(
+            pending.sections.append(
                 {
                     "spec": module.spec,
                     "instance": instance,
                     "serial": serial,
                     "config": module.config,
-                    "kernel": plan.kernel,
-                    "point": plan.point,
-                    "checkpoints": tuple(plan.checkpoints),
-                    "apply_environment": plan.apply_environment,
-                    "tasks": shards[bench_index],
                     "chaos": self._worker_chaos(serial),
                     "kill_worker": kill_worker,
-                    "strategy": self.strategy,
-                    "mask_shm": None,
                 }
             )
-        if pending.payloads:
-            delta.workers = max(
-                1, min(self._pool_target(), len(pending.payloads))
-            )
-            # Shards hand their masks back through one preallocated
+            pending.section_tasks.append(shards[bench_index])
+        if pending.sections:
+            # Slices hand their masks back through one preallocated
             # shared-memory window instead of the pickle channel; each
-            # task owns a fixed packed-word slot, so duplicate shard
+            # task owns a fixed packed-word slot, so duplicate slice
             # executions (stragglers, pool rebuilds) are harmless
             # overwrites with identical bits.
             offset = 0
@@ -868,23 +946,99 @@ class ProcessPoolExecutor(ExecutorBase):
             pending.shm = shared_memory.SharedMemory(
                 create=True, size=max(8, offset * 8)
             )
-            for payload in pending.payloads:
-                payload["mask_shm"] = pending.shm.name
-                payload["mask_layout"] = {
-                    task.index: pending.layout[task.index]
-                    for task in payload["tasks"]
-                }
         pending.execute_started = time.perf_counter()
         return pending
+
+    def _build_slices(self, pending: _PendingPlan) -> List[Dict[str, Any]]:
+        """Chunk one plan's prepared work into contiguous slice payloads.
+
+        The flattened (section, task) stream is cut into at most
+        ``workers`` contiguous slices -- one dispatch per worker is the
+        O(workers) round-trip floor, versus the old payload-per-bench
+        shape that paid a pool round-trip for every shard.  Once a
+        per-task cost estimate exists (EMA over observed worker busy
+        seconds, see :meth:`_harvest`), the slice count also adapts
+        *downward* so every dispatch carries at least
+        ``dispatch_target_s`` of estimated compute: tiny plans collapse
+        toward a single dispatch instead of fanning out work that costs
+        less than its own round-trip.
+
+        Each payload carries a slice-local section table (bench rebuild
+        recipes for just the benches the slice touches) and the slice's
+        tasks as one :class:`~repro.engine.columnar.TaskColumns`
+        message; tasks reference sections by slot, so the worker
+        rebuilds/fingerprint-checks each bench once per slice.
+        """
+        flat: List[Tuple[int, TrialTask]] = []
+        for section_index, tasks in enumerate(pending.section_tasks):
+            for task in tasks:
+                flat.append((section_index, task))
+        if not flat:
+            return []
+        delta = pending.delta
+        assert delta is not None
+        total = len(flat)
+        n_slices = max(1, min(self._pool_target(), total))
+        if self._task_cost_ema and self.dispatch_target_s > 0:
+            affordable = int(
+                total * self._task_cost_ema / self.dispatch_target_s
+            )
+            n_slices = max(1, min(n_slices, affordable))
+        base, extra = divmod(total, n_slices)
+        payloads: List[Dict[str, Any]] = []
+        cursor = 0
+        for slice_index in range(n_slices):
+            size = base + (1 if slice_index < extra else 0)
+            chunk = flat[cursor:cursor + size]
+            cursor += size
+            if not chunk:
+                continue
+            slot_of: Dict[int, int] = {}
+            sections: List[Dict[str, Any]] = []
+            slots: List[int] = []
+            tasks: List[TrialTask] = []
+            kill = False
+            for section_index, task in chunk:
+                slot = slot_of.get(section_index)
+                if slot is None:
+                    section = pending.sections[section_index]
+                    slot = len(sections)
+                    slot_of[section_index] = slot
+                    sections.append(section)
+                    kill = kill or bool(section["kill_worker"])
+                slots.append(slot)
+                tasks.append(task)
+            columns = pack_tasks(tasks, slots)
+            payload: Dict[str, Any] = {
+                "sections": sections,
+                "tasks": columns,
+                "kernel": pending.plan.kernel,
+                "point": pending.plan.point,
+                "checkpoints": tuple(pending.plan.checkpoints),
+                "apply_environment": pending.plan.apply_environment,
+                "strategy": self.strategy,
+                "kill_worker": kill,
+                "mask_shm": None,
+            }
+            if pending.shm is not None:
+                payload["mask_shm"] = pending.shm.name
+                payload["mask_layout"] = {
+                    task.index: pending.layout[task.index] for task in tasks
+                }
+            delta.dispatches += 1
+            delta.bytes_shipped_down += columns.nbytes()
+            payloads.append(payload)
+        delta.workers = max(1, min(self._pool_target(), len(payloads)))
+        return payloads
 
     def _execute_batch(
         self,
         pendings: List[_PendingPlan],
         on_complete: Optional[Callable[[_PendingPlan], None]] = None,
     ) -> None:
-        """Run every pending plan's shards to completion, supervised.
+        """Run every pending plan's slices to completion, supervised.
 
-        All shards share one job stream over the persistent pool.
+        All slices share one job stream over the persistent pool.
         Per-plan accounting (stragglers, resharded tasks, chaos
         faults) lands in each owner's delta; whole-batch events (pool
         rebuilds) are credited once -- to the single owner's delta
@@ -892,13 +1046,13 @@ class ProcessPoolExecutor(ExecutorBase):
         to the cumulative metrics for a pipelined batch.
 
         ``on_complete`` fires the moment a plan has no outstanding
-        shards left -- every shard harvested, or the plan abandoned on
+        slices left -- every slice harvested, or the plan abandoned on
         its first error -- which is what lets :meth:`run_many` stream
         finalized plans mid-batch.
         """
         jobs: Dict[int, Tuple[_PendingPlan, Dict[str, Any]]] = {}
         for pending in pendings:
-            for payload in pending.payloads:
+            for payload in self._build_slices(pending):
                 jobs[len(jobs)] = (pending, payload)
         if not jobs:
             return
@@ -928,7 +1082,7 @@ class ProcessPoolExecutor(ExecutorBase):
                     if owner.error is None:
                         try:
                             owner.shard_columns[index] = self._harvest(
-                                _run_shard(dict(payload, kill_worker=False)),
+                                _run_slice(dict(payload, kill_worker=False)),
                                 owner.delta,
                             )
                         except TransientInfrastructureError as exc:
@@ -942,7 +1096,7 @@ class ProcessPoolExecutor(ExecutorBase):
                 future_job: Dict[concurrent.futures.Future, int] = {}
                 for index in sorted(pending_jobs):
                     future_job[
-                        pool.submit(_run_shard, pending_jobs[index][1])
+                        pool.submit(_run_slice, pending_jobs[index][1])
                     ] = index
                 active = set(future_job)
                 reissued: set = set()
@@ -970,7 +1124,7 @@ class ProcessPoolExecutor(ExecutorBase):
                             reissued.add(index)
                             owner.delta.stragglers_reissued += 1
                             duplicate = pool.submit(
-                                _run_shard,
+                                _run_slice,
                                 dict(payload, kill_worker=False),
                             )
                             future_job[duplicate] = index
@@ -1040,7 +1194,9 @@ class ProcessPoolExecutor(ExecutorBase):
                 delta = EngineMetrics(executor=self.name, workers=1)
                 delta.plans += 1
                 delta.wall_s += time.perf_counter() - pending.started
-                self.metrics.merge(delta)
+                self.metrics.merge(
+                    delta, skip_windows=self._merge_skip_windows
+                )
                 outcomes = sorted(
                     pending.served, key=lambda outcome: outcome.index
                 )
@@ -1196,6 +1352,18 @@ class ProcessPoolExecutor(ExecutorBase):
             delta.add_stage(stage, seconds)
         delta.worker_bench_reuses += stats.get("bench_reuses", 0)
         delta.bytes_shipped += columns.nbytes()
+        tasks_run = int(stats.get("tasks_run", 0))
+        if tasks_run:
+            # Adaptive slice sizing input: observed per-task worker
+            # seconds, smoothed so one outlier slice cannot whipsaw
+            # the next plan's dispatch count.
+            per_task = stats["busy_s"] / tasks_run
+            if self._task_cost_ema is None:
+                self._task_cost_ema = per_task
+            else:
+                self._task_cost_ema = (
+                    0.5 * self._task_cost_ema + 0.5 * per_task
+                )
         return columns, stats["busy_s"]
 
 
@@ -1341,6 +1509,7 @@ def make_executor(
     shard_deadline_s: Optional[float] = None,
     max_pool_restarts: int = 2,
     cache: Optional[TrialCache] = None,
+    dispatch_target_s: Optional[float] = None,
 ) -> ExecutorBase:
     """Build an executor from a CLI-style name."""
     if name in (None, "serial"):
@@ -1353,6 +1522,9 @@ def make_executor(
             max_pool_restarts=max_pool_restarts,
             strategy="fused" if name == "fused-parallel" else "serial",
             cache=cache,
+            dispatch_target_s=(
+                0.05 if dispatch_target_s is None else dispatch_target_s
+            ),
         )
     if name == "batched":
         return BatchedExecutor(cache=cache)

@@ -48,6 +48,16 @@ class EngineMetrics:
     """Shards served by a worker's cached bench instead of a rebuild."""
     bytes_shipped: int = 0
     """Columnar result bytes shipped over the worker pickle channel."""
+    dispatches: int = 0
+    """Slice payloads submitted to workers (parent round-trips)."""
+    bytes_shipped_down: int = 0
+    """Columnar task-spec bytes shipped down to workers."""
+    fleet_items: int = 0
+    """Whole experiment programs dispatched to fleet workers."""
+    fleet_reissued: int = 0
+    """Fleet items re-issued after a worker died or went overdue."""
+    fleet_worker_deaths: int = 0
+    """Fleet workers lost mid-campaign (socket death, SIGKILL)."""
     pipelined_plans: int = 0
     """Plans executed through the pipelined campaign scheduler."""
     pipeline_wall_s: float = 0.0
@@ -115,17 +125,28 @@ class EngineMetrics:
         """Accumulate an extra named stage wall-time."""
         self.stages[name] = self.stages.get(name, 0.0) + seconds
 
-    def merge(self, other: "EngineMetrics") -> None:
-        """Fold another metrics record into this one (counters add)."""
+    def merge(
+        self, other: "EngineMetrics", skip_windows: bool = False
+    ) -> None:
+        """Fold another metrics record into this one (counters add).
+
+        ``skip_windows=True`` leaves the wall-clock window fields
+        (``wall_s`` / ``execute_s``) alone: a pipelined batch prepares
+        every plan up front, so the per-plan windows overlap and
+        summing them would count the same seconds once per plan (the
+        129 s-for-a-2 s-batch artifact).  The batch owner adds its
+        single non-overlapping window instead.
+        """
         self.plans += other.plans
         self.tasks += other.tasks
         self.trials += other.trials
         self.apa_programs += other.apa_programs
         self.cells += other.cells
         self.environment_s += other.environment_s
-        self.execute_s += other.execute_s
+        if not skip_windows:
+            self.execute_s += other.execute_s
+            self.wall_s += other.wall_s
         self.reduce_s += other.reduce_s
-        self.wall_s += other.wall_s
         self.busy_s += other.busy_s
         self.chaos_faults_injected += other.chaos_faults_injected
         self.breaker_trips += other.breaker_trips
@@ -136,6 +157,11 @@ class EngineMetrics:
         self.pool_reuses += other.pool_reuses
         self.worker_bench_reuses += other.worker_bench_reuses
         self.bytes_shipped += other.bytes_shipped
+        self.dispatches += other.dispatches
+        self.bytes_shipped_down += other.bytes_shipped_down
+        self.fleet_items += other.fleet_items
+        self.fleet_reissued += other.fleet_reissued
+        self.fleet_worker_deaths += other.fleet_worker_deaths
         self.pipelined_plans += other.pipelined_plans
         self.pipeline_wall_s += other.pipeline_wall_s
         self.pipeline_busy_s += other.pipeline_busy_s
@@ -178,6 +204,11 @@ class EngineMetrics:
             "pool_reuses": self.pool_reuses,
             "worker_bench_reuses": self.worker_bench_reuses,
             "bytes_shipped": self.bytes_shipped,
+            "dispatches": self.dispatches,
+            "bytes_shipped_down": self.bytes_shipped_down,
+            "fleet_items": self.fleet_items,
+            "fleet_reissued": self.fleet_reissued,
+            "fleet_worker_deaths": self.fleet_worker_deaths,
             "pipelined_plans": self.pipelined_plans,
             "pipeline_wall_s": self.pipeline_wall_s,
             "pipeline_busy_s": self.pipeline_busy_s,
@@ -225,6 +256,9 @@ class EngineMetrics:
             ("stragglers re-issued", self.stragglers_reissued),
             ("pool restarts", self.pool_restarts),
             ("audit mismatches", self.audit_mismatches),
+            ("fleet items", self.fleet_items),
+            ("fleet re-issues", self.fleet_reissued),
+            ("fleet worker deaths", self.fleet_worker_deaths),
         ]
         if any(count for _, count in health):
             lines.append("  fleet health")
@@ -234,6 +268,7 @@ class EngineMetrics:
             self.pipelined_plans
             or self.pool_reuses
             or self.bytes_shipped
+            or self.dispatches
             or self.pipeline_declined_reason
         ):
             lines.append("  scheduler")
@@ -242,6 +277,11 @@ class EngineMetrics:
                 f"    bench reuses      : {self.worker_bench_reuses}"
             )
             lines.append(f"    bytes shipped     : {self.bytes_shipped}")
+            if self.dispatches:
+                lines.append(f"    dispatches        : {self.dispatches}")
+                lines.append(
+                    f"    bytes shipped down: {self.bytes_shipped_down}"
+                )
             if self.pipelined_plans:
                 lines.append(
                     f"    pipelined plans   : {self.pipelined_plans}"

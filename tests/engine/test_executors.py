@@ -378,3 +378,111 @@ class TestCloseIdempotence:
             )
             executor.close()
         # __exit__ closed it a second time without complaint.
+
+
+class TestSliceDispatch:
+    """Whole-plan-slice shipping: O(workers) round trips per plan."""
+
+    def test_dispatch_count_is_bounded_by_workers(self):
+        executor = ProcessPoolExecutor(jobs=2)
+        plan = build_activation_plan(make_scope(), 8, ACT_POINT)
+        run_plan(plan, executor)
+        # One columnar message per slice, at most one slice per
+        # worker -- not one dispatch per task.
+        assert 1 <= executor.metrics.dispatches <= 2
+        assert executor.metrics.dispatches < len(plan.tasks)
+        assert executor.metrics.bytes_shipped_down > 0
+
+    def test_adaptive_sizing_collapses_tiny_plans(self):
+        # A huge dispatch floor + the observed per-task cost from run
+        # one should shrink run two to a single slice.
+        executor = ProcessPoolExecutor(jobs=2, dispatch_target_s=3600.0)
+        scope = make_scope()
+        run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
+        first = executor.metrics.dispatches
+        run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
+        assert executor.metrics.dispatches - first == 1
+
+    def test_zero_target_disables_adaptation(self):
+        executor = ProcessPoolExecutor(jobs=2, dispatch_target_s=0.0)
+        scope = make_scope()
+        run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
+        first = executor.metrics.dispatches
+        run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
+        # No cost model consulted: same slicing both times.
+        assert executor.metrics.dispatches - first == first
+
+    def test_dispatch_target_validated(self):
+        with pytest.raises(ExperimentError):
+            ProcessPoolExecutor(jobs=2, dispatch_target_s=-0.5)
+
+    def test_make_executor_passes_dispatch_target(self):
+        executor = make_executor("parallel", jobs=2, dispatch_target_s=0.25)
+        assert executor.dispatch_target_s == 0.25
+
+    def test_bench_fingerprint_reuse_across_dispatches(self):
+        # A slice builds each touched bench once; the *next* dispatch
+        # to the same worker finds it cached by fingerprint, so the
+        # rebuild cost is paid once per worker, not once per dispatch.
+        # (Deltas, not absolutes: under the fork start method a worker
+        # can inherit benches an earlier in-process slice cached.)
+        executor = ProcessPoolExecutor(jobs=1)
+        scope = make_scope()
+        plan = build_activation_plan(scope, 8, ACT_POINT)
+        run_plan(plan, executor)
+        before = executor.metrics.worker_bench_reuses
+        run_plan(build_activation_plan(scope, 8, ACT_POINT), executor)
+        benches_touched = len({t.bench_index for t in plan.tasks})
+        assert (
+            executor.metrics.worker_bench_reuses - before == benches_touched
+        )
+
+    def test_bench_reuse_across_run_many_batches(self):
+        scope = make_scope()
+        with ProcessPoolExecutor(jobs=1) as executor:
+            # Warm the worker's bench cache with one batch first.
+            executor.run_many([build_activation_plan(scope, 8, ACT_POINT)])
+            before = executor.metrics.worker_bench_reuses
+            plans = [
+                build_activation_plan(scope, 8, ACT_POINT) for _ in range(3)
+            ]
+            executor.run_many(plans)
+        benches = len({t.bench_index for t in plans[0].tasks})
+        # Every plan of the warm batch finds its benches cached --
+        # reuse scales with batch size.
+        assert executor.metrics.worker_bench_reuses - before == benches * 3
+
+
+class TestBatchMetricsWindows:
+    """run_many must report one wall/execute window per batch, not the
+    sum of per-plan windows (the 129 s-for-a-2 s-campaign bug)."""
+
+    def test_run_many_window_is_single_not_summed(self):
+        import time
+
+        scope = make_scope()
+        plans = [
+            build_activation_plan(scope, 8, ACT_POINT) for _ in range(3)
+        ]
+        with ProcessPoolExecutor(jobs=2) as executor:
+            started = time.perf_counter()
+            executor.run_many(plans)
+            elapsed = time.perf_counter() - started
+        # Accumulating per-plan windows in a pipelined batch would
+        # overshoot the true elapsed time several-fold.
+        assert executor.metrics.wall_s <= elapsed * 1.2
+        assert executor.metrics.execute_s <= elapsed * 1.2
+        assert executor.metrics.wall_s > 0.0
+
+    def test_serial_run_many_window_also_single(self):
+        import time
+
+        scope = make_scope()
+        plans = [
+            build_activation_plan(scope, 8, ACT_POINT) for _ in range(3)
+        ]
+        executor = SerialExecutor()
+        started = time.perf_counter()
+        executor.run_many(plans)
+        elapsed = time.perf_counter() - started
+        assert executor.metrics.wall_s <= elapsed * 1.2

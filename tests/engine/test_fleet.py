@@ -1,0 +1,263 @@
+"""Fleet tier tests: socket protocol, dispatcher supervision, and the
+byte-equality contract of fleet-distributed campaigns.
+
+The fleet's hard guarantee mirrors the executors': distributing whole
+experiment programs across worker processes changes *where* the work
+runs, never *what* gets stored.  Artifacts from a fleet campaign are
+byte-equal to a single-host serial run, so ``simra-dram audit``
+verifies fleet output with no special handling.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.characterization.campaign import Campaign
+from repro.characterization.experiment import CharacterizationScope
+from repro.characterization.store import ResultStore
+from repro.config import SimulationConfig
+from repro.dram.vendor import TESTED_MODULES
+from repro.engine.fleet import (
+    FleetDispatcher,
+    FleetItem,
+    LocalFleet,
+    fleet_scope,
+    recv_columns,
+    recv_frame,
+    run_fleet_campaign,
+    scope_from_spec,
+    scope_to_spec,
+    send_columns,
+    send_frame,
+)
+from repro.errors import ExperimentError
+
+CONFIG = SimulationConfig(seed=9, columns_per_row=64, trials_per_test=2)
+
+
+def make_scope():
+    return CharacterizationScope.build(
+        config=CONFIG,
+        specs=TESTED_MODULES[:2],
+        modules_per_spec=1,
+        groups_per_size=2,
+        trials=2,
+    )
+
+
+class TestFrameProtocol:
+    def test_header_only_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "ping", "nested": {"x": [1, 2]}})
+            header, arrays = recv_frame(b)
+            assert header == {"type": "ping", "nested": {"x": [1, 2]}}
+            assert arrays == []
+        finally:
+            a.close()
+            b.close()
+
+    def test_arrays_round_trip_exactly(self):
+        a, b = socket.socketpair()
+        try:
+            originals = [
+                np.arange(100, dtype=np.int64),
+                np.linspace(0, 1, 7),
+                np.zeros((3, 5), dtype=np.uint64),
+                np.array([], dtype=np.float64),
+            ]
+            send_frame(a, {"type": "data"}, originals)
+            _, arrays = recv_frame(b)
+            assert len(arrays) == len(originals)
+            for got, want in zip(arrays, originals):
+                assert got.dtype == want.dtype
+                assert got.shape == want.shape
+                assert np.array_equal(got, want)
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_on_closed_peer(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_task_columns_over_the_wire(self):
+        from repro.characterization.activation import build_activation_plan
+        from repro.characterization.experiment import OperatingPoint
+        from repro.engine.columnar import pack_tasks, unpack_tasks
+
+        plan = build_activation_plan(
+            make_scope(), 8, OperatingPoint(t1_ns=1.5, t2_ns=3.0)
+        )
+        slots = [t.bench_index for t in plan.tasks]
+        columns = pack_tasks(plan.tasks, slots)
+        a, b = socket.socketpair()
+        try:
+            send_columns(a, {"type": "tasks"}, columns)
+            _, rebuilt = recv_columns(b)
+        finally:
+            a.close()
+            b.close()
+        serials = [bench.module.serial for bench in plan.benches]
+        recovered = unpack_tasks(rebuilt, serials)
+        assert [t.group_token for t in recovered] == [
+            t.group_token for t in plan.tasks
+        ]
+
+
+class TestScopeSpec:
+    def test_round_trip_preserves_benches_and_knobs(self):
+        scope = make_scope()
+        rebuilt = scope_from_spec(scope_to_spec(scope))
+        assert [b.module.serial for b in rebuilt.benches] == [
+            b.module.serial for b in scope.benches
+        ]
+        assert rebuilt.banks == scope.banks
+        assert rebuilt.subarrays == scope.subarrays
+        assert rebuilt.groups_per_size == scope.groups_per_size
+        assert rebuilt.trials == scope.trials
+
+    def test_unknown_module_rejected(self):
+        spec = scope_to_spec(make_scope())
+        spec["modules"] = [["NOT-A-MODULE", 0]]
+        with pytest.raises(ExperimentError, match="unknown module"):
+            scope_from_spec(spec)
+
+    def test_fleet_scope_samples_beyond_the_catalog(self):
+        # The paper tested 120 chips; fleet scopes sample the vendor
+        # profiles with unbounded instance indices.
+        chips = len(TESTED_MODULES) * 2 + 3
+        scope = fleet_scope(chips, config=CONFIG, trials=2)
+        assert len(scope.benches) == chips
+        serials = [b.module.serial for b in scope.benches]
+        assert len(set(serials)) == chips
+        assert any(serial.endswith("#2") for serial in serials)
+
+
+class TestDispatcherLocalFallback:
+    """With no workers at all, the dispatcher preserves the campaign
+    by finishing items in-process."""
+
+    def test_runs_items_locally_in_order(self):
+        spec = scope_to_spec(make_scope())
+        items = [
+            FleetItem(index=0, figure="fig3", scope_spec=spec),
+            FleetItem(index=1, figure="fig6", scope_spec=spec),
+        ]
+        streamed = []
+        dispatcher = FleetDispatcher([])
+        outcomes = dispatcher.run(
+            items, on_result=lambda i, o: streamed.append(i)
+        )
+        assert streamed == [0, 1]
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        assert all(o.worker == "local" for o in outcomes)
+        assert dispatcher.metrics.fleet_items == 2
+
+    def test_duplicate_indices_rejected(self):
+        spec = scope_to_spec(make_scope())
+        items = [
+            FleetItem(index=0, figure="fig3", scope_spec=spec),
+            FleetItem(index=0, figure="fig6", scope_spec=spec),
+        ]
+        with pytest.raises(ExperimentError, match="unique"):
+            FleetDispatcher([]).run(items)
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ExperimentError, match="positive"):
+            FleetDispatcher([], item_deadline_s=0.0)
+
+
+class TestFleetCampaign:
+    def test_validates_figures(self):
+        with pytest.raises(ExperimentError, match="unknown experiments"):
+            run_fleet_campaign(make_scope(), ["fig99"], FleetDispatcher([]))
+        with pytest.raises(ExperimentError, match="at least one"):
+            run_fleet_campaign(make_scope(), [], FleetDispatcher([]))
+
+    def test_local_fallback_campaign_matches_serial_reference(self, tmp_path):
+        figures = ["fig3", "fig6"]
+        ref_store = ResultStore(tmp_path / "ref")
+        reference = Campaign(make_scope(), store=ref_store).run(figures)
+        assert reference.succeeded
+
+        fleet_store = ResultStore(tmp_path / "fleet")
+        result = run_fleet_campaign(
+            make_scope(), figures, FleetDispatcher([]), store=fleet_store
+        )
+        assert result.succeeded
+        assert result.completed == figures
+        for name in figures:
+            ref_bytes = (tmp_path / "ref" / f"{name}.json").read_bytes()
+            got_bytes = (tmp_path / "fleet" / f"{name}.json").read_bytes()
+            assert got_bytes == ref_bytes
+
+    def test_manifest_mirrors_single_host_campaign(self, tmp_path):
+        figures = ["fig3"]
+        ref_store = ResultStore(tmp_path / "ref")
+        Campaign(make_scope(), store=ref_store).run(figures)
+        fleet_store = ResultStore(tmp_path / "fleet")
+        run_fleet_campaign(
+            make_scope(), figures, FleetDispatcher([]), store=fleet_store
+        )
+        ref = ref_store.load_manifest()
+        got = fleet_store.load_manifest()
+        assert got.fingerprint == ref.fingerprint
+        assert got.serials == ref.serials
+        assert got.completed == ref.completed
+
+
+@pytest.mark.slow
+class TestLocalFleetLive:
+    """Real worker subprocesses over real sockets."""
+
+    def test_two_worker_campaign_byte_equal_and_audited(self, tmp_path):
+        from repro.health import audit_store
+
+        figures = ["fig3", "fig6"]
+        ref_store = ResultStore(tmp_path / "ref")
+        Campaign(make_scope(), store=ref_store).run(figures)
+
+        fleet_store = ResultStore(tmp_path / "fleet")
+        with LocalFleet(workers=2) as fleet:
+            result = run_fleet_campaign(
+                make_scope(), figures, fleet.dispatcher(), store=fleet_store
+            )
+        assert result.succeeded
+        assert result.completed == figures  # deterministic commit order
+        assert result.engine_stats["fleet_items"] == 2
+        for name in figures:
+            assert (tmp_path / "fleet" / f"{name}.json").read_bytes() == (
+                tmp_path / "ref" / f"{name}.json"
+            ).read_bytes()
+        report = audit_store(fleet_store, sample=1, seed=0)
+        assert report.passed
+
+    def test_worker_death_mid_run_recovers(self, tmp_path):
+        figures = ["fig3", "fig4a", "fig6", "fig7"]
+        fleet_store = ResultStore(tmp_path / "fleet")
+        with LocalFleet(workers=2) as fleet:
+            dispatcher = fleet.dispatcher()
+            killer = threading.Timer(0.2, lambda: fleet.kill_worker(0))
+            killer.start()
+            try:
+                result = run_fleet_campaign(
+                    make_scope(), figures, dispatcher, store=fleet_store
+                )
+            finally:
+                killer.cancel()
+        assert result.succeeded
+        assert result.completed == figures
+        stats = result.engine_stats
+        # The SIGKILLed worker's in-flight item was re-issued (unless
+        # the kill landed between items, in which case nothing was
+        # orphaned and nothing needed re-issuing).
+        assert stats["fleet_worker_deaths"] >= 1
+        assert stats["fleet_reissued"] >= 0

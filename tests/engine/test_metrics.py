@@ -146,3 +146,60 @@ class TestPipelineDeclinedReason:
         assert "pipeline declined" in report
         assert "health-supervised" in report
         assert render_stats_dict(metrics.as_dict()) == report
+
+
+class TestDispatchAndFleetCounters:
+    def test_merge_adds_dispatch_counters(self):
+        total = EngineMetrics()
+        total.merge(EngineMetrics(dispatches=2, bytes_shipped_down=512))
+        total.merge(EngineMetrics(dispatches=3, bytes_shipped_down=256))
+        assert total.dispatches == 5
+        assert total.bytes_shipped_down == 768
+
+    def test_merge_adds_fleet_counters(self):
+        total = EngineMetrics()
+        total.merge(
+            EngineMetrics(
+                fleet_items=4, fleet_reissued=1, fleet_worker_deaths=1
+            )
+        )
+        total.merge(EngineMetrics(fleet_items=2))
+        assert total.fleet_items == 6
+        assert total.fleet_reissued == 1
+        assert total.fleet_worker_deaths == 1
+
+    def test_skip_windows_merge_keeps_work_but_not_time(self):
+        total = EngineMetrics()
+        delta = EngineMetrics(
+            plans=1, tasks=8, wall_s=2.0, execute_s=1.5, busy_s=1.0,
+            dispatches=2,
+        )
+        total.merge(delta, skip_windows=True)
+        # Work counters and busy time accumulate; the wall-clock
+        # windows do not (the batch adds one window at the end).
+        assert total.plans == 1
+        assert total.tasks == 8
+        assert total.busy_s == 1.0
+        assert total.dispatches == 2
+        assert total.wall_s == 0.0
+        assert total.execute_s == 0.0
+
+    def test_new_counters_survive_as_dict_and_render(self):
+        metrics = EngineMetrics(
+            executor="fleet", workers=2, dispatches=3,
+            bytes_shipped_down=4096, fleet_items=5, fleet_reissued=1,
+            fleet_worker_deaths=1,
+        )
+        payload = metrics.as_dict()
+        for key in (
+            "dispatches", "bytes_shipped_down", "fleet_items",
+            "fleet_reissued", "fleet_worker_deaths",
+        ):
+            assert key in payload
+        report = metrics.render()
+        for fragment in (
+            "dispatches", "bytes shipped down", "fleet items",
+            "fleet re-issues", "fleet worker deaths",
+        ):
+            assert fragment in report
+        assert render_stats_dict(payload) == report
