@@ -32,6 +32,7 @@ from repro.engine.benchmark import (  # noqa: E402
     run_campaign_benchmark,
     run_engine_benchmark,
     run_fleet_benchmark,
+    run_planner_benchmark,
     write_benchmark_json,
 )
 from repro.engine.executors import available_cpu_count  # noqa: E402
@@ -185,6 +186,21 @@ def main(argv=None) -> int:
         help="worker subprocesses for the fleet benchmark",
     )
     parser.add_argument(
+        "--planner", action="store_true",
+        help="also compare a fixed-budget fig9 cliff sweep against the "
+        "adaptive planner at the same trial ceiling (adds the 'planner' "
+        "trial-reduction ratio the floors file can gate on)",
+    )
+    parser.add_argument(
+        "--planner-ci-target", type=float, default=0.02,
+        help="CI half-width target for the planner benchmark",
+    )
+    parser.add_argument(
+        "--planner-max-trials", type=int, default=32,
+        help="per-cell trial ceiling (and the fixed-budget baseline) "
+        "for the planner benchmark",
+    )
+    parser.add_argument(
         "--floors", type=Path, default=None,
         help="perf_floors.json path; fail on speedups below floor*tolerance",
     )
@@ -218,6 +234,16 @@ def main(argv=None) -> int:
             workers=args.fleet_workers,
         )
         report.speedup["fleet"] = report.fleet["speedup"]
+    if args.planner:
+        report.planner = run_planner_benchmark(
+            seed=args.seed,
+            ci_target=args.planner_ci_target,
+            max_trials=args.planner_max_trials,
+        )
+        # The planner floor gates the trial-reduction ratio, not a
+        # wall-time speedup: trial counts are exactly reproducible, so
+        # no CPU gating or timing tolerance is needed.
+        report.speedup["planner"] = report.planner["trial_reduction"]
     path = write_benchmark_json(report, Path(args.output))
     for line in report.summary_lines():
         print(line)
@@ -228,6 +254,10 @@ def main(argv=None) -> int:
         return 1
     if report.fleet is not None and not (
         report.fleet["identical"] and report.fleet["audit_passed"]
+    ):
+        return 1
+    if report.planner is not None and not (
+        report.planner["converged"] and report.planner["identical"]
     ):
         return 1
     if args.floors is not None:

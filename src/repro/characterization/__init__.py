@@ -9,7 +9,9 @@ distribution of per-group success rates across everything tested.
 from .stats import (
     BootstrapCI,
     DistributionSummary,
+    StreamingBootstrap,
     bootstrap_mean_ci,
+    bootstrap_mean_ci_each,
     summarize,
     summarize_each,
 )
@@ -73,7 +75,9 @@ from .timing_search import (
 __all__ = [
     "BootstrapCI",
     "DistributionSummary",
+    "StreamingBootstrap",
     "bootstrap_mean_ci",
+    "bootstrap_mean_ci_each",
     "summarize",
     "summarize_each",
     "CharacterizationScope",

@@ -31,7 +31,17 @@ the executor is failure-isolated:
   carries an explicit data-quality annotation naming what was
   excluded;
 - a :class:`~repro.chaos.ChaosConfig` can be attached to prove all of
-  the above under injected faults (the rig is restored afterwards).
+  the above under injected faults (the rig is restored afterwards);
+- with an :class:`~repro.engine.planner.AdaptiveConfig` attached, the
+  corner matrix runs through the
+  :class:`~repro.engine.planner.AdaptivePlanner` instead of at a fixed
+  trial budget: cells stop at the target CI half-width, freed trials
+  steer to the high-variance cells, every completed round is journaled
+  (so a killed run leaves a progress trace), each finished figure is
+  committed with a ``planner`` data-quality annotation recording
+  per-cell ``trials_planned``/``trials_run``/``stop_reason``, and the
+  adaptive knobs ride in the manifest fingerprint so resume refuses to
+  mix budgets and the audit can rebuild the exact planner.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import rng
 from ..bender.program import ProgramBuilder
+from ..engine.planner import AdaptiveConfig
 from ..engine.scheduler import CampaignScheduler
 from ..errors import (
     ConfigurationError,
@@ -214,8 +225,9 @@ class CampaignResult:
     """Cumulative :class:`~repro.engine.EngineMetrics` of the campaign's
     executor (``None`` when the campaign ran without one)."""
     quality: Dict[str, Dict[str, object]] = field(default_factory=dict)
-    """Per-experiment data-quality annotations (fleet coverage), kept
-    only when a health tracker supervises the campaign."""
+    """Per-experiment data-quality annotations: fleet coverage when a
+    health tracker supervises the campaign, or the per-cell ``planner``
+    trial accounting when an adaptive config drives it."""
     health: Optional[Dict[str, object]] = None
     """Fleet health summary
     (:meth:`~repro.health.HealthTracker.as_dict`) when supervised."""
@@ -259,6 +271,14 @@ class CampaignResult:
                     f" [degraded: {len(quarantined)} module(s) "
                     f"quarantined: {', '.join(quarantined)}]"
                 )
+            planner = quality.get("planner") or {}
+            if planner.get("adaptive"):
+                suffix += (
+                    f" [adaptive: {planner['trials_run']}/"
+                    f"{planner['trials_planned']} trials, "
+                    f"{planner['cells_converged']}/{len(planner['cells'])} "
+                    "cells converged]"
+                )
             lines.append(f"  {name}: done{suffix}")
         for failure in self.failures:
             lines.append(
@@ -290,9 +310,19 @@ class Campaign:
         executor: Optional["ExecutorBase"] = None,  # noqa: F821
         health: Optional[HealthTracker] = None,
         pipeline: Optional[bool] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
     ):
         if time_budget_s is not None and time_budget_s <= 0:
             raise ConfigurationError("time budget must be positive")
+        if adaptive is not None and executor is None:
+            raise ConfigurationError(
+                "adaptive campaigns need an engine executor"
+            )
+        if adaptive is not None and health is not None:
+            raise ConfigurationError(
+                "adaptive campaigns do not compose with health "
+                "supervision; run one or the other"
+            )
         self._scope = scope
         self._store = store
         self._retry = retry if retry is not None else RetryPolicy()
@@ -306,6 +336,7 @@ class Campaign:
         """``True`` forces pipelined scheduling (when eligible), ``False``
         disables it, ``None`` (default) engages it automatically for
         multi-experiment runs on a pipelining executor."""
+        self._adaptive = adaptive
 
     @property
     def scope(self) -> CharacterizationScope:
@@ -321,6 +352,11 @@ class Campaign:
     def health(self) -> Optional[HealthTracker]:
         """The fleet supervisor, when one is attached."""
         return self._health
+
+    @property
+    def adaptive(self) -> Optional[AdaptiveConfig]:
+        """The adaptive-planning knobs, when attached."""
+        return self._adaptive
 
     def run(
         self,
@@ -399,9 +435,14 @@ class Campaign:
             )
             try:
                 with swap:
-                    pipelined = self._run_pipelined(
-                        experiments, result, manifest, store, config
-                    )
+                    if self._adaptive is not None:
+                        pipelined = self._run_adaptive(
+                            experiments, result, manifest, store, config
+                        )
+                    else:
+                        pipelined = self._run_pipelined(
+                            experiments, result, manifest, store, config
+                        )
                     for name in experiments:
                         if (
                             name in result.skipped
@@ -626,6 +667,91 @@ class Campaign:
                 buffered.setdefault(name, outcome)
         return buffered
 
+    def _run_adaptive(
+        self,
+        experiments: Sequence[str],
+        result: CampaignResult,
+        manifest: Optional[CampaignManifest],
+        store,
+        config,
+    ) -> Dict[str, Tuple[str, object]]:
+        """Run eligible experiments through the adaptive planner.
+
+        Mirrors :meth:`_run_pipelined`'s commit choreography -- each
+        figure is journaled, written atomically, and recorded in the
+        manifest the moment its matrix settles -- but the matrix runs
+        in CI-targeted rounds instead of at a fixed budget.  Every
+        completed round appends an ``adaptive-round`` journal record
+        (``simra-dram repair`` ignores unknown events, so these are
+        pure progress breadcrumbs for a killed run), and each committed
+        artifact carries a ``planner`` quality annotation with the
+        per-cell trial accounting.  Experiments without a canonical
+        program (monkeypatched figures) fall back to the fixed-budget
+        sequential path.
+        """
+        names = [
+            name
+            for name in experiments
+            if name not in result.skipped
+            and name not in result.skipped_failed
+            and name in EXPERIMENT_PROGRAMS
+            and EXPERIMENTS.get(name) is _CANONICAL_EXPERIMENTS.get(name)
+        ]
+        if not names:
+            return {}
+        buffered: Dict[str, Tuple[str, object]] = {}
+
+        def journal_round(
+            program: str, round_index: int, allocation: Dict[int, int]
+        ) -> None:
+            if self._store is None:
+                return
+            with contextlib.suppress(Exception):
+                self._store.journal_append(
+                    {
+                        "event": "adaptive-round",
+                        "experiment": program,
+                        "round": round_index,
+                        "allocation": {
+                            str(step): int(count)
+                            for step, count in sorted(allocation.items())
+                        },
+                    }
+                )
+
+        planner = self._adaptive.planner(
+            self._executor, on_round=journal_round
+        )
+        for name in names:
+            try:
+                program = EXPERIMENT_PROGRAMS[name](self._scope)
+                outcome = planner.run_program(program)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 -- isolate the sweep
+                buffered[name] = ("error", exc)
+                continue
+            quality = {"planner": outcome.planner_dict()}
+            result.quality[name] = quality
+            if store is not None and manifest is not None:
+                try:
+                    self._commit_experiment(
+                        name, outcome.value, manifest, store, config,
+                        quality=quality,
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001
+                    buffered[name] = ("store-error", exc)
+                    continue
+                result.data[name] = outcome.value
+                result.attempts[name] = 1
+                result.completed.append(name)
+                buffered[name] = ("committed", outcome.value)
+            else:
+                buffered[name] = ("ok", outcome.value)
+        return buffered
+
     def _commit_experiment(
         self, name: str, data, manifest: CampaignManifest, store, config,
         quality: Optional[Dict[str, object]] = None,
@@ -788,6 +914,11 @@ class Campaign:
             groups_per_size=self._scope.groups_per_size,
             trials=self._scope.trials,
         )
+        if self._adaptive is not None:
+            # Adaptive budgets shape the data: resuming a fixed-budget
+            # store adaptively (or vice versa, or with different
+            # knobs) would mix incompatible statistics.
+            fingerprint["adaptive"] = self._adaptive.as_dict()
         return fingerprint
 
     def _prepare_manifest(

@@ -186,3 +186,146 @@ def bootstrap_mean_ci(
         resamples=int(resamples),
         n=int(arr.size),
     )
+
+
+def bootstrap_mean_ci_each(
+    samples: Sequence[Sequence[float]],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> List[BootstrapCI]:
+    """One :func:`bootstrap_mean_ci` per sample, batched across cells.
+
+    The per-cell bootstrap is keyed by ``(seed, n, resamples)`` only,
+    so every same-length sample shares one index draw: samples are
+    grouped by length, each group's resampling is a single gathered
+    ``(cells, resamples, n)`` row-mean, and the percentiles reduce per
+    row.  Results are bit-identical to looping
+    ``[bootstrap_mean_ci(s, ...) for s in samples]`` -- NumPy reduces
+    the contiguous trailing axis with the same pairwise summation
+    either way -- which the test suite asserts exactly.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ExperimentError(f"need at least one resample, got {resamples}")
+    arrays = [_validated(sample) for sample in samples]
+    out: List[BootstrapCI] = [None] * len(arrays)  # type: ignore[list-item]
+    by_length: Dict[int, List[int]] = {}
+    for index, arr in enumerate(arrays):
+        by_length.setdefault(arr.size, []).append(index)
+    alpha = (1.0 - confidence) / 2.0
+    percentiles = [100.0 * alpha, 100.0 * (1.0 - alpha)]
+    for n, group in by_length.items():
+        generator = rng.generator("bootstrap-ci", seed, int(n), int(resamples))
+        indices = generator.integers(0, n, size=(int(resamples), n))
+        matrix = np.stack([arrays[index] for index in group])
+        # (cells, resamples, n) gather, reduced over the trailing axis.
+        # Mixing a basic slice with the advanced index leaves the
+        # gathered copy transposed in memory; the C-order copy makes
+        # each row's reduction walk the same contiguous layout as the
+        # scalar path, which the bit-identity contract needs.
+        means = np.ascontiguousarray(matrix[:, indices]).mean(axis=2)
+        bounds = np.percentile(means, percentiles, axis=1)
+        cell_means = matrix.mean(axis=1)
+        for row, index in enumerate(group):
+            out[index] = BootstrapCI(
+                mean=float(cell_means[row]),
+                low=float(bounds[0, row]),
+                high=float(bounds[1, row]),
+                confidence=float(confidence),
+                resamples=int(resamples),
+                n=int(n),
+            )
+    return out
+
+
+class StreamingBootstrap:
+    """Incremental (Poisson) bootstrap CI over a growing observation stream.
+
+    The adaptive planner feeds each cell's per-trial rates in round
+    chunks; re-running :func:`bootstrap_mean_ci` from scratch every
+    round would re-resample every prior round's observations.  This
+    class keeps ``resamples`` weighted running sums instead: extending
+    by a chunk of ``k`` observations draws a ``(resamples, k)``
+    Poisson(1) weight block -- keyed by ``(seed, chunk_index, k,
+    resamples)``, so a given round's weights never depend on how
+    earlier rounds were sized -- and updates each resample's weighted
+    sum and count in one matrix product.  Prior chunks are never
+    touched again: cost per round is O(resamples * k), not
+    O(resamples * total).
+
+    The Poisson bootstrap approximates the multinomial resample count
+    per observation with independent Poisson(1) draws; resamples whose
+    total count lands on zero fall back to the running sample mean.
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.95,
+        resamples: int = 2000,
+        seed: int = 0,
+    ):
+        if not 0.0 < confidence < 1.0:
+            raise ExperimentError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if resamples < 1:
+            raise ExperimentError(f"need at least one resample, got {resamples}")
+        self.confidence = float(confidence)
+        self.resamples = int(resamples)
+        self.seed = int(seed)
+        self._chunks = 0
+        self._n = 0
+        self._total = 0.0
+        self._weighted_sums = np.zeros(self.resamples, dtype=np.float64)
+        self._weight_counts = np.zeros(self.resamples, dtype=np.int64)
+
+    @property
+    def n(self) -> int:
+        """Observations absorbed so far."""
+        return self._n
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Absorb one chunk of observations (a round's worth)."""
+        chunk = np.asarray(values, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise ExperimentError(
+                f"can only extend with a flat chunk, got shape {chunk.shape}"
+            )
+        if chunk.size == 0:
+            return
+        if np.isnan(chunk).any():
+            raise ExperimentError("cannot extend with a chunk containing NaN")
+        weights = rng.generator(
+            "stream-bootstrap", self.seed, self._chunks,
+            int(chunk.size), self.resamples,
+        ).poisson(1.0, size=(self.resamples, int(chunk.size)))
+        self._weighted_sums += weights @ chunk
+        self._weight_counts += weights.sum(axis=1)
+        self._chunks += 1
+        self._n += int(chunk.size)
+        self._total += float(chunk.sum())
+
+    def ci(self) -> BootstrapCI:
+        """The CI over everything absorbed so far."""
+        if self._n == 0:
+            raise ExperimentError("cannot compute a CI before any observations")
+        mean = self._total / self._n
+        means = np.where(
+            self._weight_counts > 0,
+            self._weighted_sums / np.maximum(self._weight_counts, 1),
+            mean,
+        )
+        alpha = (1.0 - self.confidence) / 2.0
+        low, high = np.percentile(
+            means, [100.0 * alpha, 100.0 * (1.0 - alpha)]
+        )
+        return BootstrapCI(
+            mean=float(mean),
+            low=float(low),
+            high=float(high),
+            confidence=self.confidence,
+            resamples=self.resamples,
+            n=self._n,
+        )

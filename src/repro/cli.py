@@ -414,7 +414,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .health import BreakerPolicy, HealthTracker
 
     if args.fleet:
+        if args.adaptive:
+            print("error: --adaptive does not compose with --fleet; "
+                  "run the adaptive campaign on a single host",
+                  file=sys.stderr)
+            return EXIT_USAGE
         return _cmd_campaign_fleet(args)
+    if args.adaptive and args.supervise:
+        print("error: --adaptive does not compose with --supervise",
+              file=sys.stderr)
+        return EXIT_USAGE
 
     scope = _scope_from(args)
     store = ResultStore(Path(args.results_dir))
@@ -431,6 +440,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         health = HealthTracker(
             BreakerPolicy(failure_threshold=args.breaker_threshold)
         )
+    adaptive = None
+    if args.adaptive:
+        from .engine import AdaptiveConfig
+
+        try:
+            adaptive = AdaptiveConfig(
+                ci_target=args.ci_target,
+                round_trials=args.round_trials,
+                max_trials=args.max_trials,
+                seed=args.seed,
+            )
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     campaign = Campaign(
         scope,
         store=store,
@@ -440,6 +463,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         executor=executor,
         health=health,
         pipeline=args.pipeline,
+        adaptive=adaptive,
     )
     try:
         with executor, _graceful_signals():
@@ -933,6 +957,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="with --fleet: characterize N sampled "
                           "vendor-profile chips instead of the paper's "
                           "one-module-per-spec catalog scope")
+    sub.add_argument("--adaptive", action="store_true",
+                     help="run the corner matrix through the adaptive "
+                          "planner: cells stop at the target CI "
+                          "half-width and freed trials steer to the "
+                          "high-variance cells")
+    sub.add_argument("--ci-target", type=float, default=0.02, metavar="W",
+                     help="with --adaptive: bootstrap-CI half-width at "
+                          "which a cell stops sampling (default 0.02)")
+    sub.add_argument("--round-trials", type=int, default=4, metavar="N",
+                     help="with --adaptive: base trials per cell per "
+                          "round, and the per-cell floor (default 4)")
+    sub.add_argument("--max-trials", type=int, default=32, metavar="M",
+                     help="with --adaptive: per-task trial ceiling per "
+                          "cell -- the fixed-budget baseline the "
+                          "savings are measured against (default 32)")
     sub.set_defaults(handler=_cmd_campaign)
 
     sub = subparsers.add_parser(

@@ -63,13 +63,26 @@ from .plan import (
     TrialTask,
     checkpoint_means,
     checkpoint_rates_by_count,
+    merge_outcomes,
     rates_by_serial,
+    slice_plan,
     tasks_for_scope,
+)
+from .planner import (
+    AdaptiveConfig,
+    AdaptiveOutcome,
+    AdaptivePlanner,
+    CellReport,
+    allocate_round,
 )
 
 __all__ = [
     "ActivationKernel",
+    "AdaptiveConfig",
+    "AdaptiveOutcome",
+    "AdaptivePlanner",
     "BatchedExecutor",
+    "CellReport",
     "CampaignScheduler",
     "DisturbanceKernel",
     "EngineMetrics",
@@ -93,9 +106,12 @@ __all__ = [
     "TrialKernel",
     "TrialPlan",
     "TrialTask",
+    "allocate_round",
     "available_cpu_count",
     "checkpoint_means",
     "checkpoint_rates_by_count",
+    "merge_outcomes",
+    "slice_plan",
     "columns_from_arrays",
     "columns_to_arrays",
     "fleet_scope",

@@ -87,6 +87,9 @@ class BenchmarkReport:
     fleet: Optional[Dict[str, object]] = None
     """Multi-worker fleet campaign benchmark (see
     :func:`run_fleet_benchmark`), when requested."""
+    planner: Optional[Dict[str, object]] = None
+    """Adaptive-planner benchmark (see :func:`run_planner_benchmark`),
+    when requested."""
 
     def as_dict(self) -> Dict[str, object]:
         document: Dict[str, object] = {
@@ -103,6 +106,8 @@ class BenchmarkReport:
             document["campaign"] = self.campaign
         if self.fleet is not None:
             document["fleet"] = self.fleet
+        if self.planner is not None:
+            document["planner"] = self.planner
         return document
 
     def summary_lines(self) -> List[str]:
@@ -169,6 +174,44 @@ class BenchmarkReport:
             lines.append(
                 "  fleet store audit: "
                 + ("PASS" if self.fleet["audit_passed"] else "FAIL")
+            )
+        if self.planner is not None:
+            lines.append(
+                "planner benchmark "
+                + ", ".join(
+                    f"{k}={v}" for k, v in self.planner["scale"].items()
+                )
+            )
+            lines.append(f"  figure: {self.planner['figure']}")
+            trials = self.planner["trials"]
+            lines.append(
+                f"  trials: fixed {trials['fixed']}, adaptive "
+                f"{trials['adaptive']} "
+                f"({self.planner['trial_reduction']:.2f}x reduction)"
+            )
+            lines.append(
+                f"  rounds: {self.planner['rounds']}, cells converged: "
+                f"{self.planner['cells_converged']}/{self.planner['cells']} "
+                f"(max CI halfwidth {self.planner['max_halfwidth']:.4f} "
+                f"vs target {self.planner['ci_target']:.4f})"
+            )
+            walls = self.planner["wall_s"]
+            lines.append(
+                f"  wall: fixed {walls['fixed']:.3f} s, adaptive "
+                f"{walls['adaptive']:.3f} s "
+                f"({self.planner['speedup']:.2f}x)"
+            )
+            lines.append(
+                "  every cell at target CI: "
+                + ("yes" if self.planner["converged"] else "NO")
+            )
+            lines.append(
+                "  adaptive re-run bit-identical: "
+                + (
+                    "yes"
+                    if self.planner["identical"]
+                    else "NO (DETERMINISM VIOLATION)"
+                )
             )
         return lines
 
@@ -462,6 +505,115 @@ def run_fleet_benchmark(
         "identical": identical,
         "audit_passed": audit_passed,
         "metrics": result.engine_stats,
+    }
+
+
+def run_planner_benchmark(
+    columns: int = 128,
+    groups_per_size: int = 2,
+    seed: int = 2024,
+    figure: str = "fig9",
+    ci_target: float = 0.02,
+    round_trials: int = 4,
+    max_trials: int = 32,
+) -> Dict[str, object]:
+    """Fixed-budget versus adaptive planning on a cliff sweep.
+
+    The baseline runs ``figure`` (default fig9, the MAJX voltage sweep
+    whose corner matrix mixes saturated corners with success-rate
+    cliffs) at a fixed ``max_trials`` budget per cell; the challenger
+    runs the same corner matrix through the
+    :class:`~repro.engine.planner.AdaptivePlanner` with the same
+    ceiling.  The headline number is the *trial reduction* -- fixed
+    trials executed over adaptive trials executed -- which the
+    ``planner`` floor in ``benchmarks/perf_floors.json`` gates on;
+    the run only counts if every cell actually reached the target CI
+    half-width (``converged``) and a second adaptive run reproduces
+    the first bit-for-bit (``identical``).  Both runs use the serial
+    reference executor: the comparison measures planning, not
+    execution strategy.
+    """
+    from ..characterization.campaign import EXPERIMENT_PROGRAMS
+    from .planner import AdaptivePlanner
+
+    def build_program():
+        scope = CharacterizationScope.build(
+            config=SimulationConfig(seed=seed, columns_per_row=columns),
+            specs=TESTED_MODULES,
+            modules_per_spec=1,
+            groups_per_size=groups_per_size,
+            trials=max_trials,
+        )
+        return EXPERIMENT_PROGRAMS[figure](scope)
+
+    # Fixed-budget baseline: every cell runs its whole built budget.
+    program = build_program()
+    fixed_executor = make_executor("serial")
+    started = time.perf_counter()
+    with fixed_executor:
+        values = [
+            step.reduce(fixed_executor.run(step.plan))
+            for step in program.steps
+        ]
+        program.assemble(values)
+    fixed_wall = time.perf_counter() - started
+    fixed_trials = sum(
+        task.trials for step in program.steps for task in step.plan.tasks
+    )
+
+    def adaptive_run():
+        program = build_program()
+        executor = make_executor("serial")
+        planner = AdaptivePlanner(
+            executor,
+            ci_target=ci_target,
+            round_trials=round_trials,
+            max_trials=max_trials,
+            seed=seed,
+        )
+        with executor:
+            started = time.perf_counter()
+            outcome = planner.run_program(program)
+            wall = time.perf_counter() - started
+        return outcome, wall, executor
+
+    outcome, adaptive_wall, adaptive_executor = adaptive_run()
+    rerun, _, _ = adaptive_run()
+    identical = (
+        rerun.value == outcome.value
+        and rerun.planner_dict() == outcome.planner_dict()
+    )
+    converged = all(
+        cell.stop_reason in ("converged", "empty") for cell in outcome.cells
+    )
+    halfwidths = [
+        cell.ci.halfwidth for cell in outcome.cells if cell.ci is not None
+    ]
+
+    return {
+        "scale": {
+            "columns": columns,
+            "groups_per_size": groups_per_size,
+            "seed": seed,
+            "ci_target": ci_target,
+            "round_trials": round_trials,
+            "max_trials": max_trials,
+        },
+        "figure": figure,
+        "wall_s": {"fixed": fixed_wall, "adaptive": adaptive_wall},
+        "speedup": fixed_wall / adaptive_wall if adaptive_wall > 0 else 1.0,
+        "trials": {"fixed": fixed_trials, "adaptive": outcome.trials_run},
+        "trial_reduction": (
+            fixed_trials / outcome.trials_run if outcome.trials_run else 1.0
+        ),
+        "rounds": outcome.rounds,
+        "cells": len(outcome.cells),
+        "cells_converged": outcome.cells_converged,
+        "max_halfwidth": max(halfwidths) if halfwidths else 0.0,
+        "ci_target": ci_target,
+        "converged": converged,
+        "identical": identical,
+        "metrics": adaptive_executor.metrics.as_dict(),
     }
 
 

@@ -20,7 +20,7 @@ The key is a BLAKE2b digest over the canonical JSON of:
   state the signature misses);
 - the operating-point token (timings, temperature, VPP, pattern);
 - the task identity (module serial, bank, subarray, row-group token,
-  trials, cells) and the plan's checkpoint schedule.
+  trials, trial offset, cells) and the plan's checkpoint schedule.
 
 Any of these changing changes the key -- which *is* the invalidation
 rule; nothing is ever migrated in place.
@@ -48,7 +48,7 @@ from .. import __version__
 from ..config import SimulationConfig
 from .plan import TaskOutcome, TrialTask
 
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 """Bump to invalidate every existing entry on a format change."""
 
 
@@ -94,6 +94,7 @@ class TrialCache:
             "subarray": task.subarray,
             "group": task.group_token,
             "trials": task.trials,
+            "trial_offset": task.trial_offset,
             "cells": task.cells,
             "checkpoints": list(checkpoints),
         }
@@ -158,6 +159,9 @@ class TrialCache:
                     (int(count), float(rate))
                     for count, rate in payload["checkpoint_rates"]
                 ),
+                trial_rates=tuple(
+                    float(rate) for rate in payload["trial_rates"]
+                ),
             )
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
@@ -178,6 +182,7 @@ class TrialCache:
             "checkpoint_rates": [
                 [count, rate] for count, rate in outcome.checkpoint_rates
             ],
+            "trial_rates": list(outcome.trial_rates),
             "mask_b64": base64.b64encode(
                 np.packbits(mask.astype(np.uint8)).tobytes()
             ).decode("ascii"),

@@ -70,6 +70,14 @@ class OutcomeColumns:
     """CSR word pointers into ``mask_words`` (inline-mask mode only)."""
     mask_words: Optional[np.ndarray] = None
     """Packed uint64 masks, concatenated (inline-mask mode only)."""
+    rate_offsets: Optional[np.ndarray] = None
+    """CSR row pointers into ``rate_values``, int64 ``(n + 1,)``.
+
+    Optional for wire compatibility with frames packed before
+    per-trial rates existed; absent means no per-trial data.
+    """
+    rate_values: Optional[np.ndarray] = None
+    """Per-trial success rates, float64, concatenated -- exact copies."""
 
     def __len__(self) -> int:
         return int(self.indices.shape[0])
@@ -85,10 +93,11 @@ class OutcomeColumns:
             + self.ckpt_counts.nbytes
             + self.ckpt_rates.nbytes
         )
-        if self.mask_offsets is not None:
-            total += self.mask_offsets.nbytes
-        if self.mask_words is not None:
-            total += self.mask_words.nbytes
+        for name in ("mask_offsets", "mask_words", "rate_offsets",
+                     "rate_values"):
+            column = getattr(self, name)
+            if column is not None:
+                total += column.nbytes
         return int(total)
 
 
@@ -126,6 +135,15 @@ def pack_outcomes(
             ckpt_counts[cursor] = count
             ckpt_rates[cursor] = rate
             cursor += 1
+    rate_offsets = np.zeros(n + 1, dtype=np.int64)
+    for i, outcome in enumerate(outcomes):
+        rate_offsets[i + 1] = rate_offsets[i] + len(outcome.trial_rates)
+    rate_values = np.zeros(int(rate_offsets[-1]), dtype=np.float64)
+    cursor = 0
+    for outcome in outcomes:
+        for rate in outcome.trial_rates:
+            rate_values[cursor] = rate
+            cursor += 1
     mask_offsets: Optional[np.ndarray] = None
     mask_words: Optional[np.ndarray] = None
     if include_masks:
@@ -150,6 +168,8 @@ def pack_outcomes(
         ckpt_rates=ckpt_rates,
         mask_offsets=mask_offsets,
         mask_words=mask_words,
+        rate_offsets=rate_offsets,
+        rate_values=rate_values,
     )
 
 
@@ -183,6 +203,13 @@ def unpack_outcomes(
             (int(columns.ckpt_counts[j]), float(columns.ckpt_rates[j]))
             for j in range(lo, hi)
         )
+        trial_rates: Tuple[float, ...] = ()
+        if columns.rate_offsets is not None and columns.rate_values is not None:
+            lo = int(columns.rate_offsets[i])
+            hi = int(columns.rate_offsets[i + 1])
+            trial_rates = tuple(
+                float(rate) for rate in columns.rate_values[lo:hi]
+            )
         outcomes.append(
             TaskOutcome(
                 index=index,
@@ -191,6 +218,7 @@ def unpack_outcomes(
                 cells=cells,
                 mask=mask,
                 checkpoint_rates=snapshots,
+                trial_rates=trial_rates,
             )
         )
     return outcomes
@@ -232,6 +260,12 @@ class TaskColumns:
     """CSR row pointers into ``row_values``, int64 ``(n + 1,)``."""
     row_values: np.ndarray
     """Concatenated sorted group rows, int64 ``(total,)``."""
+    trial_offsets: Optional[np.ndarray] = None
+    """First absolute trial index per task, int64 ``(n,)``.
+
+    Optional for wire compatibility with peers packed before round
+    slicing existed; absent means every task starts at trial 0.
+    """
 
     def __len__(self) -> int:
         return int(self.indices.shape[0])
@@ -242,6 +276,7 @@ class TaskColumns:
             sum(
                 getattr(self, name).nbytes
                 for name in _TASK_COLUMN_FIELDS
+                if getattr(self, name) is not None
             )
         )
 
@@ -258,6 +293,7 @@ _TASK_COLUMN_FIELDS = (
     "row_second",
     "row_offsets",
     "row_values",
+    "trial_offsets",
 )
 
 _OUTCOME_COLUMN_FIELDS = (
@@ -270,6 +306,8 @@ _OUTCOME_COLUMN_FIELDS = (
     "ckpt_rates",
     "mask_offsets",
     "mask_words",
+    "rate_offsets",
+    "rate_values",
 )
 
 
@@ -308,6 +346,7 @@ def pack_tasks(tasks: Sequence[TrialTask], slots: Sequence[int]) -> TaskColumns:
         row_second=column(task.group.row_second for task in tasks),
         row_offsets=row_offsets,
         row_values=row_values,
+        trial_offsets=column(task.trial_offset for task in tasks),
     )
 
 
@@ -344,6 +383,11 @@ def unpack_tasks(
                 group=group,
                 trials=int(columns.trials[i]),
                 cells=int(columns.cells[i]),
+                trial_offset=(
+                    int(columns.trial_offsets[i])
+                    if columns.trial_offsets is not None
+                    else 0
+                ),
             )
         )
     return tasks
@@ -360,7 +404,11 @@ def columns_to_arrays(
     :func:`columns_from_arrays`.
     """
     if isinstance(columns, TaskColumns):
-        fields = list(_TASK_COLUMN_FIELDS)
+        fields = [
+            name
+            for name in _TASK_COLUMN_FIELDS
+            if getattr(columns, name) is not None
+        ]
         kind = "tasks"
     elif isinstance(columns, OutcomeColumns):
         fields = [

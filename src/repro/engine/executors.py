@@ -108,11 +108,17 @@ def run_task_serial(
     checkpoint_set = set(checkpoints)
     snapshots: List[Tuple[int, float]] = []
     mask = np.ones(task.cells, dtype=bool)
+    trial_rates: List[float] = []
     # The context tokens only vary in the trial index; build the
     # invariant prefix once instead of re-deriving the point token
     # (string formatting) every trial.
     context_prefix = (kernel.signature, point_token(point), task.group_token)
-    for trial in range(task.trials):
+    # ``trial`` is the absolute index (offset by any round slicing) so
+    # the noise stream matches a one-shot run; ``local`` counts within
+    # this slice for checkpoints and accumulation.
+    for local, trial in enumerate(
+        range(task.trial_offset, task.trial_offset + task.trials)
+    ):
         with device_bank.noise_context(*context_prefix, trial):
             correct = np.asarray(
                 kernel.run_trial(bench, task, point, trial), dtype=bool
@@ -122,9 +128,10 @@ def run_task_serial(
                 f"kernel {kernel.op_name!r} returned shape {correct.shape}, "
                 f"expected ({task.cells},)"
             )
+        trial_rates.append(float(np.mean(correct)))
         mask &= correct
-        if (trial + 1) in checkpoint_set:
-            snapshots.append((trial + 1, float(np.mean(mask))))
+        if (local + 1) in checkpoint_set:
+            snapshots.append((local + 1, float(np.mean(mask))))
     audit = kernel.finalize(bench, task, point)
     if audit is not None:
         mask &= np.asarray(audit, dtype=bool)
@@ -135,6 +142,7 @@ def run_task_serial(
         cells=task.cells,
         mask=mask,
         checkpoint_rates=tuple(snapshots),
+        trial_rates=tuple(trial_rates),
     )
 
 
@@ -177,6 +185,11 @@ def _outcome_from_planes(
         for count in checkpoints
         if 1 <= count <= task.trials
     )
+    # popcount / cells is exactly np.mean over the unpacked booleans,
+    # so the per-trial rates stay bit-identical to the serial path.
+    trial_rates = tuple(
+        bitplane.rate(planes[i], task.cells) for i in range(task.trials)
+    )
     mask_words = running[-1].copy()
     audit = kernel.finalize(bench, task, point)
     if audit is not None:
@@ -188,6 +201,7 @@ def _outcome_from_planes(
         cells=task.cells,
         mask=bitplane.unpack_mask(mask_words, task.cells),
         checkpoint_rates=snapshots,
+        trial_rates=trial_rates,
     )
 
 
@@ -1456,6 +1470,7 @@ class BatchedExecutor(ExecutorBase):
             cells=task.cells,
             mask=mask,
             checkpoint_rates=snapshots,
+            trial_rates=tuple(float(r) for r in matrix.mean(axis=1)),
         )
 
 

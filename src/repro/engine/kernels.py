@@ -164,7 +164,9 @@ class ActivationKernel(TrialKernel):
             OperationClass.ACTIVATION, columns,
         )
         matrix = np.empty((task.trials, task.cells), dtype=bool)
-        for trial in range(task.trials):
+        for local, trial in enumerate(
+            range(task.trial_offset, task.trial_offset + task.trials)
+        ):
             context = measurement_context(self, point, task, trial)
             reference = point.pattern.row_bits(
                 columns, "act-wr", group.row_first, trial
@@ -175,7 +177,7 @@ class ActivationKernel(TrialKernel):
                     context, task.bank, task.subarray, columns,
                     f"wr-{local_row}",
                 )
-                matrix[trial, position * columns:(position + 1) * columns] = (
+                matrix[local, position * columns:(position + 1) * columns] = (
                     stable | (noise == wr_bits)
                 )
         return matrix
@@ -191,7 +193,9 @@ class ActivationKernel(TrialKernel):
         noise_entries = []
         for task in tasks:
             rows_sorted = sorted(task.group.rows)
-            for trial in range(task.trials):
+            for trial in range(
+                task.trial_offset, task.trial_offset + task.trials
+            ):
                 reference_ids.append(("act-wr", task.group.row_first, trial))
                 context = measurement_context(self, point, task, trial)
                 for local_row in rows_sorted:
@@ -281,7 +285,9 @@ class MajXKernel(TrialKernel):
         }
         first_row = rows_sorted[0]
         matrix = np.empty((task.trials, columns), dtype=bool)
-        for trial in range(task.trials):
+        for local, trial in enumerate(
+            range(task.trial_offset, task.trial_offset + task.trials)
+        ):
             context = measurement_context(self, point, task, trial)
             operands = [
                 point.pattern.operand_bits(
@@ -328,7 +334,7 @@ class MajXKernel(TrialKernel):
                 context, task.bank, task.subarray, columns, f"maj-{first_row}"
             )
             result = np.where(stable, ideal, noise).astype(np.uint8)
-            matrix[trial] = result == expected_majority(operands)
+            matrix[local] = result == expected_majority(operands)
         return matrix
 
     def run_slice(self, bench, tasks, point):
@@ -344,7 +350,9 @@ class MajXKernel(TrialKernel):
         maj_entries = []
         for task, plan in zip(tasks, plans):
             first_row = sorted(task.group.rows)[0]
-            for trial in range(task.trials):
+            for trial in range(
+                task.trial_offset, task.trial_offset + task.trials
+            ):
                 context = measurement_context(self, point, task, trial)
                 for op in range(self.x):
                     operand_ids.append(
@@ -481,7 +489,9 @@ class MultiRowCopyKernel(TrialKernel):
         temp_c = device_bank.temperature_c
         vpp = device_bank.vpp
         matrix = np.empty((task.trials, task.cells), dtype=bool)
-        for trial in range(task.trials):
+        for local, trial in enumerate(
+            range(task.trial_offset, task.trial_offset + task.trials)
+        ):
             context = measurement_context(self, point, task, trial)
             source_bits = point.pattern.row_bits(
                 columns, "mrc-src", task.serial, task.bank, trial
@@ -503,7 +513,7 @@ class MultiRowCopyKernel(TrialKernel):
                     context, task.bank, task.subarray, columns,
                     f"mrc-{local_row}",
                 )
-                matrix[trial, position * columns:(position + 1) * columns] = (
+                matrix[local, position * columns:(position + 1) * columns] = (
                     stable | (noise == source_bits)
                 )
         return matrix
@@ -521,7 +531,9 @@ class MultiRowCopyKernel(TrialKernel):
                 if local_row != task.group.row_first
             ]
             destination_lists.append(destinations)
-            for trial in range(task.trials):
+            for trial in range(
+                task.trial_offset, task.trial_offset + task.trials
+            ):
                 source_ids.append(("mrc-src", task.serial, task.bank, trial))
                 context = measurement_context(self, point, task, trial)
                 for local_row in destinations:

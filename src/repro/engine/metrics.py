@@ -72,6 +72,12 @@ class EngineMetrics:
     ran or was never considered."""
     audit_mismatches: int = 0
     """Artifacts flagged by a result-integrity audit."""
+    rounds: int = 0
+    """Adaptive-planner rounds executed."""
+    cells_converged: int = 0
+    """Corner-matrix cells that reached the target CI width early."""
+    trials_saved: int = 0
+    """Trials the adaptive planner skipped versus its fixed budget."""
     cache_hits: int = 0
     """Tasks whose outcome was served from the trial cache."""
     cache_misses: int = 0
@@ -168,6 +174,9 @@ class EngineMetrics:
         if not self.pipeline_declined_reason:
             self.pipeline_declined_reason = other.pipeline_declined_reason
         self.audit_mismatches += other.audit_mismatches
+        self.rounds += other.rounds
+        self.cells_converged += other.cells_converged
+        self.trials_saved += other.trials_saved
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_bytes_read += other.cache_bytes_read
@@ -215,6 +224,9 @@ class EngineMetrics:
             "pipeline_occupancy": self.pipeline_occupancy,
             "pipeline_declined_reason": self.pipeline_declined_reason,
             "audit_mismatches": self.audit_mismatches,
+            "rounds": self.rounds,
+            "cells_converged": self.cells_converged,
+            "trials_saved": self.trials_saved,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_bytes_read": self.cache_bytes_read,
@@ -271,12 +283,17 @@ class EngineMetrics:
             or self.dispatches
             or self.pipeline_declined_reason
         ):
+            # Only non-zero counters print: a serial, non-pipelined run
+            # should not render a wall of zero-valued scheduler lines.
             lines.append("  scheduler")
-            lines.append(f"    pool reuses       : {self.pool_reuses}")
-            lines.append(
-                f"    bench reuses      : {self.worker_bench_reuses}"
-            )
-            lines.append(f"    bytes shipped     : {self.bytes_shipped}")
+            if self.pool_reuses:
+                lines.append(f"    pool reuses       : {self.pool_reuses}")
+            if self.worker_bench_reuses:
+                lines.append(
+                    f"    bench reuses      : {self.worker_bench_reuses}"
+                )
+            if self.bytes_shipped:
+                lines.append(f"    bytes shipped     : {self.bytes_shipped}")
             if self.dispatches:
                 lines.append(f"    dispatches        : {self.dispatches}")
                 lines.append(
@@ -294,6 +311,11 @@ class EngineMetrics:
                     "    pipeline declined : "
                     f"{self.pipeline_declined_reason}"
                 )
+        if self.rounds or self.cells_converged or self.trials_saved:
+            lines.append("  adaptive planner")
+            lines.append(f"    rounds            : {self.rounds}")
+            lines.append(f"    cells converged   : {self.cells_converged}")
+            lines.append(f"    trials saved      : {self.trials_saved}")
         lookups = self.cache_hits + self.cache_misses
         if lookups:
             hit_rate = self.cache_hits / lookups

@@ -10,7 +10,7 @@ sharded across processes, or vectorized in batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +37,14 @@ class TrialTask:
     trials: int
     cells: int
     """Cells the per-trial correctness vector covers."""
+    trial_offset: int = 0
+    """First absolute trial index this task covers.
+
+    Measurement noise is keyed by the *absolute* trial index, so a
+    task sliced into ``[offset, offset + trials)`` windows draws
+    exactly the bits a one-shot run of the same total count would --
+    the mechanism behind round-sliced adaptive planning.
+    """
 
     @property
     def group_token(self) -> str:
@@ -77,6 +85,14 @@ class TaskOutcome:
     """Per-cell True where the cell was correct in every trial."""
     checkpoint_rates: Tuple[Tuple[int, float], ...] = ()
     """(trial count, running success rate) at each plan checkpoint."""
+    trial_rates: Tuple[float, ...] = ()
+    """Per-trial fraction of cells correct, one entry per trial.
+
+    Unlike :attr:`rate` (the AND over trials, monotone in the trial
+    count) these are independent observations of the same estimand,
+    so a bootstrap CI over them converges -- the statistic the
+    adaptive planner targets.
+    """
 
 
 @dataclass
@@ -126,6 +142,72 @@ def tasks_for_scope(
                         )
                     )
     return tasks
+
+
+def slice_plan(plan: TrialPlan, offset: int, trials: int) -> TrialPlan:
+    """A copy of ``plan`` covering absolute trials ``[offset, offset+trials)``.
+
+    Works on any built plan -- every plan-builder's output is
+    round-sliceable without the builder knowing.  The window is
+    independent of the plan's built trial count: measurement noise is
+    keyed by the absolute trial index, so any ``[offset, offset +
+    trials)`` window draws exactly the bits a one-shot run of
+    ``offset + trials`` total trials would -- which is how the
+    adaptive planner extends a cell past its built budget up to
+    ``max_trials``.  Checkpoints are a running AND over the full trial
+    sequence, so checkpointed plans cannot be cut mid-stream; callers
+    (the adaptive planner) run them full-budget in a single round
+    instead.
+    """
+    if offset < 0 or trials < 0:
+        raise ValueError("slice_plan: offset and trials must be >= 0")
+    if plan.checkpoints:
+        raise ValueError(
+            "slice_plan: checkpointed plans are not sliceable (running-AND "
+            "checkpoint semantics span the whole trial sequence)"
+        )
+    tasks = [
+        replace(
+            task,
+            trial_offset=task.trial_offset + offset,
+            trials=trials,
+        )
+        for task in plan.tasks
+    ]
+    return TrialPlan(
+        name=plan.name,
+        kernel=plan.kernel,
+        point=plan.point,
+        tasks=tasks,
+        benches=plan.benches,
+        checkpoints=(),
+        apply_environment=plan.apply_environment,
+    )
+
+
+def merge_outcomes(earlier: TaskOutcome, later: TaskOutcome) -> TaskOutcome:
+    """Combine two slices of the same task into the one-shot outcome.
+
+    The combined mask is the AND of the slice masks -- exactly the
+    mask a single run over the union of the trial windows produces --
+    and the per-trial rates concatenate, so the merged outcome is
+    bit-identical to an unsliced run of ``earlier.trials +
+    later.trials`` trials.
+    """
+    if earlier.index != later.index or earlier.cells != later.cells:
+        raise ValueError("merge_outcomes: outcomes belong to different tasks")
+    if earlier.checkpoint_rates or later.checkpoint_rates:
+        raise ValueError("merge_outcomes: checkpointed outcomes do not merge")
+    mask = np.logical_and(earlier.mask, later.mask)
+    return TaskOutcome(
+        index=earlier.index,
+        rate=float(np.mean(mask)) if mask.size else 0.0,
+        trials=earlier.trials + later.trials,
+        cells=earlier.cells,
+        mask=mask,
+        checkpoint_rates=(),
+        trial_rates=earlier.trial_rates + later.trial_rates,
+    )
 
 
 def rates_by_serial(plan: TrialPlan, result: PlanResult) -> Dict[str, List[float]]:

@@ -13,7 +13,13 @@ audit closes that gap with two passes over a
    the same module fleet the stored run used -- rebuilt from the
    campaign manifest and restricted to the healthy subset recorded in
    each artifact's data-quality annotation -- and compared
-   bit-for-bit against the stored payload.
+   bit-for-bit against the stored payload.  A campaign whose
+   fingerprint carries ``adaptive`` knobs is recomputed through the
+   same :class:`~repro.engine.AdaptivePlanner` (rebuilt from those
+   knobs) instead of the fixed-budget figure function: the planner's
+   round schedule, bootstrap, and allocation are all seeded pure
+   functions of the observations, so its serial recompute lands on
+   identical bits too.
 
 Everything the audit needs to rebuild the measurement context is in
 the store: the manifest carries the config fingerprint and the full
@@ -199,9 +205,9 @@ def audit_store(
     """
     # The campaign layer imports repro.health; import it lazily here so
     # the health package never imports it at module load.
-    from ..characterization.campaign import EXPERIMENTS
+    from ..characterization.campaign import EXPERIMENT_PROGRAMS, EXPERIMENTS
     from ..characterization.reader import canonical_data
-    from ..engine import SerialExecutor
+    from ..engine import AdaptiveConfig, SerialExecutor
 
     if sample < 0:
         raise ExperimentError("audit sample size must be non-negative")
@@ -261,6 +267,17 @@ def audit_store(
                 audit_scope = scope_from_manifest(manifest)
             except ExperimentError as exc:
                 scope_error = str(exc)
+        adaptive = None
+        adaptive_payload = (manifest.fingerprint or {}).get("adaptive")
+        if adaptive_payload:
+            try:
+                adaptive = AdaptiveConfig.from_dict(adaptive_payload)
+            except (ExperimentError, KeyError, TypeError, ValueError) as exc:
+                audit_scope = None
+                scope_error = (
+                    "manifest records unusable adaptive knobs: "
+                    f"{adaptive_payload!r} ({exc})"
+                )
         for name in sorted(chosen):
             if audit_scope is None:
                 report.findings.append(
@@ -287,11 +304,22 @@ def audit_store(
                     )
                 )
                 continue
-            fresh = canonical_data(
-                EXPERIMENTS[name](
-                    figure_scope, executor=SerialExecutor(cache=cache)
+            if adaptive is not None and name in EXPERIMENT_PROGRAMS:
+                # Same planner, same knobs, reference executor: the
+                # round schedule replays deterministically, so the
+                # figure value must match the stored bits exactly.
+                planner = adaptive.planner(SerialExecutor(cache=cache))
+                fresh = canonical_data(
+                    planner.run_program(
+                        EXPERIMENT_PROGRAMS[name](figure_scope)
+                    ).value
                 )
-            )
+            else:
+                fresh = canonical_data(
+                    EXPERIMENTS[name](
+                        figure_scope, executor=SerialExecutor(cache=cache)
+                    )
+                )
             stored = reader.load(name)
             report.figures_recomputed += 1
             if fresh == stored:

@@ -7,7 +7,9 @@ from hypothesis import given, strategies as st
 from repro.characterization.stats import (
     BootstrapCI,
     DistributionSummary,
+    StreamingBootstrap,
     bootstrap_mean_ci,
+    bootstrap_mean_ci_each,
     summarize,
     summarize_each,
 )
@@ -139,3 +141,105 @@ class TestBootstrapMeanCI:
             bootstrap_mean_ci([0.5], resamples=0)
         with pytest.raises(ExperimentError):
             bootstrap_mean_ci([0.5, float("nan")])
+
+
+class TestBootstrapMeanCIEach:
+    def test_bit_identical_to_scalar_loop(self):
+        # Planner-shaped input: per-cell observation vectors of mixed
+        # lengths, with repeated lengths (those share one index draw
+        # and go through the batched gather).
+        generator = np.random.default_rng(13)
+        samples = [
+            list(generator.random(size))
+            for size in (4, 8, 8, 2, 16, 8, 4, 1, 30)
+        ]
+        batched = bootstrap_mean_ci_each(samples, resamples=400, seed=5)
+        scalar = [
+            bootstrap_mean_ci(sample, resamples=400, seed=5)
+            for sample in samples
+        ]
+        assert batched == scalar  # dataclass equality is exact per field
+
+    def test_results_keep_input_order(self):
+        samples = [[0.25] * 3, [0.75] * 7, [0.5] * 3]
+        cis = bootstrap_mean_ci_each(samples, resamples=50)
+        assert [ci.mean for ci in cis] == [0.25, 0.75, 0.5]
+        assert [ci.n for ci in cis] == [3, 7, 3]
+
+    def test_empty_input(self):
+        assert bootstrap_mean_ci_each([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci_each([[0.5], []])
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci_each([[0.5]], confidence=0.0)
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci_each([[0.5]], resamples=0)
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci_each([[0.5, float("nan")]])
+
+
+class TestStreamingBootstrap:
+    def test_deterministic_for_fixed_seed_and_chunking(self):
+        values = np.random.default_rng(3).random(12)
+
+        def run(seed):
+            stream = StreamingBootstrap(resamples=300, seed=seed)
+            stream.extend(values[:4])
+            stream.extend(values[4:])
+            return stream.ci()
+
+        assert run(seed=1) == run(seed=1)
+        assert run(seed=1) != run(seed=2)
+
+    def test_mean_is_the_exact_running_mean(self):
+        values = np.random.default_rng(8).random(9)
+        stream = StreamingBootstrap(resamples=100)
+        stream.extend(values[:5])
+        stream.extend(values[5:])
+        ci = stream.ci()
+        assert ci.mean == float(values.sum() / values.size)
+        assert ci.n == 9
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_constant_stream_collapses(self):
+        stream = StreamingBootstrap(resamples=100)
+        stream.extend([0.25] * 4)
+        stream.extend([0.25] * 4)
+        ci = stream.ci()
+        assert ci.low == ci.mean == ci.high == 0.25
+        assert ci.halfwidth == 0.0
+
+    def test_interval_tightens_with_more_rounds(self):
+        # The planner's convergence premise: absorbing more rounds of
+        # i.i.d. observations shrinks the CI half-width.
+        generator = np.random.default_rng(21)
+        stream = StreamingBootstrap(resamples=500, seed=4)
+        stream.extend(generator.normal(0.5, 0.1, size=4))
+        early = stream.ci().halfwidth
+        for _ in range(16):
+            stream.extend(generator.normal(0.5, 0.1, size=4))
+        assert stream.ci().halfwidth < early
+        assert stream.n == 4 + 16 * 4
+
+    def test_empty_chunk_is_a_no_op(self):
+        stream = StreamingBootstrap(resamples=100)
+        stream.extend([0.5, 0.7])
+        before = stream.ci()
+        stream.extend([])
+        assert stream.n == 2
+        assert stream.ci() == before
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            StreamingBootstrap(confidence=1.0)
+        with pytest.raises(ExperimentError):
+            StreamingBootstrap(resamples=0)
+        stream = StreamingBootstrap(resamples=10)
+        with pytest.raises(ExperimentError):
+            stream.ci()  # nothing absorbed yet
+        with pytest.raises(ExperimentError):
+            stream.extend([0.5, float("nan")])
+        with pytest.raises(ExperimentError):
+            stream.extend(np.zeros((2, 2)))

@@ -18,6 +18,11 @@ def _outcomes(n=6, cells=37, seed=3):
             if i % 2
             else ()
         )
+        # Ragged per-trial rates, sometimes absent -- the adaptive
+        # planner's observation stream must survive the columns.
+        trial_rates = tuple(
+            float(rate) for rate in rng.random(int(rng.integers(0, 5)))
+        )
         outcomes.append(
             TaskOutcome(
                 index=i,
@@ -26,6 +31,7 @@ def _outcomes(n=6, cells=37, seed=3):
                 cells=cells,
                 mask=mask,
                 checkpoint_rates=checkpoints,
+                trial_rates=trial_rates,
             )
         )
     return outcomes
@@ -39,6 +45,7 @@ def _assert_equal(rebuilt, originals):
         assert got.trials == want.trials
         assert got.cells == want.cells
         assert got.checkpoint_rates == want.checkpoint_rates
+        assert got.trial_rates == want.trial_rates
         assert np.array_equal(got.mask, np.asarray(want.mask, dtype=bool))
 
 
@@ -115,6 +122,7 @@ def _tasks(n=8, seed=11, max_rows=40):
                 ),
                 trials=int(rng.integers(1, 16)),
                 cells=int(rng.integers(1, 512)),
+                trial_offset=int(rng.integers(0, 64)),
             )
         )
     return tasks
@@ -128,6 +136,9 @@ def _assert_tasks_equal(rebuilt, originals):
         assert got.subarray == want.subarray
         assert got.trials == want.trials
         assert got.cells == want.cells
+        # The slice window must ship exactly: a worker reproduces a
+        # round slice's noise stream from the absolute trial offset.
+        assert got.trial_offset == want.trial_offset
         assert got.group.rows == want.group.rows
         assert got.group.subarray == want.group.subarray
         assert got.group.row_first == want.group.row_first

@@ -261,3 +261,69 @@ class TestLocalFleetLive:
         # orphaned and nothing needed re-issuing).
         assert stats["fleet_worker_deaths"] >= 1
         assert stats["fleet_reissued"] >= 0
+
+
+class TestFleetScopeSampling:
+    """fleet_scope's round-robin over the vendor catalog."""
+
+    @pytest.mark.parametrize(
+        "chips", [1, len(TESTED_MODULES), 2 * len(TESTED_MODULES) + 5]
+    )
+    def test_round_robin_is_balanced(self, chips):
+        scope = fleet_scope(chips, config=CONFIG, trials=2)
+        assert len(scope.benches) == chips
+        counts = {}
+        for bench in scope.benches:
+            identifier = bench.module.serial.rpartition("#")[0]
+            counts[identifier] = counts.get(identifier, 0) + 1
+        # Round-robin: no spec is ever more than one chip ahead.
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_instances_count_up_per_spec(self):
+        chips = 2 * len(TESTED_MODULES) + 3
+        scope = fleet_scope(chips, config=CONFIG, trials=2)
+        instances = {}
+        for bench in scope.benches:
+            identifier, _, instance = bench.module.serial.rpartition("#")
+            instances.setdefault(identifier, []).append(int(instance))
+        for seen in instances.values():
+            # Each spec's instance indices are dense from zero, in
+            # catalog round-robin order.
+            assert seen == list(range(len(seen)))
+
+    def test_catalog_order_repeats_exactly(self):
+        chips = len(TESTED_MODULES) + 4
+        scope = fleet_scope(chips, config=CONFIG, trials=2)
+        identifiers = [
+            bench.module.serial.rpartition("#")[0]
+            for bench in scope.benches
+        ]
+        catalog = [module.module_identifier for module in TESTED_MODULES]
+        assert identifiers[: len(catalog)] == catalog
+        assert identifiers[len(catalog):] == catalog[:4]
+
+    def test_knobs_carry_through(self):
+        scope = fleet_scope(
+            3, config=CONFIG, banks=(0, 1), subarrays=(0,),
+            groups_per_size=1, trials=7,
+        )
+        assert scope.banks == (0, 1)
+        assert scope.subarrays == (0,)
+        assert scope.groups_per_size == 1
+        assert scope.trials == 7
+
+    def test_at_least_one_chip_required(self):
+        with pytest.raises(ExperimentError):
+            fleet_scope(0, config=CONFIG)
+
+    def test_spec_round_trip_is_stable(self):
+        # fleet scopes ship to workers as recipes; the recipe must be
+        # a fixed point (spec -> scope -> spec reproduces itself), so
+        # re-shipping never drifts.
+        scope = fleet_scope(len(TESTED_MODULES) + 2, config=CONFIG, trials=3)
+        spec = scope_to_spec(scope)
+        rebuilt = scope_from_spec(spec)
+        assert scope_to_spec(rebuilt) == spec
+        assert [b.module.serial for b in rebuilt.benches] == [
+            b.module.serial for b in scope.benches
+        ]

@@ -203,3 +203,49 @@ class TestDispatchAndFleetCounters:
         ):
             assert fragment in report
         assert render_stats_dict(payload) == report
+
+
+class TestPlannerCounters:
+    def test_merge_adds_planner_counters(self):
+        total = EngineMetrics()
+        total.merge(EngineMetrics(rounds=3, cells_converged=4, trials_saved=96))
+        total.merge(EngineMetrics(rounds=2, trials_saved=32))
+        assert total.rounds == 5
+        assert total.cells_converged == 4
+        assert total.trials_saved == 128
+
+    def test_section_renders_only_when_planner_ran(self):
+        quiet = EngineMetrics(executor="serial")
+        assert "adaptive planner" not in quiet.render()
+        active = EngineMetrics(
+            executor="serial", rounds=6, cells_converged=18,
+            trials_saved=2688,
+        )
+        report = active.render()
+        for fragment in (
+            "adaptive planner", "rounds", "cells converged", "trials saved",
+        ):
+            assert fragment in report
+        assert render_stats_dict(active.as_dict()) == report
+
+    def test_counters_survive_as_dict(self):
+        payload = EngineMetrics(
+            rounds=2, cells_converged=1, trials_saved=8
+        ).as_dict()
+        assert payload["rounds"] == 2
+        assert payload["cells_converged"] == 1
+        assert payload["trials_saved"] == 8
+
+    def test_zero_valued_scheduler_lines_are_omitted(self):
+        # A pipelined run with no pool reuses or shipping should not
+        # render those zero-valued lines inside its scheduler section.
+        metrics = EngineMetrics(
+            executor="fused-parallel", workers=2, pipelined_plans=3,
+            pipeline_wall_s=1.0, pipeline_busy_s=1.5,
+        )
+        report = metrics.render()
+        assert "pipelined plans" in report
+        assert "pool reuses" not in report
+        assert "bench reuses" not in report
+        assert "bytes shipped" not in report
+        assert "dispatches" not in report

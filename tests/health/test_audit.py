@@ -162,3 +162,52 @@ class TestAuditStore:
             set(f) == {"name", "kind", "status", "detail"}
             for f in payload["findings"]
         )
+
+
+class TestAdaptiveRecompute:
+    """Audit of adaptive campaigns: rebuild the planner from the
+    fingerprint, replay it bit-for-bit."""
+
+    @pytest.fixture()
+    def adaptive_store(self, store):
+        from repro.engine import AdaptiveConfig, SerialExecutor
+
+        adaptive = AdaptiveConfig(
+            ci_target=0.05, round_trials=2, max_trials=4,
+            resamples=200, seed=3,
+        )
+        with SerialExecutor() as executor:
+            result = Campaign(
+                make_scope(), store=store, executor=executor,
+                adaptive=adaptive, sleep=no_sleep,
+            ).run(["fig4a"])
+        assert result.succeeded
+        return store
+
+    def test_recompute_matches_the_adaptive_run(self, adaptive_store):
+        report = audit_store(adaptive_store, sample=1)
+        assert report.passed
+        assert report.figures_recomputed == 1
+
+    def test_recompute_catches_tampered_adaptive_data(self, adaptive_store):
+        path = adaptive_store.directory / "fig4a.json"
+        document = json.loads(path.read_text())
+        document["data"] = {"forged": True}
+        path.write_text(json.dumps(document))
+        report = audit_store(adaptive_store, sample=1)
+        assert not report.passed
+
+    def test_unusable_adaptive_knobs_skip_recompute_with_a_reason(
+        self, adaptive_store
+    ):
+        manifest = adaptive_store.load_manifest()
+        manifest.fingerprint["adaptive"]["ci_target"] = -1.0
+        adaptive_store.save_manifest(manifest)
+        report = audit_store(adaptive_store, sample=1)
+        assert report.passed  # skipped is benign, not a failure
+        skipped = [
+            finding for finding in report.findings
+            if finding.kind == "recompute" and finding.status == "skipped"
+        ]
+        assert skipped
+        assert "unusable adaptive knobs" in skipped[0].detail

@@ -116,6 +116,69 @@ class TestCampaignCommand:
         )
 
 
+class TestAdaptiveCampaignCommand:
+    SCALE = ["--columns", "64", "--groups", "1", "--trials", "2"]
+    ADAPTIVE = [
+        "--adaptive", "--ci-target", "0.05",
+        "--round-trials", "2", "--max-trials", "8",
+    ]
+
+    def test_adaptive_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["campaign", "--adaptive"])
+        assert args.adaptive is True
+        assert args.ci_target == 0.02
+        assert args.round_trials == 4
+        assert args.max_trials == 32
+
+    def test_adaptive_campaign_then_audit_and_stats(self, capsys, tmp_path):
+        results_dir = str(tmp_path / "results")
+        assert main([
+            "campaign", "--experiments", "fig9", *self.SCALE,
+            "--results-dir", results_dir, *self.ADAPTIVE,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fig9: done" in out
+        assert "[adaptive:" in out
+
+        # The audit rebuilds the planner from the manifest fingerprint
+        # and replays it bit-for-bit.
+        assert main([
+            "audit", "--results-dir", results_dir, "--sample", "1",
+        ]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+        # Planner counters surface in the stats report.
+        assert main(["stats", "--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive planner" in out
+        assert "rounds" in out
+
+    def test_adaptive_refuses_fleet(self, capsys):
+        assert main([
+            "campaign", "--fleet", "2", *self.ADAPTIVE, *self.SCALE,
+        ]) == 2
+        assert "--fleet" in capsys.readouterr().err
+
+    def test_adaptive_refuses_supervision(self, capsys):
+        assert main([
+            "campaign", "--supervise", *self.ADAPTIVE, *self.SCALE,
+        ]) == 2
+        assert "--supervise" in capsys.readouterr().err
+
+    def test_bad_knobs_are_usage_errors(self, capsys, tmp_path):
+        assert main([
+            "campaign", "--adaptive", "--ci-target", "0", *self.SCALE,
+            "--results-dir", str(tmp_path / "r"),
+        ]) == 2
+        assert "ci_target" in capsys.readouterr().err
+        assert main([
+            "campaign", "--adaptive", "--round-trials", "8",
+            "--max-trials", "4", *self.SCALE,
+            "--results-dir", str(tmp_path / "r2"),
+        ]) == 2
+        assert "max_trials" in capsys.readouterr().err
+
+
 class TestEngineCommands:
     SCALE = ["--columns", "64", "--groups", "1", "--trials", "2"]
 
